@@ -1,0 +1,120 @@
+//! Relational-engine operator throughput — the substrate whose per-view
+//! cost multiplies into the Section 5 blow-up.
+
+use capra_reldb::{
+    certain_rows, Catalog, CmpOp, DataType, Datum, Executor, Plan, Row, ScalarExpr, Schema,
+};
+use capra_events::{EventExpr, Universe};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const N: usize = 10_000;
+
+fn setup() -> (Catalog, Universe) {
+    let catalog = Catalog::new();
+    let mut universe = Universe::new();
+    let t = catalog
+        .create_table(
+            "facts",
+            Schema::of(&[
+                ("id", DataType::Int),
+                ("grp", DataType::Int),
+                ("score", DataType::Float),
+            ]),
+        )
+        .expect("create");
+    let mut rows = Vec::with_capacity(N);
+    for i in 0..N {
+        let lineage = if i % 10 == 0 {
+            let v = universe
+                .add_bool(&format!("u{i}"), 0.5)
+                .expect("var");
+            universe.bool_event(v).expect("event")
+        } else {
+            EventExpr::True
+        };
+        rows.push(Row::uncertain(
+            vec![
+                Datum::Int(i as i64),
+                Datum::Int((i % 100) as i64),
+                Datum::Float((i % 1000) as f64 / 1000.0),
+            ],
+            lineage,
+        ));
+    }
+    t.insert(rows).expect("insert");
+    let dim = catalog
+        .create_table(
+            "dim",
+            Schema::of(&[("grp", DataType::Int), ("label", DataType::Str)]),
+        )
+        .expect("create");
+    dim.insert(certain_rows(
+        (0..100)
+            .map(|g| vec![Datum::Int(g as i64), Datum::str(format!("g{g}"))])
+            .collect(),
+    ))
+    .expect("insert");
+    (catalog, universe)
+}
+
+fn operators(c: &mut Criterion) {
+    let (catalog, universe) = setup();
+    let ex = Executor::new(&catalog).with_universe(&universe);
+    let mut group = c.benchmark_group("db_ops");
+    group.throughput(Throughput::Elements(N as u64));
+
+    group.bench_function("scan_filter", |b| {
+        let plan = Plan::scan("facts").select(ScalarExpr::cmp(
+            CmpOp::Gt,
+            ScalarExpr::col(2),
+            ScalarExpr::lit(0.5),
+        ));
+        b.iter(|| ex.run(&plan).expect("run"));
+    });
+
+    group.bench_function("hash_join", |b| {
+        let plan = Plan::Join {
+            left: Box::new(Plan::scan("facts")),
+            right: Box::new(Plan::scan("dim")),
+            on: vec![(1, 0)],
+            filter: None,
+        };
+        b.iter(|| ex.run(&plan).expect("run"));
+    });
+
+    group.bench_function("distinct_with_lineage", |b| {
+        let plan = Plan::scan("facts")
+            .project(vec![(ScalarExpr::col(1), "grp".into())])
+            .distinct();
+        b.iter(|| ex.run(&plan).expect("run"));
+    });
+
+    group.bench_function("aggregate_group_by", |b| {
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::scan("facts")),
+            group_by: vec![1],
+            aggs: vec![capra_reldb::AggExpr {
+                fun: capra_reldb::AggFun::Avg,
+                arg: Some(ScalarExpr::col(2)),
+                name: "avg".into(),
+            }],
+        };
+        b.iter(|| ex.run(&plan).expect("run"));
+    });
+
+    group.bench_function("sql_end_to_end", |b| {
+        b.iter(|| {
+            capra_reldb::sql::execute(
+                &catalog,
+                Some(&universe),
+                "SELECT d.label, COUNT(*) AS n FROM facts f JOIN dim d ON f.grp = d.grp \
+                 WHERE f.score > 0.25 GROUP BY d.label ORDER BY n DESC LIMIT 5",
+            )
+            .expect("sql")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, operators);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Preference-mining throughput: σ̂ estimation and full-log rule induction
+//! as a function of history length.
+
+use capra_tvtouch::history_sim::{simulate, GroundTruth, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn ground_truth() -> Vec<GroundTruth> {
+    vec![
+        GroundTruth::new("WorkdayMorning", "TrafficBulletin", 0.8),
+        GroundTruth::new("WorkdayMorning", "WeatherBulletin", 0.6),
+        GroundTruth::new("WeekendEvening", "Movie", 0.75),
+        GroundTruth::new("WeekendEvening", "Documentary", 0.25),
+    ]
+}
+
+fn sigma_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mining/sigma");
+    for episodes in [100usize, 1000, 10000] {
+        let log = simulate(&ground_truth(), episodes, &SimConfig::default());
+        group.throughput(Throughput::Elements(episodes as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(episodes),
+            &episodes,
+            |b, _| {
+                b.iter(|| {
+                    log.sigma("WorkdayMorning", "TrafficBulletin")
+                        .expect("pair occurs")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn full_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mining/mine_all");
+    for episodes in [1000usize, 10000] {
+        let log = simulate(&ground_truth(), episodes, &SimConfig::default());
+        group.throughput(Throughput::Elements(episodes as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(episodes),
+            &episodes,
+            |b, _| {
+                b.iter(|| {
+                    let mined = log.mine(10);
+                    assert!(!mined.is_empty());
+                    mined
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn simulation(c: &mut Criterion) {
+    c.bench_function("mining/simulate_1000", |b| {
+        let gt = ground_truth();
+        b.iter(|| simulate(&gt, 1000, &SimConfig::default()));
+    });
+}
+
+criterion_group!(benches, sigma_estimation, full_mining, simulation);
+criterion_main!(benches);

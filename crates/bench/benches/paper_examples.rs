@@ -1,0 +1,74 @@
+//! The paper's worked example (Table 1 / Section 4.2) as a micro-benchmark:
+//! the latency of one complete context-aware scoring of four programs under
+//! two rules, per engine — with a correctness assertion on the published
+//! numbers so the bench can never silently drift.
+
+use capra_core::{
+    FactorizedEngine, LineageEngine, NaiveEnumEngine, NaiveViewEngine, ScoringEngine,
+};
+use capra_tvtouch::scenario::{paper_scenario, PAPER_EXPECTED_SCORES};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn assert_paper_scores(scores: &[capra_core::DocScore]) {
+    for (s, (name, expected)) in scores.iter().zip(PAPER_EXPECTED_SCORES) {
+        assert!(
+            (s.score - expected).abs() < 1e-12,
+            "{name}: {} != {expected}",
+            s.score
+        );
+    }
+}
+
+fn table1(c: &mut Criterion) {
+    let scenario = paper_scenario();
+    let env = scenario.env();
+    let mut group = c.benchmark_group("paper_table1");
+    group.bench_function("naive-view", |b| {
+        let engine = NaiveViewEngine::new();
+        b.iter(|| {
+            let scores = engine.score_all(&env, &scenario.programs).expect("scores");
+            assert_paper_scores(&scores);
+            scores
+        });
+    });
+    group.bench_function("naive-enum", |b| {
+        let engine = NaiveEnumEngine::new();
+        b.iter(|| {
+            let scores = engine.score_all(&env, &scenario.programs).expect("scores");
+            assert_paper_scores(&scores);
+            scores
+        });
+    });
+    group.bench_function("factorized", |b| {
+        let engine = FactorizedEngine::new();
+        b.iter(|| {
+            let scores = engine.score_all(&env, &scenario.programs).expect("scores");
+            assert_paper_scores(&scores);
+            scores
+        });
+    });
+    group.bench_function("lineage", |b| {
+        let engine = LineageEngine::new();
+        b.iter(|| {
+            let scores = engine.score_all(&env, &scenario.programs).expect("scores");
+            assert_paper_scores(&scores);
+            scores
+        });
+    });
+    group.finish();
+}
+
+fn figure1(c: &mut Criterion) {
+    c.bench_function("paper_figure1/distribution", |b| {
+        let log = capra_tvtouch::scenario::figure1_history();
+        b.iter(|| {
+            let dist = log.feature_distribution(capra_tvtouch::scenario::FIGURE1_CONTEXT);
+            let p = (1.0 - dist["TrafficBulletin"]) * (1.0 - dist["WeatherBulletin"]);
+            assert!((p - 0.08).abs() < 1e-12);
+            dist
+        });
+    });
+}
+
+criterion_group!(benches, table1, figure1);
+criterion_main!(benches);

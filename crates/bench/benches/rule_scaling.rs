@@ -1,0 +1,56 @@
+//! **Section 5 experiment** (the paper's only performance measurement):
+//! scoring cost vs. number of preference rules on the TVTouch database.
+//!
+//! The paper reports, for its PostgreSQL view implementation: 1–4 rules
+//! < 1 s, 5–6 rules 4–20 s, 7 rules did not finish within half an hour —
+//! because every added rule doubles both the context-feature and the
+//! document-feature combinations (×4 cost per rule). This bench reproduces
+//! the *shape* on a reduced candidate set (so `cargo bench` terminates):
+//! the naive engines must show ≈4× cost per added rule, while the
+//! factorized and lineage engines stay near-linear.
+//!
+//! The full-size run (300 programs, k up to 7, wall-clock table) lives in
+//! the `experiments` binary.
+
+use capra_bench::{bench_db_config, ScalingWorkload};
+use capra_core::{FactorizedEngine, LineageEngine, NaiveEnumEngine, NaiveViewEngine, ScoringEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn rule_scaling(c: &mut Criterion) {
+    let rule_counts: Vec<usize> = vec![1, 2, 3, 4, 5, 8, 12, 16];
+    let workload = ScalingWorkload::new(bench_db_config(), &rule_counts);
+    let docs = &workload.docs()[..20];
+
+    let mut group = c.benchmark_group("rule_scaling");
+    group.sample_size(10);
+    for (k, rules) in &workload.rule_sets {
+        let env = workload.env(rules);
+        if *k <= 5 {
+            group.bench_with_input(BenchmarkId::new("naive-view", k), k, |b, _| {
+                let engine = NaiveViewEngine { max_rules: 16 };
+                b.iter(|| engine.score_all(&env, docs).expect("scores"));
+            });
+        }
+        if *k <= 8 {
+            group.bench_with_input(BenchmarkId::new("naive-enum", k), k, |b, _| {
+                let engine = NaiveEnumEngine {
+                    max_rules: 20,
+                    ..NaiveEnumEngine::new()
+                };
+                b.iter(|| engine.score_all(&env, docs).expect("scores"));
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("factorized", k), k, |b, _| {
+            let engine = FactorizedEngine::new();
+            b.iter(|| engine.score_all(&env, docs).expect("scores"));
+        });
+        group.bench_with_input(BenchmarkId::new("lineage", k), k, |b, _| {
+            let engine = LineageEngine::new();
+            b.iter(|| engine.score_all(&env, docs).expect("scores"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rule_scaling);
+criterion_main!(benches);

@@ -1,0 +1,360 @@
+//! The Borgida–Brachman mapping (the paper's ref \[4\]): DL concepts and roles
+//! as database tables, concept *expressions* as relational plans.
+//!
+//! Exactly as in the paper's Section 5:
+//!
+//! > *"we view each concept as a table, which uses the concept name as the
+//! > table name and has an ID attribute and an event expression attribute.
+//! > Similarly, we view each role as a table … containing three attributes;
+//! > SOURCE, DESTINATION, and an event expression."*
+//!
+//! [`install_kb`] materialises a [`Kb`] into a [`capra_reldb::Catalog`] in
+//! that layout; [`Compiler`] turns a [`Concept`] into a [`Plan`] producing a
+//! one-column relation of member ids whose row lineage is the membership
+//! event — the paper's per-concept-expression *view*. Conjunction maps to a
+//! join (lineage ∧), disjunction to union + duplicate elimination
+//! (lineage ∨), existential restriction to a role join; closed-world
+//! negation and value restriction have no pure relational-algebra form with
+//! our operator set, so the compiler materialises the inner view and emits
+//! its complement as an inline `VALUES` relation (semantically identical,
+//! documented behaviour).
+
+use std::sync::Arc;
+
+use capra_dl::{Concept, IndividualId};
+use capra_events::EventExpr;
+use capra_reldb::{Catalog, DataType, Datum, Executor, Plan, Relation, Row, Schema};
+
+use crate::{Kb, Result};
+
+/// Name of the table of all individuals (the ⊤ view).
+pub const INDIVIDUALS_TABLE: &str = "individuals";
+
+/// Table name for an atomic concept (indexed to avoid sanitisation
+/// collisions, suffixed with the sanitised name for debuggability).
+pub fn concept_table_name(kb: &Kb, name: capra_dl::ConceptName) -> String {
+    format!(
+        "concept_{}_{}",
+        name.index(),
+        sanitize(kb.voc.concept_name(name))
+    )
+}
+
+/// Table name for a role.
+pub fn role_table_name(kb: &Kb, name: capra_dl::RoleName) -> String {
+    format!("role_{}_{}", name.index(), sanitize(kb.voc.role_name(name)))
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Datum encoding of an individual.
+pub fn individual_datum(ind: IndividualId) -> Datum {
+    Datum::Id(ind.index() as u64)
+}
+
+/// Decodes an individual id from a datum produced by [`individual_datum`].
+pub fn datum_individual(kb: &Kb, d: &Datum) -> Option<IndividualId> {
+    let raw = d.as_id()?;
+    kb.voc
+        .individual_ids()
+        .nth(raw as usize)
+        .filter(|i| i.index() as u64 == raw)
+}
+
+/// Materialises the KB into a fresh catalog in the paper's table layout.
+pub fn install_kb(kb: &Kb) -> Result<Catalog> {
+    let catalog = Catalog::new();
+    let id_schema = Schema::of(&[("id", DataType::Id)]);
+    let individuals = catalog.create_table(INDIVIDUALS_TABLE, id_schema.clone())?;
+    individuals.insert(
+        kb.abox
+            .domain()
+            .iter()
+            .map(|&i| Row::certain(vec![individual_datum(i)]))
+            .collect(),
+    )?;
+    for concept in kb.abox.concepts() {
+        let table = catalog.create_table(&concept_table_name(kb, concept), id_schema.clone())?;
+        table.insert(
+            kb.abox
+                .concept_rows(concept)
+                .map(|(ind, event)| Row::uncertain(vec![individual_datum(ind)], event.clone()))
+                .collect(),
+        )?;
+    }
+    let edge_schema = Schema::of(&[("source", DataType::Id), ("destination", DataType::Id)]);
+    for role in kb.abox.roles() {
+        let table = catalog.create_table(&role_table_name(kb, role), edge_schema.clone())?;
+        table.insert(
+            kb.abox
+                .role_edges(role)
+                .iter()
+                .map(|e| {
+                    Row::uncertain(
+                        vec![individual_datum(e.src), individual_datum(e.dst)],
+                        e.event.clone(),
+                    )
+                })
+                .collect(),
+        )?;
+    }
+    Ok(catalog)
+}
+
+/// Compiles concept expressions to plans over an installed catalog.
+pub struct Compiler<'a> {
+    kb: &'a Kb,
+    catalog: &'a Catalog,
+}
+
+impl<'a> Compiler<'a> {
+    /// Creates a compiler over a catalog produced by [`install_kb`].
+    pub fn new(kb: &'a Kb, catalog: &'a Catalog) -> Self {
+        Self { kb, catalog }
+    }
+
+    fn id_schema() -> Arc<Schema> {
+        Schema::of(&[("id", DataType::Id)])
+    }
+
+    /// Compiles `concept` (after TBox unfolding) into a plan yielding one
+    /// `id` column with membership lineage per row.
+    pub fn concept_plan(&self, concept: &Concept) -> Result<Plan> {
+        let unfolded = self.kb.tbox.unfold(concept);
+        self.plan_rec(&unfolded)
+    }
+
+    /// Runs a compiled plan and returns `(individual, membership event)`
+    /// rows (the materialised view).
+    pub fn materialize(&self, concept: &Concept) -> Result<Vec<(IndividualId, EventExpr)>> {
+        let plan = self.concept_plan(concept)?;
+        let relation = Executor::new(self.catalog).run(&plan)?;
+        Ok(relation_members(self.kb, &relation))
+    }
+
+    fn plan_rec(&self, concept: &Concept) -> Result<Plan> {
+        Ok(match concept {
+            Concept::Top => Plan::scan(INDIVIDUALS_TABLE),
+            Concept::Bottom => Plan::Values {
+                schema: Self::id_schema(),
+                rows: vec![],
+            },
+            Concept::Atomic(name) => {
+                let table = concept_table_name(self.kb, *name);
+                if self.catalog.table(&table).is_ok() {
+                    Plan::scan(table)
+                } else {
+                    // Never-asserted concept: the empty view.
+                    Plan::Values {
+                        schema: Self::id_schema(),
+                        rows: vec![],
+                    }
+                }
+            }
+            Concept::OneOf(inds) => Plan::Values {
+                schema: Self::id_schema(),
+                rows: inds
+                    .iter()
+                    .filter(|i| self.kb.abox.domain().contains(i))
+                    .map(|&i| Row::certain(vec![individual_datum(i)]))
+                    .collect(),
+            },
+            Concept::And(kids) => {
+                let mut iter = kids.iter();
+                let first = iter.next().expect("And has ≥ 2 children");
+                let mut plan = self.plan_rec(first)?;
+                for kid in iter {
+                    plan = Plan::Join {
+                        left: Box::new(plan),
+                        right: Box::new(self.plan_rec(kid)?),
+                        on: vec![(0, 0)],
+                        filter: None,
+                    }
+                    .project(vec![(capra_reldb::ScalarExpr::col(0), "id".into())]);
+                }
+                plan
+            }
+            Concept::Or(kids) => {
+                let mut iter = kids.iter();
+                let first = iter.next().expect("Or has ≥ 2 children");
+                let mut plan = self.normalized(first)?;
+                for kid in iter {
+                    plan = Plan::Union {
+                        left: Box::new(plan),
+                        right: Box::new(self.normalized(kid)?),
+                    };
+                }
+                plan.distinct()
+            }
+            Concept::Exists(role, filler) => {
+                let table = role_table_name(self.kb, *role);
+                let role_plan = if self.catalog.table(&table).is_ok() {
+                    Plan::scan(table)
+                } else {
+                    Plan::Values {
+                        schema: Schema::of(&[
+                            ("source", DataType::Id),
+                            ("destination", DataType::Id),
+                        ]),
+                        rows: vec![],
+                    }
+                };
+                Plan::Join {
+                    left: Box::new(role_plan),
+                    right: Box::new(self.plan_rec(filler)?),
+                    on: vec![(1, 0)], // destination = member id
+                    filter: None,
+                }
+                .project(vec![(capra_reldb::ScalarExpr::col(0), "id".into())])
+                .distinct()
+            }
+            // Closed-world complement: materialise the inner view and emit
+            // the per-individual complements inline.
+            Concept::Not(inner) => {
+                let members: std::collections::BTreeMap<IndividualId, EventExpr> =
+                    self.materialize(inner)?.into_iter().collect();
+                Plan::Values {
+                    schema: Self::id_schema(),
+                    rows: self
+                        .kb
+                        .abox
+                        .domain()
+                        .iter()
+                        .filter_map(|&i| {
+                            let e = members.get(&i).cloned().unwrap_or(EventExpr::False);
+                            let complement = EventExpr::not(e);
+                            (!complement.is_false()).then(|| {
+                                Row::uncertain(vec![individual_datum(i)], complement)
+                            })
+                        })
+                        .collect(),
+                }
+            }
+            // ∀R.C ≡ ¬∃R.¬C under the closed world.
+            Concept::Forall(role, filler) => self.plan_rec(&Concept::not(Concept::exists(
+                *role,
+                Concept::not(filler.as_ref().clone()),
+            )))?,
+        })
+    }
+
+    /// Wraps a sub-plan so its single column is named plainly `id` — union
+    /// legs come from scans with different qualifications.
+    fn normalized(&self, concept: &Concept) -> Result<Plan> {
+        Ok(self
+            .plan_rec(concept)?
+            .project(vec![(capra_reldb::ScalarExpr::col(0), "id".into())]))
+    }
+}
+
+/// Decodes a one-id-column relation into `(individual, lineage)` pairs.
+pub fn relation_members(kb: &Kb, relation: &Relation) -> Vec<(IndividualId, EventExpr)> {
+    relation
+        .rows()
+        .iter()
+        .filter_map(|row| {
+            let ind = datum_individual(kb, &row.values[0])?;
+            Some((ind, row.lineage.clone()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capra_events::Evaluator;
+    use std::collections::BTreeMap;
+
+    fn kb_fixture() -> (Kb, IndividualId, IndividualId) {
+        let mut kb = Kb::new();
+        let oprah = kb.individual("Oprah");
+        let bbc = kb.individual("BBC");
+        let hi = kb.individual("HumanInterest");
+        kb.assert_concept(oprah, "TvProgram");
+        kb.assert_concept(bbc, "TvProgram");
+        kb.assert_concept(bbc, "NewsShow");
+        kb.assert_role_prob(oprah, "hasGenre", hi, 0.85).unwrap();
+        (kb, oprah, bbc)
+    }
+
+    /// The compiled views must agree with the in-memory reasoner, with the
+    /// same lineage probabilities.
+    #[test]
+    fn compiled_views_match_reasoner() {
+        let (mut kb, ..) = kb_fixture();
+        let queries = [
+            "TvProgram",
+            "TvProgram AND NewsShow",
+            "TvProgram AND NOT NewsShow",
+            "EXISTS hasGenre.{HumanInterest}",
+            "TvProgram OR NewsShow",
+            "FORALL hasGenre.{HumanInterest}",
+            "TOP",
+            "BOTTOM",
+            "{Oprah, BBC}",
+        ];
+        let parsed: Vec<_> = queries
+            .iter()
+            .map(|q| kb.parse(q).unwrap())
+            .collect();
+        let catalog = install_kb(&kb).unwrap();
+        let compiler = Compiler::new(&kb, &catalog);
+        let reasoner = kb.reasoner();
+        let mut ev = Evaluator::new(&kb.universe);
+        for (q, concept) in queries.iter().zip(&parsed) {
+            let via_db: BTreeMap<_, _> = compiler
+                .materialize(concept)
+                .unwrap()
+                .into_iter()
+                .collect();
+            let via_reasoner = reasoner.instances(concept);
+            assert_eq!(
+                via_db.keys().collect::<Vec<_>>(),
+                via_reasoner.keys().collect::<Vec<_>>(),
+                "member sets differ for `{q}`"
+            );
+            for (ind, e_db) in &via_db {
+                let p_db = ev.prob(e_db);
+                let p_mem = ev.prob(&via_reasoner[ind]);
+                assert!(
+                    (p_db - p_mem).abs() < 1e-12,
+                    "probability mismatch for `{q}` on {ind:?}: {p_db} vs {p_mem}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn installed_tables_follow_paper_layout() {
+        let (kb, ..) = kb_fixture();
+        let catalog = install_kb(&kb).unwrap();
+        let names = catalog.table_names();
+        assert!(names.iter().any(|n| n == INDIVIDUALS_TABLE));
+        assert!(names.iter().any(|n| n.starts_with("concept_")));
+        assert!(names.iter().any(|n| n.starts_with("role_")));
+        // Role tables have the paper's SOURCE/DESTINATION columns.
+        let role = names.iter().find(|n| n.starts_with("role_")).unwrap();
+        let t = catalog.table(role).unwrap();
+        assert_eq!(t.schema().columns()[0].name, "source");
+        assert_eq!(t.schema().columns()[1].name, "destination");
+    }
+
+    #[test]
+    fn unknown_names_compile_to_empty_views() {
+        let (mut kb, ..) = kb_fixture();
+        let c = kb.parse("NeverAsserted AND EXISTS neverUsed.TOP").unwrap();
+        let catalog = install_kb(&kb).unwrap();
+        let compiler = Compiler::new(&kb, &catalog);
+        assert!(compiler.materialize(&c).unwrap().is_empty());
+    }
+}

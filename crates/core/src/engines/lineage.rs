@@ -1,0 +1,181 @@
+use capra_dl::IndividualId;
+use capra_events::{EventExpr, Expectation, Factor};
+
+use crate::bind::bind_rules;
+use crate::engines::{DocScore, ScoringEngine};
+use crate::{Result, ScoringEnv};
+
+/// The exact engine: evaluates the Section 3.3 expectation over the event
+/// expressions themselves, so **correlated** context and document features
+/// (shared sensors, mutually exclusive rooms or genres) are handled without
+/// approximation — the paper's stated requirement for its uncertainty model
+/// ("it is important to capture and model these correlations without
+/// approximations").
+///
+/// Per document, each applicable rule contributes the factor
+///
+/// ```text
+/// 1·1[¬G_r] + σ_r·1[G_r ∧ F_rd] + (1−σ_r)·1[G_r ∧ ¬F_rd]
+/// ```
+///
+/// and the score is the exact expectation of the product, computed by
+/// Shannon expansion over the shared random variables with memoisation
+/// (see [`capra_events::Expectation`]). When rules touch disjoint variables
+/// the expectation factorises automatically, so the engine degrades
+/// gracefully to the factorized engine's linear cost.
+#[derive(Debug, Clone, Default)]
+pub struct LineageEngine {
+    /// Skip rules whose context event is `False` (constant factor 1).
+    /// On by default; exposed for the pruning ablation benchmark.
+    pub prune_inapplicable: bool,
+}
+
+impl LineageEngine {
+    /// Creates the engine with pruning enabled.
+    pub fn new() -> Self {
+        Self {
+            prune_inapplicable: true,
+        }
+    }
+}
+
+impl ScoringEngine for LineageEngine {
+    fn name(&self) -> &'static str {
+        "lineage"
+    }
+
+    fn score_all(&self, env: &ScoringEnv<'_>, docs: &[IndividualId]) -> Result<Vec<DocScore>> {
+        let bindings = bind_rules(env);
+        // One expectation computer for the whole run: documents share the
+        // context sub-problems through its memo table.
+        let mut expectation = Expectation::new(&env.kb.universe);
+        let mut out = Vec::with_capacity(docs.len());
+        for &doc in docs {
+            let factors: Vec<Factor> = bindings
+                .iter()
+                .filter(|b| !(self.prune_inapplicable && b.is_inapplicable()))
+                .map(|b| {
+                    let g = b.context_event.clone();
+                    let f = b.preference_event(doc);
+                    Factor::new([
+                        (EventExpr::not(g.clone()), 1.0),
+                        (EventExpr::and([g.clone(), f.clone()]), b.sigma),
+                        (
+                            EventExpr::and([g, EventExpr::not(f)]),
+                            1.0 - b.sigma,
+                        ),
+                    ])
+                })
+                .collect();
+            let score = expectation.compute(&factors).clamp(0.0, 1.0);
+            out.push(DocScore { doc, score });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Kb, PreferenceRule, RuleRepository, Score};
+
+    /// Correlated scenario: two rules prefer two *mutually exclusive*
+    /// genres of the same program (the disjoint-genre situation from the
+    /// paper's Section 3.2).
+    #[test]
+    fn disjoint_genres_are_exact() {
+        let mut kb = Kb::new();
+        let user = kb.individual("peter");
+        kb.assert_concept(user, "Morning");
+        let prog = kb.individual("prog");
+        kb.assert_concept(prog, "TvProgram");
+        let traffic = kb.individual("Traffic");
+        let weather = kb.individual("Weather");
+        // The program is *either* a traffic or a weather bulletin: one
+        // choice variable, two alternatives (60% / 40%).
+        let kind = kb.universe.add_choice("kind", &[0.6, 0.4]).unwrap();
+        let is_traffic = kb.universe.atom(kind, 0).unwrap();
+        let is_weather = kb.universe.atom(kind, 1).unwrap();
+        kb.assert_role_event(prog, "hasGenre", traffic, is_traffic);
+        kb.assert_role_event(prog, "hasGenre", weather, is_weather);
+
+        let mut rules = RuleRepository::new();
+        let ctx = kb.parse("Morning").unwrap();
+        let pref_t = kb.parse("EXISTS hasGenre.{Traffic}").unwrap();
+        let pref_w = kb.parse("EXISTS hasGenre.{Weather}").unwrap();
+        rules
+            .add(PreferenceRule::new("T", ctx.clone(), pref_t, Score::new(0.8).unwrap()))
+            .unwrap();
+        rules
+            .add(PreferenceRule::new("W", ctx, pref_w, Score::new(0.6).unwrap()))
+            .unwrap();
+
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let engine = LineageEngine::new();
+        let score = engine.score(&env, prog).unwrap().score;
+        // Exact: E = P(traffic)·σ_T·(1−σ_W) + P(weather)·(1−σ_T)·σ_W
+        //           + P(neither)·(1−σ_T)·(1−σ_W)
+        let expected = 0.6 * 0.8 * 0.4 + 0.4 * 0.2 * 0.6 + 0.0 * 0.2 * 0.4;
+        assert!(
+            (score - expected).abs() < 1e-12,
+            "{score} vs {expected} (independence would give a different number)"
+        );
+        // Independence assumption WOULD give (0.6·0.8+0.4·0.2)·(0.4·0.6+0.6·0.4):
+        let independent = (0.6 * 0.8 + 0.4 * 0.2) * (0.4 * 0.6 + 0.6 * 0.4);
+        assert!((score - independent).abs() > 1e-3, "correlation must matter");
+    }
+
+    #[test]
+    fn no_rules_scores_one() {
+        // With an empty H the paper's formula degenerates to 1 for every
+        // document (the reason the paper recommends default rules).
+        let mut kb = Kb::new();
+        let user = kb.individual("peter");
+        let doc = kb.individual("doc");
+        let rules = RuleRepository::new();
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let s = LineageEngine::new().score(&env, doc).unwrap();
+        assert_eq!(s.score, 1.0);
+    }
+
+    #[test]
+    fn pruning_does_not_change_results() {
+        let mut kb = Kb::new();
+        let user = kb.individual("peter");
+        kb.assert_concept(user, "Weekend");
+        let doc = kb.individual("doc");
+        kb.assert_concept_prob(doc, "Interesting", 0.5).unwrap();
+        let mut rules = RuleRepository::new();
+        let weekend = kb.parse("Weekend").unwrap();
+        let holiday = kb.parse("Holiday").unwrap(); // never applies
+        let pref = kb.parse("Interesting").unwrap();
+        rules
+            .add(PreferenceRule::new("A", weekend, pref.clone(), Score::new(0.7).unwrap()))
+            .unwrap();
+        rules
+            .add(PreferenceRule::new("B", holiday, pref, Score::new(0.9).unwrap()))
+            .unwrap();
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let pruned = LineageEngine::new().score(&env, doc).unwrap().score;
+        let unpruned = LineageEngine {
+            prune_inapplicable: false,
+        }
+        .score(&env, doc)
+        .unwrap()
+        .score;
+        assert!((pruned - unpruned).abs() < 1e-12);
+        assert!((pruned - (0.5 * 0.7 + 0.5 * 0.3)).abs() < 1e-12);
+    }
+}

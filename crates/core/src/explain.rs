@@ -1,0 +1,172 @@
+//! Explanation of scores — the paper's *traceability* goal.
+//!
+//! The Discussion section asks for explanations that do not require the user
+//! to read the preference rules themselves: *"provide the user with a
+//! motivation for the 'context based' answer … what kind of explanation
+//! (such as rules, features, or scores) would give the user a good
+//! insight"*. [`explain`] decomposes a document's score into one
+//! contribution per rule — the context probability, the feature-match
+//! probability, σ, and the resulting multiplicative factor — and renders
+//! them as readable text.
+
+use std::fmt;
+
+use capra_dl::IndividualId;
+use capra_events::Evaluator;
+
+use crate::bind::bind_rules;
+use crate::{Result, ScoringEnv};
+
+/// One rule's contribution to a document's score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleContribution {
+    /// Rule name.
+    pub rule: String,
+    /// Probability that the rule's context currently applies.
+    pub context_prob: f64,
+    /// Probability that the document matches the rule's preference.
+    pub feature_prob: f64,
+    /// The rule's σ.
+    pub sigma: f64,
+    /// The multiplicative factor the rule contributes:
+    /// `(1 − P(ctx)) + P(ctx)·(P(feat)·σ + (1 − P(feat))·(1 − σ))`.
+    pub factor: f64,
+}
+
+/// A scored document with its per-rule breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// The document being explained.
+    pub doc: IndividualId,
+    /// Human-readable document name.
+    pub doc_name: String,
+    /// Product of the factors (the score, under feature independence).
+    pub score: f64,
+    /// Per-rule contributions, in repository order.
+    pub contributions: Vec<RuleContribution>,
+}
+
+/// Builds an explanation for one document.
+///
+/// The breakdown uses the per-rule marginal probabilities, i.e. the
+/// independence factorisation; for correlated features the factors are the
+/// rules' *marginal* influence and the noted score is their product (the
+/// exact score may differ — use [`crate::LineageEngine`] for the number, the
+/// explanation for the intuition).
+pub fn explain(env: &ScoringEnv<'_>, doc: IndividualId) -> Result<Explanation> {
+    let bindings = bind_rules(env);
+    let mut ev = Evaluator::new(&env.kb.universe);
+    let mut contributions = Vec::with_capacity(bindings.len());
+    let mut score = 1.0;
+    for b in &bindings {
+        let context_prob = ev.prob(&b.context_event);
+        let feature_prob = ev.prob(&b.preference_event(doc));
+        let matched = feature_prob * b.sigma + (1.0 - feature_prob) * (1.0 - b.sigma);
+        let factor = (1.0 - context_prob) + context_prob * matched;
+        score *= factor;
+        contributions.push(RuleContribution {
+            rule: b.name.clone(),
+            context_prob,
+            feature_prob,
+            sigma: b.sigma,
+            factor,
+        });
+    }
+    Ok(Explanation {
+        doc,
+        doc_name: env.kb.voc.individual_name(doc).to_string(),
+        score: score.clamp(0.0, 1.0),
+        contributions,
+    })
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: probability {:.4} of being the ideal document",
+            self.doc_name, self.score
+        )?;
+        for c in &self.contributions {
+            if c.context_prob == 0.0 {
+                writeln!(f, "  · rule {}: context does not apply (×1)", c.rule)?;
+                continue;
+            }
+            writeln!(
+                f,
+                "  · rule {} (σ={:.2}): context applies with P={:.2}, \
+                 document matches with P={:.2} → ×{:.4}",
+                c.rule, c.sigma, c.context_prob, c.feature_prob, c.factor
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Kb, PreferenceRule, RuleRepository, Score, ScoringEngine};
+
+    fn env_fixture() -> (Kb, RuleRepository, IndividualId, IndividualId) {
+        let mut kb = Kb::new();
+        let user = kb.individual("peter");
+        kb.assert_concept(user, "Weekend");
+        let ch5 = kb.individual("Channel 5 news");
+        kb.assert_concept(ch5, "TvProgram");
+        let hi = kb.individual("HUMAN-INTEREST");
+        kb.assert_role_prob(ch5, "hasGenre", hi, 0.95).unwrap();
+        let mut rules = RuleRepository::new();
+        rules
+            .add(PreferenceRule::new(
+                "R1",
+                kb.parse("Weekend").unwrap(),
+                kb.parse("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}").unwrap(),
+                Score::new(0.8).unwrap(),
+            ))
+            .unwrap();
+        rules
+            .add(PreferenceRule::new(
+                "R9",
+                kb.parse("Holiday").unwrap(),
+                kb.parse("TvProgram").unwrap(),
+                Score::new(0.4).unwrap(),
+            ))
+            .unwrap();
+        (kb, rules, user, ch5)
+    }
+
+    #[test]
+    fn breakdown_multiplies_to_score() {
+        let (kb, rules, user, ch5) = env_fixture();
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let ex = explain(&env, ch5).unwrap();
+        assert_eq!(ex.contributions.len(), 2);
+        let product: f64 = ex.contributions.iter().map(|c| c.factor).product();
+        assert!((ex.score - product).abs() < 1e-12);
+        assert!((ex.contributions[0].factor - 0.77).abs() < 1e-12);
+        assert_eq!(ex.contributions[1].factor, 1.0, "inapplicable rule is ×1");
+        // And the explanation matches the factorized engine's score.
+        let s = crate::FactorizedEngine::new().score(&env, ch5).unwrap();
+        assert!((ex.score - s.score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rendering_mentions_rules_and_probabilities() {
+        let (kb, rules, user, ch5) = env_fixture();
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let text = explain(&env, ch5).unwrap().to_string();
+        assert!(text.contains("Channel 5 news"), "{text}");
+        assert!(text.contains("rule R1"), "{text}");
+        assert!(text.contains("σ=0.80"), "{text}");
+        assert!(text.contains("context does not apply"), "{text}");
+    }
+}

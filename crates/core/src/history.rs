@@ -1,0 +1,287 @@
+//! History logs and preference mining.
+//!
+//! The paper grounds σ in the user's history: *"the score function σ(g,f) is
+//! defined as the probability that if we take a random context in history
+//! with feature g* [in which] *the user was able to choose a document with
+//! feature f given the other features of the document, the user actually
+//! chose a document with feature f"* (Section 3.2, extended definition).
+//! Its Discussion section then asks: *"how well \[would\] the actual user
+//! preferences be predicted by mining the history of the user using exactly
+//! these semantics"* — this module implements that mining, with exactly
+//! those semantics, so the question can be answered experimentally
+//! (see the `preference_mining` example and the mining benchmark).
+//!
+//! Features are opaque string labels here; converting mined pairs into
+//! [`crate::PreferenceRule`]s is done by the caller, which knows how labels
+//! map to concepts (see [`MinedRule`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One offered document in an episode: its features and whether the user
+/// chose it. A single episode may contain several chosen documents (the
+/// paper: a person may watch both the weather and the traffic bulletin on
+/// the same morning — "one should take the whole workday morning as one
+/// context where the user chose two documents").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Offer {
+    /// Feature labels of the offered document.
+    pub features: BTreeSet<String>,
+    /// Did the user choose it?
+    pub chosen: bool,
+}
+
+impl Offer {
+    /// Convenience constructor.
+    pub fn new<I, S>(features: I, chosen: bool) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            features: features.into_iter().map(Into::into).collect(),
+            chosen,
+        }
+    }
+}
+
+/// One interaction episode: the context's features and the documents that
+/// were available, with the user's choices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Episode {
+    /// Feature labels of the context.
+    pub context: BTreeSet<String>,
+    /// The documents on offer.
+    pub offers: Vec<Offer>,
+}
+
+impl Episode {
+    /// Convenience constructor.
+    pub fn new<I, S>(context: I, offers: Vec<Offer>) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            context: context.into_iter().map(Into::into).collect(),
+            offers,
+        }
+    }
+}
+
+/// A mined `(context feature, document feature)` pair with its estimated σ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinedRule {
+    /// Context feature label `g`.
+    pub context_feature: String,
+    /// Document feature label `f`.
+    pub doc_feature: String,
+    /// Estimated σ̂(g, f).
+    pub sigma: f64,
+    /// Number of applicable episodes the estimate is based on.
+    pub support: usize,
+}
+
+/// An append-only log of episodes.
+#[derive(Debug, Clone, Default)]
+pub struct HistoryLog {
+    episodes: Vec<Episode>,
+}
+
+impl HistoryLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an episode.
+    pub fn record(&mut self, episode: Episode) {
+        self.episodes.push(episode);
+    }
+
+    /// The recorded episodes.
+    pub fn episodes(&self) -> &[Episode] {
+        &self.episodes
+    }
+
+    /// Number of episodes.
+    pub fn len(&self) -> usize {
+        self.episodes.len()
+    }
+
+    /// True if nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.episodes.is_empty()
+    }
+
+    /// Estimates σ̂(g, f) with the paper's semantics:
+    ///
+    /// * an episode is **applicable** if `g` is among its context features
+    ///   and at least one offered document carries `f` (the user *was able*
+    ///   to choose a document with `f`);
+    /// * it is a **success** if some *chosen* document carries `f`.
+    ///
+    /// Returns `(σ̂, support)`, or `None` with zero applicable episodes.
+    pub fn sigma(&self, g: &str, f: &str) -> Option<(f64, usize)> {
+        let mut applicable = 0usize;
+        let mut successes = 0usize;
+        for ep in &self.episodes {
+            if !ep.context.contains(g) {
+                continue;
+            }
+            if !ep.offers.iter().any(|o| o.features.contains(f)) {
+                continue;
+            }
+            applicable += 1;
+            if ep
+                .offers
+                .iter()
+                .any(|o| o.chosen && o.features.contains(f))
+            {
+                successes += 1;
+            }
+        }
+        (applicable > 0).then(|| (successes as f64 / applicable as f64, applicable))
+    }
+
+    /// Mines all `(g, f)` pairs with at least `min_support` applicable
+    /// episodes, sorted by descending support then by labels.
+    pub fn mine(&self, min_support: usize) -> Vec<MinedRule> {
+        let mut context_features: BTreeSet<&String> = BTreeSet::new();
+        let mut doc_features: BTreeSet<&String> = BTreeSet::new();
+        for ep in &self.episodes {
+            context_features.extend(ep.context.iter());
+            for o in &ep.offers {
+                doc_features.extend(o.features.iter());
+            }
+        }
+        let mut out = Vec::new();
+        for g in &context_features {
+            for f in &doc_features {
+                if let Some((sigma, support)) = self.sigma(g, f) {
+                    if support >= min_support {
+                        out.push(MinedRule {
+                            context_feature: (*g).clone(),
+                            doc_feature: (*f).clone(),
+                            sigma,
+                            support,
+                        });
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            b.support
+                .cmp(&a.support)
+                .then_with(|| a.context_feature.cmp(&b.context_feature))
+                .then_with(|| a.doc_feature.cmp(&b.doc_feature))
+        });
+        out
+    }
+
+    /// Empirical feature distribution for a context feature — the data
+    /// behind the paper's **Figure 1** ("graphical display of the
+    /// distribution of video features on a workday morning"): for every
+    /// document feature `f`, the fraction of applicable `g`-episodes where
+    /// an `f`-document was chosen.
+    pub fn feature_distribution(&self, g: &str) -> BTreeMap<String, f64> {
+        let mut doc_features: BTreeSet<String> = BTreeSet::new();
+        for ep in &self.episodes {
+            for o in &ep.offers {
+                doc_features.extend(o.features.iter().cloned());
+            }
+        }
+        doc_features
+            .into_iter()
+            .filter_map(|f| self.sigma(g, &f).map(|(s, _)| (f, s)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the paper's Figure 1 history: on workday mornings the user
+    /// watched the traffic bulletin in 80% of the cases and the weather
+    /// bulletin in 60% (out of 10 mornings: 8 traffic, 6 weather).
+    fn figure1_log() -> HistoryLog {
+        let mut log = HistoryLog::new();
+        for i in 0..10 {
+            log.record(Episode::new(
+                ["WorkdayMorning"],
+                vec![
+                    Offer::new(["TrafficBulletin"], i < 8),
+                    Offer::new(["WeatherBulletin"], i < 6),
+                    Offer::new(["Sitcom"], false),
+                ],
+            ));
+        }
+        log
+    }
+
+    #[test]
+    fn figure1_distribution() {
+        let log = figure1_log();
+        let (traffic, n) = log.sigma("WorkdayMorning", "TrafficBulletin").unwrap();
+        assert_eq!(n, 10);
+        assert!((traffic - 0.8).abs() < 1e-12);
+        let (weather, _) = log.sigma("WorkdayMorning", "WeatherBulletin").unwrap();
+        assert!((weather - 0.6).abs() < 1e-12);
+        // P(neither is wanted) = (1−0.8)(1−0.6) = 0.08 — the paper's number.
+        let p_neither = (1.0 - traffic) * (1.0 - weather);
+        assert!((p_neither - 0.08).abs() < 1e-12);
+        let dist = log.feature_distribution("WorkdayMorning");
+        assert_eq!(dist.len(), 3);
+        assert_eq!(dist["Sitcom"], 0.0);
+    }
+
+    #[test]
+    fn applicability_requires_offer_with_feature() {
+        // "was able to choose": episodes without an f-document don't count.
+        let mut log = HistoryLog::new();
+        log.record(Episode::new(
+            ["Morning"],
+            vec![Offer::new(["News"], true)],
+        ));
+        log.record(Episode::new(
+            ["Morning"],
+            vec![Offer::new(["Sports"], true)], // no News on offer
+        ));
+        let (sigma, support) = log.sigma("Morning", "News").unwrap();
+        assert_eq!(support, 1);
+        assert!((sigma - 1.0).abs() < 1e-12);
+        assert!(log.sigma("Evening", "News").is_none());
+        assert!(log.sigma("Morning", "Opera").is_none());
+    }
+
+    #[test]
+    fn group_choices_in_one_episode() {
+        // Choosing both bulletins in one morning is one episode with two
+        // chosen offers — σ counts each feature once.
+        let mut log = HistoryLog::new();
+        log.record(Episode::new(
+            ["Morning"],
+            vec![
+                Offer::new(["Traffic"], true),
+                Offer::new(["Weather"], true),
+            ],
+        ));
+        assert_eq!(log.sigma("Morning", "Traffic").unwrap().0, 1.0);
+        assert_eq!(log.sigma("Morning", "Weather").unwrap().0, 1.0);
+    }
+
+    #[test]
+    fn mining_thresholds_and_order() {
+        let log = figure1_log();
+        let mined = log.mine(1);
+        assert_eq!(mined.len(), 3);
+        assert!(mined.iter().all(|m| m.support == 10));
+        let none = log.mine(11);
+        assert!(none.is_empty());
+        let traffic = mined
+            .iter()
+            .find(|m| m.doc_feature == "TrafficBulletin")
+            .unwrap();
+        assert!((traffic.sigma - 0.8).abs() < 1e-12);
+    }
+}

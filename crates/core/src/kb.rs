@@ -1,0 +1,192 @@
+use capra_dl::{parse_concept, ABox, Concept, IndividualId, Reasoner, TBox, Vocabulary};
+use capra_events::{EventExpr, Universe, VarId};
+
+use crate::Result;
+
+/// The knowledge base a scoring run operates on: vocabulary, event universe,
+/// assertions, and terminology, bundled for convenience.
+///
+/// In the paper's architecture these are the concept/role tables (with event
+/// expressions) plus the mapping machinery of its refs \[4\] and \[16\]. The
+/// helpers here cover the common patterns:
+///
+/// * certain facts — `assert_concept` / `assert_role` with [`EventExpr::True`];
+/// * independently uncertain facts — [`Kb::assert_concept_prob`] /
+///   [`Kb::assert_role_prob`] mint a fresh boolean variable per fact (e.g.
+///   "the EPG tags Oprah human-interest with probability 0.85");
+/// * correlated facts — create a choice variable on
+///   [`Kb::universe`] directly and pass its atoms as events (e.g. *the user
+///   is in exactly one room*).
+#[derive(Debug, Default, Clone)]
+pub struct Kb {
+    /// Interned names.
+    pub voc: Vocabulary,
+    /// Random variables behind uncertain assertions.
+    pub universe: Universe,
+    /// Concept and role assertions.
+    pub abox: ABox,
+    /// Concept definitions.
+    pub tbox: TBox,
+}
+
+impl Kb {
+    /// Creates an empty knowledge base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an individual and registers it in the ABox domain.
+    pub fn individual(&mut self, name: &str) -> IndividualId {
+        let ind = self.voc.individual(name);
+        self.abox.register_individual(ind);
+        ind
+    }
+
+    /// Parses a concept expression against this KB's vocabulary.
+    pub fn parse(&mut self, text: &str) -> Result<Concept> {
+        Ok(parse_concept(text, &mut self.voc)?)
+    }
+
+    /// Asserts `ind : concept` with certainty.
+    pub fn assert_concept(&mut self, ind: IndividualId, concept: &str) {
+        let c = self.voc.concept(concept);
+        self.abox.assert_concept(ind, c, EventExpr::True);
+    }
+
+    /// Asserts `ind : concept` under a fresh independent event of
+    /// probability `p`. Returns the event variable for reuse.
+    pub fn assert_concept_prob(
+        &mut self,
+        ind: IndividualId,
+        concept: &str,
+        p: f64,
+    ) -> Result<VarId> {
+        let c = self.voc.concept(concept);
+        let var = self.fresh_var(&format!("c:{}:{}", concept, self.voc.individual_name(ind)), p)?;
+        let event = self.universe.bool_event(var)?;
+        self.abox.assert_concept(ind, c, event);
+        Ok(var)
+    }
+
+    /// Asserts `(src, dst) : role` with certainty.
+    pub fn assert_role(&mut self, src: IndividualId, role: &str, dst: IndividualId) {
+        let r = self.voc.role(role);
+        self.abox.assert_role(src, r, dst, EventExpr::True);
+    }
+
+    /// Asserts `(src, dst) : role` under a fresh independent event of
+    /// probability `p`. Returns the event variable for reuse.
+    pub fn assert_role_prob(
+        &mut self,
+        src: IndividualId,
+        role: &str,
+        dst: IndividualId,
+        p: f64,
+    ) -> Result<VarId> {
+        let r = self.voc.role(role);
+        let var = self.fresh_var(
+            &format!(
+                "r:{}:{}:{}",
+                role,
+                self.voc.individual_name(src),
+                self.voc.individual_name(dst)
+            ),
+            p,
+        )?;
+        let event = self.universe.bool_event(var)?;
+        self.abox.assert_role(src, r, dst, event);
+        Ok(var)
+    }
+
+    /// Asserts `ind : concept` under an explicit event expression (for
+    /// correlated uncertainty such as mutually exclusive alternatives).
+    pub fn assert_concept_event(&mut self, ind: IndividualId, concept: &str, event: EventExpr) {
+        let c = self.voc.concept(concept);
+        self.abox.assert_concept(ind, c, event);
+    }
+
+    /// Asserts `(src, dst) : role` under an explicit event expression.
+    pub fn assert_role_event(
+        &mut self,
+        src: IndividualId,
+        role: &str,
+        dst: IndividualId,
+        event: EventExpr,
+    ) {
+        let r = self.voc.role(role);
+        self.abox.assert_role(src, r, dst, event);
+    }
+
+    /// A reasoner over this KB (TBox-aware).
+    pub fn reasoner(&self) -> Reasoner<'_> {
+        Reasoner::with_tbox(&self.abox, &self.tbox)
+    }
+
+    fn fresh_var(&mut self, base: &str, p: f64) -> Result<VarId> {
+        // Assertion events need unique variable names; suffix with a counter
+        // when the natural name is taken (e.g. repeated assertions).
+        let mut name = base.to_string();
+        let mut i = 0;
+        while self.universe.var(&name).is_some() {
+            i += 1;
+            name = format!("{base}~{i}");
+        }
+        Ok(self.universe.add_bool(&name, p)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capra_events::Evaluator;
+
+    #[test]
+    fn certain_and_probabilistic_assertions() {
+        let mut kb = Kb::new();
+        let oprah = kb.individual("Oprah");
+        let hi = kb.individual("HumanInterest");
+        kb.assert_concept(oprah, "TvProgram");
+        kb.assert_role_prob(oprah, "hasGenre", hi, 0.85).unwrap();
+
+        let query = kb
+            .parse("TvProgram AND EXISTS hasGenre.{HumanInterest}")
+            .unwrap();
+        let membership = kb.reasoner().membership(oprah, &query);
+        let mut ev = Evaluator::new(&kb.universe);
+        assert!((ev.prob(&membership) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fresh_var_names_never_collide() {
+        let mut kb = Kb::new();
+        let x = kb.individual("x");
+        let v1 = kb.assert_concept_prob(x, "C", 0.5).unwrap();
+        let v2 = kb.assert_concept_prob(x, "C", 0.5).unwrap();
+        assert_ne!(v1, v2);
+        // Membership is the disjunction of the two assertion events.
+        let c = kb.parse("C").unwrap();
+        let membership = kb.reasoner().membership(x, &c);
+        let mut ev = Evaluator::new(&kb.universe);
+        assert!((ev.prob(&membership) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_events_support_correlation() {
+        let mut kb = Kb::new();
+        let user = kb.individual("peter");
+        let kitchen = kb.individual("Kitchen");
+        let lounge = kb.individual("Lounge");
+        let room = kb.universe.add_choice("room", &[0.7, 0.3]).unwrap();
+        let in_kitchen = kb.universe.atom(room, 0).unwrap();
+        let in_lounge = kb.universe.atom(room, 1).unwrap();
+        kb.assert_role_event(user, "inRoom", kitchen, in_kitchen);
+        kb.assert_role_event(user, "inRoom", lounge, in_lounge);
+
+        let both = kb
+            .parse("EXISTS inRoom.{Kitchen} AND EXISTS inRoom.{Lounge}")
+            .unwrap();
+        let membership = kb.reasoner().membership(user, &both);
+        let mut ev = Evaluator::new(&kb.universe);
+        assert_eq!(ev.prob(&membership), 0.0, "rooms are mutually exclusive");
+    }
+}

@@ -1,0 +1,172 @@
+//! Group ranking — the paper's "Modeling multiple users" future-work item.
+//!
+//! *"In some cases we might have to deal with ranking results for multiple
+//! users (for example if multiple users want to watch TV together). We
+//! conjecture that this could be naturally addressed with the model
+//! presented here."* The conjecture holds: each user's
+//! `P(D=d | U=u_sit)` is a probability, and standard group-recommendation
+//! aggregation applies directly.
+
+use std::collections::BTreeMap;
+
+use capra_dl::IndividualId;
+
+use crate::engines::DocScore;
+use crate::{CoreError, Result};
+
+/// How to combine per-user ideal-document probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupStrategy {
+    /// Product of probabilities: the document every user would pick
+    /// independently ("unanimity"; the natural probabilistic reading — the
+    /// event that d is ideal for *everyone*, treating users as independent).
+    Product,
+    /// Weighted arithmetic mean; weights are normalised. Use equal weights
+    /// via [`GroupStrategy::average`].
+    WeightedAverage(Vec<f64>),
+    /// Minimum across users ("least misery": nobody hates the choice).
+    LeastMisery,
+    /// Maximum across users ("most pleasure": someone loves the choice).
+    MostPleasure,
+}
+
+impl GroupStrategy {
+    /// Equal-weight average over `n` users.
+    pub fn average(n: usize) -> Self {
+        GroupStrategy::WeightedAverage(vec![1.0; n])
+    }
+}
+
+/// Combines per-user score lists into group scores.
+///
+/// Every user must have scored the same documents (any order); a document
+/// missing from some user's list is an error, not a silent zero.
+pub fn group_scores(
+    per_user: &[Vec<DocScore>],
+    strategy: &GroupStrategy,
+) -> Result<Vec<DocScore>> {
+    let Some(first) = per_user.first() else {
+        return Ok(Vec::new());
+    };
+    if let GroupStrategy::WeightedAverage(w) = strategy {
+        if w.len() != per_user.len() {
+            return Err(CoreError::Ranking(format!(
+                "{} weights for {} users",
+                w.len(),
+                per_user.len()
+            )));
+        }
+        if w.iter().any(|&x| x < 0.0) || w.iter().sum::<f64>() <= 0.0 {
+            return Err(CoreError::Ranking(
+                "weights must be non-negative with a positive sum".into(),
+            ));
+        }
+    }
+    let mut tables: Vec<BTreeMap<IndividualId, f64>> = Vec::with_capacity(per_user.len());
+    for scores in per_user {
+        let table: BTreeMap<IndividualId, f64> =
+            scores.iter().map(|s| (s.doc, s.score)).collect();
+        if table.len() != first.len() {
+            return Err(CoreError::Ranking(
+                "users scored different document sets".into(),
+            ));
+        }
+        tables.push(table);
+    }
+    let mut out = Vec::with_capacity(first.len());
+    for s in first {
+        let mut values = Vec::with_capacity(per_user.len());
+        for table in &tables {
+            let v = table.get(&s.doc).ok_or_else(|| {
+                CoreError::Ranking(format!("document {:?} missing for some user", s.doc))
+            })?;
+            values.push(*v);
+        }
+        let score = match strategy {
+            GroupStrategy::Product => values.iter().product(),
+            GroupStrategy::WeightedAverage(w) => {
+                let total: f64 = w.iter().sum();
+                values
+                    .iter()
+                    .zip(w)
+                    .map(|(v, wi)| v * wi)
+                    .sum::<f64>()
+                    / total
+            }
+            GroupStrategy::LeastMisery => values.iter().copied().fold(f64::INFINITY, f64::min),
+            GroupStrategy::MostPleasure => values.iter().copied().fold(0.0, f64::max),
+        };
+        out.push(DocScore { doc: s.doc, score });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kb;
+
+    fn fixture() -> (Vec<IndividualId>, Vec<Vec<DocScore>>) {
+        let mut kb = Kb::new();
+        let a = kb.individual("a");
+        let b = kb.individual("b");
+        let user1 = vec![
+            DocScore { doc: a, score: 0.8 },
+            DocScore { doc: b, score: 0.4 },
+        ];
+        // Different order on purpose.
+        let user2 = vec![
+            DocScore { doc: b, score: 0.9 },
+            DocScore { doc: a, score: 0.5 },
+        ];
+        (vec![a, b], vec![user1, user2])
+    }
+
+    #[test]
+    fn strategies_compute_expected_values() {
+        let (docs, per_user) = fixture();
+        let (a, b) = (docs[0], docs[1]);
+
+        let product = group_scores(&per_user, &GroupStrategy::Product).unwrap();
+        assert!((product[0].score - 0.4).abs() < 1e-12); // a: 0.8·0.5
+        assert!((product[1].score - 0.36).abs() < 1e-12); // b: 0.4·0.9
+
+        let avg = group_scores(&per_user, &GroupStrategy::average(2)).unwrap();
+        assert!((avg[0].score - 0.65).abs() < 1e-12);
+        assert!((avg[1].score - 0.65).abs() < 1e-12);
+
+        let weighted =
+            group_scores(&per_user, &GroupStrategy::WeightedAverage(vec![3.0, 1.0])).unwrap();
+        assert!((weighted[0].score - (0.8 * 0.75 + 0.5 * 0.25)).abs() < 1e-12);
+
+        let misery = group_scores(&per_user, &GroupStrategy::LeastMisery).unwrap();
+        assert_eq!(
+            misery.iter().find(|s| s.doc == a).unwrap().score,
+            0.5
+        );
+        let pleasure = group_scores(&per_user, &GroupStrategy::MostPleasure).unwrap();
+        assert_eq!(
+            pleasure.iter().find(|s| s.doc == b).unwrap().score,
+            0.9
+        );
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (_, per_user) = fixture();
+        assert!(matches!(
+            group_scores(&per_user, &GroupStrategy::WeightedAverage(vec![1.0])),
+            Err(CoreError::Ranking(_))
+        ));
+        assert!(matches!(
+            group_scores(&per_user, &GroupStrategy::WeightedAverage(vec![0.0, 0.0])),
+            Err(CoreError::Ranking(_))
+        ));
+        let mismatched = vec![per_user[0].clone(), per_user[1][..1].to_vec()];
+        assert!(matches!(
+            group_scores(&mismatched, &GroupStrategy::Product),
+            Err(CoreError::Ranking(_))
+        ));
+        assert!(group_scores(&[], &GroupStrategy::Product).unwrap().is_empty());
+    }
+}

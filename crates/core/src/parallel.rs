@@ -1,0 +1,124 @@
+//! Parallel scoring across documents.
+//!
+//! The scoring formula is embarrassingly parallel over documents; this
+//! module shards the document list over scoped threads (crossbeam). The
+//! trade-off is that per-run caches (the lineage engine's expectation memo)
+//! are per-shard instead of shared — the ablation benchmark quantifies it.
+
+use capra_dl::IndividualId;
+
+use crate::engines::{DocScore, ScoringEngine};
+use crate::{Result, ScoringEnv};
+
+/// Scores documents on `threads` worker threads, preserving input order.
+///
+/// Falls back to the sequential path for a single thread or tiny inputs.
+pub fn score_all_parallel<E>(
+    engine: &E,
+    env: &ScoringEnv<'_>,
+    docs: &[IndividualId],
+    threads: usize,
+) -> Result<Vec<DocScore>>
+where
+    E: ScoringEngine + Sync,
+{
+    let threads = threads.max(1).min(docs.len().max(1));
+    if threads == 1 {
+        return engine.score_all(env, docs);
+    }
+    let chunk = docs.len().div_ceil(threads);
+    let results = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = docs
+            .chunks(chunk)
+            .map(|shard| scope.spawn(move |_| engine.score_all(env, shard)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scoring worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("crossbeam scope");
+    let mut out = Vec::with_capacity(docs.len());
+    for shard in results {
+        out.extend(shard?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FactorizedEngine, Kb, LineageEngine, PreferenceRule, RuleRepository, Score};
+
+    fn fixture(n_docs: usize) -> (Kb, RuleRepository, IndividualId, Vec<IndividualId>) {
+        let mut kb = Kb::new();
+        let user = kb.individual("u");
+        kb.assert_concept(user, "Ctx");
+        let docs: Vec<_> = (0..n_docs)
+            .map(|i| {
+                let d = kb.individual(&format!("d{i}"));
+                kb.assert_concept_prob(d, "Nice", 0.1 + 0.8 * (i as f64 / n_docs as f64))
+                    .unwrap();
+                d
+            })
+            .collect();
+        let mut rules = RuleRepository::new();
+        rules
+            .add(PreferenceRule::new(
+                "R",
+                kb.parse("Ctx").unwrap(),
+                kb.parse("Nice").unwrap(),
+                Score::new(0.75).unwrap(),
+            ))
+            .unwrap();
+        (kb, rules, user, docs)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (kb, rules, user, docs) = fixture(37);
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        for engine_threads in [1, 2, 4, 16] {
+            let seq = FactorizedEngine::new().score_all(&env, &docs).unwrap();
+            let par =
+                score_all_parallel(&FactorizedEngine::new(), &env, &docs, engine_threads)
+                    .unwrap();
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.doc, b.doc, "order preserved");
+                assert!((a.score - b.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lineage_engine_is_shardable() {
+        let (kb, rules, user, docs) = fixture(8);
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let seq = LineageEngine::new().score_all(&env, &docs).unwrap();
+        let par = score_all_parallel(&LineageEngine::new(), &env, &docs, 3).unwrap();
+        for (a, b) in seq.iter().zip(&par) {
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let (kb, rules, user, _) = fixture(1);
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let out = score_all_parallel(&FactorizedEngine::new(), &env, &[], 4).unwrap();
+        assert!(out.is_empty());
+    }
+}

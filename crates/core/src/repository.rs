@@ -1,0 +1,215 @@
+use std::fmt::Write as _;
+
+use capra_dl::{parse_concept, Vocabulary};
+
+use crate::{CoreError, PreferenceRule, Result, Score};
+
+/// A named collection of scored preference rules — the paper's *repository
+/// table* ("All preference rules together are stored as rows in a repository
+/// table consisting of the name of the preference view, the name of the
+/// context view, and the score of the rule").
+///
+/// The repository also defines a line-oriented text format for persisting
+/// rule sets:
+///
+/// ```text
+/// # TVTouch rules for Peter
+/// R1 | Weekend   | TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST} | 0.8
+/// R2 | Breakfast | TvProgram AND EXISTS hasSubject.{News}         | 0.9
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RuleRepository {
+    rules: Vec<PreferenceRule>,
+}
+
+impl RuleRepository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rule; names must be unique.
+    pub fn add(&mut self, rule: PreferenceRule) -> Result<()> {
+        if self.rules.iter().any(|r| r.name == rule.name) {
+            return Err(CoreError::DuplicateRule(rule.name));
+        }
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// Removes a rule by name.
+    pub fn remove(&mut self, name: &str) -> Result<PreferenceRule> {
+        match self.rules.iter().position(|r| r.name == name) {
+            Some(i) => Ok(self.rules.remove(i)),
+            None => Err(CoreError::UnknownRule(name.to_string())),
+        }
+    }
+
+    /// Looks a rule up by name.
+    pub fn get(&self, name: &str) -> Option<&PreferenceRule> {
+        self.rules.iter().find(|r| r.name == name)
+    }
+
+    /// All rules in insertion order.
+    pub fn rules(&self) -> &[PreferenceRule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if there are no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Parses the text format (see type docs). `#` starts a comment; blank
+    /// lines are ignored. Concept names are interned into `voc`.
+    pub fn from_text(text: &str, voc: &mut Vocabulary) -> Result<Self> {
+        let mut repo = Self::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = match raw.find('#') {
+                Some(p) => &raw[..p],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.split('|').map(str::trim).collect();
+            let [name, context, preference, sigma] = parts.as_slice() else {
+                return Err(CoreError::RuleFormat {
+                    line: line_no,
+                    message: format!(
+                        "expected `name | context | preference | sigma`, found {} field(s)",
+                        parts.len()
+                    ),
+                });
+            };
+            if name.is_empty() {
+                return Err(CoreError::RuleFormat {
+                    line: line_no,
+                    message: "empty rule name".into(),
+                });
+            }
+            let context = parse_concept(context, voc).map_err(|e| CoreError::RuleFormat {
+                line: line_no,
+                message: format!("bad context: {e}"),
+            })?;
+            let preference =
+                parse_concept(preference, voc).map_err(|e| CoreError::RuleFormat {
+                    line: line_no,
+                    message: format!("bad preference: {e}"),
+                })?;
+            let sigma = sigma
+                .parse::<f64>()
+                .map_err(|_| CoreError::RuleFormat {
+                    line: line_no,
+                    message: format!("bad sigma `{sigma}`"),
+                })
+                .and_then(Score::new)?;
+            repo.add(PreferenceRule::new(*name, context, preference, sigma))?;
+        }
+        Ok(repo)
+    }
+
+    /// Serialises to the text format; round-trips through
+    /// [`RuleRepository::from_text`].
+    pub fn to_text(&self, voc: &Vocabulary) -> String {
+        let mut out = String::new();
+        for rule in &self.rules {
+            let _ = writeln!(out, "{}", rule.display(voc));
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a RuleRepository {
+    type Item = &'a PreferenceRule;
+    type IntoIter = std::slice::Iter<'a, PreferenceRule>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rules.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_RULES: &str = "\
+# The paper's Section 4 rules.
+R1 | Weekend   | TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST} | 0.8
+R2 | Breakfast | TvProgram AND EXISTS hasSubject.{News}         | 0.9
+";
+
+    #[test]
+    fn parse_paper_rules() {
+        let mut voc = Vocabulary::new();
+        let repo = RuleRepository::from_text(PAPER_RULES, &mut voc).unwrap();
+        assert_eq!(repo.len(), 2);
+        let r1 = repo.get("R1").unwrap();
+        assert!((r1.sigma.get() - 0.8).abs() < 1e-12);
+        assert!(repo.get("R3").is_none());
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut voc = Vocabulary::new();
+        let repo = RuleRepository::from_text(PAPER_RULES, &mut voc).unwrap();
+        let text = repo.to_text(&voc);
+        let reparsed = RuleRepository::from_text(&text, &mut voc).unwrap();
+        assert_eq!(repo.rules(), reparsed.rules());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut voc = Vocabulary::new();
+        let text = "R | A | B | 0.5\nR | C | D | 0.6\n";
+        assert!(matches!(
+            RuleRepository::from_text(text, &mut voc),
+            Err(CoreError::DuplicateRule(_))
+        ));
+    }
+
+    #[test]
+    fn format_errors_carry_line_numbers() {
+        let mut voc = Vocabulary::new();
+        for (text, needle) in [
+            ("R | A | B", "field"),
+            ("R | A ?? | B | 0.5", "bad context"),
+            ("R | A | B ?? | 0.5", "bad preference"),
+            ("R | A | B | huge", "bad sigma"),
+            (" | A | B | 0.5", "empty rule name"),
+        ] {
+            let err = RuleRepository::from_text(text, &mut voc).unwrap_err();
+            let CoreError::RuleFormat { line, message } = &err else {
+                panic!("expected format error for `{text}`, got {err}")
+            };
+            assert_eq!(*line, 1);
+            assert!(message.contains(needle), "`{message}` ~ `{needle}`");
+        }
+        // Out-of-range sigma is a BadScore error.
+        assert!(matches!(
+            RuleRepository::from_text("R | A | B | 1.5", &mut voc),
+            Err(CoreError::BadScore(_))
+        ));
+    }
+
+    #[test]
+    fn remove_and_iterate() {
+        let mut voc = Vocabulary::new();
+        let mut repo = RuleRepository::from_text(PAPER_RULES, &mut voc).unwrap();
+        assert_eq!((&repo).into_iter().count(), 2);
+        let removed = repo.remove("R1").unwrap();
+        assert_eq!(removed.name, "R1");
+        assert_eq!(repo.len(), 1);
+        assert!(matches!(
+            repo.remove("R1"),
+            Err(CoreError::UnknownRule(_))
+        ));
+    }
+}

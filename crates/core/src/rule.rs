@@ -1,0 +1,163 @@
+use std::fmt;
+
+use capra_dl::{Concept, Vocabulary};
+
+use crate::{CoreError, Result};
+
+/// A probability-like score in `[0, 1]`, validated at construction.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Score(f64);
+
+impl Score {
+    /// Creates a score, rejecting values outside `[0, 1]` (or NaN).
+    pub fn new(value: f64) -> Result<Self> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Score(value))
+        } else {
+            Err(CoreError::BadScore(value))
+        }
+    }
+
+    /// The raw value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The complementary score `1 − σ`.
+    pub fn complement(self) -> Score {
+        Score(1.0 - self.0)
+    }
+}
+
+impl fmt::Display for Score {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A **scored preference rule** `(Context, Preference, σ)` — the paper's
+/// Section 4.1 construct.
+///
+/// Semantics of `σ` (quoting the paper): *the probability that whenever we
+/// take a random context in the past [matching `context`], if the user was
+/// able to choose a document [matching `preference`], the chance that he
+/// would actually choose such a document was σ.*
+///
+/// Example (the paper's rule R1):
+///
+/// ```
+/// use capra_core::{PreferenceRule, Score};
+/// use capra_dl::{parse_concept, Vocabulary};
+///
+/// let mut voc = Vocabulary::new();
+/// let rule = PreferenceRule::new(
+///     "R1",
+///     parse_concept("Weekend", &mut voc).unwrap(),
+///     parse_concept("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}", &mut voc).unwrap(),
+///     Score::new(0.8).unwrap(),
+/// );
+/// assert_eq!(rule.name, "R1");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreferenceRule {
+    /// Identifier, unique within a repository.
+    pub name: String,
+    /// The context concept: when does this rule apply?
+    pub context: Concept,
+    /// The preference concept: which documents does it prefer?
+    pub preference: Concept,
+    /// The score σ.
+    pub sigma: Score,
+}
+
+impl PreferenceRule {
+    /// Creates a rule.
+    pub fn new(
+        name: impl Into<String>,
+        context: Concept,
+        preference: Concept,
+        sigma: Score,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            context,
+            preference,
+            sigma,
+        }
+    }
+
+    /// A *default rule*: applies in every context (context = ⊤). The paper
+    /// suggests default rules so that querying contexts not covered by any
+    /// rule still get meaningful probabilities.
+    pub fn default_rule(
+        name: impl Into<String>,
+        preference: Concept,
+        sigma: Score,
+    ) -> Self {
+        Self::new(name, Concept::Top, preference, sigma)
+    }
+
+    /// Renders the rule in the repository text format
+    /// (`name | context | preference | sigma`).
+    pub fn display<'a>(&'a self, voc: &'a Vocabulary) -> DisplayRule<'a> {
+        DisplayRule { rule: self, voc }
+    }
+}
+
+/// Helper returned by [`PreferenceRule::display`].
+pub struct DisplayRule<'a> {
+    rule: &'a PreferenceRule,
+    voc: &'a Vocabulary,
+}
+
+impl fmt::Display for DisplayRule<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | {} | {} | {}",
+            self.rule.name,
+            self.rule.context.display(self.voc),
+            self.rule.preference.display(self.voc),
+            self.rule.sigma
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capra_dl::parse_concept;
+
+    #[test]
+    fn score_validation() {
+        assert!(Score::new(0.0).is_ok());
+        assert!(Score::new(1.0).is_ok());
+        assert!(Score::new(0.8).is_ok());
+        assert!(matches!(Score::new(1.1), Err(CoreError::BadScore(_))));
+        assert!(matches!(Score::new(-0.1), Err(CoreError::BadScore(_))));
+        assert!(matches!(Score::new(f64::NAN), Err(CoreError::BadScore(_))));
+        assert!((Score::new(0.8).unwrap().complement().get() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_rule_has_top_context() {
+        let mut voc = Vocabulary::new();
+        let pref = parse_concept("TvProgram", &mut voc).unwrap();
+        let r = PreferenceRule::default_rule("D", pref, Score::new(0.5).unwrap());
+        assert_eq!(r.context, Concept::Top);
+    }
+
+    #[test]
+    fn display_round_trips_through_repository_format() {
+        let mut voc = Vocabulary::new();
+        let rule = PreferenceRule::new(
+            "R2",
+            parse_concept("Breakfast", &mut voc).unwrap(),
+            parse_concept("TvProgram AND EXISTS hasSubject.{News}", &mut voc).unwrap(),
+            Score::new(0.9).unwrap(),
+        );
+        let line = rule.display(&voc).to_string();
+        assert!(line.starts_with("R2 | Breakfast | "));
+        assert!(line.ends_with("| 0.9"));
+    }
+}

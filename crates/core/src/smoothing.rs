@@ -1,0 +1,233 @@
+//! Blending query relevance with context relevance — the paper's
+//! "Evaluation of ranking" discussion item.
+//!
+//! Equation (3) factors relevance into a query-dependent part
+//! `P(Q=q | D=d ∧ U=usit)` and the query-independent context score
+//! `P(D=d | U=usit)`. The naive implementation takes the query-dependent
+//! part as binary (*"either 1, if the tuple was contained in the user
+//! query, or 0 if it was not"*) and the paper suggests exploring *"the
+//! weighting of the query-independent and query-dependent part of equation
+//! (3), using smoothing methods"*. This module provides that weighting:
+//!
+//! * [`Smoothing::JelinekMercer`] — the classic linear interpolation
+//!   `λ·query + (1−λ)·context` (in probability space, after both parts are
+//!   normalised to `[0,1]`);
+//! * [`Smoothing::LogLinear`] — a log-linear mixture
+//!   `query^λ · context^(1−λ)`, the geometric counterpart, which preserves
+//!   the multiplicative reading of equation (3) (λ = 0.5 is the plain
+//!   product up to an exponent);
+//! * [`Smoothing::Product`] — the un-smoothed equation (3): the strict
+//!   product, reproducing the paper's naive behaviour when the query part
+//!   is 0/1.
+
+use capra_dl::IndividualId;
+
+use crate::engines::DocScore;
+use crate::{CoreError, Result};
+
+/// A query-dependent relevance value for a document, in `[0, 1]`.
+/// The binary membership of the paper's naive implementation is the special
+/// case `0.0` / `1.0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryRelevance {
+    /// The document.
+    pub doc: IndividualId,
+    /// `P(Q=q | D=d ∧ U=usit)`, normalised to `[0, 1]`.
+    pub relevance: f64,
+}
+
+/// How to combine the two parts of equation (3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Smoothing {
+    /// Strict product — the paper's equation (3) as-is.
+    Product,
+    /// Jelinek–Mercer linear interpolation with weight `λ` on the
+    /// query-dependent part (`λ ∈ [0, 1]`).
+    JelinekMercer(f64),
+    /// Log-linear (geometric) mixture with weight `λ` on the
+    /// query-dependent part (`λ ∈ [0, 1]`).
+    LogLinear(f64),
+}
+
+impl Smoothing {
+    fn lambda(self) -> Result<Option<f64>> {
+        let l = match self {
+            Smoothing::Product => return Ok(None),
+            Smoothing::JelinekMercer(l) | Smoothing::LogLinear(l) => l,
+        };
+        if (0.0..=1.0).contains(&l) {
+            Ok(Some(l))
+        } else {
+            Err(CoreError::Ranking(format!(
+                "smoothing weight λ={l} outside [0, 1]"
+            )))
+        }
+    }
+
+    /// Combines one pair of scores.
+    pub fn combine(self, query: f64, context: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&query) {
+            return Err(CoreError::Ranking(format!(
+                "query relevance {query} outside [0, 1]"
+            )));
+        }
+        Ok(match self {
+            Smoothing::Product => query * context,
+            Smoothing::JelinekMercer(_) => {
+                let l = self.lambda()?.expect("non-product");
+                l * query + (1.0 - l) * context
+            }
+            Smoothing::LogLinear(_) => {
+                let l = self.lambda()?.expect("non-product");
+                query.powf(l) * context.powf(1.0 - l)
+            }
+        })
+    }
+}
+
+/// Blends per-document query relevances with context scores.
+///
+/// Both lists must cover the same documents; the output is in the order of
+/// `context_scores` and is *not* sorted (use [`crate::rank`]).
+pub fn blend(
+    query: &[QueryRelevance],
+    context_scores: &[DocScore],
+    smoothing: Smoothing,
+) -> Result<Vec<DocScore>> {
+    smoothing.lambda()?; // validate once up front
+    let by_doc: std::collections::BTreeMap<IndividualId, f64> =
+        query.iter().map(|q| (q.doc, q.relevance)).collect();
+    context_scores
+        .iter()
+        .map(|s| {
+            let q = by_doc.get(&s.doc).copied().ok_or_else(|| {
+                CoreError::Ranking(format!("no query relevance for document {:?}", s.doc))
+            })?;
+            Ok(DocScore {
+                doc: s.doc,
+                score: smoothing.combine(q, s.score)?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kb;
+
+    fn fixture() -> (Vec<QueryRelevance>, Vec<DocScore>) {
+        let mut kb = Kb::new();
+        let a = kb.individual("a");
+        let b = kb.individual("b");
+        let query = vec![
+            QueryRelevance {
+                doc: a,
+                relevance: 1.0,
+            },
+            QueryRelevance {
+                doc: b,
+                relevance: 0.0,
+            },
+        ];
+        let context = vec![
+            DocScore { doc: a, score: 0.3 },
+            DocScore { doc: b, score: 0.9 },
+        ];
+        (query, context)
+    }
+
+    #[test]
+    fn product_reproduces_naive_binary_behaviour() {
+        let (query, context) = fixture();
+        let out = blend(&query, &context, Smoothing::Product).unwrap();
+        // In the paper's naive implementation a tuple outside the query
+        // result has final relevance 0 regardless of context.
+        assert_eq!(out[0].score, 0.3);
+        assert_eq!(out[1].score, 0.0);
+    }
+
+    #[test]
+    fn jelinek_mercer_interpolates_linearly() {
+        let (query, context) = fixture();
+        let out = blend(&query, &context, Smoothing::JelinekMercer(0.25)).unwrap();
+        assert!((out[0].score - (0.25 * 1.0 + 0.75 * 0.3)).abs() < 1e-12);
+        assert!((out[1].score - 0.75 * 0.9).abs() < 1e-12);
+        // λ = 1 is pure query relevance; λ = 0 pure context.
+        let pure_q = blend(&query, &context, Smoothing::JelinekMercer(1.0)).unwrap();
+        assert_eq!(pure_q[0].score, 1.0);
+        assert_eq!(pure_q[1].score, 0.0);
+        let pure_c = blend(&query, &context, Smoothing::JelinekMercer(0.0)).unwrap();
+        assert_eq!(pure_c[0].score, 0.3);
+        assert_eq!(pure_c[1].score, 0.9);
+    }
+
+    #[test]
+    fn log_linear_is_geometric() {
+        let (query, context) = fixture();
+        let out = blend(&query, &context, Smoothing::LogLinear(0.5)).unwrap();
+        assert!((out[0].score - (1.0f64 * 0.3).sqrt()).abs() < 1e-12);
+        assert_eq!(out[1].score, 0.0, "zero query relevance annihilates");
+    }
+
+    #[test]
+    fn smoothing_can_rescue_near_misses() {
+        // The point of smoothing: a high-context document slightly outside
+        // the query can outrank a low-context document inside it.
+        let mut kb = Kb::new();
+        let inside = kb.individual("inside");
+        let outside = kb.individual("outside");
+        let query = vec![
+            QueryRelevance {
+                doc: inside,
+                relevance: 1.0,
+            },
+            QueryRelevance {
+                doc: outside,
+                relevance: 0.6, // partial match
+            },
+        ];
+        let context = vec![
+            DocScore {
+                doc: inside,
+                score: 0.05,
+            },
+            DocScore {
+                doc: outside,
+                score: 0.95,
+            },
+        ];
+        // λ controls which part dominates: query-heavy smoothing keeps the
+        // exact match on top, context-heavy smoothing lets the context
+        // rescue the partial match.
+        let query_heavy = blend(&query, &context, Smoothing::JelinekMercer(0.9)).unwrap();
+        assert!(
+            query_heavy[0].score > query_heavy[1].score,
+            "λ=0.9: {} vs {}",
+            query_heavy[0].score,
+            query_heavy[1].score
+        );
+        let context_heavy = blend(&query, &context, Smoothing::JelinekMercer(0.3)).unwrap();
+        assert!(
+            context_heavy[1].score > context_heavy[0].score,
+            "λ=0.3: {} vs {}",
+            context_heavy[0].score,
+            context_heavy[1].score
+        );
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (query, context) = fixture();
+        assert!(matches!(
+            blend(&query, &context, Smoothing::JelinekMercer(1.5)),
+            Err(CoreError::Ranking(_))
+        ));
+        assert!(matches!(
+            Smoothing::Product.combine(1.5, 0.5),
+            Err(CoreError::Ranking(_))
+        ));
+        let missing = blend(&query[..1], &context, Smoothing::Product);
+        assert!(matches!(missing, Err(CoreError::Ranking(_))));
+    }
+}

@@ -1,0 +1,226 @@
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use capra_events::EventExpr;
+
+use crate::{ConceptName, IndividualId, RoleName};
+
+/// A role assertion `(source, destination)` annotated with the event
+/// expression under which it holds — the paper's role table row
+/// `(SOURCE, DESTINATION, event expression)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleEdge {
+    /// Source individual.
+    pub src: IndividualId,
+    /// Destination individual.
+    pub dst: IndividualId,
+    /// Event expression under which the edge exists.
+    pub event: EventExpr,
+}
+
+/// An assertional knowledge base with uncertain assertions.
+///
+/// Mirrors the paper's naive implementation: each concept is a table of
+/// `(individual, event expression)` rows and each role a table of
+/// `(source, destination, event expression)` rows. The *domain* of the ABox
+/// (used for closed-world negation and ⊤) is the set of individuals that
+/// appear in any assertion plus any explicitly registered ones.
+#[derive(Debug, Clone, Default)]
+pub struct ABox {
+    concepts: HashMap<ConceptName, BTreeMap<IndividualId, EventExpr>>,
+    roles: HashMap<RoleName, Vec<RoleEdge>>,
+    domain: BTreeSet<IndividualId>,
+}
+
+impl ABox {
+    /// Creates an empty ABox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an individual in the domain without asserting anything
+    /// about it (it will then be an instance of ⊤ and of closed-world
+    /// negations).
+    pub fn register_individual(&mut self, ind: IndividualId) {
+        self.domain.insert(ind);
+    }
+
+    /// Asserts `ind : concept` under `event`. Repeated assertions for the
+    /// same pair are combined disjunctively (the membership holds if any of
+    /// the asserted events happens).
+    pub fn assert_concept(&mut self, ind: IndividualId, concept: ConceptName, event: EventExpr) {
+        self.domain.insert(ind);
+        if event.is_false() {
+            return;
+        }
+        let slot = self
+            .concepts
+            .entry(concept)
+            .or_default()
+            .entry(ind)
+            .or_insert(EventExpr::False);
+        *slot = EventExpr::or([slot.clone(), event]);
+    }
+
+    /// Asserts `(src, dst) : role` under `event`.
+    ///
+    /// The destination joins the domain too: nominals reference genre/subject
+    /// individuals that often carry no concept assertions of their own.
+    pub fn assert_role(
+        &mut self,
+        src: IndividualId,
+        role: RoleName,
+        dst: IndividualId,
+        event: EventExpr,
+    ) {
+        self.domain.insert(src);
+        self.domain.insert(dst);
+        if event.is_false() {
+            return;
+        }
+        self.roles
+            .entry(role)
+            .or_default()
+            .push(RoleEdge { src, dst, event });
+    }
+
+    /// The closed-world domain of the ABox.
+    pub fn domain(&self) -> &BTreeSet<IndividualId> {
+        &self.domain
+    }
+
+    /// Membership rows of an atomic concept (empty if never asserted).
+    pub fn concept_rows(&self, concept: ConceptName) -> impl Iterator<Item = (IndividualId, &EventExpr)> {
+        self.concepts
+            .get(&concept)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(&i, e)| (i, e)))
+    }
+
+    /// The event under which `ind : concept`, `False` if never asserted.
+    pub fn concept_event(&self, ind: IndividualId, concept: ConceptName) -> EventExpr {
+        self.concepts
+            .get(&concept)
+            .and_then(|m| m.get(&ind))
+            .cloned()
+            .unwrap_or(EventExpr::False)
+    }
+
+    /// All edges of a role.
+    pub fn role_edges(&self, role: RoleName) -> &[RoleEdge] {
+        self.roles.get(&role).map_or(&[], Vec::as_slice)
+    }
+
+    /// Edges of a role leaving `src`.
+    pub fn role_edges_from(
+        &self,
+        role: RoleName,
+        src: IndividualId,
+    ) -> impl Iterator<Item = &RoleEdge> {
+        self.role_edges(role).iter().filter(move |e| e.src == src)
+    }
+
+    /// Concept names that have at least one assertion.
+    pub fn concepts(&self) -> impl Iterator<Item = ConceptName> + '_ {
+        self.concepts.keys().copied()
+    }
+
+    /// Role names that have at least one assertion.
+    pub fn roles(&self) -> impl Iterator<Item = RoleName> + '_ {
+        self.roles.keys().copied()
+    }
+
+    /// Number of concept assertions plus role assertions (the paper reports
+    /// its test database size in tuples; this is the same measure).
+    pub fn num_tuples(&self) -> usize {
+        let c: usize = self.concepts.values().map(BTreeMap::len).sum();
+        let r: usize = self.roles.values().map(Vec::len).sum();
+        c + r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vocabulary;
+    use capra_events::Universe;
+
+    #[test]
+    fn assertions_build_domain() {
+        let mut voc = Vocabulary::new();
+        let mut abox = ABox::new();
+        let program = voc.concept("TvProgram");
+        let genre = voc.role("hasGenre");
+        let (oprah, hi, lonely) = (
+            voc.individual("Oprah"),
+            voc.individual("HumanInterest"),
+            voc.individual("Lonely"),
+        );
+        abox.assert_concept(oprah, program, EventExpr::True);
+        abox.assert_role(oprah, genre, hi, EventExpr::True);
+        abox.register_individual(lonely);
+        assert_eq!(abox.domain().len(), 3);
+        assert_eq!(abox.num_tuples(), 2);
+    }
+
+    #[test]
+    fn duplicate_concept_assertions_disjoin() {
+        let mut voc = Vocabulary::new();
+        let mut u = Universe::new();
+        let mut abox = ABox::new();
+        let c = voc.concept("C");
+        let x = voc.individual("x");
+        let v1 = u01(&mut u, "e1", 0.5);
+        let v2 = u01(&mut u, "e2", 0.5);
+        let e1 = u.bool_event(v1).unwrap();
+        let e2 = u.bool_event(v2).unwrap();
+        abox.assert_concept(x, c, e1.clone());
+        abox.assert_concept(x, c, e2.clone());
+        assert_eq!(abox.concept_event(x, c), EventExpr::or([e1, e2]));
+    }
+
+    fn u01(u: &mut Universe, name: &str, p: f64) -> capra_events::VarId {
+        u.add_bool(name, p).unwrap()
+    }
+
+    #[test]
+    fn false_assertions_are_dropped() {
+        let mut voc = Vocabulary::new();
+        let mut abox = ABox::new();
+        let c = voc.concept("C");
+        let r = voc.role("r");
+        let x = voc.individual("x");
+        let y = voc.individual("y");
+        abox.assert_concept(x, c, EventExpr::False);
+        abox.assert_role(x, r, y, EventExpr::False);
+        assert_eq!(abox.concept_event(x, c), EventExpr::False);
+        assert!(abox.role_edges(r).is_empty());
+        // …but the individuals still joined the domain.
+        assert_eq!(abox.domain().len(), 2);
+    }
+
+    #[test]
+    fn unknown_lookups_are_empty() {
+        let mut voc = Vocabulary::new();
+        let abox = ABox::new();
+        let c = voc.concept("C");
+        let r = voc.role("r");
+        let x = voc.individual("x");
+        assert_eq!(abox.concept_rows(c).count(), 0);
+        assert!(abox.role_edges(r).is_empty());
+        assert_eq!(abox.concept_event(x, c), EventExpr::False);
+    }
+
+    #[test]
+    fn role_edges_from_filters_by_source() {
+        let mut voc = Vocabulary::new();
+        let mut abox = ABox::new();
+        let r = voc.role("r");
+        let (a, b, c) = (voc.individual("a"), voc.individual("b"), voc.individual("c"));
+        abox.assert_role(a, r, b, EventExpr::True);
+        abox.assert_role(a, r, c, EventExpr::True);
+        abox.assert_role(b, r, c, EventExpr::True);
+        assert_eq!(abox.role_edges_from(r, a).count(), 2);
+        assert_eq!(abox.role_edges_from(r, b).count(), 1);
+        assert_eq!(abox.role_edges_from(r, c).count(), 0);
+    }
+}

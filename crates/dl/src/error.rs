@@ -1,0 +1,52 @@
+use std::fmt;
+
+/// Errors raised by the DL layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DlError {
+    /// Syntax error while parsing a concept expression.
+    Parse {
+        /// Byte offset of the error in the input.
+        at: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A TBox definition would introduce a terminological cycle.
+    CyclicDefinition(String),
+    /// A concept name was defined twice in a TBox.
+    DuplicateDefinition(String),
+}
+
+impl fmt::Display for DlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlError::Parse { at, message } => {
+                write!(f, "concept syntax error at byte {at}: {message}")
+            }
+            DlError::CyclicDefinition(name) => {
+                write!(f, "TBox definition of `{name}` is cyclic")
+            }
+            DlError::DuplicateDefinition(name) => {
+                write!(f, "concept `{name}` is defined twice in the TBox")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_position() {
+        let e = DlError::Parse {
+            at: 7,
+            message: "expected concept".into(),
+        };
+        assert!(e.to_string().contains("byte 7"));
+        assert!(DlError::CyclicDefinition("Weekend".into())
+            .to_string()
+            .contains("Weekend"));
+    }
+}

@@ -1,0 +1,357 @@
+//! Text syntax for concept expressions.
+//!
+//! Grammar (case-insensitive keywords, `SOME`/`ONLY` accepted as synonyms
+//! for `EXISTS`/`FORALL`):
+//!
+//! ```text
+//! concept := conj ( OR conj )*
+//! conj    := unary ( AND unary )*
+//! unary   := NOT unary
+//!          | EXISTS role '.' unary
+//!          | FORALL role '.' unary
+//!          | primary
+//! primary := '(' concept ')'
+//!          | '{' name ( ',' name )* '}'
+//!          | TOP | BOTTOM
+//!          | name
+//! name    := [A-Za-z_][A-Za-z0-9_-]*
+//! ```
+//!
+//! Unknown names are interned into the supplied [`Vocabulary`]: bare names
+//! become atomic concepts, names inside `{…}` become individuals, and names
+//! after `EXISTS`/`FORALL` become roles. [`crate::Concept::display`] prints
+//! concepts back in this syntax, and the round-trip is property-tested.
+
+use crate::{Concept, DlError, Result, Vocabulary};
+
+/// Parses a concept expression, interning names into `voc`.
+pub fn parse_concept(input: &str, voc: &mut Vocabulary) -> Result<Concept> {
+    let tokens = lex(input)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        voc,
+        input_len: input.len(),
+    };
+    let concept = parser.concept()?;
+    parser.expect_end()?;
+    Ok(concept)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Name(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Dot,
+}
+
+/// A token with its byte offset (for error messages).
+type Spanned = (Tok, usize);
+
+fn lex(input: &str) -> Result<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' => {
+                out.push((Tok::LParen, i));
+                i += 1;
+            }
+            b')' => {
+                out.push((Tok::RParen, i));
+                i += 1;
+            }
+            b'{' => {
+                out.push((Tok::LBrace, i));
+                i += 1;
+            }
+            b'}' => {
+                out.push((Tok::RBrace, i));
+                i += 1;
+            }
+            b',' => {
+                out.push((Tok::Comma, i));
+                i += 1;
+            }
+            b'.' => {
+                out.push((Tok::Dot, i));
+                i += 1;
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'-')
+                {
+                    i += 1;
+                }
+                out.push((Tok::Name(input[start..i].to_string()), start));
+            }
+            other => {
+                return Err(DlError::Parse {
+                    at: i,
+                    message: format!("unexpected character `{}`", other as char),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'v> {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    voc: &'v mut Vocabulary,
+    input_len: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self) -> usize {
+        self.peek().map_or(self.input_len, |(_, at)| *at)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(DlError::Parse {
+            at: self.at(),
+            message: message.into(),
+        })
+    }
+
+    /// Is the next token the given (case-insensitive) keyword?
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some((Tok::Name(n), _)) if n.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn concept(&mut self) -> Result<Concept> {
+        let mut parts = vec![self.conj()?];
+        while self.eat_keyword("OR") {
+            parts.push(self.conj()?);
+        }
+        Ok(Concept::or(parts))
+    }
+
+    fn conj(&mut self) -> Result<Concept> {
+        let mut parts = vec![self.unary()?];
+        while self.eat_keyword("AND") {
+            parts.push(self.unary()?);
+        }
+        Ok(Concept::and(parts))
+    }
+
+    fn unary(&mut self) -> Result<Concept> {
+        if self.eat_keyword("NOT") {
+            return Ok(Concept::not(self.unary()?));
+        }
+        if self.eat_keyword("EXISTS") || self.eat_keyword("SOME") {
+            return self.restriction(true);
+        }
+        if self.eat_keyword("FORALL") || self.eat_keyword("ONLY") {
+            return self.restriction(false);
+        }
+        self.primary()
+    }
+
+    fn restriction(&mut self, existential: bool) -> Result<Concept> {
+        let role = match self.bump() {
+            Some((Tok::Name(n), _)) => self.voc.role(&n),
+            _ => return self.err("expected role name after EXISTS/FORALL"),
+        };
+        match self.bump() {
+            Some((Tok::Dot, _)) => {}
+            _ => return self.err("expected `.` after role name"),
+        }
+        let filler = self.unary()?;
+        Ok(if existential {
+            Concept::exists(role, filler)
+        } else {
+            Concept::forall(role, filler)
+        })
+    }
+
+    fn primary(&mut self) -> Result<Concept> {
+        match self.bump() {
+            Some((Tok::LParen, _)) => {
+                let inner = self.concept()?;
+                match self.bump() {
+                    Some((Tok::RParen, _)) => Ok(inner),
+                    _ => self.err("expected `)`"),
+                }
+            }
+            Some((Tok::LBrace, _)) => {
+                let mut inds = Vec::new();
+                loop {
+                    match self.bump() {
+                        Some((Tok::Name(n), _)) => inds.push(self.voc.individual(&n)),
+                        _ => return self.err("expected individual name inside `{…}`"),
+                    }
+                    match self.bump() {
+                        Some((Tok::Comma, _)) => continue,
+                        Some((Tok::RBrace, _)) => break,
+                        _ => return self.err("expected `,` or `}`"),
+                    }
+                }
+                Ok(Concept::one_of(inds))
+            }
+            Some((Tok::Name(n), _)) => {
+                if n.eq_ignore_ascii_case("TOP") {
+                    Ok(Concept::Top)
+                } else if n.eq_ignore_ascii_case("BOTTOM") {
+                    Ok(Concept::Bottom)
+                } else {
+                    Ok(Concept::atomic(self.voc.concept(&n)))
+                }
+            }
+            _ => self.err("expected a concept"),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            self.err("unexpected trailing input")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> (Concept, Vocabulary) {
+        let mut voc = Vocabulary::new();
+        let c = parse_concept(s, &mut voc).unwrap_or_else(|e| panic!("parse `{s}`: {e}"));
+        (c, voc)
+    }
+
+    #[test]
+    fn parses_paper_rule_r1_preference() {
+        let (c, voc) = parse("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}");
+        let program = voc.find_concept("TvProgram").unwrap();
+        let genre = voc.find_role("hasGenre").unwrap();
+        let hi = voc.find_individual("HUMAN-INTEREST").unwrap();
+        assert_eq!(
+            c,
+            Concept::and([
+                Concept::atomic(program),
+                Concept::exists(genre, Concept::one_of([hi])),
+            ])
+        );
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let (c, voc) = parse("A AND B OR C");
+        let a = Concept::atomic(voc.find_concept("A").unwrap());
+        let b = Concept::atomic(voc.find_concept("B").unwrap());
+        let cc = Concept::atomic(voc.find_concept("C").unwrap());
+        assert_eq!(c, Concept::or([Concept::and([a, b]), cc]));
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let (c, voc) = parse("A AND (B OR C)");
+        let a = Concept::atomic(voc.find_concept("A").unwrap());
+        let b = Concept::atomic(voc.find_concept("B").unwrap());
+        let cc = Concept::atomic(voc.find_concept("C").unwrap());
+        assert_eq!(c, Concept::and([a, Concept::or([b, cc])]));
+    }
+
+    #[test]
+    fn keywords_case_insensitive_and_synonyms() {
+        let (c1, _) = parse("some hasSubject.{News}");
+        let (c2, _) = parse("EXISTS hasSubject.{News}");
+        // Same shape modulo vocabulary (fresh per parse) — compare display.
+        assert!(matches!(c1, Concept::Exists(..)));
+        assert!(matches!(c2, Concept::Exists(..)));
+        let (c3, _) = parse("only watches.TvProgram");
+        assert!(matches!(c3, Concept::Forall(..)));
+        let (c4, _) = parse("not Weekend");
+        assert!(matches!(c4, Concept::Not(_)));
+    }
+
+    #[test]
+    fn top_bottom_literals() {
+        assert_eq!(parse("TOP").0, Concept::Top);
+        assert_eq!(parse("bottom").0, Concept::Bottom);
+    }
+
+    #[test]
+    fn multi_individual_nominal() {
+        let (c, voc) = parse("{News, Sports, Weather}");
+        match c {
+            Concept::OneOf(inds) => {
+                assert_eq!(inds.len(), 3);
+                assert!(inds.contains(&voc.find_individual("Sports").unwrap()));
+            }
+            other => panic!("expected nominal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_restrictions() {
+        let (c, _) = parse("EXISTS watches.(TvProgram AND EXISTS hasGenre.{News})");
+        match c {
+            Concept::Exists(_, filler) => assert!(matches!(*filler, Concept::And(_))),
+            other => panic!("expected Exists, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let mut voc = Vocabulary::new();
+        let err = parse_concept("A AND ?", &mut voc).unwrap_err();
+        assert!(matches!(err, DlError::Parse { at: 6, .. }), "{err}");
+        let err = parse_concept("EXISTS r X", &mut voc).unwrap_err();
+        assert!(err.to_string().contains('.'), "{err}");
+        let err = parse_concept("A B", &mut voc).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+        let err = parse_concept("{}", &mut voc).unwrap_err();
+        assert!(err.to_string().contains("individual"), "{err}");
+    }
+
+    #[test]
+    fn display_parser_round_trip() {
+        let inputs = [
+            "TvProgram AND EXISTS hasGenre.{HumanInterest}",
+            "NOT (Weekend OR Holiday)",
+            "FORALL watches.(News OR Sports)",
+            "TOP",
+            "A AND B AND NOT C",
+        ];
+        for s in inputs {
+            let mut voc = Vocabulary::new();
+            let c = parse_concept(s, &mut voc).unwrap();
+            let printed = c.display(&voc).to_string();
+            let reparsed = parse_concept(&printed, &mut voc).unwrap();
+            assert_eq!(reparsed, c, "round-trip failed for `{s}` → `{printed}`");
+        }
+    }
+}

@@ -1,0 +1,320 @@
+use std::collections::BTreeMap;
+
+use capra_events::EventExpr;
+
+use crate::{ABox, Concept, IndividualId, TBox};
+
+/// Closed-world instance retrieval with event-expression lineage.
+///
+/// For every individual `x` in the ABox domain and concept `C`, the reasoner
+/// derives the event expression under which `x : C`, following the paper's
+/// view construction: *"we can construct a database view for each concept
+/// expression containing all tuples that are included in the concept
+/// expression, together with an event expression as a measure of the
+/// probability by which they are included."*
+///
+/// Lineage propagation rules (Fuhr–Rölleke style):
+///
+/// * `C ⊓ D` — conjunction of the membership events,
+/// * `C ⊔ D` — disjunction,
+/// * `¬C` — complement (closed world over the domain),
+/// * `∃R.C` — disjunction over `R`-edges of (edge event ∧ filler event),
+/// * `∀R.C` — conjunction over `R`-edges of (¬edge event ∨ filler event);
+///   vacuously true for individuals without edges (closed world).
+pub struct Reasoner<'a> {
+    abox: &'a ABox,
+    tbox: Option<&'a TBox>,
+}
+
+impl<'a> Reasoner<'a> {
+    /// A reasoner over an ABox alone (atomic concepts mean their assertions).
+    pub fn new(abox: &'a ABox) -> Self {
+        Self { abox, tbox: None }
+    }
+
+    /// A reasoner that first unfolds defined concept names through a TBox.
+    pub fn with_tbox(abox: &'a ABox, tbox: &'a TBox) -> Self {
+        Self {
+            abox,
+            tbox: Some(tbox),
+        }
+    }
+
+    /// Retrieves all instances of `concept` with their membership events.
+    /// Individuals whose membership simplifies to `False` are omitted.
+    pub fn instances(&self, concept: &Concept) -> BTreeMap<IndividualId, EventExpr> {
+        let unfolded;
+        let concept = match self.tbox {
+            Some(tbox) => {
+                unfolded = tbox.unfold(concept);
+                &unfolded
+            }
+            None => concept,
+        };
+        let mut out = self.instances_rec(concept);
+        out.retain(|_, e| !e.is_false());
+        out
+    }
+
+    /// The event under which a single individual is a member of `concept`.
+    pub fn membership(&self, ind: IndividualId, concept: &Concept) -> EventExpr {
+        self.instances(concept)
+            .remove(&ind)
+            .unwrap_or(EventExpr::False)
+    }
+
+    fn all_true(&self) -> BTreeMap<IndividualId, EventExpr> {
+        self.abox
+            .domain()
+            .iter()
+            .map(|&i| (i, EventExpr::True))
+            .collect()
+    }
+
+    fn instances_rec(&self, concept: &Concept) -> BTreeMap<IndividualId, EventExpr> {
+        match concept {
+            Concept::Top => self.all_true(),
+            Concept::Bottom => BTreeMap::new(),
+            Concept::Atomic(name) => self
+                .abox
+                .concept_rows(*name)
+                .map(|(i, e)| (i, e.clone()))
+                .collect(),
+            Concept::OneOf(inds) => inds
+                .iter()
+                .filter(|i| self.abox.domain().contains(i))
+                .map(|&i| (i, EventExpr::True))
+                .collect(),
+            Concept::Not(inner) => {
+                let pos = self.instances_rec(inner);
+                self.abox
+                    .domain()
+                    .iter()
+                    .map(|&i| {
+                        let e = pos.get(&i).cloned().unwrap_or(EventExpr::False);
+                        (i, EventExpr::not(e))
+                    })
+                    .collect()
+            }
+            Concept::And(kids) => {
+                let mut iter = kids.iter();
+                let first = iter
+                    .next()
+                    .expect("And constructor guarantees ≥ 2 children");
+                let mut acc = self.instances_rec(first);
+                for kid in iter {
+                    let next = self.instances_rec(kid);
+                    acc = acc
+                        .into_iter()
+                        .filter_map(|(i, e)| {
+                            next.get(&i).map(|e2| {
+                                (i, EventExpr::and([e, e2.clone()]))
+                            })
+                        })
+                        .collect();
+                    if acc.is_empty() {
+                        break;
+                    }
+                }
+                acc
+            }
+            Concept::Or(kids) => {
+                let mut acc: BTreeMap<IndividualId, EventExpr> = BTreeMap::new();
+                for kid in kids.iter() {
+                    for (i, e) in self.instances_rec(kid) {
+                        let slot = acc.entry(i).or_insert(EventExpr::False);
+                        *slot = EventExpr::or([slot.clone(), e]);
+                    }
+                }
+                acc
+            }
+            Concept::Exists(role, filler) => {
+                let members = self.instances_rec(filler);
+                let mut acc: BTreeMap<IndividualId, Vec<EventExpr>> = BTreeMap::new();
+                for edge in self.abox.role_edges(*role) {
+                    if let Some(filler_event) = members.get(&edge.dst) {
+                        acc.entry(edge.src).or_default().push(EventExpr::and([
+                            edge.event.clone(),
+                            filler_event.clone(),
+                        ]));
+                    }
+                }
+                acc.into_iter()
+                    .map(|(i, alts)| (i, EventExpr::or(alts)))
+                    .collect()
+            }
+            Concept::Forall(role, filler) => {
+                let members = self.instances_rec(filler);
+                let mut acc: BTreeMap<IndividualId, Vec<EventExpr>> = self
+                    .abox
+                    .domain()
+                    .iter()
+                    .map(|&i| (i, Vec::new()))
+                    .collect();
+                for edge in self.abox.role_edges(*role) {
+                    let filler_event = members.get(&edge.dst).cloned().unwrap_or(EventExpr::False);
+                    // Edge present ⇒ filler must hold: ¬edge ∨ filler.
+                    acc.entry(edge.src).or_default().push(EventExpr::or([
+                        EventExpr::not(edge.event.clone()),
+                        filler_event,
+                    ]));
+                }
+                acc.into_iter()
+                    .map(|(i, constraints)| (i, EventExpr::and(constraints)))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_concept, Vocabulary};
+    use capra_events::{Evaluator, Universe};
+
+    /// Small certain-world KB: two programs, one genre edge each.
+    fn kb() -> (Vocabulary, ABox) {
+        let mut voc = Vocabulary::new();
+        let mut abox = ABox::new();
+        let program = voc.concept("TvProgram");
+        let news = voc.concept("NewsShow");
+        let genre = voc.role("hasGenre");
+        let oprah = voc.individual("Oprah");
+        let bbc = voc.individual("BBC");
+        let hi = voc.individual("HumanInterest");
+        let weather = voc.individual("Weather");
+        abox.assert_concept(oprah, program, EventExpr::True);
+        abox.assert_concept(bbc, program, EventExpr::True);
+        abox.assert_concept(bbc, news, EventExpr::True);
+        abox.assert_role(oprah, genre, hi, EventExpr::True);
+        abox.assert_role(bbc, genre, weather, EventExpr::True);
+        (voc, abox)
+    }
+
+    #[test]
+    fn atomic_and_top_bottom() {
+        let (mut voc, abox) = kb();
+        let r = Reasoner::new(&abox);
+        let programs = r.instances(&parse_concept("TvProgram", &mut voc).unwrap());
+        assert_eq!(programs.len(), 2);
+        assert_eq!(r.instances(&Concept::Top).len(), abox.domain().len());
+        assert!(r.instances(&Concept::Bottom).is_empty());
+    }
+
+    #[test]
+    fn conjunction_intersects() {
+        let (mut voc, abox) = kb();
+        let r = Reasoner::new(&abox);
+        let c = parse_concept("TvProgram AND NewsShow", &mut voc).unwrap();
+        let m = r.instances(&c);
+        assert_eq!(m.len(), 1);
+        assert!(m.contains_key(&voc.find_individual("BBC").unwrap()));
+    }
+
+    #[test]
+    fn negation_is_closed_world() {
+        let (mut voc, abox) = kb();
+        let r = Reasoner::new(&abox);
+        let c = parse_concept("TvProgram AND NOT NewsShow", &mut voc).unwrap();
+        let m = r.instances(&c);
+        assert_eq!(m.len(), 1);
+        assert!(m.contains_key(&voc.find_individual("Oprah").unwrap()));
+    }
+
+    #[test]
+    fn exists_follows_edges() {
+        let (mut voc, abox) = kb();
+        let r = Reasoner::new(&abox);
+        let c = parse_concept("EXISTS hasGenre.{HumanInterest}", &mut voc).unwrap();
+        let m = r.instances(&c);
+        assert_eq!(m.len(), 1);
+        assert_eq!(
+            m.get(&voc.find_individual("Oprah").unwrap()),
+            Some(&EventExpr::True)
+        );
+    }
+
+    #[test]
+    fn forall_vacuous_without_edges() {
+        let (mut voc, abox) = kb();
+        let r = Reasoner::new(&abox);
+        let c = parse_concept("FORALL hasGenre.{HumanInterest}", &mut voc).unwrap();
+        let m = r.instances(&c);
+        // Oprah's only edge goes to HumanInterest → true. BBC's edge goes to
+        // Weather → false. Everything without edges (genres) → vacuously true.
+        assert!(m.contains_key(&voc.find_individual("Oprah").unwrap()));
+        assert!(!m.contains_key(&voc.find_individual("BBC").unwrap()));
+        assert!(m.contains_key(&voc.find_individual("Weather").unwrap()));
+    }
+
+    #[test]
+    fn uncertain_membership_propagates_lineage() {
+        let mut voc = Vocabulary::new();
+        let mut u = Universe::new();
+        let mut abox = ABox::new();
+        let program = voc.concept("TvProgram");
+        let genre = voc.role("hasGenre");
+        let ch5 = voc.individual("Channel5");
+        let hi = voc.individual("HumanInterest");
+        let weather = voc.individual("Weather");
+        abox.assert_concept(ch5, program, EventExpr::True);
+        // Channel 5 news: human interest 0.95, weather 0.85 (paper Table 1).
+        let t1 = u.add_bool("hi-tag", 0.95).unwrap();
+        let t2 = u.add_bool("weather-tag", 0.85).unwrap();
+        abox.assert_role(ch5, genre, hi, u.bool_event(t1).unwrap());
+        abox.assert_role(ch5, genre, weather, u.bool_event(t2).unwrap());
+
+        let r = Reasoner::new(&abox);
+        let mut ev = Evaluator::new(&u);
+        let c = parse_concept("EXISTS hasGenre.{HumanInterest}", &mut voc).unwrap();
+        let e = r.membership(ch5, &c);
+        assert!((ev.prob(&e) - 0.95).abs() < 1e-12);
+
+        // Either genre: 1 − 0.05·0.15.
+        let c = parse_concept("EXISTS hasGenre.{HumanInterest, Weather}", &mut voc).unwrap();
+        let e = r.membership(ch5, &c);
+        assert!((ev.prob(&e) - (1.0 - 0.05 * 0.15)).abs() < 1e-12);
+
+        // Both genres: 0.95 · 0.85.
+        let c = parse_concept(
+            "EXISTS hasGenre.{HumanInterest} AND EXISTS hasGenre.{Weather}",
+            &mut voc,
+        )
+        .unwrap();
+        let e = r.membership(ch5, &c);
+        assert!((ev.prob(&e) - 0.95 * 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn membership_of_absent_individual_is_false() {
+        let (mut voc, abox) = kb();
+        let r = Reasoner::new(&abox);
+        let ghost = voc.individual("Ghost");
+        let c = parse_concept("TvProgram", &mut voc).unwrap();
+        assert_eq!(r.membership(ghost, &c), EventExpr::False);
+    }
+
+    #[test]
+    fn nominals_restricted_to_domain() {
+        let (mut voc, abox) = kb();
+        let ghost = voc.individual("Ghost");
+        let r = Reasoner::new(&abox);
+        let c = Concept::one_of([ghost, voc.find_individual("Oprah").unwrap()]);
+        let m = r.instances(&c);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn tbox_unfolding_applies() {
+        let (mut voc, abox) = kb();
+        let mut tbox = TBox::new();
+        let hi_show = voc.concept("HumanInterestShow");
+        let def = parse_concept("TvProgram AND EXISTS hasGenre.{HumanInterest}", &mut voc).unwrap();
+        tbox.define(hi_show, def, &voc).unwrap();
+        let r = Reasoner::with_tbox(&abox, &tbox);
+        let m = r.instances(&Concept::atomic(hi_show));
+        assert_eq!(m.len(), 1);
+        assert!(m.contains_key(&voc.find_individual("Oprah").unwrap()));
+    }
+}

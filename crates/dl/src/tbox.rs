@@ -1,0 +1,236 @@
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{Concept, ConceptName, DlError, Result, Vocabulary};
+
+/// A terminology: acyclic concept definitions `A ≡ C`.
+///
+/// Definitions let applications name reusable context/preference concepts
+/// (e.g. `WorkdayMorning ≡ Workday AND Morning`) and use the names inside
+/// preference rules. [`TBox::unfold`] expands all defined names, which is
+/// how the reasoner applies the terminology; cycles are rejected at
+/// definition time so unfolding always terminates.
+#[derive(Debug, Clone, Default)]
+pub struct TBox {
+    definitions: BTreeMap<ConceptName, Concept>,
+}
+
+impl TBox {
+    /// Creates an empty TBox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the definition `name ≡ concept`.
+    ///
+    /// Fails if `name` is already defined or if the definition would create
+    /// a cycle (directly or through other definitions). The vocabulary is
+    /// only used for error messages.
+    pub fn define(&mut self, name: ConceptName, concept: Concept, voc: &Vocabulary) -> Result<()> {
+        if self.definitions.contains_key(&name) {
+            return Err(DlError::DuplicateDefinition(
+                voc.concept_name(name).to_string(),
+            ));
+        }
+        // Cycle check: walk the dependency graph from the new definition.
+        let mut stack: Vec<ConceptName> = concept.atomic_names().into_iter().collect();
+        let mut seen: BTreeSet<ConceptName> = BTreeSet::new();
+        while let Some(dep) = stack.pop() {
+            if dep == name {
+                return Err(DlError::CyclicDefinition(
+                    voc.concept_name(name).to_string(),
+                ));
+            }
+            if !seen.insert(dep) {
+                continue;
+            }
+            if let Some(body) = self.definitions.get(&dep) {
+                stack.extend(body.atomic_names());
+            }
+        }
+        self.definitions.insert(name, concept);
+        Ok(())
+    }
+
+    /// The definition of `name`, if any.
+    pub fn definition(&self, name: ConceptName) -> Option<&Concept> {
+        self.definitions.get(&name)
+    }
+
+    /// Number of definitions.
+    pub fn len(&self) -> usize {
+        self.definitions.len()
+    }
+
+    /// True if the TBox has no definitions.
+    pub fn is_empty(&self) -> bool {
+        self.definitions.is_empty()
+    }
+
+    /// Expands every defined concept name in `concept`, recursively.
+    /// Terminates because definitions are acyclic.
+    pub fn unfold(&self, concept: &Concept) -> Concept {
+        match concept {
+            Concept::Atomic(name) => match self.definitions.get(name) {
+                Some(body) => self.unfold(body),
+                None => concept.clone(),
+            },
+            Concept::Top | Concept::Bottom | Concept::OneOf(_) => concept.clone(),
+            Concept::Not(inner) => Concept::not(self.unfold(inner)),
+            Concept::And(kids) => Concept::and(kids.iter().map(|k| self.unfold(k))),
+            Concept::Or(kids) => Concept::or(kids.iter().map(|k| self.unfold(k))),
+            Concept::Exists(r, filler) => Concept::exists(*r, self.unfold(filler)),
+            Concept::Forall(r, filler) => Concept::forall(*r, self.unfold(filler)),
+        }
+    }
+
+    /// Sound, incomplete structural subsumption: returns `true` only if
+    /// `general` provably subsumes (⊒) `specific` by structural rules; a
+    /// `false` answer is *unknown*, not a refutation.
+    ///
+    /// Used to prune preference rules whose context can never apply. Both
+    /// sides are unfolded first.
+    pub fn subsumes(&self, general: &Concept, specific: &Concept) -> bool {
+        let g = self.unfold(general);
+        let s = self.unfold(specific);
+        structural_subsumes(&g, &s)
+    }
+}
+
+/// Structural subsumption `general ⊒ specific` (sound, incomplete).
+fn structural_subsumes(general: &Concept, specific: &Concept) -> bool {
+    if general == specific || *general == Concept::Top || *specific == Concept::Bottom {
+        return true;
+    }
+    match (general, specific) {
+        // ⊓ on the general side: every conjunct must subsume.
+        (Concept::And(gs), _) => gs.iter().all(|g| structural_subsumes(g, specific)),
+        // ⊔ on the specific side: every disjunct must be subsumed.
+        (_, Concept::Or(ss)) => ss.iter().all(|s| structural_subsumes(general, s)),
+        // ⊔ on the general side: some disjunct subsumes.
+        (Concept::Or(gs), _) => gs.iter().any(|g| structural_subsumes(g, specific)),
+        // ⊓ on the specific side: some conjunct is subsumed.
+        (_, Concept::And(ss)) => ss.iter().any(|s| structural_subsumes(general, s)),
+        (Concept::OneOf(gset), Concept::OneOf(sset)) => sset.is_subset(gset),
+        (Concept::Exists(gr, gf), Concept::Exists(sr, sf)) => {
+            gr == sr && structural_subsumes(gf, sf)
+        }
+        (Concept::Forall(gr, gf), Concept::Forall(sr, sf)) => {
+            gr == sr && structural_subsumes(gf, sf)
+        }
+        (Concept::Not(g), Concept::Not(s)) => structural_subsumes(s, g),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_concept;
+
+    fn setup() -> (Vocabulary, TBox) {
+        (Vocabulary::new(), TBox::new())
+    }
+
+    #[test]
+    fn define_and_unfold() {
+        let (mut voc, mut tbox) = setup();
+        let wm = voc.concept("WorkdayMorning");
+        let def = parse_concept("Workday AND Morning", &mut voc).unwrap();
+        tbox.define(wm, def.clone(), &voc).unwrap();
+        assert_eq!(tbox.len(), 1);
+        assert_eq!(tbox.definition(wm), Some(&def));
+
+        let query = parse_concept("WorkdayMorning AND AtHome", &mut voc).unwrap();
+        let unfolded = tbox.unfold(&query);
+        let expected = parse_concept("Workday AND Morning AND AtHome", &mut voc).unwrap();
+        assert_eq!(unfolded, expected);
+    }
+
+    #[test]
+    fn nested_definitions_unfold_transitively() {
+        let (mut voc, mut tbox) = setup();
+        let a = voc.concept("A");
+        let b = voc.concept("B");
+        tbox.define(a, parse_concept("B AND X", &mut voc).unwrap(), &voc)
+            .unwrap();
+        tbox.define(b, parse_concept("Y OR Z", &mut voc).unwrap(), &voc)
+            .unwrap();
+        let unfolded = tbox.unfold(&Concept::atomic(a));
+        let expected = parse_concept("(Y OR Z) AND X", &mut voc).unwrap();
+        assert_eq!(unfolded, expected);
+    }
+
+    #[test]
+    fn rejects_duplicate_definition() {
+        let (mut voc, mut tbox) = setup();
+        let a = voc.concept("A");
+        tbox.define(a, Concept::Top, &voc).unwrap();
+        assert!(matches!(
+            tbox.define(a, Concept::Bottom, &voc),
+            Err(DlError::DuplicateDefinition(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_direct_cycle() {
+        let (mut voc, mut tbox) = setup();
+        let a = voc.concept("A");
+        let body = parse_concept("A AND B", &mut voc).unwrap();
+        assert!(matches!(
+            tbox.define(a, body, &voc),
+            Err(DlError::CyclicDefinition(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_indirect_cycle() {
+        let (mut voc, mut tbox) = setup();
+        let a = voc.concept("A");
+        let b = voc.concept("B");
+        tbox.define(a, parse_concept("B", &mut voc).unwrap(), &voc)
+            .unwrap();
+        assert!(matches!(
+            tbox.define(b, parse_concept("A OR C", &mut voc).unwrap(), &voc),
+            Err(DlError::CyclicDefinition(_))
+        ));
+    }
+
+    #[test]
+    fn subsumption_basics() {
+        let (mut voc, tbox) = setup();
+        let ab = parse_concept("A AND B", &mut voc).unwrap();
+        let a = parse_concept("A", &mut voc).unwrap();
+        assert!(tbox.subsumes(&a, &ab), "A ⊒ A ⊓ B");
+        assert!(!tbox.subsumes(&ab, &a), "A ⊓ B ⋣ A");
+        assert!(tbox.subsumes(&Concept::Top, &a));
+        assert!(tbox.subsumes(&a, &Concept::Bottom));
+        let a_or_b = parse_concept("A OR B", &mut voc).unwrap();
+        assert!(tbox.subsumes(&a_or_b, &a), "A ⊔ B ⊒ A");
+    }
+
+    #[test]
+    fn subsumption_through_restrictions_and_nominals() {
+        let (mut voc, tbox) = setup();
+        let some_any = parse_concept("EXISTS r.{x, y}", &mut voc).unwrap();
+        let some_x = parse_concept("EXISTS r.{x}", &mut voc).unwrap();
+        assert!(tbox.subsumes(&some_any, &some_x));
+        assert!(!tbox.subsumes(&some_x, &some_any));
+        let not_a = parse_concept("NOT A", &mut voc).unwrap();
+        let not_ab = parse_concept("NOT (A AND B)", &mut voc).unwrap();
+        assert!(tbox.subsumes(&not_ab, &not_a), "¬(A⊓B) ⊒ ¬A");
+    }
+
+    #[test]
+    fn subsumption_uses_definitions() {
+        let (mut voc, mut tbox) = setup();
+        let wm = voc.concept("WorkdayMorning");
+        tbox.define(
+            wm,
+            parse_concept("Workday AND Morning", &mut voc).unwrap(),
+            &voc,
+        )
+        .unwrap();
+        let workday = parse_concept("Workday", &mut voc).unwrap();
+        assert!(tbox.subsumes(&workday, &Concept::atomic(wm)));
+    }
+}

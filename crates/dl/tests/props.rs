@@ -1,0 +1,143 @@
+//! Property-based tests for the DL layer: parser round-trips and lattice
+//! laws of instance retrieval under lineage semantics.
+
+use capra_dl::{parse_concept, ABox, Concept, Reasoner, Vocabulary};
+use capra_events::{Evaluator, EventExpr, Universe};
+use proptest::prelude::*;
+
+/// Builds a random small KB: `n_ind` individuals, 2 atomic concepts, 1 role.
+/// Assertion events are uncertain booleans with probabilities from seeds.
+fn build_kb(
+    n_ind: usize,
+    concept_seeds: &[(u8, u8)],
+    edge_seeds: &[(u8, u8, u8)],
+) -> (Vocabulary, Universe, ABox) {
+    let mut voc = Vocabulary::new();
+    let mut u = Universe::new();
+    let mut abox = ABox::new();
+    let c0 = voc.concept("C0");
+    let c1 = voc.concept("C1");
+    let role = voc.role("r");
+    let inds: Vec<_> = (0..n_ind)
+        .map(|i| voc.individual(&format!("x{i}")))
+        .collect();
+    for &i in &inds {
+        abox.register_individual(i);
+    }
+    for (k, &(who, p)) in concept_seeds.iter().enumerate() {
+        let ind = inds[who as usize % inds.len()];
+        let concept = if k % 2 == 0 { c0 } else { c1 };
+        let var = u
+            .add_bool(&format!("c{k}"), f64::from(p) / 255.0)
+            .unwrap();
+        abox.assert_concept(ind, concept, u.bool_event(var).unwrap());
+    }
+    for (k, &(s, d, p)) in edge_seeds.iter().enumerate() {
+        let src = inds[s as usize % inds.len()];
+        let dst = inds[d as usize % inds.len()];
+        let var = u
+            .add_bool(&format!("e{k}"), f64::from(p) / 255.0)
+            .unwrap();
+        abox.assert_role(src, role, dst, u.bool_event(var).unwrap());
+    }
+    (voc, u, abox)
+}
+
+prop_compose! {
+    fn kb()(
+        n_ind in 2usize..5,
+        concept_seeds in prop::collection::vec((any::<u8>(), any::<u8>()), 1..6),
+        edge_seeds in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..5),
+    ) -> (Vocabulary, Universe, ABox) {
+        build_kb(n_ind, &concept_seeds, &edge_seeds)
+    }
+}
+
+const TOL: f64 = 1e-9;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn conjunction_is_min_like((mut voc, u, abox) in kb()) {
+        // P(x : C0 ⊓ C1) ≤ min(P(x : C0), P(x : C1)) for all x.
+        let r = Reasoner::new(&abox);
+        let c0 = parse_concept("C0", &mut voc).unwrap();
+        let c1 = parse_concept("C1", &mut voc).unwrap();
+        let both = Concept::and([c0.clone(), c1.clone()]);
+        let mut ev = Evaluator::new(&u);
+        for (&x, e) in &r.instances(&both) {
+            let p = ev.prob(e);
+            let p0 = ev.prob(&r.membership(x, &c0));
+            let p1 = ev.prob(&r.membership(x, &c1));
+            prop_assert!(p <= p0.min(p1) + TOL);
+        }
+    }
+
+    #[test]
+    fn union_inclusion_exclusion((mut voc, u, abox) in kb()) {
+        let r = Reasoner::new(&abox);
+        let c0 = parse_concept("C0", &mut voc).unwrap();
+        let c1 = parse_concept("C1", &mut voc).unwrap();
+        let either = Concept::or([c0.clone(), c1.clone()]);
+        let both = Concept::and([c0.clone(), c1.clone()]);
+        let mut ev = Evaluator::new(&u);
+        for &x in abox.domain() {
+            let pu = ev.prob(&r.membership(x, &either));
+            let pi = ev.prob(&r.membership(x, &both));
+            let p0 = ev.prob(&r.membership(x, &c0));
+            let p1 = ev.prob(&r.membership(x, &c1));
+            prop_assert!((pu + pi - (p0 + p1)).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn negation_complements((mut voc, u, abox) in kb()) {
+        let r = Reasoner::new(&abox);
+        let c0 = parse_concept("C0", &mut voc).unwrap();
+        let neg = Concept::not(c0.clone());
+        let mut ev = Evaluator::new(&u);
+        for &x in abox.domain() {
+            let p = ev.prob(&r.membership(x, &c0));
+            let np = ev.prob(&r.membership(x, &neg));
+            prop_assert!((p + np - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn exists_forall_duality((mut voc, u, abox) in kb()) {
+        // ∃R.C ≡ ¬∀R.¬C under closed-world semantics.
+        let r = Reasoner::new(&abox);
+        let some = parse_concept("EXISTS r.C0", &mut voc).unwrap();
+        let dual = parse_concept("NOT FORALL r.(NOT C0)", &mut voc).unwrap();
+        let mut ev = Evaluator::new(&u);
+        for &x in abox.domain() {
+            let p1 = ev.prob(&r.membership(x, &some));
+            let p2 = ev.prob(&r.membership(x, &dual));
+            prop_assert!((p1 - p2).abs() < TOL, "x={x:?}: {p1} vs {p2}");
+        }
+    }
+
+    #[test]
+    fn top_covers_domain((_voc, _u, abox) in kb()) {
+        let r = Reasoner::new(&abox);
+        let m = r.instances(&Concept::Top);
+        prop_assert_eq!(m.len(), abox.domain().len());
+        prop_assert!(m.values().all(EventExpr::is_true));
+    }
+
+    #[test]
+    fn display_parse_round_trip((mut voc, _u, _abox) in kb(), shape in 0u8..6) {
+        let c = match shape {
+            0 => parse_concept("C0 AND NOT C1", &mut voc).unwrap(),
+            1 => parse_concept("EXISTS r.(C0 OR C1)", &mut voc).unwrap(),
+            2 => parse_concept("FORALL r.{x0}", &mut voc).unwrap(),
+            3 => parse_concept("{x0, x1}", &mut voc).unwrap(),
+            4 => parse_concept("TOP AND C0", &mut voc).unwrap(),
+            _ => parse_concept("NOT (C0 OR EXISTS r.C1)", &mut voc).unwrap(),
+        };
+        let printed = c.display(&voc).to_string();
+        let reparsed = parse_concept(&printed, &mut voc).unwrap();
+        prop_assert_eq!(reparsed, c);
+    }
+}

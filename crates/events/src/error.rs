@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Errors raised while building universes or event expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventError {
+    /// A probability was outside `[0, 1]`.
+    BadProbability {
+        /// The offending value.
+        value: f64,
+        /// What the value was supposed to describe.
+        what: String,
+    },
+    /// The alternative probabilities of a choice variable sum to more than 1.
+    ProbabilitiesExceedOne {
+        /// Name of the variable being declared.
+        var: String,
+        /// The sum of the supplied alternative probabilities.
+        sum: f64,
+    },
+    /// A variable name was registered twice.
+    DuplicateVariable(String),
+    /// A [`crate::VarId`] did not belong to the universe it was used with.
+    UnknownVariable(u32),
+    /// An atom referenced an alternative index the variable does not have.
+    AltOutOfRange {
+        /// The variable whose alternative was referenced.
+        var: String,
+        /// The out-of-range alternative index.
+        alt: u16,
+        /// Number of declared alternatives.
+        num_alts: usize,
+    },
+    /// A choice variable was declared with no alternatives.
+    EmptyChoice(String),
+    /// Syntax error while parsing an event expression.
+    Parse(String),
+}
+
+impl fmt::Display for EventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventError::BadProbability { value, what } => {
+                write!(f, "probability {value} for {what} is outside [0, 1]")
+            }
+            EventError::ProbabilitiesExceedOne { var, sum } => write!(
+                f,
+                "alternative probabilities of variable `{var}` sum to {sum} > 1"
+            ),
+            EventError::DuplicateVariable(name) => {
+                write!(f, "variable `{name}` is already declared")
+            }
+            EventError::UnknownVariable(idx) => {
+                write!(f, "variable id {idx} does not belong to this universe")
+            }
+            EventError::AltOutOfRange { var, alt, num_alts } => write!(
+                f,
+                "alternative {alt} out of range for variable `{var}` ({num_alts} alternatives)"
+            ),
+            EventError::EmptyChoice(name) => {
+                write!(f, "choice variable `{name}` needs at least one alternative")
+            }
+            EventError::Parse(message) => write!(f, "event syntax error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EventError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EventError::BadProbability {
+            value: 1.5,
+            what: "sensor reading".into(),
+        };
+        assert!(e.to_string().contains("1.5"));
+        assert!(e.to_string().contains("sensor reading"));
+
+        let e = EventError::AltOutOfRange {
+            var: "room".into(),
+            alt: 9,
+            num_alts: 5,
+        };
+        assert!(e.to_string().contains("room"));
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,381 @@
+use std::collections::{BTreeSet, HashMap};
+
+use crate::{clamp_prob, EventExpr, Universe, VarId};
+
+/// Exact probability evaluator for [`EventExpr`]s.
+///
+/// The evaluator computes `P(e)` by **Shannon expansion**: it repeatedly
+/// picks a variable from the support of the expression, conditions on each of
+/// its outcomes (which are mutually exclusive and exhaustive), and recurses
+/// on the restricted expression:
+///
+/// ```text
+/// P(e) = Σ_o  P(var = o) · P(e | var = o)
+/// ```
+///
+/// Two optimisations keep this tractable on the expressions CAPRA produces:
+///
+/// * **Memoisation** — restricted sub-expressions recur heavily (the smart
+///   constructors canonicalise children precisely so that they do). Results
+///   are cached keyed by the structural identity of the expression.
+/// * **Independent-component factorisation** — the support of a conjunction
+///   or disjunction is partitioned into groups of children that share
+///   variables; groups are mutually independent, so
+///   `P(∧ groups) = Π P(group)` and `P(∨ groups) = 1 − Π (1 − P(group))`.
+///
+/// The evaluator holds its memo table across calls; reuse one evaluator when
+/// scoring many expressions over the same universe.
+pub struct Evaluator<'u> {
+    universe: &'u Universe,
+    memo: HashMap<EventExpr, f64>,
+    stats: EvalStats,
+    /// Disable memoisation (for ablation benchmarks).
+    use_memo: bool,
+    /// Disable component factorisation (for ablation benchmarks).
+    use_components: bool,
+}
+
+/// Counters describing the work an [`Evaluator`] performed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Shannon expansions performed.
+    pub expansions: u64,
+    /// Memo-table hits.
+    pub memo_hits: u64,
+    /// Component factorisations applied.
+    pub component_splits: u64,
+}
+
+impl<'u> Evaluator<'u> {
+    /// Creates an evaluator over `universe` with all optimisations enabled.
+    pub fn new(universe: &'u Universe) -> Self {
+        Self {
+            universe,
+            memo: HashMap::new(),
+            stats: EvalStats::default(),
+            use_memo: true,
+            use_components: true,
+        }
+    }
+
+    /// Creates an evaluator with optimisations toggled individually.
+    /// Used by the ablation benchmarks; semantics are unchanged.
+    pub fn with_options(universe: &'u Universe, use_memo: bool, use_components: bool) -> Self {
+        Self {
+            use_memo,
+            use_components,
+            ..Self::new(universe)
+        }
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// Clears the memo table (the counters are kept).
+    pub fn clear(&mut self) {
+        self.memo.clear();
+    }
+
+    /// Exact probability of `expr` under the evaluator's universe.
+    pub fn prob(&mut self, expr: &EventExpr) -> f64 {
+        clamp_prob(self.prob_rec(expr))
+    }
+
+    fn prob_rec(&mut self, expr: &EventExpr) -> f64 {
+        match expr {
+            EventExpr::True => return 1.0,
+            EventExpr::False => return 0.0,
+            EventExpr::Atom(a) => {
+                return self
+                    .universe
+                    .alt_prob(a.var, a.alt)
+                    .expect("expression references a variable outside its universe");
+            }
+            EventExpr::Not(inner) => return 1.0 - self.prob_rec(inner),
+            _ => {}
+        }
+        if self.use_memo {
+            if let Some(&p) = self.memo.get(expr) {
+                self.stats.memo_hits += 1;
+                return p;
+            }
+        }
+        let p = self.prob_connective(expr);
+        if self.use_memo {
+            self.memo.insert(expr.clone(), p);
+        }
+        p
+    }
+
+    /// Probability of an `And`/`Or` node: try component factorisation first,
+    /// fall back to Shannon expansion on entangled parts.
+    fn prob_connective(&mut self, expr: &EventExpr) -> f64 {
+        if self.use_components {
+            let (kids, is_and) = match expr {
+                EventExpr::And(kids) => (kids, true),
+                EventExpr::Or(kids) => (kids, false),
+                _ => unreachable!("prob_connective called on non-connective"),
+            };
+            let groups = component_groups(kids);
+            if groups.len() > 1 {
+                self.stats.component_splits += 1;
+                let mut acc = 1.0;
+                for group in groups {
+                    let sub = if is_and {
+                        EventExpr::and(group)
+                    } else {
+                        EventExpr::or(group)
+                    };
+                    let p = self.prob_rec(&sub);
+                    acc *= if is_and { p } else { 1.0 - p };
+                }
+                return if is_and { acc } else { 1.0 - acc };
+            }
+        }
+        self.shannon(expr)
+    }
+
+    fn shannon(&mut self, expr: &EventExpr) -> f64 {
+        let var = pick_pivot(expr).expect("connective node must have support");
+        self.stats.expansions += 1;
+        let n = self
+            .universe
+            .num_outcomes(var)
+            .expect("expression references a variable outside its universe");
+        let mut total = 0.0;
+        for o in 0..n {
+            let p_o = self
+                .universe
+                .outcome_prob(var, o)
+                .expect("outcome index in range");
+            if p_o == 0.0 {
+                continue;
+            }
+            let restricted = expr.restrict(var, o);
+            total += p_o * self.prob_rec(&restricted);
+        }
+        total
+    }
+}
+
+/// Partitions sibling expressions into groups connected by shared variables.
+/// Groups are mutually variable-disjoint, hence independent.
+pub(crate) fn component_groups(kids: &[EventExpr]) -> Vec<Vec<EventExpr>> {
+    let supports: Vec<BTreeSet<VarId>> = kids.iter().map(EventExpr::support).collect();
+    let n = kids.len();
+    // Union–find over the children.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let mut owner: HashMap<VarId, usize> = HashMap::new();
+    for (i, sup) in supports.iter().enumerate() {
+        for &v in sup {
+            match owner.get(&v) {
+                Some(&j) => {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    parent[ri] = rj;
+                }
+                None => {
+                    owner.insert(v, i);
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, Vec<EventExpr>> = HashMap::new();
+    for (i, kid) in kids.iter().enumerate() {
+        groups
+            .entry(find(&mut parent, i))
+            .or_default()
+            .push(kid.clone());
+    }
+    groups.into_values().collect()
+}
+
+/// Chooses the Shannon pivot: the variable occurring in the largest number of
+/// atoms, which tends to simplify the most sub-terms per expansion.
+fn pick_pivot(expr: &EventExpr) -> Option<VarId> {
+    let mut counts: HashMap<VarId, usize> = HashMap::new();
+    count_atoms(expr, &mut counts);
+    counts
+        .into_iter()
+        .max_by_key(|&(var, count)| (count, std::cmp::Reverse(var)))
+        .map(|(var, _)| var)
+}
+
+fn count_atoms(expr: &EventExpr, counts: &mut HashMap<VarId, usize>) {
+    match expr {
+        EventExpr::True | EventExpr::False => {}
+        EventExpr::Atom(a) => *counts.entry(a.var).or_default() += 1,
+        EventExpr::Not(inner) => count_atoms(inner, counts),
+        EventExpr::And(kids) | EventExpr::Or(kids) => {
+            for k in kids.iter() {
+                count_atoms(k, counts);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worlds::brute_force_prob;
+
+    fn universe3() -> (Universe, EventExpr, EventExpr, EventExpr) {
+        let mut u = Universe::new();
+        let a = u.add_bool("a", 0.5).unwrap();
+        let b = u.add_bool("b", 0.25).unwrap();
+        let c = u.add_bool("c", 0.8).unwrap();
+        let (ea, eb, ec) = (
+            u.bool_event(a).unwrap(),
+            u.bool_event(b).unwrap(),
+            u.bool_event(c).unwrap(),
+        );
+        (u, ea, eb, ec)
+    }
+
+    #[test]
+    fn atoms_and_constants() {
+        let (u, ea, ..) = universe3();
+        let mut ev = Evaluator::new(&u);
+        assert_eq!(ev.prob(&EventExpr::True), 1.0);
+        assert_eq!(ev.prob(&EventExpr::False), 0.0);
+        assert!((ev.prob(&ea) - 0.5).abs() < 1e-12);
+        assert!((ev.prob(&EventExpr::not(ea)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_conjunction_multiplies() {
+        let (u, ea, eb, ec) = universe3();
+        let mut ev = Evaluator::new(&u);
+        let e = EventExpr::and([ea, eb, ec]);
+        assert!((ev.prob(&e) - 0.5 * 0.25 * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inclusion_exclusion_on_disjunction() {
+        let (u, ea, eb, _) = universe3();
+        let mut ev = Evaluator::new(&u);
+        let e = EventExpr::or([ea, eb]);
+        assert!((ev.prob(&e) - (0.5 + 0.25 - 0.125)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlated_subexpressions_are_exact() {
+        // P((a ∧ b) ∨ (a ∧ c)) = P(a) · P(b ∨ c) — shares `a`, so naive
+        // independence multiplication would be wrong.
+        let (u, ea, eb, ec) = universe3();
+        let mut ev = Evaluator::new(&u);
+        let e = EventExpr::or([
+            EventExpr::and([ea.clone(), eb.clone()]),
+            EventExpr::and([ea.clone(), ec.clone()]),
+        ]);
+        let expected = 0.5 * (0.25 + 0.8 - 0.25 * 0.8);
+        assert!((ev.prob(&e) - expected).abs() < 1e-12, "{}", ev.prob(&e));
+    }
+
+    #[test]
+    fn choice_variables_are_mutually_exclusive() {
+        let mut u = Universe::new();
+        let room = u.add_choice("room", &[0.5, 0.3, 0.2]).unwrap();
+        let r0 = u.atom(room, 0).unwrap();
+        let r1 = u.atom(room, 1).unwrap();
+        let mut ev = Evaluator::new(&u);
+        assert_eq!(ev.prob(&EventExpr::and([r0.clone(), r1.clone()])), 0.0);
+        assert!((ev.prob(&EventExpr::or([r0, r1])) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_outcome_counts() {
+        let mut u = Universe::new();
+        let v = u.add_choice("v", &[0.3, 0.3]).unwrap();
+        let e = EventExpr::not(EventExpr::or([u.atom(v, 0).unwrap(), u.atom(v, 1).unwrap()]));
+        let mut ev = Evaluator::new(&u);
+        assert!((ev.prob(&e) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_on_handmade_cases() {
+        let mut u = Universe::new();
+        let a = u.add_bool("a", 0.3).unwrap();
+        let b = u.add_choice("b", &[0.2, 0.5]).unwrap();
+        let c = u.add_bool("c", 0.9).unwrap();
+        let ea = u.bool_event(a).unwrap();
+        let eb0 = u.atom(b, 0).unwrap();
+        let eb1 = u.atom(b, 1).unwrap();
+        let ec = u.bool_event(c).unwrap();
+        let cases = vec![
+            EventExpr::and([ea.clone(), EventExpr::or([eb0.clone(), ec.clone()])]),
+            EventExpr::or([
+                EventExpr::and([ea.clone(), eb0.clone()]),
+                EventExpr::and([EventExpr::not(ea.clone()), eb1.clone()]),
+            ]),
+            EventExpr::not(EventExpr::and([
+                EventExpr::or([ea.clone(), eb1.clone()]),
+                EventExpr::or([EventExpr::not(ec.clone()), eb0.clone()]),
+            ])),
+        ];
+        let mut ev = Evaluator::new(&u);
+        for e in cases {
+            let exact = ev.prob(&e);
+            let brute = brute_force_prob(&u, &e);
+            assert!(
+                (exact - brute).abs() < 1e-12,
+                "mismatch for {e}: {exact} vs {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn ablation_options_preserve_semantics() {
+        let mut u = Universe::new();
+        let vars: Vec<_> = (0..6)
+            .map(|i| u.add_bool(&format!("x{i}"), 0.1 + 0.1 * i as f64).unwrap())
+            .collect();
+        let es: Vec<_> = vars.iter().map(|&v| u.bool_event(v).unwrap()).collect();
+        let e = EventExpr::or([
+            EventExpr::and([es[0].clone(), es[1].clone(), es[2].clone()]),
+            EventExpr::and([es[1].clone(), es[3].clone()]),
+            EventExpr::and([es[4].clone(), EventExpr::not(es[5].clone())]),
+        ]);
+        let mut base = Evaluator::new(&u);
+        let expected = base.prob(&e);
+        for (memo, comp) in [(false, false), (false, true), (true, false)] {
+            let mut ev = Evaluator::with_options(&u, memo, comp);
+            assert!((ev.prob(&e) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn memo_hits_accumulate() {
+        let (u, ea, eb, _) = universe3();
+        let mut ev = Evaluator::new(&u);
+        let e = EventExpr::or([
+            EventExpr::and([ea.clone(), eb.clone()]),
+            EventExpr::and([ea.clone(), EventExpr::not(eb.clone())]),
+        ]);
+        let p1 = ev.prob(&e);
+        let p2 = ev.prob(&e);
+        assert_eq!(p1, p2);
+        assert!(ev.stats().memo_hits > 0);
+    }
+
+    #[test]
+    fn component_groups_partition_correctly() {
+        let (_, ea, eb, ec) = universe3();
+        let ab = EventExpr::and([ea.clone(), eb.clone()]);
+        let groups = component_groups(&[ab, ec.clone()]);
+        assert_eq!(groups.len(), 2);
+        let groups = component_groups(&[
+            EventExpr::and([ea.clone(), eb.clone()]),
+            EventExpr::and([eb.clone(), ec.clone()]),
+        ]);
+        assert_eq!(groups.len(), 1, "b links both children");
+    }
+}

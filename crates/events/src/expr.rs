@@ -1,0 +1,417 @@
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{Universe, VarId};
+
+/// An atomic event: a discrete random variable taking one alternative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom {
+    /// The variable.
+    pub var: VarId,
+    /// The alternative the variable takes.
+    pub alt: u16,
+}
+
+/// A boolean event expression over the basic events of a [`Universe`].
+///
+/// Expressions are immutable trees with shared (`Arc`) children, so cloning a
+/// lineage expression while it flows through relational operators is cheap.
+/// The constructors [`EventExpr::and`], [`EventExpr::or`] and
+/// [`EventExpr::not`] apply local simplifications eagerly:
+///
+/// * constant folding (`x ∧ false = false`, `x ∨ true = true`, …),
+/// * flattening of nested conjunctions/disjunctions,
+/// * deduplication and canonical ordering of children (which maximises
+///   memoisation hits during evaluation),
+/// * complement cancellation (`x ∧ ¬x = false`, `x ∨ ¬x = true`),
+/// * mutual-exclusion of atoms (`(v=a) ∧ (v=b) = false` for `a ≠ b`).
+///
+/// The simplifications are semantics-preserving for every universe; they do
+/// *not* attempt full minimisation (which is NP-hard).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventExpr {
+    /// The certain event.
+    True,
+    /// The impossible event.
+    False,
+    /// A basic event `var = alt`.
+    Atom(Atom),
+    /// Complement of an event.
+    Not(Arc<EventExpr>),
+    /// Conjunction of two or more events (children sorted, deduplicated).
+    And(Arc<[EventExpr]>),
+    /// Disjunction of two or more events (children sorted, deduplicated).
+    Or(Arc<[EventExpr]>),
+}
+
+impl EventExpr {
+    /// The atomic event `var = alt`. Prefer [`Universe::atom`] for a
+    /// bounds-checked constructor.
+    pub fn atom(var: VarId, alt: u16) -> Self {
+        EventExpr::Atom(Atom { var, alt })
+    }
+
+    /// Complement, with double-negation and constant elimination.
+    #[allow(clippy::should_implement_trait)] // constructor over values, not `!` on refs
+    pub fn not(e: EventExpr) -> Self {
+        match e {
+            EventExpr::True => EventExpr::False,
+            EventExpr::False => EventExpr::True,
+            EventExpr::Not(inner) => inner.as_ref().clone(),
+            other => EventExpr::Not(Arc::new(other)),
+        }
+    }
+
+    /// Conjunction of the given events (empty conjunction is `True`).
+    pub fn and<I: IntoIterator<Item = EventExpr>>(items: I) -> Self {
+        Self::nary(items, /*is_and=*/ true)
+    }
+
+    /// Disjunction of the given events (empty disjunction is `False`).
+    pub fn or<I: IntoIterator<Item = EventExpr>>(items: I) -> Self {
+        Self::nary(items, /*is_and=*/ false)
+    }
+
+    /// Shared n-ary constructor. `is_and` selects conjunction semantics;
+    /// disjunction is the dual (absorbing element swapped, etc.).
+    fn nary<I: IntoIterator<Item = EventExpr>>(items: I, is_and: bool) -> Self {
+        let (absorbing, neutral) = if is_and {
+            (EventExpr::False, EventExpr::True)
+        } else {
+            (EventExpr::True, EventExpr::False)
+        };
+        // BTreeSet gives dedup + canonical order in one go.
+        let mut children: BTreeSet<EventExpr> = BTreeSet::new();
+        let mut stack: Vec<EventExpr> = items.into_iter().collect();
+        while let Some(item) = stack.pop() {
+            match item {
+                ref e if *e == neutral => {}
+                ref e if *e == absorbing => return absorbing,
+                EventExpr::And(kids) if is_and => stack.extend(kids.iter().cloned()),
+                EventExpr::Or(kids) if !is_and => stack.extend(kids.iter().cloned()),
+                other => {
+                    children.insert(other);
+                }
+            }
+        }
+        // Complement cancellation and atom mutual exclusion.
+        let mut seen_alt: Option<Atom> = None;
+        for child in &children {
+            match child {
+                EventExpr::Not(inner) if children.contains(inner.as_ref()) => {
+                    return absorbing;
+                }
+                EventExpr::Atom(a) if is_and => {
+                    // Two distinct alternatives of the same variable can
+                    // never hold simultaneously.
+                    if let Some(prev) = seen_alt {
+                        if prev.var == a.var && prev.alt != a.alt {
+                            return absorbing;
+                        }
+                    }
+                    seen_alt = Some(*a);
+                }
+                // (match guard form keeps clippy's collapsible-if quiet)
+                _ => {}
+            }
+        }
+        match children.len() {
+            0 => neutral,
+            1 => children.into_iter().next().expect("len checked"),
+            _ => {
+                let kids: Arc<[EventExpr]> = children.into_iter().collect();
+                if is_and {
+                    EventExpr::And(kids)
+                } else {
+                    EventExpr::Or(kids)
+                }
+            }
+        }
+    }
+
+    /// True if this expression is the constant `True`.
+    pub fn is_true(&self) -> bool {
+        matches!(self, EventExpr::True)
+    }
+
+    /// True if this expression is the constant `False`.
+    pub fn is_false(&self) -> bool {
+        matches!(self, EventExpr::False)
+    }
+
+    /// True if the expression is one of the two constants.
+    pub fn is_const(&self) -> bool {
+        self.is_true() || self.is_false()
+    }
+
+    /// Collects the set of variables this expression depends on.
+    pub fn support(&self) -> BTreeSet<VarId> {
+        let mut out = BTreeSet::new();
+        self.collect_support(&mut out);
+        out
+    }
+
+    pub(crate) fn collect_support(&self, out: &mut BTreeSet<VarId>) {
+        match self {
+            EventExpr::True | EventExpr::False => {}
+            EventExpr::Atom(a) => {
+                out.insert(a.var);
+            }
+            EventExpr::Not(inner) => inner.collect_support(out),
+            EventExpr::And(kids) | EventExpr::Or(kids) => {
+                for k in kids.iter() {
+                    k.collect_support(out);
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the expression tree (a complexity measure).
+    pub fn size(&self) -> usize {
+        match self {
+            EventExpr::True | EventExpr::False | EventExpr::Atom(_) => 1,
+            EventExpr::Not(inner) => 1 + inner.size(),
+            EventExpr::And(kids) | EventExpr::Or(kids) => {
+                1 + kids.iter().map(EventExpr::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// Restricts (cofactors) the expression under the assumption that
+    /// variable `var` takes outcome `outcome`.
+    ///
+    /// Outcome indices follow [`Universe::num_outcomes`]: an index equal to
+    /// the number of declared alternatives denotes the residual outcome, in
+    /// which every atom of the variable is false.
+    pub fn restrict(&self, var: VarId, outcome: usize) -> EventExpr {
+        match self {
+            EventExpr::True => EventExpr::True,
+            EventExpr::False => EventExpr::False,
+            EventExpr::Atom(a) => {
+                if a.var == var {
+                    if a.alt as usize == outcome {
+                        EventExpr::True
+                    } else {
+                        EventExpr::False
+                    }
+                } else {
+                    self.clone()
+                }
+            }
+            EventExpr::Not(inner) => EventExpr::not(inner.restrict(var, outcome)),
+            EventExpr::And(kids) => {
+                EventExpr::and(kids.iter().map(|k| k.restrict(var, outcome)))
+            }
+            EventExpr::Or(kids) => EventExpr::or(kids.iter().map(|k| k.restrict(var, outcome))),
+        }
+    }
+
+    /// Renders the expression with variable names resolved against a
+    /// universe. See also the plain [`fmt::Display`] impl, which prints raw
+    /// variable indices.
+    pub fn display<'a>(&'a self, universe: &'a Universe) -> DisplayExpr<'a> {
+        DisplayExpr {
+            expr: self,
+            universe: Some(universe),
+        }
+    }
+}
+
+/// Helper returned by [`EventExpr::display`].
+pub struct DisplayExpr<'a> {
+    expr: &'a EventExpr,
+    universe: Option<&'a Universe>,
+}
+
+impl DisplayExpr<'_> {
+    fn fmt_expr(&self, e: &EventExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match e {
+            EventExpr::True => write!(f, "⊤"),
+            EventExpr::False => write!(f, "⊥"),
+            EventExpr::Atom(a) => {
+                match self.universe.and_then(|u| u.name(a.var).ok()) {
+                    // Names with characters outside the parser's bare-name
+                    // set are backtick-quoted so Display/parse round-trips.
+                    Some(name)
+                        if name
+                            .chars()
+                            .all(|c| crate::parse::is_name_char(c) || c.is_ascii_digit()) =>
+                    {
+                        write!(f, "{name}")?
+                    }
+                    Some(name) => write!(f, "`{name}`")?,
+                    None => write!(f, "v{}", a.var.index())?,
+                }
+                // Boolean variables (single alternative) omit the `=0`.
+                let is_bool = self
+                    .universe
+                    .and_then(|u| u.num_alts(a.var).ok())
+                    .is_some_and(|n| n == 1);
+                if !is_bool || a.alt != 0 {
+                    write!(f, "={}", a.alt)?;
+                }
+                Ok(())
+            }
+            EventExpr::Not(inner) => {
+                write!(f, "¬")?;
+                self.fmt_child(inner, f)
+            }
+            EventExpr::And(kids) => self.fmt_nary(kids, " ∧ ", f),
+            EventExpr::Or(kids) => self.fmt_nary(kids, " ∨ ", f),
+        }
+    }
+
+    fn fmt_child(&self, e: &EventExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if matches!(e, EventExpr::And(_) | EventExpr::Or(_)) {
+            write!(f, "(")?;
+            self.fmt_expr(e, f)?;
+            write!(f, ")")
+        } else {
+            self.fmt_expr(e, f)
+        }
+    }
+
+    fn fmt_nary(&self, kids: &[EventExpr], sep: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, k) in kids.iter().enumerate() {
+            if i > 0 {
+                write!(f, "{sep}")?;
+            }
+            self.fmt_child(k, f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DisplayExpr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_expr(self.expr, f)
+    }
+}
+
+impl fmt::Display for EventExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        DisplayExpr {
+            expr: self,
+            universe: None,
+        }
+        .fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn constants_fold() {
+        let a = EventExpr::atom(v(0), 0);
+        assert_eq!(
+            EventExpr::and([a.clone(), EventExpr::True]),
+            a,
+            "x ∧ ⊤ = x"
+        );
+        assert_eq!(
+            EventExpr::and([a.clone(), EventExpr::False]),
+            EventExpr::False
+        );
+        assert_eq!(EventExpr::or([a.clone(), EventExpr::True]), EventExpr::True);
+        assert_eq!(EventExpr::or([a.clone(), EventExpr::False]), a);
+        assert_eq!(EventExpr::and([]), EventExpr::True);
+        assert_eq!(EventExpr::or([]), EventExpr::False);
+    }
+
+    #[test]
+    fn dedup_and_flatten() {
+        let a = EventExpr::atom(v(0), 0);
+        let b = EventExpr::atom(v(1), 0);
+        let nested = EventExpr::and([a.clone(), EventExpr::and([a.clone(), b.clone()])]);
+        match &nested {
+            EventExpr::And(kids) => assert_eq!(kids.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+        // Canonical order: same expression irrespective of argument order.
+        assert_eq!(
+            EventExpr::and([b.clone(), a.clone()]),
+            EventExpr::and([a, b])
+        );
+    }
+
+    #[test]
+    fn complement_cancellation() {
+        let a = EventExpr::atom(v(0), 0);
+        let na = EventExpr::not(a.clone());
+        assert_eq!(EventExpr::and([a.clone(), na.clone()]), EventExpr::False);
+        assert_eq!(EventExpr::or([a.clone(), na.clone()]), EventExpr::True);
+        assert_eq!(EventExpr::not(na), a);
+    }
+
+    #[test]
+    fn atom_mutual_exclusion_in_and() {
+        let a0 = EventExpr::atom(v(0), 0);
+        let a1 = EventExpr::atom(v(0), 1);
+        assert_eq!(EventExpr::and([a0.clone(), a1]), EventExpr::False);
+        // Same alternative twice is just the atom.
+        assert_eq!(EventExpr::and([a0.clone(), a0.clone()]), a0);
+    }
+
+    #[test]
+    fn single_child_unwraps() {
+        let a = EventExpr::atom(v(0), 0);
+        assert_eq!(EventExpr::and([a.clone()]), a);
+        assert_eq!(EventExpr::or([a.clone()]), a);
+    }
+
+    #[test]
+    fn support_collects_vars() {
+        let e = EventExpr::or([
+            EventExpr::and([EventExpr::atom(v(0), 0), EventExpr::atom(v(2), 1)]),
+            EventExpr::not(EventExpr::atom(v(1), 0)),
+        ]);
+        let s = e.support();
+        assert_eq!(s.into_iter().collect::<Vec<_>>(), vec![v(0), v(1), v(2)]);
+    }
+
+    #[test]
+    fn restrict_substitutes_outcomes() {
+        let a = EventExpr::atom(v(0), 0);
+        let b = EventExpr::atom(v(1), 0);
+        let e = EventExpr::and([a, b.clone()]);
+        assert_eq!(e.restrict(v(0), 0), b);
+        assert_eq!(e.restrict(v(0), 1), EventExpr::False);
+        // Residual outcome of a choice var kills all its atoms.
+        let c = EventExpr::or([EventExpr::atom(v(2), 0), EventExpr::atom(v(2), 1)]);
+        assert_eq!(c.restrict(v(2), 2), EventExpr::False);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let a = EventExpr::atom(v(0), 0);
+        let e = EventExpr::or([a.clone(), EventExpr::not(EventExpr::atom(v(1), 0))]);
+        assert_eq!(a.size(), 1);
+        assert_eq!(e.size(), 4); // or + atom + not + atom
+    }
+
+    #[test]
+    fn display_without_universe() {
+        let e = EventExpr::and([EventExpr::atom(v(0), 0), EventExpr::atom(v(1), 2)]);
+        let s = e.to_string();
+        assert!(s.contains("v0"), "{s}");
+        assert!(s.contains("v1=2"), "{s}");
+    }
+
+    #[test]
+    fn display_with_universe_uses_names() {
+        let mut u = Universe::new();
+        let rain = u.add_bool("rain", 0.5).unwrap();
+        let room = u.add_choice("room", &[0.4, 0.6]).unwrap();
+        let e = EventExpr::or([u.atom(rain, 0).unwrap(), u.atom(room, 1).unwrap()]);
+        let s = e.display(&u).to_string();
+        assert!(s.contains("rain"), "{s}");
+        assert!(s.contains("room=1"), "{s}");
+    }
+}

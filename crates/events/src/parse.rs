@@ -1,0 +1,325 @@
+//! Text syntax for event expressions, round-tripping with the `Display`
+//! implementation of [`EventExpr`]:
+//!
+//! ```text
+//! expr  := disj
+//! disj  := conj ( ('∨' | '|' | 'or') conj )*
+//! conj  := unary ( ('∧' | '&' | 'and') unary )*
+//! unary := ('¬' | '!' | 'not') unary | primary
+//! primary := '(' expr ')' | '⊤' | 'true' | '⊥' | 'false'
+//!          | name ( '=' alt )?
+//! ```
+//!
+//! Names resolve against a [`Universe`]; `name` alone means alternative 0
+//! (the boolean-variable shorthand the printer also uses). This gives event
+//! expressions a durable external form — rule repositories and debug dumps
+//! can be written down and read back.
+
+use crate::{EventError, EventExpr, Result, Universe};
+
+/// Parses an event expression against the variables of `universe`.
+pub fn parse_event(input: &str, universe: &Universe) -> Result<EventExpr> {
+    let tokens = lex(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        universe,
+    };
+    let e = p.disj()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.error("unexpected trailing input"));
+    }
+    Ok(e)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Name(String),
+    Number(u16),
+    And,
+    Or,
+    Not,
+    True,
+    False,
+    Eq,
+    LParen,
+    RParen,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Tok::RParen);
+            }
+            '=' => {
+                chars.next();
+                out.push(Tok::Eq);
+            }
+            '∧' | '&' => {
+                chars.next();
+                out.push(Tok::And);
+            }
+            '∨' | '|' => {
+                chars.next();
+                out.push(Tok::Or);
+            }
+            '¬' | '!' => {
+                chars.next();
+                out.push(Tok::Not);
+            }
+            '⊤' => {
+                chars.next();
+                out.push(Tok::True);
+            }
+            '⊥' => {
+                chars.next();
+                out.push(Tok::False);
+            }
+            '`' => {
+                chars.next();
+                let mut name = String::new();
+                loop {
+                    match chars.next() {
+                        Some('`') => break,
+                        Some(c) => name.push(c),
+                        None => {
+                            return Err(EventError::Parse(
+                                "unterminated backtick-quoted name".into(),
+                            ))
+                        }
+                    }
+                }
+                out.push(Tok::Name(name));
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u32 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n * 10 + v;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Number(u16::try_from(n).map_err(|_| {
+                    EventError::BadProbability {
+                        value: f64::from(n),
+                        what: "alternative index".into(),
+                    }
+                })?));
+            }
+            c if is_name_char(c) => {
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if is_name_char(d) || d.is_ascii_digit() {
+                        name.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(match name.to_ascii_lowercase().as_str() {
+                    "and" => Tok::And,
+                    "or" => Tok::Or,
+                    "not" => Tok::Not,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    _ => Tok::Name(name),
+                });
+            }
+            other => {
+                return Err(EventError::Parse(format!(
+                    "unexpected character `{other}`"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+pub(crate) fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() && !c.is_ascii_digit() || matches!(c, '_' | '-' | ':' | '~' | '#' | '.')
+}
+
+struct Parser<'u> {
+    tokens: Vec<Tok>,
+    pos: usize,
+    universe: &'u Universe,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> EventError {
+        EventError::Parse(message.to_string())
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.tokens.get(self.pos) == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn disj(&mut self) -> Result<EventExpr> {
+        let mut parts = vec![self.conj()?];
+        while self.eat(&Tok::Or) {
+            parts.push(self.conj()?);
+        }
+        Ok(EventExpr::or(parts))
+    }
+
+    fn conj(&mut self) -> Result<EventExpr> {
+        let mut parts = vec![self.unary()?];
+        while self.eat(&Tok::And) {
+            parts.push(self.unary()?);
+        }
+        Ok(EventExpr::and(parts))
+    }
+
+    fn unary(&mut self) -> Result<EventExpr> {
+        if self.eat(&Tok::Not) {
+            return Ok(EventExpr::not(self.unary()?));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<EventExpr> {
+        match self.tokens.get(self.pos).cloned() {
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let inner = self.disj()?;
+                if !self.eat(&Tok::RParen) {
+                    return Err(self.error("expected `)`"));
+                }
+                Ok(inner)
+            }
+            Some(Tok::True) => {
+                self.pos += 1;
+                Ok(EventExpr::True)
+            }
+            Some(Tok::False) => {
+                self.pos += 1;
+                Ok(EventExpr::False)
+            }
+            Some(Tok::Name(name)) => {
+                self.pos += 1;
+                let var = self
+                    .universe
+                    .var(&name)
+                    .ok_or_else(|| self.error(&format!("unknown variable `{name}`")))?;
+                let alt = if self.eat(&Tok::Eq) {
+                    match self.tokens.get(self.pos).cloned() {
+                        Some(Tok::Number(n)) => {
+                            self.pos += 1;
+                            n
+                        }
+                        _ => return Err(self.error("expected an alternative index after `=`")),
+                    }
+                } else {
+                    0
+                };
+                self.universe.atom(var, alt)
+            }
+            _ => Err(self.error("expected an event")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Evaluator;
+
+    fn universe() -> Universe {
+        let mut u = Universe::new();
+        u.add_bool("rain", 0.3).unwrap();
+        u.add_bool("cold", 0.5).unwrap();
+        u.add_choice("room", &[0.5, 0.3, 0.2]).unwrap();
+        u
+    }
+
+    #[test]
+    fn parses_ascii_and_unicode_forms() {
+        let u = universe();
+        for s in [
+            "rain and not cold",
+            "rain ∧ ¬cold",
+            "rain & !cold",
+        ] {
+            let e = parse_event(s, &u).unwrap();
+            let mut ev = Evaluator::new(&u);
+            assert!((ev.prob(&e) - 0.15).abs() < 1e-12, "{s}");
+        }
+    }
+
+    #[test]
+    fn choice_alternatives_and_constants() {
+        let u = universe();
+        let e = parse_event("room=1 or room=2", &u).unwrap();
+        let mut ev = Evaluator::new(&u);
+        assert!((ev.prob(&e) - 0.5).abs() < 1e-12);
+        assert_eq!(parse_event("true", &u).unwrap(), EventExpr::True);
+        assert_eq!(parse_event("⊥", &u).unwrap(), EventExpr::False);
+    }
+
+    #[test]
+    fn precedence_and_parentheses() {
+        let u = universe();
+        let e1 = parse_event("rain or cold and room=0", &u).unwrap();
+        let e2 = parse_event("rain or (cold and room=0)", &u).unwrap();
+        assert_eq!(e1, e2);
+        let e3 = parse_event("(rain or cold) and room=0", &u).unwrap();
+        assert_ne!(e1, e3);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let u = universe();
+        let inputs = [
+            "rain ∧ ¬cold",
+            "room=1 ∨ (rain ∧ room=0)",
+            "¬(rain ∨ cold)",
+            "⊤",
+        ];
+        for s in inputs {
+            let e = parse_event(s, &u).unwrap();
+            let printed = e.display(&u).to_string();
+            let reparsed = parse_event(&printed, &u).unwrap();
+            assert_eq!(reparsed, e, "round trip failed: `{s}` → `{printed}`");
+        }
+    }
+
+    #[test]
+    fn backtick_quoted_names_round_trip() {
+        let mut u = Universe::new();
+        u.add_bool("r:hasGenre:Channel 5 news", 0.95).unwrap();
+        let e = parse_event("`r:hasGenre:Channel 5 news`", &u).unwrap();
+        let printed = e.display(&u).to_string();
+        assert!(printed.starts_with('`'), "{printed}");
+        assert_eq!(parse_event(&printed, &u).unwrap(), e);
+        assert!(parse_event("`open", &u).is_err());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let u = universe();
+        assert!(parse_event("ghost", &u).is_err());
+        assert!(parse_event("rain and", &u).is_err());
+        assert!(parse_event("(rain", &u).is_err());
+        assert!(parse_event("rain cold", &u).is_err());
+        assert!(parse_event("room=9", &u).is_err(), "alt out of range");
+        assert!(parse_event("room=", &u).is_err());
+    }
+}

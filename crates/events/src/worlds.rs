@@ -1,0 +1,220 @@
+//! Brute-force possible-world enumeration.
+//!
+//! A *world* assigns an outcome to every variable in (a subset of) the
+//! universe. Enumeration is exponential and exists for two purposes:
+//!
+//! * as the **testing oracle** against which the exact evaluator and the
+//!   factorised scoring engines are verified, and
+//! * as the computational core of the paper's **naive implementation**
+//!   (Section 5), which enumerates every combination of context features and
+//!   document features — the behaviour whose exponential blow-up the paper
+//!   measures.
+
+use std::collections::BTreeSet;
+
+use crate::{EventExpr, Universe, VarId};
+
+/// An assignment of outcomes to a fixed list of variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct World {
+    vars: Vec<VarId>,
+    outcomes: Vec<usize>,
+}
+
+impl World {
+    /// The outcome assigned to `var`, if `var` is part of this world.
+    pub fn outcome(&self, var: VarId) -> Option<usize> {
+        self.vars.iter().position(|&v| v == var).map(|i| self.outcomes[i])
+    }
+
+    /// Evaluates an event expression in this world. Variables outside the
+    /// world's scope make the result `None`.
+    pub fn eval(&self, expr: &EventExpr) -> Option<bool> {
+        match expr {
+            EventExpr::True => Some(true),
+            EventExpr::False => Some(false),
+            EventExpr::Atom(a) => self.outcome(a.var).map(|o| o == a.alt as usize),
+            EventExpr::Not(inner) => self.eval(inner).map(|b| !b),
+            EventExpr::And(kids) => {
+                let mut all = true;
+                for k in kids.iter() {
+                    all &= self.eval(k)?;
+                }
+                Some(all)
+            }
+            EventExpr::Or(kids) => {
+                let mut any = false;
+                for k in kids.iter() {
+                    any |= self.eval(k)?;
+                }
+                Some(any)
+            }
+        }
+    }
+}
+
+/// Iterator over all worlds of a set of variables, with their probabilities.
+///
+/// The number of worlds is the product of the variables' outcome counts;
+/// callers are responsible for keeping the variable set small.
+pub struct Worlds<'u> {
+    universe: &'u Universe,
+    vars: Vec<VarId>,
+    counts: Vec<usize>,
+    /// Mixed-radix counter over outcomes; `None` once exhausted.
+    next: Option<Vec<usize>>,
+}
+
+impl<'u> Worlds<'u> {
+    /// Enumerates worlds over the given variables.
+    pub fn over(universe: &'u Universe, vars: impl IntoIterator<Item = VarId>) -> Self {
+        let vars: Vec<VarId> = vars.into_iter().collect();
+        let counts: Vec<usize> = vars
+            .iter()
+            .map(|&v| {
+                universe
+                    .num_outcomes(v)
+                    .expect("world variable outside universe")
+            })
+            .collect();
+        let next = if counts.iter().all(|&c| c > 0) {
+            Some(vec![0; vars.len()])
+        } else {
+            None
+        };
+        Self {
+            universe,
+            vars,
+            counts,
+            next,
+        }
+    }
+
+    /// Enumerates worlds over the support of `expr`.
+    pub fn of_expr(universe: &'u Universe, expr: &EventExpr) -> Self {
+        Self::over(universe, expr.support())
+    }
+
+    /// Enumerates worlds over the union of the supports of several exprs.
+    pub fn of_exprs<'a>(
+        universe: &'u Universe,
+        exprs: impl IntoIterator<Item = &'a EventExpr>,
+    ) -> Self {
+        let mut support = BTreeSet::new();
+        for e in exprs {
+            e.collect_support(&mut support);
+        }
+        Self::over(universe, support)
+    }
+
+    /// Total number of worlds this iterator will yield.
+    pub fn world_count(&self) -> u128 {
+        self.counts.iter().map(|&c| c as u128).product()
+    }
+}
+
+impl Iterator for Worlds<'_> {
+    type Item = (World, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let current = self.next.clone()?;
+        // Advance the mixed-radix counter.
+        let mut bump = current.clone();
+        let mut i = bump.len();
+        self.next = loop {
+            if i == 0 {
+                break None;
+            }
+            i -= 1;
+            bump[i] += 1;
+            if bump[i] < self.counts[i] {
+                break Some(bump);
+            }
+            bump[i] = 0;
+        };
+        let mut p = 1.0;
+        for (idx, &o) in current.iter().enumerate() {
+            p *= self
+                .universe
+                .outcome_prob(self.vars[idx], o)
+                .expect("outcome in range");
+        }
+        Some((
+            World {
+                vars: self.vars.clone(),
+                outcomes: current,
+            },
+            p,
+        ))
+    }
+}
+
+/// Probability of `expr` by brute-force enumeration (testing oracle).
+pub fn brute_force_prob(universe: &Universe, expr: &EventExpr) -> f64 {
+    Worlds::of_expr(universe, expr)
+        .filter(|(w, _)| w.eval(expr).expect("support covers expr"))
+        .map(|(_, p)| p)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_support_yields_single_world() {
+        let u = Universe::new();
+        let worlds: Vec<_> = Worlds::of_expr(&u, &EventExpr::True).collect();
+        assert_eq!(worlds.len(), 1);
+        assert_eq!(worlds[0].1, 1.0);
+        assert_eq!(worlds[0].0.eval(&EventExpr::True), Some(true));
+    }
+
+    #[test]
+    fn world_probabilities_sum_to_one() {
+        let mut u = Universe::new();
+        let a = u.add_bool("a", 0.3).unwrap();
+        let b = u.add_choice("b", &[0.2, 0.5]).unwrap();
+        let total: f64 = Worlds::over(&u, [a, b]).map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(Worlds::over(&u, [a, b]).world_count(), 6);
+    }
+
+    #[test]
+    fn brute_force_simple_events() {
+        let mut u = Universe::new();
+        let a = u.add_bool("a", 0.3).unwrap();
+        let b = u.add_bool("b", 0.5).unwrap();
+        let ea = u.bool_event(a).unwrap();
+        let eb = u.bool_event(b).unwrap();
+        assert!((brute_force_prob(&u, &ea) - 0.3).abs() < 1e-12);
+        let both = EventExpr::and([ea.clone(), eb.clone()]);
+        assert!((brute_force_prob(&u, &both) - 0.15).abs() < 1e-12);
+        let either = EventExpr::or([ea, eb]);
+        assert!((brute_force_prob(&u, &either) - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_returns_none_outside_scope() {
+        let mut u = Universe::new();
+        let a = u.add_bool("a", 0.3).unwrap();
+        let b = u.add_bool("b", 0.5).unwrap();
+        let eb = u.bool_event(b).unwrap();
+        let (world, _) = Worlds::over(&u, [a]).next().unwrap();
+        assert_eq!(world.eval(&eb), None);
+    }
+
+    #[test]
+    fn figure1_neither_bulletin() {
+        // The paper's Figure 1: traffic 80%, weather 60% on workday
+        // mornings; P(neither) = 0.2 · 0.4 = 0.08.
+        let mut u = Universe::new();
+        let traffic = u.add_bool("traffic", 0.8).unwrap();
+        let weather = u.add_bool("weather", 0.6).unwrap();
+        let neither = EventExpr::and([
+            EventExpr::not(u.bool_event(traffic).unwrap()),
+            EventExpr::not(u.bool_event(weather).unwrap()),
+        ]);
+        assert!((brute_force_prob(&u, &neither) - 0.08).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the event-expression substrate.
+//!
+//! Strategy: generate small random universes (boolean + choice variables)
+//! and random expressions over them, then check the exact evaluator against
+//! algebraic laws and against brute-force possible-world enumeration.
+
+use capra_events::worlds::brute_force_prob;
+use capra_events::{
+    brute_force_expectation, expectation, EventExpr, Evaluator, Factor, Universe, VarId,
+};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-9;
+
+/// A reproducible random universe of `n_bool` boolean variables and
+/// `n_choice` three-way choice variables, with probabilities derived from
+/// the given byte seeds.
+fn build_universe(bool_ps: &[u8], choice_ps: &[(u8, u8)]) -> (Universe, Vec<VarId>) {
+    let mut u = Universe::new();
+    let mut vars = Vec::new();
+    for (i, &b) in bool_ps.iter().enumerate() {
+        let p = f64::from(b) / 255.0;
+        vars.push(u.add_bool(&format!("b{i}"), p).unwrap());
+    }
+    for (i, &(x, y)) in choice_ps.iter().enumerate() {
+        // Two alternatives scaled to sum below 1; residual takes the rest.
+        let p0 = f64::from(x) / 512.0;
+        let p1 = f64::from(y) / 512.0;
+        vars.push(u.add_choice(&format!("c{i}"), &[p0, p1]).unwrap());
+    }
+    (u, vars)
+}
+
+/// Recursively build an expression from a shape script. Each step consumes
+/// entries from `ops`; depth is bounded by construction of the vec length.
+/// `n_bool` is the number of leading boolean variables in `vars` (which only
+/// have alternative 0); the remaining choice variables have two.
+fn build_expr(
+    vars: &[VarId],
+    n_bool: usize,
+    alts: &[u16],
+    ops: &[u8],
+    pos: &mut usize,
+    depth: u32,
+) -> EventExpr {
+    let atom_for = |idx: usize, alt_seed: u16| {
+        let vi = idx % vars.len();
+        let alt = if vi < n_bool { 0 } else { alt_seed % 2 };
+        EventExpr::atom(vars[vi], alt)
+    };
+    if *pos >= ops.len() || depth > 3 {
+        let a = atom_for(*pos, alts[*pos % alts.len()]);
+        *pos += 1;
+        return a;
+    }
+    let op = ops[*pos];
+    *pos += 1;
+    match op % 4 {
+        0 => atom_for(op as usize, u16::from(op) >> 2),
+        1 => EventExpr::not(build_expr(vars, n_bool, alts, ops, pos, depth + 1)),
+        2 => EventExpr::and([
+            build_expr(vars, n_bool, alts, ops, pos, depth + 1),
+            build_expr(vars, n_bool, alts, ops, pos, depth + 1),
+        ]),
+        _ => EventExpr::or([
+            build_expr(vars, n_bool, alts, ops, pos, depth + 1),
+            build_expr(vars, n_bool, alts, ops, pos, depth + 1),
+        ]),
+    }
+}
+
+prop_compose! {
+    fn scenario()(
+        bool_ps in prop::collection::vec(any::<u8>(), 1..4),
+        choice_ps in prop::collection::vec((any::<u8>(), any::<u8>()), 0..3),
+        ops in prop::collection::vec(any::<u8>(), 1..24),
+        alts in prop::collection::vec(any::<u16>(), 1..8),
+    ) -> (Universe, EventExpr) {
+        let (u, vars) = build_universe(&bool_ps, &choice_ps);
+        let mut pos = 0;
+        let e = build_expr(&vars, bool_ps.len(), &alts, &ops, &mut pos, 0);
+        (u, e)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prob_in_unit_interval((u, e) in scenario()) {
+        let mut ev = Evaluator::new(&u);
+        let p = ev.prob(&e);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn complement_law((u, e) in scenario()) {
+        let mut ev = Evaluator::new(&u);
+        let p = ev.prob(&e);
+        let np = ev.prob(&EventExpr::not(e));
+        prop_assert!((p + np - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn idempotence((u, e) in scenario()) {
+        let mut ev = Evaluator::new(&u);
+        let p = ev.prob(&e);
+        prop_assert!((ev.prob(&EventExpr::and([e.clone(), e.clone()])) - p).abs() < TOL);
+        prop_assert!((ev.prob(&EventExpr::or([e.clone(), e])) - p).abs() < TOL);
+    }
+
+    #[test]
+    fn inclusion_exclusion((ua, a) in scenario(), (_ub, _b) in scenario()) {
+        // Use two expressions over the SAME universe for a meaningful law;
+        // regenerate b over ua's variables by reusing a's complement shape.
+        let b = EventExpr::not(a.clone());
+        let mut ev = Evaluator::new(&ua);
+        let pa = ev.prob(&a);
+        let pb = ev.prob(&b);
+        let pab = ev.prob(&EventExpr::and([a.clone(), b.clone()]));
+        let pa_or_b = ev.prob(&EventExpr::or([a, b]));
+        prop_assert!((pa_or_b - (pa + pb - pab)).abs() < TOL);
+    }
+
+    #[test]
+    fn evaluator_matches_brute_force((u, e) in scenario()) {
+        let mut ev = Evaluator::new(&u);
+        let exact = ev.prob(&e);
+        let brute = brute_force_prob(&u, &e);
+        prop_assert!((exact - brute).abs() < TOL, "{exact} vs {brute} for {e}");
+    }
+
+    #[test]
+    fn ablations_agree((u, e) in scenario()) {
+        let mut base = Evaluator::new(&u);
+        let expected = base.prob(&e);
+        for (memo, comp) in [(false, false), (true, false), (false, true)] {
+            let mut ev = Evaluator::with_options(&u, memo, comp);
+            prop_assert!((ev.prob(&e) - expected).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn expectation_matches_brute_force(
+        (u, e1) in scenario(),
+        w_hi in 0.0f64..1.0,
+        w_lo in 0.0f64..1.0,
+    ) {
+        // Paper-shaped factors: σ when e holds, 1−σ otherwise, plus a second
+        // factor correlated through the same expression's complement.
+        let f1 = Factor::new([(e1.clone(), w_hi), (EventExpr::not(e1.clone()), 1.0 - w_hi)]);
+        let f2 = Factor::new([
+            (EventExpr::not(e1.clone()), w_lo),
+            (e1.clone(), 1.0 - w_lo),
+        ]);
+        let exact = expectation(&u, &[f1.clone(), f2.clone()]);
+        let brute = brute_force_expectation(&u, &[f1, f2]);
+        prop_assert!((exact - brute).abs() < TOL, "{exact} vs {brute}");
+    }
+
+    #[test]
+    fn expectation_of_indicator_is_probability((u, e) in scenario()) {
+        let mut ev = Evaluator::new(&u);
+        let p = ev.prob(&e);
+        let via_expect = expectation(&u, &[Factor::indicator(e)]);
+        prop_assert!((p - via_expect).abs() < TOL);
+    }
+
+    #[test]
+    fn restriction_partitions_probability((u, e) in scenario()) {
+        // P(e) = Σ_o P(var=o) · P(e | var=o) for any variable in support.
+        let support = e.support();
+        if let Some(&var) = support.iter().next() {
+            let mut ev = Evaluator::new(&u);
+            let direct = ev.prob(&e);
+            let n = u.num_outcomes(var).unwrap();
+            let mut total = 0.0;
+            for o in 0..n {
+                total += u.outcome_prob(var, o).unwrap() * ev.prob(&e.restrict(var, o));
+            }
+            prop_assert!((direct - total).abs() < TOL);
+        }
+    }
+}

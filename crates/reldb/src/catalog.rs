@@ -1,0 +1,275 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use capra_events::Universe;
+use parking_lot::RwLock;
+
+use crate::{DbError, Plan, Relation, Result, Row, Schema};
+
+/// A stored table: a schema and a concurrently readable bag of rows.
+///
+/// Rows sit behind a [`parking_lot::RwLock`] so that a context provider can
+/// append fresh sensor-derived rows while queries snapshot the table — the
+/// paper's "uniform tabular view towards both static and dynamic contexts".
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    schema: Arc<Schema>,
+    rows: RwLock<Vec<Row>>,
+}
+
+impl Table {
+    fn new(name: String, schema: Arc<Schema>) -> Self {
+        Self {
+            name,
+            schema,
+            rows: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Appends rows after validating them against the schema.
+    pub fn insert(&self, rows: Vec<Row>) -> Result<usize> {
+        // Validate outside the lock.
+        let validated = Relation::new(self.schema.clone(), rows)?;
+        let mut guard = self.rows.write();
+        let n = validated.len();
+        guard.extend(validated.into_rows());
+        Ok(n)
+    }
+
+    /// Copies the current rows out (queries operate on snapshots).
+    pub fn snapshot(&self) -> Vec<Row> {
+        self.rows.read().clone()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.read().len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.read().is_empty()
+    }
+
+    /// Removes all rows (used when re-feeding dynamic context tables).
+    pub fn clear(&self) {
+        self.rows.write().clear();
+    }
+}
+
+/// A named view: a stored plan, expanded on scan.
+#[derive(Debug, Clone)]
+pub struct View {
+    /// View name.
+    pub name: String,
+    /// The plan the view stands for.
+    pub plan: Arc<Plan>,
+}
+
+/// The catalog: named tables and views.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    views: RwLock<HashMap<String, Arc<View>>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table. Fails if a table or view with the name exists.
+    pub fn create_table(&self, name: &str, schema: Arc<Schema>) -> Result<Arc<Table>> {
+        if self.views.read().contains_key(name) {
+            return Err(DbError::DuplicateTable(name.to_string()));
+        }
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(DbError::DuplicateTable(name.to_string()));
+        }
+        let table = Arc::new(Table::new(name.to_string(), schema));
+        tables.insert(name.to_string(), table.clone());
+        Ok(table)
+    }
+
+    /// Creates (or replaces) a view.
+    pub fn create_view(&self, name: &str, plan: Plan) -> Result<Arc<View>> {
+        if self.tables.read().contains_key(name) {
+            return Err(DbError::DuplicateTable(name.to_string()));
+        }
+        let view = Arc::new(View {
+            name: name.to_string(),
+            plan: Arc::new(plan),
+        });
+        self.views.write().insert(name.to_string(), view.clone());
+        Ok(view)
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Looks up a view.
+    pub fn view(&self, name: &str) -> Option<Arc<View>> {
+        self.views.read().get(name).cloned()
+    }
+
+    /// Drops a table (no-op result if absent).
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.tables
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Drops a view.
+    pub fn drop_view(&self, name: &str) -> Result<()> {
+        self.views
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Names of all views, sorted.
+    pub fn view_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.views.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Total number of rows across all tables (the paper reports its test
+    /// database size this way: "around 11000 tuples").
+    pub fn total_rows(&self) -> usize {
+        self.tables.read().values().map(|t| t.len()).sum()
+    }
+}
+
+/// A handle bundling a catalog with the SQL front-end.
+#[derive(Debug, Default)]
+pub struct Database {
+    catalog: Arc<Catalog>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Parses and executes one SQL statement. DDL statements return an
+    /// empty relation; queries return their result.
+    pub fn execute_sql(&self, sql: &str) -> Result<Relation> {
+        crate::sql::execute(&self.catalog, None, sql)
+    }
+
+    /// Like [`Database::execute_sql`], with an event universe available for
+    /// probabilistic aggregates (`ECOUNT`).
+    pub fn execute_sql_with(&self, sql: &str, universe: &Universe) -> Result<Relation> {
+        crate::sql::execute(&self.catalog, Some(universe), sql)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{certain_rows, DataType, Datum};
+
+    fn demo_schema() -> Arc<Schema> {
+        Schema::of(&[("name", DataType::Str), ("score", DataType::Float)])
+    }
+
+    #[test]
+    fn create_insert_snapshot() {
+        let cat = Catalog::new();
+        let t = cat.create_table("programs", demo_schema()).unwrap();
+        let n = t
+            .insert(certain_rows(vec![
+                vec!["Oprah".into(), 0.071.into()],
+                vec!["BBC news".into(), 0.18.into()],
+            ]))
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(cat.total_rows(), 2);
+        let snap = t.snapshot();
+        assert_eq!(snap[0].values[0], Datum::str("Oprah"));
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_rejected_across_kinds() {
+        let cat = Catalog::new();
+        cat.create_table("t", demo_schema()).unwrap();
+        assert!(matches!(
+            cat.create_table("t", demo_schema()),
+            Err(DbError::DuplicateTable(_))
+        ));
+        assert!(matches!(
+            cat.create_view("t", Plan::scan("x")),
+            Err(DbError::DuplicateTable(_))
+        ));
+        cat.create_view("v", Plan::scan("t")).unwrap();
+        assert!(matches!(
+            cat.create_table("v", demo_schema()),
+            Err(DbError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn insert_validates_schema() {
+        let cat = Catalog::new();
+        let t = cat.create_table("t", demo_schema()).unwrap();
+        let err = t.insert(certain_rows(vec![vec![1i64.into(), "x".into()]]));
+        assert!(matches!(err, Err(DbError::SchemaMismatch { .. })));
+        assert!(t.is_empty(), "failed insert must not partially apply");
+    }
+
+    #[test]
+    fn lookups_and_drops() {
+        let cat = Catalog::new();
+        cat.create_table("a", demo_schema()).unwrap();
+        cat.create_view("v", Plan::scan("a")).unwrap();
+        assert!(cat.table("a").is_ok());
+        assert!(cat.view("v").is_some());
+        assert!(matches!(cat.table("missing"), Err(DbError::UnknownTable(_))));
+        assert_eq!(cat.table_names(), vec!["a"]);
+        assert_eq!(cat.view_names(), vec!["v"]);
+        cat.drop_view("v").unwrap();
+        assert!(cat.view("v").is_none());
+        cat.drop_table("a").unwrap();
+        assert!(cat.table("a").is_err());
+        assert!(cat.drop_table("a").is_err());
+    }
+}

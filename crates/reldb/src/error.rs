@@ -1,0 +1,81 @@
+use std::fmt;
+
+/// Errors raised by the relational engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Referenced table (or view) does not exist.
+    UnknownTable(String),
+    /// A table or view with this name already exists.
+    DuplicateTable(String),
+    /// Referenced column does not exist.
+    UnknownColumn(String),
+    /// An unqualified column name matched several columns.
+    AmbiguousColumn(String),
+    /// Row arity or column types do not match the schema.
+    SchemaMismatch {
+        /// Left/expected schema (display form).
+        left: String,
+        /// Right/actual schema (display form).
+        right: String,
+    },
+    /// A scalar expression was applied to a value of the wrong type.
+    TypeError(String),
+    /// Division by zero in a scalar expression.
+    DivisionByZero,
+    /// SQL syntax error.
+    SqlParse {
+        /// Byte offset in the SQL text.
+        at: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A feature the engine does not support was requested.
+    Unsupported(String),
+    /// An aggregate needed a universe (e.g. expected counts) but the
+    /// executor was not given one.
+    MissingUniverse,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(t) => write!(f, "unknown table or view `{t}`"),
+            DbError::DuplicateTable(t) => write!(f, "table or view `{t}` already exists"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            DbError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            DbError::SchemaMismatch { left, right } => {
+                write!(f, "schema mismatch: {left} vs {right}")
+            }
+            DbError::TypeError(msg) => write!(f, "type error: {msg}"),
+            DbError::DivisionByZero => write!(f, "division by zero"),
+            DbError::SqlParse { at, message } => {
+                write!(f, "SQL syntax error at byte {at}: {message}")
+            }
+            DbError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            DbError::MissingUniverse => {
+                write!(f, "this query needs an event universe (Executor::with_universe)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_subject() {
+        assert!(DbError::UnknownTable("programs".into())
+            .to_string()
+            .contains("programs"));
+        assert!(DbError::SqlParse {
+            at: 12,
+            message: "expected FROM".into()
+        }
+        .to_string()
+        .contains("byte 12"));
+        assert!(DbError::AmbiguousColumn("id".into()).to_string().contains("id"));
+    }
+}

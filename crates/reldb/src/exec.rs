@@ -1,0 +1,710 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use capra_events::{Evaluator, EventExpr, Universe};
+
+use crate::plan::{agg_type, infer_type};
+use crate::{
+    AggExpr, AggFun, Catalog, Column, Datum, DbError, Plan, Relation, Result, Row,
+    ScalarExpr, Schema, SortKey,
+};
+
+/// Maximum view-expansion depth, guarding against view cycles created after
+/// definition time (definitions themselves cannot be checked because views
+/// may be created in any order).
+const MAX_VIEW_DEPTH: usize = 64;
+
+/// Materialising plan evaluator with lineage propagation.
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+    universe: Option<&'a Universe>,
+}
+
+impl<'a> Executor<'a> {
+    /// An executor over a catalog.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Self {
+            catalog,
+            universe: None,
+        }
+    }
+
+    /// Supplies an event universe, enabling probabilistic aggregates.
+    pub fn with_universe(mut self, universe: &'a Universe) -> Self {
+        self.universe = Some(universe);
+        self
+    }
+
+    /// Runs a plan to a materialised relation.
+    pub fn run(&self, plan: &Plan) -> Result<Relation> {
+        self.run_depth(plan, 0)
+    }
+
+    fn run_depth(&self, plan: &Plan, depth: usize) -> Result<Relation> {
+        match plan {
+            Plan::Scan { table, alias } => self.scan(table, alias.as_deref(), depth),
+            Plan::Values { schema, rows } => Relation::new(schema.clone(), rows.clone()),
+            Plan::Select { input, predicate } => {
+                let input = self.run_depth(input, depth)?;
+                let rows = input
+                    .rows()
+                    .iter()
+                    .filter_map(|r| match predicate.matches(r) {
+                        Ok(true) => Some(Ok(r.clone())),
+                        Ok(false) => None,
+                        Err(e) => Some(Err(e)),
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Relation::trusted(input.schema().clone(), rows))
+            }
+            Plan::Project { input, exprs } => {
+                let input = self.run_depth(input, depth)?;
+                let out_schema = Arc::new(Schema::new(
+                    exprs
+                        .iter()
+                        .map(|(e, name)| Column::new(name.clone(), infer_type(e, input.schema())))
+                        .collect(),
+                ));
+                let rows = input
+                    .rows()
+                    .iter()
+                    .map(|r| {
+                        let values = exprs
+                            .iter()
+                            .map(|(e, _)| e.eval(r))
+                            .collect::<Result<Vec<_>>>()?;
+                        Ok(Row {
+                            values,
+                            lineage: r.lineage.clone(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Relation::trusted(out_schema, rows))
+            }
+            Plan::Join {
+                left,
+                right,
+                on,
+                filter,
+            } => self.join(left, right, on, filter.as_ref(), depth),
+            Plan::Union { left, right } => {
+                let l = self.run_depth(left, depth)?;
+                let r = self.run_depth(right, depth)?;
+                l.schema().union_compatible(r.schema())?;
+                let mut rows = l.rows().to_vec();
+                rows.extend(r.rows().iter().cloned());
+                Ok(Relation::trusted(l.schema().clone(), rows))
+            }
+            Plan::Distinct { input } => {
+                let input = self.run_depth(input, depth)?;
+                Ok(distinct(input))
+            }
+            Plan::OrderBy { input, keys } => {
+                let input = self.run_depth(input, depth)?;
+                order_by(input, keys)
+            }
+            Plan::Limit { input, limit } => {
+                let input = self.run_depth(input, depth)?;
+                let schema = input.schema().clone();
+                let mut rows = input.into_rows();
+                rows.truncate(*limit);
+                Ok(Relation::trusted(schema, rows))
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let input = self.run_depth(input, depth)?;
+                self.aggregate(input, group_by, aggs)
+            }
+        }
+    }
+
+    fn scan(&self, name: &str, alias: Option<&str>, depth: usize) -> Result<Relation> {
+        if depth > MAX_VIEW_DEPTH {
+            return Err(DbError::Unsupported(format!(
+                "view nesting deeper than {MAX_VIEW_DEPTH} (cycle?)"
+            )));
+        }
+        if let Some(view) = self.catalog.view(name) {
+            let rel = self.run_depth(&view.plan, depth + 1)?;
+            let qualified = Arc::new(rel.schema().qualified(alias.unwrap_or(name)));
+            return Ok(Relation::trusted(qualified, rel.into_rows()));
+        }
+        let table = self.catalog.table(name)?;
+        let qualified = Arc::new(table.schema().qualified(alias.unwrap_or(name)));
+        Ok(Relation::trusted(qualified, table.snapshot()))
+    }
+
+    fn join(
+        &self,
+        left: &Plan,
+        right: &Plan,
+        on: &[(usize, usize)],
+        filter: Option<&ScalarExpr>,
+        depth: usize,
+    ) -> Result<Relation> {
+        let l = self.run_depth(left, depth)?;
+        let r = self.run_depth(right, depth)?;
+        let out_schema = Arc::new(l.schema().join(r.schema()));
+        let mut rows = Vec::new();
+        let mut emit = |lr: &Row, rr: &Row| -> Result<()> {
+            let mut values = lr.values.clone();
+            values.extend(rr.values.iter().cloned());
+            let row = Row {
+                values,
+                lineage: EventExpr::and([lr.lineage.clone(), rr.lineage.clone()]),
+            };
+            let keep = match filter {
+                Some(f) => f.matches(&row)?,
+                None => true,
+            };
+            if keep && !row.lineage.is_false() {
+                rows.push(row);
+            }
+            Ok(())
+        };
+        if on.is_empty() {
+            for lr in l.rows() {
+                for rr in r.rows() {
+                    emit(lr, rr)?;
+                }
+            }
+        } else {
+            // Hash join: build on the right side.
+            let mut table: HashMap<Vec<Datum>, Vec<&Row>> = HashMap::new();
+            for rr in r.rows() {
+                let key: Vec<Datum> = on.iter().map(|&(_, ri)| rr.values[ri].clone()).collect();
+                if key.iter().any(Datum::is_null) {
+                    continue; // NULL never joins
+                }
+                table.entry(key).or_default().push(rr);
+            }
+            for lr in l.rows() {
+                let key: Vec<Datum> = on.iter().map(|&(li, _)| lr.values[li].clone()).collect();
+                if key.iter().any(Datum::is_null) {
+                    continue;
+                }
+                if let Some(matches) = table.get(&key) {
+                    for rr in matches {
+                        emit(lr, rr)?;
+                    }
+                }
+            }
+        }
+        Ok(Relation::trusted(out_schema, rows))
+    }
+
+    fn aggregate(
+        &self,
+        input: Relation,
+        group_by: &[usize],
+        aggs: &[AggExpr],
+    ) -> Result<Relation> {
+        let in_schema = input.schema().clone();
+        let mut out_cols: Vec<Column> = group_by
+            .iter()
+            .map(|&i| {
+                in_schema
+                    .column(i)
+                    .cloned()
+                    .ok_or_else(|| DbError::UnknownColumn(format!("#{i}")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        for agg in aggs {
+            out_cols.push(Column::new(agg.name.clone(), agg_type(agg, &in_schema)));
+        }
+        let out_schema = Arc::new(Schema::new(out_cols));
+
+        // Group rows, preserving first-seen key order for determinism.
+        let mut order: Vec<Vec<Datum>> = Vec::new();
+        let mut groups: HashMap<Vec<Datum>, Vec<&Row>> = HashMap::new();
+        for row in input.rows() {
+            let key: Vec<Datum> = group_by.iter().map(|&i| row.values[i].clone()).collect();
+            match groups.entry(key.clone()) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    order.push(key);
+                    e.insert(vec![row]);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(row),
+            }
+        }
+        // A global aggregate over an empty input still produces one row.
+        if group_by.is_empty() && order.is_empty() {
+            order.push(Vec::new());
+            groups.insert(Vec::new(), Vec::new());
+        }
+
+        let mut evaluator = self.universe.map(Evaluator::new);
+        let mut out_rows = Vec::with_capacity(order.len());
+        for key in order {
+            let members = &groups[&key];
+            let mut values = key.clone();
+            for agg in aggs {
+                values.push(self.eval_agg(agg, members, &mut evaluator)?);
+            }
+            let lineage = EventExpr::or(members.iter().map(|r| r.lineage.clone()));
+            out_rows.push(Row { values, lineage });
+        }
+        Ok(Relation::trusted(out_schema, out_rows))
+    }
+
+    fn eval_agg(
+        &self,
+        agg: &AggExpr,
+        rows: &[&Row],
+        evaluator: &mut Option<Evaluator<'_>>,
+    ) -> Result<Datum> {
+        let arg_values = |rows: &[&Row]| -> Result<Vec<Datum>> {
+            let expr = agg.arg.as_ref().ok_or_else(|| {
+                DbError::Unsupported(format!("{:?} requires an argument", agg.fun))
+            })?;
+            rows.iter()
+                .map(|r| expr.eval(r))
+                .filter(|d| !matches!(d, Ok(Datum::Null)))
+                .collect()
+        };
+        match agg.fun {
+            AggFun::Count => match &agg.arg {
+                None => Ok(Datum::Int(rows.len() as i64)),
+                Some(_) => Ok(Datum::Int(arg_values(rows)?.len() as i64)),
+            },
+            AggFun::ExpectedCount => {
+                let ev = evaluator.as_mut().ok_or(DbError::MissingUniverse)?;
+                let total: f64 = rows.iter().map(|r| ev.prob(&r.lineage)).sum();
+                Ok(Datum::Float(total))
+            }
+            AggFun::Sum => {
+                let vals = arg_values(rows)?;
+                if vals.is_empty() {
+                    return Ok(Datum::Null);
+                }
+                if vals.iter().all(|v| matches!(v, Datum::Int(_))) {
+                    Ok(Datum::Int(vals.iter().filter_map(Datum::as_i64).sum()))
+                } else {
+                    let total: Option<f64> = vals.iter().map(Datum::as_f64).sum();
+                    total.map(Datum::Float).ok_or_else(|| {
+                        DbError::TypeError("SUM over non-numeric values".into())
+                    })
+                }
+            }
+            AggFun::Avg => {
+                let vals = arg_values(rows)?;
+                if vals.is_empty() {
+                    return Ok(Datum::Null);
+                }
+                let total: Option<f64> = vals.iter().map(Datum::as_f64).sum();
+                let total = total.ok_or_else(|| {
+                    DbError::TypeError("AVG over non-numeric values".into())
+                })?;
+                Ok(Datum::Float(total / vals.len() as f64))
+            }
+            AggFun::Min => Ok(arg_values(rows)?.into_iter().min().unwrap_or(Datum::Null)),
+            AggFun::Max => Ok(arg_values(rows)?.into_iter().max().unwrap_or(Datum::Null)),
+        }
+    }
+}
+
+/// Duplicate elimination with lineage disjunction (probabilistic DISTINCT).
+fn distinct(input: Relation) -> Relation {
+    let schema = input.schema().clone();
+    let mut order: Vec<Vec<Datum>> = Vec::new();
+    let mut merged: HashMap<Vec<Datum>, EventExpr> = HashMap::new();
+    for row in input.into_rows() {
+        match merged.entry(row.values.clone()) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                order.push(row.values);
+                e.insert(row.lineage);
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let combined = EventExpr::or([e.get().clone(), row.lineage]);
+                *e.get_mut() = combined;
+            }
+        }
+    }
+    let rows = order
+        .into_iter()
+        .map(|values| {
+            let lineage = merged[&values].clone();
+            Row { values, lineage }
+        })
+        .collect();
+    Relation::trusted(schema, rows)
+}
+
+fn order_by(input: Relation, keys: &[SortKey]) -> Result<Relation> {
+    let schema = input.schema().clone();
+    let mut decorated: Vec<(Vec<Datum>, Row)> = input
+        .into_rows()
+        .into_iter()
+        .map(|row| {
+            let key = keys
+                .iter()
+                .map(|k| k.expr.eval(&row))
+                .collect::<Result<Vec<_>>>()?;
+            Ok((key, row))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    decorated.sort_by(|(ka, _), (kb, _)| {
+        for (i, key) in keys.iter().enumerate() {
+            let ord = ka[i].cmp(&kb[i]);
+            let ord = if key.desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(Relation::trusted(
+        schema,
+        decorated.into_iter().map(|(_, r)| r).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{certain_rows, CmpOp, DataType};
+
+    fn setup() -> Catalog {
+        let cat = Catalog::new();
+        let programs = cat
+            .create_table(
+                "programs",
+                Schema::of(&[
+                    ("id", DataType::Int),
+                    ("name", DataType::Str),
+                    ("score", DataType::Float),
+                ]),
+            )
+            .unwrap();
+        programs
+            .insert(certain_rows(vec![
+                vec![1i64.into(), "Channel 5 news".into(), 0.6006.into()],
+                vec![2i64.into(), "Oprah".into(), 0.071.into()],
+                vec![3i64.into(), "BBC news".into(), 0.18.into()],
+                vec![4i64.into(), "MPFC".into(), 0.02.into()],
+            ]))
+            .unwrap();
+        let genres = cat
+            .create_table(
+                "genres",
+                Schema::of(&[("program_id", DataType::Int), ("genre", DataType::Str)]),
+            )
+            .unwrap();
+        genres
+            .insert(certain_rows(vec![
+                vec![1i64.into(), "news".into()],
+                vec![2i64.into(), "human-interest".into()],
+                vec![3i64.into(), "news".into()],
+            ]))
+            .unwrap();
+        cat
+    }
+
+    #[test]
+    fn scan_select_project_order_limit() {
+        let cat = setup();
+        let ex = Executor::new(&cat);
+        // The paper's introduction query:
+        // SELECT name, score FROM programs WHERE score > 0.5 ORDER BY score DESC
+        let plan = Plan::scan("programs")
+            .select(ScalarExpr::cmp(
+                CmpOp::Gt,
+                ScalarExpr::col(2),
+                ScalarExpr::lit(0.5),
+            ))
+            .project(vec![
+                (ScalarExpr::col(1), "name".into()),
+                (ScalarExpr::col(2), "score".into()),
+            ])
+            .order_by(vec![SortKey {
+                expr: ScalarExpr::col(1),
+                desc: true,
+            }])
+            .limit(10);
+        let out = ex.run(&plan).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0].values[0], Datum::str("Channel 5 news"));
+    }
+
+    #[test]
+    fn hash_join_matches_pairs() {
+        let cat = setup();
+        let ex = Executor::new(&cat);
+        let plan = Plan::Join {
+            left: Box::new(Plan::scan("programs")),
+            right: Box::new(Plan::scan("genres")),
+            on: vec![(0, 0)],
+            filter: None,
+        };
+        let out = ex.run(&plan).unwrap();
+        assert_eq!(out.len(), 3);
+        // Qualified resolution works on the join output.
+        let idx = out.schema().resolve("genres.genre").unwrap();
+        assert!(out.rows().iter().any(|r| r.values[idx] == Datum::str("news")));
+    }
+
+    #[test]
+    fn cross_join_with_filter() {
+        let cat = setup();
+        let ex = Executor::new(&cat);
+        let plan = Plan::Join {
+            left: Box::new(Plan::scan("programs")),
+            right: Box::new(Plan::scan("genres")),
+            on: vec![],
+            filter: Some(ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::col(3))),
+        };
+        let out = ex.run(&plan).unwrap();
+        assert_eq!(out.len(), 3, "filtered cross product = equijoin");
+    }
+
+    #[test]
+    fn union_and_distinct_merge_lineage() {
+        let mut u = Universe::new();
+        let v1 = u.add_bool("v1", 0.5).unwrap();
+        let v2 = u.add_bool("v2", 0.5).unwrap();
+        let cat = Catalog::new();
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        let t = cat.create_table("t", schema.clone()).unwrap();
+        t.insert(vec![
+            Row::uncertain(vec![1i64.into()], u.bool_event(v1).unwrap()),
+            Row::uncertain(vec![1i64.into()], u.bool_event(v2).unwrap()),
+            Row::certain(vec![2i64.into()]),
+        ])
+        .unwrap();
+        let ex = Executor::new(&cat);
+        let plan = Plan::scan("t").distinct();
+        let out = ex.run(&plan).unwrap();
+        assert_eq!(out.len(), 2);
+        let one = out
+            .rows()
+            .iter()
+            .find(|r| r.values[0] == Datum::Int(1))
+            .unwrap();
+        // Lineage of the merged duplicate: v1 ∨ v2 → P = 0.75.
+        let mut ev = Evaluator::new(&u);
+        assert!((ev.prob(&one.lineage) - 0.75).abs() < 1e-12);
+
+        let union = Plan::Union {
+            left: Box::new(Plan::scan("t")),
+            right: Box::new(Plan::scan("t")),
+        };
+        assert_eq!(ex.run(&union).unwrap().len(), 6, "bag union keeps duplicates");
+    }
+
+    #[test]
+    fn join_lineage_is_conjunction() {
+        let mut u = Universe::new();
+        let va = u.add_bool("a", 0.5).unwrap();
+        let vb = u.add_bool("b", 0.4).unwrap();
+        let cat = Catalog::new();
+        let ta = cat
+            .create_table("ta", Schema::of(&[("k", DataType::Int)]))
+            .unwrap();
+        let tb = cat
+            .create_table("tb", Schema::of(&[("k", DataType::Int)]))
+            .unwrap();
+        ta.insert(vec![Row::uncertain(vec![1i64.into()], u.bool_event(va).unwrap())])
+            .unwrap();
+        tb.insert(vec![Row::uncertain(vec![1i64.into()], u.bool_event(vb).unwrap())])
+            .unwrap();
+        let ex = Executor::new(&cat);
+        let plan = Plan::Join {
+            left: Box::new(Plan::scan("ta")),
+            right: Box::new(Plan::scan("tb")),
+            on: vec![(0, 0)],
+            filter: None,
+        };
+        let out = ex.run(&plan).unwrap();
+        assert_eq!(out.len(), 1);
+        let mut ev = Evaluator::new(&u);
+        assert!((ev.prob(&out.rows()[0].lineage) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregates_with_groups() {
+        let cat = setup();
+        let ex = Executor::new(&cat);
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::scan("genres")),
+            group_by: vec![1],
+            aggs: vec![AggExpr {
+                fun: AggFun::Count,
+                arg: None,
+                name: "n".into(),
+            }],
+        };
+        let out = ex.run(&plan).unwrap();
+        assert_eq!(out.len(), 2);
+        let news = out
+            .rows()
+            .iter()
+            .find(|r| r.values[0] == Datum::str("news"))
+            .unwrap();
+        assert_eq!(news.values[1], Datum::Int(2));
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let cat = setup();
+        let ex = Executor::new(&cat);
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::scan("programs")),
+            group_by: vec![],
+            aggs: vec![
+                AggExpr {
+                    fun: AggFun::Count,
+                    arg: None,
+                    name: "n".into(),
+                },
+                AggExpr {
+                    fun: AggFun::Avg,
+                    arg: Some(ScalarExpr::col(2)),
+                    name: "avg_score".into(),
+                },
+                AggExpr {
+                    fun: AggFun::Min,
+                    arg: Some(ScalarExpr::col(2)),
+                    name: "min_score".into(),
+                },
+                AggExpr {
+                    fun: AggFun::Max,
+                    arg: Some(ScalarExpr::col(2)),
+                    name: "max_score".into(),
+                },
+                AggExpr {
+                    fun: AggFun::Sum,
+                    arg: Some(ScalarExpr::col(0)),
+                    name: "sum_id".into(),
+                },
+            ],
+        };
+        let out = ex.run(&plan).unwrap();
+        assert_eq!(out.len(), 1);
+        let r = &out.rows()[0].values;
+        assert_eq!(r[0], Datum::Int(4));
+        let avg = (0.6006 + 0.071 + 0.18 + 0.02) / 4.0;
+        assert!((r[1].as_f64().unwrap() - avg).abs() < 1e-12);
+        assert_eq!(r[2], Datum::Float(0.02));
+        assert_eq!(r[3], Datum::Float(0.6006));
+        assert_eq!(r[4], Datum::Int(10));
+    }
+
+    #[test]
+    fn expected_count_needs_universe() {
+        let mut u = Universe::new();
+        let v = u.add_bool("v", 0.25).unwrap();
+        let cat = Catalog::new();
+        let t = cat
+            .create_table("t", Schema::of(&[("x", DataType::Int)]))
+            .unwrap();
+        t.insert(vec![
+            Row::certain(vec![1i64.into()]),
+            Row::uncertain(vec![2i64.into()], u.bool_event(v).unwrap()),
+        ])
+        .unwrap();
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::scan("t")),
+            group_by: vec![],
+            aggs: vec![AggExpr {
+                fun: AggFun::ExpectedCount,
+                arg: None,
+                name: "en".into(),
+            }],
+        };
+        let no_universe = Executor::new(&cat).run(&plan);
+        assert!(matches!(no_universe, Err(DbError::MissingUniverse)));
+        let out = Executor::new(&cat).with_universe(&u).run(&plan).unwrap();
+        assert_eq!(out.rows()[0].values[0], Datum::Float(1.25));
+    }
+
+    #[test]
+    fn views_expand_and_detect_cycles() {
+        let cat = setup();
+        cat.create_view(
+            "good_programs",
+            Plan::scan("programs").select(ScalarExpr::cmp(
+                CmpOp::Gt,
+                ScalarExpr::col(2),
+                ScalarExpr::lit(0.1),
+            )),
+        )
+        .unwrap();
+        let ex = Executor::new(&cat);
+        let out = ex.run(&Plan::scan("good_programs")).unwrap();
+        assert_eq!(out.len(), 2);
+        // Column names re-qualified under the view name.
+        assert!(out.schema().resolve("good_programs.name").is_ok());
+
+        // Cyclic views: a → b → a.
+        cat.create_view("a", Plan::scan("b")).unwrap();
+        cat.create_view("b", Plan::scan("a")).unwrap();
+        let err = ex.run(&Plan::scan("a"));
+        assert!(matches!(err, Err(DbError::Unsupported(_))));
+    }
+
+    #[test]
+    fn order_by_is_stable_and_directional() {
+        let cat = Catalog::new();
+        let t = cat
+            .create_table(
+                "t",
+                Schema::of(&[("k", DataType::Int), ("tag", DataType::Str)]),
+            )
+            .unwrap();
+        t.insert(certain_rows(vec![
+            vec![1i64.into(), "a".into()],
+            vec![2i64.into(), "b".into()],
+            vec![1i64.into(), "c".into()],
+        ]))
+        .unwrap();
+        let ex = Executor::new(&cat);
+        let plan = Plan::scan("t").order_by(vec![SortKey {
+            expr: ScalarExpr::col(0),
+            desc: false,
+        }]);
+        let out = ex.run(&plan).unwrap();
+        let tags: Vec<_> = out
+            .rows()
+            .iter()
+            .map(|r| r.values[1].as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(tags, vec!["a", "c", "b"], "stable: a before c");
+        let desc = Plan::scan("t").order_by(vec![SortKey {
+            expr: ScalarExpr::col(0),
+            desc: true,
+        }]);
+        let out = ex.run(&desc).unwrap();
+        assert_eq!(out.rows()[0].values[0], Datum::Int(2));
+    }
+
+    #[test]
+    fn empty_aggregate_produces_single_row() {
+        let cat = Catalog::new();
+        cat.create_table("e", Schema::of(&[("x", DataType::Int)]))
+            .unwrap();
+        let ex = Executor::new(&cat);
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::scan("e")),
+            group_by: vec![],
+            aggs: vec![
+                AggExpr {
+                    fun: AggFun::Count,
+                    arg: None,
+                    name: "n".into(),
+                },
+                AggExpr {
+                    fun: AggFun::Sum,
+                    arg: Some(ScalarExpr::col(0)),
+                    name: "s".into(),
+                },
+            ],
+        };
+        let out = ex.run(&plan).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0].values[0], Datum::Int(0));
+        assert_eq!(out.rows()[0].values[1], Datum::Null);
+    }
+}

@@ -1,0 +1,197 @@
+//! `EXPLAIN`-style plan rendering.
+//!
+//! The scaling experiment's headline quantity is how large the naive
+//! engine's view plans get; this module renders any [`Plan`] as an indented
+//! operator tree (one line per operator, children indented), which the
+//! benchmarks and examples use to show *why* the naive approach explodes.
+
+use std::fmt::Write as _;
+
+use crate::{AggFun, Plan};
+
+/// Renders a plan as an indented operator tree.
+pub fn explain_plan(plan: &Plan) -> String {
+    let mut out = String::new();
+    render(plan, 0, &mut out);
+    out
+}
+
+fn render(plan: &Plan, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match plan {
+        Plan::Scan { table, alias } => {
+            let _ = match alias {
+                Some(a) => writeln!(out, "{pad}Scan {table} AS {a}"),
+                None => writeln!(out, "{pad}Scan {table}"),
+            };
+        }
+        Plan::Values { schema, rows } => {
+            let _ = writeln!(out, "{pad}Values {} row(s) {}", rows.len(), schema);
+        }
+        Plan::Select { input, predicate } => {
+            let _ = writeln!(out, "{pad}Select {predicate}");
+            render(input, depth + 1, out);
+        }
+        Plan::Project { input, exprs } => {
+            let cols: Vec<String> = exprs
+                .iter()
+                .map(|(e, name)| format!("{e} AS {name}"))
+                .collect();
+            let _ = writeln!(out, "{pad}Project {}", cols.join(", "));
+            render(input, depth + 1, out);
+        }
+        Plan::Join {
+            left,
+            right,
+            on,
+            filter,
+        } => {
+            let on_str: Vec<String> = on.iter().map(|(l, r)| format!("#{l}=#{r}")).collect();
+            let _ = match (on.is_empty(), filter) {
+                (true, None) => writeln!(out, "{pad}CrossJoin"),
+                (true, Some(f)) => writeln!(out, "{pad}NestedLoopJoin ON {f}"),
+                (false, None) => writeln!(out, "{pad}HashJoin ON {}", on_str.join(" AND ")),
+                (false, Some(f)) => writeln!(
+                    out,
+                    "{pad}HashJoin ON {} FILTER {f}",
+                    on_str.join(" AND ")
+                ),
+            };
+            render(left, depth + 1, out);
+            render(right, depth + 1, out);
+        }
+        Plan::Union { left, right } => {
+            let _ = writeln!(out, "{pad}UnionAll");
+            render(left, depth + 1, out);
+            render(right, depth + 1, out);
+        }
+        Plan::Distinct { input } => {
+            let _ = writeln!(out, "{pad}Distinct (lineage ∨)");
+            render(input, depth + 1, out);
+        }
+        Plan::OrderBy { input, keys } => {
+            let keys: Vec<String> = keys
+                .iter()
+                .map(|k| format!("{}{}", k.expr, if k.desc { " DESC" } else { "" }))
+                .collect();
+            let _ = writeln!(out, "{pad}OrderBy {}", keys.join(", "));
+            render(input, depth + 1, out);
+        }
+        Plan::Limit { input, limit } => {
+            let _ = writeln!(out, "{pad}Limit {limit}");
+            render(input, depth + 1, out);
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let groups: Vec<String> = group_by.iter().map(|i| format!("#{i}")).collect();
+            let fs: Vec<String> = aggs
+                .iter()
+                .map(|a| {
+                    let name = match a.fun {
+                        AggFun::Count => "COUNT",
+                        AggFun::Sum => "SUM",
+                        AggFun::Min => "MIN",
+                        AggFun::Max => "MAX",
+                        AggFun::Avg => "AVG",
+                        AggFun::ExpectedCount => "ECOUNT",
+                    };
+                    match &a.arg {
+                        Some(e) => format!("{name}({e}) AS {}", a.name),
+                        None => format!("{name}(*) AS {}", a.name),
+                    }
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "{pad}Aggregate GROUP BY [{}] {}",
+                groups.join(", "),
+                fs.join(", ")
+            );
+            render(input, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, ScalarExpr, SortKey};
+
+    #[test]
+    fn renders_the_paper_query_plan() {
+        let plan = Plan::scan("programs")
+            .select(ScalarExpr::cmp(
+                CmpOp::Gt,
+                ScalarExpr::col(2),
+                ScalarExpr::lit(0.5),
+            ))
+            .project(vec![
+                (ScalarExpr::col(1), "name".into()),
+                (ScalarExpr::col(2), "preferencescore".into()),
+            ])
+            .order_by(vec![SortKey {
+                expr: ScalarExpr::col(1),
+                desc: true,
+            }])
+            .limit(10);
+        let text = explain_plan(&plan);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("Limit 10"));
+        assert!(lines[1].contains("OrderBy #1 DESC"), "{text}");
+        assert!(lines[2].contains("Project"), "{text}");
+        assert!(lines[3].contains("Select (#2 > 0.5)"), "{text}");
+        assert!(lines[4].trim_start().starts_with("Scan programs"), "{text}");
+        // Indentation grows with depth.
+        assert!(lines[4].starts_with("        "), "{text}");
+    }
+
+    #[test]
+    fn renders_joins_unions_and_aggregates() {
+        let join = Plan::Join {
+            left: Box::new(Plan::scan_as("a", "x")),
+            right: Box::new(Plan::scan("b")),
+            on: vec![(0, 0)],
+            filter: Some(ScalarExpr::lit(true)),
+        };
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::Union {
+                left: Box::new(join),
+                right: Box::new(Plan::scan("c").distinct()),
+            }),
+            group_by: vec![0],
+            aggs: vec![crate::AggExpr {
+                fun: AggFun::ExpectedCount,
+                arg: None,
+                name: "en".into(),
+            }],
+        };
+        let text = explain_plan(&plan);
+        assert!(text.contains("HashJoin ON #0=#0 FILTER true"), "{text}");
+        assert!(text.contains("Scan a AS x"), "{text}");
+        assert!(text.contains("UnionAll"), "{text}");
+        assert!(text.contains("Distinct (lineage ∨)"), "{text}");
+        assert!(text.contains("ECOUNT(*) AS en"), "{text}");
+    }
+
+    #[test]
+    fn cross_and_nested_loop_joins_are_distinguished() {
+        let cross = Plan::Join {
+            left: Box::new(Plan::scan("a")),
+            right: Box::new(Plan::scan("b")),
+            on: vec![],
+            filter: None,
+        };
+        assert!(explain_plan(&cross).contains("CrossJoin"));
+        let nl = Plan::Join {
+            left: Box::new(Plan::scan("a")),
+            right: Box::new(Plan::scan("b")),
+            on: vec![],
+            filter: Some(ScalarExpr::lit(true)),
+        };
+        assert!(explain_plan(&nl).contains("NestedLoopJoin"));
+    }
+}

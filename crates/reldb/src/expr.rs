@@ -1,0 +1,375 @@
+use std::fmt;
+
+use crate::{Datum, DbError, Result, Row, Schema};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A scalar (row-level) expression with columns resolved to indices.
+///
+/// Null semantics are the pragmatic subset the paper's queries need:
+/// comparisons involving `NULL` are false, arithmetic on `NULL` yields
+/// `NULL`, and `IS NULL` tests explicitly. (Full three-valued logic is out
+/// of scope; the behaviour is documented and tested.)
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Reference to a column by index.
+    Column(usize),
+    /// A constant.
+    Literal(Datum),
+    /// Comparison of two expressions.
+    Cmp(CmpOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Arithmetic on two numeric expressions.
+    Arith(ArithOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Logical conjunction (strict two-valued).
+    And(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Logical disjunction (strict two-valued).
+    Or(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Logical negation.
+    Not(Box<ScalarExpr>),
+    /// `expr IS NULL`.
+    IsNull(Box<ScalarExpr>),
+    /// Lower-case of a string.
+    Lower(Box<ScalarExpr>),
+    /// Upper-case of a string.
+    Upper(Box<ScalarExpr>),
+    /// Absolute value of a number.
+    Abs(Box<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// Column reference shorthand.
+    pub fn col(i: usize) -> Self {
+        ScalarExpr::Column(i)
+    }
+
+    /// Literal shorthand.
+    pub fn lit(d: impl Into<Datum>) -> Self {
+        ScalarExpr::Literal(d.into())
+    }
+
+    /// Builds `left op right`.
+    pub fn cmp(op: CmpOp, left: ScalarExpr, right: ScalarExpr) -> Self {
+        ScalarExpr::Cmp(op, Box::new(left), Box::new(right))
+    }
+
+    /// Equality shorthand.
+    pub fn eq(left: ScalarExpr, right: ScalarExpr) -> Self {
+        Self::cmp(CmpOp::Eq, left, right)
+    }
+
+    /// Resolves column *names* into indices against a schema — convenience
+    /// for tests and programmatic plan building.
+    pub fn resolve(schema: &Schema, name: &str) -> Result<Self> {
+        Ok(ScalarExpr::Column(schema.resolve(name)?))
+    }
+
+    /// Evaluates the expression on a row.
+    pub fn eval(&self, row: &Row) -> Result<Datum> {
+        match self {
+            ScalarExpr::Column(i) => row
+                .values
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| DbError::UnknownColumn(format!("#{i}"))),
+            ScalarExpr::Literal(d) => Ok(d.clone()),
+            ScalarExpr::Cmp(op, l, r) => {
+                let (lv, rv) = (l.eval(row)?, r.eval(row)?);
+                let result = match lv.sql_cmp(&rv) {
+                    None => false, // NULL comparisons are false
+                    Some(ord) => match op {
+                        CmpOp::Eq => ord.is_eq(),
+                        CmpOp::Ne => ord.is_ne(),
+                        CmpOp::Lt => ord.is_lt(),
+                        CmpOp::Le => ord.is_le(),
+                        CmpOp::Gt => ord.is_gt(),
+                        CmpOp::Ge => ord.is_ge(),
+                    },
+                };
+                Ok(Datum::Bool(result))
+            }
+            ScalarExpr::Arith(op, l, r) => {
+                let (lv, rv) = (l.eval(row)?, r.eval(row)?);
+                if lv.is_null() || rv.is_null() {
+                    return Ok(Datum::Null);
+                }
+                arith(*op, &lv, &rv)
+            }
+            ScalarExpr::And(l, r) => Ok(Datum::Bool(
+                truthy(&l.eval(row)?)? && truthy(&r.eval(row)?)?,
+            )),
+            ScalarExpr::Or(l, r) => Ok(Datum::Bool(
+                truthy(&l.eval(row)?)? || truthy(&r.eval(row)?)?,
+            )),
+            ScalarExpr::Not(e) => Ok(Datum::Bool(!truthy(&e.eval(row)?)?)),
+            ScalarExpr::IsNull(e) => Ok(Datum::Bool(e.eval(row)?.is_null())),
+            ScalarExpr::Lower(e) => string_fn(&e.eval(row)?, str::to_lowercase),
+            ScalarExpr::Upper(e) => string_fn(&e.eval(row)?, str::to_uppercase),
+            ScalarExpr::Abs(e) => {
+                let v = e.eval(row)?;
+                match v {
+                    Datum::Null => Ok(Datum::Null),
+                    Datum::Int(i) => Ok(Datum::Int(i.abs())),
+                    Datum::Float(x) => Ok(Datum::Float(x.abs())),
+                    other => Err(DbError::TypeError(format!("ABS({other})"))),
+                }
+            }
+        }
+    }
+
+    /// Evaluates the expression as a predicate (`NULL` counts as false).
+    pub fn matches(&self, row: &Row) -> Result<bool> {
+        let v = self.eval(row)?;
+        if v.is_null() {
+            return Ok(false);
+        }
+        truthy(&v)
+    }
+}
+
+fn truthy(d: &Datum) -> Result<bool> {
+    match d {
+        Datum::Bool(b) => Ok(*b),
+        Datum::Null => Ok(false),
+        other => Err(DbError::TypeError(format!(
+            "expected a boolean, found {other}"
+        ))),
+    }
+}
+
+fn string_fn(d: &Datum, f: impl Fn(&str) -> String) -> Result<Datum> {
+    match d {
+        Datum::Null => Ok(Datum::Null),
+        Datum::Str(s) => Ok(Datum::str(f(s))),
+        other => Err(DbError::TypeError(format!(
+            "expected a string, found {other}"
+        ))),
+    }
+}
+
+fn arith(op: ArithOp, l: &Datum, r: &Datum) -> Result<Datum> {
+    // Integer arithmetic when both sides are ints (except division, which
+    // promotes to float as the paper's score expressions expect).
+    if let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) {
+        return Ok(match op {
+            ArithOp::Add => Datum::Int(a.wrapping_add(b)),
+            ArithOp::Sub => Datum::Int(a.wrapping_sub(b)),
+            ArithOp::Mul => Datum::Int(a.wrapping_mul(b)),
+            ArithOp::Div => {
+                if b == 0 {
+                    return Err(DbError::DivisionByZero);
+                }
+                Datum::Float(a as f64 / b as f64)
+            }
+        });
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(DbError::TypeError(format!(
+                "arithmetic on non-numeric values {l} and {r}"
+            )))
+        }
+    };
+    Ok(match op {
+        ArithOp::Add => Datum::Float(a + b),
+        ArithOp::Sub => Datum::Float(a - b),
+        ArithOp::Mul => Datum::Float(a * b),
+        ArithOp::Div => {
+            if b == 0.0 {
+                return Err(DbError::DivisionByZero);
+            }
+            Datum::Float(a / b)
+        }
+    })
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Column(i) => write!(f, "#{i}"),
+            ScalarExpr::Literal(d) => write!(f, "{d}"),
+            ScalarExpr::Cmp(op, l, r) => {
+                let s = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "<>",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                write!(f, "({l} {s} {r})")
+            }
+            ScalarExpr::Arith(op, l, r) => {
+                let s = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Div => "/",
+                };
+                write!(f, "({l} {s} {r})")
+            }
+            ScalarExpr::And(l, r) => write!(f, "({l} AND {r})"),
+            ScalarExpr::Or(l, r) => write!(f, "({l} OR {r})"),
+            ScalarExpr::Not(e) => write!(f, "(NOT {e})"),
+            ScalarExpr::IsNull(e) => write!(f, "({e} IS NULL)"),
+            ScalarExpr::Lower(e) => write!(f, "LOWER({e})"),
+            ScalarExpr::Upper(e) => write!(f, "UPPER({e})"),
+            ScalarExpr::Abs(e) => write!(f, "ABS({e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(values: Vec<Datum>) -> Row {
+        Row::certain(values)
+    }
+
+    #[test]
+    fn columns_and_literals() {
+        let r = row(vec![1i64.into(), "x".into()]);
+        assert_eq!(ScalarExpr::col(0).eval(&r).unwrap(), Datum::Int(1));
+        assert_eq!(ScalarExpr::lit(5i64).eval(&r).unwrap(), Datum::Int(5));
+        assert!(ScalarExpr::col(9).eval(&r).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        let r = row(vec![0.6006.into()]);
+        let gt = ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(0), ScalarExpr::lit(0.5));
+        assert!(gt.matches(&r).unwrap());
+        let le = ScalarExpr::cmp(CmpOp::Le, ScalarExpr::col(0), ScalarExpr::lit(0.5));
+        assert!(!le.matches(&r).unwrap());
+        // Int/float widening in comparisons.
+        let eq = ScalarExpr::eq(ScalarExpr::lit(1i64), ScalarExpr::lit(1.0));
+        assert!(eq.matches(&r).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let r = row(vec![Datum::Null]);
+        let eq = ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit(1i64));
+        assert!(!eq.matches(&r).unwrap());
+        let is_null = ScalarExpr::IsNull(Box::new(ScalarExpr::col(0)));
+        assert!(is_null.matches(&r).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let r = row(vec![]);
+        let add = ScalarExpr::Arith(
+            ArithOp::Add,
+            Box::new(ScalarExpr::lit(2i64)),
+            Box::new(ScalarExpr::lit(3i64)),
+        );
+        assert_eq!(add.eval(&r).unwrap(), Datum::Int(5));
+        let div = ScalarExpr::Arith(
+            ArithOp::Div,
+            Box::new(ScalarExpr::lit(1i64)),
+            Box::new(ScalarExpr::lit(2i64)),
+        );
+        assert_eq!(div.eval(&r).unwrap(), Datum::Float(0.5));
+        let div0 = ScalarExpr::Arith(
+            ArithOp::Div,
+            Box::new(ScalarExpr::lit(1i64)),
+            Box::new(ScalarExpr::lit(0i64)),
+        );
+        assert_eq!(div0.eval(&r), Err(DbError::DivisionByZero));
+        let mixed = ScalarExpr::Arith(
+            ArithOp::Mul,
+            Box::new(ScalarExpr::lit(0.5)),
+            Box::new(ScalarExpr::lit(4i64)),
+        );
+        assert_eq!(mixed.eval(&r).unwrap(), Datum::Float(2.0));
+    }
+
+    #[test]
+    fn null_propagates_through_arithmetic() {
+        let r = row(vec![Datum::Null]);
+        let add = ScalarExpr::Arith(
+            ArithOp::Add,
+            Box::new(ScalarExpr::col(0)),
+            Box::new(ScalarExpr::lit(1i64)),
+        );
+        assert_eq!(add.eval(&r).unwrap(), Datum::Null);
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let r = row(vec![true.into(), false.into()]);
+        let and = ScalarExpr::And(Box::new(ScalarExpr::col(0)), Box::new(ScalarExpr::col(1)));
+        assert!(!and.matches(&r).unwrap());
+        let or = ScalarExpr::Or(Box::new(ScalarExpr::col(0)), Box::new(ScalarExpr::col(1)));
+        assert!(or.matches(&r).unwrap());
+        let not = ScalarExpr::Not(Box::new(ScalarExpr::col(1)));
+        assert!(not.matches(&r).unwrap());
+        let bad = ScalarExpr::And(
+            Box::new(ScalarExpr::lit(1i64)),
+            Box::new(ScalarExpr::col(0)),
+        );
+        assert!(matches!(bad.matches(&r), Err(DbError::TypeError(_))));
+    }
+
+    #[test]
+    fn string_and_numeric_functions() {
+        let r = row(vec!["MiXeD".into(), (-4i64).into()]);
+        assert_eq!(
+            ScalarExpr::Lower(Box::new(ScalarExpr::col(0))).eval(&r).unwrap(),
+            Datum::str("mixed")
+        );
+        assert_eq!(
+            ScalarExpr::Upper(Box::new(ScalarExpr::col(0))).eval(&r).unwrap(),
+            Datum::str("MIXED")
+        );
+        assert_eq!(
+            ScalarExpr::Abs(Box::new(ScalarExpr::col(1))).eval(&r).unwrap(),
+            Datum::Int(4)
+        );
+        assert!(ScalarExpr::Abs(Box::new(ScalarExpr::col(0)))
+            .eval(&r)
+            .is_err());
+    }
+
+    #[test]
+    fn resolve_by_name() {
+        let schema = Schema::of(&[("a", crate::DataType::Int), ("b", crate::DataType::Str)]);
+        let e = ScalarExpr::resolve(&schema, "b").unwrap();
+        assert_eq!(e, ScalarExpr::Column(1));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(0), ScalarExpr::lit(0.5));
+        assert_eq!(e.to_string(), "(#0 > 0.5)");
+    }
+}

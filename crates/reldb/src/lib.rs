@@ -1,0 +1,74 @@
+//! # capra-reldb — an in-memory relational engine with event lineage
+//!
+//! The paper's naive implementation (Section 5) extends PostgreSQL with an
+//! event-expression datatype, maps DL concepts/roles to tables, and builds
+//! the "big preference view" out of ordinary database views. This crate is
+//! the Rust stand-in for that substrate: a small but complete in-memory
+//! relational engine in which **every row carries an event expression**
+//! (its *lineage*), propagated through the operators exactly as in Fuhr &
+//! Rölleke's probabilistic relational algebra (the paper's ref \[9\]):
+//!
+//! | operator | lineage of an output row |
+//! |----------|--------------------------|
+//! | selection / projection | unchanged |
+//! | join | conjunction of the joined rows' lineages |
+//! | union (bag) | unchanged |
+//! | duplicate elimination | disjunction of the merged rows' lineages |
+//!
+//! Deterministic data simply has lineage `⊤`, so the engine doubles as an
+//! ordinary relational database.
+//!
+//! ## Components
+//!
+//! * [`Datum`] / [`DataType`] / [`Schema`] — values and typed schemas;
+//! * [`Table`] / [`Catalog`] — named storage with concurrent-read interior
+//!   mutability ([`parking_lot`] locks) plus named [`View`]s;
+//! * [`ScalarExpr`] — row-level expressions;
+//! * [`Plan`] — logical plans (scan, select, project, join, union,
+//!   distinct, order-by, limit, aggregate);
+//! * [`Executor`] — a materialising evaluator with lineage propagation;
+//! * [`sql`] — a small SQL dialect (`SELECT … FROM … JOIN … WHERE … GROUP BY
+//!   … ORDER BY … LIMIT`, `UNION [ALL]`, `CREATE TABLE/VIEW`, `INSERT`)
+//!   sufficient for the paper's example queries.
+//!
+//! ## Example
+//!
+//! ```
+//! use capra_reldb::{Catalog, Database};
+//!
+//! let db = Database::new();
+//! db.execute_sql("CREATE TABLE programs (name STRING, score FLOAT)").unwrap();
+//! db.execute_sql("INSERT INTO programs VALUES ('Oprah', 0.071), ('Channel 5 news', 0.6006)")
+//!     .unwrap();
+//! let out = db
+//!     .execute_sql("SELECT name FROM programs WHERE score > 0.5 ORDER BY score DESC")
+//!     .unwrap();
+//! assert_eq!(out.rows().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod error;
+mod exec;
+mod explain;
+mod expr;
+mod plan;
+mod relation;
+mod schema;
+pub mod sql;
+mod value;
+
+pub use catalog::{Catalog, Database, Table, View};
+pub use error::DbError;
+pub use exec::Executor;
+pub use explain::explain_plan;
+pub use expr::{ArithOp, CmpOp, ScalarExpr};
+pub use plan::{certain_rows, AggExpr, AggFun, Plan, SortKey};
+pub use relation::{Relation, Row};
+pub use schema::{Column, Schema};
+pub use value::{DataType, Datum};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, DbError>;

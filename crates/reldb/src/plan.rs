@@ -1,0 +1,327 @@
+use std::sync::Arc;
+
+use crate::{DataType, Datum, Row, ScalarExpr, Schema};
+
+/// A sort key: an expression and a direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    /// Key expression, evaluated per row.
+    pub expr: ScalarExpr,
+    /// Descending order when true.
+    pub desc: bool,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFun {
+    /// Row count (`COUNT(*)` / `COUNT(expr)` counting non-null values).
+    Count,
+    /// Sum of a numeric expression.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Arithmetic mean (always a float).
+    Avg,
+    /// Expected number of rows under lineage probabilities: `Σ P(lineage)`.
+    /// Requires the executor to be given an event universe. This is the
+    /// probabilistic counterpart of `COUNT(*)` for uncertain relations.
+    ExpectedCount,
+}
+
+/// One aggregate in an [`Plan::Aggregate`] node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// The function.
+    pub fun: AggFun,
+    /// Argument (ignored by `Count`/`ExpectedCount` when `None`).
+    pub arg: Option<ScalarExpr>,
+    /// Output column name.
+    pub name: String,
+}
+
+/// A logical query plan. Executed by [`crate::Executor`]; every operator
+/// propagates event-expression lineage (see the crate docs for the rules).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Scan a stored table or a named view. The output schema is qualified
+    /// with `alias` (or the table name) so joins stay unambiguous.
+    Scan {
+        /// Table or view name.
+        table: String,
+        /// Optional alias for qualification.
+        alias: Option<String>,
+    },
+    /// An inline constant relation.
+    Values {
+        /// Schema of the rows.
+        schema: Arc<Schema>,
+        /// The rows (may carry lineage).
+        rows: Vec<Row>,
+    },
+    /// Filter rows by a predicate.
+    Select {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Predicate; `NULL` counts as false.
+        predicate: ScalarExpr,
+    },
+    /// Compute output columns from input rows.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// `(expression, output name)` pairs.
+        exprs: Vec<(ScalarExpr, String)>,
+    },
+    /// Inner join. Equality pairs `(left column, right column)` drive a hash
+    /// join; `filter` (over the concatenated row) handles residual
+    /// predicates. With no pairs this is a filtered cross product.
+    Join {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Equi-join column pairs (left index, right index).
+        on: Vec<(usize, usize)>,
+        /// Residual predicate over the concatenated row.
+        filter: Option<ScalarExpr>,
+    },
+    /// Bag union of two union-compatible inputs (keeps the left schema).
+    Union {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// Duplicate elimination; lineages of merged duplicates are OR-ed,
+    /// which is exactly the probabilistic projection of Fuhr–Rölleke.
+    Distinct {
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// Stable sort by keys.
+    OrderBy {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Sort keys, major first.
+        keys: Vec<SortKey>,
+    },
+    /// Keep the first `limit` rows.
+    Limit {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Maximum number of rows.
+        limit: usize,
+    },
+    /// Grouped aggregation. The output schema is the group-by columns
+    /// followed by one column per aggregate; the lineage of a group is the
+    /// disjunction of its members' lineages.
+    Aggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Indices of grouping columns in the input.
+        group_by: Vec<usize>,
+        /// Aggregates to compute.
+        aggs: Vec<AggExpr>,
+    },
+}
+
+impl Plan {
+    /// Scan shorthand.
+    pub fn scan(table: impl Into<String>) -> Self {
+        Plan::Scan {
+            table: table.into(),
+            alias: None,
+        }
+    }
+
+    /// Scan with alias shorthand.
+    pub fn scan_as(table: impl Into<String>, alias: impl Into<String>) -> Self {
+        Plan::Scan {
+            table: table.into(),
+            alias: Some(alias.into()),
+        }
+    }
+
+    /// Filter shorthand.
+    pub fn select(self, predicate: ScalarExpr) -> Self {
+        Plan::Select {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Projection shorthand.
+    pub fn project(self, exprs: Vec<(ScalarExpr, String)>) -> Self {
+        Plan::Project {
+            input: Box::new(self),
+            exprs,
+        }
+    }
+
+    /// Distinct shorthand.
+    pub fn distinct(self) -> Self {
+        Plan::Distinct {
+            input: Box::new(self),
+        }
+    }
+
+    /// Order-by shorthand.
+    pub fn order_by(self, keys: Vec<SortKey>) -> Self {
+        Plan::OrderBy {
+            input: Box::new(self),
+            keys,
+        }
+    }
+
+    /// Limit shorthand.
+    pub fn limit(self, limit: usize) -> Self {
+        Plan::Limit {
+            input: Box::new(self),
+            limit,
+        }
+    }
+
+    /// Number of operator nodes in the plan (complexity measure used by the
+    /// scaling experiment to report how large the naive view plans get).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            Plan::Scan { .. } | Plan::Values { .. } => 0,
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Distinct { input }
+            | Plan::OrderBy { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Aggregate { input, .. } => input.node_count(),
+            Plan::Join { left, right, .. } | Plan::Union { left, right } => {
+                left.node_count() + right.node_count()
+            }
+        }
+    }
+}
+
+/// Best-effort static type inference for projected expressions.
+pub(crate) fn infer_type(expr: &ScalarExpr, input: &Schema) -> DataType {
+    match expr {
+        ScalarExpr::Column(i) => input
+            .column(*i)
+            .map(|c| c.dtype)
+            .unwrap_or(DataType::Str),
+        ScalarExpr::Literal(d) => d.data_type().unwrap_or(DataType::Str),
+        ScalarExpr::Cmp(..)
+        | ScalarExpr::And(..)
+        | ScalarExpr::Or(..)
+        | ScalarExpr::Not(_)
+        | ScalarExpr::IsNull(_) => DataType::Bool,
+        ScalarExpr::Arith(op, l, r) => {
+            let lt = infer_type(l, input);
+            let rt = infer_type(r, input);
+            if *op != crate::ArithOp::Div
+                && lt == DataType::Int
+                && rt == DataType::Int
+            {
+                DataType::Int
+            } else {
+                DataType::Float
+            }
+        }
+        ScalarExpr::Lower(_) | ScalarExpr::Upper(_) => DataType::Str,
+        ScalarExpr::Abs(e) => infer_type(e, input),
+    }
+}
+
+/// Output type of an aggregate.
+pub(crate) fn agg_type(agg: &AggExpr, input: &Schema) -> DataType {
+    match agg.fun {
+        AggFun::Count => DataType::Int,
+        AggFun::ExpectedCount | AggFun::Avg => DataType::Float,
+        AggFun::Sum | AggFun::Min | AggFun::Max => agg
+            .arg
+            .as_ref()
+            .map(|e| infer_type(e, input))
+            .unwrap_or(DataType::Float),
+    }
+}
+
+/// Convenience: rows of plain datum vectors with certain lineage.
+pub fn certain_rows(rows: Vec<Vec<Datum>>) -> Vec<Row> {
+    rows.into_iter().map(Row::certain).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CmpOp;
+
+    #[test]
+    fn builders_compose() {
+        let p = Plan::scan("programs")
+            .select(ScalarExpr::cmp(
+                CmpOp::Gt,
+                ScalarExpr::col(1),
+                ScalarExpr::lit(0.5),
+            ))
+            .project(vec![(ScalarExpr::col(0), "name".into())])
+            .distinct()
+            .order_by(vec![SortKey {
+                expr: ScalarExpr::col(0),
+                desc: true,
+            }])
+            .limit(10);
+        assert_eq!(p.node_count(), 6);
+    }
+
+    #[test]
+    fn type_inference() {
+        let s = Schema::of(&[("i", DataType::Int), ("f", DataType::Float), ("s", DataType::Str)]);
+        assert_eq!(infer_type(&ScalarExpr::col(0), &s), DataType::Int);
+        assert_eq!(infer_type(&ScalarExpr::col(1), &s), DataType::Float);
+        assert_eq!(
+            infer_type(
+                &ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit(1i64)),
+                &s
+            ),
+            DataType::Bool
+        );
+        let int_add = ScalarExpr::Arith(
+            crate::ArithOp::Add,
+            Box::new(ScalarExpr::col(0)),
+            Box::new(ScalarExpr::lit(1i64)),
+        );
+        assert_eq!(infer_type(&int_add, &s), DataType::Int);
+        let div = ScalarExpr::Arith(
+            crate::ArithOp::Div,
+            Box::new(ScalarExpr::col(0)),
+            Box::new(ScalarExpr::lit(2i64)),
+        );
+        assert_eq!(infer_type(&div, &s), DataType::Float);
+        assert_eq!(
+            infer_type(&ScalarExpr::Lower(Box::new(ScalarExpr::col(2))), &s),
+            DataType::Str
+        );
+    }
+
+    #[test]
+    fn aggregate_types() {
+        let s = Schema::of(&[("i", DataType::Int)]);
+        let count = AggExpr {
+            fun: AggFun::Count,
+            arg: None,
+            name: "n".into(),
+        };
+        assert_eq!(agg_type(&count, &s), DataType::Int);
+        let sum = AggExpr {
+            fun: AggFun::Sum,
+            arg: Some(ScalarExpr::col(0)),
+            name: "s".into(),
+        };
+        assert_eq!(agg_type(&sum, &s), DataType::Int);
+        let avg = AggExpr {
+            fun: AggFun::Avg,
+            arg: Some(ScalarExpr::col(0)),
+            name: "a".into(),
+        };
+        assert_eq!(agg_type(&avg, &s), DataType::Float);
+    }
+}

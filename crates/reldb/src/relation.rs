@@ -1,0 +1,250 @@
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use capra_events::{Evaluator, EventExpr, Universe};
+
+use crate::{Datum, DbError, Result, Schema};
+
+/// A row: values plus the event expression (lineage) under which the row
+/// exists. Deterministic rows have lineage `⊤`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// The column values, aligned with the relation's schema.
+    pub values: Vec<Datum>,
+    /// The event expression under which this row is present.
+    pub lineage: EventExpr,
+}
+
+impl Row {
+    /// A certain row (lineage `⊤`).
+    pub fn certain(values: Vec<Datum>) -> Self {
+        Self {
+            values,
+            lineage: EventExpr::True,
+        }
+    }
+
+    /// A row present under the given event.
+    pub fn uncertain(values: Vec<Datum>, lineage: EventExpr) -> Self {
+        Self { values, lineage }
+    }
+}
+
+/// A materialised relation: a schema and a bag of rows.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Creates a relation, checking every row against the schema.
+    pub fn new(schema: Arc<Schema>, rows: Vec<Row>) -> Result<Self> {
+        for row in &rows {
+            check_row(&schema, row)?;
+        }
+        Ok(Self { schema, rows })
+    }
+
+    /// Creates a relation without per-row validation (used internally by
+    /// operators whose output is schema-correct by construction).
+    pub(crate) fn trusted(schema: Arc<Schema>, rows: Vec<Row>) -> Self {
+        Self { schema, rows }
+    }
+
+    /// An empty relation with the given schema.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        Self {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Consumes the relation into its rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single value of a one-row, one-column relation.
+    pub fn scalar(&self) -> Result<&Datum> {
+        if self.rows.len() == 1 && self.schema.len() == 1 {
+            Ok(&self.rows[0].values[0])
+        } else {
+            Err(DbError::Unsupported(format!(
+                "scalar() on a {}×{} relation",
+                self.rows.len(),
+                self.schema.len()
+            )))
+        }
+    }
+
+    /// Renders the relation as an aligned text table. When a universe is
+    /// supplied, uncertain rows get a trailing probability column.
+    pub fn to_text(&self, universe: Option<&Universe>) -> String {
+        let has_prob = universe.is_some()
+            && self.rows.iter().any(|r| !r.lineage.is_true());
+        let mut headers: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        if has_prob {
+            headers.push("P".to_string());
+        }
+        let mut ev = universe.map(Evaluator::new);
+        let body: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut cells: Vec<String> =
+                    r.values.iter().map(ToString::to_string).collect();
+                if has_prob {
+                    let p = ev
+                        .as_mut()
+                        .map(|e| e.prob(&r.lineage))
+                        .unwrap_or(1.0);
+                    cells.push(format!("{p:.4}"));
+                }
+                cells
+            })
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        for row in &body {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:width$} ", cell, width = widths[i]);
+            }
+            out.push_str("|\n");
+        };
+        fmt_row(&headers, &mut out);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{:-<width$}", "", width = w + 2);
+            if i + 1 == widths.len() {
+                out.push_str("|\n");
+            }
+        }
+        for row in &body {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+}
+
+fn check_row(schema: &Schema, row: &Row) -> Result<()> {
+    if row.values.len() != schema.len() {
+        return Err(DbError::SchemaMismatch {
+            left: schema.to_string(),
+            right: format!("row of arity {}", row.values.len()),
+        });
+    }
+    for (value, col) in row.values.iter().zip(schema.columns()) {
+        if let Some(t) = value.data_type() {
+            if t != col.dtype && !(t == crate::DataType::Int && col.dtype == crate::DataType::Float)
+            {
+                return Err(DbError::SchemaMismatch {
+                    left: format!("column {} {}", col.name, col.dtype),
+                    right: format!("value {value} of type {t}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataType;
+
+    fn schema() -> Arc<Schema> {
+        Schema::of(&[("name", DataType::Str), ("score", DataType::Float)])
+    }
+
+    #[test]
+    fn validates_arity_and_types() {
+        let s = schema();
+        let ok = Relation::new(
+            s.clone(),
+            vec![Row::certain(vec!["a".into(), 0.5.into()])],
+        );
+        assert!(ok.is_ok());
+        let bad_arity = Relation::new(s.clone(), vec![Row::certain(vec!["a".into()])]);
+        assert!(matches!(bad_arity, Err(DbError::SchemaMismatch { .. })));
+        let bad_type = Relation::new(
+            s.clone(),
+            vec![Row::certain(vec![1i64.into(), "x".into()])],
+        );
+        assert!(matches!(bad_type, Err(DbError::SchemaMismatch { .. })));
+    }
+
+    #[test]
+    fn ints_widen_into_float_columns() {
+        let s = schema();
+        let r = Relation::new(s, vec![Row::certain(vec!["a".into(), 1i64.into()])]);
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn nulls_fit_every_column() {
+        let s = schema();
+        let r = Relation::new(s, vec![Row::certain(vec![Datum::Null, Datum::Null])]);
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn scalar_accessor() {
+        let s = Schema::of(&[("n", DataType::Int)]);
+        let r = Relation::new(s.clone(), vec![Row::certain(vec![42i64.into()])]).unwrap();
+        assert_eq!(r.scalar().unwrap(), &Datum::Int(42));
+        let empty = Relation::empty(s);
+        assert!(empty.scalar().is_err());
+    }
+
+    #[test]
+    fn text_rendering_aligns_and_shows_probability() {
+        let mut u = Universe::new();
+        let v = u.add_bool("maybe", 0.25).unwrap();
+        let s = schema();
+        let r = Relation::new(
+            s,
+            vec![
+                Row::certain(vec!["certain".into(), 1.0.into()]),
+                Row::uncertain(vec!["maybe".into(), 0.5.into()], u.bool_event(v).unwrap()),
+            ],
+        )
+        .unwrap();
+        let text = r.to_text(Some(&u));
+        assert!(text.contains("| P"), "{text}");
+        assert!(text.contains("0.2500"), "{text}");
+        assert!(text.contains("1.0000"), "{text}");
+        // Without a universe there is no probability column.
+        let plain = r.to_text(None);
+        assert!(!plain.contains("| P "), "{plain}");
+    }
+}

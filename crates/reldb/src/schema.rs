@@ -1,0 +1,200 @@
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{DataType, DbError, Result};
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name, possibly qualified (`alias.name`).
+    pub name: String,
+    /// Column type. `Null` values are admitted in every column.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Creates a column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Self {
+            name: name.into(),
+            dtype,
+        }
+    }
+
+    /// The unqualified part of the column name.
+    pub fn base_name(&self) -> &str {
+        self.name.rsplit('.').next().unwrap_or(&self.name)
+    }
+}
+
+/// An ordered list of columns.
+///
+/// Name resolution ([`Schema::resolve`]) first tries an exact match, then an
+/// unambiguous match on the unqualified name — so `name` finds
+/// `programs.name` after a join, but resolving `id` fails with
+/// [`DbError::AmbiguousColumn`] if two inputs both expose an `id`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Creates a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Self { columns }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn of(cols: &[(&str, DataType)]) -> Arc<Self> {
+        Arc::new(Self::new(
+            cols.iter().map(|(n, t)| Column::new(*n, *t)).collect(),
+        ))
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Column at an index.
+    pub fn column(&self, i: usize) -> Option<&Column> {
+        self.columns.get(i)
+    }
+
+    /// Resolves a column name to its index (exact, then unqualified).
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        if let Some(i) = self.columns.iter().position(|c| c.name == name) {
+            return Ok(i);
+        }
+        let matches: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.base_name() == name)
+            .map(|(i, _)| i)
+            .collect();
+        match matches.as_slice() {
+            [i] => Ok(*i),
+            [] => Err(DbError::UnknownColumn(name.to_string())),
+            _ => Err(DbError::AmbiguousColumn(name.to_string())),
+        }
+    }
+
+    /// A new schema with every column name prefixed by `alias.` (stripping
+    /// any previous qualifier), as done when scanning `table AS alias`.
+    pub fn qualified(&self, alias: &str) -> Schema {
+        Schema::new(
+            self.columns
+                .iter()
+                .map(|c| Column::new(format!("{alias}.{}", c.base_name()), c.dtype))
+                .collect(),
+        )
+    }
+
+    /// Concatenation of two schemas (join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema::new(columns)
+    }
+
+    /// Checks union compatibility: same arity and column types.
+    pub fn union_compatible(&self, other: &Schema) -> Result<()> {
+        if self.len() != other.len()
+            || self
+                .columns
+                .iter()
+                .zip(other.columns())
+                .any(|(a, b)| a.dtype != b.dtype)
+        {
+            return Err(DbError::SchemaMismatch {
+                left: self.to_string(),
+                right: other.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("p.id", DataType::Id),
+            Column::new("p.name", DataType::Str),
+            Column::new("g.id", DataType::Id),
+        ])
+    }
+
+    #[test]
+    fn resolve_exact_then_suffix() {
+        let s = schema();
+        assert_eq!(s.resolve("p.name").unwrap(), 1);
+        assert_eq!(s.resolve("name").unwrap(), 1);
+        assert!(matches!(
+            s.resolve("id"),
+            Err(DbError::AmbiguousColumn(_))
+        ));
+        assert!(matches!(
+            s.resolve("missing"),
+            Err(DbError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn qualification_strips_old_prefix() {
+        let s = schema().qualified("x");
+        assert_eq!(s.columns()[0].name, "x.id");
+        assert_eq!(s.columns()[1].name, "x.name");
+        assert_eq!(s.resolve("x.name").unwrap(), 1);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let a = Schema::of(&[("a", DataType::Int)]);
+        let b = Schema::of(&[("b", DataType::Str)]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.resolve("b").unwrap(), 1);
+    }
+
+    #[test]
+    fn union_compatibility() {
+        let a = Schema::of(&[("x", DataType::Int), ("y", DataType::Str)]);
+        let b = Schema::of(&[("u", DataType::Int), ("v", DataType::Str)]);
+        let c = Schema::of(&[("x", DataType::Int)]);
+        assert!(a.union_compatible(&b).is_ok());
+        assert!(a.union_compatible(&c).is_err());
+    }
+
+    #[test]
+    fn display_lists_columns() {
+        let s = Schema::of(&[("x", DataType::Int)]);
+        assert_eq!(s.to_string(), "(x INT)");
+    }
+}

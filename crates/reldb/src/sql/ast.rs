@@ -1,0 +1,229 @@
+//! Abstract syntax for the SQL dialect.
+
+use crate::{Column, Datum};
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col TYPE, …)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<Column>,
+    },
+    /// `CREATE VIEW name AS query`
+    CreateView {
+        /// View name.
+        name: String,
+        /// Defining query.
+        query: Query,
+    },
+    /// `DROP TABLE name`
+    DropTable(String),
+    /// `DROP VIEW name`
+    DropView(String),
+    /// `INSERT INTO name VALUES (…), (…)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Literal rows.
+        rows: Vec<Vec<Datum>>,
+    },
+    /// A query.
+    Query(Query),
+}
+
+/// A query: a set expression plus optional ordering and limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The body (select or union chain).
+    pub body: SetExpr,
+    /// `ORDER BY` keys: expression and descending flag. Resolved against the
+    /// query's *output* columns (aliases included).
+    pub order_by: Vec<(SqlExpr, bool)>,
+    /// `LIMIT n`.
+    pub limit: Option<usize>,
+}
+
+/// Select or union-of-selects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    /// A plain `SELECT`.
+    Select(Box<Select>),
+    /// `left UNION [ALL] right`.
+    Union {
+        /// Left operand.
+        left: Box<SetExpr>,
+        /// Right operand.
+        right: Box<SetExpr>,
+        /// Bag union when true (`UNION ALL`), set union otherwise.
+        all: bool,
+    },
+}
+
+/// A `SELECT` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `DISTINCT` flag.
+    pub distinct: bool,
+    /// Projection items.
+    pub items: Vec<SelectItem>,
+    /// `FROM` table.
+    pub from: TableRef,
+    /// `JOIN … ON …` clauses, in order.
+    pub joins: Vec<(TableRef, SqlExpr)>,
+    /// `WHERE` predicate.
+    pub selection: Option<SqlExpr>,
+    /// `GROUP BY` column names.
+    pub group_by: Vec<String>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`
+    Expr {
+        /// The expression.
+        expr: SqlExpr,
+        /// Optional output name.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference `name [alias]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table or view name.
+    pub name: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this reference exposes to column qualification.
+    pub fn exposed_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// Binary operators in SQL expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlBinOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// A SQL expression (columns still referenced by name).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// Column reference, possibly qualified (`alias.name`).
+    Ident(String),
+    /// Literal value.
+    Literal(Datum),
+    /// Binary operation.
+    Binary(SqlBinOp, Box<SqlExpr>, Box<SqlExpr>),
+    /// `NOT expr`.
+    Not(Box<SqlExpr>),
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<SqlExpr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// Function call (aggregate or scalar). `COUNT(*)` is `star = true`.
+    Func {
+        /// Lowercased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<SqlExpr>,
+        /// `*` argument.
+        star: bool,
+    },
+}
+
+impl SqlExpr {
+    /// Does this expression (transitively) contain an aggregate call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            SqlExpr::Ident(_) | SqlExpr::Literal(_) => false,
+            SqlExpr::Binary(_, l, r) => l.contains_aggregate() || r.contains_aggregate(),
+            SqlExpr::Not(e) => e.contains_aggregate(),
+            SqlExpr::IsNull { expr, .. } => expr.contains_aggregate(),
+            SqlExpr::Func { name, args, .. } => {
+                is_aggregate_name(name) || args.iter().any(SqlExpr::contains_aggregate)
+            }
+        }
+    }
+}
+
+/// Is this function name an aggregate?
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(name, "count" | "sum" | "avg" | "min" | "max" | "ecount")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = SqlExpr::Func {
+            name: "count".into(),
+            args: vec![],
+            star: true,
+        };
+        assert!(agg.contains_aggregate());
+        let nested = SqlExpr::Binary(
+            SqlBinOp::Add,
+            Box::new(SqlExpr::Ident("x".into())),
+            Box::new(agg),
+        );
+        assert!(nested.contains_aggregate());
+        let plain = SqlExpr::Func {
+            name: "lower".into(),
+            args: vec![SqlExpr::Ident("x".into())],
+            star: false,
+        };
+        assert!(!plain.contains_aggregate());
+    }
+
+    #[test]
+    fn exposed_name_prefers_alias() {
+        let t = TableRef {
+            name: "programs".into(),
+            alias: Some("p".into()),
+        };
+        assert_eq!(t.exposed_name(), "p");
+        let t = TableRef {
+            name: "programs".into(),
+            alias: None,
+        };
+        assert_eq!(t.exposed_name(), "programs");
+    }
+}

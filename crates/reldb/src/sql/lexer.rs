@@ -1,0 +1,249 @@
+use crate::{DbError, Result};
+
+/// SQL tokens. Unquoted identifiers arrive lowercased; quoted ones verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Number(String),
+    Str(String),
+    Symbol(Sym),
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A token plus its byte offset.
+pub type Spanned = (Tok, usize);
+
+/// Tokenises a SQL string.
+pub fn lex(input: &str) -> Result<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' => push_sym(&mut out, Sym::LParen, &mut i),
+            b')' => push_sym(&mut out, Sym::RParen, &mut i),
+            b',' => push_sym(&mut out, Sym::Comma, &mut i),
+            b'.' if !next_is_digit(bytes, i + 1) => push_sym(&mut out, Sym::Dot, &mut i),
+            b'*' => push_sym(&mut out, Sym::Star, &mut i),
+            b'+' => push_sym(&mut out, Sym::Plus, &mut i),
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    // Line comment.
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    push_sym(&mut out, Sym::Minus, &mut i);
+                }
+            }
+            b'/' => push_sym(&mut out, Sym::Slash, &mut i),
+            b'=' => push_sym(&mut out, Sym::Eq, &mut i),
+            b'<' => {
+                let start = i;
+                i += 1;
+                match bytes.get(i) {
+                    Some(b'=') => {
+                        i += 1;
+                        out.push((Tok::Symbol(Sym::Le), start));
+                    }
+                    Some(b'>') => {
+                        i += 1;
+                        out.push((Tok::Symbol(Sym::Ne), start));
+                    }
+                    _ => out.push((Tok::Symbol(Sym::Lt), start)),
+                }
+            }
+            b'>' => {
+                let start = i;
+                i += 1;
+                if bytes.get(i) == Some(&b'=') {
+                    i += 1;
+                    out.push((Tok::Symbol(Sym::Ge), start));
+                } else {
+                    out.push((Tok::Symbol(Sym::Gt), start));
+                }
+            }
+            b'!' => {
+                let start = i;
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    out.push((Tok::Symbol(Sym::Ne), start));
+                } else {
+                    return Err(DbError::SqlParse {
+                        at: i,
+                        message: "lone `!`".into(),
+                    });
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(DbError::SqlParse {
+                                at: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push((Tok::Str(s), start));
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let begin = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(DbError::SqlParse {
+                        at: start,
+                        message: "unterminated quoted identifier".into(),
+                    });
+                }
+                out.push((Tok::Ident(input[begin..i].to_string()), start));
+                i += 1;
+            }
+            b if b.is_ascii_digit() || (b == b'.' && next_is_digit(bytes, i + 1)) => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && matches!(bytes.get(i.wrapping_sub(1)), Some(b'e') | Some(b'E'))))
+                {
+                    i += 1;
+                }
+                out.push((Tok::Number(input[start..i].to_string()), start));
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push((Tok::Ident(input[start..i].to_ascii_lowercase()), start));
+            }
+            other => {
+                return Err(DbError::SqlParse {
+                    at: i,
+                    message: format!("unexpected character `{}`", other as char),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn push_sym(out: &mut Vec<Spanned>, sym: Sym, i: &mut usize) {
+    out.push((Tok::Symbol(sym), *i));
+    *i += 1;
+}
+
+fn next_is_digit(bytes: &[u8], i: usize) -> bool {
+    bytes.get(i).is_some_and(u8::is_ascii_digit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<Tok> {
+        lex(sql).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn keywords_lowercased_strings_kept() {
+        let toks = kinds("SELECT Name FROM t WHERE x = 'It''s'");
+        assert_eq!(toks[0], Tok::Ident("select".into()));
+        assert_eq!(toks[1], Tok::Ident("name".into()));
+        assert!(toks.contains(&Tok::Str("It's".into())));
+    }
+
+    #[test]
+    fn numbers_including_floats_and_exponents() {
+        assert_eq!(kinds("0.6006"), vec![Tok::Number("0.6006".into())]);
+        assert_eq!(kinds("1e-3"), vec![Tok::Number("1e-3".into())]);
+        assert_eq!(kinds(".5"), vec![Tok::Number(".5".into())]);
+    }
+
+    #[test]
+    fn operators() {
+        let toks = kinds("a <= b <> c >= d != e < f > g");
+        let syms: Vec<Sym> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Tok::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            syms,
+            vec![Sym::Le, Sym::Ne, Sym::Ge, Sym::Ne, Sym::Lt, Sym::Gt]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = kinds("SELECT x -- trailing comment\nFROM t");
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn quoted_identifiers_and_errors() {
+        assert_eq!(kinds("\"MiXeD\""), vec![Tok::Ident("MiXeD".into())]);
+        assert!(lex("'open").is_err());
+        assert!(lex("\"open").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("€").is_err());
+    }
+
+    #[test]
+    fn qualified_name_vs_float() {
+        let toks = kinds("t.col");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("t".into()),
+                Tok::Symbol(Sym::Dot),
+                Tok::Ident("col".into())
+            ]
+        );
+    }
+}

@@ -1,0 +1,672 @@
+//! Lowering from the SQL AST to logical plans, with name resolution.
+
+
+use crate::sql::ast::{
+    is_aggregate_name, Query, Select, SelectItem, SetExpr, SqlBinOp, SqlExpr, TableRef,
+};
+use crate::{
+    AggExpr, AggFun, ArithOp, Catalog, CmpOp, Column, DbError, Plan, Result, ScalarExpr, Schema,
+    SortKey,
+};
+
+const MAX_VIEW_DEPTH: usize = 64;
+
+/// Lowers a query to a plan (resolving all names against the catalog).
+pub fn lower_query(catalog: &Catalog, query: &Query) -> Result<Plan> {
+    let (mut plan, schema) = lower_set_expr(catalog, &query.body)?;
+    if !query.order_by.is_empty() {
+        plan = lower_order_by(catalog, plan, &schema, &query.order_by)?;
+    }
+    if let Some(limit) = query.limit {
+        plan = plan.limit(limit);
+    }
+    Ok(plan)
+}
+
+/// Resolves ORDER BY keys. Keys resolve against the query's *output*
+/// columns (so aliases work). A qualified name such as `p.name` falls back
+/// to its unqualified form. If the query is a plain projection and a key
+/// references a column that was *not* projected (valid SQL: `SELECT name …
+/// ORDER BY score`), the sort is placed beneath the projection, with
+/// output-level keys rewritten to input level by substituting the projected
+/// expressions.
+fn lower_order_by(
+    catalog: &Catalog,
+    plan: Plan,
+    schema: &Schema,
+    order_by: &[(SqlExpr, bool)],
+) -> Result<Plan> {
+    let resolve_with_fallback = |e: &SqlExpr, s: &Schema| -> Result<ScalarExpr> {
+        match resolve_expr(e, s) {
+            Ok(expr) => Ok(expr),
+            Err(err) => match e {
+                SqlExpr::Ident(name) if name.contains('.') => {
+                    let base = name.rsplit('.').next().unwrap_or(name);
+                    resolve_expr(&SqlExpr::Ident(base.to_string()), s).map_err(|_| err)
+                }
+                _ => Err(err),
+            },
+        }
+    };
+    let output_keys: Vec<Result<ScalarExpr>> = order_by
+        .iter()
+        .map(|(e, _)| resolve_with_fallback(e, schema))
+        .collect();
+    if output_keys.iter().all(Result::is_ok) {
+        let keys = output_keys
+            .into_iter()
+            .zip(order_by)
+            .map(|(expr, (_, desc))| SortKey {
+                expr: expr.expect("checked"),
+                desc: *desc,
+            })
+            .collect();
+        return Ok(plan.order_by(keys));
+    }
+    // Some key is not in the output: allowed only above a plain projection.
+    let Plan::Project { input, exprs } = plan else {
+        return Err(output_keys
+            .into_iter()
+            .find_map(Result::err)
+            .expect("at least one key failed"));
+    };
+    let in_schema = plan_schema(catalog, &input, 0)?;
+    let keys = order_by
+        .iter()
+        .map(|(e, desc)| {
+            let expr = match resolve_with_fallback(e, schema) {
+                // Alias over the output: rewrite to input level.
+                Ok(out_expr) => remap_to_input(&out_expr, &exprs),
+                Err(_) => resolve_with_fallback(e, &in_schema)?,
+            };
+            Ok(SortKey { expr, desc: *desc })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Plan::Project {
+        input: Box::new(Plan::OrderBy { input, keys }),
+        exprs,
+    })
+}
+
+/// Rewrites an expression over a projection's output to one over its input
+/// by substituting each output-column reference with its defining expression.
+fn remap_to_input(expr: &ScalarExpr, project_exprs: &[(ScalarExpr, String)]) -> ScalarExpr {
+    match expr {
+        ScalarExpr::Column(i) => project_exprs[*i].0.clone(),
+        ScalarExpr::Literal(_) => expr.clone(),
+        ScalarExpr::Cmp(op, l, r) => ScalarExpr::Cmp(
+            *op,
+            Box::new(remap_to_input(l, project_exprs)),
+            Box::new(remap_to_input(r, project_exprs)),
+        ),
+        ScalarExpr::Arith(op, l, r) => ScalarExpr::Arith(
+            *op,
+            Box::new(remap_to_input(l, project_exprs)),
+            Box::new(remap_to_input(r, project_exprs)),
+        ),
+        ScalarExpr::And(l, r) => ScalarExpr::And(
+            Box::new(remap_to_input(l, project_exprs)),
+            Box::new(remap_to_input(r, project_exprs)),
+        ),
+        ScalarExpr::Or(l, r) => ScalarExpr::Or(
+            Box::new(remap_to_input(l, project_exprs)),
+            Box::new(remap_to_input(r, project_exprs)),
+        ),
+        ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(remap_to_input(e, project_exprs))),
+        ScalarExpr::IsNull(e) => ScalarExpr::IsNull(Box::new(remap_to_input(e, project_exprs))),
+        ScalarExpr::Lower(e) => ScalarExpr::Lower(Box::new(remap_to_input(e, project_exprs))),
+        ScalarExpr::Upper(e) => ScalarExpr::Upper(Box::new(remap_to_input(e, project_exprs))),
+        ScalarExpr::Abs(e) => ScalarExpr::Abs(Box::new(remap_to_input(e, project_exprs))),
+    }
+}
+
+fn lower_set_expr(catalog: &Catalog, body: &SetExpr) -> Result<(Plan, Schema)> {
+    match body {
+        SetExpr::Select(select) => lower_select(catalog, select),
+        SetExpr::Union { left, right, all } => {
+            let (lp, ls) = lower_set_expr(catalog, left)?;
+            let (rp, rs) = lower_set_expr(catalog, right)?;
+            ls.union_compatible(&rs)?;
+            let mut plan = Plan::Union {
+                left: Box::new(lp),
+                right: Box::new(rp),
+            };
+            if !*all {
+                plan = plan.distinct();
+            }
+            Ok((plan, ls))
+        }
+    }
+}
+
+fn scan_ref(catalog: &Catalog, table: &TableRef) -> Result<(Plan, Schema)> {
+    let schema = source_schema(catalog, &table.name, 0)?.qualified(table.exposed_name());
+    let plan = Plan::Scan {
+        table: table.name.clone(),
+        alias: table.alias.clone(),
+    };
+    Ok((plan, schema))
+}
+
+/// Schema a scan of `name` produces, before qualification.
+fn source_schema(catalog: &Catalog, name: &str, depth: usize) -> Result<Schema> {
+    if depth > MAX_VIEW_DEPTH {
+        return Err(DbError::Unsupported(format!(
+            "view nesting deeper than {MAX_VIEW_DEPTH} (cycle?)"
+        )));
+    }
+    if let Some(view) = catalog.view(name) {
+        return plan_schema(catalog, &view.plan, depth + 1).map(|s| s.qualified(name));
+    }
+    Ok(catalog.table(name)?.schema().as_ref().clone())
+}
+
+/// Static output schema of a plan (mirrors the executor).
+pub(crate) fn plan_schema(catalog: &Catalog, plan: &Plan, depth: usize) -> Result<Schema> {
+    match plan {
+        Plan::Scan { table, alias } => {
+            let base = source_schema(catalog, table, depth)?;
+            Ok(base.qualified(alias.as_deref().unwrap_or(table)))
+        }
+        Plan::Values { schema, .. } => Ok(schema.as_ref().clone()),
+        Plan::Select { input, .. }
+        | Plan::Distinct { input }
+        | Plan::OrderBy { input, .. }
+        | Plan::Limit { input, .. } => plan_schema(catalog, input, depth),
+        Plan::Project { input, exprs } => {
+            let in_schema = plan_schema(catalog, input, depth)?;
+            Ok(Schema::new(
+                exprs
+                    .iter()
+                    .map(|(e, name)| {
+                        Column::new(name.clone(), crate::plan::infer_type(e, &in_schema))
+                    })
+                    .collect(),
+            ))
+        }
+        Plan::Join { left, right, .. } => {
+            let l = plan_schema(catalog, left, depth)?;
+            let r = plan_schema(catalog, right, depth)?;
+            Ok(l.join(&r))
+        }
+        Plan::Union { left, .. } => plan_schema(catalog, left, depth),
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let in_schema = plan_schema(catalog, input, depth)?;
+            let mut cols = Vec::new();
+            for &i in group_by {
+                cols.push(
+                    in_schema
+                        .column(i)
+                        .cloned()
+                        .ok_or_else(|| DbError::UnknownColumn(format!("#{i}")))?,
+                );
+            }
+            for agg in aggs {
+                cols.push(Column::new(
+                    agg.name.clone(),
+                    crate::plan::agg_type(agg, &in_schema),
+                ));
+            }
+            Ok(Schema::new(cols))
+        }
+    }
+}
+
+fn lower_select(catalog: &Catalog, select: &Select) -> Result<(Plan, Schema)> {
+    let (mut plan, mut schema) = scan_ref(catalog, &select.from)?;
+
+    for (table, on) in &select.joins {
+        let (right_plan, right_schema) = scan_ref(catalog, table)?;
+        let combined = schema.join(&right_schema);
+        // Split the ON condition into hash-joinable equalities and a
+        // residual filter.
+        let mut on_pairs = Vec::new();
+        let mut residual: Option<ScalarExpr> = None;
+        for conjunct in split_conjuncts(on) {
+            if let Some(pair) = equi_pair(conjunct, &schema, &right_schema) {
+                on_pairs.push(pair);
+            } else {
+                let resolved = resolve_expr(conjunct, &combined)?;
+                residual = Some(match residual {
+                    None => resolved,
+                    Some(prev) => ScalarExpr::And(Box::new(prev), Box::new(resolved)),
+                });
+            }
+        }
+        plan = Plan::Join {
+            left: Box::new(plan),
+            right: Box::new(right_plan),
+            on: on_pairs,
+            filter: residual,
+        };
+        schema = combined;
+    }
+
+    if let Some(selection) = &select.selection {
+        if selection.contains_aggregate() {
+            return Err(DbError::Unsupported(
+                "aggregates are not allowed in WHERE".into(),
+            ));
+        }
+        plan = plan.select(resolve_expr(selection, &schema)?);
+    }
+
+    let has_aggregates = select
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()));
+
+    let (plan, schema) = if has_aggregates || !select.group_by.is_empty() {
+        lower_aggregate_select(select, plan, schema)?
+    } else {
+        lower_plain_select(select, plan, schema)?
+    };
+
+    if select.distinct {
+        Ok((plan.distinct(), schema))
+    } else {
+        Ok((plan, schema))
+    }
+}
+
+fn lower_plain_select(
+    select: &Select,
+    input: Plan,
+    in_schema: Schema,
+) -> Result<(Plan, Schema)> {
+    let mut exprs: Vec<(ScalarExpr, String)> = Vec::new();
+    for (k, item) in select.items.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                for (i, col) in in_schema.columns().iter().enumerate() {
+                    let base = col.base_name();
+                    let unique = in_schema
+                        .columns()
+                        .iter()
+                        .filter(|c| c.base_name() == base)
+                        .count()
+                        == 1;
+                    let name = if unique {
+                        base.to_string()
+                    } else {
+                        col.name.clone()
+                    };
+                    exprs.push((ScalarExpr::Column(i), name));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = output_name(expr, alias.as_deref(), k);
+                exprs.push((resolve_expr(expr, &in_schema)?, name));
+            }
+        }
+    }
+    let out_schema = Schema::new(
+        exprs
+            .iter()
+            .map(|(e, name)| Column::new(name.clone(), crate::plan::infer_type(e, &in_schema)))
+            .collect(),
+    );
+    Ok((input.project(exprs), out_schema))
+}
+
+fn lower_aggregate_select(
+    select: &Select,
+    input: Plan,
+    in_schema: Schema,
+) -> Result<(Plan, Schema)> {
+    // Resolve grouping columns.
+    let group_idx: Vec<usize> = select
+        .group_by
+        .iter()
+        .map(|name| in_schema.resolve(name))
+        .collect::<Result<Vec<_>>>()?;
+
+    // Each select item is either a grouped column or a single aggregate.
+    enum Mapped {
+        Group(usize, String),
+        Agg(AggExpr),
+    }
+    let mut mapped = Vec::new();
+    for (k, item) in select.items.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                return Err(DbError::Unsupported(
+                    "`*` in an aggregate query".into(),
+                ))
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = output_name(expr, alias.as_deref(), k);
+                match expr {
+                    SqlExpr::Func {
+                        name: fname,
+                        args,
+                        star,
+                    } if is_aggregate_name(fname) => {
+                        mapped.push(Mapped::Agg(lower_agg(
+                            fname, args, *star, name, &in_schema,
+                        )?));
+                    }
+                    SqlExpr::Ident(col) => {
+                        let idx = in_schema.resolve(col)?;
+                        let pos = group_idx.iter().position(|&g| g == idx).ok_or_else(|| {
+                            DbError::Unsupported(format!(
+                                "column `{col}` must appear in GROUP BY"
+                            ))
+                        })?;
+                        mapped.push(Mapped::Group(pos, name));
+                    }
+                    _ => {
+                        return Err(DbError::Unsupported(
+                            "aggregate queries support only grouped columns and single \
+                             aggregate calls in the select list"
+                                .into(),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+
+    let aggs: Vec<AggExpr> = mapped
+        .iter()
+        .filter_map(|m| match m {
+            Mapped::Agg(a) => Some(a.clone()),
+            Mapped::Group(..) => None,
+        })
+        .collect();
+    let agg_plan = Plan::Aggregate {
+        input: Box::new(input),
+        group_by: group_idx.clone(),
+        aggs: aggs.clone(),
+    };
+
+    // Re-order the aggregate output to match the select list.
+    let mut agg_cursor = 0usize;
+    let mut exprs: Vec<(ScalarExpr, String)> = Vec::new();
+    for m in &mapped {
+        match m {
+            Mapped::Group(pos, name) => exprs.push((ScalarExpr::Column(*pos), name.clone())),
+            Mapped::Agg(_) => {
+                exprs.push((
+                    ScalarExpr::Column(group_idx.len() + agg_cursor),
+                    match &mapped[exprs.len()] {
+                        Mapped::Agg(a) => a.name.clone(),
+                        Mapped::Group(..) => unreachable!(),
+                    },
+                ));
+                agg_cursor += 1;
+            }
+        }
+    }
+    // Output schema: compute from the aggregate's schema through projection.
+    let mut agg_cols: Vec<Column> = Vec::new();
+    for &i in &group_idx {
+        agg_cols.push(
+            in_schema
+                .column(i)
+                .cloned()
+                .ok_or_else(|| DbError::UnknownColumn(format!("#{i}")))?,
+        );
+    }
+    for a in &aggs {
+        agg_cols.push(Column::new(a.name.clone(), crate::plan::agg_type(a, &in_schema)));
+    }
+    let agg_schema = Schema::new(agg_cols);
+    let out_schema = Schema::new(
+        exprs
+            .iter()
+            .map(|(e, name)| Column::new(name.clone(), crate::plan::infer_type(e, &agg_schema)))
+            .collect(),
+    );
+    Ok((
+        Plan::Project {
+            input: Box::new(agg_plan),
+            exprs,
+        },
+        out_schema,
+    ))
+}
+
+fn lower_agg(
+    fname: &str,
+    args: &[SqlExpr],
+    star: bool,
+    out_name: String,
+    schema: &Schema,
+) -> Result<AggExpr> {
+    let fun = match fname {
+        "count" => AggFun::Count,
+        "sum" => AggFun::Sum,
+        "avg" => AggFun::Avg,
+        "min" => AggFun::Min,
+        "max" => AggFun::Max,
+        "ecount" => AggFun::ExpectedCount,
+        other => return Err(DbError::Unsupported(format!("aggregate `{other}`"))),
+    };
+    let arg = match (fun, star, args.len()) {
+        (AggFun::Count, true, 0) | (AggFun::ExpectedCount, _, 0) => None,
+        (AggFun::Count, false, 1)
+        | (AggFun::Sum | AggFun::Avg | AggFun::Min | AggFun::Max, false, 1) => {
+            Some(resolve_expr(&args[0], schema)?)
+        }
+        _ => {
+            return Err(DbError::Unsupported(format!(
+                "bad arguments for aggregate `{fname}`"
+            )))
+        }
+    };
+    Ok(AggExpr {
+        fun,
+        arg,
+        name: out_name,
+    })
+}
+
+fn output_name(expr: &SqlExpr, alias: Option<&str>, position: usize) -> String {
+    if let Some(a) = alias {
+        return a.to_string();
+    }
+    match expr {
+        SqlExpr::Ident(name) => name.rsplit('.').next().unwrap_or(name).to_string(),
+        SqlExpr::Func { name, .. } => name.clone(),
+        _ => format!("col{}", position + 1),
+    }
+}
+
+fn split_conjuncts(expr: &SqlExpr) -> Vec<&SqlExpr> {
+    match expr {
+        SqlExpr::Binary(SqlBinOp::And, l, r) => {
+            let mut out = split_conjuncts(l);
+            out.extend(split_conjuncts(r));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// Recognises `left.col = right.col` conjuncts for hash joins.
+fn equi_pair(
+    conjunct: &SqlExpr,
+    left: &Schema,
+    right: &Schema,
+) -> Option<(usize, usize)> {
+    let SqlExpr::Binary(SqlBinOp::Eq, a, b) = conjunct else {
+        return None;
+    };
+    let (SqlExpr::Ident(na), SqlExpr::Ident(nb)) = (a.as_ref(), b.as_ref()) else {
+        return None;
+    };
+    match (left.resolve(na), right.resolve(nb)) {
+        (Ok(li), Ok(ri)) => Some((li, ri)),
+        _ => match (left.resolve(nb), right.resolve(na)) {
+            (Ok(li), Ok(ri)) => Some((li, ri)),
+            _ => None,
+        },
+    }
+}
+
+/// Resolves a SQL expression against a schema.
+pub(crate) fn resolve_expr(expr: &SqlExpr, schema: &Schema) -> Result<ScalarExpr> {
+    Ok(match expr {
+        SqlExpr::Ident(name) => ScalarExpr::Column(schema.resolve(name)?),
+        SqlExpr::Literal(d) => ScalarExpr::Literal(d.clone()),
+        SqlExpr::Binary(op, l, r) => {
+            let (l, r) = (resolve_expr(l, schema)?, resolve_expr(r, schema)?);
+            match op {
+                SqlBinOp::Eq => ScalarExpr::cmp(CmpOp::Eq, l, r),
+                SqlBinOp::Ne => ScalarExpr::cmp(CmpOp::Ne, l, r),
+                SqlBinOp::Lt => ScalarExpr::cmp(CmpOp::Lt, l, r),
+                SqlBinOp::Le => ScalarExpr::cmp(CmpOp::Le, l, r),
+                SqlBinOp::Gt => ScalarExpr::cmp(CmpOp::Gt, l, r),
+                SqlBinOp::Ge => ScalarExpr::cmp(CmpOp::Ge, l, r),
+                SqlBinOp::Add => ScalarExpr::Arith(ArithOp::Add, Box::new(l), Box::new(r)),
+                SqlBinOp::Sub => ScalarExpr::Arith(ArithOp::Sub, Box::new(l), Box::new(r)),
+                SqlBinOp::Mul => ScalarExpr::Arith(ArithOp::Mul, Box::new(l), Box::new(r)),
+                SqlBinOp::Div => ScalarExpr::Arith(ArithOp::Div, Box::new(l), Box::new(r)),
+                SqlBinOp::And => ScalarExpr::And(Box::new(l), Box::new(r)),
+                SqlBinOp::Or => ScalarExpr::Or(Box::new(l), Box::new(r)),
+            }
+        }
+        SqlExpr::Not(e) => ScalarExpr::Not(Box::new(resolve_expr(e, schema)?)),
+        SqlExpr::IsNull { expr, negated } => {
+            let inner = ScalarExpr::IsNull(Box::new(resolve_expr(expr, schema)?));
+            if *negated {
+                ScalarExpr::Not(Box::new(inner))
+            } else {
+                inner
+            }
+        }
+        SqlExpr::Func { name, args, star } => {
+            if is_aggregate_name(name) {
+                return Err(DbError::Unsupported(format!(
+                    "aggregate `{name}` not allowed here"
+                )));
+            }
+            if *star || args.len() != 1 {
+                return Err(DbError::Unsupported(format!(
+                    "function `{name}` takes exactly one argument"
+                )));
+            }
+            let arg = Box::new(resolve_expr(&args[0], schema)?);
+            match name.as_str() {
+                "lower" => ScalarExpr::Lower(arg),
+                "upper" => ScalarExpr::Upper(arg),
+                "abs" => ScalarExpr::Abs(arg),
+                other => {
+                    return Err(DbError::Unsupported(format!("function `{other}`")))
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parse_statement;
+    use crate::sql::Statement;
+    use crate::DataType;
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        cat.create_table(
+            "programs",
+            Schema::of(&[
+                ("id", DataType::Int),
+                ("name", DataType::Str),
+                ("score", DataType::Float),
+            ]),
+        )
+        .unwrap();
+        cat.create_table(
+            "genres",
+            Schema::of(&[("program_id", DataType::Int), ("genre", DataType::Str)]),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn lower(sql: &str) -> Result<Plan> {
+        let cat = catalog();
+        let Statement::Query(q) = parse_statement(sql)? else {
+            panic!("not a query")
+        };
+        lower_query(&cat, &q)
+    }
+
+    #[test]
+    fn equi_join_extraction() {
+        let plan = lower(
+            "SELECT p.name FROM programs p JOIN genres g \
+             ON p.id = g.program_id AND g.genre = 'news'",
+        )
+        .unwrap();
+        fn find_join(p: &Plan) -> Option<&Plan> {
+            match p {
+                Plan::Join { .. } => Some(p),
+                Plan::Project { input, .. }
+                | Plan::Select { input, .. }
+                | Plan::Distinct { input }
+                | Plan::OrderBy { input, .. }
+                | Plan::Limit { input, .. } => find_join(input),
+                _ => None,
+            }
+        }
+        let Some(Plan::Join { on, filter, .. }) = find_join(&plan) else {
+            panic!("no join found");
+        };
+        assert_eq!(on.len(), 1, "one hash-joinable pair");
+        assert!(filter.is_some(), "genre predicate stays as residual");
+    }
+
+    #[test]
+    fn unknown_columns_fail_at_lowering() {
+        assert!(matches!(
+            lower("SELECT missing FROM programs"),
+            Err(DbError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            lower("SELECT name FROM nowhere"),
+            Err(DbError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn aggregates_rejected_in_where() {
+        assert!(matches!(
+            lower("SELECT name FROM programs WHERE COUNT(*) > 1"),
+            Err(DbError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn group_by_requires_grouped_columns() {
+        assert!(matches!(
+            lower("SELECT name, COUNT(*) FROM programs GROUP BY id"),
+            Err(DbError::Unsupported(_))
+        ));
+        assert!(lower("SELECT id, COUNT(*) AS n FROM programs GROUP BY id").is_ok());
+    }
+
+    #[test]
+    fn order_by_alias_resolves() {
+        let plan = lower("SELECT score AS s FROM programs ORDER BY s DESC");
+        assert!(plan.is_ok(), "{plan:?}");
+    }
+
+    #[test]
+    fn wildcard_dedup_uses_qualified_names() {
+        let plan = lower("SELECT * FROM programs p JOIN genres g ON p.id = g.program_id");
+        let Ok(Plan::Project { exprs, .. }) = plan else {
+            panic!("expected project")
+        };
+        assert_eq!(exprs.len(), 5);
+        // `id` and `program_id` are unique → base names.
+        assert!(exprs.iter().any(|(_, n)| n == "id"));
+        assert!(exprs.iter().any(|(_, n)| n == "program_id"));
+    }
+}

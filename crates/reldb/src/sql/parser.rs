@@ -1,0 +1,675 @@
+//! Recursive-descent parser for the SQL dialect.
+
+use crate::sql::ast::{
+    Query, Select, SelectItem, SetExpr, SqlBinOp, SqlExpr, Statement, TableRef,
+};
+use crate::sql::lexer::{lex, Spanned, Sym, Tok};
+use crate::{Column, DataType, Datum, DbError, Result};
+
+/// Parses a single SQL statement.
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = lex(sql)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: sql.len(),
+    };
+    let statement = p.statement()?;
+    p.expect_end()?;
+    Ok(statement)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    input_len: usize,
+}
+
+/// Keywords that terminate an identifier-position (so `FROM t WHERE …`
+/// doesn't read `where` as an alias).
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "order", "by", "limit", "join", "on", "union", "all",
+    "distinct", "as", "and", "or", "not", "is", "null", "true", "false", "asc", "desc", "inner",
+    "values", "insert", "into", "create", "table", "view", "drop",
+];
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.input_len, |(_, at)| *at)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(DbError::SqlParse {
+            at: self.at(),
+            message: message.into(),
+        })
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.peek().cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(n)) if n == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", kw.to_uppercase()))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: Sym) -> bool {
+        if matches!(self.peek(), Some(Tok::Symbol(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: Sym, what: &str) -> Result<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{what}`"))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.peek() {
+            Some(Tok::Ident(n)) if !RESERVED.contains(&n.as_str()) => {
+                let n = n.clone();
+                self.pos += 1;
+                Ok(n)
+            }
+            _ => self.err(format!("expected {what}")),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            self.err("unexpected trailing input")
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_keyword("create") {
+            if self.eat_keyword("table") {
+                return self.create_table();
+            }
+            if self.eat_keyword("view") {
+                let name = self.ident("view name")?;
+                self.expect_keyword("as")?;
+                let query = self.query()?;
+                return Ok(Statement::CreateView { name, query });
+            }
+            return self.err("expected TABLE or VIEW after CREATE");
+        }
+        if self.eat_keyword("drop") {
+            if self.eat_keyword("table") {
+                return Ok(Statement::DropTable(self.ident("table name")?));
+            }
+            if self.eat_keyword("view") {
+                return Ok(Statement::DropView(self.ident("view name")?));
+            }
+            return self.err("expected TABLE or VIEW after DROP");
+        }
+        if self.eat_keyword("insert") {
+            self.expect_keyword("into")?;
+            return self.insert();
+        }
+        Ok(Statement::Query(self.query()?))
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.ident("table name")?;
+        self.expect_symbol(Sym::LParen, "(")?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.ident("column name")?;
+            let dtype = self.data_type()?;
+            columns.push(Column::new(col_name, dtype));
+            if self.eat_symbol(Sym::Comma) {
+                continue;
+            }
+            self.expect_symbol(Sym::RParen, ")")?;
+            break;
+        }
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let name = match self.bump() {
+            Some(Tok::Ident(n)) => n,
+            _ => return self.err("expected a column type"),
+        };
+        match name.as_str() {
+            "int" | "integer" | "bigint" => Ok(DataType::Int),
+            "float" | "double" | "real" => Ok(DataType::Float),
+            "string" | "text" | "varchar" => Ok(DataType::Str),
+            "bool" | "boolean" => Ok(DataType::Bool),
+            "id" => Ok(DataType::Id),
+            other => self.err(format!("unknown type `{other}`")),
+        }
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        let table = self.ident("table name")?;
+        self.expect_keyword("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol(Sym::LParen, "(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                if self.eat_symbol(Sym::Comma) {
+                    continue;
+                }
+                self.expect_symbol(Sym::RParen, ")")?;
+                break;
+            }
+            rows.push(row);
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn literal(&mut self) -> Result<Datum> {
+        let negative = self.eat_symbol(Sym::Minus);
+        match self.bump() {
+            Some(Tok::Number(n)) => parse_number(&n, negative).ok_or(DbError::SqlParse {
+                at: self.at(),
+                message: format!("bad number `{n}`"),
+            }),
+            Some(Tok::Str(s)) if !negative => Ok(Datum::str(s)),
+            Some(Tok::Ident(n)) if !negative && n == "true" => Ok(Datum::Bool(true)),
+            Some(Tok::Ident(n)) if !negative && n == "false" => Ok(Datum::Bool(false)),
+            Some(Tok::Ident(n)) if !negative && n == "null" => Ok(Datum::Null),
+            _ => self.err("expected a literal"),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        let mut body = SetExpr::Select(Box::new(self.select()?));
+        while self.eat_keyword("union") {
+            let all = self.eat_keyword("all");
+            let right = SetExpr::Select(Box::new(self.select()?));
+            body = SetExpr::Union {
+                left: Box::new(body),
+                right: Box::new(right),
+                all,
+            };
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_keyword("desc") {
+                    true
+                } else {
+                    self.eat_keyword("asc");
+                    false
+                };
+                order_by.push((expr, desc));
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        if self.eat_keyword("limit") {
+            match self.bump() {
+                Some(Tok::Number(n)) => {
+                    limit = Some(n.parse::<usize>().map_err(|_| DbError::SqlParse {
+                        at: self.at(),
+                        message: format!("bad LIMIT `{n}`"),
+                    })?);
+                }
+                _ => return self.err("expected a number after LIMIT"),
+            }
+        }
+        Ok(Query {
+            body,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_keyword("select")?;
+        let distinct = self.eat_keyword("distinct");
+        let mut items = Vec::new();
+        loop {
+            if self.eat_symbol(Sym::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_keyword("as") {
+                    Some(self.ident("alias")?)
+                } else {
+                    // Bare alias: `SELECT score s`.
+                    match self.peek() {
+                        Some(Tok::Ident(n)) if !RESERVED.contains(&n.as_str()) => {
+                            Some(self.ident("alias")?)
+                        }
+                        _ => None,
+                    }
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        if items.is_empty() {
+            return self.err("empty select list");
+        }
+        self.expect_keyword("from")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let inner = self.eat_keyword("inner");
+            if self.eat_keyword("join") {
+                let table = self.table_ref()?;
+                self.expect_keyword("on")?;
+                let on = self.expr()?;
+                joins.push((table, on));
+            } else if inner {
+                return self.err("expected JOIN after INNER");
+            } else {
+                break;
+            }
+        }
+        let selection = if self.eat_keyword("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            loop {
+                group_by.push(self.qualified_name()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            joins,
+            selection,
+            group_by,
+        })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident("table name")?;
+        let alias = if self.eat_keyword("as") {
+            Some(self.ident("alias")?)
+        } else {
+            match self.peek() {
+                Some(Tok::Ident(n)) if !RESERVED.contains(&n.as_str()) => {
+                    Some(self.ident("alias")?)
+                }
+                _ => None,
+            }
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    fn qualified_name(&mut self) -> Result<String> {
+        let mut name = self.ident("column name")?;
+        if self.eat_symbol(Sym::Dot) {
+            name.push('.');
+            name.push_str(&self.ident("column name")?);
+        }
+        Ok(name)
+    }
+
+    // Expression precedence: OR < AND < NOT < comparison < +- < */ < unary.
+    fn expr(&mut self) -> Result<SqlExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SqlExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("or") {
+            let right = self.and_expr()?;
+            left = SqlExpr::Binary(SqlBinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("and") {
+            let right = self.not_expr()?;
+            left = SqlExpr::Binary(SqlBinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr> {
+        if self.eat_keyword("not") {
+            return Ok(SqlExpr::Not(Box::new(self.not_expr()?)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<SqlExpr> {
+        let left = self.add_expr()?;
+        if self.eat_keyword("is") {
+            let negated = self.eat_keyword("not");
+            self.expect_keyword("null")?;
+            return Ok(SqlExpr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let op = match self.peek() {
+            Some(Tok::Symbol(Sym::Eq)) => Some(SqlBinOp::Eq),
+            Some(Tok::Symbol(Sym::Ne)) => Some(SqlBinOp::Ne),
+            Some(Tok::Symbol(Sym::Lt)) => Some(SqlBinOp::Lt),
+            Some(Tok::Symbol(Sym::Le)) => Some(SqlBinOp::Le),
+            Some(Tok::Symbol(Sym::Gt)) => Some(SqlBinOp::Gt),
+            Some(Tok::Symbol(Sym::Ge)) => Some(SqlBinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_expr()?;
+            return Ok(SqlExpr::Binary(op, Box::new(left), Box::new(right)));
+        }
+        Ok(left)
+    }
+
+    fn add_expr(&mut self) -> Result<SqlExpr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = if self.eat_symbol(Sym::Plus) {
+                SqlBinOp::Add
+            } else if self.eat_symbol(Sym::Minus) {
+                SqlBinOp::Sub
+            } else {
+                break;
+            };
+            let right = self.mul_expr()?;
+            left = SqlExpr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<SqlExpr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = if self.eat_symbol(Sym::Star) {
+                SqlBinOp::Mul
+            } else if self.eat_symbol(Sym::Slash) {
+                SqlBinOp::Div
+            } else {
+                break;
+            };
+            let right = self.unary_expr()?;
+            left = SqlExpr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<SqlExpr> {
+        if self.eat_symbol(Sym::Minus) {
+            // Fold negation into numeric literals, otherwise 0 - expr.
+            if let Some(Tok::Number(n)) = self.peek().cloned() {
+                self.pos += 1;
+                let d = parse_number(&n, true).ok_or(DbError::SqlParse {
+                    at: self.at(),
+                    message: format!("bad number `{n}`"),
+                })?;
+                return Ok(SqlExpr::Literal(d));
+            }
+            let inner = self.unary_expr()?;
+            return Ok(SqlExpr::Binary(
+                SqlBinOp::Sub,
+                Box::new(SqlExpr::Literal(Datum::Int(0))),
+                Box::new(inner),
+            ));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<SqlExpr> {
+        if self.eat_symbol(Sym::LParen) {
+            let inner = self.expr()?;
+            self.expect_symbol(Sym::RParen, ")")?;
+            return Ok(inner);
+        }
+        match self.peek().cloned() {
+            Some(Tok::Number(n)) => {
+                self.pos += 1;
+                parse_number(&n, false)
+                    .map(SqlExpr::Literal)
+                    .ok_or(DbError::SqlParse {
+                        at: self.at(),
+                        message: format!("bad number `{n}`"),
+                    })
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Datum::str(s)))
+            }
+            Some(Tok::Ident(n)) if n == "true" => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Datum::Bool(true)))
+            }
+            Some(Tok::Ident(n)) if n == "false" => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Datum::Bool(false)))
+            }
+            Some(Tok::Ident(n)) if n == "null" => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Datum::Null))
+            }
+            Some(Tok::Ident(n)) if !RESERVED.contains(&n.as_str()) => {
+                self.pos += 1;
+                // Function call?
+                if self.eat_symbol(Sym::LParen) {
+                    if self.eat_symbol(Sym::Star) {
+                        self.expect_symbol(Sym::RParen, ")")?;
+                        return Ok(SqlExpr::Func {
+                            name: n,
+                            args: vec![],
+                            star: true,
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if !self.eat_symbol(Sym::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_symbol(Sym::Comma) {
+                                continue;
+                            }
+                            self.expect_symbol(Sym::RParen, ")")?;
+                            break;
+                        }
+                    }
+                    return Ok(SqlExpr::Func {
+                        name: n,
+                        args,
+                        star: false,
+                    });
+                }
+                // Qualified column?
+                if self.eat_symbol(Sym::Dot) {
+                    let tail = self.ident("column name")?;
+                    return Ok(SqlExpr::Ident(format!("{n}.{tail}")));
+                }
+                Ok(SqlExpr::Ident(n))
+            }
+            _ => self.err("expected an expression"),
+        }
+    }
+}
+
+fn parse_number(text: &str, negative: bool) -> Option<Datum> {
+    let sign = if negative { "-" } else { "" };
+    let s = format!("{sign}{text}");
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(i) = s.parse::<i64>() {
+            return Some(Datum::Int(i));
+        }
+    }
+    s.parse::<f64>().ok().map(Datum::Float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query() {
+        let st = parse_statement(
+            "SELECT name, preferencescore FROM programs \
+             WHERE preferencescore > 0.5 ORDER BY preferencescore DESC",
+        )
+        .unwrap();
+        let Statement::Query(q) = st else {
+            panic!("expected query")
+        };
+        assert_eq!(q.order_by.len(), 1);
+        assert!(q.order_by[0].1, "DESC");
+        let SetExpr::Select(sel) = &q.body else {
+            panic!("expected select")
+        };
+        assert_eq!(sel.items.len(), 2);
+        assert!(sel.selection.is_some());
+    }
+
+    #[test]
+    fn create_table_types() {
+        let st =
+            parse_statement("CREATE TABLE t (a INT, b FLOAT, c STRING, d BOOL, e ID)").unwrap();
+        let Statement::CreateTable { columns, .. } = st else {
+            panic!()
+        };
+        assert_eq!(columns.len(), 5);
+        assert_eq!(columns[4].dtype, DataType::Id);
+        assert!(parse_statement("CREATE TABLE t (a BLOB)").is_err());
+    }
+
+    #[test]
+    fn insert_literals() {
+        let st = parse_statement(
+            "INSERT INTO t VALUES (1, -2.5, 'x', true, NULL), (2, 3.0, 'y', false, 7)",
+        )
+        .unwrap();
+        let Statement::Insert { rows, .. } = st else {
+            panic!()
+        };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][1], Datum::Float(-2.5));
+        assert_eq!(rows[0][4], Datum::Null);
+    }
+
+    #[test]
+    fn join_and_group() {
+        let st = parse_statement(
+            "SELECT g.genre, COUNT(*) AS n FROM programs p \
+             JOIN genres g ON p.id = g.program_id GROUP BY g.genre",
+        )
+        .unwrap();
+        let Statement::Query(q) = st else { panic!() };
+        let SetExpr::Select(sel) = &q.body else {
+            panic!()
+        };
+        assert_eq!(sel.joins.len(), 1);
+        assert_eq!(sel.group_by, vec!["g.genre"]);
+    }
+
+    #[test]
+    fn union_chain_left_assoc() {
+        let st = parse_statement("SELECT a FROM t UNION SELECT a FROM u UNION ALL SELECT a FROM v")
+            .unwrap();
+        let Statement::Query(q) = st else { panic!() };
+        let SetExpr::Union { all, left, .. } = &q.body else {
+            panic!()
+        };
+        assert!(*all);
+        assert!(matches!(**left, SetExpr::Union { all: false, .. }));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let st = parse_statement("SELECT a FROM t WHERE a + b * 2 > 4 AND NOT c OR d").unwrap();
+        let Statement::Query(q) = st else { panic!() };
+        let SetExpr::Select(sel) = &q.body else {
+            panic!()
+        };
+        // Top node must be OR.
+        assert!(matches!(
+            sel.selection.as_ref().unwrap(),
+            SqlExpr::Binary(SqlBinOp::Or, _, _)
+        ));
+    }
+
+    #[test]
+    fn negative_numbers_in_expressions() {
+        let st = parse_statement("SELECT a FROM t WHERE a > -1.5").unwrap();
+        let Statement::Query(q) = st else { panic!() };
+        let SetExpr::Select(sel) = &q.body else {
+            panic!()
+        };
+        let SqlExpr::Binary(SqlBinOp::Gt, _, rhs) = sel.selection.as_ref().unwrap() else {
+            panic!()
+        };
+        assert_eq!(**rhs, SqlExpr::Literal(Datum::Float(-1.5)));
+    }
+
+    #[test]
+    fn reserved_words_not_aliases() {
+        let st = parse_statement("SELECT a FROM t WHERE x = 1").unwrap();
+        let Statement::Query(q) = st else { panic!() };
+        let SetExpr::Select(sel) = &q.body else {
+            panic!()
+        };
+        assert!(sel.from.alias.is_none());
+    }
+
+    #[test]
+    fn bare_aliases() {
+        let st = parse_statement("SELECT score s FROM programs p").unwrap();
+        let Statement::Query(q) = st else { panic!() };
+        let SetExpr::Select(sel) = &q.body else {
+            panic!()
+        };
+        assert_eq!(sel.from.alias.as_deref(), Some("p"));
+        let SelectItem::Expr { alias, .. } = &sel.items[0] else {
+            panic!()
+        };
+        assert_eq!(alias.as_deref(), Some("s"));
+    }
+}

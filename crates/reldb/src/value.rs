@@ -1,0 +1,284 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Opaque identifier (used for DL individuals).
+    Id,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "BOOL",
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "STRING",
+            DataType::Id => "ID",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A single value. `Null` inhabits every type.
+///
+/// `Datum` has a **total order** (used by `ORDER BY`, `DISTINCT`, and join
+/// keys): `Null` sorts first, then values of the same type in their natural
+/// order; values of different types order by type tag. Floats use IEEE
+/// `total_cmp`, so `Datum` is `Eq`/`Hash` despite containing floats.
+#[derive(Debug, Clone)]
+pub enum Datum {
+    /// Absent value.
+    Null,
+    /// Boolean value.
+    Bool(bool),
+    /// Integer value.
+    Int(i64),
+    /// Float value.
+    Float(f64),
+    /// String value (cheaply clonable).
+    Str(Arc<str>),
+    /// Opaque identifier value.
+    Id(u64),
+}
+
+impl Datum {
+    /// Builds a string datum.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Datum::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The datum's type, `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Datum::Null => None,
+            Datum::Bool(_) => Some(DataType::Bool),
+            Datum::Int(_) => Some(DataType::Int),
+            Datum::Float(_) => Some(DataType::Float),
+            Datum::Str(_) => Some(DataType::Str),
+            Datum::Id(_) => Some(DataType::Id),
+        }
+    }
+
+    /// True if the datum is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// Boolean view (strict; `None` for non-booleans and `Null`).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Datum::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: ints widen to floats.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Datum::Int(i) => Some(*i as f64),
+            Datum::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Datum::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Datum::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Id view.
+    pub fn as_id(&self) -> Option<u64> {
+        match self {
+            Datum::Id(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Datum::Null => 0,
+            Datum::Bool(_) => 1,
+            Datum::Int(_) => 2,
+            Datum::Float(_) => 3,
+            Datum::Str(_) => 4,
+            Datum::Id(_) => 5,
+        }
+    }
+
+    /// SQL-style equality for predicates: comparisons with `Null` and
+    /// numeric cross-type comparisons (`Int` vs `Float`) are handled;
+    /// returns `None` when either side is `Null`.
+    pub fn sql_cmp(&self, other: &Datum) -> Option<Ordering> {
+        match (self, other) {
+            (Datum::Null, _) | (_, Datum::Null) => None,
+            (Datum::Int(a), Datum::Float(b)) => Some((*a as f64).total_cmp(b)),
+            (Datum::Float(a), Datum::Int(b)) => Some(a.total_cmp(&(*b as f64))),
+            (a, b) => Some(a.cmp(b)),
+        }
+    }
+}
+
+impl PartialEq for Datum {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Datum {}
+
+impl PartialOrd for Datum {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Datum {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Datum::Null, Datum::Null) => Ordering::Equal,
+            (Datum::Bool(a), Datum::Bool(b)) => a.cmp(b),
+            (Datum::Int(a), Datum::Int(b)) => a.cmp(b),
+            (Datum::Float(a), Datum::Float(b)) => a.total_cmp(b),
+            (Datum::Str(a), Datum::Str(b)) => a.cmp(b),
+            (Datum::Id(a), Datum::Id(b)) => a.cmp(b),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl Hash for Datum {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.type_rank().hash(state);
+        match self {
+            Datum::Null => {}
+            Datum::Bool(b) => b.hash(state),
+            Datum::Int(i) => i.hash(state),
+            Datum::Float(f) => f.to_bits().hash(state),
+            Datum::Str(s) => s.hash(state),
+            Datum::Id(i) => i.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => write!(f, "NULL"),
+            Datum::Bool(b) => write!(f, "{b}"),
+            Datum::Int(i) => write!(f, "{i}"),
+            Datum::Float(x) => write!(f, "{x}"),
+            Datum::Str(s) => write!(f, "{s}"),
+            Datum::Id(i) => write!(f, "#{i}"),
+        }
+    }
+}
+
+impl From<bool> for Datum {
+    fn from(b: bool) -> Self {
+        Datum::Bool(b)
+    }
+}
+impl From<i64> for Datum {
+    fn from(i: i64) -> Self {
+        Datum::Int(i)
+    }
+}
+impl From<f64> for Datum {
+    fn from(x: f64) -> Self {
+        Datum::Float(x)
+    }
+}
+impl From<&str> for Datum {
+    fn from(s: &str) -> Self {
+        Datum::str(s)
+    }
+}
+impl From<String> for Datum {
+    fn from(s: String) -> Self {
+        Datum::str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_and_equality() {
+        assert!(Datum::Null < Datum::Bool(false));
+        assert!(Datum::Int(1) < Datum::Int(2));
+        assert!(Datum::Float(1.5) < Datum::Float(2.0));
+        assert_eq!(Datum::str("a"), Datum::str("a"));
+        assert!(Datum::str("a") < Datum::str("b"));
+        assert!(Datum::Id(1) < Datum::Id(2));
+        // Cross-type ordering is by type rank, stable.
+        assert!(Datum::Bool(true) < Datum::Int(0));
+    }
+
+    #[test]
+    fn sql_cmp_handles_null_and_numeric_widening() {
+        assert_eq!(Datum::Null.sql_cmp(&Datum::Int(1)), None);
+        assert_eq!(
+            Datum::Int(1).sql_cmp(&Datum::Float(1.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Datum::Float(0.5).sql_cmp(&Datum::Int(1)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Datum::Float(1.0));
+        assert!(set.contains(&Datum::Float(1.0)));
+        assert!(!set.contains(&Datum::Float(-1.0)));
+        set.insert(Datum::str("x"));
+        assert!(set.contains(&Datum::str("x")));
+    }
+
+    #[test]
+    fn conversions_and_views() {
+        assert_eq!(Datum::from(3i64).as_i64(), Some(3));
+        assert_eq!(Datum::from(3i64).as_f64(), Some(3.0));
+        assert_eq!(Datum::from(true).as_bool(), Some(true));
+        assert_eq!(Datum::from("hi").as_str(), Some("hi"));
+        assert_eq!(Datum::Id(7).as_id(), Some(7));
+        assert!(Datum::Null.is_null());
+        assert_eq!(Datum::Null.data_type(), None);
+        assert_eq!(Datum::from(1.0).data_type(), Some(DataType::Float));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Datum::Null.to_string(), "NULL");
+        assert_eq!(Datum::from(1.5).to_string(), "1.5");
+        assert_eq!(Datum::Id(4).to_string(), "#4");
+        assert_eq!(DataType::Str.to_string(), "STRING");
+    }
+}

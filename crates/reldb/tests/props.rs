@@ -1,0 +1,205 @@
+//! Property tests for the relational engine: the lineage algebra must match
+//! possible-world semantics, and operators must satisfy classical laws.
+
+use capra_events::worlds::Worlds;
+use capra_events::{EventExpr, Universe};
+use capra_reldb::{
+    Catalog, CmpOp, DataType, Datum, Executor, Plan, Relation, Row, ScalarExpr, Schema,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const TOL: f64 = 1e-9;
+
+/// Builds a catalog with two small uncertain tables over one universe.
+fn build_tables(
+    left_rows: &[(i64, u8)],
+    right_rows: &[(i64, u8)],
+) -> (Catalog, Universe) {
+    let catalog = Catalog::new();
+    let mut u = Universe::new();
+    let schema = Schema::of(&[("k", DataType::Int)]);
+    for (name, rows) in [("l", left_rows), ("r", right_rows)] {
+        let t = catalog.create_table(name, schema.clone()).unwrap();
+        t.insert(
+            rows.iter()
+                .enumerate()
+                .map(|(i, &(k, p))| {
+                    let var = u
+                        .add_bool(&format!("{name}{i}"), f64::from(p) / 255.0)
+                        .unwrap();
+                    Row::uncertain(vec![Datum::Int(k)], u.bool_event(var).unwrap())
+                })
+                .collect(),
+        )
+        .unwrap();
+    }
+    (catalog, u)
+}
+
+/// Expected multiset of key → presence-probability via world enumeration:
+/// for each world, evaluate the relational expression over the *certain*
+/// sub-instance and count resulting tuples.
+fn world_semantics<F>(u: &Universe, relation: &Relation, query: F) -> BTreeMap<Vec<Datum>, f64>
+where
+    F: Fn(&[Row]) -> Vec<Vec<Datum>>,
+{
+    let exprs: Vec<EventExpr> = relation.rows().iter().map(|r| r.lineage.clone()).collect();
+    let mut out: BTreeMap<Vec<Datum>, f64> = BTreeMap::new();
+    for (world, p) in Worlds::of_exprs(u, exprs.iter()) {
+        let present: Vec<Row> = relation
+            .rows()
+            .iter()
+            .filter(|r| world.eval(&r.lineage).unwrap_or(false))
+            .cloned()
+            .collect();
+        for tuple in query(&present) {
+            *out.entry(tuple).or_default() += p;
+        }
+    }
+    out
+}
+
+/// Per-tuple presence probability of a (deduplicated) result relation.
+fn lineage_probabilities(u: &Universe, rel: &Relation) -> BTreeMap<Vec<Datum>, f64> {
+    let mut ev = capra_events::Evaluator::new(u);
+    rel.rows()
+        .iter()
+        .map(|r| (r.values.clone(), ev.prob(&r.lineage)))
+        .collect()
+}
+
+prop_compose! {
+    fn tables()(
+        left in prop::collection::vec((0i64..4, any::<u8>()), 1..5),
+        right in prop::collection::vec((0i64..4, any::<u8>()), 1..5),
+    ) -> (Vec<(i64, u8)>, Vec<(i64, u8)>) {
+        (left, right)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DISTINCT's lineage disjunction equals the world-enumeration
+    /// probability that the key appears at all.
+    #[test]
+    fn distinct_matches_possible_worlds((left, right) in tables()) {
+        let (catalog, u) = build_tables(&left, &right);
+        let ex = Executor::new(&catalog);
+        let scan = ex.run(&Plan::scan("l")).unwrap();
+        let distinct = ex.run(&Plan::scan("l").distinct()).unwrap();
+        let via_lineage = lineage_probabilities(&u, &distinct);
+        let via_worlds = world_semantics(&u, &scan, |rows| {
+            let mut keys: Vec<Vec<Datum>> =
+                rows.iter().map(|r| r.values.clone()).collect();
+            keys.sort();
+            keys.dedup();
+            keys
+        });
+        prop_assert_eq!(via_lineage.len(), via_worlds.len());
+        for (key, p) in &via_lineage {
+            prop_assert!((p - via_worlds[key]).abs() < TOL,
+                "key {:?}: {} vs {}", key, p, via_worlds[key]);
+        }
+    }
+
+    /// Join lineage (conjunction) matches the expected probability of the
+    /// joined pair existing, assuming the join of independent rows.
+    #[test]
+    fn join_matches_possible_worlds((left, right) in tables()) {
+        let (catalog, u) = build_tables(&left, &right);
+        let ex = Executor::new(&catalog);
+        let join = Plan::Join {
+            left: Box::new(Plan::scan("l")),
+            right: Box::new(Plan::scan("r")),
+            on: vec![(0, 0)],
+            filter: None,
+        };
+        let out = ex.run(&join).unwrap();
+        let mut ev = capra_events::Evaluator::new(&u);
+        // Every output row's probability = P(left row) · P(right row)
+        // because distinct base rows have independent lineage variables.
+        let l = ex.run(&Plan::scan("l")).unwrap();
+        let r = ex.run(&Plan::scan("r")).unwrap();
+        let mut expected_total = 0.0;
+        for lr in l.rows() {
+            for rr in r.rows() {
+                if lr.values[0] == rr.values[0] {
+                    expected_total += ev.prob(&lr.lineage) * ev.prob(&rr.lineage);
+                }
+            }
+        }
+        let actual_total: f64 = out
+            .rows()
+            .iter()
+            .map(|row| ev.prob(&row.lineage))
+            .sum();
+        prop_assert!((expected_total - actual_total).abs() < TOL);
+    }
+
+    /// Selection commutes with itself and is idempotent.
+    #[test]
+    fn selection_laws((left, _right) in tables(), threshold in 0i64..4) {
+        let (catalog, _u) = build_tables(&left, &[(0, 128)]);
+        let ex = Executor::new(&catalog);
+        let p1 = ScalarExpr::cmp(CmpOp::Ge, ScalarExpr::col(0), ScalarExpr::lit(threshold));
+        let p2 = ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(0), ScalarExpr::lit(3i64));
+        let a = ex.run(&Plan::scan("l").select(p1.clone()).select(p2.clone())).unwrap();
+        let b = ex.run(&Plan::scan("l").select(p2.clone()).select(p1.clone())).unwrap();
+        prop_assert_eq!(a.rows().len(), b.rows().len());
+        let idem = ex.run(&Plan::scan("l").select(p1.clone()).select(p1.clone())).unwrap();
+        let once = ex.run(&Plan::scan("l").select(p1)).unwrap();
+        prop_assert_eq!(idem.rows().len(), once.rows().len());
+    }
+
+    /// Union is a bag union: cardinalities add; distinct-after-union equals
+    /// the set union with OR-ed lineage.
+    #[test]
+    fn union_laws((left, right) in tables()) {
+        let (catalog, u) = build_tables(&left, &right);
+        let ex = Executor::new(&catalog);
+        let union = Plan::Union {
+            left: Box::new(Plan::scan("l")),
+            right: Box::new(Plan::scan("r")),
+        };
+        let bag = ex.run(&union.clone()).unwrap();
+        prop_assert_eq!(bag.rows().len(), left.len() + right.len());
+        let set = ex.run(&union.distinct()).unwrap();
+        // Deduplicated: every surviving row's probability ≤ 1 and matches
+        // world enumeration over both tables.
+        let probs = lineage_probabilities(&u, &set);
+        for p in probs.values() {
+            prop_assert!((0.0..=1.0 + TOL).contains(p));
+        }
+    }
+
+    /// ORDER BY then LIMIT returns a sorted prefix.
+    #[test]
+    fn order_limit_prefix((left, _right) in tables(), n in 0usize..6) {
+        let (catalog, _u) = build_tables(&left, &[(0, 1)]);
+        let ex = Executor::new(&catalog);
+        let sorted = ex
+            .run(&Plan::scan("l").order_by(vec![capra_reldb::SortKey {
+                expr: ScalarExpr::col(0),
+                desc: false,
+            }]))
+            .unwrap();
+        let limited = ex
+            .run(&Plan::scan("l")
+                .order_by(vec![capra_reldb::SortKey {
+                    expr: ScalarExpr::col(0),
+                    desc: false,
+                }])
+                .limit(n))
+            .unwrap();
+        prop_assert_eq!(limited.rows().len(), n.min(left.len()));
+        for (a, b) in limited.rows().iter().zip(sorted.rows()) {
+            prop_assert_eq!(&a.values, &b.values);
+        }
+        let keys: Vec<&Datum> = sorted.rows().iter().map(|r| &r.values[0]).collect();
+        for w in keys.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! The seeded synthetic TVTouch database — the paper's test database.
+//!
+//! Section 5: *"we generated a test database of context and documents
+//! containing around 11000 tuples; around 1000 persons, 300 TV programs,
+//! 12 genres, 6 subjects, 4 activities, 5 rooms and their relations. We
+//! created a series of rules on this test database where we measured query
+//! times for an increasing number of rules."*
+//!
+//! [`generate`] reproduces those cardinalities (configurable, seeded);
+//! [`scaling_rules`] produces the rule series. Rule `i` pairs one uncertain
+//! context feature of the user (`CtxFeature_i`, a sensor-style boolean)
+//! with one uncertain document feature (`PrefTag_i`, a sparse uncertain tag
+//! over the programs) — exactly the `(g, f) ∈ H` shape of the model. All
+//! feature variables are independent, so every engine accepts the workload
+//! and the measured differences are purely algorithmic.
+
+use capra_core::{Kb, PreferenceRule, RuleRepository, Score};
+use capra_dl::IndividualId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the synthetic database.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Number of persons (paper: ~1000).
+    pub persons: usize,
+    /// Number of TV programs (paper: 300).
+    pub programs: usize,
+    /// Number of genres (paper: 12).
+    pub genres: usize,
+    /// Number of subjects (paper: 6).
+    pub subjects: usize,
+    /// Number of activities (paper: 4).
+    pub activities: usize,
+    /// Number of rooms (paper: 5).
+    pub rooms: usize,
+    /// Number of scaling feature pairs prepared for [`scaling_rules`]
+    /// (generated up front so the database size does not depend on how many
+    /// rules an experiment later uses).
+    pub scaling_features: usize,
+    /// Fraction of programs carrying each scaling tag.
+    pub tag_density: f64,
+    /// Average number of watch relations per person.
+    pub watches_per_person: f64,
+    /// RNG seed; same seed ⇒ identical database.
+    pub seed: u64,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        Self {
+            persons: 1000,
+            programs: 300,
+            genres: 12,
+            subjects: 6,
+            activities: 4,
+            rooms: 5,
+            scaling_features: 16,
+            tag_density: 0.3,
+            watches_per_person: 6.0,
+            seed: 0x1CDE_2007,
+        }
+    }
+}
+
+impl DbConfig {
+    /// A scaled-down configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            persons: 20,
+            programs: 15,
+            genres: 4,
+            subjects: 3,
+            activities: 2,
+            rooms: 2,
+            scaling_features: 8,
+            tag_density: 0.5,
+            watches_per_person: 2.0,
+            seed: 7,
+        }
+    }
+}
+
+/// The generated database and its entity handles.
+pub struct TvTouchDb {
+    /// The knowledge base (ABox ≈ the paper's tuple count).
+    pub kb: Kb,
+    /// The situated user whose context the rules reference.
+    pub user: IndividualId,
+    /// All persons (the user is `persons[0]`).
+    pub persons: Vec<IndividualId>,
+    /// All programs (the scoring candidates).
+    pub programs: Vec<IndividualId>,
+    /// Genre individuals.
+    pub genres: Vec<IndividualId>,
+    /// Subject individuals.
+    pub subjects: Vec<IndividualId>,
+    /// Activity individuals.
+    pub activities: Vec<IndividualId>,
+    /// Room individuals.
+    pub rooms: Vec<IndividualId>,
+    /// The configuration used.
+    pub config: DbConfig,
+}
+
+impl TvTouchDb {
+    /// Number of ABox tuples (concept + role assertions) — the measure the
+    /// paper reports ("around 11000 tuples").
+    pub fn num_tuples(&self) -> usize {
+        self.kb.abox.num_tuples()
+    }
+}
+
+/// Generates the database.
+pub fn generate(config: DbConfig) -> TvTouchDb {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut kb = Kb::new();
+
+    let genres: Vec<IndividualId> = (0..config.genres)
+        .map(|i| {
+            let g = kb.individual(&format!("Genre_{i}"));
+            kb.assert_concept(g, "Genre");
+            g
+        })
+        .collect();
+    let subjects: Vec<IndividualId> = (0..config.subjects)
+        .map(|i| {
+            let s = kb.individual(&format!("Subject_{i}"));
+            kb.assert_concept(s, "Subject");
+            s
+        })
+        .collect();
+    let activities: Vec<IndividualId> = (0..config.activities)
+        .map(|i| {
+            let a = kb.individual(&format!("Activity_{i}"));
+            kb.assert_concept(a, "Activity");
+            a
+        })
+        .collect();
+    let rooms: Vec<IndividualId> = (0..config.rooms)
+        .map(|i| {
+            let r = kb.individual(&format!("Room_{i}"));
+            kb.assert_concept(r, "Room");
+            r
+        })
+        .collect();
+
+    let programs: Vec<IndividualId> = (0..config.programs)
+        .map(|i| {
+            let p = kb.individual(&format!("Program_{i}"));
+            kb.assert_concept(p, "TvProgram");
+            p
+        })
+        .collect();
+    // Program features: 1–2 genres (EPG tagging is uncertain), 1–2 subjects.
+    for &p in &programs {
+        let n_genres = 1 + usize::from(rng.gen_bool(0.5));
+        for _ in 0..n_genres {
+            let g = genres[rng.gen_range(0..genres.len())];
+            let certainty = rng.gen_range(0.7..=1.0);
+            kb.assert_role_prob(p, "hasGenre", g, certainty)
+                .expect("valid probability");
+        }
+        let n_subjects = 1 + usize::from(rng.gen_bool(0.5));
+        for _ in 0..n_subjects {
+            let s = subjects[rng.gen_range(0..subjects.len())];
+            let certainty = rng.gen_range(0.7..=1.0);
+            kb.assert_role_prob(p, "hasSubject", s, certainty)
+                .expect("valid probability");
+        }
+    }
+    // Scaling tags: independent uncertain document features over programs.
+    for tag in 0..config.scaling_features {
+        let concept = format!("PrefTag_{tag}");
+        for &p in &programs {
+            if rng.gen_bool(config.tag_density) {
+                let certainty = rng.gen_range(0.5..=1.0);
+                kb.assert_concept_prob(p, &concept, certainty)
+                    .expect("valid probability");
+            }
+        }
+    }
+
+    let persons: Vec<IndividualId> = (0..config.persons)
+        .map(|i| {
+            let p = kb.individual(&format!("Person_{i}"));
+            kb.assert_concept(p, "Person");
+            p
+        })
+        .collect();
+    for &person in &persons {
+        let room = rooms[rng.gen_range(0..rooms.len())];
+        kb.assert_role_prob(person, "inRoom", room, rng.gen_range(0.6..=1.0))
+            .expect("valid probability");
+        let activity = activities[rng.gen_range(0..activities.len())];
+        kb.assert_role_prob(person, "doingActivity", activity, rng.gen_range(0.5..=1.0))
+            .expect("valid probability");
+        // Viewing relations (certain facts: the system logged them).
+        let n_watch = rng.gen_range(0..=(config.watches_per_person * 2.0) as usize);
+        for _ in 0..n_watch {
+            let program = programs[rng.gen_range(0..programs.len())];
+            kb.assert_role(person, "watches", program);
+        }
+    }
+
+    let user = persons[0];
+    // The user's independent context features for the scaling experiment
+    // (sensor-style booleans).
+    for i in 0..config.scaling_features {
+        kb.assert_concept_prob(user, &format!("CtxFeature_{i}"), 0.3 + 0.6 * frac(i))
+            .expect("valid probability");
+    }
+
+    TvTouchDb {
+        kb,
+        user,
+        persons,
+        programs,
+        genres,
+        subjects,
+        activities,
+        rooms,
+        config,
+    }
+}
+
+/// Deterministic pseudo-fraction in `[0, 1)` from an index (keeps rule
+/// parameters reproducible without threading the RNG around).
+fn frac(i: usize) -> f64 {
+    let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The rule series of the Section 5 experiment: `k` rules, rule `i` pairing
+/// the user's context feature `CtxFeature_i` with document feature
+/// `PrefTag_i`, σ spread over `[0.5, 0.9]`.
+///
+/// Panics if `k` exceeds the database's prepared `scaling_features`.
+pub fn scaling_rules(db: &mut TvTouchDb, k: usize) -> RuleRepository {
+    assert!(
+        k <= db.config.scaling_features,
+        "database prepared for {} scaling features, asked for {k}",
+        db.config.scaling_features
+    );
+    let mut rules = RuleRepository::new();
+    for i in 0..k {
+        let context = db
+            .kb
+            .parse(&format!("CtxFeature_{i}"))
+            .expect("valid concept");
+        let preference = db
+            .kb
+            .parse(&format!("TvProgram AND PrefTag_{i}"))
+            .expect("valid concept");
+        rules
+            .add(PreferenceRule::new(
+                format!("S{i}"),
+                context,
+                preference,
+                Score::new(0.5 + 0.4 * frac(i)).expect("valid score"),
+            ))
+            .expect("unique name");
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capra_core::{FactorizedEngine, LineageEngine, NaiveEnumEngine, ScoringEngine, ScoringEnv};
+
+    #[test]
+    fn paper_cardinalities_and_tuple_count() {
+        let db = generate(DbConfig::default());
+        assert_eq!(db.persons.len(), 1000);
+        assert_eq!(db.programs.len(), 300);
+        assert_eq!(db.genres.len(), 12);
+        assert_eq!(db.subjects.len(), 6);
+        assert_eq!(db.activities.len(), 4);
+        assert_eq!(db.rooms.len(), 5);
+        let tuples = db.num_tuples();
+        assert!(
+            (9_000..=13_000).contains(&tuples),
+            "expected ≈11000 tuples like the paper, got {tuples}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(DbConfig::tiny());
+        let b = generate(DbConfig::tiny());
+        assert_eq!(a.num_tuples(), b.num_tuples());
+        // Deep check: scoring produces identical numbers.
+        let mut a = a;
+        let mut b = b;
+        let rules_a = scaling_rules(&mut a, 3);
+        let rules_b = scaling_rules(&mut b, 3);
+        let env_a = ScoringEnv {
+            kb: &a.kb,
+            rules: &rules_a,
+            user: a.user,
+        };
+        let env_b = ScoringEnv {
+            kb: &b.kb,
+            rules: &rules_b,
+            user: b.user,
+        };
+        let sa = FactorizedEngine::new().score_all(&env_a, &a.programs).unwrap();
+        let sb = FactorizedEngine::new().score_all(&env_b, &b.programs).unwrap();
+        for (x, y) in sa.iter().zip(&sb) {
+            assert_eq!(x.score, y.score);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(DbConfig::tiny());
+        let b = generate(DbConfig {
+            seed: 8,
+            ..DbConfig::tiny()
+        });
+        assert_ne!(a.num_tuples(), b.num_tuples());
+    }
+
+    #[test]
+    fn scaling_rules_are_engine_compatible() {
+        let mut db = generate(DbConfig::tiny());
+        let rules = scaling_rules(&mut db, 4);
+        assert_eq!(rules.len(), 4);
+        let env = ScoringEnv {
+            kb: &db.kb,
+            rules: &rules,
+            user: db.user,
+        };
+        let docs = &db.programs[..8];
+        // Strict factorized engine accepts the workload (independence holds)
+        // and all engines agree.
+        let fact = FactorizedEngine::new().score_all(&env, docs).unwrap();
+        let naive = NaiveEnumEngine::new().score_all(&env, docs).unwrap();
+        let lineage = LineageEngine::new().score_all(&env, docs).unwrap();
+        for i in 0..docs.len() {
+            assert!((fact[i].score - naive[i].score).abs() < 1e-9);
+            assert!((fact[i].score - lineage[i].score).abs() < 1e-9);
+            assert!(fact[i].score > 0.0 && fact[i].score <= 1.0);
+        }
+        // Scores are not all identical (the tags actually discriminate).
+        let distinct: std::collections::BTreeSet<u64> =
+            fact.iter().map(|s| s.score.to_bits()).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scaling features")]
+    fn scaling_rules_respect_preparation() {
+        let mut db = generate(DbConfig::tiny());
+        let _ = scaling_rules(&mut db, 9);
+    }
+}

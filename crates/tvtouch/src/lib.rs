@@ -1,0 +1,28 @@
+//! # capra-tvtouch — the TVTouch domain and workload generators
+//!
+//! The paper's running example is **TVTouch**, "a new kind of media player
+//! … able to play both (recorded) television programs and movies" that
+//! suggests programs based on the user's context. This crate provides:
+//!
+//! * [`scenario`] — the exact artefacts of the paper: Table 1 (the four
+//!   television programs with uncertain features), rules R1/R2, the
+//!   breakfast-on-a-weekend context, and the Figure 1 history;
+//! * [`generate`] — a seeded synthetic database matching the paper's test
+//!   database ("around 11000 tuples; around 1000 persons, 300 TV programs,
+//!   12 genres, 6 subjects, 4 activities, 5 rooms and their relations"),
+//!   plus the rule-series generator for the Section 5 scaling experiment;
+//! * [`sensors`] — a simulated sensor layer (location / activity /
+//!   time-of-day) producing *correlated* uncertain context, exercising the
+//!   event-expression model;
+//! * [`history_sim`] — a user-behaviour simulator driven by ground-truth
+//!   σ values, used to validate preference mining end-to-end.
+//!
+//! Everything is deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod history_sim;
+pub mod scenario;
+pub mod sensors;

@@ -1,0 +1,186 @@
+//! Simulated sensor layer.
+//!
+//! The paper: *"most context information results from sensors and is
+//! therefore uncertain"*, and correlations such as *"a person can only be
+//! at a single place at one moment"* must be modelled exactly. Real sensors
+//! being unavailable (and unnecessary for the model, which only consumes
+//! `(event expression, probability)` pairs), this module synthesises
+//! sensor readings:
+//!
+//! * a **location sensor** — one choice variable over the rooms (mutually
+//!   exclusive alternatives);
+//! * an **activity recogniser** — one choice variable over the activities;
+//! * **calendar flags** — independent booleans (`Morning`, `Workday`,
+//!   `Weekend` with the obvious exclusivity handled via a choice variable).
+//!
+//! The produced context is deliberately *correlated*, making it a workload
+//! for the lineage engine (the factorized engine rejects it in strict mode).
+
+use capra_core::Kb;
+use capra_dl::IndividualId;
+use capra_events::{EventExpr, Result as EventResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A simulated sensor snapshot applied to a user.
+#[derive(Debug, Clone)]
+pub struct SensorReading {
+    /// Posterior over rooms (sums to ≤ 1; remainder = "unknown").
+    pub room_distribution: Vec<f64>,
+    /// Posterior over activities.
+    pub activity_distribution: Vec<f64>,
+    /// Probability it is currently morning.
+    pub p_morning: f64,
+    /// Probability the day is a workday (else weekend).
+    pub p_workday: f64,
+}
+
+impl SensorReading {
+    /// Draws a plausible reading from a seeded RNG: the sensor is confident
+    /// about one room/activity and spreads the rest.
+    pub fn simulate(seed: u64, rooms: usize, activities: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            room_distribution: confident_distribution(&mut rng, rooms),
+            activity_distribution: confident_distribution(&mut rng, activities),
+            p_morning: rng.gen_range(0.0..=1.0),
+            p_workday: rng.gen_range(0.0..=1.0),
+        }
+    }
+}
+
+fn confident_distribution(rng: &mut StdRng, n: usize) -> Vec<f64> {
+    let favourite = rng.gen_range(0..n);
+    let confidence = rng.gen_range(0.6..0.95);
+    let rest = (1.0 - confidence) / (n as f64);
+    (0..n)
+        .map(|i| if i == favourite { confidence } else { rest })
+        .collect()
+}
+
+/// Asserts a sensor reading into the KB as correlated uncertain context for
+/// `user`: `inRoom` / `doingActivity` edges backed by *choice* variables,
+/// and `Morning` / `Workday` / `Weekend` concept assertions.
+///
+/// `label` disambiguates the sensor variables when several readings are
+/// applied over time.
+pub fn apply_reading(
+    kb: &mut Kb,
+    user: IndividualId,
+    rooms: &[IndividualId],
+    activities: &[IndividualId],
+    reading: &SensorReading,
+    label: &str,
+) -> EventResult<()> {
+    assert_eq!(reading.room_distribution.len(), rooms.len());
+    assert_eq!(reading.activity_distribution.len(), activities.len());
+    let room_var = kb
+        .universe
+        .add_choice(&format!("sensor:{label}:room"), &reading.room_distribution)?;
+    for (i, &room) in rooms.iter().enumerate() {
+        let event = kb.universe.atom(room_var, i as u16)?;
+        kb.assert_role_event(user, "inRoom", room, event);
+    }
+    let act_var = kb.universe.add_choice(
+        &format!("sensor:{label}:activity"),
+        &reading.activity_distribution,
+    )?;
+    for (i, &activity) in activities.iter().enumerate() {
+        let event = kb.universe.atom(act_var, i as u16)?;
+        kb.assert_role_event(user, "doingActivity", activity, event);
+    }
+    let morning = kb
+        .universe
+        .add_bool(&format!("sensor:{label}:morning"), reading.p_morning)?;
+    kb.assert_concept_event(user, "Morning", kb.universe.bool_event(morning)?);
+    // Workday / Weekend are complementary: one boolean, two polarities.
+    let workday = kb
+        .universe
+        .add_bool(&format!("sensor:{label}:workday"), reading.p_workday)?;
+    let workday_event = kb.universe.bool_event(workday)?;
+    kb.assert_concept_event(user, "Workday", workday_event.clone());
+    kb.assert_concept_event(user, "Weekend", EventExpr::not(workday_event));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capra_events::Evaluator;
+
+    fn setup() -> (Kb, IndividualId, Vec<IndividualId>, Vec<IndividualId>) {
+        let mut kb = Kb::new();
+        let user = kb.individual("peter");
+        let rooms: Vec<_> = (0..3)
+            .map(|i| kb.individual(&format!("Room_{i}")))
+            .collect();
+        let activities: Vec<_> = (0..2)
+            .map(|i| kb.individual(&format!("Activity_{i}")))
+            .collect();
+        (kb, user, rooms, activities)
+    }
+
+    #[test]
+    fn reading_simulation_is_deterministic_and_normalised() {
+        let a = SensorReading::simulate(42, 5, 4);
+        let b = SensorReading::simulate(42, 5, 4);
+        assert_eq!(a.room_distribution, b.room_distribution);
+        let sum: f64 = a.room_distribution.iter().sum();
+        assert!(sum <= 1.0 + 1e-9, "distribution must be sub-normalised");
+        assert!(a.room_distribution.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn rooms_are_mutually_exclusive_after_application() {
+        let (mut kb, user, rooms, activities) = setup();
+        let reading = SensorReading {
+            room_distribution: vec![0.7, 0.2, 0.1],
+            activity_distribution: vec![0.5, 0.5],
+            p_morning: 0.9,
+            p_workday: 0.8,
+        };
+        apply_reading(&mut kb, user, &rooms, &activities, &reading, "t0").unwrap();
+        let both = kb
+            .parse("EXISTS inRoom.{Room_0} AND EXISTS inRoom.{Room_1}")
+            .unwrap();
+        let somewhere = kb
+            .parse("EXISTS inRoom.{Room_0} OR EXISTS inRoom.{Room_1} OR EXISTS inRoom.{Room_2}")
+            .unwrap();
+        let mut ev = Evaluator::new(&kb.universe);
+        let e = kb.reasoner().membership(user, &both);
+        assert_eq!(ev.prob(&e), 0.0);
+        let e = kb.reasoner().membership(user, &somewhere);
+        assert!((ev.prob(&e) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weekend_complements_workday() {
+        let (mut kb, user, rooms, activities) = setup();
+        let reading = SensorReading {
+            room_distribution: vec![0.5, 0.3, 0.2],
+            activity_distribution: vec![0.6, 0.4],
+            p_morning: 0.5,
+            p_workday: 0.8,
+        };
+        apply_reading(&mut kb, user, &rooms, &activities, &reading, "t0").unwrap();
+        let workday = kb.parse("Workday").unwrap();
+        let weekend = kb.parse("Weekend").unwrap();
+        let both = kb.parse("Workday AND Weekend").unwrap();
+        let mut ev = Evaluator::new(&kb.universe);
+        let pw = ev.prob(&kb.reasoner().membership(user, &workday));
+        let pe = ev.prob(&kb.reasoner().membership(user, &weekend));
+        assert!((pw - 0.8).abs() < 1e-12);
+        assert!((pw + pe - 1.0).abs() < 1e-12);
+        assert_eq!(ev.prob(&kb.reasoner().membership(user, &both)), 0.0);
+    }
+
+    #[test]
+    fn repeated_readings_need_distinct_labels() {
+        let (mut kb, user, rooms, activities) = setup();
+        let reading = SensorReading::simulate(1, 3, 2);
+        apply_reading(&mut kb, user, &rooms, &activities, &reading, "t0").unwrap();
+        let again = apply_reading(&mut kb, user, &rooms, &activities, &reading, "t0");
+        assert!(again.is_err(), "same label twice must be rejected");
+        apply_reading(&mut kb, user, &rooms, &activities, &reading, "t1").unwrap();
+    }
+}

@@ -1,0 +1,101 @@
+//! Group TV — the paper's "Modeling multiple users" future-work item.
+//!
+//! Peter likes human-interest shows at the weekend; Ling prefers news over
+//! breakfast. They want to watch together: we score the programs per user
+//! and compare aggregation strategies.
+//!
+//! Run with: `cargo run --example multi_user`
+
+use capra::prelude::*;
+
+fn build_kb() -> Result<(Kb, Vec<capra::dl::IndividualId>), CoreError> {
+    let mut kb = Kb::new();
+    let human_interest = kb.individual("HUMAN-INTEREST");
+    let news = kb.individual("News");
+    let oprah = kb.individual("Oprah");
+    let bbc = kb.individual("BBC news");
+    let ch5 = kb.individual("Channel 5 news");
+    for p in [oprah, bbc, ch5] {
+        kb.assert_concept(p, "TvProgram");
+    }
+    kb.assert_role_prob(oprah, "hasGenre", human_interest, 0.85)?;
+    kb.assert_role(bbc, "hasSubject", news);
+    kb.assert_role_prob(ch5, "hasGenre", human_interest, 0.95)?;
+    kb.assert_role_prob(ch5, "hasSubject", news, 0.7)?;
+    // Both users share the same situation: weekend breakfast.
+    for user in ["Peter", "Ling"] {
+        let u = kb.individual(user);
+        kb.assert_concept(u, "Weekend");
+        kb.assert_concept(u, "Breakfast");
+    }
+    Ok((kb, vec![oprah, bbc, ch5]))
+}
+
+fn main() -> Result<(), CoreError> {
+    let (mut kb, programs) = build_kb()?;
+
+    // Per-user rule repositories.
+    let mut peter_rules = RuleRepository::new();
+    peter_rules.add(PreferenceRule::new(
+        "peter-weekend-hi",
+        kb.parse("Weekend")?,
+        kb.parse("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}")?,
+        Score::new(0.8)?,
+    ))?;
+    let mut ling_rules = RuleRepository::new();
+    ling_rules.add(PreferenceRule::new(
+        "ling-breakfast-news",
+        kb.parse("Breakfast")?,
+        kb.parse("TvProgram AND EXISTS hasSubject.{News}")?,
+        Score::new(0.9)?,
+    ))?;
+
+    let peter = kb.voc.find_individual("Peter").expect("registered");
+    let ling = kb.voc.find_individual("Ling").expect("registered");
+    let engine = LineageEngine::new();
+    let peter_scores = engine.score_all(
+        &ScoringEnv {
+            kb: &kb,
+            rules: &peter_rules,
+            user: peter,
+        },
+        &programs,
+    )?;
+    let ling_scores = engine.score_all(
+        &ScoringEnv {
+            kb: &kb,
+            rules: &ling_rules,
+            user: ling,
+        },
+        &programs,
+    )?;
+
+    println!("{:<16} {:>8} {:>8}", "program", "Peter", "Ling");
+    for (p, l) in peter_scores.iter().zip(&ling_scores) {
+        println!(
+            "{:<16} {:>8.4} {:>8.4}",
+            kb.voc.individual_name(p.doc),
+            p.score,
+            l.score
+        );
+    }
+
+    let per_user = vec![peter_scores, ling_scores];
+    for (label, strategy) in [
+        ("product (unanimity)", GroupStrategy::Product),
+        ("average", GroupStrategy::average(2)),
+        ("least misery", GroupStrategy::LeastMisery),
+        ("most pleasure", GroupStrategy::MostPleasure),
+    ] {
+        let combined = rank(group_scores(&per_user, &strategy)?);
+        let winner = kb.voc.individual_name(combined[0].doc);
+        println!(
+            "\n{label:<20} → watch {winner} (group score {:.4})",
+            combined[0].score
+        );
+        for s in &combined {
+            println!("    {:<16} {:.4}", kb.voc.individual_name(s.doc), s.score);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # CAPRA — Context-Aware Preference RAnking
+//!
+//! A production-quality Rust reproduction of *"Ranking Query Results using
+//! Context-Aware Preferences"* (Arthur H. van Bunningen, Maarten M.
+//! Fokkinga, Peter M.G. Apers, Ling Feng — ICDE 2007).
+//!
+//! The paper scores database query results by the probability that each
+//! tuple is the user's *ideal document* in the current context, derived
+//! from **scored preference rules** `(Context, Preference, σ)` over
+//! Description Logic concepts, with sensor-grade uncertainty captured by
+//! **event expressions**. This workspace rebuilds the entire stack:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`events`] | probabilistic event expressions, exact inference |
+//! | [`dl`] | DL concepts/roles, parser, TBox, lineage-propagating reasoner |
+//! | [`reldb`] | in-memory relational engine with lineage + SQL dialect |
+//! | [`core`] | the paper's model: rules, four scoring engines, mining, … |
+//! | [`tvtouch`] | the TVTouch domain, paper scenarios, workload generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use capra::prelude::*;
+//!
+//! // The paper's worked example, one call away:
+//! let scenario = capra::tvtouch::scenario::paper_scenario();
+//! let scores = FactorizedEngine::new()
+//!     .score_all(&scenario.env(), &scenario.programs)
+//!     .unwrap();
+//! assert!((scores[2].score - 0.6006).abs() < 1e-12); // Channel 5 news
+//! ```
+//!
+//! See `examples/` for runnable walkthroughs (quickstart, the TVTouch
+//! morning scenario, correlated smart-home context, preference mining from
+//! history, group TV, and end-to-end SQL ranking).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use capra_core as core;
+pub use capra_dl as dl;
+pub use capra_events as events;
+pub use capra_reldb as reldb;
+pub use capra_tvtouch as tvtouch;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use capra_core::{
+        bind_rules, explain, group_scores, rank, CoreError, CorrelationPolicy, DocScore,
+        Episode, Explanation, FactorizedEngine, GroupStrategy, HistoryLog, Kb, LineageEngine,
+        MinedRule, NaiveEnumEngine, NaiveViewEngine, Offer, PreferenceRule, RuleRepository,
+        Score, ScoringEngine, ScoringEnv,
+    };
+    pub use capra_dl::{parse_concept, ABox, Concept, Reasoner, TBox, Vocabulary};
+    pub use capra_events::{EventExpr, Evaluator, Universe};
+    pub use capra_reldb::{Catalog, Database, Datum, Executor, Plan, Relation};
+}

@@ -1,0 +1,174 @@
+//! Property test: the four scoring engines implement the same semantics.
+//!
+//! * On scenarios with **independent** features all four engines agree to
+//!   1e-9.
+//! * On scenarios with **correlated** features (shared choice variables)
+//!   the two exact engines — naive-view and lineage — agree with each other
+//!   and with a brute-force possible-world expectation.
+
+use capra::prelude::*;
+use capra_events::{brute_force_expectation, EventExpr, Factor};
+use proptest::prelude::*;
+
+/// Builds a scenario from proptest-chosen parameters.
+///
+/// `correlated = false`: every feature gets its own boolean variable.
+/// `correlated = true`: document features of the two rules come from one
+/// mutually exclusive choice variable per document.
+fn build_scenario(
+    ctx_probs: &[f64],
+    feat_seeds: &[(f64, f64, f64)],
+    sigmas: &[f64],
+    correlated: bool,
+) -> (Kb, RuleRepository, capra::dl::IndividualId, Vec<capra::dl::IndividualId>) {
+    let n_rules = ctx_probs.len().min(sigmas.len()).clamp(1, 3);
+    let mut kb = Kb::new();
+    let user = kb.individual("user");
+    for (i, &p) in ctx_probs.iter().take(n_rules).enumerate() {
+        kb.assert_concept_prob(user, &format!("Ctx{i}"), p).unwrap();
+    }
+    let docs: Vec<_> = feat_seeds
+        .iter()
+        .enumerate()
+        .map(|(d, &(pa, pb, pc))| {
+            let doc = kb.individual(&format!("doc{d}"));
+            kb.assert_concept(doc, "TvProgram");
+            if correlated && n_rules >= 2 {
+                // One choice variable: the doc has feature 0 or feature 1,
+                // never both (feature 2, if used, stays independent).
+                let scale = 1.0 / (pa + pb).max(1.0);
+                let var = kb
+                    .universe
+                    .add_choice(&format!("kind{d}"), &[pa * scale, pb * scale])
+                    .unwrap();
+                let ea = kb.universe.atom(var, 0).unwrap();
+                let eb = kb.universe.atom(var, 1).unwrap();
+                kb.assert_concept_event(doc, "Feat0", ea);
+                kb.assert_concept_event(doc, "Feat1", eb);
+                if n_rules >= 3 {
+                    kb.assert_concept_prob(doc, "Feat2", pc).unwrap();
+                }
+            } else {
+                // Every rule gets its own independent feature variable.
+                for (f, p) in [pa, pb, pc].into_iter().take(n_rules).enumerate() {
+                    kb.assert_concept_prob(doc, &format!("Feat{f}"), p).unwrap();
+                }
+            }
+            doc
+        })
+        .collect();
+    let mut rules = RuleRepository::new();
+    for (i, &sigma) in sigmas.iter().take(n_rules).enumerate() {
+        rules
+            .add(PreferenceRule::new(
+                format!("R{i}"),
+                kb.parse(&format!("Ctx{i}")).unwrap(),
+                kb.parse(&format!("TvProgram AND Feat{i}")).unwrap(),
+                Score::new(sigma).unwrap(),
+            ))
+            .unwrap();
+    }
+    (kb, rules, user, docs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn independent_scenarios_all_engines_agree(
+        ctx_probs in prop::collection::vec(0.0f64..=1.0, 1..4),
+        feat_seeds in prop::collection::vec((0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0), 1..4),
+        sigmas in prop::collection::vec(0.0f64..=1.0, 1..4),
+    ) {
+        let (kb, rules, user, docs) =
+            build_scenario(&ctx_probs, &feat_seeds, &sigmas, false);
+        let env = ScoringEnv { kb: &kb, rules: &rules, user };
+        let view = NaiveViewEngine::new().score_all(&env, &docs).unwrap();
+        let enumr = NaiveEnumEngine::new().score_all(&env, &docs).unwrap();
+        let fact = FactorizedEngine::new().score_all(&env, &docs).unwrap();
+        let lin = LineageEngine::new().score_all(&env, &docs).unwrap();
+        for i in 0..docs.len() {
+            prop_assert!((0.0..=1.0).contains(&view[i].score));
+            prop_assert!((view[i].score - enumr[i].score).abs() < 1e-9,
+                "view {} vs enum {}", view[i].score, enumr[i].score);
+            prop_assert!((view[i].score - fact[i].score).abs() < 1e-9,
+                "view {} vs fact {}", view[i].score, fact[i].score);
+            prop_assert!((view[i].score - lin[i].score).abs() < 1e-9,
+                "view {} vs lineage {}", view[i].score, lin[i].score);
+        }
+    }
+
+    #[test]
+    fn correlated_scenarios_exact_engines_agree_with_brute_force(
+        ctx_probs in prop::collection::vec(0.05f64..=1.0, 2..3),
+        feat_seeds in prop::collection::vec((0.05f64..=0.9, 0.05f64..=0.9, 0.05f64..=0.9), 1..3),
+        sigmas in prop::collection::vec(0.0f64..=1.0, 2..3),
+    ) {
+        let (kb, rules, user, docs) =
+            build_scenario(&ctx_probs, &feat_seeds, &sigmas, true);
+        let env = ScoringEnv { kb: &kb, rules: &rules, user };
+        let view = NaiveViewEngine::new().score_all(&env, &docs).unwrap();
+        let lin = LineageEngine::new().score_all(&env, &docs).unwrap();
+        // Brute-force oracle straight from the bound formula.
+        let bindings = bind_rules(&env);
+        for (i, &doc) in docs.iter().enumerate() {
+            prop_assert!((view[i].score - lin[i].score).abs() < 1e-9);
+            let factors: Vec<Factor> = bindings
+                .iter()
+                .map(|b| {
+                    let g = b.context_event.clone();
+                    let f = b.preference_event(doc);
+                    Factor::new([
+                        (EventExpr::not(g.clone()), 1.0),
+                        (EventExpr::and([g.clone(), f.clone()]), b.sigma),
+                        (EventExpr::and([g, EventExpr::not(f)]), 1.0 - b.sigma),
+                    ])
+                })
+                .collect();
+            let oracle = brute_force_expectation(&kb.universe, &factors);
+            prop_assert!(
+                (lin[i].score - oracle).abs() < 1e-9,
+                "lineage {} vs oracle {oracle}",
+                lin[i].score
+            );
+        }
+    }
+
+    #[test]
+    fn scores_monotone_in_sigma_for_certain_match(
+        sigma_lo in 0.0f64..0.5,
+        sigma_hi in 0.5f64..=1.0,
+    ) {
+        // A document that certainly matches an applicable rule: its score
+        // must not decrease when σ increases.
+        let build = |sigma: f64| {
+            let mut kb = Kb::new();
+            let user = kb.individual("u");
+            kb.assert_concept(user, "Ctx");
+            let doc = kb.individual("d");
+            kb.assert_concept(doc, "Liked");
+            let mut rules = RuleRepository::new();
+            rules
+                .add(PreferenceRule::new(
+                    "R",
+                    kb.parse("Ctx").unwrap(),
+                    kb.parse("Liked").unwrap(),
+                    Score::new(sigma).unwrap(),
+                ))
+                .unwrap();
+            (kb, rules, user, doc)
+        };
+        let (kb1, r1, u1, d1) = build(sigma_lo);
+        let (kb2, r2, u2, d2) = build(sigma_hi);
+        let s1 = LineageEngine::new()
+            .score(&ScoringEnv { kb: &kb1, rules: &r1, user: u1 }, d1)
+            .unwrap()
+            .score;
+        let s2 = LineageEngine::new()
+            .score(&ScoringEnv { kb: &kb2, rules: &r2, user: u2 }, d2)
+            .unwrap()
+            .score;
+        prop_assert!(s2 >= s1 - 1e-12);
+        prop_assert!((s1 - sigma_lo).abs() < 1e-12, "certain match scores σ itself");
+    }
+}

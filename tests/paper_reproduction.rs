@@ -1,0 +1,160 @@
+//! The paper's published numbers, end to end.
+//!
+//! * Figure 1 — P(neither bulletin is wanted) = 0.08;
+//! * Table 1 + Section 4.2 — Channel 5 news 0.6006, Oprah 0.071,
+//!   BBC news 0.18, Monty Python's Flying Circus 0.02;
+//! * the implied ranking;
+//! * every scoring engine produces the same numbers.
+
+use capra::prelude::*;
+use capra::tvtouch::scenario::{
+    figure1_history, paper_scenario, FIGURE1_CONTEXT, FIGURE1_FEATURES, PAPER_EXPECTED_SCORES,
+};
+
+#[test]
+fn figure1_distribution_and_neither_probability() {
+    let log = figure1_history();
+    for (feature, expected) in FIGURE1_FEATURES {
+        let (sigma, support) = log.sigma(FIGURE1_CONTEXT, feature).unwrap();
+        assert_eq!(support, 10);
+        assert!((sigma - expected).abs() < 1e-12, "{feature}: {sigma}");
+    }
+    let dist = log.feature_distribution(FIGURE1_CONTEXT);
+    let p_neither = (1.0 - dist["TrafficBulletin"]) * (1.0 - dist["WeatherBulletin"]);
+    assert!((p_neither - 0.08).abs() < 1e-12, "the paper's 0.08");
+}
+
+#[test]
+fn section_4_2_scores_on_all_engines() {
+    let scenario = paper_scenario();
+    let env = scenario.env();
+    let engines: Vec<(&str, Box<dyn ScoringEngine>)> = vec![
+        ("naive-view", Box::new(NaiveViewEngine::new())),
+        ("naive-enum", Box::new(NaiveEnumEngine::new())),
+        ("factorized", Box::new(FactorizedEngine::new())),
+        ("lineage", Box::new(LineageEngine::new())),
+    ];
+    for (name, engine) in engines {
+        let scores = engine.score_all(&env, &scenario.programs).unwrap();
+        for (s, (program, expected)) in scores.iter().zip(PAPER_EXPECTED_SCORES) {
+            assert!(
+                (s.score - expected).abs() < 1e-12,
+                "{name} on {program}: {} (paper: {expected})",
+                s.score
+            );
+        }
+    }
+}
+
+#[test]
+fn single_document_scoring_matches_batch() {
+    let scenario = paper_scenario();
+    let env = scenario.env();
+    let engine = LineageEngine::new();
+    let batch = engine.score_all(&env, &scenario.programs).unwrap();
+    for (i, &doc) in scenario.programs.iter().enumerate() {
+        let single = engine.score(&env, doc).unwrap();
+        assert_eq!(single.doc, batch[i].doc);
+        assert!((single.score - batch[i].score).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn ranking_is_the_paper_order() {
+    let scenario = paper_scenario();
+    let env = scenario.env();
+    let ranked = rank(
+        NaiveEnumEngine::new()
+            .score_all(&env, &scenario.programs)
+            .unwrap(),
+    );
+    let names: Vec<&str> = ranked
+        .iter()
+        .map(|s| scenario.kb.voc.individual_name(s.doc))
+        .collect();
+    assert_eq!(
+        names,
+        vec![
+            "Channel 5 news",
+            "BBC news",
+            "Oprah",
+            "Monty Python's Flying Circus"
+        ]
+    );
+}
+
+#[test]
+fn explanations_match_scores_and_name_rules() {
+    let scenario = paper_scenario();
+    let env = scenario.env();
+    for &doc in &scenario.programs {
+        let ex = explain(&env, doc).unwrap();
+        let engine_score = FactorizedEngine::new().score(&env, doc).unwrap().score;
+        assert!((ex.score - engine_score).abs() < 1e-12);
+        let text = ex.to_string();
+        assert!(text.contains("R1"), "{text}");
+        assert!(text.contains("R2"), "{text}");
+    }
+}
+
+#[test]
+fn rule_repository_round_trips_the_paper_rules() {
+    let scenario = paper_scenario();
+    let mut voc = scenario.kb.voc.clone();
+    let text = scenario.rules.to_text(&voc);
+    let reparsed = RuleRepository::from_text(&text, &mut voc).unwrap();
+    assert_eq!(scenario.rules.rules(), reparsed.rules());
+}
+
+#[test]
+fn default_rules_cover_unmatched_contexts() {
+    // Without any applicable rule every document scores 1 (useless); a
+    // default rule (context ⊤) restores discrimination — the paper's fix.
+    let mut kb = Kb::new();
+    let user = kb.individual("u");
+    let liked = kb.individual("liked");
+    let disliked = kb.individual("disliked");
+    kb.assert_concept(liked, "TvProgram");
+    kb.assert_concept(disliked, "TvProgram");
+    kb.assert_concept(liked, "Favourite");
+
+    let mut no_rules = RuleRepository::new();
+    no_rules
+        .add(PreferenceRule::new(
+            "never",
+            kb.parse("SomeUnseenContext").unwrap(),
+            kb.parse("Favourite").unwrap(),
+            Score::new(0.9).unwrap(),
+        ))
+        .unwrap();
+    let env = ScoringEnv {
+        kb: &kb,
+        rules: &no_rules,
+        user,
+    };
+    let scores = LineageEngine::new()
+        .score_all(&env, &[liked, disliked])
+        .unwrap();
+    assert_eq!(scores[0].score, 1.0);
+    assert_eq!(scores[1].score, 1.0);
+
+    let mut with_default = RuleRepository::new();
+    with_default
+        .add(PreferenceRule::default_rule(
+            "default",
+            kb.parse("Favourite").unwrap(),
+            Score::new(0.9).unwrap(),
+        ))
+        .unwrap();
+    let env = ScoringEnv {
+        kb: &kb,
+        rules: &with_default,
+        user,
+    };
+    let scores = LineageEngine::new()
+        .score_all(&env, &[liked, disliked])
+        .unwrap();
+    assert!(scores[0].score > scores[1].score);
+    assert!((scores[0].score - 0.9).abs() < 1e-12);
+    assert!((scores[1].score - 0.1).abs() < 1e-12);
+}

@@ -1,0 +1,203 @@
+//! End-to-end SQL integration over the generated TVTouch database:
+//! the system the paper's introduction sketches, wired together.
+
+use capra::core::compile::individual_datum;
+use capra::core::ranking::{install_preference_scores, ranked_query, SCORE_COLUMN};
+use capra::prelude::*;
+use capra::reldb::{certain_rows, DataType, Schema};
+use capra::tvtouch::generate::{generate, scaling_rules, DbConfig};
+use capra::tvtouch::scenario::paper_scenario;
+
+fn programs_catalog(
+    kb: &Kb,
+    programs: &[capra::dl::IndividualId],
+) -> Catalog {
+    let catalog = Catalog::new();
+    let table = catalog
+        .create_table(
+            "programs",
+            Schema::of(&[("id", DataType::Id), ("name", DataType::Str)]),
+        )
+        .unwrap();
+    table
+        .insert(certain_rows(
+            programs
+                .iter()
+                .map(|&p| {
+                    vec![individual_datum(p), Datum::str(kb.voc.individual_name(p))]
+                })
+                .collect(),
+        ))
+        .unwrap();
+    catalog
+}
+
+#[test]
+fn intro_query_with_every_engine() {
+    let scenario = paper_scenario();
+    let env = scenario.env();
+    let catalog = programs_catalog(&scenario.kb, &scenario.programs);
+    let engines: Vec<Box<dyn ScoringEngine>> = vec![
+        Box::new(NaiveViewEngine::new()),
+        Box::new(NaiveEnumEngine::new()),
+        Box::new(FactorizedEngine::new()),
+        Box::new(LineageEngine::new()),
+    ];
+    for engine in engines {
+        let out = ranked_query(
+            &env,
+            engine.as_ref(),
+            &scenario.programs,
+            &catalog,
+            "programs",
+            "id",
+            &["name"],
+            0.5,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1, "{}", engine.name());
+        assert_eq!(out.rows()[0].values[0], Datum::str("Channel 5 news"));
+        assert!(
+            (out.rows()[0].values[1].as_f64().unwrap() - 0.6006).abs() < 1e-9,
+            "{}",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn scores_table_is_plain_sql_afterwards() {
+    let scenario = paper_scenario();
+    let env = scenario.env();
+    let catalog = programs_catalog(&scenario.kb, &scenario.programs);
+    install_preference_scores(
+        &env,
+        &FactorizedEngine::new(),
+        &scenario.programs,
+        &catalog,
+        "scores",
+    )
+    .unwrap();
+    // Aggregate over the scores with ordinary SQL.
+    let out = capra::reldb::sql::execute(
+        &catalog,
+        None,
+        &format!(
+            "SELECT COUNT(*) AS n, MAX({SCORE_COLUMN}) AS best, MIN({SCORE_COLUMN}) AS worst \
+             FROM scores"
+        ),
+    )
+    .unwrap();
+    let row = &out.rows()[0].values;
+    assert_eq!(row[0], Datum::Int(4));
+    assert!((row[1].as_f64().unwrap() - 0.6006).abs() < 1e-9);
+    assert!((row[2].as_f64().unwrap() - 0.02).abs() < 1e-9);
+
+    // Join + group in one SQL statement.
+    let out = capra::reldb::sql::execute(
+        &catalog,
+        None,
+        &format!(
+            "SELECT p.name, s.{SCORE_COLUMN} FROM programs p \
+             JOIN scores s ON p.id = s.doc \
+             WHERE s.{SCORE_COLUMN} >= 0.1 ORDER BY s.{SCORE_COLUMN} DESC LIMIT 2"
+        ),
+    )
+    .unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out.rows()[1].values[0], Datum::str("BBC news"));
+}
+
+#[test]
+fn generated_database_ranks_through_sql() {
+    let mut db = generate(DbConfig {
+        persons: 50,
+        programs: 40,
+        ..DbConfig::tiny()
+    });
+    let rules = scaling_rules(&mut db, 3);
+    let env = ScoringEnv {
+        kb: &db.kb,
+        rules: &rules,
+        user: db.user,
+    };
+    let catalog = programs_catalog(&db.kb, &db.programs);
+    let out = ranked_query(
+        &env,
+        &FactorizedEngine::new(),
+        &db.programs,
+        &catalog,
+        "programs",
+        "id",
+        &["name"],
+        0.0,
+    )
+    .unwrap();
+    assert_eq!(out.len(), db.programs.len());
+    // Descending order.
+    let scores: Vec<f64> = out
+        .rows()
+        .iter()
+        .map(|r| r.values[1].as_f64().unwrap())
+        .collect();
+    for w in scores.windows(2) {
+        assert!(w[0] >= w[1] - 1e-12);
+    }
+}
+
+#[test]
+fn dynamic_context_changes_the_scores() {
+    // "as the current context develops, the probabilities of containment of
+    // tuples in the view changes accordingly" — re-scoring after a context
+    // change must reorder the results.
+    let mut kb = Kb::new();
+    let user = kb.individual("peter");
+    kb.assert_concept(user, "Weekend");
+    let hi_show = kb.individual("hi-show");
+    let news_show = kb.individual("news-show");
+    kb.assert_concept(hi_show, "TvProgram");
+    kb.assert_concept(news_show, "TvProgram");
+    kb.assert_concept(hi_show, "HumanInterest");
+    kb.assert_concept(news_show, "News");
+    let mut rules = RuleRepository::new();
+    rules
+        .add(PreferenceRule::new(
+            "weekend",
+            kb.parse("Weekend").unwrap(),
+            kb.parse("HumanInterest").unwrap(),
+            Score::new(0.9).unwrap(),
+        ))
+        .unwrap();
+    rules
+        .add(PreferenceRule::new(
+            "breakfast",
+            kb.parse("Breakfast").unwrap(),
+            kb.parse("News").unwrap(),
+            Score::new(0.95).unwrap(),
+        ))
+        .unwrap();
+    let docs = [hi_show, news_show];
+
+    let score_both = |kb: &Kb, rules: &RuleRepository| {
+        let env = ScoringEnv {
+            kb,
+            rules,
+            user,
+        };
+        LineageEngine::new().score_all(&env, &docs).unwrap()
+    };
+    let before = score_both(&kb, &rules);
+    assert!(before[0].score > before[1].score, "weekend favours human interest");
+    // Breakfast starts. Note that every *absolute* score can only shrink
+    // (one more applicable rule multiplies a factor ≤ 1 in); what the
+    // context change does is reorder: the news show satisfies the new rule
+    // (×0.95) while the human-interest show fails it (×0.05).
+    kb.assert_concept(user, "Breakfast");
+    let after = score_both(&kb, &rules);
+    assert!(
+        after[1].score > after[0].score,
+        "breakfast flips the ranking: news {} vs human-interest {}",
+        after[1].score,
+        after[0].score
+    );
+}

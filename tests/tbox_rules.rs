@@ -1,0 +1,123 @@
+//! Terminology-aware rules: preference rules whose context/preference use
+//! TBox-defined concept names, resolved by unfolding in both the in-memory
+//! reasoner path and the compiled database-view path.
+
+use capra::prelude::*;
+
+/// A KB where `WorkdayMorning ≡ Workday AND Morning` and
+/// `Bulletin ≡ TrafficReport OR WeatherReport`.
+fn kb_with_terminology() -> (Kb, capra::dl::IndividualId, Vec<capra::dl::IndividualId>) {
+    let mut kb = Kb::new();
+    let user = kb.individual("peter");
+    kb.assert_concept_prob(user, "Workday", 0.8).unwrap();
+    kb.assert_concept_prob(user, "Morning", 0.9).unwrap();
+
+    let traffic = kb.individual("traffic-7am");
+    let weather = kb.individual("weather-7am");
+    let movie = kb.individual("late-movie");
+    for d in [traffic, weather, movie] {
+        kb.assert_concept(d, "TvProgram");
+    }
+    kb.assert_concept(traffic, "TrafficReport");
+    kb.assert_concept_prob(weather, "WeatherReport", 0.9).unwrap();
+
+    let wm = kb.voc.concept("WorkdayMorning");
+    let wm_def = kb.parse("Workday AND Morning").unwrap();
+    let bulletin = kb.voc.concept("Bulletin");
+    let bulletin_def = kb.parse("TrafficReport OR WeatherReport").unwrap();
+    kb.tbox.define(wm, wm_def, &kb.voc).unwrap();
+    kb.tbox.define(bulletin, bulletin_def, &kb.voc).unwrap();
+    (kb, user, vec![traffic, weather, movie])
+}
+
+fn rules(kb: &mut Kb) -> RuleRepository {
+    let mut rules = RuleRepository::new();
+    rules
+        .add(PreferenceRule::new(
+            "morning-bulletins",
+            kb.parse("WorkdayMorning").unwrap(),
+            kb.parse("TvProgram AND Bulletin").unwrap(),
+            Score::new(0.75).unwrap(),
+        ))
+        .unwrap();
+    rules
+}
+
+#[test]
+fn defined_concepts_unfold_in_every_engine() {
+    let (mut kb, user, docs) = kb_with_terminology();
+    let rules = rules(&mut kb);
+    let env = ScoringEnv {
+        kb: &kb,
+        rules: &rules,
+        user,
+    };
+    // Expected for the traffic bulletin: P(ctx) = 0.8·0.9 = 0.72 and the
+    // document certainly matches: factor = 0.28 + 0.72·0.75 = 0.82.
+    let expected_traffic = 0.28 + 0.72 * 0.75;
+    // Weather: P(match) = 0.9 → factor = 0.28 + 0.72·(0.9·0.75 + 0.1·0.25).
+    let expected_weather = 0.28 + 0.72 * (0.9 * 0.75 + 0.1 * 0.25);
+    // Movie: no bulletin → factor = 0.28 + 0.72·0.25.
+    let expected_movie = 0.28 + 0.72 * 0.25;
+    let engines: Vec<Box<dyn ScoringEngine>> = vec![
+        Box::new(NaiveViewEngine::new()),
+        Box::new(NaiveEnumEngine::new()),
+        Box::new(FactorizedEngine::new()),
+        Box::new(LineageEngine::new()),
+    ];
+    for engine in engines {
+        let scores = engine.score_all(&env, &docs).unwrap();
+        for (s, expected) in scores
+            .iter()
+            .zip([expected_traffic, expected_weather, expected_movie])
+        {
+            assert!(
+                (s.score - expected).abs() < 1e-9,
+                "{}: {} vs {expected}",
+                engine.name(),
+                s.score
+            );
+        }
+    }
+}
+
+#[test]
+fn terminology_survives_rule_text_round_trip() {
+    let (mut kb, user, docs) = kb_with_terminology();
+    let rules = rules(&mut kb);
+    let text = rules.to_text(&kb.voc);
+    assert!(text.contains("WorkdayMorning"), "{text}");
+    let mut voc = kb.voc.clone();
+    let reparsed = RuleRepository::from_text(&text, &mut voc).unwrap();
+    assert_eq!(rules.rules(), reparsed.rules());
+    // The reparsed rules score identically (same vocabulary ids).
+    let env1 = ScoringEnv {
+        kb: &kb,
+        rules: &rules,
+        user,
+    };
+    let env2 = ScoringEnv {
+        kb: &kb,
+        rules: &reparsed,
+        user,
+    };
+    let a = LineageEngine::new().score_all(&env1, &docs).unwrap();
+    let b = LineageEngine::new().score_all(&env2, &docs).unwrap();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.score, y.score);
+    }
+}
+
+#[test]
+fn tbox_subsumption_prunes_rule_candidates() {
+    // A rule whose context is syntactically more specific than the user's
+    // asserted context can be pre-filtered via structural subsumption.
+    let (mut kb, _, _) = kb_with_terminology();
+    let wm = kb.parse("WorkdayMorning").unwrap();
+    let workday = kb.parse("Workday").unwrap();
+    assert!(kb.tbox.subsumes(&workday, &wm), "Workday ⊒ WorkdayMorning");
+    assert!(!kb.tbox.subsumes(&wm, &workday));
+    let bulletin = kb.parse("Bulletin").unwrap();
+    let traffic = kb.parse("TrafficReport").unwrap();
+    assert!(kb.tbox.subsumes(&bulletin, &traffic), "Bulletin ⊒ TrafficReport");
+}

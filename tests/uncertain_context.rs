@@ -1,0 +1,189 @@
+//! Uncertain and correlated context, end to end: the part of the model the
+//! paper motivates with sensors ("most context information results from
+//! sensors and is therefore uncertain") and mutual exclusivity ("a person
+//! can only be at a single place at one moment").
+
+use capra::prelude::*;
+use capra::tvtouch::sensors::{apply_reading, SensorReading};
+
+fn sensed_kb() -> (
+    Kb,
+    capra::dl::IndividualId,
+    Vec<capra::dl::IndividualId>,
+) {
+    let mut kb = Kb::new();
+    let user = kb.individual("peter");
+    let rooms: Vec<_> = ["Kitchen", "Lounge"]
+        .iter()
+        .map(|r| kb.individual(r))
+        .collect();
+    let activities: Vec<_> = ["Cooking", "Relaxing"]
+        .iter()
+        .map(|a| kb.individual(a))
+        .collect();
+    let reading = SensorReading {
+        room_distribution: vec![0.6, 0.4],
+        activity_distribution: vec![0.7, 0.3],
+        p_morning: 0.5,
+        p_workday: 0.8,
+    };
+    apply_reading(&mut kb, user, &rooms, &activities, &reading, "t0").unwrap();
+
+    let cook_show = kb.individual("cook-show");
+    let movie = kb.individual("movie");
+    kb.assert_concept(cook_show, "CookingShow");
+    kb.assert_concept(movie, "Movie");
+    (kb, user, vec![cook_show, movie])
+}
+
+#[test]
+fn factorized_strict_mode_rejects_shared_room_variable() {
+    let (mut kb, user, docs) = sensed_kb();
+    let mut rules = RuleRepository::new();
+    rules
+        .add(PreferenceRule::new(
+            "kitchen",
+            kb.parse("EXISTS inRoom.{Kitchen}").unwrap(),
+            kb.parse("CookingShow").unwrap(),
+            Score::new(0.9).unwrap(),
+        ))
+        .unwrap();
+    rules
+        .add(PreferenceRule::new(
+            "lounge",
+            kb.parse("EXISTS inRoom.{Lounge}").unwrap(),
+            kb.parse("Movie").unwrap(),
+            Score::new(0.8).unwrap(),
+        ))
+        .unwrap();
+    let env = ScoringEnv {
+        kb: &kb,
+        rules: &rules,
+        user,
+    };
+    let err = FactorizedEngine::new().score_all(&env, &docs);
+    assert!(
+        matches!(err, Err(CoreError::CorrelatedFeatures { .. })),
+        "{err:?}"
+    );
+    // The exact engines agree with each other.
+    let lineage = LineageEngine::new().score_all(&env, &docs).unwrap();
+    let view = NaiveViewEngine::new().score_all(&env, &docs).unwrap();
+    for (l, v) in lineage.iter().zip(&view) {
+        assert!((l.score - v.score).abs() < 1e-9);
+    }
+    // Hand-computed: for the cooking show, the two rules' contexts are
+    // mutually exclusive (room ∈ {kitchen, lounge}):
+    //   E = P(kitchen)·σ_k·(1−σ_l-term…)  — compute directly:
+    //   kitchen (0.6): term_k = 0.9 (doc matches), term_l = 1 (lounge ¬applies) → 0.9
+    //   lounge  (0.4): term_k = 1, term_l = 1−0.8 = 0.2 (movie pref, doc isn't) → 0.2
+    //   score(cook-show) = 0.6·0.9 + 0.4·0.2 = 0.62
+    assert!((lineage[0].score - 0.62).abs() < 1e-12, "{}", lineage[0].score);
+}
+
+#[test]
+fn uncertain_context_interpolates_scores() {
+    // Score under P(ctx)=p must be the p-blend of the certain cases.
+    for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut kb = Kb::new();
+        let user = kb.individual("u");
+        kb.assert_concept_prob(user, "Ctx", p).unwrap();
+        let doc = kb.individual("doc");
+        kb.assert_concept(doc, "Liked");
+        let mut rules = RuleRepository::new();
+        rules
+            .add(PreferenceRule::new(
+                "R",
+                kb.parse("Ctx").unwrap(),
+                kb.parse("Liked").unwrap(),
+                Score::new(0.9).unwrap(),
+            ))
+            .unwrap();
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let s = LineageEngine::new().score(&env, doc).unwrap().score;
+        let expected = (1.0 - p) * 1.0 + p * 0.9;
+        assert!((s - expected).abs() < 1e-12, "p={p}: {s} vs {expected}");
+    }
+}
+
+#[test]
+fn workday_weekend_exclusivity_through_scoring() {
+    let (mut kb, user, _) = sensed_kb();
+    // One doc preferred on workdays, one at weekends; complementary flags.
+    let work_doc = kb.individual("work-doc");
+    let weekend_doc = kb.individual("weekend-doc");
+    kb.assert_concept(work_doc, "Briefing");
+    kb.assert_concept(weekend_doc, "Leisure");
+    let mut rules = RuleRepository::new();
+    rules
+        .add(PreferenceRule::new(
+            "workday",
+            kb.parse("Workday").unwrap(),
+            kb.parse("Briefing").unwrap(),
+            Score::new(0.9).unwrap(),
+        ))
+        .unwrap();
+    rules
+        .add(PreferenceRule::new(
+            "weekend",
+            kb.parse("Weekend").unwrap(),
+            kb.parse("Leisure").unwrap(),
+            Score::new(0.7).unwrap(),
+        ))
+        .unwrap();
+    let env = ScoringEnv {
+        kb: &kb,
+        rules: &rules,
+        user,
+    };
+    // P(workday) = 0.8. score(work-doc), conditioning on the shared flag:
+    //   workday (0.8): workday-rule term = 0.9 (doc matches), weekend rule
+    //                  off → ×1                               → 0.9
+    //   weekend (0.2): workday rule off → ×1; weekend-rule term = 1−0.7
+    //                  (doc is no Leisure)                    → 0.3
+    //   score = 0.8·0.9 + 0.2·0.3 = 0.78; weekend-doc dually = 0.22.
+    let scores = LineageEngine::new()
+        .score_all(&env, &[work_doc, weekend_doc])
+        .unwrap();
+    assert!((scores[0].score - 0.78).abs() < 1e-12, "{}", scores[0].score);
+    assert!((scores[1].score - 0.22).abs() < 1e-12, "{}", scores[1].score);
+    // An independence-assuming engine gets this wrong:
+    // (0.2 + 0.8·0.9)·(0.8 + 0.2·0.3) = 0.92·0.86 = 0.7912 ≠ 0.78.
+    let approx = FactorizedEngine::assuming_independence()
+        .score_all(&env, &[work_doc, weekend_doc])
+        .unwrap();
+    assert!((approx[0].score - 0.7912).abs() < 1e-12);
+    assert!((approx[0].score - scores[0].score).abs() > 1e-3);
+}
+
+#[test]
+fn compiled_views_respect_room_exclusivity() {
+    // The user is somewhere with probability 1, and never in two rooms —
+    // verified through the compiled (database-view) path, not the reasoner.
+    let (mut kb, user, _) = sensed_kb();
+    let somewhere = kb
+        .parse("EXISTS inRoom.{Kitchen} OR EXISTS inRoom.{Lounge}")
+        .unwrap();
+    let both = kb
+        .parse("EXISTS inRoom.{Kitchen} AND EXISTS inRoom.{Lounge}")
+        .unwrap();
+    let catalog = capra::core::compile::install_kb(&kb).unwrap();
+    let compiler = capra::core::compile::Compiler::new(&kb, &catalog);
+    let mut ev = Evaluator::new(&kb.universe);
+    let p = |members: Vec<(capra::dl::IndividualId, EventExpr)>,
+             ev: &mut Evaluator<'_>| {
+        members
+            .into_iter()
+            .filter(|(ind, _)| *ind == user)
+            .map(|(_, e)| ev.prob(&e))
+            .sum::<f64>()
+    };
+    let p_somewhere = p(compiler.materialize(&somewhere).unwrap(), &mut ev);
+    assert!((p_somewhere - 1.0).abs() < 1e-9, "room distribution sums to 1");
+    let p_both = p(compiler.materialize(&both).unwrap(), &mut ev);
+    assert!(p_both.abs() < 1e-12, "mutual exclusivity via the view path");
+}
