@@ -1,10 +1,10 @@
 //! Relational-engine operator throughput — the substrate whose per-view
 //! cost multiplies into the Section 5 blow-up.
 
+use capra_events::{EventExpr, Universe};
 use capra_reldb::{
     certain_rows, Catalog, CmpOp, DataType, Datum, Executor, Plan, Row, ScalarExpr, Schema,
 };
-use capra_events::{EventExpr, Universe};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 const N: usize = 10_000;
@@ -25,9 +25,7 @@ fn setup() -> (Catalog, Universe) {
     let mut rows = Vec::with_capacity(N);
     for i in 0..N {
         let lineage = if i % 10 == 0 {
-            let v = universe
-                .add_bool(&format!("u{i}"), 0.5)
-                .expect("var");
+            let v = universe.add_bool(&format!("u{i}"), 0.5).expect("var");
             universe.bool_event(v).expect("event")
         } else {
             EventExpr::True

@@ -85,14 +85,17 @@ fn parallel_scaling(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 let engine = LineageEngine::new();
-                b.iter(|| {
-                    score_all_parallel(&engine, &env, docs, threads).expect("scores")
-                });
+                b.iter(|| score_all_parallel(&engine, &env, docs, threads).expect("scores"));
             },
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, engine_throughput, pruning_ablation, parallel_scaling);
+criterion_group!(
+    benches,
+    engine_throughput,
+    pruning_ablation,
+    parallel_scaling
+);
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! exact inference, and what memoisation and independent-component
 //! factorisation buy (the design choices called out in DESIGN.md).
 
-use capra_events::{EventExpr, Evaluator, Universe};
+use capra_events::{Evaluator, EventExpr, Universe};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// A "diamond" expression that reuses sub-expressions heavily: OR over
@@ -10,7 +10,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn window_expr(u: &mut Universe, n: usize) -> (Universe, EventExpr) {
     let events: Vec<EventExpr> = (0..n)
         .map(|i| {
-            let v = u.add_bool(&format!("w{i}"), 0.3 + 0.4 * (i as f64 / n as f64)).unwrap();
+            let v = u
+                .add_bool(&format!("w{i}"), 0.3 + 0.4 * (i as f64 / n as f64))
+                .unwrap();
             u.bool_event(v).unwrap()
         })
         .collect();

@@ -18,16 +18,12 @@ fn sigma_estimation(c: &mut Criterion) {
     for episodes in [100usize, 1000, 10000] {
         let log = simulate(&ground_truth(), episodes, &SimConfig::default());
         group.throughput(Throughput::Elements(episodes as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(episodes),
-            &episodes,
-            |b, _| {
-                b.iter(|| {
-                    log.sigma("WorkdayMorning", "TrafficBulletin")
-                        .expect("pair occurs")
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(episodes), &episodes, |b, _| {
+            b.iter(|| {
+                log.sigma("WorkdayMorning", "TrafficBulletin")
+                    .expect("pair occurs")
+            });
+        });
     }
     group.finish();
 }
@@ -37,17 +33,13 @@ fn full_mining(c: &mut Criterion) {
     for episodes in [1000usize, 10000] {
         let log = simulate(&ground_truth(), episodes, &SimConfig::default());
         group.throughput(Throughput::Elements(episodes as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(episodes),
-            &episodes,
-            |b, _| {
-                b.iter(|| {
-                    let mined = log.mine(10);
-                    assert!(!mined.is_empty());
-                    mined
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(episodes), &episodes, |b, _| {
+            b.iter(|| {
+                let mined = log.mine(10);
+                assert!(!mined.is_empty());
+                mined
+            });
+        });
     }
     group.finish();
 }

@@ -13,7 +13,9 @@
 //! the `experiments` binary.
 
 use capra_bench::{bench_db_config, ScalingWorkload};
-use capra_core::{FactorizedEngine, LineageEngine, NaiveEnumEngine, NaiveViewEngine, ScoringEngine};
+use capra_core::{
+    FactorizedEngine, LineageEngine, NaiveEnumEngine, NaiveViewEngine, ScoringEngine,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn rule_scaling(c: &mut Criterion) {

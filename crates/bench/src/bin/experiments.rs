@@ -5,6 +5,8 @@
 //! cargo run --release -p capra-bench --bin experiments            # everything
 //! cargo run --release -p capra-bench --bin experiments -- --fast # smaller DB, capped k
 //! cargo run --release -p capra-bench --bin experiments -- --figure1 --table1
+//! cargo run --release -p capra-bench --bin experiments -- --fast --scaling \
+//!     --json BENCH_scaling.json                                  # CI perf snapshot
 //! ```
 //!
 //! Sections:
@@ -27,11 +29,42 @@ use capra_tvtouch::scenario::{
     figure1_history, paper_scenario, FIGURE1_CONTEXT, PAPER_EXPECTED_SCORES,
 };
 
+const KNOWN_SECTIONS: [&str; 4] = ["--figure1", "--table1", "--scaling", "--mining"];
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
-    let all = args.iter().all(|a| a == "--fast") || args.is_empty();
-    let wants = |flag: &str| all || args.iter().any(|a| a == flag);
+    // Parse: consume `--json <path>` as a pair, `--fast` as a modifier;
+    // everything else must be a known section flag.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut fast = false;
+    let mut json_path: Option<String> = None;
+    let mut sections: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--json" => match it.next() {
+                Some(path) if !path.starts_with("--") => json_path = Some(path),
+                _ => {
+                    eprintln!("error: --json requires a file path argument");
+                    std::process::exit(2);
+                }
+            },
+            flag if KNOWN_SECTIONS.contains(&flag) => sections.push(arg),
+            other => {
+                eprintln!(
+                    "error: unknown flag `{other}` (sections: {}, modifiers: --fast, --json <path>)",
+                    KNOWN_SECTIONS.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let all = sections.is_empty();
+    let wants = |flag: &str| all || sections.iter().any(|a| a == flag);
+    if json_path.is_some() && !wants("--scaling") {
+        eprintln!("error: --json emits the scaling snapshot; add --scaling (or run all sections)");
+        std::process::exit(2);
+    }
 
     println!("CAPRA experiment harness — reproduction of van Bunningen et al., ICDE 2007");
     println!("mode: {}\n", if fast { "fast" } else { "full" });
@@ -43,7 +76,7 @@ fn main() {
         table1();
     }
     if wants("--scaling") {
-        scaling(fast);
+        scaling(fast, json_path.as_deref());
     }
     if wants("--mining") {
         mining(fast);
@@ -107,8 +140,48 @@ fn table1() {
     println!();
 }
 
+/// One measured cell of the scaling experiment, for the JSON snapshot.
+struct ScalingRow {
+    rules: usize,
+    naive_view_s: Option<f64>,
+    naive_enum_s: Option<f64>,
+    factorized_s: f64,
+    lineage_s: f64,
+}
+
+/// Writes the perf snapshot consumed by CI trend tracking. Hand-rolled
+/// JSON — the snapshot is flat and this build has no serde.
+fn write_scaling_json(path: &str, db_tuples: usize, rows: &[ScalingRow]) {
+    use std::fmt::Write as _;
+    let opt = |v: Option<f64>| v.map_or("null".to_string(), |s| format!("{s:.6}"));
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"experiment\": \"rule_scaling\",");
+    let _ = writeln!(out, "  \"db_tuples\": {db_tuples},");
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"rules\": {}, \"naive_view_s\": {}, \"naive_enum_s\": {}, \
+             \"factorized_s\": {:.6}, \"lineage_s\": {:.6}}}{}",
+            r.rules,
+            opt(r.naive_view_s),
+            opt(r.naive_enum_s),
+            r.factorized_s,
+            r.lineage_s,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("  wrote perf snapshot to {path}\n"),
+        Err(e) => eprintln!("  failed to write {path}: {e}"),
+    }
+}
+
 /// Section 5: query time vs. number of rules.
-fn scaling(fast: bool) {
+fn scaling(fast: bool, json_path: Option<&str>) {
     println!("== Section 5: query time vs. number of rules ==");
     let config = if fast {
         DbConfig {
@@ -142,9 +215,10 @@ fn scaling(fast: bool) {
     let budget = Duration::from_secs(if fast { 10 } else { 120 });
     let mut view_dnf = false;
     let mut enum_dnf = false;
+    let mut rows: Vec<ScalingRow> = Vec::new();
     for (k, rules) in &workload.rule_sets {
         let env = workload.env(rules);
-        let view_cell = if *k <= max_naive && !view_dnf {
+        let view_s = if *k <= max_naive && !view_dnf {
             let t = Instant::now();
             NaiveViewEngine { max_rules: 16 }
                 .score_all(&env, workload.docs())
@@ -153,11 +227,11 @@ fn scaling(fast: bool) {
             if dt > budget {
                 view_dnf = true;
             }
-            format!("{:>11.3} s", dt.as_secs_f64())
+            Some(dt.as_secs_f64())
         } else {
-            "DNF".to_string()
+            None
         };
-        let enum_cell = if *k <= max_naive + 2 && !enum_dnf {
+        let enum_s = if *k <= max_naive + 2 && !enum_dnf {
             let t = Instant::now();
             NaiveEnumEngine {
                 max_rules: 20,
@@ -169,21 +243,38 @@ fn scaling(fast: bool) {
             if dt > budget {
                 enum_dnf = true;
             }
-            format!("{:>11.3} s", dt.as_secs_f64())
+            Some(dt.as_secs_f64())
         } else {
-            "DNF".to_string()
+            None
         };
         let t = Instant::now();
         FactorizedEngine::new()
             .score_all(&env, workload.docs())
             .expect("factorized scores");
-        let fact_cell = format!("{:>11.3} s", t.elapsed().as_secs_f64());
+        let fact_s = t.elapsed().as_secs_f64();
         let t = Instant::now();
         LineageEngine::new()
             .score_all(&env, workload.docs())
             .expect("lineage scores");
-        let lin_cell = format!("{:>11.3} s", t.elapsed().as_secs_f64());
-        println!("  {k:>6} {view_cell:>14} {enum_cell:>14} {fact_cell:>14} {lin_cell:>14}");
+        let lin_s = t.elapsed().as_secs_f64();
+        let cell = |v: Option<f64>| v.map_or("DNF".to_string(), |s| format!("{s:>11.3} s"));
+        println!(
+            "  {k:>6} {:>14} {:>14} {:>14} {:>14}",
+            cell(view_s),
+            cell(enum_s),
+            format!("{fact_s:>11.3} s"),
+            format!("{lin_s:>11.3} s")
+        );
+        rows.push(ScalingRow {
+            rules: *k,
+            naive_view_s: view_s,
+            naive_enum_s: enum_s,
+            factorized_s: fact_s,
+            lineage_s: lin_s,
+        });
+    }
+    if let Some(path) = json_path {
+        write_scaling_json(path, workload.db.num_tuples(), &rows);
     }
     println!(
         "\n  expected shape: the naive engines multiply cost by ≈4 per added rule \

@@ -1,6 +1,7 @@
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use capra_dl::IndividualId;
+use capra_dl::{IndividualId, Reasoner};
 use capra_events::EventExpr;
 
 use crate::{Kb, PreferenceRule, RuleRepository};
@@ -28,20 +29,29 @@ pub struct RuleBinding {
     /// Event under which the rule's context applies right now.
     pub context_event: EventExpr,
     /// Event per document under which the document matches the preference.
-    /// Documents absent from the map match with event `False`.
-    pub preference_events: BTreeMap<IndividualId, EventExpr>,
+    /// Documents absent from the map match with event `False`. Shared with
+    /// the reasoner's sub-concept cache — rules with the same preference
+    /// concept share one map.
+    pub preference_events: Arc<BTreeMap<IndividualId, EventExpr>>,
     /// The rule's σ.
     pub sigma: f64,
 }
 
 impl RuleBinding {
-    /// Binds one rule against the KB.
+    /// Binds one rule against the KB (constructs a throwaway reasoner; use
+    /// [`RuleBinding::bind_with`] or [`bind_rules`] to share one reasoner —
+    /// and its derived-view cache — across rules).
     pub fn bind(kb: &Kb, user: IndividualId, rule: &PreferenceRule) -> Self {
-        let reasoner = kb.reasoner();
+        Self::bind_with(&kb.reasoner(), user, rule)
+    }
+
+    /// Binds one rule using an existing reasoner, so sub-concepts shared
+    /// between this rule and previously bound ones are derived once.
+    pub fn bind_with(reasoner: &Reasoner<'_>, user: IndividualId, rule: &PreferenceRule) -> Self {
         Self {
             name: rule.name.clone(),
             context_event: reasoner.membership(user, &rule.context),
-            preference_events: reasoner.instances(&rule.preference),
+            preference_events: reasoner.instances_shared(&rule.preference),
             sigma: rule.sigma.get(),
         }
     }
@@ -64,11 +74,17 @@ impl RuleBinding {
 
 /// Binds every rule in the environment. Engines share this step; they differ
 /// in how they evaluate the bound formula.
+///
+/// One reasoner (and hence one derived-view cache) serves the whole rule
+/// set: rules whose context or preference concepts share sub-structure —
+/// the common case, e.g. every preference refining `TvProgram` — reuse each
+/// other's derivations instead of re-walking the ABox per rule.
 pub fn bind_rules(env: &ScoringEnv<'_>) -> Vec<RuleBinding> {
+    let reasoner = env.kb.reasoner();
     env.rules
         .rules()
         .iter()
-        .map(|r| RuleBinding::bind(env.kb, env.user, r))
+        .map(|r| RuleBinding::bind_with(&reasoner, env.user, r))
         .collect()
 }
 
@@ -91,7 +107,12 @@ mod tests {
             .parse("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}")
             .unwrap();
         rules
-            .add(PreferenceRule::new("R1", ctx, pref, Score::new(0.8).unwrap()))
+            .add(PreferenceRule::new(
+                "R1",
+                ctx,
+                pref,
+                Score::new(0.8).unwrap(),
+            ))
             .unwrap();
         (kb, rules, user)
     }

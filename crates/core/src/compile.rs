@@ -233,9 +233,8 @@ impl<'a> Compiler<'a> {
                         .filter_map(|&i| {
                             let e = members.get(&i).cloned().unwrap_or(EventExpr::False);
                             let complement = EventExpr::not(e);
-                            (!complement.is_false()).then(|| {
-                                Row::uncertain(vec![individual_datum(i)], complement)
-                            })
+                            (!complement.is_false())
+                                .then(|| Row::uncertain(vec![individual_datum(i)], complement))
                         })
                         .collect(),
                 }
@@ -303,20 +302,14 @@ mod tests {
             "BOTTOM",
             "{Oprah, BBC}",
         ];
-        let parsed: Vec<_> = queries
-            .iter()
-            .map(|q| kb.parse(q).unwrap())
-            .collect();
+        let parsed: Vec<_> = queries.iter().map(|q| kb.parse(q).unwrap()).collect();
         let catalog = install_kb(&kb).unwrap();
         let compiler = Compiler::new(&kb, &catalog);
         let reasoner = kb.reasoner();
         let mut ev = Evaluator::new(&kb.universe);
         for (q, concept) in queries.iter().zip(&parsed) {
-            let via_db: BTreeMap<_, _> = compiler
-                .materialize(concept)
-                .unwrap()
-                .into_iter()
-                .collect();
+            let via_db: BTreeMap<_, _> =
+                compiler.materialize(concept).unwrap().into_iter().collect();
             let via_reasoner = reasoner.instances(concept);
             assert_eq!(
                 via_db.keys().collect::<Vec<_>>(),

@@ -58,33 +58,57 @@ impl FactorizedEngine {
         }
     }
 
-    /// Verifies that no variable backs two different rule events for `doc`.
-    fn check_independence(
-        bindings: &[RuleBinding],
-        doc: IndividualId,
-        kb: &crate::Kb,
-    ) -> Result<()> {
+    fn correlated(kb: &crate::Kb, var: VarId) -> CoreError {
+        CoreError::CorrelatedFeatures {
+            variable: kb.universe.name(var).unwrap_or("<unknown>").to_string(),
+        }
+    }
+
+    /// Maps every variable backing a *context* event to its rule slot,
+    /// erroring if two rules' contexts share a variable. Context events do
+    /// not depend on the document, so this runs **once per `score_all`**;
+    /// the per-document check below only walks the preference supports.
+    fn context_owners(bindings: &[RuleBinding], kb: &crate::Kb) -> Result<HashMap<VarId, usize>> {
         let mut owner: HashMap<VarId, usize> = HashMap::new();
         for (slot, binding) in bindings.iter().enumerate() {
-            // Context and preference of one rule are two distinct events
-            // whose independence also matters: give them separate slots.
-            for (offset, event) in [
-                (2 * slot, &binding.context_event),
-                (2 * slot + 1, &binding.preference_event(doc)),
-            ] {
-                for var in event.support() {
-                    if let Some(&prev) = owner.get(&var) {
-                        if prev != offset {
-                            return Err(CoreError::CorrelatedFeatures {
-                                variable: kb
-                                    .universe
-                                    .name(var)
-                                    .unwrap_or("<unknown>")
-                                    .to_string(),
-                            });
-                        }
-                    } else {
-                        owner.insert(var, offset);
+            for &var in binding.context_event.support_slice() {
+                match owner.get(&var) {
+                    Some(&prev) if prev != slot => return Err(Self::correlated(kb, var)),
+                    _ => {
+                        owner.insert(var, slot);
+                    }
+                }
+            }
+        }
+        Ok(owner)
+    }
+
+    /// Verifies that no variable backs two different rule events for `doc`.
+    /// Context–context conflicts were ruled out by [`Self::context_owners`];
+    /// here a preference variable conflicts if it appears in *any* context
+    /// event (context and preference of one rule are distinct events whose
+    /// independence also matters) or in another rule's preference event.
+    /// Supports come from the per-node caches — no tree walks.
+    fn check_doc_independence(
+        bindings: &[RuleBinding],
+        doc: IndividualId,
+        ctx_owner: &HashMap<VarId, usize>,
+        scratch: &mut HashMap<VarId, usize>,
+        kb: &crate::Kb,
+    ) -> Result<()> {
+        scratch.clear();
+        for (slot, binding) in bindings.iter().enumerate() {
+            let Some(event) = binding.preference_events.get(&doc) else {
+                continue; // absent ⇒ event False ⇒ empty support
+            };
+            for &var in event.support_slice() {
+                if ctx_owner.contains_key(&var) {
+                    return Err(Self::correlated(kb, var));
+                }
+                match scratch.get(&var) {
+                    Some(&prev) if prev != slot => return Err(Self::correlated(kb, var)),
+                    _ => {
+                        scratch.insert(var, slot);
                     }
                 }
             }
@@ -99,6 +123,9 @@ impl ScoringEngine for FactorizedEngine {
     }
 
     fn score_all(&self, env: &ScoringEnv<'_>, docs: &[IndividualId]) -> Result<Vec<DocScore>> {
+        if docs.is_empty() {
+            return Ok(Vec::new());
+        }
         let bindings = bind_rules(env);
         let applicable: Vec<&RuleBinding> =
             bindings.iter().filter(|b| !b.is_inapplicable()).collect();
@@ -108,10 +135,16 @@ impl ScoringEngine for FactorizedEngine {
             .iter()
             .map(|b| ev.prob(&b.context_event))
             .collect();
+        // Doc-invariant half of the independence check, hoisted likewise.
+        let ctx_owner = match self.on_correlation {
+            CorrelationPolicy::Error => Some(Self::context_owners(&bindings, env.kb)?),
+            CorrelationPolicy::AssumeIndependent => None,
+        };
+        let mut scratch: HashMap<VarId, usize> = HashMap::new();
         let mut out = Vec::with_capacity(docs.len());
         for &doc in docs {
-            if self.on_correlation == CorrelationPolicy::Error {
-                Self::check_independence(&bindings, doc, env.kb)?;
+            if let Some(ctx_owner) = &ctx_owner {
+                Self::check_doc_independence(&bindings, doc, ctx_owner, &mut scratch, env.kb)?;
             }
             let mut score = 1.0;
             for (b, &pg) in applicable.iter().zip(&context_probs) {
@@ -149,7 +182,8 @@ mod tests {
             .add(PreferenceRule::new(
                 "R1",
                 kb.parse("Weekend").unwrap(),
-                kb.parse("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}").unwrap(),
+                kb.parse("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}")
+                    .unwrap(),
                 Score::new(0.8).unwrap(),
             ))
             .unwrap();

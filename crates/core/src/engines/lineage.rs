@@ -46,26 +46,48 @@ impl ScoringEngine for LineageEngine {
 
     fn score_all(&self, env: &ScoringEnv<'_>, docs: &[IndividualId]) -> Result<Vec<DocScore>> {
         let bindings = bind_rules(env);
+        let active: Vec<_> = bindings
+            .iter()
+            .filter(|b| !(self.prune_inapplicable && b.is_inapplicable()))
+            .collect();
+        // Doc-invariant pieces per rule, built once: the context event, its
+        // complement, and the factor a *non-matching* document yields
+        // (preference event `False` — the common case on sparse KBs).
+        let per_rule: Vec<(&crate::RuleBinding, EventExpr, Factor)> = active
+            .iter()
+            .map(|b| {
+                let not_g = EventExpr::not(b.context_event.clone());
+                let miss_factor = Factor::new([
+                    (not_g.clone(), 1.0),
+                    (b.context_event.clone(), 1.0 - b.sigma),
+                ]);
+                (*b, not_g, miss_factor)
+            })
+            .collect();
         // One expectation computer for the whole run: documents share the
-        // context sub-problems through its memo table.
+        // context sub-problems through its memo table (keys are hash-consed
+        // expressions, so identical sub-problems across documents collide).
         let mut expectation = Expectation::new(&env.kb.universe);
         let mut out = Vec::with_capacity(docs.len());
         for &doc in docs {
-            let factors: Vec<Factor> = bindings
+            let factors: Vec<Factor> = per_rule
                 .iter()
-                .filter(|b| !(self.prune_inapplicable && b.is_inapplicable()))
-                .map(|b| {
-                    let g = b.context_event.clone();
-                    let f = b.preference_event(doc);
-                    Factor::new([
-                        (EventExpr::not(g.clone()), 1.0),
-                        (EventExpr::and([g.clone(), f.clone()]), b.sigma),
-                        (
-                            EventExpr::and([g, EventExpr::not(f)]),
-                            1.0 - b.sigma,
-                        ),
-                    ])
-                })
+                .map(
+                    |(b, not_g, miss_factor)| match b.preference_events.get(&doc) {
+                        None => miss_factor.clone(),
+                        Some(f) => {
+                            let g = b.context_event.clone();
+                            Factor::new([
+                                (not_g.clone(), 1.0),
+                                (EventExpr::and([g.clone(), f.clone()]), b.sigma),
+                                (
+                                    EventExpr::and([g, EventExpr::not(f.clone())]),
+                                    1.0 - b.sigma,
+                                ),
+                            ])
+                        }
+                    },
+                )
                 .collect();
             let score = expectation.compute(&factors).clamp(0.0, 1.0);
             out.push(DocScore { doc, score });
@@ -104,10 +126,20 @@ mod tests {
         let pref_t = kb.parse("EXISTS hasGenre.{Traffic}").unwrap();
         let pref_w = kb.parse("EXISTS hasGenre.{Weather}").unwrap();
         rules
-            .add(PreferenceRule::new("T", ctx.clone(), pref_t, Score::new(0.8).unwrap()))
+            .add(PreferenceRule::new(
+                "T",
+                ctx.clone(),
+                pref_t,
+                Score::new(0.8).unwrap(),
+            ))
             .unwrap();
         rules
-            .add(PreferenceRule::new("W", ctx, pref_w, Score::new(0.6).unwrap()))
+            .add(PreferenceRule::new(
+                "W",
+                ctx,
+                pref_w,
+                Score::new(0.6).unwrap(),
+            ))
             .unwrap();
 
         let env = ScoringEnv {
@@ -126,7 +158,10 @@ mod tests {
         );
         // Independence assumption WOULD give (0.6·0.8+0.4·0.2)·(0.4·0.6+0.6·0.4):
         let independent = (0.6 * 0.8 + 0.4 * 0.2) * (0.4 * 0.6 + 0.6 * 0.4);
-        assert!((score - independent).abs() > 1e-3, "correlation must matter");
+        assert!(
+            (score - independent).abs() > 1e-3,
+            "correlation must matter"
+        );
     }
 
     #[test]
@@ -158,10 +193,20 @@ mod tests {
         let holiday = kb.parse("Holiday").unwrap(); // never applies
         let pref = kb.parse("Interesting").unwrap();
         rules
-            .add(PreferenceRule::new("A", weekend, pref.clone(), Score::new(0.7).unwrap()))
+            .add(PreferenceRule::new(
+                "A",
+                weekend,
+                pref.clone(),
+                Score::new(0.7).unwrap(),
+            ))
             .unwrap();
         rules
-            .add(PreferenceRule::new("B", holiday, pref, Score::new(0.9).unwrap()))
+            .add(PreferenceRule::new(
+                "B",
+                holiday,
+                pref,
+                Score::new(0.9).unwrap(),
+            ))
             .unwrap();
         let env = ScoringEnv {
             kb: &kb,

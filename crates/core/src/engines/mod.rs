@@ -11,12 +11,20 @@
 //!        = 1 − σ_r  if the context applies and d does not match
 //! ```
 //!
-//! | engine | exactness | cost | corresponds to |
-//! |--------|-----------|------|----------------|
-//! | [`NaiveViewEngine`] | exact under feature independence | `O(4ⁿ)` relational queries | the paper's Section 5 PostgreSQL implementation |
-//! | [`NaiveEnumEngine`] | exact under feature independence | `O(4ⁿ)` in-memory | the same maths without the view machinery (ablation) |
-//! | [`FactorizedEngine`] | exact under feature independence | `O(n)` | the early-pruning improvement the Discussion calls for |
-//! | [`LineageEngine`] | **always exact** (correlations included) | Shannon expansion over shared variables | Section 3.3 with the event-expression model of ref \[17\] |
+//! | engine | exactness | cost model (n rules, d docs) | corresponds to |
+//! |--------|-----------|------------------------------|----------------|
+//! | [`NaiveViewEngine`] | exact under feature independence | `O(4ⁿ · d)` relational queries | the paper's Section 5 PostgreSQL implementation |
+//! | [`NaiveEnumEngine`] | exact under feature independence | `O(4ⁿ · d)` in-memory | the same maths without the view machinery (ablation) |
+//! | [`FactorizedEngine`] | exact under feature independence | `O(n · d)` probability lookups; independence check walks cached per-node supports, context half hoisted out of the doc loop | the early-pruning improvement the Discussion calls for |
+//! | [`LineageEngine`] | **always exact** (correlations included) | Shannon expansion over shared variables, sub-problems deduplicated by hash-consed expression identity | Section 3.3 with the event-expression model of ref \[17\] |
+//!
+//! All engines share the binding step ([`crate::bind_rules`]), which runs
+//! **one** reasoner across the whole rule set so structurally shared
+//! context/preference concepts are derived once, and all probability work
+//! sits on hash-consed event expressions: memo tables key by interned node
+//! identity (O(1) hash + pointer compare), pivot choices are cached per
+//! node, and `restrict` skips subtrees whose cached support excludes the
+//! pivot variable. See `capra_events` for the interner.
 
 mod factorized;
 mod lineage;
@@ -61,11 +69,7 @@ pub trait ScoringEngine {
 /// Sorts scores descending (ties broken by document id for determinism) —
 /// the `ORDER BY preferencescore DESC` of the paper's example query.
 pub fn rank(mut scores: Vec<DocScore>) -> Vec<DocScore> {
-    scores.sort_by(|a, b| {
-        b.score
-            .total_cmp(&a.score)
-            .then_with(|| a.doc.cmp(&b.doc))
-    });
+    scores.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.doc.cmp(&b.doc)));
     scores
 }
 

@@ -149,7 +149,8 @@ mod tests {
             .add(PreferenceRule::new(
                 "R1",
                 kb.parse("Weekend").unwrap(),
-                kb.parse("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}").unwrap(),
+                kb.parse("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}")
+                    .unwrap(),
                 Score::new(0.8).unwrap(),
             ))
             .unwrap();
@@ -157,7 +158,8 @@ mod tests {
             .add(PreferenceRule::new(
                 "R2",
                 kb.parse("Breakfast").unwrap(),
-                kb.parse("TvProgram AND EXISTS hasSubject.{WeatherBulletin}").unwrap(),
+                kb.parse("TvProgram AND EXISTS hasSubject.{WeatherBulletin}")
+                    .unwrap(),
                 Score::new(0.9).unwrap(),
             ))
             .unwrap();

@@ -108,10 +108,8 @@ impl ScoringEngine for NaiveViewEngine {
             pos.insert(pos_rows)?;
             neg.insert(neg_rows)?;
 
-            let ctx_members: HashMap<IndividualId, EventExpr> = compiler
-                .materialize(&rule.context)?
-                .into_iter()
-                .collect();
+            let ctx_members: HashMap<IndividualId, EventExpr> =
+                compiler.materialize(&rule.context)?.into_iter().collect();
             let ctx_event = ctx_members
                 .get(&env.user)
                 .cloned()
@@ -130,8 +128,7 @@ impl ScoringEngine for NaiveViewEngine {
         // The big preference view, combination by combination.
         let executor = Executor::new(&catalog);
         let mut evaluator = Evaluator::new(&env.kb.universe);
-        let mut scores: HashMap<IndividualId, f64> =
-            docs.iter().map(|&d| (d, 0.0)).collect();
+        let mut scores: HashMap<IndividualId, f64> = docs.iter().map(|&d| (d, 0.0)).collect();
         for g_mask in 0u64..(1 << n) {
             for f_mask in 0u64..(1 << n) {
                 let mut weight = 1.0;
@@ -169,8 +166,7 @@ impl ScoringEngine for NaiveViewEngine {
                 }
                 let relation = executor.run(&plan)?;
                 for row in relation.rows() {
-                    let Some(doc) = crate::compile::datum_individual(env.kb, &row.values[0])
-                    else {
+                    let Some(doc) = crate::compile::datum_individual(env.kb, &row.values[0]) else {
                         continue;
                     };
                     let p = evaluator.prob(&row.lineage);
@@ -219,7 +215,8 @@ mod tests {
             .add(PreferenceRule::new(
                 "R1",
                 kb.parse("Weekend").unwrap(),
-                kb.parse("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}").unwrap(),
+                kb.parse("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}")
+                    .unwrap(),
                 Score::new(0.8).unwrap(),
             ))
             .unwrap();
@@ -227,7 +224,8 @@ mod tests {
             .add(PreferenceRule::new(
                 "R2",
                 kb.parse("Breakfast").unwrap(),
-                kb.parse("TvProgram AND EXISTS hasSubject.{WeatherBulletin}").unwrap(),
+                kb.parse("TvProgram AND EXISTS hasSubject.{WeatherBulletin}")
+                    .unwrap(),
                 Score::new(0.9).unwrap(),
             ))
             .unwrap();

@@ -121,7 +121,8 @@ mod tests {
             .add(PreferenceRule::new(
                 "R1",
                 kb.parse("Weekend").unwrap(),
-                kb.parse("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}").unwrap(),
+                kb.parse("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}")
+                    .unwrap(),
                 Score::new(0.8).unwrap(),
             ))
             .unwrap();

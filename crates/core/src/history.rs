@@ -132,11 +132,7 @@ impl HistoryLog {
                 continue;
             }
             applicable += 1;
-            if ep
-                .offers
-                .iter()
-                .any(|o| o.chosen && o.features.contains(f))
-            {
+            if ep.offers.iter().any(|o| o.chosen && o.features.contains(f)) {
                 successes += 1;
             }
         }
@@ -239,10 +235,7 @@ mod tests {
     fn applicability_requires_offer_with_feature() {
         // "was able to choose": episodes without an f-document don't count.
         let mut log = HistoryLog::new();
-        log.record(Episode::new(
-            ["Morning"],
-            vec![Offer::new(["News"], true)],
-        ));
+        log.record(Episode::new(["Morning"], vec![Offer::new(["News"], true)]));
         log.record(Episode::new(
             ["Morning"],
             vec![Offer::new(["Sports"], true)], // no News on offer
@@ -261,10 +254,7 @@ mod tests {
         let mut log = HistoryLog::new();
         log.record(Episode::new(
             ["Morning"],
-            vec![
-                Offer::new(["Traffic"], true),
-                Offer::new(["Weather"], true),
-            ],
+            vec![Offer::new(["Traffic"], true), Offer::new(["Weather"], true)],
         ));
         assert_eq!(log.sigma("Morning", "Traffic").unwrap().0, 1.0);
         assert_eq!(log.sigma("Morning", "Weather").unwrap().0, 1.0);

@@ -62,7 +62,10 @@ impl Kb {
         p: f64,
     ) -> Result<VarId> {
         let c = self.voc.concept(concept);
-        let var = self.fresh_var(&format!("c:{}:{}", concept, self.voc.individual_name(ind)), p)?;
+        let var = self.fresh_var(
+            &format!("c:{}:{}", concept, self.voc.individual_name(ind)),
+            p,
+        )?;
         let event = self.universe.bool_event(var)?;
         self.abox.assert_concept(ind, c, event);
         Ok(var)

@@ -41,10 +41,7 @@ impl GroupStrategy {
 ///
 /// Every user must have scored the same documents (any order); a document
 /// missing from some user's list is an error, not a silent zero.
-pub fn group_scores(
-    per_user: &[Vec<DocScore>],
-    strategy: &GroupStrategy,
-) -> Result<Vec<DocScore>> {
+pub fn group_scores(per_user: &[Vec<DocScore>], strategy: &GroupStrategy) -> Result<Vec<DocScore>> {
     let Some(first) = per_user.first() else {
         return Ok(Vec::new());
     };
@@ -64,8 +61,7 @@ pub fn group_scores(
     }
     let mut tables: Vec<BTreeMap<IndividualId, f64>> = Vec::with_capacity(per_user.len());
     for scores in per_user {
-        let table: BTreeMap<IndividualId, f64> =
-            scores.iter().map(|s| (s.doc, s.score)).collect();
+        let table: BTreeMap<IndividualId, f64> = scores.iter().map(|s| (s.doc, s.score)).collect();
         if table.len() != first.len() {
             return Err(CoreError::Ranking(
                 "users scored different document sets".into(),
@@ -86,12 +82,7 @@ pub fn group_scores(
             GroupStrategy::Product => values.iter().product(),
             GroupStrategy::WeightedAverage(w) => {
                 let total: f64 = w.iter().sum();
-                values
-                    .iter()
-                    .zip(w)
-                    .map(|(v, wi)| v * wi)
-                    .sum::<f64>()
-                    / total
+                values.iter().zip(w).map(|(v, wi)| v * wi).sum::<f64>() / total
             }
             GroupStrategy::LeastMisery => values.iter().copied().fold(f64::INFINITY, f64::min),
             GroupStrategy::MostPleasure => values.iter().copied().fold(0.0, f64::max),
@@ -140,15 +131,9 @@ mod tests {
         assert!((weighted[0].score - (0.8 * 0.75 + 0.5 * 0.25)).abs() < 1e-12);
 
         let misery = group_scores(&per_user, &GroupStrategy::LeastMisery).unwrap();
-        assert_eq!(
-            misery.iter().find(|s| s.doc == a).unwrap().score,
-            0.5
-        );
+        assert_eq!(misery.iter().find(|s| s.doc == a).unwrap().score, 0.5);
         let pleasure = group_scores(&per_user, &GroupStrategy::MostPleasure).unwrap();
-        assert_eq!(
-            pleasure.iter().find(|s| s.doc == b).unwrap().score,
-            0.9
-        );
+        assert_eq!(pleasure.iter().find(|s| s.doc == b).unwrap().score, 0.9);
     }
 
     #[test]
@@ -167,6 +152,8 @@ mod tests {
             group_scores(&mismatched, &GroupStrategy::Product),
             Err(CoreError::Ranking(_))
         ));
-        assert!(group_scores(&[], &GroupStrategy::Product).unwrap().is_empty());
+        assert!(group_scores(&[], &GroupStrategy::Product)
+            .unwrap()
+            .is_empty());
     }
 }

@@ -1,9 +1,12 @@
 //! Parallel scoring across documents.
 //!
 //! The scoring formula is embarrassingly parallel over documents; this
-//! module shards the document list over scoped threads (crossbeam). The
-//! trade-off is that per-run caches (the lineage engine's expectation memo)
-//! are per-shard instead of shared — the ablation benchmark quantifies it.
+//! module shards the document list over `std::thread::scope` workers.
+//! Per-run evaluator memo tables are per-shard, but the event-expression
+//! **interner** is process-global (see `capra_events`), so every shard's
+//! restricted sub-expressions resolve to the same node ids — shards rebuild
+//! probabilities, not expression identity. The ablation benchmark
+//! quantifies the per-shard memo trade-off.
 
 use capra_dl::IndividualId;
 
@@ -27,17 +30,16 @@ where
         return engine.score_all(env, docs);
     }
     let chunk = docs.len().div_ceil(threads);
-    let results = crossbeam::thread::scope(|scope| {
+    let results = std::thread::scope(|scope| {
         let handles: Vec<_> = docs
             .chunks(chunk)
-            .map(|shard| scope.spawn(move |_| engine.score_all(env, shard)))
+            .map(|shard| scope.spawn(move || engine.score_all(env, shard)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("scoring worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("crossbeam scope");
+    });
     let mut out = Vec::with_capacity(docs.len());
     for shard in results {
         out.extend(shard?);
@@ -85,8 +87,7 @@ mod tests {
         for engine_threads in [1, 2, 4, 16] {
             let seq = FactorizedEngine::new().score_all(&env, &docs).unwrap();
             let par =
-                score_all_parallel(&FactorizedEngine::new(), &env, &docs, engine_threads)
-                    .unwrap();
+                score_all_parallel(&FactorizedEngine::new(), &env, &docs, engine_threads).unwrap();
             assert_eq!(seq.len(), par.len());
             for (a, b) in seq.iter().zip(&par) {
                 assert_eq!(a.doc, b.doc, "order preserved");

@@ -125,7 +125,8 @@ mod tests {
             .add(PreferenceRule::new(
                 "R1",
                 kb.parse("Weekend").unwrap(),
-                kb.parse("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}").unwrap(),
+                kb.parse("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}")
+                    .unwrap(),
                 Score::new(0.8).unwrap(),
             ))
             .unwrap();
@@ -133,7 +134,8 @@ mod tests {
             .add(PreferenceRule::new(
                 "R2",
                 kb.parse("Breakfast").unwrap(),
-                kb.parse("TvProgram AND EXISTS hasSubject.{WeatherBulletin}").unwrap(),
+                kb.parse("TvProgram AND EXISTS hasSubject.{WeatherBulletin}")
+                    .unwrap(),
                 Score::new(0.9).unwrap(),
             ))
             .unwrap();
@@ -149,12 +151,7 @@ mod tests {
         programs
             .insert(certain_rows(
                 docs.iter()
-                    .map(|&d| {
-                        vec![
-                            individual_datum(d),
-                            Datum::str(kb.voc.individual_name(d)),
-                        ]
-                    })
+                    .map(|&d| vec![individual_datum(d), Datum::str(kb.voc.individual_name(d))])
                     .collect(),
             ))
             .unwrap();
@@ -229,8 +226,7 @@ mod tests {
         };
         let engine = FactorizedEngine::new();
         let n =
-            install_preference_scores(&env, &engine, &docs, &catalog, "preference_scores")
-                .unwrap();
+            install_preference_scores(&env, &engine, &docs, &catalog, "preference_scores").unwrap();
         assert_eq!(n, 4);
         let again =
             install_preference_scores(&env, &engine, &docs[..2], &catalog, "preference_scores")

@@ -99,11 +99,10 @@ impl RuleRepository {
                 line: line_no,
                 message: format!("bad context: {e}"),
             })?;
-            let preference =
-                parse_concept(preference, voc).map_err(|e| CoreError::RuleFormat {
-                    line: line_no,
-                    message: format!("bad preference: {e}"),
-                })?;
+            let preference = parse_concept(preference, voc).map_err(|e| CoreError::RuleFormat {
+                line: line_no,
+                message: format!("bad preference: {e}"),
+            })?;
             let sigma = sigma
                 .parse::<f64>()
                 .map_err(|_| CoreError::RuleFormat {
@@ -207,9 +206,6 @@ R2 | Breakfast | TvProgram AND EXISTS hasSubject.{News}         | 0.9
         let removed = repo.remove("R1").unwrap();
         assert_eq!(removed.name, "R1");
         assert_eq!(repo.len(), 1);
-        assert!(matches!(
-            repo.remove("R1"),
-            Err(CoreError::UnknownRule(_))
-        ));
+        assert!(matches!(repo.remove("R1"), Err(CoreError::UnknownRule(_))));
     }
 }

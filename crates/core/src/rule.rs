@@ -89,11 +89,7 @@ impl PreferenceRule {
     /// A *default rule*: applies in every context (context = ⊤). The paper
     /// suggests default rules so that querying contexts not covered by any
     /// rule still get meaningful probabilities.
-    pub fn default_rule(
-        name: impl Into<String>,
-        preference: Concept,
-        sigma: Score,
-    ) -> Self {
+    pub fn default_rule(name: impl Into<String>, preference: Concept, sigma: Score) -> Self {
         Self::new(name, Concept::Top, preference, sigma)
     }
 

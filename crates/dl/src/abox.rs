@@ -89,7 +89,10 @@ impl ABox {
     }
 
     /// Membership rows of an atomic concept (empty if never asserted).
-    pub fn concept_rows(&self, concept: ConceptName) -> impl Iterator<Item = (IndividualId, &EventExpr)> {
+    pub fn concept_rows(
+        &self,
+        concept: ConceptName,
+    ) -> impl Iterator<Item = (IndividualId, &EventExpr)> {
         self.concepts
             .get(&concept)
             .into_iter()
@@ -215,7 +218,11 @@ mod tests {
         let mut voc = Vocabulary::new();
         let mut abox = ABox::new();
         let r = voc.role("r");
-        let (a, b, c) = (voc.individual("a"), voc.individual("b"), voc.individual("c"));
+        let (a, b, c) = (
+            voc.individual("a"),
+            voc.individual("b"),
+            voc.individual("c"),
+        );
         abox.assert_role(a, r, b, EventExpr::True);
         abox.assert_role(a, r, c, EventExpr::True);
         abox.assert_role(b, r, c, EventExpr::True);

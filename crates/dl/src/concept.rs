@@ -292,7 +292,10 @@ mod tests {
             Concept::and([a.clone(), Concept::not(a.clone())]),
             Concept::Bottom
         );
-        assert_eq!(Concept::or([a.clone(), Concept::not(a.clone())]), Concept::Top);
+        assert_eq!(
+            Concept::or([a.clone(), Concept::not(a.clone())]),
+            Concept::Top
+        );
         assert_eq!(Concept::not(Concept::Top), Concept::Bottom);
     }
 
@@ -326,10 +329,7 @@ mod tests {
         let program = Concept::atomic(v.concept("TvProgram"));
         let genre = v.role("hasGenre");
         let hi = v.individual("HumanInterest");
-        let c = Concept::and([
-            program,
-            Concept::exists(genre, Concept::one_of([hi])),
-        ]);
+        let c = Concept::and([program, Concept::exists(genre, Concept::one_of([hi]))]);
         let s = c.display(&v).to_string();
         assert!(s.contains("TvProgram"), "{s}");
         assert!(s.contains("EXISTS hasGenre.{HumanInterest}"), "{s}");

@@ -193,6 +193,9 @@ mod tests {
         v.role("r");
         v.individual("x");
         v.individual("y");
-        assert_eq!(v.to_string(), "vocabulary: 1 concepts, 1 roles, 2 individuals");
+        assert_eq!(
+            v.to_string(),
+            "vocabulary: 1 concepts, 1 roles, 2 individuals"
+        );
     }
 }

@@ -1,4 +1,6 @@
-use std::collections::BTreeMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use capra_events::EventExpr;
 
@@ -21,28 +23,56 @@ use crate::{ABox, Concept, IndividualId, TBox};
 /// * `∃R.C` — disjunction over `R`-edges of (edge event ∧ filler event),
 /// * `∀R.C` — conjunction over `R`-edges of (¬edge event ∨ filler event);
 ///   vacuously true for individuals without edges (closed world).
+///
+/// Every derived sub-concept view is **memoised per reasoner**: conjuncts,
+/// fillers and whole concepts shared across preference rules are computed
+/// once, then returned as shared maps (`Arc`). Reuse one reasoner when
+/// binding a rule set (see `bind_rules` in `capra-core`) so that rules with
+/// overlapping concept structure share the derivation work.
 pub struct Reasoner<'a> {
     abox: &'a ABox,
     tbox: Option<&'a TBox>,
+    /// Per-sub-concept view cache.
+    cache: RefCell<HashMap<Concept, Arc<BTreeMap<IndividualId, EventExpr>>>>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
 }
 
 impl<'a> Reasoner<'a> {
     /// A reasoner over an ABox alone (atomic concepts mean their assertions).
     pub fn new(abox: &'a ABox) -> Self {
-        Self { abox, tbox: None }
+        Self {
+            abox,
+            tbox: None,
+            cache: RefCell::new(HashMap::new()),
+            cache_hits: Cell::new(0),
+            cache_misses: Cell::new(0),
+        }
     }
 
     /// A reasoner that first unfolds defined concept names through a TBox.
     pub fn with_tbox(abox: &'a ABox, tbox: &'a TBox) -> Self {
         Self {
-            abox,
             tbox: Some(tbox),
+            ..Self::new(abox)
         }
+    }
+
+    /// `(hits, misses)` of the sub-concept view cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits.get(), self.cache_misses.get())
     }
 
     /// Retrieves all instances of `concept` with their membership events.
     /// Individuals whose membership simplifies to `False` are omitted.
     pub fn instances(&self, concept: &Concept) -> BTreeMap<IndividualId, EventExpr> {
+        (*self.instances_shared(concept)).clone()
+    }
+
+    /// Shared-map variant of [`Reasoner::instances`]: the returned view is
+    /// the memoised one (cheap to clone, safe to hold across calls). The
+    /// hot path for rule binding.
+    pub fn instances_shared(&self, concept: &Concept) -> Arc<BTreeMap<IndividualId, EventExpr>> {
         let unfolded;
         let concept = match self.tbox {
             Some(tbox) => {
@@ -51,15 +81,14 @@ impl<'a> Reasoner<'a> {
             }
             None => concept,
         };
-        let mut out = self.instances_rec(concept);
-        out.retain(|_, e| !e.is_false());
-        out
+        self.instances_memo(concept)
     }
 
     /// The event under which a single individual is a member of `concept`.
     pub fn membership(&self, ind: IndividualId, concept: &Concept) -> EventExpr {
-        self.instances(concept)
-            .remove(&ind)
+        self.instances_shared(concept)
+            .get(&ind)
+            .cloned()
             .unwrap_or(EventExpr::False)
     }
 
@@ -69,6 +98,24 @@ impl<'a> Reasoner<'a> {
             .iter()
             .map(|&i| (i, EventExpr::True))
             .collect()
+    }
+
+    /// Memoising wrapper around [`Reasoner::instances_rec`].
+    fn instances_memo(&self, concept: &Concept) -> Arc<BTreeMap<IndividualId, EventExpr>> {
+        if let Some(hit) = self.cache.borrow().get(concept) {
+            self.cache_hits.set(self.cache_hits.get() + 1);
+            return Arc::clone(hit);
+        }
+        self.cache_misses.set(self.cache_misses.get() + 1);
+        let mut computed = self.instances_rec(concept);
+        // `False` rows carry no information under closed-world semantics;
+        // dropping them here keeps every memoised view canonical.
+        computed.retain(|_, e| !e.is_false());
+        let shared = Arc::new(computed);
+        self.cache
+            .borrow_mut()
+            .insert(concept.clone(), Arc::clone(&shared));
+        shared
     }
 
     fn instances_rec(&self, concept: &Concept) -> BTreeMap<IndividualId, EventExpr> {
@@ -86,7 +133,7 @@ impl<'a> Reasoner<'a> {
                 .map(|&i| (i, EventExpr::True))
                 .collect(),
             Concept::Not(inner) => {
-                let pos = self.instances_rec(inner);
+                let pos = self.instances_memo(inner);
                 self.abox
                     .domain()
                     .iter()
@@ -97,46 +144,51 @@ impl<'a> Reasoner<'a> {
                     .collect()
             }
             Concept::And(kids) => {
-                let mut iter = kids.iter();
-                let first = iter
-                    .next()
+                let views: Vec<_> = kids.iter().map(|k| self.instances_memo(k)).collect();
+                // Intersect starting from the smallest view; each conjunct
+                // view was derived (or fetched) once, even when the same
+                // sub-concept appears in several rules.
+                let smallest = views
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, v)| v.len())
+                    .map(|(i, _)| i)
                     .expect("And constructor guarantees ≥ 2 children");
-                let mut acc = self.instances_rec(first);
-                for kid in iter {
-                    let next = self.instances_rec(kid);
-                    acc = acc
-                        .into_iter()
-                        .filter_map(|(i, e)| {
-                            next.get(&i).map(|e2| {
-                                (i, EventExpr::and([e, e2.clone()]))
-                            })
-                        })
-                        .collect();
-                    if acc.is_empty() {
-                        break;
+                let mut out = BTreeMap::new();
+                'candidates: for (&ind, first_event) in views[smallest].iter() {
+                    let mut parts = vec![first_event.clone()];
+                    for (j, view) in views.iter().enumerate() {
+                        if j == smallest {
+                            continue;
+                        }
+                        match view.get(&ind) {
+                            Some(e) => parts.push(e.clone()),
+                            None => continue 'candidates,
+                        }
                     }
+                    out.insert(ind, EventExpr::and(parts));
                 }
-                acc
+                out
             }
             Concept::Or(kids) => {
-                let mut acc: BTreeMap<IndividualId, EventExpr> = BTreeMap::new();
+                let mut acc: BTreeMap<IndividualId, Vec<EventExpr>> = BTreeMap::new();
                 for kid in kids.iter() {
-                    for (i, e) in self.instances_rec(kid) {
-                        let slot = acc.entry(i).or_insert(EventExpr::False);
-                        *slot = EventExpr::or([slot.clone(), e]);
+                    for (&i, e) in self.instances_memo(kid).iter() {
+                        acc.entry(i).or_default().push(e.clone());
                     }
                 }
-                acc
+                acc.into_iter()
+                    .map(|(i, events)| (i, EventExpr::or(events)))
+                    .collect()
             }
             Concept::Exists(role, filler) => {
-                let members = self.instances_rec(filler);
+                let members = self.instances_memo(filler);
                 let mut acc: BTreeMap<IndividualId, Vec<EventExpr>> = BTreeMap::new();
                 for edge in self.abox.role_edges(*role) {
                     if let Some(filler_event) = members.get(&edge.dst) {
-                        acc.entry(edge.src).or_default().push(EventExpr::and([
-                            edge.event.clone(),
-                            filler_event.clone(),
-                        ]));
+                        acc.entry(edge.src)
+                            .or_default()
+                            .push(EventExpr::and([edge.event.clone(), filler_event.clone()]));
                     }
                 }
                 acc.into_iter()
@@ -144,7 +196,7 @@ impl<'a> Reasoner<'a> {
                     .collect()
             }
             Concept::Forall(role, filler) => {
-                let members = self.instances_rec(filler);
+                let members = self.instances_memo(filler);
                 let mut acc: BTreeMap<IndividualId, Vec<EventExpr>> = self
                     .abox
                     .domain()
@@ -303,6 +355,28 @@ mod tests {
         let c = Concept::one_of([ghost, voc.find_individual("Oprah").unwrap()]);
         let m = r.instances(&c);
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn shared_subconcepts_are_derived_once() {
+        let (mut voc, abox) = kb();
+        let r = Reasoner::new(&abox);
+        let c1 = parse_concept("TvProgram AND EXISTS hasGenre.{HumanInterest}", &mut voc).unwrap();
+        let c2 = parse_concept("TvProgram AND EXISTS hasGenre.{Weather}", &mut voc).unwrap();
+        let m1 = r.instances(&c1);
+        let (hits_before, _) = r.cache_stats();
+        let _ = r.instances(&c2);
+        let (hits_after, _) = r.cache_stats();
+        assert!(
+            hits_after > hits_before,
+            "the shared TvProgram conjunct must be served from cache"
+        );
+        // Re-running a whole query derives nothing new.
+        let (_, misses_before) = r.cache_stats();
+        let m1_again = r.instances(&c1);
+        let (_, misses_after) = r.cache_stats();
+        assert_eq!(misses_before, misses_after, "repeat query is a pure hit");
+        assert_eq!(m1, m1_again);
     }
 
     #[test]

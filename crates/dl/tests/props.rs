@@ -27,17 +27,13 @@ fn build_kb(
     for (k, &(who, p)) in concept_seeds.iter().enumerate() {
         let ind = inds[who as usize % inds.len()];
         let concept = if k % 2 == 0 { c0 } else { c1 };
-        let var = u
-            .add_bool(&format!("c{k}"), f64::from(p) / 255.0)
-            .unwrap();
+        let var = u.add_bool(&format!("c{k}"), f64::from(p) / 255.0).unwrap();
         abox.assert_concept(ind, concept, u.bool_event(var).unwrap());
     }
     for (k, &(s, d, p)) in edge_seeds.iter().enumerate() {
         let src = inds[s as usize % inds.len()];
         let dst = inds[d as usize % inds.len()];
-        let var = u
-            .add_bool(&format!("e{k}"), f64::from(p) / 255.0)
-            .unwrap();
+        let var = u.add_bool(&format!("e{k}"), f64::from(p) / 255.0).unwrap();
         abox.assert_role(src, role, dst, u.bool_event(var).unwrap());
     }
     (voc, u, abox)

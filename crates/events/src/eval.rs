@@ -1,5 +1,6 @@
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
+use crate::hashers::FastMap;
 use crate::{clamp_prob, EventExpr, Universe, VarId};
 
 /// Exact probability evaluator for [`EventExpr`]s.
@@ -13,21 +14,36 @@ use crate::{clamp_prob, EventExpr, Universe, VarId};
 /// P(e) = Σ_o  P(var = o) · P(e | var = o)
 /// ```
 ///
-/// Two optimisations keep this tractable on the expressions CAPRA produces:
+/// Three optimisations keep this tractable on the expressions CAPRA
+/// produces:
 ///
-/// * **Memoisation** — restricted sub-expressions recur heavily (the smart
-///   constructors canonicalise children precisely so that they do). Results
-///   are cached keyed by the structural identity of the expression.
+/// * **Identity-keyed memoisation** — restricted sub-expressions recur
+///   heavily (the smart constructors canonicalise children precisely so
+///   that they do). Because expressions are hash-consed, the memo is keyed
+///   by the stable interner node id: a lookup is one integer hash instead
+///   of a full tree walk, and hits survive re-construction of the same
+///   structure from different call sites.
 /// * **Independent-component factorisation** — the support of a conjunction
 ///   or disjunction is partitioned into groups of children that share
 ///   variables; groups are mutually independent, so
 ///   `P(∧ groups) = Π P(group)` and `P(∨ groups) = 1 − Π (1 − P(group))`.
+///   Grouping runs over the per-node support slices cached at construction.
+/// * **Pivot caching** — the Shannon pivot (most-frequent variable) is a
+///   pure function of the expression node, so it is computed once per node
+///   id instead of once per expansion.
 ///
 /// The evaluator holds its memo table across calls; reuse one evaluator when
 /// scoring many expressions over the same universe.
 pub struct Evaluator<'u> {
     universe: &'u Universe,
-    memo: HashMap<EventExpr, f64>,
+    /// Probability memo over composite nodes. Keys are hash-consed
+    /// expressions, so hashing is the precomputed structural hash and
+    /// equality is pointer identity — O(1) either way — while the key
+    /// itself pins the interned node alive, guaranteeing that rebuilding
+    /// the same structure later resolves to the same node and hits.
+    memo: FastMap<EventExpr, f64>,
+    /// Shannon-pivot choice per node (same identity-keyed scheme).
+    pivots: FastMap<EventExpr, VarId>,
     stats: EvalStats,
     /// Disable memoisation (for ablation benchmarks).
     use_memo: bool,
@@ -44,6 +60,8 @@ pub struct EvalStats {
     pub memo_hits: u64,
     /// Component factorisations applied.
     pub component_splits: u64,
+    /// Pivot-cache hits (pivot reused without re-counting atoms).
+    pub pivot_hits: u64,
 }
 
 impl<'u> Evaluator<'u> {
@@ -51,7 +69,8 @@ impl<'u> Evaluator<'u> {
     pub fn new(universe: &'u Universe) -> Self {
         Self {
             universe,
-            memo: HashMap::new(),
+            memo: FastMap::default(),
+            pivots: FastMap::default(),
             stats: EvalStats::default(),
             use_memo: true,
             use_components: true,
@@ -73,9 +92,10 @@ impl<'u> Evaluator<'u> {
         self.stats
     }
 
-    /// Clears the memo table (the counters are kept).
+    /// Clears the memo and pivot tables (the counters are kept).
     pub fn clear(&mut self) {
         self.memo.clear();
+        self.pivots.clear();
     }
 
     /// Exact probability of `expr` under the evaluator's universe.
@@ -114,8 +134,8 @@ impl<'u> Evaluator<'u> {
     fn prob_connective(&mut self, expr: &EventExpr) -> f64 {
         if self.use_components {
             let (kids, is_and) = match expr {
-                EventExpr::And(kids) => (kids, true),
-                EventExpr::Or(kids) => (kids, false),
+                EventExpr::And(kids) => (&***kids, true),
+                EventExpr::Or(kids) => (&***kids, false),
                 _ => unreachable!("prob_connective called on non-connective"),
             };
             let groups = component_groups(kids);
@@ -138,7 +158,7 @@ impl<'u> Evaluator<'u> {
     }
 
     fn shannon(&mut self, expr: &EventExpr) -> f64 {
-        let var = pick_pivot(expr).expect("connective node must have support");
+        let var = self.pivot_for(expr);
         self.stats.expansions += 1;
         let n = self
             .universe
@@ -158,14 +178,31 @@ impl<'u> Evaluator<'u> {
         }
         total
     }
+
+    /// The Shannon pivot for `expr`, cached by node identity: the pivot is
+    /// a pure function of the expression, so the atom-count walk runs once
+    /// per distinct node instead of once per expansion.
+    fn pivot_for(&mut self, expr: &EventExpr) -> VarId {
+        if let Some(&var) = self.pivots.get(expr) {
+            self.stats.pivot_hits += 1;
+            return var;
+        }
+        let var = pick_pivot(expr).expect("connective node must have support");
+        self.pivots.insert(expr.clone(), var);
+        var
+    }
 }
 
-/// Partitions sibling expressions into groups connected by shared variables.
-/// Groups are mutually variable-disjoint, hence independent.
-pub(crate) fn component_groups(kids: &[EventExpr]) -> Vec<Vec<EventExpr>> {
-    let supports: Vec<BTreeSet<VarId>> = kids.iter().map(EventExpr::support).collect();
-    let n = kids.len();
-    // Union–find over the children.
+/// Partitions indices `0..supports.len()` into groups connected by shared
+/// variables. Shared by the probability evaluator (over child expressions)
+/// and the expectation computer (over factors).
+pub(crate) fn group_indices<'a, I>(supports: I) -> Vec<Vec<usize>>
+where
+    I: IntoIterator<Item = &'a [VarId]>,
+{
+    let supports: Vec<&[VarId]> = supports.into_iter().collect();
+    let n = supports.len();
+    // Union–find over the items.
     let mut parent: Vec<usize> = (0..n).collect();
     fn find(parent: &mut [usize], mut i: usize) -> usize {
         while parent[i] != i {
@@ -176,7 +213,7 @@ pub(crate) fn component_groups(kids: &[EventExpr]) -> Vec<Vec<EventExpr>> {
     }
     let mut owner: HashMap<VarId, usize> = HashMap::new();
     for (i, sup) in supports.iter().enumerate() {
-        for &v in sup {
+        for &v in sup.iter() {
             match owner.get(&v) {
                 Some(&j) => {
                     let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
@@ -188,14 +225,34 @@ pub(crate) fn component_groups(kids: &[EventExpr]) -> Vec<Vec<EventExpr>> {
             }
         }
     }
-    let mut groups: HashMap<usize, Vec<EventExpr>> = HashMap::new();
-    for (i, kid) in kids.iter().enumerate() {
-        groups
-            .entry(find(&mut parent, i))
-            .or_default()
-            .push(kid.clone());
+    // Emit groups ordered by their smallest member index. Determinism
+    // matters: group probabilities are multiplied in this order, and f64
+    // multiplication is not associative — hash-map iteration order here
+    // would make repeated runs (and parallel shards vs. the sequential
+    // path) differ in the last ulp.
+    let mut group_of_root: Vec<Option<usize>> = vec![None; n];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        match group_of_root[root] {
+            Some(g) => groups[g].push(i),
+            None => {
+                group_of_root[root] = Some(groups.len());
+                groups.push(vec![i]);
+            }
+        }
     }
-    groups.into_values().collect()
+    groups
+}
+
+/// Partitions sibling expressions into groups connected by shared variables.
+/// Groups are mutually variable-disjoint, hence independent. Uses the
+/// supports cached on each node — no tree walks.
+pub(crate) fn component_groups(kids: &[EventExpr]) -> Vec<Vec<EventExpr>> {
+    group_indices(kids.iter().map(EventExpr::support_slice))
+        .into_iter()
+        .map(|idxs| idxs.into_iter().map(|i| kids[i].clone()).collect())
+        .collect()
 }
 
 /// Chooses the Shannon pivot: the variable occurring in the largest number of
@@ -295,7 +352,10 @@ mod tests {
     fn residual_outcome_counts() {
         let mut u = Universe::new();
         let v = u.add_choice("v", &[0.3, 0.3]).unwrap();
-        let e = EventExpr::not(EventExpr::or([u.atom(v, 0).unwrap(), u.atom(v, 1).unwrap()]));
+        let e = EventExpr::not(EventExpr::or([
+            u.atom(v, 0).unwrap(),
+            u.atom(v, 1).unwrap(),
+        ]));
         let mut ev = Evaluator::new(&u);
         assert!((ev.prob(&e) - 0.4).abs() < 1e-12);
     }
@@ -364,6 +424,61 @@ mod tests {
         let p2 = ev.prob(&e);
         assert_eq!(p1, p2);
         assert!(ev.stats().memo_hits > 0);
+    }
+
+    #[test]
+    fn memo_hits_survive_reconstruction() {
+        // The identity-keyed memo must hit even when the *same structure*
+        // is rebuilt from scratch (interned to the same node id), not just
+        // when the same value is passed twice.
+        let mut u = Universe::new();
+        let vars: Vec<_> = (0..4)
+            .map(|i| u.add_bool(&format!("m{i}"), 0.4).unwrap())
+            .collect();
+        let build = |u: &Universe| {
+            EventExpr::or([
+                EventExpr::and([
+                    u.bool_event(vars[0]).unwrap(),
+                    u.bool_event(vars[1]).unwrap(),
+                ]),
+                EventExpr::and([
+                    u.bool_event(vars[1]).unwrap(),
+                    u.bool_event(vars[2]).unwrap(),
+                    u.bool_event(vars[3]).unwrap(),
+                ]),
+            ])
+        };
+        let mut ev = Evaluator::new(&u);
+        let p1 = ev.prob(&build(&u));
+        let hits_before = ev.stats().memo_hits;
+        let p2 = ev.prob(&build(&u));
+        assert_eq!(p1, p2);
+        assert!(
+            ev.stats().memo_hits > hits_before,
+            "rebuilt expression must hit the id-keyed memo"
+        );
+    }
+
+    #[test]
+    fn pivot_cache_is_used() {
+        let (u, ea, eb, ec) = universe3();
+        let mut ev = Evaluator::new(&u);
+        // Entangled expression (single component) forcing repeated Shannon
+        // expansion of shared subproblems.
+        let e = EventExpr::or([
+            EventExpr::and([ea.clone(), eb.clone()]),
+            EventExpr::and([ea.clone(), ec.clone()]),
+            EventExpr::and([eb.clone(), ec.clone()]),
+        ]);
+        let _ = ev.prob(&e);
+        let _ = ev.prob(&e); // memo short-circuits, pivots persist
+        let mut ev2 = Evaluator::with_options(&u, false, false);
+        let _ = ev2.prob(&e);
+        let _ = ev2.prob(&e);
+        assert!(
+            ev2.stats().pivot_hits > 0,
+            "repeated expansion of one node must reuse its pivot"
+        );
     }
 
     #[test]

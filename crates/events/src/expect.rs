@@ -16,11 +16,15 @@
 //! Shannon expansion over the shared random variables, with memoisation and
 //! factorisation over variable-disjoint groups of factors — the same
 //! machinery as [`crate::Evaluator`], lifted from probabilities of events to
-//! expectations of products.
+//! expectations of products. Hash-consed expressions make the memo keys
+//! cheap: a factor is identified by its case events (pointer identity,
+//! precomputed hashes) plus the case weights, so keying a sub-problem costs
+//! O(#cases) instead of O(total expression size).
 
 use std::collections::HashMap;
 
-use crate::eval::component_groups;
+use crate::eval::group_indices;
+use crate::hashers::FastMap;
 use crate::{EventExpr, Universe, VarId};
 
 /// A piecewise-constant random variable: in a world `w` its value is the sum
@@ -32,16 +36,28 @@ use crate::{EventExpr, Universe, VarId};
 #[derive(Debug, Clone)]
 pub struct Factor {
     cases: Vec<(EventExpr, f64)>,
+    /// Union of the case-event supports, sorted and deduplicated
+    /// (precomputed from the per-node support caches).
+    support: Box<[VarId]>,
 }
 
 impl Factor {
     /// Builds a factor from `(event, weight)` cases.
     pub fn new(cases: impl IntoIterator<Item = (EventExpr, f64)>) -> Self {
-        let cases = cases
+        let cases: Vec<(EventExpr, f64)> = cases
             .into_iter()
             .filter(|(e, w)| !(e.is_false() || *w == 0.0))
             .collect();
-        Self { cases }
+        let mut support: Vec<VarId> = cases
+            .iter()
+            .flat_map(|(e, _)| e.support_slice().iter().copied())
+            .collect();
+        support.sort_unstable();
+        support.dedup();
+        Self {
+            cases,
+            support: support.into_boxed_slice(),
+        }
     }
 
     /// A factor that is `c` in every world.
@@ -58,6 +74,11 @@ impl Factor {
     /// The cases of this factor.
     pub fn cases(&self) -> &[(EventExpr, f64)] {
         &self.cases
+    }
+
+    /// The sorted variable support of this factor (cached).
+    pub fn support(&self) -> &[VarId] {
+        &self.support
     }
 
     /// If every case event is constant, the factor's world-independent value.
@@ -94,26 +115,18 @@ impl Factor {
         Some(v)
     }
 
-    /// Canonical hashable key (weights compared bitwise).
+    /// Canonical hashable key: case events plus bitwise weights. The events
+    /// are hash-consed, so hashing and comparing a key costs O(#cases) —
+    /// expression size does not matter — and holding the key in the memo
+    /// pins the interned nodes, keeping identities stable across documents.
     fn key(&self) -> FactorKey {
         let mut k: Vec<(EventExpr, u64)> = self
             .cases
             .iter()
             .map(|(e, w)| (e.clone(), w.to_bits()))
             .collect();
-        k.sort();
+        k.sort_unstable();
         k
-    }
-
-    /// Union of the supports of all case events, as a disjunction expression
-    /// (used only for grouping by shared variables).
-    fn support_expr(&self) -> EventExpr {
-        // `or` would simplify ⊤ away; collect supports manually instead.
-        let mut sup = std::collections::BTreeSet::new();
-        for (e, _) in &self.cases {
-            e.collect_support(&mut sup);
-        }
-        EventExpr::and(sup.into_iter().map(|v| EventExpr::atom(v, 0)))
     }
 }
 
@@ -126,8 +139,13 @@ type FactorKey = Vec<(EventExpr, u64)>;
 /// shared context sub-problems are solved once.
 pub struct Expectation<'u> {
     universe: &'u Universe,
-    memo: HashMap<Vec<FactorKey>, f64>,
+    memo: FastMap<Vec<FactorKey>, f64>,
+    /// Shared probability evaluator for single-factor groups (linearity of
+    /// expectation); its memo — and the interned nodes it pins — persist
+    /// across documents.
+    evaluator: crate::Evaluator<'u>,
     expansions: u64,
+    memo_hits: u64,
 }
 
 impl<'u> Expectation<'u> {
@@ -135,8 +153,10 @@ impl<'u> Expectation<'u> {
     pub fn new(universe: &'u Universe) -> Self {
         Self {
             universe,
-            memo: HashMap::new(),
+            memo: FastMap::default(),
+            evaluator: crate::Evaluator::new(universe),
             expansions: 0,
+            memo_hits: 0,
         }
     }
 
@@ -145,14 +165,20 @@ impl<'u> Expectation<'u> {
         self.expansions
     }
 
+    /// Number of memo hits recorded so far (group-level hits plus the
+    /// shared evaluator's probability-memo hits on the linearity path).
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits + self.evaluator.stats().memo_hits
+    }
+
     /// Computes `E[ Π factors ]` exactly.
     pub fn compute(&mut self, factors: &[Factor]) -> f64 {
         let mut acc = 1.0;
-        let mut pending: Vec<Factor> = Vec::new();
+        let mut pending: Vec<&Factor> = Vec::new();
         for f in factors {
             match f.resolved() {
                 Some(c) => acc *= c,
-                None => pending.push(f.clone()),
+                None => pending.push(f),
             }
         }
         if pending.is_empty() || acc == 0.0 {
@@ -160,40 +186,41 @@ impl<'u> Expectation<'u> {
         }
         // Partition factors into groups that share no variables: expectation
         // of a product of independent groups is the product of expectations.
-        let markers: Vec<EventExpr> = pending.iter().map(Factor::support_expr).collect();
-        let groups = component_groups(&markers);
+        let groups = group_indices(pending.iter().map(|f| f.support()));
         if groups.len() > 1 {
-            // Re-associate factors with their group via support comparison.
-            for group in groups {
-                let group_vars: std::collections::BTreeSet<VarId> = group
-                    .iter()
-                    .flat_map(|m| m.support().into_iter())
-                    .collect();
-                let members: Vec<Factor> = pending
-                    .iter()
-                    .zip(&markers)
-                    .filter(|(_, m)| m.support().iter().any(|v| group_vars.contains(v)))
-                    .map(|(f, _)| f.clone())
-                    .collect();
-                acc *= self.expect_group(members);
+            for idxs in groups {
+                let members: Vec<&Factor> = idxs.into_iter().map(|i| pending[i]).collect();
+                acc *= self.expect_group(&members);
             }
             acc
         } else {
-            acc * self.expect_group(pending)
+            acc * self.expect_group(&pending)
         }
     }
 
-    fn expect_group(&mut self, group: Vec<Factor>) -> f64 {
-        let mut key: Vec<FactorKey> = group.iter().map(Factor::key).collect();
-        key.sort();
+    fn expect_group(&mut self, group: &[&Factor]) -> f64 {
+        if let [single] = group {
+            // Linearity of expectation: E[Σᵢ wᵢ·1_{eᵢ}] = Σᵢ wᵢ·P(eᵢ) —
+            // exact for a lone factor regardless of correlations *between*
+            // its cases, so no Shannon expansion is needed. The shared
+            // evaluator memoises the case probabilities across documents.
+            return single
+                .cases
+                .iter()
+                .map(|(e, w)| w * self.evaluator.prob(e))
+                .sum();
+        }
+        let mut key: Vec<FactorKey> = group.iter().map(|f| f.key()).collect();
+        key.sort_unstable();
         if let Some(&v) = self.memo.get(&key) {
+            self.memo_hits += 1;
             return v;
         }
         // Pivot: the variable occurring in the most case events.
         let mut counts: HashMap<VarId, usize> = HashMap::new();
-        for f in &group {
+        for f in group {
             for (e, _) in &f.cases {
-                for v in e.support() {
+                for &v in e.support_slice() {
                     *counts.entry(v).or_default() += 1;
                 }
             }
@@ -310,10 +337,7 @@ mod tests {
         let g0 = u.atom(shared, 0).unwrap();
         let g1 = u.atom(shared, 1).unwrap();
         let h = u.bool_event(other).unwrap();
-        let f1 = Factor::new([
-            (g0.clone(), 0.9),
-            (EventExpr::not(g0.clone()), 0.1),
-        ]);
+        let f1 = Factor::new([(g0.clone(), 0.9), (EventExpr::not(g0.clone()), 0.1)]);
         let f2 = Factor::new([
             (EventExpr::and([g1.clone(), h.clone()]), 0.8),
             (EventExpr::not(EventExpr::and([g1, h])), 0.25),
@@ -326,18 +350,22 @@ mod tests {
     #[test]
     fn memoisation_reused_across_documents() {
         let mut u = Universe::new();
-        let ctx = u.add_bool("ctx", 0.5).unwrap();
-        let ectx = u.bool_event(ctx).unwrap();
+        let c1 = u.add_bool("ctx1", 0.5).unwrap();
+        let c2 = u.add_bool("ctx2", 0.8).unwrap();
+        // A composite context event (conjunction of two sensors).
+        let ectx = EventExpr::and([u.bool_event(c1).unwrap(), u.bool_event(c2).unwrap()]);
+        let p_ctx = 0.5 * 0.8;
         let mut exp = Expectation::new(&u);
         // Two "documents" whose factors share the context sub-problem.
         for _ in 0..2 {
-            let f = Factor::new([
-                (ectx.clone(), 0.9),
-                (EventExpr::not(ectx.clone()), 1.0),
-            ]);
+            let f = Factor::new([(ectx.clone(), 0.9), (EventExpr::not(ectx.clone()), 1.0)]);
             let v = exp.compute(&[f]);
-            assert!((v - (0.5 * 0.9 + 0.5)).abs() < 1e-12);
+            assert!((v - (p_ctx * 0.9 + (1.0 - p_ctx))).abs() < 1e-12);
         }
+        assert!(
+            exp.memo_hits() > 0,
+            "second document must reuse the memoised context sub-problem"
+        );
     }
 
     #[test]
@@ -345,5 +373,6 @@ mod tests {
         let f = Factor::new([(EventExpr::True, 0.0), (EventExpr::False, 5.0)]);
         assert!(f.cases().is_empty());
         assert_eq!(f.resolved(), Some(0.0));
+        assert!(f.support().is_empty());
     }
 }

@@ -1,7 +1,10 @@
-use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 
+use crate::hashers::{mix, FastMap};
 use crate::{Universe, VarId};
 
 /// An atomic event: a discrete random variable taking one alternative.
@@ -29,7 +32,18 @@ pub struct Atom {
 ///
 /// The simplifications are semantics-preserving for every universe; they do
 /// *not* attempt full minimisation (which is NP-hard).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// ## Hash-consing
+///
+/// Composite nodes (`Not`/`And`/`Or`) are **interned** in a process-global
+/// table: constructing the same structure twice yields the same allocation,
+/// so structurally equal expressions are pointer-equal and carry a stable
+/// [`EventExpr::node_id`]. Every node precomputes its structural hash, node
+/// count and variable support at construction, which makes equality,
+/// hashing, [`EventExpr::support_slice`] and the evaluator's memo-table
+/// lookups O(1) instead of O(tree size). The interner holds only weak
+/// references — dropping the last user of a node frees it.
+#[derive(Debug, Clone)]
 pub enum EventExpr {
     /// The certain event.
     True,
@@ -37,12 +51,347 @@ pub enum EventExpr {
     False,
     /// A basic event `var = alt`.
     Atom(Atom),
-    /// Complement of an event.
-    Not(Arc<EventExpr>),
-    /// Conjunction of two or more events (children sorted, deduplicated).
-    And(Arc<[EventExpr]>),
-    /// Disjunction of two or more events (children sorted, deduplicated).
-    Or(Arc<[EventExpr]>),
+    /// Complement of an event (interned; derefs to the inner expression).
+    Not(Arc<NotNode>),
+    /// Conjunction of two or more events (children sorted, deduplicated;
+    /// interned; derefs to the child slice).
+    And(Arc<NaryNode>),
+    /// Disjunction of two or more events (children sorted, deduplicated;
+    /// interned; derefs to the child slice).
+    Or(Arc<NaryNode>),
+}
+
+/// Cache metadata every interned composite node carries.
+#[derive(Debug)]
+struct NodeMeta {
+    /// Process-unique id (stable while the node is alive; structurally
+    /// equal live nodes share it, because the interner dedups them).
+    id: u64,
+    /// Precomputed structural hash.
+    hash: u64,
+    /// Node count of the subtree (saturating).
+    size: u32,
+    /// Sorted, deduplicated variable support of the subtree.
+    support: Box<[VarId]>,
+}
+
+/// Interned payload of [`EventExpr::Not`]. Derefs to the inner expression,
+/// so existing `match`-and-recurse code keeps working.
+#[derive(Debug)]
+pub struct NotNode {
+    inner: EventExpr,
+    meta: NodeMeta,
+}
+
+impl Deref for NotNode {
+    type Target = EventExpr;
+    fn deref(&self) -> &EventExpr {
+        &self.inner
+    }
+}
+
+/// Interned payload of [`EventExpr::And`] / [`EventExpr::Or`]. Derefs to
+/// the canonical child slice.
+#[derive(Debug)]
+pub struct NaryNode {
+    kids: Box<[EventExpr]>,
+    meta: NodeMeta,
+}
+
+impl Deref for NaryNode {
+    type Target = [EventExpr];
+    fn deref(&self) -> &[EventExpr] {
+        &self.kids
+    }
+}
+
+/// A compact, copyable identity key for an [`EventExpr`]: leaves are
+/// self-describing, composites carry their interner id. Two live
+/// expressions have equal keys iff they are structurally equal.
+///
+/// Intended for *external* caches that pin the keyed expressions
+/// themselves (a composite's id is only stable while some clone of the
+/// node is alive — once dropped, rebuilding the same structure mints a
+/// fresh id). The in-crate memos instead key by `EventExpr` directly,
+/// which pins the node automatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExprKey {
+    /// Key of [`EventExpr::True`].
+    True,
+    /// Key of [`EventExpr::False`].
+    False,
+    /// Key of an atom.
+    Atom(Atom),
+    /// Key of an interned composite node.
+    Node(u64),
+}
+
+// ---------------------------------------------------------------------------
+// The interner.
+// ---------------------------------------------------------------------------
+
+const TAG_TRUE: u64 = 0x9AE1_6A3B_2F90_404F;
+const TAG_FALSE: u64 = 0x3C79_AC49_2BA7_B653;
+const TAG_ATOM: u64 = 0x1BF6_7FBB_1727_12E1;
+const TAG_NOT: u64 = 0xD6E8_FEB8_6659_FD93;
+const TAG_AND: u64 = 0xA076_1D64_78BD_642F ^ 0xF;
+const TAG_OR: u64 = 0xE703_7ED1_A0B4_28DB;
+
+enum Slot {
+    Not(Weak<NotNode>),
+    And(Weak<NaryNode>),
+    Or(Weak<NaryNode>),
+}
+
+impl Slot {
+    fn is_dead(&self) -> bool {
+        match self {
+            Slot::Not(w) => w.strong_count() == 0,
+            Slot::And(w) | Slot::Or(w) => w.strong_count() == 0,
+        }
+    }
+}
+
+/// Running counters of the process-global interner.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct InternerStats {
+    /// Constructor calls that found an existing structurally equal node.
+    pub hits: u64,
+    /// Constructor calls that allocated a new node.
+    pub misses: u64,
+}
+
+#[derive(Default)]
+struct InternShard {
+    table: FastMap<u64, Vec<Slot>>,
+    hits: u64,
+    misses: u64,
+    /// Misses since the last full sweep; drives periodic reclamation.
+    misses_since_sweep: u64,
+}
+
+impl InternShard {
+    /// Drops dead weak slots and emptied buckets across the whole shard.
+    ///
+    /// Construction already purges the *touched* bucket, but buckets whose
+    /// hash is never revisited would otherwise pin their dead `Weak`s (and
+    /// the `ArcInner` blocks behind them) forever. Sweeping once the misses
+    /// since the last sweep exceed the table size keeps the amortised cost
+    /// O(1) per construction while bounding the table by the live node
+    /// count.
+    fn maybe_sweep(&mut self) {
+        self.misses_since_sweep += 1;
+        if self.misses_since_sweep <= (self.table.len() as u64).max(64) {
+            return;
+        }
+        self.misses_since_sweep = 0;
+        self.table.retain(|_, bucket| {
+            bucket.retain(|s| !s.is_dead());
+            !bucket.is_empty()
+        });
+    }
+}
+
+/// The interner is sharded by structural hash so parallel scoring shards
+/// contend on different locks while still sharing node identity.
+const INTERN_SHARDS: usize = 16;
+
+fn interner() -> &'static [Mutex<InternShard>; INTERN_SHARDS] {
+    static INTERNER: OnceLock<[Mutex<InternShard>; INTERN_SHARDS]> = OnceLock::new();
+    INTERNER.get_or_init(|| std::array::from_fn(|_| Mutex::new(InternShard::default())))
+}
+
+fn next_id() -> u64 {
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Aggregated counters of the global expression interner (observability
+/// for benches and tests).
+pub fn interner_stats() -> InternerStats {
+    let mut out = InternerStats::default();
+    for shard in interner() {
+        let s = shard.lock().unwrap_or_else(|e| e.into_inner());
+        out.hits += s.hits;
+        out.misses += s.misses;
+    }
+    out
+}
+
+fn merged_support(parts: &[EventExpr]) -> Box<[VarId]> {
+    let mut out: Vec<VarId> = Vec::new();
+    for p in parts {
+        out.extend_from_slice(p.support_slice());
+    }
+    out.sort_unstable();
+    out.dedup();
+    out.into_boxed_slice()
+}
+
+fn intern_not(inner: EventExpr) -> EventExpr {
+    let hash = mix(TAG_NOT, inner.structural_hash());
+    let shard = &interner()[(hash as usize) % INTERN_SHARDS];
+    let mut guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+    let bucket = guard.table.entry(hash).or_default();
+    bucket.retain(|s| !s.is_dead());
+    for slot in bucket.iter() {
+        if let Slot::Not(w) = slot {
+            if let Some(node) = w.upgrade() {
+                if node.inner == inner {
+                    guard.hits += 1;
+                    return EventExpr::Not(node);
+                }
+            }
+        }
+    }
+    let meta = NodeMeta {
+        id: next_id(),
+        hash,
+        size: inner.size_u32().saturating_add(1),
+        support: inner.support_slice().into(),
+    };
+    let node = Arc::new(NotNode { inner, meta });
+    guard
+        .table
+        .get_mut(&hash)
+        .expect("bucket just touched")
+        .push(Slot::Not(Arc::downgrade(&node)));
+    guard.misses += 1;
+    guard.maybe_sweep();
+    EventExpr::Not(node)
+}
+
+fn intern_nary(is_and: bool, kids: Vec<EventExpr>) -> EventExpr {
+    debug_assert!(kids.len() >= 2, "leaf cases handled by the constructor");
+    let tag = if is_and { TAG_AND } else { TAG_OR };
+    let mut hash = tag;
+    for k in &kids {
+        hash = mix(hash, k.structural_hash());
+    }
+    let shard = &interner()[(hash as usize) % INTERN_SHARDS];
+    let mut guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+    let bucket = guard.table.entry(hash).or_default();
+    bucket.retain(|s| !s.is_dead());
+    for slot in bucket.iter() {
+        let w = match (slot, is_and) {
+            (Slot::And(w), true) | (Slot::Or(w), false) => w,
+            _ => continue,
+        };
+        if let Some(node) = w.upgrade() {
+            if node.kids.len() == kids.len() && node.kids.iter().zip(&kids).all(|(a, b)| a == b) {
+                guard.hits += 1;
+                return if is_and {
+                    EventExpr::And(node)
+                } else {
+                    EventExpr::Or(node)
+                };
+            }
+        }
+    }
+    let size = kids
+        .iter()
+        .fold(1u32, |acc, k| acc.saturating_add(k.size_u32()));
+    let meta = NodeMeta {
+        id: next_id(),
+        hash,
+        size,
+        support: merged_support(&kids),
+    };
+    let node = Arc::new(NaryNode {
+        kids: kids.into_boxed_slice(),
+        meta,
+    });
+    let slot = if is_and {
+        Slot::And(Arc::downgrade(&node))
+    } else {
+        Slot::Or(Arc::downgrade(&node))
+    };
+    guard
+        .table
+        .get_mut(&hash)
+        .expect("bucket just touched")
+        .push(slot);
+    guard.misses += 1;
+    guard.maybe_sweep();
+    if is_and {
+        EventExpr::And(node)
+    } else {
+        EventExpr::Or(node)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Identity-based equality / ordering / hashing.
+// ---------------------------------------------------------------------------
+
+impl PartialEq for EventExpr {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (EventExpr::True, EventExpr::True) | (EventExpr::False, EventExpr::False) => true,
+            (EventExpr::Atom(a), EventExpr::Atom(b)) => a == b,
+            // The interner guarantees structurally equal live composites
+            // share one allocation, so pointer identity IS structural
+            // equality here.
+            (EventExpr::Not(a), EventExpr::Not(b)) => Arc::ptr_eq(a, b),
+            (EventExpr::And(a), EventExpr::And(b)) | (EventExpr::Or(a), EventExpr::Or(b)) => {
+                Arc::ptr_eq(a, b)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for EventExpr {}
+
+impl Hash for EventExpr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.structural_hash());
+    }
+}
+
+impl PartialOrd for EventExpr {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventExpr {
+    /// A total order consistent with `Eq`: leaves order structurally
+    /// (atoms by `(var, alt)`, so same-variable atoms are adjacent in the
+    /// canonical child order — the mutual-exclusion scan relies on it);
+    /// composites order by their precomputed **structural hash** — stable
+    /// across re-interning epochs and process runs, since the mixer is
+    /// fixed — with the interner id only breaking 64-bit hash collisions
+    /// (where the relative order of the two colliding nodes is arbitrary
+    /// but still a total order consistent with `Eq`).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        fn rank(e: &EventExpr) -> u8 {
+            match e {
+                EventExpr::True => 0,
+                EventExpr::False => 1,
+                EventExpr::Atom(_) => 2,
+                EventExpr::Not(_) => 3,
+                EventExpr::And(_) => 4,
+                EventExpr::Or(_) => 5,
+            }
+        }
+        fn meta_key(e: &EventExpr) -> (u64, u64) {
+            match e {
+                EventExpr::Not(n) => (n.meta.hash, n.meta.id),
+                EventExpr::And(n) | EventExpr::Or(n) => (n.meta.hash, n.meta.id),
+                _ => (0, 0),
+            }
+        }
+        rank(self)
+            .cmp(&rank(other))
+            .then_with(|| match (self, other) {
+                (EventExpr::Atom(a), EventExpr::Atom(b)) => a.cmp(b),
+                (EventExpr::Not(_), EventExpr::Not(_))
+                | (EventExpr::And(_), EventExpr::And(_))
+                | (EventExpr::Or(_), EventExpr::Or(_)) => meta_key(self).cmp(&meta_key(other)),
+                _ => std::cmp::Ordering::Equal,
+            })
+    }
 }
 
 impl EventExpr {
@@ -58,8 +407,8 @@ impl EventExpr {
         match e {
             EventExpr::True => EventExpr::False,
             EventExpr::False => EventExpr::True,
-            EventExpr::Not(inner) => inner.as_ref().clone(),
-            other => EventExpr::Not(Arc::new(other)),
+            EventExpr::Not(inner) => inner.inner.clone(),
+            other => intern_not(other),
         }
     }
 
@@ -81,8 +430,9 @@ impl EventExpr {
         } else {
             (EventExpr::True, EventExpr::False)
         };
-        // BTreeSet gives dedup + canonical order in one go.
-        let mut children: BTreeSet<EventExpr> = BTreeSet::new();
+        // Flatten, then sort + dedup for the canonical child order (cheap:
+        // comparisons are leaf compares or interner-id compares).
+        let mut children: Vec<EventExpr> = Vec::new();
         let mut stack: Vec<EventExpr> = items.into_iter().collect();
         while let Some(item) = stack.pop() {
             match item {
@@ -90,21 +440,22 @@ impl EventExpr {
                 ref e if *e == absorbing => return absorbing,
                 EventExpr::And(kids) if is_and => stack.extend(kids.iter().cloned()),
                 EventExpr::Or(kids) if !is_and => stack.extend(kids.iter().cloned()),
-                other => {
-                    children.insert(other);
-                }
+                other => children.push(other),
             }
         }
+        children.sort_unstable();
+        children.dedup();
         // Complement cancellation and atom mutual exclusion.
         let mut seen_alt: Option<Atom> = None;
         for child in &children {
             match child {
-                EventExpr::Not(inner) if children.contains(inner.as_ref()) => {
+                EventExpr::Not(inner) if children.binary_search(&inner.inner).is_ok() => {
                     return absorbing;
                 }
                 EventExpr::Atom(a) if is_and => {
                     // Two distinct alternatives of the same variable can
-                    // never hold simultaneously.
+                    // never hold simultaneously (atoms sort adjacently by
+                    // variable, so comparing neighbours suffices).
                     if let Some(prev) = seen_alt {
                         if prev.var == a.var && prev.alt != a.alt {
                             return absorbing;
@@ -119,14 +470,7 @@ impl EventExpr {
         match children.len() {
             0 => neutral,
             1 => children.into_iter().next().expect("len checked"),
-            _ => {
-                let kids: Arc<[EventExpr]> = children.into_iter().collect();
-                if is_and {
-                    EventExpr::And(kids)
-                } else {
-                    EventExpr::Or(kids)
-                }
-            }
+            _ => intern_nary(is_and, children),
         }
     }
 
@@ -145,37 +489,79 @@ impl EventExpr {
         self.is_true() || self.is_false()
     }
 
-    /// Collects the set of variables this expression depends on.
-    pub fn support(&self) -> BTreeSet<VarId> {
-        let mut out = BTreeSet::new();
-        self.collect_support(&mut out);
-        out
-    }
-
-    pub(crate) fn collect_support(&self, out: &mut BTreeSet<VarId>) {
+    /// The precomputed structural hash (equal expressions hash equal).
+    pub fn structural_hash(&self) -> u64 {
         match self {
-            EventExpr::True | EventExpr::False => {}
-            EventExpr::Atom(a) => {
-                out.insert(a.var);
-            }
-            EventExpr::Not(inner) => inner.collect_support(out),
-            EventExpr::And(kids) | EventExpr::Or(kids) => {
-                for k in kids.iter() {
-                    k.collect_support(out);
-                }
-            }
+            EventExpr::True => TAG_TRUE,
+            EventExpr::False => TAG_FALSE,
+            EventExpr::Atom(a) => mix(TAG_ATOM, (u64::from(a.var.0) << 16) | u64::from(a.alt)),
+            EventExpr::Not(n) => n.meta.hash,
+            EventExpr::And(n) | EventExpr::Or(n) => n.meta.hash,
         }
     }
 
-    /// Number of nodes in the expression tree (a complexity measure).
-    pub fn size(&self) -> usize {
+    /// The interner id of a composite node; `None` for leaves.
+    pub fn node_id(&self) -> Option<u64> {
+        match self {
+            EventExpr::Not(n) => Some(n.meta.id),
+            EventExpr::And(n) | EventExpr::Or(n) => Some(n.meta.id),
+            _ => None,
+        }
+    }
+
+    /// A compact identity key suitable for hash-map caches ([`ExprKey`]).
+    pub fn cache_key(&self) -> ExprKey {
+        match self {
+            EventExpr::True => ExprKey::True,
+            EventExpr::False => ExprKey::False,
+            EventExpr::Atom(a) => ExprKey::Atom(*a),
+            EventExpr::Not(n) => ExprKey::Node(n.meta.id),
+            EventExpr::And(n) | EventExpr::Or(n) => ExprKey::Node(n.meta.id),
+        }
+    }
+
+    /// Collects the set of variables this expression depends on.
+    ///
+    /// Allocates a fresh set; the zero-cost variant is
+    /// [`EventExpr::support_slice`], which returns the support cached at
+    /// construction time.
+    pub fn support(&self) -> std::collections::BTreeSet<VarId> {
+        self.support_slice().iter().copied().collect()
+    }
+
+    /// The sorted, deduplicated variable support, precomputed at
+    /// construction (O(1); no tree walk).
+    pub fn support_slice(&self) -> &[VarId] {
+        match self {
+            EventExpr::True | EventExpr::False => &[],
+            EventExpr::Atom(a) => std::slice::from_ref(&a.var),
+            EventExpr::Not(n) => &n.meta.support,
+            EventExpr::And(n) | EventExpr::Or(n) => &n.meta.support,
+        }
+    }
+
+    /// True if `var` occurs in the expression (binary search on the cached
+    /// support).
+    pub fn mentions(&self, var: VarId) -> bool {
+        self.support_slice().binary_search(&var).is_ok()
+    }
+
+    pub(crate) fn collect_support(&self, out: &mut std::collections::BTreeSet<VarId>) {
+        out.extend(self.support_slice().iter().copied());
+    }
+
+    fn size_u32(&self) -> u32 {
         match self {
             EventExpr::True | EventExpr::False | EventExpr::Atom(_) => 1,
-            EventExpr::Not(inner) => 1 + inner.size(),
-            EventExpr::And(kids) | EventExpr::Or(kids) => {
-                1 + kids.iter().map(EventExpr::size).sum::<usize>()
-            }
+            EventExpr::Not(n) => n.meta.size,
+            EventExpr::And(n) | EventExpr::Or(n) => n.meta.size,
         }
+    }
+
+    /// Number of nodes in the expression tree (a complexity measure;
+    /// precomputed, saturating at `u32::MAX`).
+    pub fn size(&self) -> usize {
+        self.size_u32() as usize
     }
 
     /// Restricts (cofactors) the expression under the assumption that
@@ -184,25 +570,26 @@ impl EventExpr {
     /// Outcome indices follow [`Universe::num_outcomes`]: an index equal to
     /// the number of declared alternatives denotes the residual outcome, in
     /// which every atom of the variable is false.
+    ///
+    /// Subtrees that do not mention `var` are returned as-is (cheap `Arc`
+    /// clone) — the cached support makes the check O(log n).
     pub fn restrict(&self, var: VarId, outcome: usize) -> EventExpr {
+        if !self.mentions(var) {
+            return self.clone();
+        }
         match self {
             EventExpr::True => EventExpr::True,
             EventExpr::False => EventExpr::False,
             EventExpr::Atom(a) => {
-                if a.var == var {
-                    if a.alt as usize == outcome {
-                        EventExpr::True
-                    } else {
-                        EventExpr::False
-                    }
+                debug_assert_eq!(a.var, var, "mentions() filtered foreign atoms");
+                if a.alt as usize == outcome {
+                    EventExpr::True
                 } else {
-                    self.clone()
+                    EventExpr::False
                 }
             }
-            EventExpr::Not(inner) => EventExpr::not(inner.restrict(var, outcome)),
-            EventExpr::And(kids) => {
-                EventExpr::and(kids.iter().map(|k| k.restrict(var, outcome)))
-            }
+            EventExpr::Not(inner) => EventExpr::not(inner.inner.restrict(var, outcome)),
+            EventExpr::And(kids) => EventExpr::and(kids.iter().map(|k| k.restrict(var, outcome))),
             EventExpr::Or(kids) => EventExpr::or(kids.iter().map(|k| k.restrict(var, outcome))),
         }
     }
@@ -310,11 +697,7 @@ mod tests {
     #[test]
     fn constants_fold() {
         let a = EventExpr::atom(v(0), 0);
-        assert_eq!(
-            EventExpr::and([a.clone(), EventExpr::True]),
-            a,
-            "x ∧ ⊤ = x"
-        );
+        assert_eq!(EventExpr::and([a.clone(), EventExpr::True]), a, "x ∧ ⊤ = x");
         assert_eq!(
             EventExpr::and([a.clone(), EventExpr::False]),
             EventExpr::False
@@ -374,6 +757,8 @@ mod tests {
         ]);
         let s = e.support();
         assert_eq!(s.into_iter().collect::<Vec<_>>(), vec![v(0), v(1), v(2)]);
+        assert_eq!(e.support_slice(), &[v(0), v(1), v(2)]);
+        assert!(e.mentions(v(2)) && !e.mentions(v(3)));
     }
 
     #[test]
@@ -386,6 +771,8 @@ mod tests {
         // Residual outcome of a choice var kills all its atoms.
         let c = EventExpr::or([EventExpr::atom(v(2), 0), EventExpr::atom(v(2), 1)]);
         assert_eq!(c.restrict(v(2), 2), EventExpr::False);
+        // Restricting a variable outside the support is identity.
+        assert_eq!(c.restrict(v(9), 0), c);
     }
 
     #[test]
@@ -394,6 +781,57 @@ mod tests {
         let e = EventExpr::or([a.clone(), EventExpr::not(EventExpr::atom(v(1), 0))]);
         assert_eq!(a.size(), 1);
         assert_eq!(e.size(), 4); // or + atom + not + atom
+    }
+
+    #[test]
+    fn interning_gives_pointer_equality() {
+        let build = || {
+            EventExpr::or([
+                EventExpr::and([EventExpr::atom(v(0), 0), EventExpr::atom(v(1), 0)]),
+                EventExpr::not(EventExpr::atom(v(2), 1)),
+            ])
+        };
+        let (e1, e2) = (build(), build());
+        assert_eq!(e1, e2);
+        match (&e1, &e2) {
+            (EventExpr::Or(a), EventExpr::Or(b)) => {
+                assert!(Arc::ptr_eq(a, b), "same structure must intern to one node");
+            }
+            other => panic!("expected Or nodes, got {other:?}"),
+        }
+        assert_eq!(e1.node_id(), e2.node_id());
+        assert_eq!(e1.cache_key(), e2.cache_key());
+        assert_eq!(e1.structural_hash(), e2.structural_hash());
+    }
+
+    #[test]
+    fn distinct_structures_get_distinct_ids() {
+        let a = EventExpr::and([EventExpr::atom(v(10), 0), EventExpr::atom(v(11), 0)]);
+        let b = EventExpr::or([EventExpr::atom(v(10), 0), EventExpr::atom(v(11), 0)]);
+        assert_ne!(a, b);
+        assert_ne!(a.node_id(), b.node_id());
+    }
+
+    #[test]
+    fn interner_reports_hits() {
+        let before = interner_stats();
+        let mk = || EventExpr::and([EventExpr::atom(v(20), 0), EventExpr::atom(v(21), 0)]);
+        let _keep = mk();
+        let _again = mk();
+        let after = interner_stats();
+        assert!(after.hits > before.hits, "second build must be a hit");
+    }
+
+    #[test]
+    fn dropped_nodes_can_be_reclaimed() {
+        // A node with no remaining strong refs must not satisfy equality
+        // through a stale weak: rebuilding after the drop still works and
+        // yields a structurally equal (freshly interned) node.
+        let mk = || EventExpr::and([EventExpr::atom(v(30), 0), EventExpr::atom(v(31), 0)]);
+        let id1 = mk().node_id(); // dropped immediately
+        let e2 = mk();
+        assert!(id1.is_some() && e2.node_id().is_some());
+        assert_eq!(mk(), e2, "relive node interned consistently");
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //!   than one). Variables are independent of each other; correlation between
 //!   *facts* arises from facts sharing variables.
 //! * An [`EventExpr`] is a boolean combination (`and` / `or` / `not`) of
-//!   atoms `variable = alternative`.
+//!   atoms `variable = alternative`. Composite nodes are **hash-consed** in
+//!   a process-global interner: structurally equal expressions are
+//!   pointer-equal, carry a stable node id ([`EventExpr::node_id`]) and
+//!   precompute their structural hash, size and variable support — which is
+//!   what makes the evaluator's memoisation O(1) per lookup.
 //! * [`Evaluator`] computes exact probabilities by Shannon expansion over the
 //!   shared variables, with memoisation and factorisation over independent
 //!   components.
@@ -54,14 +58,15 @@ mod error;
 mod eval;
 mod expect;
 mod expr;
+mod hashers;
 mod parse;
 mod universe;
 pub mod worlds;
 
 pub use error::EventError;
-pub use eval::Evaluator;
+pub use eval::{EvalStats, Evaluator};
 pub use expect::{brute_force_expectation, expectation, Expectation, Factor};
-pub use expr::{Atom, EventExpr};
+pub use expr::{interner_stats, Atom, EventExpr, ExprKey, InternerStats, NaryNode, NotNode};
 pub use parse::parse_event;
 pub use universe::{Universe, VarId};
 

@@ -138,11 +138,7 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
                     _ => Tok::Name(name),
                 });
             }
-            other => {
-                return Err(EventError::Parse(format!(
-                    "unexpected character `{other}`"
-                )))
-            }
+            other => return Err(EventError::Parse(format!("unexpected character `{other}`"))),
         }
     }
     Ok(out)
@@ -253,11 +249,7 @@ mod tests {
     #[test]
     fn parses_ascii_and_unicode_forms() {
         let u = universe();
-        for s in [
-            "rain and not cold",
-            "rain ∧ ¬cold",
-            "rain & !cold",
-        ] {
+        for s in ["rain and not cold", "rain ∧ ¬cold", "rain & !cold"] {
             let e = parse_event(s, &u).unwrap();
             let mut ev = Evaluator::new(&u);
             assert!((ev.prob(&e) - 0.15).abs() < 1e-12, "{s}");

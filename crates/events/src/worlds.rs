@@ -24,7 +24,10 @@ pub struct World {
 impl World {
     /// The outcome assigned to `var`, if `var` is part of this world.
     pub fn outcome(&self, var: VarId) -> Option<usize> {
-        self.vars.iter().position(|&v| v == var).map(|i| self.outcomes[i])
+        self.vars
+            .iter()
+            .position(|&v| v == var)
+            .map(|i| self.outcomes[i])
     }
 
     /// Evaluates an event expression in this world. Variables outside the

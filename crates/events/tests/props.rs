@@ -6,7 +6,7 @@
 
 use capra_events::worlds::brute_force_prob;
 use capra_events::{
-    brute_force_expectation, expectation, EventExpr, Evaluator, Factor, Universe, VarId,
+    brute_force_expectation, expectation, Evaluator, EventExpr, Factor, Universe, VarId,
 };
 use proptest::prelude::*;
 
@@ -128,6 +128,51 @@ proptest! {
         let exact = ev.prob(&e);
         let brute = brute_force_prob(&u, &e);
         prop_assert!((exact - brute).abs() < TOL, "{exact} vs {brute} for {e}");
+    }
+
+    #[test]
+    fn interned_evaluator_matches_brute_force_tightly((u, e) in scenario()) {
+        // The hash-consing refactor must not move any probability by more
+        // than float-noise: 1e-12 against the possible-world oracle.
+        let mut ev = Evaluator::new(&u);
+        let exact = ev.prob(&e);
+        let brute = brute_force_prob(&u, &e);
+        prop_assert!((exact - brute).abs() < 1e-12, "{exact} vs {brute} for {e}");
+    }
+
+    #[test]
+    fn interning_is_stable_under_reconstruction((u, e) in scenario()) {
+        // Rebuilding an expression from its structure yields the *same*
+        // interned nodes: equal value, equal node id, equal probability.
+        let rebuilt = capra_events::parse_event(&e.display(&u).to_string(), &u)
+            .expect("display/parse round-trip");
+        prop_assert_eq!(&rebuilt, &e);
+        prop_assert_eq!(rebuilt.node_id(), e.node_id());
+        prop_assert_eq!(rebuilt.cache_key(), e.cache_key());
+        let mut ev = Evaluator::new(&u);
+        let p1 = ev.prob(&e);
+        let p2 = ev.prob(&rebuilt);
+        prop_assert!((p1 - p2).abs() == 0.0, "identical nodes must evaluate identically");
+    }
+
+    #[test]
+    fn support_cache_matches_fresh_walk((u, e) in scenario()) {
+        let _ = &u;
+        // The per-node support cached at construction must equal a manual
+        // recollection over the tree.
+        fn walk(e: &EventExpr, out: &mut std::collections::BTreeSet<capra_events::VarId>) {
+            match e {
+                EventExpr::True | EventExpr::False => {}
+                EventExpr::Atom(a) => { out.insert(a.var); }
+                EventExpr::Not(inner) => walk(inner, out),
+                EventExpr::And(kids) | EventExpr::Or(kids) => {
+                    for k in kids.iter() { walk(k, out); }
+                }
+            }
+        }
+        let mut fresh = std::collections::BTreeSet::new();
+        walk(&e, &mut fresh);
+        prop_assert_eq!(e.support(), fresh);
     }
 
     #[test]

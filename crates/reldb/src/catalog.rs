@@ -263,7 +263,10 @@ mod tests {
         cat.create_view("v", Plan::scan("a")).unwrap();
         assert!(cat.table("a").is_ok());
         assert!(cat.view("v").is_some());
-        assert!(matches!(cat.table("missing"), Err(DbError::UnknownTable(_))));
+        assert!(matches!(
+            cat.table("missing"),
+            Err(DbError::UnknownTable(_))
+        ));
         assert_eq!(cat.table_names(), vec!["a"]);
         assert_eq!(cat.view_names(), vec!["v"]);
         cat.drop_view("v").unwrap();

@@ -53,7 +53,10 @@ impl fmt::Display for DbError {
             }
             DbError::Unsupported(what) => write!(f, "unsupported: {what}"),
             DbError::MissingUniverse => {
-                write!(f, "this query needs an event universe (Executor::with_universe)")
+                write!(
+                    f,
+                    "this query needs an event universe (Executor::with_universe)"
+                )
             }
         }
     }
@@ -76,6 +79,8 @@ mod tests {
         }
         .to_string()
         .contains("byte 12"));
-        assert!(DbError::AmbiguousColumn("id".into()).to_string().contains("id"));
+        assert!(DbError::AmbiguousColumn("id".into())
+            .to_string()
+            .contains("id"));
     }
 }

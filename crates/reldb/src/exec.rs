@@ -5,8 +5,8 @@ use capra_events::{Evaluator, EventExpr, Universe};
 
 use crate::plan::{agg_type, infer_type};
 use crate::{
-    AggExpr, AggFun, Catalog, Column, Datum, DbError, Plan, Relation, Result, Row,
-    ScalarExpr, Schema, SortKey,
+    AggExpr, AggFun, Catalog, Column, Datum, DbError, Plan, Relation, Result, Row, ScalarExpr,
+    Schema, SortKey,
 };
 
 /// Maximum view-expansion depth, guarding against view cycles created after
@@ -196,12 +196,7 @@ impl<'a> Executor<'a> {
         Ok(Relation::trusted(out_schema, rows))
     }
 
-    fn aggregate(
-        &self,
-        input: Relation,
-        group_by: &[usize],
-        aggs: &[AggExpr],
-    ) -> Result<Relation> {
+    fn aggregate(&self, input: Relation, group_by: &[usize], aggs: &[AggExpr]) -> Result<Relation> {
         let in_schema = input.schema().clone();
         let mut out_cols: Vec<Column> = group_by
             .iter()
@@ -284,9 +279,9 @@ impl<'a> Executor<'a> {
                     Ok(Datum::Int(vals.iter().filter_map(Datum::as_i64).sum()))
                 } else {
                     let total: Option<f64> = vals.iter().map(Datum::as_f64).sum();
-                    total.map(Datum::Float).ok_or_else(|| {
-                        DbError::TypeError("SUM over non-numeric values".into())
-                    })
+                    total
+                        .map(Datum::Float)
+                        .ok_or_else(|| DbError::TypeError("SUM over non-numeric values".into()))
                 }
             }
             AggFun::Avg => {
@@ -295,9 +290,8 @@ impl<'a> Executor<'a> {
                     return Ok(Datum::Null);
                 }
                 let total: Option<f64> = vals.iter().map(Datum::as_f64).sum();
-                let total = total.ok_or_else(|| {
-                    DbError::TypeError("AVG over non-numeric values".into())
-                })?;
+                let total = total
+                    .ok_or_else(|| DbError::TypeError("AVG over non-numeric values".into()))?;
                 Ok(Datum::Float(total / vals.len() as f64))
             }
             AggFun::Min => Ok(arg_values(rows)?.into_iter().min().unwrap_or(Datum::Null)),
@@ -443,7 +437,10 @@ mod tests {
         assert_eq!(out.len(), 3);
         // Qualified resolution works on the join output.
         let idx = out.schema().resolve("genres.genre").unwrap();
-        assert!(out.rows().iter().any(|r| r.values[idx] == Datum::str("news")));
+        assert!(out
+            .rows()
+            .iter()
+            .any(|r| r.values[idx] == Datum::str("news")));
     }
 
     #[test]
@@ -491,7 +488,11 @@ mod tests {
             left: Box::new(Plan::scan("t")),
             right: Box::new(Plan::scan("t")),
         };
-        assert_eq!(ex.run(&union).unwrap().len(), 6, "bag union keeps duplicates");
+        assert_eq!(
+            ex.run(&union).unwrap().len(),
+            6,
+            "bag union keeps duplicates"
+        );
     }
 
     #[test]
@@ -506,10 +507,16 @@ mod tests {
         let tb = cat
             .create_table("tb", Schema::of(&[("k", DataType::Int)]))
             .unwrap();
-        ta.insert(vec![Row::uncertain(vec![1i64.into()], u.bool_event(va).unwrap())])
-            .unwrap();
-        tb.insert(vec![Row::uncertain(vec![1i64.into()], u.bool_event(vb).unwrap())])
-            .unwrap();
+        ta.insert(vec![Row::uncertain(
+            vec![1i64.into()],
+            u.bool_event(va).unwrap(),
+        )])
+        .unwrap();
+        tb.insert(vec![Row::uncertain(
+            vec![1i64.into()],
+            u.bool_event(vb).unwrap(),
+        )])
+        .unwrap();
         let ex = Executor::new(&cat);
         let plan = Plan::Join {
             left: Box::new(Plan::scan("ta")),

@@ -51,11 +51,9 @@ fn render(plan: &Plan, depth: usize, out: &mut String) {
                 (true, None) => writeln!(out, "{pad}CrossJoin"),
                 (true, Some(f)) => writeln!(out, "{pad}NestedLoopJoin ON {f}"),
                 (false, None) => writeln!(out, "{pad}HashJoin ON {}", on_str.join(" AND ")),
-                (false, Some(f)) => writeln!(
-                    out,
-                    "{pad}HashJoin ON {} FILTER {f}",
-                    on_str.join(" AND ")
-                ),
+                (false, Some(f)) => {
+                    writeln!(out, "{pad}HashJoin ON {} FILTER {f}", on_str.join(" AND "))
+                }
             };
             render(left, depth + 1, out);
             render(right, depth + 1, out);

@@ -344,15 +344,21 @@ mod tests {
     fn string_and_numeric_functions() {
         let r = row(vec!["MiXeD".into(), (-4i64).into()]);
         assert_eq!(
-            ScalarExpr::Lower(Box::new(ScalarExpr::col(0))).eval(&r).unwrap(),
+            ScalarExpr::Lower(Box::new(ScalarExpr::col(0)))
+                .eval(&r)
+                .unwrap(),
             Datum::str("mixed")
         );
         assert_eq!(
-            ScalarExpr::Upper(Box::new(ScalarExpr::col(0))).eval(&r).unwrap(),
+            ScalarExpr::Upper(Box::new(ScalarExpr::col(0)))
+                .eval(&r)
+                .unwrap(),
             Datum::str("MIXED")
         );
         assert_eq!(
-            ScalarExpr::Abs(Box::new(ScalarExpr::col(1))).eval(&r).unwrap(),
+            ScalarExpr::Abs(Box::new(ScalarExpr::col(1)))
+                .eval(&r)
+                .unwrap(),
             Datum::Int(4)
         );
         assert!(ScalarExpr::Abs(Box::new(ScalarExpr::col(0)))

@@ -204,10 +204,7 @@ impl Plan {
 /// Best-effort static type inference for projected expressions.
 pub(crate) fn infer_type(expr: &ScalarExpr, input: &Schema) -> DataType {
     match expr {
-        ScalarExpr::Column(i) => input
-            .column(*i)
-            .map(|c| c.dtype)
-            .unwrap_or(DataType::Str),
+        ScalarExpr::Column(i) => input.column(*i).map(|c| c.dtype).unwrap_or(DataType::Str),
         ScalarExpr::Literal(d) => d.data_type().unwrap_or(DataType::Str),
         ScalarExpr::Cmp(..)
         | ScalarExpr::And(..)
@@ -217,10 +214,7 @@ pub(crate) fn infer_type(expr: &ScalarExpr, input: &Schema) -> DataType {
         ScalarExpr::Arith(op, l, r) => {
             let lt = infer_type(l, input);
             let rt = infer_type(r, input);
-            if *op != crate::ArithOp::Div
-                && lt == DataType::Int
-                && rt == DataType::Int
-            {
+            if *op != crate::ArithOp::Div && lt == DataType::Int && rt == DataType::Int {
                 DataType::Int
             } else {
                 DataType::Float
@@ -274,7 +268,11 @@ mod tests {
 
     #[test]
     fn type_inference() {
-        let s = Schema::of(&[("i", DataType::Int), ("f", DataType::Float), ("s", DataType::Str)]);
+        let s = Schema::of(&[
+            ("i", DataType::Int),
+            ("f", DataType::Float),
+            ("s", DataType::Str),
+        ]);
         assert_eq!(infer_type(&ScalarExpr::col(0), &s), DataType::Int);
         assert_eq!(infer_type(&ScalarExpr::col(1), &s), DataType::Float);
         assert_eq!(

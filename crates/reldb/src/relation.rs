@@ -101,8 +101,7 @@ impl Relation {
     /// Renders the relation as an aligned text table. When a universe is
     /// supplied, uncertain rows get a trailing probability column.
     pub fn to_text(&self, universe: Option<&Universe>) -> String {
-        let has_prob = universe.is_some()
-            && self.rows.iter().any(|r| !r.lineage.is_true());
+        let has_prob = universe.is_some() && self.rows.iter().any(|r| !r.lineage.is_true());
         let mut headers: Vec<String> = self
             .schema
             .columns()
@@ -117,13 +116,9 @@ impl Relation {
             .rows
             .iter()
             .map(|r| {
-                let mut cells: Vec<String> =
-                    r.values.iter().map(ToString::to_string).collect();
+                let mut cells: Vec<String> = r.values.iter().map(ToString::to_string).collect();
                 if has_prob {
-                    let p = ev
-                        .as_mut()
-                        .map(|e| e.prob(&r.lineage))
-                        .unwrap_or(1.0);
+                    let p = ev.as_mut().map(|e| e.prob(&r.lineage)).unwrap_or(1.0);
                     cells.push(format!("{p:.4}"));
                 }
                 cells
@@ -189,17 +184,11 @@ mod tests {
     #[test]
     fn validates_arity_and_types() {
         let s = schema();
-        let ok = Relation::new(
-            s.clone(),
-            vec![Row::certain(vec!["a".into(), 0.5.into()])],
-        );
+        let ok = Relation::new(s.clone(), vec![Row::certain(vec!["a".into(), 0.5.into()])]);
         assert!(ok.is_ok());
         let bad_arity = Relation::new(s.clone(), vec![Row::certain(vec!["a".into()])]);
         assert!(matches!(bad_arity, Err(DbError::SchemaMismatch { .. })));
-        let bad_type = Relation::new(
-            s.clone(),
-            vec![Row::certain(vec![1i64.into(), "x".into()])],
-        );
+        let bad_type = Relation::new(s.clone(), vec![Row::certain(vec![1i64.into(), "x".into()])]);
         assert!(matches!(bad_type, Err(DbError::SchemaMismatch { .. })));
     }
 

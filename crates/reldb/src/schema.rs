@@ -156,10 +156,7 @@ mod tests {
         let s = schema();
         assert_eq!(s.resolve("p.name").unwrap(), 1);
         assert_eq!(s.resolve("name").unwrap(), 1);
-        assert!(matches!(
-            s.resolve("id"),
-            Err(DbError::AmbiguousColumn(_))
-        ));
+        assert!(matches!(s.resolve("id"), Err(DbError::AmbiguousColumn(_))));
         assert!(matches!(
             s.resolve("missing"),
             Err(DbError::UnknownColumn(_))

@@ -142,7 +142,9 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
             b if b.is_ascii_digit() || (b == b'.' && next_is_digit(bytes, i + 1)) => {
                 let start = i;
                 while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
                         || bytes[i] == b'E'
                         || ((bytes[i] == b'+' || bytes[i] == b'-')
                             && matches!(bytes.get(i.wrapping_sub(1)), Some(b'e') | Some(b'E'))))
@@ -153,9 +155,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
             }
             b if b.is_ascii_alphabetic() || b == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push((Tok::Ident(input[start..i].to_ascii_lowercase()), start));

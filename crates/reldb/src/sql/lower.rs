@@ -1,6 +1,5 @@
 //! Lowering from the SQL AST to logical plans, with name resolution.
 
-
 use crate::sql::ast::{
     is_aggregate_name, Query, Select, SelectItem, SetExpr, SqlBinOp, SqlExpr, TableRef,
 };
@@ -273,11 +272,7 @@ fn lower_select(catalog: &Catalog, select: &Select) -> Result<(Plan, Schema)> {
     }
 }
 
-fn lower_plain_select(
-    select: &Select,
-    input: Plan,
-    in_schema: Schema,
-) -> Result<(Plan, Schema)> {
+fn lower_plain_select(select: &Select, input: Plan, in_schema: Schema) -> Result<(Plan, Schema)> {
     let mut exprs: Vec<(ScalarExpr, String)> = Vec::new();
     for (k, item) in select.items.iter().enumerate() {
         match item {
@@ -334,9 +329,7 @@ fn lower_aggregate_select(
     for (k, item) in select.items.iter().enumerate() {
         match item {
             SelectItem::Wildcard => {
-                return Err(DbError::Unsupported(
-                    "`*` in an aggregate query".into(),
-                ))
+                return Err(DbError::Unsupported("`*` in an aggregate query".into()))
             }
             SelectItem::Expr { expr, alias } => {
                 let name = output_name(expr, alias.as_deref(), k);
@@ -353,9 +346,7 @@ fn lower_aggregate_select(
                     SqlExpr::Ident(col) => {
                         let idx = in_schema.resolve(col)?;
                         let pos = group_idx.iter().position(|&g| g == idx).ok_or_else(|| {
-                            DbError::Unsupported(format!(
-                                "column `{col}` must appear in GROUP BY"
-                            ))
+                            DbError::Unsupported(format!("column `{col}` must appear in GROUP BY"))
                         })?;
                         mapped.push(Mapped::Group(pos, name));
                     }
@@ -413,7 +404,10 @@ fn lower_aggregate_select(
         );
     }
     for a in &aggs {
-        agg_cols.push(Column::new(a.name.clone(), crate::plan::agg_type(a, &in_schema)));
+        agg_cols.push(Column::new(
+            a.name.clone(),
+            crate::plan::agg_type(a, &in_schema),
+        ));
     }
     let agg_schema = Schema::new(agg_cols);
     let out_schema = Schema::new(
@@ -489,11 +483,7 @@ fn split_conjuncts(expr: &SqlExpr) -> Vec<&SqlExpr> {
 }
 
 /// Recognises `left.col = right.col` conjuncts for hash joins.
-fn equi_pair(
-    conjunct: &SqlExpr,
-    left: &Schema,
-    right: &Schema,
-) -> Option<(usize, usize)> {
+fn equi_pair(conjunct: &SqlExpr, left: &Schema, right: &Schema) -> Option<(usize, usize)> {
     let SqlExpr::Binary(SqlBinOp::Eq, a, b) = conjunct else {
         return None;
     };
@@ -556,9 +546,7 @@ pub(crate) fn resolve_expr(expr: &SqlExpr, schema: &Schema) -> Result<ScalarExpr
                 "lower" => ScalarExpr::Lower(arg),
                 "upper" => ScalarExpr::Upper(arg),
                 "abs" => ScalarExpr::Abs(arg),
-                other => {
-                    return Err(DbError::Unsupported(format!("function `{other}`")))
-                }
+                other => return Err(DbError::Unsupported(format!("function `{other}`"))),
             }
         }
     })

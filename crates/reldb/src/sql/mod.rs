@@ -39,11 +39,7 @@ use capra_events::Universe;
 use crate::{Catalog, Executor, Relation, Result, Schema};
 
 /// Parses and executes one SQL statement against a catalog.
-pub fn execute(
-    catalog: &Catalog,
-    universe: Option<&Universe>,
-    sql: &str,
-) -> Result<Relation> {
+pub fn execute(catalog: &Catalog, universe: Option<&Universe>, sql: &str) -> Result<Relation> {
     let statement = parse_statement(sql)?;
     match statement {
         Statement::CreateTable { name, columns } => {
@@ -87,7 +83,12 @@ mod tests {
 
     fn db() -> Catalog {
         let cat = Catalog::new();
-        execute(&cat, None, "CREATE TABLE programs (id INT, name STRING, score FLOAT)").unwrap();
+        execute(
+            &cat,
+            None,
+            "CREATE TABLE programs (id INT, name STRING, score FLOAT)",
+        )
+        .unwrap();
         execute(
             &cat,
             None,
@@ -96,7 +97,12 @@ mod tests {
              (3, 'BBC news', 0.18), (4, 'MPFC', 0.02)",
         )
         .unwrap();
-        execute(&cat, None, "CREATE TABLE genres (program_id INT, genre STRING)").unwrap();
+        execute(
+            &cat,
+            None,
+            "CREATE TABLE genres (program_id INT, genre STRING)",
+        )
+        .unwrap();
         execute(
             &cat,
             None,

@@ -1,8 +1,6 @@
 //! Recursive-descent parser for the SQL dialect.
 
-use crate::sql::ast::{
-    Query, Select, SelectItem, SetExpr, SqlBinOp, SqlExpr, Statement, TableRef,
-};
+use crate::sql::ast::{Query, Select, SelectItem, SetExpr, SqlBinOp, SqlExpr, Statement, TableRef};
 use crate::sql::lexer::{lex, Spanned, Sym, Tok};
 use crate::{Column, DataType, Datum, DbError, Result};
 

@@ -12,10 +12,7 @@ use std::collections::BTreeMap;
 const TOL: f64 = 1e-9;
 
 /// Builds a catalog with two small uncertain tables over one universe.
-fn build_tables(
-    left_rows: &[(i64, u8)],
-    right_rows: &[(i64, u8)],
-) -> (Catalog, Universe) {
+fn build_tables(left_rows: &[(i64, u8)], right_rows: &[(i64, u8)]) -> (Catalog, Universe) {
     let catalog = Catalog::new();
     let mut u = Universe::new();
     let schema = Schema::of(&[("k", DataType::Int)]);

@@ -305,8 +305,12 @@ mod tests {
             rules: &rules_b,
             user: b.user,
         };
-        let sa = FactorizedEngine::new().score_all(&env_a, &a.programs).unwrap();
-        let sb = FactorizedEngine::new().score_all(&env_b, &b.programs).unwrap();
+        let sa = FactorizedEngine::new()
+            .score_all(&env_a, &a.programs)
+            .unwrap();
+        let sb = FactorizedEngine::new()
+            .score_all(&env_b, &b.programs)
+            .unwrap();
         for (x, y) in sa.iter().zip(&sb) {
             assert_eq!(x.score, y.score);
         }

@@ -200,8 +200,10 @@ mod tests {
         let mined = log.mine(50);
         for gt in ground_truth() {
             assert!(
-                mined.iter().any(|m| m.context_feature == gt.context_feature
-                    && m.doc_feature == gt.doc_feature),
+                mined
+                    .iter()
+                    .any(|m| m.context_feature == gt.context_feature
+                        && m.doc_feature == gt.doc_feature),
                 "missing mined pair ({}, {})",
                 gt.context_feature,
                 gt.doc_feature

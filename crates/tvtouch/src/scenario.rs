@@ -111,8 +111,7 @@ pub fn paper_scenario() -> PaperScenario {
 /// Context feature label used by the Figure 1 history.
 pub const FIGURE1_CONTEXT: &str = "WorkdayMorning";
 /// The two bulletin features of Figure 1.
-pub const FIGURE1_FEATURES: [(&str, f64); 2] =
-    [("TrafficBulletin", 0.8), ("WeatherBulletin", 0.6)];
+pub const FIGURE1_FEATURES: [(&str, f64); 2] = [("TrafficBulletin", 0.8), ("WeatherBulletin", 0.6)];
 
 /// The history behind the paper's **Figure 1**: on workday mornings the
 /// user watched the traffic bulletin in 80 % and the weather bulletin in

@@ -87,7 +87,10 @@ fn main() -> Result<(), CoreError> {
     // For comparison: the (wrong) independence approximation.
     let approx = FactorizedEngine::assuming_independence().score_all(&env, &docs)?;
 
-    println!("{:<18} {:>10} {:>14} {:>10}", "program", "exact", "independence", "error");
+    println!(
+        "{:<18} {:>10} {:>14} {:>10}",
+        "program", "exact", "independence", "error"
+    );
     for (e, a) in exact.iter().zip(&approx) {
         println!(
             "{:<18} {:>10.4} {:>14.4} {:>10.4}",

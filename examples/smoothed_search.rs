@@ -78,6 +78,9 @@ fn main() -> Result<(), CoreError> {
             expr: capra::reldb::ScalarExpr::col(1),
             desc: true,
         }]);
-    println!("\nEXPLAIN of the paper's intro query:\n{}", explain_plan(&plan));
+    println!(
+        "\nEXPLAIN of the paper's intro query:\n{}",
+        explain_plan(&plan)
+    );
     Ok(())
 }

@@ -76,12 +76,9 @@ fn main() -> Result<(), CoreError> {
     print!("{}", out.to_text(None));
 
     // Plain SQL keeps working against the same catalog.
-    let db_stats = capra::reldb::sql::execute(
-        &catalog,
-        None,
-        "SELECT COUNT(*) AS programs FROM programs",
-    )
-    .map_err(CoreError::Db)?;
+    let db_stats =
+        capra::reldb::sql::execute(&catalog, None, "SELECT COUNT(*) AS programs FROM programs")
+            .map_err(CoreError::Db)?;
     println!("\nCatalog check — {}", db_stats.to_text(None));
     Ok(())
 }

@@ -45,7 +45,8 @@ fn main() -> Result<(), CoreError> {
     let traffic = db.kb.individual("TrafficBulletin");
     let weather = db.kb.individual("WeatherBulletin");
     db.kb.assert_role(db.programs[0], "hasSubject", traffic);
-    db.kb.assert_role_prob(db.programs[1], "hasSubject", weather, 0.9)?;
+    db.kb
+        .assert_role_prob(db.programs[1], "hasSubject", weather, 0.9)?;
     db.kb.assert_role(db.programs[2], "hasSubject", weather);
     let mut rules = RuleRepository::new();
     for m in &mined {
@@ -53,9 +54,10 @@ fn main() -> Result<(), CoreError> {
             continue; // nothing mined for sitcoms
         }
         let context = db.kb.parse(&m.context_feature)?;
-        let preference = db
-            .kb
-            .parse(&format!("TvProgram AND EXISTS hasSubject.{{{}}}", m.doc_feature))?;
+        let preference = db.kb.parse(&format!(
+            "TvProgram AND EXISTS hasSubject.{{{}}}",
+            m.doc_feature
+        ))?;
         rules.add(PreferenceRule::new(
             format!("mined-{}", m.doc_feature),
             context,

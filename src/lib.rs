@@ -47,12 +47,12 @@ pub use capra_tvtouch as tvtouch;
 /// The most common imports in one place.
 pub mod prelude {
     pub use capra_core::{
-        bind_rules, explain, group_scores, rank, CoreError, CorrelationPolicy, DocScore,
-        Episode, Explanation, FactorizedEngine, GroupStrategy, HistoryLog, Kb, LineageEngine,
-        MinedRule, NaiveEnumEngine, NaiveViewEngine, Offer, PreferenceRule, RuleRepository,
-        Score, ScoringEngine, ScoringEnv,
+        bind_rules, explain, group_scores, rank, CoreError, CorrelationPolicy, DocScore, Episode,
+        Explanation, FactorizedEngine, GroupStrategy, HistoryLog, Kb, LineageEngine, MinedRule,
+        NaiveEnumEngine, NaiveViewEngine, Offer, PreferenceRule, RuleRepository, Score,
+        ScoringEngine, ScoringEnv,
     };
     pub use capra_dl::{parse_concept, ABox, Concept, Reasoner, TBox, Vocabulary};
-    pub use capra_events::{EventExpr, Evaluator, Universe};
+    pub use capra_events::{Evaluator, EventExpr, Universe};
     pub use capra_reldb::{Catalog, Database, Datum, Executor, Plan, Relation};
 }

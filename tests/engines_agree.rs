@@ -20,7 +20,12 @@ fn build_scenario(
     feat_seeds: &[(f64, f64, f64)],
     sigmas: &[f64],
     correlated: bool,
-) -> (Kb, RuleRepository, capra::dl::IndividualId, Vec<capra::dl::IndividualId>) {
+) -> (
+    Kb,
+    RuleRepository,
+    capra::dl::IndividualId,
+    Vec<capra::dl::IndividualId>,
+) {
     let n_rules = ctx_probs.len().min(sigmas.len()).clamp(1, 3);
     let mut kb = Kb::new();
     let user = kb.individual("user");

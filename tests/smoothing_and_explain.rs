@@ -31,9 +31,15 @@ fn smoothing_interpolates_between_query_and_context_ranking() {
     // All smoothed scores stay in [0, 1] for any λ.
     for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let s = blend(&query, &context, Smoothing::JelinekMercer(lambda)).unwrap();
-        assert!(s.iter().all(|d| (0.0..=1.0).contains(&d.score)), "λ={lambda}");
+        assert!(
+            s.iter().all(|d| (0.0..=1.0).contains(&d.score)),
+            "λ={lambda}"
+        );
         let g = blend(&query, &context, Smoothing::LogLinear(lambda)).unwrap();
-        assert!(g.iter().all(|d| (0.0..=1.0).contains(&d.score)), "λ={lambda}");
+        assert!(
+            g.iter().all(|d| (0.0..=1.0).contains(&d.score)),
+            "λ={lambda}"
+        );
     }
     // Product equals LogLinear only in the 0/1-query case; here they differ.
     let prod = blend(&query, &context, Smoothing::Product).unwrap();
@@ -73,8 +79,7 @@ fn event_expressions_round_trip_through_text() {
     for b in &bindings {
         for event in b.preference_events.values() {
             let printed = event.display(&env.kb.universe).to_string();
-            let reparsed =
-                capra::events::parse_event(&printed, &env.kb.universe).unwrap();
+            let reparsed = capra::events::parse_event(&printed, &env.kb.universe).unwrap();
             assert_eq!(&reparsed, event, "`{printed}`");
         }
     }

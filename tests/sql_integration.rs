@@ -8,10 +8,7 @@ use capra::reldb::{certain_rows, DataType, Schema};
 use capra::tvtouch::generate::{generate, scaling_rules, DbConfig};
 use capra::tvtouch::scenario::paper_scenario;
 
-fn programs_catalog(
-    kb: &Kb,
-    programs: &[capra::dl::IndividualId],
-) -> Catalog {
+fn programs_catalog(kb: &Kb, programs: &[capra::dl::IndividualId]) -> Catalog {
     let catalog = Catalog::new();
     let table = catalog
         .create_table(
@@ -23,9 +20,7 @@ fn programs_catalog(
         .insert(certain_rows(
             programs
                 .iter()
-                .map(|&p| {
-                    vec![individual_datum(p), Datum::str(kb.voc.individual_name(p))]
-                })
+                .map(|&p| vec![individual_datum(p), Datum::str(kb.voc.individual_name(p))])
                 .collect(),
         ))
         .unwrap();
@@ -179,15 +174,14 @@ fn dynamic_context_changes_the_scores() {
     let docs = [hi_show, news_show];
 
     let score_both = |kb: &Kb, rules: &RuleRepository| {
-        let env = ScoringEnv {
-            kb,
-            rules,
-            user,
-        };
+        let env = ScoringEnv { kb, rules, user };
         LineageEngine::new().score_all(&env, &docs).unwrap()
     };
     let before = score_both(&kb, &rules);
-    assert!(before[0].score > before[1].score, "weekend favours human interest");
+    assert!(
+        before[0].score > before[1].score,
+        "weekend favours human interest"
+    );
     // Breakfast starts. Note that every *absolute* score can only shrink
     // (one more applicable rule multiplies a factor ≤ 1 in); what the
     // context change does is reorder: the news show satisfies the new rule

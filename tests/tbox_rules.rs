@@ -19,7 +19,8 @@ fn kb_with_terminology() -> (Kb, capra::dl::IndividualId, Vec<capra::dl::Individ
         kb.assert_concept(d, "TvProgram");
     }
     kb.assert_concept(traffic, "TrafficReport");
-    kb.assert_concept_prob(weather, "WeatherReport", 0.9).unwrap();
+    kb.assert_concept_prob(weather, "WeatherReport", 0.9)
+        .unwrap();
 
     let wm = kb.voc.concept("WorkdayMorning");
     let wm_def = kb.parse("Workday AND Morning").unwrap();
@@ -119,5 +120,8 @@ fn tbox_subsumption_prunes_rule_candidates() {
     assert!(!kb.tbox.subsumes(&wm, &workday));
     let bulletin = kb.parse("Bulletin").unwrap();
     let traffic = kb.parse("TrafficReport").unwrap();
-    assert!(kb.tbox.subsumes(&bulletin, &traffic), "Bulletin ⊒ TrafficReport");
+    assert!(
+        kb.tbox.subsumes(&bulletin, &traffic),
+        "Bulletin ⊒ TrafficReport"
+    );
 }

@@ -6,11 +6,7 @@
 use capra::prelude::*;
 use capra::tvtouch::sensors::{apply_reading, SensorReading};
 
-fn sensed_kb() -> (
-    Kb,
-    capra::dl::IndividualId,
-    Vec<capra::dl::IndividualId>,
-) {
+fn sensed_kb() -> (Kb, capra::dl::IndividualId, Vec<capra::dl::IndividualId>) {
     let mut kb = Kb::new();
     let user = kb.individual("peter");
     let rooms: Vec<_> = ["Kitchen", "Lounge"]
@@ -78,7 +74,11 @@ fn factorized_strict_mode_rejects_shared_room_variable() {
     //   kitchen (0.6): term_k = 0.9 (doc matches), term_l = 1 (lounge ¬applies) → 0.9
     //   lounge  (0.4): term_k = 1, term_l = 1−0.8 = 0.2 (movie pref, doc isn't) → 0.2
     //   score(cook-show) = 0.6·0.9 + 0.4·0.2 = 0.62
-    assert!((lineage[0].score - 0.62).abs() < 1e-12, "{}", lineage[0].score);
+    assert!(
+        (lineage[0].score - 0.62).abs() < 1e-12,
+        "{}",
+        lineage[0].score
+    );
 }
 
 #[test]
@@ -149,8 +149,16 @@ fn workday_weekend_exclusivity_through_scoring() {
     let scores = LineageEngine::new()
         .score_all(&env, &[work_doc, weekend_doc])
         .unwrap();
-    assert!((scores[0].score - 0.78).abs() < 1e-12, "{}", scores[0].score);
-    assert!((scores[1].score - 0.22).abs() < 1e-12, "{}", scores[1].score);
+    assert!(
+        (scores[0].score - 0.78).abs() < 1e-12,
+        "{}",
+        scores[0].score
+    );
+    assert!(
+        (scores[1].score - 0.22).abs() < 1e-12,
+        "{}",
+        scores[1].score
+    );
     // An independence-assuming engine gets this wrong:
     // (0.2 + 0.8·0.9)·(0.8 + 0.2·0.3) = 0.92·0.86 = 0.7912 ≠ 0.78.
     let approx = FactorizedEngine::assuming_independence()
@@ -174,8 +182,7 @@ fn compiled_views_respect_room_exclusivity() {
     let catalog = capra::core::compile::install_kb(&kb).unwrap();
     let compiler = capra::core::compile::Compiler::new(&kb, &catalog);
     let mut ev = Evaluator::new(&kb.universe);
-    let p = |members: Vec<(capra::dl::IndividualId, EventExpr)>,
-             ev: &mut Evaluator<'_>| {
+    let p = |members: Vec<(capra::dl::IndividualId, EventExpr)>, ev: &mut Evaluator<'_>| {
         members
             .into_iter()
             .filter(|(ind, _)| *ind == user)
@@ -183,7 +190,10 @@ fn compiled_views_respect_room_exclusivity() {
             .sum::<f64>()
     };
     let p_somewhere = p(compiler.materialize(&somewhere).unwrap(), &mut ev);
-    assert!((p_somewhere - 1.0).abs() < 1e-9, "room distribution sums to 1");
+    assert!(
+        (p_somewhere - 1.0).abs() < 1e-9,
+        "room distribution sums to 1"
+    );
     let p_both = p(compiler.materialize(&both).unwrap(), &mut ev);
     assert!(p_both.abs() < 1e-12, "mutual exclusivity via the view path");
 }
