@@ -1,0 +1,60 @@
+//! Warm vs. cold `score_all` throughput — the headline number of the
+//! prepared-session subsystem.
+//!
+//! * `cold` — `engine.score_all`: full rebind + evaluation every call;
+//! * `warm-eval` — session with cached bindings and persistent evaluation
+//!   memos, score cache cleared each iteration: the "pure evaluation cost"
+//!   a warm call approaches when documents change but the KB does not;
+//! * `warm` — fully warm repeat call (bindings, memos and scores all
+//!   cached): the steady-state serving path when nothing changed.
+
+use capra_bench::{bench_db_config, ScalingWorkload};
+use capra_core::{FactorizedEngine, LineageEngine, ScoringEngine, ScoringSession};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn session_throughput(c: &mut Criterion) {
+    let workload = ScalingWorkload::new(bench_db_config(), &[4]);
+    let (_, rules) = &workload.rule_sets[0];
+    let env = workload.env(rules);
+    let docs = workload.docs();
+
+    let mut group = c.benchmark_group("session_throughput");
+    group.throughput(Throughput::Elements(docs.len() as u64));
+    group.sample_size(20);
+
+    fn bench_engine<E: ScoringEngine>(
+        group: &mut criterion::BenchmarkGroup<'_>,
+        name: &str,
+        engine: E,
+        env: &capra_core::ScoringEnv<'_>,
+        docs: &[capra_dl::IndividualId],
+    ) {
+        group.bench_function(format!("{name}/cold"), |b| {
+            b.iter(|| engine.score_all(env, docs).expect("scores"));
+        });
+        let mut session = ScoringSession::new();
+        session.score_all(&engine, env, docs).expect("warm-up");
+        group.bench_function(format!("{name}/warm-eval"), |b| {
+            b.iter(|| {
+                session.invalidate_scores();
+                session.score_all(&engine, env, docs).expect("scores")
+            });
+        });
+        group.bench_function(format!("{name}/warm"), |b| {
+            b.iter(|| session.score_all(&engine, env, docs).expect("scores"));
+        });
+    }
+
+    bench_engine(
+        &mut group,
+        "factorized",
+        FactorizedEngine::new(),
+        &env,
+        docs,
+    );
+    bench_engine(&mut group, "lineage", LineageEngine::new(), &env, docs);
+    group.finish();
+}
+
+criterion_group!(benches, session_throughput);
+criterion_main!(benches);

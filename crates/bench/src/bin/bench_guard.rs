@@ -1,0 +1,154 @@
+//! Bench-regression guard for CI: compares a fresh `BENCH_micro.json`
+//! (JSON-lines emitted by the criterion shim via `CAPRA_BENCH_JSON`)
+//! against a checked-in baseline and fails when any tracked benchmark's
+//! median regressed by more than the allowed fraction.
+//!
+//! ```text
+//! bench_guard --baseline crates/bench/baselines/BENCH_micro_pr1.json \
+//!             --current BENCH_micro.json [--max-regression 0.25]
+//! ```
+//!
+//! Every name in the baseline is *tracked*: it must be present in the
+//! current file (a vanished benchmark is a failure, not a skip). Names only
+//! in the current file are informational — they are new benchmarks without
+//! a baseline yet. Multiple samples per name (appended runs) are reduced to
+//! their median before comparing.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One `{"name":"…","ns_per_iter":…}` line; ignores malformed lines with a
+/// warning rather than failing the job on harness hiccups.
+fn parse_line(line: &str) -> Option<(String, f64)> {
+    let name_key = "\"name\":\"";
+    let ns_key = "\"ns_per_iter\":";
+    let name_start = line.find(name_key)? + name_key.len();
+    let name_end = name_start + line[name_start..].find('"')?;
+    let ns_start = line.find(ns_key)? + ns_key.len();
+    let ns_end = line[ns_start..]
+        .find(['}', ','])
+        .map(|i| ns_start + i)
+        .unwrap_or(line.len());
+    let ns = line[ns_start..ns_end].trim().parse::<f64>().ok()?;
+    Some((line[name_start..name_end].to_string(), ns))
+}
+
+/// Reads a JSON-lines file into name → median ns/iter.
+fn read_medians(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut samples: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match parse_line(line) {
+            Some((name, ns)) => samples.entry(name).or_default().push(ns),
+            None => eprintln!("bench_guard: skipping malformed line in `{path}`: {line}"),
+        }
+    }
+    if samples.is_empty() {
+        return Err(format!("`{path}` contains no benchmark samples"));
+    }
+    Ok(samples
+        .into_iter()
+        .map(|(name, mut ns)| {
+            ns.sort_by(f64::total_cmp);
+            let median = ns[ns.len() / 2];
+            (name, median)
+        })
+        .collect())
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut max_regression = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut grab = |what: &str| args.next().ok_or(format!("{what} needs a value"));
+        let result = match arg.as_str() {
+            "--baseline" => grab("--baseline").map(|v| baseline_path = Some(v)),
+            "--current" => grab("--current").map(|v| current_path = Some(v)),
+            "--max-regression" => grab("--max-regression").and_then(|v| {
+                v.parse::<f64>()
+                    .map(|f| max_regression = f)
+                    .map_err(|e| format!("bad --max-regression `{v}`: {e}"))
+            }),
+            other => Err(format!("unknown argument `{other}`")),
+        };
+        if let Err(message) = result {
+            eprintln!("bench_guard: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+        eprintln!("usage: bench_guard --baseline <json> --current <json> [--max-regression 0.25]");
+        return ExitCode::FAILURE;
+    };
+
+    let (baseline, current) = match (read_medians(&baseline_path), read_medians(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_guard: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = Vec::new();
+    println!(
+        "bench_guard: tolerating {:.0}% median regression",
+        max_regression * 100.0
+    );
+    for (name, &base) in &baseline {
+        match current.get(name) {
+            None => failures.push(format!(
+                "tracked benchmark `{name}` missing from current run"
+            )),
+            Some(&cur) => {
+                let change = cur / base - 1.0;
+                let marker = if change > max_regression {
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "  {marker:<4} {name:<48} {base:>12.1} -> {cur:>12.1} ns/iter ({:+.1}%)",
+                    change * 100.0
+                );
+                if change > max_regression {
+                    failures.push(format!(
+                        "`{name}` regressed {:.1}% ({base:.1} -> {cur:.1} ns/iter)",
+                        change * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    for name in current.keys().filter(|n| !baseline.contains_key(*n)) {
+        println!("  new  {name} (no baseline yet)");
+    }
+    if failures.is_empty() {
+        println!("bench_guard: all tracked benchmarks within tolerance");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench_guard: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_shim_output_lines() {
+        let (name, ns) = parse_line(
+            "{\"name\":\"engine_throughput/factorized/4rules\",\"ns_per_iter\":25500.0}",
+        )
+        .unwrap();
+        assert_eq!(name, "engine_throughput/factorized/4rules");
+        assert!((ns - 25500.0).abs() < 1e-9);
+        assert!(parse_line("not json").is_none());
+    }
+}

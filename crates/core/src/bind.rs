@@ -88,6 +88,14 @@ pub fn bind_rules(env: &ScoringEnv<'_>) -> Vec<RuleBinding> {
         .collect()
 }
 
+/// [`bind_rules`] with each binding behind an [`Arc`] — the currency of the
+/// bound scoring entry points ([`crate::ScoringEngine::score_all_bound`])
+/// and of [`crate::ScoringSession`]'s cache, which hands the same `Arc`s out
+/// across calls instead of re-deriving them.
+pub fn bind_rules_shared(env: &ScoringEnv<'_>) -> Vec<Arc<RuleBinding>> {
+    bind_rules(env).into_iter().map(Arc::new).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

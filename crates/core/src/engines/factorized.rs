@@ -1,10 +1,11 @@
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use capra_dl::IndividualId;
-use capra_events::{Evaluator, VarId};
+use capra_events::VarId;
 
-use crate::bind::{bind_rules, RuleBinding};
-use crate::engines::{DocScore, ScoringEngine};
+use crate::bind::RuleBinding;
+use crate::engines::{DocScore, EvalScratch, ScoringEngine};
 use crate::{CoreError, Result, ScoringEnv};
 
 /// What to do when rule events share random variables (i.e. features are
@@ -68,7 +69,10 @@ impl FactorizedEngine {
     /// erroring if two rules' contexts share a variable. Context events do
     /// not depend on the document, so this runs **once per `score_all`**;
     /// the per-document check below only walks the preference supports.
-    fn context_owners(bindings: &[RuleBinding], kb: &crate::Kb) -> Result<HashMap<VarId, usize>> {
+    fn context_owners(
+        bindings: &[Arc<RuleBinding>],
+        kb: &crate::Kb,
+    ) -> Result<HashMap<VarId, usize>> {
         let mut owner: HashMap<VarId, usize> = HashMap::new();
         for (slot, binding) in bindings.iter().enumerate() {
             for &var in binding.context_event.support_slice() {
@@ -90,7 +94,7 @@ impl FactorizedEngine {
     /// independence also matters) or in another rule's preference event.
     /// Supports come from the per-node caches — no tree walks.
     fn check_doc_independence(
-        bindings: &[RuleBinding],
+        bindings: &[Arc<RuleBinding>],
         doc: IndividualId,
         ctx_owner: &HashMap<VarId, usize>,
         scratch: &mut HashMap<VarId, usize>,
@@ -122,42 +126,119 @@ impl ScoringEngine for FactorizedEngine {
         "factorized"
     }
 
-    fn score_all(&self, env: &ScoringEnv<'_>, docs: &[IndividualId]) -> Result<Vec<DocScore>> {
+    fn config_tag(&self) -> u64 {
+        // The policy decides between an error and an approximate score on
+        // correlated inputs, so the two configurations must not share
+        // cached results.
+        self.on_correlation as u64
+    }
+
+    fn validate_workload(
+        &self,
+        env: &ScoringEnv<'_>,
+        bindings: &[Arc<RuleBinding>],
+        docs: &[IndividualId],
+    ) -> Result<()> {
+        // The same independence checks `score_all_bound` performs, over the
+        // *whole* candidate set — so the top-k path rejects a correlated
+        // workload even when pruning would never evaluate the offending
+        // document.
+        if let CorrelationPolicy::Error = self.on_correlation {
+            let ctx_owner = Self::context_owners(bindings, env.kb)?;
+            // Global screen, one pass over each rule's bound view instead of
+            // per-document lookups: if no preference variable (for *any*
+            // document) collides with a context variable or another rule's
+            // preference variable, no per-document conflict is possible and
+            // the workload is clean. Only a collision — which may involve
+            // unrequested documents, or two *different* documents (legal) —
+            // requires the exact per-document check.
+            let mut pref_owner: HashMap<VarId, usize> = HashMap::new();
+            let suspicious = 'screen: {
+                for (slot, binding) in bindings.iter().enumerate() {
+                    for event in binding.preference_events.values() {
+                        for &var in event.support_slice() {
+                            if ctx_owner.contains_key(&var) {
+                                break 'screen true;
+                            }
+                            match pref_owner.get(&var) {
+                                Some(&prev) if prev != slot => break 'screen true,
+                                _ => {
+                                    pref_owner.insert(var, slot);
+                                }
+                            }
+                        }
+                    }
+                }
+                false
+            };
+            if suspicious {
+                let mut owner_scratch: HashMap<VarId, usize> = HashMap::new();
+                for &doc in docs {
+                    Self::check_doc_independence(
+                        bindings,
+                        doc,
+                        &ctx_owner,
+                        &mut owner_scratch,
+                        env.kb,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn score_all_bound(
+        &self,
+        env: &ScoringEnv<'_>,
+        bindings: &[Arc<RuleBinding>],
+        docs: &[IndividualId],
+        scratch: &mut EvalScratch,
+    ) -> Result<Vec<DocScore>> {
         if docs.is_empty() {
             return Ok(Vec::new());
         }
-        let bindings = bind_rules(env);
-        let applicable: Vec<&RuleBinding> =
-            bindings.iter().filter(|b| !b.is_inapplicable()).collect();
-        let mut ev = Evaluator::new(&env.kb.universe);
-        // Context probabilities do not depend on the document: hoist them.
-        let context_probs: Vec<f64> = applicable
+        scratch.ensure_kb(env.kb);
+        let applicable: Vec<&RuleBinding> = bindings
             .iter()
-            .map(|b| ev.prob(&b.context_event))
+            .map(Arc::as_ref)
+            .filter(|b| !b.is_inapplicable())
             .collect();
-        // Doc-invariant half of the independence check, hoisted likewise.
-        let ctx_owner = match self.on_correlation {
-            CorrelationPolicy::Error => Some(Self::context_owners(&bindings, env.kb)?),
-            CorrelationPolicy::AssumeIndependent => None,
-        };
-        let mut scratch: HashMap<VarId, usize> = HashMap::new();
-        let mut out = Vec::with_capacity(docs.len());
-        for &doc in docs {
-            if let Some(ctx_owner) = &ctx_owner {
-                Self::check_doc_independence(&bindings, doc, ctx_owner, &mut scratch, env.kb)?;
+        scratch.with_evaluator(&env.kb.universe, |ev| {
+            // Context probabilities do not depend on the document: hoist them.
+            let context_probs: Vec<f64> = applicable
+                .iter()
+                .map(|b| ev.prob(&b.context_event))
+                .collect();
+            // Doc-invariant half of the independence check, hoisted likewise.
+            let ctx_owner = match self.on_correlation {
+                CorrelationPolicy::Error => Some(Self::context_owners(bindings, env.kb)?),
+                CorrelationPolicy::AssumeIndependent => None,
+            };
+            let mut owner_scratch: HashMap<VarId, usize> = HashMap::new();
+            let mut out = Vec::with_capacity(docs.len());
+            for &doc in docs {
+                if let Some(ctx_owner) = &ctx_owner {
+                    Self::check_doc_independence(
+                        bindings,
+                        doc,
+                        ctx_owner,
+                        &mut owner_scratch,
+                        env.kb,
+                    )?;
+                }
+                let mut score = 1.0;
+                for (b, &pg) in applicable.iter().zip(&context_probs) {
+                    let pf = ev.prob(&b.preference_event(doc));
+                    let matched = pf * b.sigma + (1.0 - pf) * (1.0 - b.sigma);
+                    score *= (1.0 - pg) + pg * matched;
+                }
+                out.push(DocScore {
+                    doc,
+                    score: score.clamp(0.0, 1.0),
+                });
             }
-            let mut score = 1.0;
-            for (b, &pg) in applicable.iter().zip(&context_probs) {
-                let pf = ev.prob(&b.preference_event(doc));
-                let matched = pf * b.sigma + (1.0 - pf) * (1.0 - b.sigma);
-                score *= (1.0 - pg) + pg * matched;
-            }
-            out.push(DocScore {
-                doc,
-                score: score.clamp(0.0, 1.0),
-            });
-        }
-        Ok(out)
+            Ok(out)
+        })
     }
 }
 

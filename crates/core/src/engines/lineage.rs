@@ -1,8 +1,10 @@
-use capra_dl::IndividualId;
-use capra_events::{EventExpr, Expectation, Factor};
+use std::sync::Arc;
 
-use crate::bind::bind_rules;
-use crate::engines::{DocScore, ScoringEngine};
+use capra_dl::IndividualId;
+use capra_events::{EventExpr, Factor};
+
+use crate::bind::RuleBinding;
+use crate::engines::{DocScore, EvalScratch, ScoringEngine};
 use crate::{Result, ScoringEnv};
 
 /// The exact engine: evaluates the Section 3.3 expectation over the event
@@ -44,10 +46,17 @@ impl ScoringEngine for LineageEngine {
         "lineage"
     }
 
-    fn score_all(&self, env: &ScoringEnv<'_>, docs: &[IndividualId]) -> Result<Vec<DocScore>> {
-        let bindings = bind_rules(env);
-        let active: Vec<_> = bindings
+    fn score_all_bound(
+        &self,
+        env: &ScoringEnv<'_>,
+        bindings: &[Arc<RuleBinding>],
+        docs: &[IndividualId],
+        scratch: &mut EvalScratch,
+    ) -> Result<Vec<DocScore>> {
+        scratch.ensure_kb(env.kb);
+        let active: Vec<&RuleBinding> = bindings
             .iter()
+            .map(Arc::as_ref)
             .filter(|b| !(self.prune_inapplicable && b.is_inapplicable()))
             .collect();
         // Doc-invariant pieces per rule, built once: the context event, its
@@ -67,32 +76,35 @@ impl ScoringEngine for LineageEngine {
         // One expectation computer for the whole run: documents share the
         // context sub-problems through its memo table (keys are hash-consed
         // expressions, so identical sub-problems across documents collide).
-        let mut expectation = Expectation::new(&env.kb.universe);
-        let mut out = Vec::with_capacity(docs.len());
-        for &doc in docs {
-            let factors: Vec<Factor> = per_rule
-                .iter()
-                .map(
-                    |(b, not_g, miss_factor)| match b.preference_events.get(&doc) {
-                        None => miss_factor.clone(),
-                        Some(f) => {
-                            let g = b.context_event.clone();
-                            Factor::new([
-                                (not_g.clone(), 1.0),
-                                (EventExpr::and([g.clone(), f.clone()]), b.sigma),
-                                (
-                                    EventExpr::and([g, EventExpr::not(f.clone())]),
-                                    1.0 - b.sigma,
-                                ),
-                            ])
-                        }
-                    },
-                )
-                .collect();
-            let score = expectation.compute(&factors).clamp(0.0, 1.0);
-            out.push(DocScore { doc, score });
-        }
-        Ok(out)
+        // The memo state itself lives in `scratch`, so a session's repeat
+        // calls also share sub-problems *across* runs.
+        scratch.with_expectation(&env.kb.universe, |expectation| {
+            let mut out = Vec::with_capacity(docs.len());
+            for &doc in docs {
+                let factors: Vec<Factor> = per_rule
+                    .iter()
+                    .map(
+                        |(b, not_g, miss_factor)| match b.preference_events.get(&doc) {
+                            None => miss_factor.clone(),
+                            Some(f) => {
+                                let g = b.context_event.clone();
+                                Factor::new([
+                                    (not_g.clone(), 1.0),
+                                    (EventExpr::and([g.clone(), f.clone()]), b.sigma),
+                                    (
+                                        EventExpr::and([g, EventExpr::not(f.clone())]),
+                                        1.0 - b.sigma,
+                                    ),
+                                ])
+                            }
+                        },
+                    )
+                    .collect();
+                let score = expectation.compute(&factors).clamp(0.0, 1.0);
+                out.push(DocScore { doc, score });
+            }
+            Ok(out)
+        })
     }
 }
 

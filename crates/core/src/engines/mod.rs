@@ -17,6 +17,7 @@
 //! | [`NaiveEnumEngine`] | exact under feature independence | `O(4ⁿ · d)` in-memory | the same maths without the view machinery (ablation) |
 //! | [`FactorizedEngine`] | exact under feature independence | `O(n · d)` probability lookups; independence check walks cached per-node supports, context half hoisted out of the doc loop | the early-pruning improvement the Discussion calls for |
 //! | [`LineageEngine`] | **always exact** (correlations included) | Shannon expansion over shared variables, sub-problems deduplicated by hash-consed expression identity | Section 3.3 with the event-expression model of ref \[17\] |
+//! | any engine via [`crate::ScoringSession`] | unchanged (bit-identical to the engine) | warm calls skip binding entirely; repeat calls are cache lookups | the serving path: repeated queries under a changing context |
 //!
 //! All engines share the binding step ([`crate::bind_rules`]), which runs
 //! **one** reasoner across the whole rule set so structurally shared
@@ -25,6 +26,23 @@
 //! identity (O(1) hash + pointer compare), pivot choices are cached per
 //! node, and `restrict` skips subtrees whose cached support excludes the
 //! pivot variable. See `capra_events` for the interner.
+//!
+//! ## Cold calls vs. sessions
+//!
+//! Every engine exposes two entry points:
+//!
+//! * [`ScoringEngine::score_all`] — the **cold** path: binds the rules
+//!   against the KB and evaluates, paying the full reasoner cost per call;
+//! * [`ScoringEngine::score_all_bound`] — the **prepared** path: takes
+//!   already-bound rules plus an [`EvalScratch`] of reusable memo state.
+//!   [`crate::ScoringSession`] drives it with cached bindings (invalidated
+//!   by KB epoch, see [`crate::Kb::binding_epoch`]) so warm repeat calls
+//!   skip the reasoner entirely and their probability sub-problems answer
+//!   from the persisted memos. [`crate::rank_top_k`] uses the same entry
+//!   point to stop scoring documents that cannot reach the top-k.
+//!
+//! `score_all` simply delegates through a throwaway binding + scratch, so
+//! both paths compute bit-identical scores.
 
 mod factorized;
 mod lineage;
@@ -36,9 +54,13 @@ pub use lineage::LineageEngine;
 pub use naive_enum::NaiveEnumEngine;
 pub use naive_view::NaiveViewEngine;
 
-use capra_dl::IndividualId;
+use std::sync::Arc;
 
-use crate::{Result, ScoringEnv};
+use capra_dl::IndividualId;
+use capra_events::{EvalCache, Evaluator, ExpectCache, Expectation, Universe};
+
+use crate::bind::bind_rules_shared;
+use crate::{Kb, Result, RuleBinding, ScoringEnv};
 
 /// A scored document.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,13 +71,120 @@ pub struct DocScore {
     pub score: f64,
 }
 
+/// Reusable evaluation state threaded through the prepared scoring path
+/// ([`ScoringEngine::score_all_bound`]): the probability and expectation
+/// memos engines would otherwise rebuild per call.
+///
+/// The scratch is tied to one KB identity; [`EvalScratch::ensure_kb`]
+/// (called by every engine on entry) resets the memos when a different KB
+/// shows up, so stale entries can never leak across knowledge bases. Within
+/// one KB the memos stay valid indefinitely — event probabilities are
+/// immutable and memo keys pin their hash-consed expressions (see
+/// [`capra_events::EvalCache`]).
+#[derive(Default)]
+pub struct EvalScratch {
+    /// `Kb::id` the memos were built over; 0 = not yet bound to a KB.
+    kb_id: u64,
+    prob: EvalCache,
+    expect: ExpectCache,
+}
+
+impl EvalScratch {
+    /// An empty scratch (equivalent to a cold call).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds the scratch to `kb`, discarding all memos if it was previously
+    /// used with a different KB.
+    pub fn ensure_kb(&mut self, kb: &Kb) {
+        if self.kb_id != kb.id() {
+            *self = Self {
+                kb_id: kb.id(),
+                ..Self::default()
+            };
+        }
+    }
+
+    /// Loans the probability memo to an [`Evaluator`] for the duration of
+    /// `f`, restoring it afterwards — including on the error path, so a
+    /// failed call never drops a session's accumulated memo.
+    pub(crate) fn with_evaluator<'u, T>(
+        &mut self,
+        universe: &'u Universe,
+        f: impl FnOnce(&mut Evaluator<'u>) -> T,
+    ) -> T {
+        let mut ev = Evaluator::with_cache(universe, std::mem::take(&mut self.prob));
+        let out = f(&mut ev);
+        self.prob = ev.into_cache();
+        out
+    }
+
+    /// Loans the expectation memo to an [`Expectation`] for the duration of
+    /// `f`, restoring it afterwards (same contract as
+    /// [`EvalScratch::with_evaluator`]).
+    pub(crate) fn with_expectation<'u, T>(
+        &mut self,
+        universe: &'u Universe,
+        f: impl FnOnce(&mut Expectation<'u>) -> T,
+    ) -> T {
+        let mut exp = Expectation::with_cache(universe, std::mem::take(&mut self.expect));
+        let out = f(&mut exp);
+        self.expect = exp.into_cache();
+        out
+    }
+}
+
 /// Common interface of the four engines.
 pub trait ScoringEngine {
     /// Engine name (used in benchmark output and explanations).
     fn name(&self) -> &'static str;
 
-    /// Scores every document in `docs`, in order.
-    fn score_all(&self, env: &ScoringEnv<'_>, docs: &[IndividualId]) -> Result<Vec<DocScore>>;
+    /// Distinguishes configurations of one engine type that may *behave*
+    /// differently on the same input (e.g. the factorized engine's
+    /// correlation policy decides between an error and a score). Used by
+    /// [`crate::ScoringSession`] to key cached results; configurations that
+    /// only change performance may share a tag.
+    fn config_tag(&self) -> u64 {
+        0
+    }
+
+    /// Checks whether the engine would accept scoring *every* document of
+    /// `docs` under `bindings`, without computing any score. The bounded
+    /// top-k path calls this before pruning: an engine that rejects inputs
+    /// per document (e.g. the strict factorized engine on correlated
+    /// features) must reject here too, so `rank_top_k` errors exactly when
+    /// `rank(score_all(docs))` would — pruning never masks an error.
+    fn validate_workload(
+        &self,
+        env: &ScoringEnv<'_>,
+        bindings: &[Arc<RuleBinding>],
+        docs: &[IndividualId],
+    ) -> Result<()> {
+        let _ = (env, bindings, docs);
+        Ok(())
+    }
+
+    /// Scores every document in `docs`, in order, against already-bound
+    /// rules — the prepared entry point driven by [`crate::ScoringSession`]
+    /// and [`crate::rank_top_k`]. `bindings` must be one binding per rule
+    /// (in repository order, as produced by [`crate::bind_rules_shared`] or
+    /// the session's cache); `scratch` carries memo state that is reused
+    /// across calls and reset automatically when the KB changes.
+    fn score_all_bound(
+        &self,
+        env: &ScoringEnv<'_>,
+        bindings: &[Arc<RuleBinding>],
+        docs: &[IndividualId],
+        scratch: &mut EvalScratch,
+    ) -> Result<Vec<DocScore>>;
+
+    /// Scores every document in `docs`, in order. Cold path: binds the
+    /// rules and delegates to [`ScoringEngine::score_all_bound`] with
+    /// throwaway state.
+    fn score_all(&self, env: &ScoringEnv<'_>, docs: &[IndividualId]) -> Result<Vec<DocScore>> {
+        self.score_all_bound(env, &bind_rules_shared(env), docs, &mut EvalScratch::new())
+    }
 
     /// Scores a single document.
     fn score(&self, env: &ScoringEnv<'_>, doc: IndividualId) -> Result<DocScore> {

@@ -1,8 +1,9 @@
-use capra_dl::IndividualId;
-use capra_events::Evaluator;
+use std::sync::Arc;
 
-use crate::bind::{bind_rules, RuleBinding};
-use crate::engines::{DocScore, ScoringEngine};
+use capra_dl::IndividualId;
+
+use crate::bind::RuleBinding;
+use crate::engines::{DocScore, EvalScratch, ScoringEngine};
 use crate::{CoreError, Result, ScoringEnv};
 
 /// The possible-feature-vector enumerator: a literal, in-memory transcription
@@ -56,10 +57,26 @@ impl ScoringEngine for NaiveEnumEngine {
         "naive-enum"
     }
 
-    fn score_all(&self, env: &ScoringEnv<'_>, docs: &[IndividualId]) -> Result<Vec<DocScore>> {
-        let bindings = bind_rules(env);
-        let applicable: Vec<&RuleBinding> =
-            bindings.iter().filter(|b| !b.is_inapplicable()).collect();
+    fn config_tag(&self) -> u64 {
+        // `max_rules` decides between an error and a score, so different
+        // caps must not share cached results. `prune_zero_branches` only
+        // changes the work done, never the outcome.
+        self.max_rules as u64
+    }
+
+    fn score_all_bound(
+        &self,
+        env: &ScoringEnv<'_>,
+        bindings: &[Arc<RuleBinding>],
+        docs: &[IndividualId],
+        scratch: &mut EvalScratch,
+    ) -> Result<Vec<DocScore>> {
+        scratch.ensure_kb(env.kb);
+        let applicable: Vec<&RuleBinding> = bindings
+            .iter()
+            .map(Arc::as_ref)
+            .filter(|b| !b.is_inapplicable())
+            .collect();
         let n = applicable.len();
         if n > self.max_rules {
             return Err(CoreError::TooManyRules {
@@ -67,26 +84,27 @@ impl ScoringEngine for NaiveEnumEngine {
                 max: self.max_rules,
             });
         }
-        let mut ev = Evaluator::new(&env.kb.universe);
-        let context_probs: Vec<f64> = applicable
-            .iter()
-            .map(|b| ev.prob(&b.context_event))
-            .collect();
-        let sigmas: Vec<f64> = applicable.iter().map(|b| b.sigma).collect();
-
-        let mut out = Vec::with_capacity(docs.len());
-        for &doc in docs {
-            let feature_probs: Vec<f64> = applicable
+        scratch.with_evaluator(&env.kb.universe, |ev| {
+            let context_probs: Vec<f64> = applicable
                 .iter()
-                .map(|b| ev.prob(&b.preference_event(doc)))
+                .map(|b| ev.prob(&b.context_event))
                 .collect();
-            let score = self.enumerate(&context_probs, &feature_probs, &sigmas);
-            out.push(DocScore {
-                doc,
-                score: score.clamp(0.0, 1.0),
-            });
-        }
-        Ok(out)
+            let sigmas: Vec<f64> = applicable.iter().map(|b| b.sigma).collect();
+
+            let mut out = Vec::with_capacity(docs.len());
+            for &doc in docs {
+                let feature_probs: Vec<f64> = applicable
+                    .iter()
+                    .map(|b| ev.prob(&b.preference_event(doc)))
+                    .collect();
+                let score = self.enumerate(&context_probs, &feature_probs, &sigmas);
+                out.push(DocScore {
+                    doc,
+                    score: score.clamp(0.0, 1.0),
+                });
+            }
+            Ok(out)
+        })
     }
 }
 

@@ -1,11 +1,13 @@
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use capra_dl::IndividualId;
-use capra_events::{Evaluator, EventExpr};
+use capra_events::EventExpr;
 use capra_reldb::{DataType, Datum, Executor, Plan, Row, Schema};
 
+use crate::bind::RuleBinding;
 use crate::compile::{individual_datum, install_kb, Compiler};
-use crate::engines::{DocScore, ScoringEngine};
+use crate::engines::{DocScore, EvalScratch, ScoringEngine};
 use crate::{CoreError, Result, ScoringEnv};
 
 /// The faithful re-creation of the paper's **naive implementation**
@@ -57,14 +59,27 @@ impl ScoringEngine for NaiveViewEngine {
         "naive-view"
     }
 
-    fn score_all(&self, env: &ScoringEnv<'_>, docs: &[IndividualId]) -> Result<Vec<DocScore>> {
-        let n = env.rules.len();
+    fn config_tag(&self) -> u64 {
+        // `max_rules` decides between an error and a score, so different
+        // caps must not share cached results.
+        self.max_rules as u64
+    }
+
+    fn score_all_bound(
+        &self,
+        env: &ScoringEnv<'_>,
+        bindings: &[Arc<RuleBinding>],
+        docs: &[IndividualId],
+        scratch: &mut EvalScratch,
+    ) -> Result<Vec<DocScore>> {
+        let n = bindings.len();
         if n > self.max_rules {
             return Err(CoreError::TooManyRules {
                 n,
                 max: self.max_rules,
             });
         }
+        scratch.ensure_kb(env.kb);
         let catalog = install_kb(env.kb)?;
         let compiler = Compiler::new(env.kb, &catalog);
         let id_schema = Schema::of(&[("id", DataType::Id)]);
@@ -79,24 +94,25 @@ impl ScoringEngine for NaiveViewEngine {
         )?;
 
         // Per rule: preference views (both polarities, over the candidate
-        // set) and context relations (both polarities, single row).
+        // set) and context relations (both polarities, single row). The
+        // membership events come from the rule *bindings*; the compiled view
+        // plan is registered under the paper's repository-table convention
+        // whenever the binding's source rule is in the environment (callers
+        // may pass hand-built bindings with no repository rule — a plan
+        // needs the concept, so only the named view is skipped then).
         let mut sigmas = Vec::with_capacity(n);
-        for (r, rule) in env.rules.rules().iter().enumerate() {
-            sigmas.push(rule.sigma.get());
-            // The paper stores the *names of the views* in the repository
-            // table; we register the compiled plan as a named view too.
-            let view_name = format!("naive_pref_view_{r}");
-            catalog.create_view(&view_name, compiler.concept_plan(&rule.preference)?)?;
-            let members: HashMap<IndividualId, EventExpr> = compiler
-                .materialize(&rule.preference)?
-                .into_iter()
-                .collect();
+        for (r, binding) in bindings.iter().enumerate() {
+            sigmas.push(binding.sigma);
+            if let Some(rule) = env.rules.get(&binding.name) {
+                let view_name = format!("naive_pref_view_{r}");
+                catalog.create_view(&view_name, compiler.concept_plan(&rule.preference)?)?;
+            }
             let pos = catalog.create_table(&format!("naive_pref_pos_{r}"), id_schema.clone())?;
             let neg = catalog.create_table(&format!("naive_pref_neg_{r}"), id_schema.clone())?;
             let mut pos_rows = Vec::new();
             let mut neg_rows = Vec::new();
             for &doc in docs {
-                let event = members.get(&doc).cloned().unwrap_or(EventExpr::False);
+                let event = binding.preference_event(doc);
                 let complement = EventExpr::not(event.clone());
                 if !event.is_false() {
                     pos_rows.push(Row::uncertain(vec![individual_datum(doc)], event));
@@ -108,12 +124,7 @@ impl ScoringEngine for NaiveViewEngine {
             pos.insert(pos_rows)?;
             neg.insert(neg_rows)?;
 
-            let ctx_members: HashMap<IndividualId, EventExpr> =
-                compiler.materialize(&rule.context)?.into_iter().collect();
-            let ctx_event = ctx_members
-                .get(&env.user)
-                .cloned()
-                .unwrap_or(EventExpr::False);
+            let ctx_event = binding.context_event.clone();
             let ctx_complement = EventExpr::not(ctx_event.clone());
             let cpos = catalog.create_table(&format!("naive_ctx_pos_{r}"), one_schema.clone())?;
             let cneg = catalog.create_table(&format!("naive_ctx_neg_{r}"), one_schema.clone())?;
@@ -127,55 +138,60 @@ impl ScoringEngine for NaiveViewEngine {
 
         // The big preference view, combination by combination.
         let executor = Executor::new(&catalog);
-        let mut evaluator = Evaluator::new(&env.kb.universe);
         let mut scores: HashMap<IndividualId, f64> = docs.iter().map(|&d| (d, 0.0)).collect();
-        for g_mask in 0u64..(1 << n) {
-            for f_mask in 0u64..(1 << n) {
-                let mut weight = 1.0;
-                for (r, &s) in sigmas.iter().enumerate() {
-                    if g_mask >> r & 1 == 1 {
-                        weight *= if f_mask >> r & 1 == 1 { s } else { 1.0 - s };
+        // The memo loan returns to the scratch even when a combination's
+        // plan fails mid-run.
+        scratch.with_evaluator(&env.kb.universe, |evaluator| -> Result<()> {
+            for g_mask in 0u64..(1 << n) {
+                for f_mask in 0u64..(1 << n) {
+                    let mut weight = 1.0;
+                    for (r, &s) in sigmas.iter().enumerate() {
+                        if g_mask >> r & 1 == 1 {
+                            weight *= if f_mask >> r & 1 == 1 { s } else { 1.0 - s };
+                        }
                     }
-                }
-                let mut plan = Plan::scan("naive_candidates");
-                for r in 0..n {
-                    let pref_table = if f_mask >> r & 1 == 1 {
-                        format!("naive_pref_pos_{r}")
-                    } else {
-                        format!("naive_pref_neg_{r}")
-                    };
-                    plan = Plan::Join {
-                        left: Box::new(plan),
-                        right: Box::new(Plan::scan(pref_table)),
-                        on: vec![(0, 0)],
-                        filter: None,
-                    };
-                }
-                for r in 0..n {
-                    let ctx_table = if g_mask >> r & 1 == 1 {
-                        format!("naive_ctx_pos_{r}")
-                    } else {
-                        format!("naive_ctx_neg_{r}")
-                    };
-                    plan = Plan::Join {
-                        left: Box::new(plan),
-                        right: Box::new(Plan::scan(ctx_table)),
-                        on: vec![],
-                        filter: None,
-                    };
-                }
-                let relation = executor.run(&plan)?;
-                for row in relation.rows() {
-                    let Some(doc) = crate::compile::datum_individual(env.kb, &row.values[0]) else {
-                        continue;
-                    };
-                    let p = evaluator.prob(&row.lineage);
-                    if let Some(slot) = scores.get_mut(&doc) {
-                        *slot += weight * p;
+                    let mut plan = Plan::scan("naive_candidates");
+                    for r in 0..n {
+                        let pref_table = if f_mask >> r & 1 == 1 {
+                            format!("naive_pref_pos_{r}")
+                        } else {
+                            format!("naive_pref_neg_{r}")
+                        };
+                        plan = Plan::Join {
+                            left: Box::new(plan),
+                            right: Box::new(Plan::scan(pref_table)),
+                            on: vec![(0, 0)],
+                            filter: None,
+                        };
+                    }
+                    for r in 0..n {
+                        let ctx_table = if g_mask >> r & 1 == 1 {
+                            format!("naive_ctx_pos_{r}")
+                        } else {
+                            format!("naive_ctx_neg_{r}")
+                        };
+                        plan = Plan::Join {
+                            left: Box::new(plan),
+                            right: Box::new(Plan::scan(ctx_table)),
+                            on: vec![],
+                            filter: None,
+                        };
+                    }
+                    let relation = executor.run(&plan)?;
+                    for row in relation.rows() {
+                        let Some(doc) = crate::compile::datum_individual(env.kb, &row.values[0])
+                        else {
+                            continue;
+                        };
+                        let p = evaluator.prob(&row.lineage);
+                        if let Some(slot) = scores.get_mut(&doc) {
+                            *slot += weight * p;
+                        }
                     }
                 }
             }
-        }
+            Ok(())
+        })?;
         Ok(docs
             .iter()
             .map(|&doc| DocScore {

@@ -1,7 +1,17 @@
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use capra_dl::{parse_concept, ABox, Concept, IndividualId, Reasoner, TBox, Vocabulary};
 use capra_events::{EventExpr, Universe, VarId};
 
 use crate::Result;
+
+/// Source of process-unique knowledge-base identities (see [`Kb::id`]).
+static NEXT_KB_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_kb_id() -> u64 {
+    NEXT_KB_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// The knowledge base a scoring run operates on: vocabulary, event universe,
 /// assertions, and terminology, bundled for convenience.
@@ -17,7 +27,7 @@ use crate::Result;
 /// * correlated facts — create a choice variable on
 ///   [`Kb::universe`] directly and pass its atoms as events (e.g. *the user
 ///   is in exactly one room*).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug)]
 pub struct Kb {
     /// Interned names.
     pub voc: Vocabulary,
@@ -27,12 +37,68 @@ pub struct Kb {
     pub abox: ABox,
     /// Concept definitions.
     pub tbox: TBox,
+    /// Process-unique identity (fresh per value, including clones).
+    id: u64,
+    /// Next suffix to try per fresh-variable base name, so minting stays
+    /// amortised O(1) under repeated assertions of the same fact shape.
+    fresh_suffix: HashMap<String, u32>,
+}
+
+impl Default for Kb {
+    fn default() -> Self {
+        Self {
+            voc: Vocabulary::default(),
+            universe: Universe::default(),
+            abox: ABox::default(),
+            tbox: TBox::default(),
+            id: fresh_kb_id(),
+            fresh_suffix: HashMap::new(),
+        }
+    }
+}
+
+impl Clone for Kb {
+    /// Clones the knowledge base under a **fresh identity** (see [`Kb::id`]):
+    /// the clone can be mutated independently, so caches keyed by the
+    /// original's `(id, epoch)` must not accept it.
+    fn clone(&self) -> Self {
+        Self {
+            voc: self.voc.clone(),
+            universe: self.universe.clone(),
+            abox: self.abox.clone(),
+            tbox: self.tbox.clone(),
+            id: fresh_kb_id(),
+            fresh_suffix: self.fresh_suffix.clone(),
+        }
+    }
 }
 
 impl Kb {
     /// Creates an empty knowledge base.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Process-unique identity of this KB value. Clones receive a fresh id,
+    /// so `(id, epoch)` pairs identify one immutable snapshot of one KB —
+    /// the key scheme of [`crate::BindingCache`].
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Combined mutation counter over all layers (universe + ABox + TBox).
+    /// Each layer's counter is monotonic, so the sum is too.
+    pub fn epoch(&self) -> u64 {
+        self.universe.epoch() + self.abox.epoch() + self.tbox.epoch()
+    }
+
+    /// The part of [`Kb::epoch`] that can invalidate rule bindings: ABox and
+    /// TBox mutations. Universe declarations are append-only (existing
+    /// variables and probabilities never change), so adding one cannot
+    /// change what an already-derived binding means — staleness is a single
+    /// integer compare against this counter.
+    pub fn binding_epoch(&self) -> u64 {
+        self.abox.epoch() + self.tbox.epoch()
     }
 
     /// Interns an individual and registers it in the ABox domain.
@@ -127,13 +193,20 @@ impl Kb {
 
     fn fresh_var(&mut self, base: &str, p: f64) -> Result<VarId> {
         // Assertion events need unique variable names; suffix with a counter
-        // when the natural name is taken (e.g. repeated assertions).
-        let mut name = base.to_string();
-        let mut i = 0;
-        while self.universe.var(&name).is_some() {
-            i += 1;
-            name = format!("{base}~{i}");
+        // when the natural name is taken (e.g. repeated assertions). The
+        // next suffix to try is remembered per base, so a run of repeated
+        // assertions probes once each instead of rescanning from `~1`; the
+        // loop only advances past names the caller declared manually.
+        if self.universe.var(base).is_none() {
+            return Ok(self.universe.add_bool(base, p)?);
         }
+        let next = self.fresh_suffix.entry(base.to_string()).or_insert(1);
+        let mut name = format!("{base}~{next}");
+        while self.universe.var(&name).is_some() {
+            *next += 1;
+            name = format!("{base}~{next}");
+        }
+        *next += 1;
         Ok(self.universe.add_bool(&name, p)?)
     }
 }
@@ -171,6 +244,42 @@ mod tests {
         let membership = kb.reasoner().membership(x, &c);
         let mut ev = Evaluator::new(&kb.universe);
         assert!((ev.prob(&membership) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fresh_var_minting_is_fast_and_skips_manual_names() {
+        let mut kb = Kb::new();
+        let x = kb.individual("x");
+        // A manually declared variable squatting on a suffix the counter
+        // will reach: the probe must step over it exactly once.
+        kb.universe.add_bool("c:C:x~3", 0.5).unwrap();
+        let mut vars = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            vars.insert(kb.assert_concept_prob(x, "C", 0.5).unwrap());
+        }
+        assert_eq!(vars.len(), 500, "all minted variables are distinct");
+        assert!(kb.universe.var("c:C:x~4").is_some());
+    }
+
+    #[test]
+    fn epochs_and_identity_track_mutations() {
+        let mut kb = Kb::new();
+        let e0 = kb.epoch();
+        let b0 = kb.binding_epoch();
+        let x = kb.individual("x");
+        assert!(kb.epoch() > e0, "registering an individual mutates the KB");
+        kb.assert_concept_prob(x, "C", 0.5).unwrap();
+        assert!(kb.binding_epoch() > b0, "assertions bump the binding epoch");
+        // A universe-only declaration bumps the overall epoch but not the
+        // binding epoch (existing bindings cannot reference the new var).
+        let (e1, b1) = (kb.epoch(), kb.binding_epoch());
+        kb.universe.add_bool("sensor", 0.5).unwrap();
+        assert!(kb.epoch() > e1);
+        assert_eq!(kb.binding_epoch(), b1);
+        // Clones carry the state but get a fresh identity.
+        let clone = kb.clone();
+        assert_eq!(clone.epoch(), kb.epoch());
+        assert_ne!(clone.id(), kb.id());
     }
 
     #[test]

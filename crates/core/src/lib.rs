@@ -19,7 +19,11 @@
 //!   users*);
 //! * [`ranking`] — the `preferencescore` SQL integration of the paper's
 //!   introduction;
-//! * [`parallel`] — document-sharded parallel scoring.
+//! * [`parallel`] — document-sharded parallel scoring;
+//! * [`ScoringSession`] — prepared scoring: cached rule bindings
+//!   (invalidated by KB epoch), persistent evaluation memos and cached
+//!   scores across repeated calls;
+//! * [`rank_top_k`] — `LIMIT`-shaped ranking with early termination.
 //!
 //! ## The worked example (paper Section 4.2)
 //!
@@ -74,21 +78,25 @@ pub mod parallel;
 pub mod ranking;
 mod repository;
 mod rule;
+mod session;
 pub mod smoothing;
+mod topk;
 
-pub use bind::{bind_rules, RuleBinding, ScoringEnv};
+pub use bind::{bind_rules, bind_rules_shared, RuleBinding, ScoringEnv};
 pub use engines::{
-    rank, CorrelationPolicy, DocScore, FactorizedEngine, LineageEngine, NaiveEnumEngine,
-    NaiveViewEngine, ScoringEngine,
+    rank, CorrelationPolicy, DocScore, EvalScratch, FactorizedEngine, LineageEngine,
+    NaiveEnumEngine, NaiveViewEngine, ScoringEngine,
 };
 pub use error::CoreError;
 pub use explain::{explain, Explanation, RuleContribution};
 pub use history::{Episode, HistoryLog, MinedRule, Offer};
 pub use kb::Kb;
-pub use multiuser::{group_scores, GroupStrategy};
+pub use multiuser::{group_scores, score_group, GroupStrategy};
 pub use repository::RuleRepository;
 pub use rule::{PreferenceRule, Score};
+pub use session::{BindingCache, ScoringSession, SessionStats};
 pub use smoothing::{blend, QueryRelevance, Smoothing};
+pub use topk::{rank_top_k, rank_top_k_bound};
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

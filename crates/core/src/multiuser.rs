@@ -11,8 +11,8 @@ use std::collections::BTreeMap;
 
 use capra_dl::IndividualId;
 
-use crate::engines::DocScore;
-use crate::{CoreError, Result};
+use crate::engines::{DocScore, ScoringEngine};
+use crate::{CoreError, Kb, Result, RuleRepository, ScoringEnv, ScoringSession};
 
 /// How to combine per-user ideal-document probabilities.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +92,33 @@ pub fn group_scores(per_user: &[Vec<DocScore>], strategy: &GroupStrategy) -> Res
     Ok(out)
 }
 
+/// Scores `docs` once per group member and combines the results with
+/// `strategy` — the group-TV scenario, served through a shared
+/// [`ScoringSession`].
+///
+/// The session's binding cache is keyed by user, so re-ranking the same
+/// group after a context change only re-derives what the mutation
+/// invalidated; a repeat call with an unchanged KB is pure cache lookups
+/// for every member.
+pub fn score_group<E>(
+    session: &mut ScoringSession,
+    engine: &E,
+    kb: &Kb,
+    rules: &RuleRepository,
+    users: &[IndividualId],
+    docs: &[IndividualId],
+    strategy: &GroupStrategy,
+) -> Result<Vec<DocScore>>
+where
+    E: ScoringEngine + ?Sized,
+{
+    let per_user = users
+        .iter()
+        .map(|&user| session.score_all(engine, &ScoringEnv { kb, rules, user }, docs))
+        .collect::<Result<Vec<_>>>()?;
+    group_scores(&per_user, strategy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +161,83 @@ mod tests {
         assert_eq!(misery.iter().find(|s| s.doc == a).unwrap().score, 0.5);
         let pleasure = group_scores(&per_user, &GroupStrategy::MostPleasure).unwrap();
         assert_eq!(pleasure.iter().find(|s| s.doc == b).unwrap().score, 0.9);
+    }
+
+    #[test]
+    fn group_scoring_through_a_session_is_warm_on_repeat() {
+        use crate::{FactorizedEngine, PreferenceRule, Score};
+
+        let mut kb = Kb::new();
+        let alice = kb.individual("alice");
+        let bob = kb.individual("bob");
+        kb.assert_concept(alice, "Weekend");
+        kb.assert_concept_prob(bob, "Weekend", 0.4).unwrap();
+        let docs: Vec<IndividualId> = (0..5)
+            .map(|i| {
+                let d = kb.individual(&format!("d{i}"));
+                kb.assert_concept_prob(d, "Nice", 0.15 * (i + 1) as f64)
+                    .unwrap();
+                d
+            })
+            .collect();
+        let mut rules = RuleRepository::new();
+        rules
+            .add(PreferenceRule::new(
+                "R",
+                kb.parse("Weekend").unwrap(),
+                kb.parse("Nice").unwrap(),
+                Score::new(0.8).unwrap(),
+            ))
+            .unwrap();
+        let engine = FactorizedEngine::new();
+        let mut session = ScoringSession::new();
+        let users = [alice, bob];
+        let first = score_group(
+            &mut session,
+            &engine,
+            &kb,
+            &rules,
+            &users,
+            &docs,
+            &GroupStrategy::LeastMisery,
+        )
+        .unwrap();
+        let again = score_group(
+            &mut session,
+            &engine,
+            &kb,
+            &rules,
+            &users,
+            &docs,
+            &GroupStrategy::LeastMisery,
+        )
+        .unwrap();
+        for (a, b) in first.iter().zip(&again) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        let stats = session.stats();
+        assert_eq!(stats.binding_misses, 2, "one bind per user, once");
+        assert_eq!(stats.score_hits, 2 * docs.len() as u64, "repeat is warm");
+        // Reference: per-user cold scoring + group_scores gives the same.
+        let cold: Vec<Vec<DocScore>> = users
+            .iter()
+            .map(|&user| {
+                engine
+                    .score_all(
+                        &ScoringEnv {
+                            kb: &kb,
+                            rules: &rules,
+                            user,
+                        },
+                        &docs,
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let reference = group_scores(&cold, &GroupStrategy::LeastMisery).unwrap();
+        for (a, b) in reference.iter().zip(&again) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
     }
 
     #[test]

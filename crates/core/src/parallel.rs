@@ -1,16 +1,25 @@
 //! Parallel scoring across documents.
 //!
 //! The scoring formula is embarrassingly parallel over documents; this
-//! module shards the document list over `std::thread::scope` workers.
-//! Per-run evaluator memo tables are per-shard, but the event-expression
+//! module shards the document list over `std::thread::scope` workers. Rules
+//! are bound **once** and the resulting `Arc<RuleBinding>`s shared across
+//! shards, so adding threads never multiplies the reasoner cost. Per-run
+//! evaluator memo tables are per-shard, but the event-expression
 //! **interner** is process-global (see `capra_events`), so every shard's
 //! restricted sub-expressions resolve to the same node ids — shards rebuild
 //! probabilities, not expression identity. The ablation benchmark
 //! quantifies the per-shard memo trade-off.
+//!
+//! [`rank_top_k_parallel`] extends [`crate::rank_top_k`]'s early
+//! termination across shards: every shard prunes against the *best k-th
+//! score any shard has proven so far*, published through a shared atomic
+//! cell, so one shard finding strong candidates shrinks everyone's work.
 
 use capra_dl::IndividualId;
 
-use crate::engines::{DocScore, ScoringEngine};
+use crate::bind::bind_rules_shared;
+use crate::engines::{DocScore, EvalScratch, ScoringEngine};
+use crate::topk::{bound_sorted_order, by_rank, scan_bounded, SharedThreshold};
 use crate::{Result, ScoringEnv};
 
 /// Scores documents on `threads` worker threads, preserving input order.
@@ -26,14 +35,20 @@ where
     E: ScoringEngine + Sync,
 {
     let threads = threads.max(1).min(docs.len().max(1));
+    let bindings = bind_rules_shared(env);
     if threads == 1 {
-        return engine.score_all(env, docs);
+        return engine.score_all_bound(env, &bindings, docs, &mut EvalScratch::new());
     }
     let chunk = docs.len().div_ceil(threads);
     let results = std::thread::scope(|scope| {
         let handles: Vec<_> = docs
             .chunks(chunk)
-            .map(|shard| scope.spawn(move || engine.score_all(env, shard)))
+            .map(|shard| {
+                let bindings = &bindings;
+                scope.spawn(move || {
+                    engine.score_all_bound(env, bindings, shard, &mut EvalScratch::new())
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -45,6 +60,71 @@ where
         out.extend(shard?);
     }
     Ok(out)
+}
+
+/// The exact top `k` of `rank(score_all(docs))`, computed on `threads`
+/// workers with cross-shard bound sharing (see module docs). Documents are
+/// dealt to shards round-robin in descending bound order, so every shard
+/// scores strong candidates early and the shared threshold rises fast.
+pub fn rank_top_k_parallel<E>(
+    engine: &E,
+    env: &ScoringEnv<'_>,
+    docs: &[IndividualId],
+    k: usize,
+    threads: usize,
+) -> Result<Vec<DocScore>>
+where
+    E: ScoringEngine + Sync,
+{
+    let threads = threads.max(1).min(docs.len().max(1));
+    if threads == 1 || k == 0 || k >= docs.len() {
+        return crate::rank_top_k(env, engine, docs, k);
+    }
+    let bindings = bind_rules_shared(env);
+    // Same contract as `rank_top_k`: errors the engine would raise on
+    // pruned documents must not be masked.
+    engine.validate_workload(env, &bindings, docs)?;
+    let order = bound_sorted_order(env, &bindings, docs, &mut EvalScratch::new());
+    let threshold = SharedThreshold::new();
+    let results = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let order = &order;
+                let bindings = &bindings;
+                let threshold = &threshold;
+                scope.spawn(move || {
+                    // Strided assignment: worker `w` takes every
+                    // `threads`-th document of the bound-sorted list.
+                    let mine: Vec<_> = order
+                        .iter()
+                        .skip(worker)
+                        .step_by(threads)
+                        .copied()
+                        .collect();
+                    scan_bounded(
+                        env,
+                        engine,
+                        bindings,
+                        &mine,
+                        k,
+                        &mut EvalScratch::new(),
+                        Some(threshold),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("top-k worker panicked"))
+            .collect::<Vec<Result<Vec<DocScore>>>>()
+    });
+    let mut merged: Vec<DocScore> = Vec::with_capacity(threads * k);
+    for shard in results {
+        merged.extend(shard?);
+    }
+    merged.sort_unstable_by(by_rank);
+    merged.truncate(k);
+    Ok(merged)
 }
 
 #[cfg(test)]
@@ -108,6 +188,28 @@ mod tests {
         let par = score_all_parallel(&LineageEngine::new(), &env, &docs, 3).unwrap();
         for (a, b) in seq.iter().zip(&par) {
             assert!((a.score - b.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_top_k_matches_sequential() {
+        let (kb, rules, user, docs) = fixture(64);
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let engine = FactorizedEngine::new();
+        for k in [1, 7, 64] {
+            let seq = crate::rank_top_k(&env, &engine, &docs, k).unwrap();
+            for threads in [1, 2, 5] {
+                let par = rank_top_k_parallel(&engine, &env, &docs, k, threads).unwrap();
+                assert_eq!(seq.len(), par.len(), "k={k} threads={threads}");
+                for (a, b) in seq.iter().zip(&par) {
+                    assert_eq!(a.doc, b.doc, "k={k} threads={threads}");
+                    assert_eq!(a.score.to_bits(), b.score.to_bits());
+                }
+            }
         }
     }
 

@@ -21,23 +21,41 @@ use capra_dl::IndividualId;
 use capra_reldb::{Catalog, DataType, Datum, Relation, Row, Schema};
 
 use crate::compile::individual_datum;
-use crate::engines::ScoringEngine;
+use crate::engines::{DocScore, ScoringEngine};
+use crate::topk::rank_top_k;
 use crate::{Result, ScoringEnv};
 
 /// Name of the column carrying the context-aware score, as in the paper.
 pub const SCORE_COLUMN: &str = "preferencescore";
 
-/// Scores `docs` with `engine` and registers table
-/// `<table>` (`doc ID, preferencescore FLOAT`) in the catalog, replacing any
-/// previous contents. Returns the number of scored documents.
-pub fn install_preference_scores(
-    env: &ScoringEnv<'_>,
-    engine: &dyn ScoringEngine,
-    docs: &[IndividualId],
-    catalog: &Catalog,
-    table: &str,
-) -> Result<usize> {
-    let scores = engine.score_all(env, docs)?;
+/// Renders a finite `f64` as a SQL literal that the lexer is guaranteed to
+/// accept and that parses back to the exact same value.
+///
+/// A plain decimal lexer rejects scientific notation (`1e-7`). Rust's `f64`
+/// `Display` is positional today (it is `Debug`/`{:e}` that use exponent
+/// form), but that is a de-facto behaviour, not a documented guarantee —
+/// this helper pins the contract regardless. The fallback works because
+/// every finite `f64` is a dyadic rational: its exact decimal expansion is
+/// finite — at most 1074 fractional digits (subnormals) — and re-parsing an
+/// exact expansion recovers the exact value.
+fn sql_float_literal(value: f64) -> String {
+    let shortest = format!("{value}");
+    if !shortest.contains(['e', 'E']) {
+        return shortest;
+    }
+    let mut exact = format!("{value:.1074}");
+    while exact.ends_with('0') {
+        exact.pop();
+    }
+    if exact.ends_with('.') {
+        exact.push('0');
+    }
+    exact
+}
+
+/// Registers (or replaces) table `<table>` (`doc ID, preferencescore
+/// FLOAT`) in the catalog with the given scores. Returns the number of rows.
+fn install_scores(scores: Vec<DocScore>, catalog: &Catalog, table: &str) -> Result<usize> {
     let handle = match catalog.table(table) {
         Ok(t) => {
             t.clear();
@@ -56,6 +74,19 @@ pub fn install_preference_scores(
             .collect(),
     )?;
     Ok(n)
+}
+
+/// Scores `docs` with `engine` and registers table
+/// `<table>` (`doc ID, preferencescore FLOAT`) in the catalog, replacing any
+/// previous contents. Returns the number of scored documents.
+pub fn install_preference_scores(
+    env: &ScoringEnv<'_>,
+    engine: &dyn ScoringEngine,
+    docs: &[IndividualId],
+    catalog: &Catalog,
+    table: &str,
+) -> Result<usize> {
+    install_scores(engine.score_all(env, docs)?, catalog, table)
 }
 
 /// Runs the paper's ranked query against a documents table.
@@ -77,17 +108,72 @@ pub fn ranked_query(
     threshold: f64,
 ) -> Result<Relation> {
     install_preference_scores(env, engine, docs, catalog, "preference_scores")?;
+    run_ranked_sql(
+        env,
+        catalog,
+        doc_table,
+        id_column,
+        display_columns,
+        threshold,
+        None,
+    )
+}
+
+/// The `LIMIT k` variant of [`ranked_query`]: only the exact top `k`
+/// documents are scored at all — [`rank_top_k`] prunes candidates that
+/// cannot reach the top-k before any SQL runs — and the emitted query
+/// carries a matching `LIMIT` clause. Produces the same rows as running
+/// [`ranked_query`] and truncating to `k`, except that rows *tied* on
+/// score at the `k` boundary are chosen by document id (the deterministic
+/// tie-break of [`crate::rank`]), whereas the plain query's stable sort
+/// leaves ties in table order.
+#[allow(clippy::too_many_arguments)] // mirrors the SQL clause structure
+pub fn ranked_query_top_k(
+    env: &ScoringEnv<'_>,
+    engine: &dyn ScoringEngine,
+    docs: &[IndividualId],
+    catalog: &Catalog,
+    doc_table: &str,
+    id_column: &str,
+    display_columns: &[&str],
+    threshold: f64,
+    k: usize,
+) -> Result<Relation> {
+    let top = rank_top_k(env, engine, docs, k)?;
+    install_scores(top, catalog, "preference_scores")?;
+    run_ranked_sql(
+        env,
+        catalog,
+        doc_table,
+        id_column,
+        display_columns,
+        threshold,
+        Some(k),
+    )
+}
+
+fn run_ranked_sql(
+    env: &ScoringEnv<'_>,
+    catalog: &Catalog,
+    doc_table: &str,
+    id_column: &str,
+    display_columns: &[&str],
+    threshold: f64,
+    limit: Option<usize>,
+) -> Result<Relation> {
     let select_list = display_columns
         .iter()
         .map(|c| format!("d.{c}"))
         .chain([format!("s.{SCORE_COLUMN}")])
         .collect::<Vec<_>>()
         .join(", ");
+    let threshold = sql_float_literal(threshold);
+    let limit = limit.map(|k| format!(" LIMIT {k}")).unwrap_or_default();
     let sql = format!(
         "SELECT {select_list} FROM {doc_table} d \
          JOIN preference_scores s ON d.{id_column} = s.doc \
          WHERE s.{SCORE_COLUMN} > {threshold} \
-         ORDER BY {SCORE_COLUMN} DESC"
+         ORDER BY {SCORE_COLUMN} DESC{limit}"
     );
     Ok(capra_reldb::sql::execute(
         catalog,
@@ -214,6 +300,110 @@ mod tests {
             vec!["Channel 5 news", "BBC news", "Oprah", "MPFC"],
             "paper's ranking: 0.6006 > 0.18 > 0.071 > 0.02"
         );
+    }
+
+    #[test]
+    fn tiny_threshold_survives_sql_formatting() {
+        // The SQL lexer rejects scientific notation, so the literal helper
+        // must keep the query valid (and exact) for any finite threshold,
+        // however extreme.
+        let (kb, rules, user, docs, catalog) = fixture();
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        for threshold in [1e-7, 5e-324, 0.25, 1e16] {
+            let out = ranked_query(
+                &env,
+                &FactorizedEngine::new(),
+                &docs,
+                &catalog,
+                "programs",
+                "id",
+                &["name"],
+                threshold,
+            )
+            .unwrap();
+            let expected = if threshold < 0.02 {
+                4 // every program scores above a tiny threshold
+            } else if threshold == 0.25 {
+                1 // only Channel 5 news (0.6006)
+            } else {
+                0 // nothing clears 1e16
+            };
+            assert_eq!(out.len(), expected, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn sql_float_literal_round_trips_exactly() {
+        for value in [0.0, 0.5, 1e-7, 2.5e-9, 5e-324, 1e300, 123456.789, 0.6006] {
+            let lit = sql_float_literal(value);
+            assert!(
+                !lit.contains(['e', 'E']),
+                "no scientific notation in `{lit}`"
+            );
+            assert_eq!(
+                lit.parse::<f64>().unwrap().to_bits(),
+                value.to_bits(),
+                "`{lit}` must parse back to {value:e} exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_query_limits_and_matches_full_flow() {
+        let (kb, rules, user, docs, catalog) = fixture();
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let engine = FactorizedEngine::new();
+        let full = ranked_query(
+            &env,
+            &engine,
+            &docs,
+            &catalog,
+            "programs",
+            "id",
+            &["name"],
+            0.0,
+        )
+        .unwrap();
+        for k in [1, 2, 4] {
+            let top = ranked_query_top_k(
+                &env,
+                &engine,
+                &docs,
+                &catalog,
+                "programs",
+                "id",
+                &["name"],
+                0.0,
+                k,
+            )
+            .unwrap();
+            assert_eq!(top.len(), k.min(full.len()));
+            for (a, b) in top.rows().iter().zip(full.rows()) {
+                assert_eq!(a.values, b.values);
+            }
+        }
+        // Threshold still applies on top of the LIMIT.
+        let filtered = ranked_query_top_k(
+            &env,
+            &engine,
+            &docs,
+            &catalog,
+            "programs",
+            "id",
+            &["name"],
+            0.5,
+            3,
+        )
+        .unwrap();
+        assert_eq!(filtered.len(), 1, "only Channel 5 news clears 0.5");
     }
 
     #[test]

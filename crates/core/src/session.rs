@@ -1,0 +1,569 @@
+//! Prepared scoring sessions — amortising binding and evaluation across
+//! repeated `score_all` calls.
+//!
+//! Real context-aware serving is repeat-call shaped: the paper's TVTouch
+//! scenario re-ranks the same program list every time the situation changes,
+//! and a group of viewers multiplies every query by the number of users. A
+//! cold [`crate::ScoringEngine::score_all`] pays the full bind cost each
+//! time — the reasoner re-derives every context and preference view even
+//! when nothing changed. A [`ScoringSession`] keeps three layers of state
+//! between calls:
+//!
+//! 1. **bindings** — a [`BindingCache`] keyed by `(user, rule name)` holding
+//!    `Arc<RuleBinding>`s, validated against the KB's identity and
+//!    [`crate::Kb::binding_epoch`] (one integer compare) plus the rule's
+//!    current definition. Only what a mutation invalidated is re-derived,
+//!    and re-derivation shares one reasoner across all stale rules;
+//! 2. **evaluation memos** — an [`crate::engines::EvalScratch`] carrying the
+//!    probability/expectation memo tables across calls, so unchanged
+//!    sub-problems answer from cache even when new documents appear;
+//! 3. **scores** — per-`(user, engine)` document scores, valid while the
+//!    exact same binding `Arc`s are in effect. A warm repeat call is a pure
+//!    table lookup; after any KB mutation the affected entries fall out via
+//!    layer 1 and are recomputed.
+//!
+//! All layers are behaviour-preserving: a session produces bit-identical
+//! scores to a cold call (property-tested in `tests/session_consistency.rs`),
+//! because cached values *are* the values the cold path would deterministically
+//! recompute.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use capra_dl::{Concept, IndividualId, Reasoner};
+
+use crate::bind::RuleBinding;
+use crate::engines::{rank, DocScore, EvalScratch, ScoringEngine};
+use crate::topk::rank_top_k_bound;
+use crate::{Result, ScoringEnv};
+
+/// Counters describing the work a session performed (or avoided).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Rule bindings served from the cache.
+    pub binding_hits: u64,
+    /// Rule bindings (re-)derived by the reasoner.
+    pub binding_misses: u64,
+    /// Document scores served from the score cache.
+    pub score_hits: u64,
+    /// Document scores computed by an engine.
+    pub score_misses: u64,
+}
+
+/// One cached rule binding plus everything needed to decide its staleness.
+struct CacheEntry {
+    /// `Kb::id` of the KB the binding was derived from.
+    kb_id: u64,
+    /// `Kb::binding_epoch` at derivation time.
+    epoch: u64,
+    /// The rule definition the binding reflects. Compared on lookup so a
+    /// repository whose rule was removed and re-added under the same name
+    /// (different concepts or σ) can never be served a stale binding.
+    sigma: f64,
+    context: Concept,
+    preference: Concept,
+    binding: Arc<RuleBinding>,
+}
+
+/// A cache of [`RuleBinding`]s keyed by `(user, rule name)`, validated by
+/// `(KB identity, KB binding epoch, rule definition)`.
+///
+/// The staleness check per rule is one integer compare (plus a cheap
+/// structural compare of the rule's concepts); a mutation anywhere in the
+/// ABox or TBox bumps [`crate::Kb::binding_epoch`] and invalidates exactly
+/// the bindings derived from that KB, while universe-only declarations —
+/// which cannot change existing bindings — leave everything valid.
+#[derive(Default)]
+pub struct BindingCache {
+    entries: HashMap<(IndividualId, String), CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BindingCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(hits, misses)` accumulated so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of cached bindings (including stale ones not yet evicted).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every cached binding.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Binds every rule in the environment, serving unchanged rules from the
+    /// cache and re-deriving the rest with one shared reasoner. Returns one
+    /// binding per rule, in repository order — the same contract as
+    /// [`crate::bind_rules_shared`], with which the result is bit-identical.
+    pub fn bind(&mut self, env: &ScoringEnv<'_>) -> Vec<Arc<RuleBinding>> {
+        let kb_id = env.kb.id();
+        let epoch = env.kb.binding_epoch();
+        let mut reasoner: Option<Reasoner<'_>> = None;
+        env.rules
+            .rules()
+            .iter()
+            .map(|rule| {
+                let key = (env.user, rule.name.clone());
+                if let Some(e) = self.entries.get(&key) {
+                    if e.kb_id == kb_id
+                        && e.epoch == epoch
+                        && e.sigma == rule.sigma.get()
+                        && e.context == rule.context
+                        && e.preference == rule.preference
+                    {
+                        self.hits += 1;
+                        return Arc::clone(&e.binding);
+                    }
+                }
+                self.misses += 1;
+                let shared = reasoner.get_or_insert_with(|| env.kb.reasoner());
+                let binding = Arc::new(RuleBinding::bind_with(shared, env.user, rule));
+                self.entries.insert(
+                    key,
+                    CacheEntry {
+                        kb_id,
+                        epoch,
+                        sigma: rule.sigma.get(),
+                        context: rule.context.clone(),
+                        preference: rule.preference.clone(),
+                        binding: Arc::clone(&binding),
+                    },
+                );
+                binding
+            })
+            .collect()
+    }
+}
+
+/// Cached per-document scores for one `(user, engine)` pair, valid while
+/// the exact binding `Arc`s they were computed under are still the ones the
+/// binding cache hands out. Holding strong references makes the identity
+/// check exact: a pointer can only compare equal to a *live* binding, never
+/// to a recycled allocation.
+struct ScoreEntry {
+    bindings: Vec<Arc<RuleBinding>>,
+    scores: HashMap<IndividualId, f64>,
+}
+
+/// A prepared scoring session: binding cache + persistent evaluation memos
+/// + score cache (see the module docs for the layering).
+///
+/// ```
+/// use capra_core::{
+///     FactorizedEngine, Kb, PreferenceRule, RuleRepository, Score, ScoringEnv, ScoringSession,
+/// };
+///
+/// let mut kb = Kb::new();
+/// let user = kb.individual("peter");
+/// kb.assert_concept(user, "Weekend");
+/// let doc = kb.individual("doc");
+/// kb.assert_concept_prob(doc, "Nice", 0.6).unwrap();
+/// let mut rules = RuleRepository::new();
+/// rules.add(PreferenceRule::new(
+///     "R",
+///     kb.parse("Weekend").unwrap(),
+///     kb.parse("Nice").unwrap(),
+///     Score::new(0.8).unwrap(),
+/// )).unwrap();
+///
+/// let engine = FactorizedEngine::new();
+/// let mut session = ScoringSession::new();
+/// let env = ScoringEnv { kb: &kb, rules: &rules, user };
+/// let cold = session.score_all(&engine, &env, &[doc]).unwrap();
+/// let warm = session.score_all(&engine, &env, &[doc]).unwrap(); // no rebind
+/// assert_eq!(cold[0].score.to_bits(), warm[0].score.to_bits());
+/// assert!(session.stats().score_hits > 0);
+/// ```
+#[derive(Default)]
+pub struct ScoringSession {
+    bindings: BindingCache,
+    scratch: EvalScratch,
+    scores: HashMap<(IndividualId, &'static str, u64), ScoreEntry>,
+    score_hits: u64,
+    score_misses: u64,
+}
+
+impl ScoringSession {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> SessionStats {
+        let (binding_hits, binding_misses) = self.bindings.stats();
+        SessionStats {
+            binding_hits,
+            binding_misses,
+            score_hits: self.score_hits,
+            score_misses: self.score_misses,
+        }
+    }
+
+    /// The session's binding cache (e.g. for warm-up or inspection).
+    pub fn binding_cache(&mut self) -> &mut BindingCache {
+        &mut self.bindings
+    }
+
+    /// Current bindings for the environment, served from the cache where
+    /// valid (see [`BindingCache::bind`]).
+    pub fn bindings(&mut self, env: &ScoringEnv<'_>) -> Vec<Arc<RuleBinding>> {
+        self.bindings.bind(env)
+    }
+
+    /// Drops all cached scores (bindings and evaluation memos are kept).
+    /// Benchmarks use this to isolate the pure-evaluation warm path.
+    pub fn invalidate_scores(&mut self) {
+        self.scores.clear();
+    }
+
+    /// Drops every layer of cached state.
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Scores every document in `docs`, in order — bit-identical to
+    /// `engine.score_all(env, docs)`, with all unchanged work served from
+    /// the session's caches.
+    pub fn score_all<E>(
+        &mut self,
+        engine: &E,
+        env: &ScoringEnv<'_>,
+        docs: &[IndividualId],
+    ) -> Result<Vec<DocScore>>
+    where
+        E: ScoringEngine + ?Sized,
+    {
+        let bindings = self.bindings.bind(env);
+        let key = (env.user, engine.name(), engine.config_tag());
+        let entry = self.scores.entry(key).or_insert_with(|| ScoreEntry {
+            bindings: Vec::new(),
+            scores: HashMap::new(),
+        });
+        let same_bindings = entry.bindings.len() == bindings.len()
+            && entry
+                .bindings
+                .iter()
+                .zip(&bindings)
+                .all(|(a, b)| Arc::ptr_eq(a, b));
+        if !same_bindings {
+            entry.bindings = bindings.clone();
+            entry.scores.clear();
+        }
+        let missing: Vec<IndividualId> = docs
+            .iter()
+            .copied()
+            .filter(|d| !entry.scores.contains_key(d))
+            .collect();
+        self.score_hits += (docs.len() - missing.len()) as u64;
+        self.score_misses += missing.len() as u64;
+        if !missing.is_empty() {
+            let computed = engine.score_all_bound(env, &bindings, &missing, &mut self.scratch)?;
+            let entry = self.scores.get_mut(&key).expect("entry inserted above");
+            for s in computed {
+                entry.scores.insert(s.doc, s.score);
+            }
+        }
+        let entry = &self.scores[&key];
+        Ok(docs
+            .iter()
+            .map(|&doc| DocScore {
+                doc,
+                score: entry.scores[&doc],
+            })
+            .collect())
+    }
+
+    /// [`ScoringSession::score_all`] followed by the descending sort of
+    /// [`crate::rank`].
+    pub fn rank<E>(
+        &mut self,
+        engine: &E,
+        env: &ScoringEnv<'_>,
+        docs: &[IndividualId],
+    ) -> Result<Vec<DocScore>>
+    where
+        E: ScoringEngine + ?Sized,
+    {
+        Ok(rank(self.score_all(engine, env, docs)?))
+    }
+
+    /// The top `k` of [`ScoringSession::rank`] with early termination:
+    /// documents whose score upper bound cannot reach the current top-k are
+    /// never evaluated (see [`crate::rank_top_k`]). Uses the session's
+    /// cached bindings and evaluation memos; exact scores it computes are
+    /// *not* added to the score cache (they cover an adaptively chosen
+    /// subset of `docs`).
+    pub fn rank_top_k<E>(
+        &mut self,
+        engine: &E,
+        env: &ScoringEnv<'_>,
+        docs: &[IndividualId],
+        k: usize,
+    ) -> Result<Vec<DocScore>>
+    where
+        E: ScoringEngine + ?Sized,
+    {
+        let bindings = self.bindings.bind(env);
+        rank_top_k_bound(env, engine, &bindings, docs, k, &mut self.scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FactorizedEngine, Kb, LineageEngine, PreferenceRule, RuleRepository, Score};
+
+    fn fixture() -> (Kb, RuleRepository, IndividualId, Vec<IndividualId>) {
+        let mut kb = Kb::new();
+        let user = kb.individual("peter");
+        kb.assert_concept(user, "Weekend");
+        kb.assert_concept_prob(user, "Breakfast", 0.7).unwrap();
+        let docs: Vec<IndividualId> = (0..6)
+            .map(|i| {
+                let d = kb.individual(&format!("d{i}"));
+                kb.assert_concept(d, "TvProgram");
+                kb.assert_concept_prob(d, "Nice", 0.1 + 0.12 * i as f64)
+                    .unwrap();
+                if i % 2 == 0 {
+                    kb.assert_concept_prob(d, "News", 0.2 + 0.1 * i as f64)
+                        .unwrap();
+                }
+                d
+            })
+            .collect();
+        let mut rules = RuleRepository::new();
+        rules
+            .add(PreferenceRule::new(
+                "R1",
+                kb.parse("Weekend").unwrap(),
+                kb.parse("TvProgram AND Nice").unwrap(),
+                Score::new(0.8).unwrap(),
+            ))
+            .unwrap();
+        rules
+            .add(PreferenceRule::new(
+                "R2",
+                kb.parse("Breakfast").unwrap(),
+                kb.parse("News").unwrap(),
+                Score::new(0.6).unwrap(),
+            ))
+            .unwrap();
+        (kb, rules, user, docs)
+    }
+
+    #[test]
+    fn warm_call_reuses_bindings_and_scores() {
+        let (kb, rules, user, docs) = fixture();
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let engine = FactorizedEngine::new();
+        let mut session = ScoringSession::new();
+        let cold = session.score_all(&engine, &env, &docs).unwrap();
+        assert_eq!(session.stats().binding_misses, 2);
+        assert_eq!(session.stats().score_misses, docs.len() as u64);
+        let warm = session.score_all(&engine, &env, &docs).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.binding_hits, 2, "no rebinding on a warm call");
+        assert_eq!(stats.score_hits, docs.len() as u64);
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        // Reference: a cold engine call computes the same bits.
+        let reference = engine.score_all(&env, &docs).unwrap();
+        for (a, b) in reference.iter().zip(&warm) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn mutation_invalidates_exactly_once() {
+        let (mut kb, rules, user, docs) = fixture();
+        let engine = LineageEngine::new();
+        let mut session = ScoringSession::new();
+        {
+            let env = ScoringEnv {
+                kb: &kb,
+                rules: &rules,
+                user,
+            };
+            session.score_all(&engine, &env, &docs).unwrap();
+        }
+        // Mutate the KB: the next call must rebind (and rescore) everything,
+        // and the call after that must be warm again.
+        kb.assert_concept_prob(docs[0], "Nice", 0.5).unwrap();
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let fresh = session.score_all(&engine, &env, &docs).unwrap();
+        assert_eq!(session.stats().binding_misses, 4, "2 cold + 2 invalidated");
+        let reference = engine.score_all(&env, &docs).unwrap();
+        for (a, b) in reference.iter().zip(&fresh) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        let hits_before = session.stats().score_hits;
+        session.score_all(&engine, &env, &docs).unwrap();
+        assert_eq!(
+            session.stats().score_hits,
+            hits_before + docs.len() as u64,
+            "call after the mutation is warm again"
+        );
+    }
+
+    #[test]
+    fn name_lookup_between_calls_does_not_invalidate() {
+        let (mut kb, rules, user, docs) = fixture();
+        let engine = FactorizedEngine::new();
+        let mut session = ScoringSession::new();
+        {
+            let env = ScoringEnv {
+                kb: &kb,
+                rules: &rules,
+                user,
+            };
+            session.score_all(&engine, &env, &docs).unwrap();
+        }
+        // Resolving existing names per request (the serving-loop pattern)
+        // is a no-op on the KB and must leave the caches warm.
+        assert_eq!(kb.individual("peter"), user);
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        session.score_all(&engine, &env, &docs).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.binding_misses, 2, "no rebinding after a lookup");
+        assert_eq!(stats.score_hits, docs.len() as u64, "scores stay cached");
+    }
+
+    #[test]
+    fn engine_config_changes_do_not_share_cached_scores() {
+        use crate::{CoreError, NaiveEnumEngine};
+
+        let (kb, rules, user, docs) = fixture();
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let mut session = ScoringSession::new();
+        session
+            .score_all(&NaiveEnumEngine::new(), &env, &docs)
+            .unwrap();
+        // A tighter rule cap must error through the session exactly like a
+        // cold call — cached scores from the default cap must not leak.
+        let capped = NaiveEnumEngine {
+            max_rules: 1,
+            ..NaiveEnumEngine::new()
+        };
+        assert!(matches!(
+            session.score_all(&capped, &env, &docs),
+            Err(CoreError::TooManyRules { n: 2, max: 1 })
+        ));
+    }
+
+    #[test]
+    fn rule_change_rebinds_only_that_rule() {
+        let (kb, mut rules, user, docs) = fixture();
+        let engine = FactorizedEngine::new();
+        let mut session = ScoringSession::new();
+        {
+            let env = ScoringEnv {
+                kb: &kb,
+                rules: &rules,
+                user,
+            };
+            session.score_all(&engine, &env, &docs).unwrap();
+        }
+        // Replace R2 under the same name with a different σ.
+        let r2 = rules.remove("R2").unwrap();
+        rules
+            .add(PreferenceRule::new(
+                "R2",
+                r2.context,
+                r2.preference,
+                Score::new(0.9).unwrap(),
+            ))
+            .unwrap();
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let fresh = session.score_all(&engine, &env, &docs).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.binding_misses, 3, "2 cold + only the changed rule");
+        assert_eq!(stats.binding_hits, 1, "unchanged rule served from cache");
+        let reference = engine.score_all(&env, &docs).unwrap();
+        for (a, b) in reference.iter().zip(&fresh) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn sessions_isolate_users_and_engines() {
+        let (mut kb, rules, user, docs) = fixture();
+        let other = kb.individual("mary");
+        kb.assert_concept(other, "Weekend");
+        let engine = FactorizedEngine::new();
+        let mut session = ScoringSession::new();
+        for &u in &[user, other, user, other] {
+            let env = ScoringEnv {
+                kb: &kb,
+                rules: &rules,
+                user: u,
+            };
+            let via_session = session.score_all(&engine, &env, &docs).unwrap();
+            let reference = engine.score_all(&env, &docs).unwrap();
+            for (a, b) in reference.iter().zip(&via_session) {
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+        // Alternating users must not thrash: second round is all hits.
+        assert_eq!(session.stats().score_misses, 2 * docs.len() as u64);
+        assert_eq!(session.stats().score_hits, 2 * docs.len() as u64);
+    }
+
+    #[test]
+    fn new_documents_extend_a_warm_session() {
+        let (kb, rules, user, docs) = fixture();
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let engine = FactorizedEngine::new();
+        let mut session = ScoringSession::new();
+        session.score_all(&engine, &env, &docs[..3]).unwrap();
+        let all = session.score_all(&engine, &env, &docs).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.score_hits, 3, "first three docs are cached");
+        assert_eq!(stats.score_misses, docs.len() as u64, "3 cold + 3 new");
+        let reference = engine.score_all(&env, &docs).unwrap();
+        for (a, b) in reference.iter().zip(&all) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+}

@@ -29,6 +29,10 @@ pub struct ABox {
     concepts: HashMap<ConceptName, BTreeMap<IndividualId, EventExpr>>,
     roles: HashMap<RoleName, Vec<RoleEdge>>,
     domain: BTreeSet<IndividualId>,
+    /// Monotonic version counter, bumped on every mutation (assertions and
+    /// domain registrations — a new domain member changes closed-world
+    /// answers even without assertions).
+    epoch: u64,
 }
 
 impl ABox {
@@ -41,17 +45,33 @@ impl ABox {
     /// about it (it will then be an instance of ⊤ and of closed-world
     /// negations).
     pub fn register_individual(&mut self, ind: IndividualId) {
-        self.domain.insert(ind);
+        // Only an actual change bumps the epoch: lookup-style re-registration
+        // (e.g. `Kb::individual` resolving an existing name per request) must
+        // not invalidate binding caches.
+        if self.domain.insert(ind) {
+            self.epoch += 1;
+        }
+    }
+
+    /// Monotonic mutation counter. Caches of reasoner-derived views (rule
+    /// bindings, materialised concept tables) are valid exactly while the
+    /// epoch they were built at still matches.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Asserts `ind : concept` under `event`. Repeated assertions for the
     /// same pair are combined disjunctively (the membership holds if any of
     /// the asserted events happens).
     pub fn assert_concept(&mut self, ind: IndividualId, concept: ConceptName, event: EventExpr) {
-        self.domain.insert(ind);
+        let grew = self.domain.insert(ind);
         if event.is_false() {
+            // The dropped assertion still changed the KB iff it introduced
+            // the individual to the closed-world domain.
+            self.epoch += u64::from(grew);
             return;
         }
+        self.epoch += 1;
         let slot = self
             .concepts
             .entry(concept)
@@ -72,11 +92,12 @@ impl ABox {
         dst: IndividualId,
         event: EventExpr,
     ) {
-        self.domain.insert(src);
-        self.domain.insert(dst);
+        let grew = self.domain.insert(src) | self.domain.insert(dst);
         if event.is_false() {
+            self.epoch += u64::from(grew);
             return;
         }
+        self.epoch += 1;
         self.roles
             .entry(role)
             .or_default()
@@ -199,6 +220,32 @@ mod tests {
         assert!(abox.role_edges(r).is_empty());
         // …but the individuals still joined the domain.
         assert_eq!(abox.domain().len(), 2);
+    }
+
+    #[test]
+    fn epoch_tracks_real_mutations_only() {
+        let mut voc = Vocabulary::new();
+        let mut abox = ABox::new();
+        assert_eq!(abox.epoch(), 0);
+        let c = voc.concept("C");
+        let r = voc.role("r");
+        let x = voc.individual("x");
+        let y = voc.individual("y");
+        let z = voc.individual("z");
+        abox.register_individual(x);
+        assert_eq!(abox.epoch(), 1);
+        // Lookup-style re-registration is a no-op and must not bump.
+        abox.register_individual(x);
+        assert_eq!(abox.epoch(), 1);
+        abox.assert_concept(x, c, EventExpr::True);
+        abox.assert_role(x, r, y, EventExpr::True);
+        assert_eq!(abox.epoch(), 3);
+        // A dropped (False-event) assertion counts only if it grew the
+        // closed-world domain.
+        abox.assert_concept(y, c, EventExpr::False);
+        assert_eq!(abox.epoch(), 3);
+        abox.assert_concept(z, c, EventExpr::False);
+        assert_eq!(abox.epoch(), 4);
     }
 
     #[test]

@@ -12,6 +12,8 @@ use crate::{Concept, ConceptName, DlError, Result, Vocabulary};
 #[derive(Debug, Clone, Default)]
 pub struct TBox {
     definitions: BTreeMap<ConceptName, Concept>,
+    /// Monotonic version counter, bumped on every accepted definition.
+    epoch: u64,
 }
 
 impl TBox {
@@ -48,7 +50,15 @@ impl TBox {
             }
         }
         self.definitions.insert(name, concept);
+        self.epoch += 1;
         Ok(())
+    }
+
+    /// Monotonic mutation counter; rejected definitions do not bump it.
+    /// Unfolding results (and anything derived from them) are valid while
+    /// the epoch they were computed at still matches.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The definition of `name`, if any.
@@ -164,11 +174,14 @@ mod tests {
     fn rejects_duplicate_definition() {
         let (mut voc, mut tbox) = setup();
         let a = voc.concept("A");
+        assert_eq!(tbox.epoch(), 0);
         tbox.define(a, Concept::Top, &voc).unwrap();
+        assert_eq!(tbox.epoch(), 1);
         assert!(matches!(
             tbox.define(a, Concept::Bottom, &voc),
             Err(DlError::DuplicateDefinition(_))
         ));
+        assert_eq!(tbox.epoch(), 1, "rejected definition must not bump");
     }
 
     #[test]

@@ -33,9 +33,31 @@ use crate::{clamp_prob, EventExpr, Universe, VarId};
 ///   id instead of once per expansion.
 ///
 /// The evaluator holds its memo table across calls; reuse one evaluator when
-/// scoring many expressions over the same universe.
+/// scoring many expressions over the same universe — or detach the tables as
+/// an [`EvalCache`] (see [`Evaluator::with_cache`]) to persist them across
+/// evaluator lifetimes, e.g. between the repeated `score_all` calls of a
+/// scoring session.
 pub struct Evaluator<'u> {
     universe: &'u Universe,
+    cache: EvalCache,
+    stats: EvalStats,
+    /// Disable memoisation (for ablation benchmarks).
+    use_memo: bool,
+    /// Disable component factorisation (for ablation benchmarks).
+    use_components: bool,
+}
+
+/// The detachable memo state of an [`Evaluator`]: probability and
+/// Shannon-pivot tables keyed by hash-consed expression identity.
+///
+/// Entries are valid for the universe whose expressions they were computed
+/// over, **including after further variable declarations** (declared
+/// variables and their probabilities are immutable, and new variables cannot
+/// occur in already-interned expressions). Reusing a cache with a *different*
+/// universe is a logic error — variable ids would alias — so holders must
+/// discard it when they switch universes.
+#[derive(Default)]
+pub struct EvalCache {
     /// Probability memo over composite nodes. Keys are hash-consed
     /// expressions, so hashing is the precomputed structural hash and
     /// equality is pointer identity — O(1) either way — while the key
@@ -44,11 +66,18 @@ pub struct Evaluator<'u> {
     memo: FastMap<EventExpr, f64>,
     /// Shannon-pivot choice per node (same identity-keyed scheme).
     pivots: FastMap<EventExpr, VarId>,
-    stats: EvalStats,
-    /// Disable memoisation (for ablation benchmarks).
-    use_memo: bool,
-    /// Disable component factorisation (for ablation benchmarks).
-    use_components: bool,
+}
+
+impl EvalCache {
+    /// Number of memoised probabilities.
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// True if nothing has been memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
 }
 
 /// Counters describing the work an [`Evaluator`] performed.
@@ -67,14 +96,26 @@ pub struct EvalStats {
 impl<'u> Evaluator<'u> {
     /// Creates an evaluator over `universe` with all optimisations enabled.
     pub fn new(universe: &'u Universe) -> Self {
+        Self::with_cache(universe, EvalCache::default())
+    }
+
+    /// Creates an evaluator seeded with a previously detached cache (see
+    /// [`Evaluator::into_cache`]). The cache must have been built over the
+    /// same universe value (further declarations are fine).
+    pub fn with_cache(universe: &'u Universe, cache: EvalCache) -> Self {
         Self {
             universe,
-            memo: FastMap::default(),
-            pivots: FastMap::default(),
+            cache,
             stats: EvalStats::default(),
             use_memo: true,
             use_components: true,
         }
+    }
+
+    /// Detaches the memo state for reuse by a later evaluator over the same
+    /// universe.
+    pub fn into_cache(self) -> EvalCache {
+        self.cache
     }
 
     /// Creates an evaluator with optimisations toggled individually.
@@ -94,8 +135,8 @@ impl<'u> Evaluator<'u> {
 
     /// Clears the memo and pivot tables (the counters are kept).
     pub fn clear(&mut self) {
-        self.memo.clear();
-        self.pivots.clear();
+        self.cache.memo.clear();
+        self.cache.pivots.clear();
     }
 
     /// Exact probability of `expr` under the evaluator's universe.
@@ -117,14 +158,14 @@ impl<'u> Evaluator<'u> {
             _ => {}
         }
         if self.use_memo {
-            if let Some(&p) = self.memo.get(expr) {
+            if let Some(&p) = self.cache.memo.get(expr) {
                 self.stats.memo_hits += 1;
                 return p;
             }
         }
         let p = self.prob_connective(expr);
         if self.use_memo {
-            self.memo.insert(expr.clone(), p);
+            self.cache.memo.insert(expr.clone(), p);
         }
         p
     }
@@ -183,12 +224,12 @@ impl<'u> Evaluator<'u> {
     /// a pure function of the expression, so the atom-count walk runs once
     /// per distinct node instead of once per expansion.
     fn pivot_for(&mut self, expr: &EventExpr) -> VarId {
-        if let Some(&var) = self.pivots.get(expr) {
+        if let Some(&var) = self.cache.pivots.get(expr) {
             self.stats.pivot_hits += 1;
             return var;
         }
         let var = pick_pivot(expr).expect("connective node must have support");
-        self.pivots.insert(expr.clone(), var);
+        self.cache.pivots.insert(expr.clone(), var);
         var
     }
 }
@@ -456,6 +497,27 @@ mod tests {
         assert!(
             ev.stats().memo_hits > hits_before,
             "rebuilt expression must hit the id-keyed memo"
+        );
+    }
+
+    #[test]
+    fn detached_cache_carries_memo_across_evaluators() {
+        let (u, ea, eb, ec) = universe3();
+        let e = EventExpr::or([
+            EventExpr::and([ea.clone(), eb.clone()]),
+            EventExpr::and([ea.clone(), ec.clone()]),
+            EventExpr::and([eb.clone(), ec.clone()]),
+        ]);
+        let mut first = Evaluator::new(&u);
+        let p1 = first.prob(&e);
+        let cache = first.into_cache();
+        assert!(!cache.is_empty());
+        let mut second = Evaluator::with_cache(&u, cache);
+        let p2 = second.prob(&e);
+        assert_eq!(p1.to_bits(), p2.to_bits(), "cached value is bit-identical");
+        assert!(
+            second.stats().memo_hits > 0 && second.stats().expansions == 0,
+            "second evaluator must answer from the carried cache"
         );
     }
 

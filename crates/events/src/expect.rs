@@ -136,7 +136,9 @@ type FactorKey = Vec<(EventExpr, u64)>;
 ///
 /// Holds a memo table keyed by canonicalised factor groups; reuse one
 /// instance when scoring many documents against the same rule set so that
-/// shared context sub-problems are solved once.
+/// shared context sub-problems are solved once — or detach the memo state as
+/// an [`ExpectCache`] to persist it across instances (e.g. between the
+/// repeated `score_all` calls of a scoring session).
 pub struct Expectation<'u> {
     universe: &'u Universe,
     memo: FastMap<Vec<FactorKey>, f64>,
@@ -148,15 +150,57 @@ pub struct Expectation<'u> {
     memo_hits: u64,
 }
 
+/// The detachable memo state of an [`Expectation`]: the factor-group memo
+/// plus the embedded probability evaluator's [`EvalCache`].
+///
+/// The same validity rule as [`EvalCache`] applies: entries stay correct
+/// under further variable declarations on the same universe, but the cache
+/// must be discarded when switching to a different universe.
+///
+/// [`EvalCache`]: crate::EvalCache
+#[derive(Default)]
+pub struct ExpectCache {
+    memo: FastMap<Vec<FactorKey>, f64>,
+    eval: crate::EvalCache,
+}
+
+impl ExpectCache {
+    /// Number of memoised factor groups (excluding the probability memo).
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// True if nothing has been memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty() && self.eval.is_empty()
+    }
+}
+
 impl<'u> Expectation<'u> {
     /// Creates an expectation computer over `universe`.
     pub fn new(universe: &'u Universe) -> Self {
+        Self::with_cache(universe, ExpectCache::default())
+    }
+
+    /// Creates an expectation computer seeded with a previously detached
+    /// cache (see [`Expectation::into_cache`]). The cache must have been
+    /// built over the same universe value.
+    pub fn with_cache(universe: &'u Universe, cache: ExpectCache) -> Self {
         Self {
             universe,
-            memo: FastMap::default(),
-            evaluator: crate::Evaluator::new(universe),
+            memo: cache.memo,
+            evaluator: crate::Evaluator::with_cache(universe, cache.eval),
             expansions: 0,
             memo_hits: 0,
+        }
+    }
+
+    /// Detaches the memo state for reuse by a later instance over the same
+    /// universe.
+    pub fn into_cache(self) -> ExpectCache {
+        ExpectCache {
+            memo: self.memo,
+            eval: self.evaluator.into_cache(),
         }
     }
 
@@ -365,6 +409,35 @@ mod tests {
         assert!(
             exp.memo_hits() > 0,
             "second document must reuse the memoised context sub-problem"
+        );
+    }
+
+    #[test]
+    fn detached_cache_carries_memo_across_instances() {
+        let mut u = Universe::new();
+        let shared = u.add_choice("g", &[0.4, 0.35]).unwrap();
+        let other = u.add_bool("h", 0.7).unwrap();
+        let g0 = u.atom(shared, 0).unwrap();
+        let g1 = u.atom(shared, 1).unwrap();
+        let h = u.bool_event(other).unwrap();
+        let factors = [
+            Factor::new([(g0.clone(), 0.9), (EventExpr::not(g0.clone()), 0.1)]),
+            Factor::new([
+                (EventExpr::and([g1.clone(), h.clone()]), 0.8),
+                (EventExpr::not(EventExpr::and([g1, h])), 0.25),
+            ]),
+        ];
+        let mut first = Expectation::new(&u);
+        let v1 = first.compute(&factors);
+        let cache = first.into_cache();
+        assert!(!cache.is_empty());
+        let mut second = Expectation::with_cache(&u, cache);
+        let v2 = second.compute(&factors);
+        assert_eq!(v1.to_bits(), v2.to_bits(), "cached value is bit-identical");
+        assert_eq!(
+            second.expansions(),
+            0,
+            "second instance must answer from the carried cache"
         );
     }
 

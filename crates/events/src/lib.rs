@@ -64,8 +64,8 @@ mod universe;
 pub mod worlds;
 
 pub use error::EventError;
-pub use eval::{EvalStats, Evaluator};
-pub use expect::{brute_force_expectation, expectation, Expectation, Factor};
+pub use eval::{EvalCache, EvalStats, Evaluator};
+pub use expect::{brute_force_expectation, expectation, ExpectCache, Expectation, Factor};
 pub use expr::{interner_stats, Atom, EventExpr, ExprKey, InternerStats, NaryNode, NotNode};
 pub use parse::parse_event;
 pub use universe::{Universe, VarId};

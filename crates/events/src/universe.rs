@@ -42,6 +42,11 @@ struct VarInfo {
 pub struct Universe {
     vars: Vec<VarInfo>,
     by_name: HashMap<String, VarId>,
+    /// Monotonic version counter, bumped on every successful mutation.
+    /// Variables are append-only and their probabilities immutable, so two
+    /// universes derived from the same value with equal epochs hold exactly
+    /// the same declarations.
+    epoch: u64,
 }
 
 impl Universe {
@@ -58,6 +63,15 @@ impl Universe {
     /// True if no variables have been declared.
     pub fn is_empty(&self) -> bool {
         self.vars.is_empty()
+    }
+
+    /// Monotonic mutation counter: bumped on every successful variable
+    /// declaration. A cheap staleness check for caches layered on top —
+    /// equal epochs on the same universe value mean nothing was added in
+    /// between (declared probabilities are immutable, so no other change is
+    /// possible).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     fn validate_prob(p: f64, what: &str) -> Result<()> {
@@ -88,6 +102,7 @@ impl Universe {
             residual: (1.0 - sum).max(0.0),
         });
         self.by_name.insert(name.to_string(), id);
+        self.epoch += 1;
         Ok(id)
     }
 
@@ -280,6 +295,20 @@ mod tests {
             u.outcome_prob(v, 5),
             Err(EventError::AltOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn epoch_counts_successful_mutations_only() {
+        let mut u = Universe::new();
+        assert_eq!(u.epoch(), 0);
+        u.add_bool("a", 0.5).unwrap();
+        assert_eq!(u.epoch(), 1);
+        u.add_choice("b", &[0.2, 0.3]).unwrap();
+        assert_eq!(u.epoch(), 2);
+        // Failed declarations leave the epoch untouched.
+        assert!(u.add_bool("a", 0.1).is_err());
+        assert!(u.add_bool("c", 1.5).is_err());
+        assert_eq!(u.epoch(), 2);
     }
 
     #[test]

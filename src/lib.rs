@@ -47,10 +47,10 @@ pub use capra_tvtouch as tvtouch;
 /// The most common imports in one place.
 pub mod prelude {
     pub use capra_core::{
-        bind_rules, explain, group_scores, rank, CoreError, CorrelationPolicy, DocScore, Episode,
-        Explanation, FactorizedEngine, GroupStrategy, HistoryLog, Kb, LineageEngine, MinedRule,
-        NaiveEnumEngine, NaiveViewEngine, Offer, PreferenceRule, RuleRepository, Score,
-        ScoringEngine, ScoringEnv,
+        bind_rules, bind_rules_shared, explain, group_scores, rank, rank_top_k, score_group,
+        CoreError, CorrelationPolicy, DocScore, Episode, Explanation, FactorizedEngine,
+        GroupStrategy, HistoryLog, Kb, LineageEngine, MinedRule, NaiveEnumEngine, NaiveViewEngine,
+        Offer, PreferenceRule, RuleRepository, Score, ScoringEngine, ScoringEnv, ScoringSession,
     };
     pub use capra_dl::{parse_concept, ABox, Concept, Reasoner, TBox, Vocabulary};
     pub use capra_events::{Evaluator, EventExpr, Universe};

@@ -1,0 +1,164 @@
+//! Session coverage: a [`ScoringSession`]'s cached bindings, evaluation
+//! memos and score cache must be *invisible* — after arbitrary interleaved
+//! assert/score sequences, every engine scored through the session produces
+//! bit-identical results to a cold `bind_rules` + `score_all` call, and
+//! `rank_top_k` through the session equals the full ranking's prefix.
+
+use capra::prelude::*;
+use proptest::prelude::*;
+
+const N_DOCS: usize = 4;
+const N_FEATS: usize = 2;
+
+/// One mutation of the interleaved sequence, decoded from random draws.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Assert `Feat{feat}` on `doc{doc}` with probability `p` (repeats
+    /// disjoin — and exercise the fresh-variable suffix counter).
+    DocFeature { doc: usize, feat: usize, p: f64 },
+    /// Assert context feature `Ctx{feat}` on the user with probability `p`.
+    UserContext { feat: usize, p: f64 },
+    /// Declare an unrelated universe variable (bumps the universe epoch but
+    /// must not invalidate bindings).
+    UnrelatedVar { p: f64 },
+}
+
+fn decode_op(kind: u8, doc: usize, feat: usize, p: f64) -> Op {
+    match kind % 4 {
+        0 | 1 => Op::DocFeature { doc, feat, p },
+        2 => Op::UserContext { feat, p },
+        _ => Op::UnrelatedVar { p },
+    }
+}
+
+fn apply(kb: &mut Kb, user: capra::dl::IndividualId, docs: &[capra::dl::IndividualId], op: Op) {
+    match op {
+        Op::DocFeature { doc, feat, p } => {
+            kb.assert_concept_prob(docs[doc % N_DOCS], &format!("Feat{}", feat % N_FEATS), p)
+                .unwrap();
+        }
+        Op::UserContext { feat, p } => {
+            kb.assert_concept_prob(user, &format!("Ctx{}", feat % N_FEATS), p)
+                .unwrap();
+        }
+        Op::UnrelatedVar { p } => {
+            let n = kb.universe.len();
+            kb.universe.add_bool(&format!("unrelated{n}"), p).unwrap();
+        }
+    }
+}
+
+fn fixture() -> (
+    Kb,
+    RuleRepository,
+    capra::dl::IndividualId,
+    Vec<capra::dl::IndividualId>,
+) {
+    let mut kb = Kb::new();
+    let user = kb.individual("user");
+    let docs: Vec<_> = (0..N_DOCS)
+        .map(|d| {
+            let doc = kb.individual(&format!("doc{d}"));
+            kb.assert_concept(doc, "TvProgram");
+            doc
+        })
+        .collect();
+    let mut rules = RuleRepository::new();
+    for (i, sigma) in [0.8, 0.35].into_iter().enumerate() {
+        rules
+            .add(PreferenceRule::new(
+                format!("R{i}"),
+                kb.parse(&format!("Ctx{i}")).unwrap(),
+                kb.parse(&format!("TvProgram AND Feat{i}")).unwrap(),
+                Score::new(sigma).unwrap(),
+            ))
+            .unwrap();
+    }
+    (kb, rules, user, docs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole property: cached bindings are score-equivalent to cold
+    /// ones, bit for bit, for all four engines, at every point of an
+    /// arbitrary interleaved assert/score sequence.
+    #[test]
+    fn session_matches_cold_bind_after_interleaved_mutations(
+        ops in prop::collection::vec(
+            (any::<u8>(), 0usize..N_DOCS, 0usize..N_FEATS, 0.05f64..=0.95),
+            1..7,
+        ),
+    ) {
+        let (mut kb, rules, user, docs) = fixture();
+        // Each doc starts with Feat0 so rules are never globally vacuous.
+        for (d, &doc) in docs.iter().enumerate() {
+            kb.assert_concept_prob(doc, "Feat0", 0.1 + 0.2 * d as f64).unwrap();
+        }
+        kb.assert_concept_prob(user, "Ctx0", 0.6).unwrap();
+
+        let engines: Vec<Box<dyn ScoringEngine>> = vec![
+            Box::new(NaiveViewEngine::new()),
+            Box::new(NaiveEnumEngine::new()),
+            Box::new(FactorizedEngine::new()),
+            Box::new(LineageEngine::new()),
+        ];
+        // ONE session serves all engines (cache keys include the engine) and
+        // survives every mutation of the sequence.
+        let mut session = ScoringSession::new();
+        for &(kind, doc, feat, p) in &ops {
+            apply(&mut kb, user, &docs, decode_op(kind, doc, feat, p));
+            let env = ScoringEnv { kb: &kb, rules: &rules, user };
+            for engine in &engines {
+                let cold = engine.score_all(&env, &docs).unwrap();
+                // First call after the mutation re-derives what was
+                // invalidated; the second must be served from cache. Both
+                // must match the cold path exactly.
+                for round in 0..2 {
+                    let warm = session.score_all(engine.as_ref(), &env, &docs).unwrap();
+                    prop_assert_eq!(warm.len(), cold.len());
+                    for (a, b) in cold.iter().zip(&warm) {
+                        prop_assert_eq!(a.doc, b.doc);
+                        prop_assert_eq!(
+                            a.score.to_bits(), b.score.to_bits(),
+                            "{} round {}: {} vs {}", engine.name(), round, a.score, b.score
+                        );
+                    }
+                }
+            }
+        }
+        let stats = session.stats();
+        prop_assert!(stats.score_hits > 0, "warm rounds must hit the cache");
+    }
+
+    /// `rank_top_k` — cold, and through a live session — is exactly the
+    /// prefix of the full ranking, mutations or not.
+    #[test]
+    fn top_k_is_exact_prefix_after_mutations(
+        ops in prop::collection::vec(
+            (any::<u8>(), 0usize..N_DOCS, 0usize..N_FEATS, 0.05f64..=0.95),
+            1..5,
+        ),
+        k in 1usize..=N_DOCS,
+    ) {
+        let (mut kb, rules, user, docs) = fixture();
+        kb.assert_concept_prob(user, "Ctx0", 0.7).unwrap();
+        kb.assert_concept_prob(user, "Ctx1", 0.4).unwrap();
+        let engine = FactorizedEngine::new();
+        let mut session = ScoringSession::new();
+        for &(kind, doc, feat, p) in &ops {
+            apply(&mut kb, user, &docs, decode_op(kind, doc, feat, p));
+            let env = ScoringEnv { kb: &kb, rules: &rules, user };
+            let full = rank(engine.score_all(&env, &docs).unwrap());
+            let cold_top = rank_top_k(&env, &engine, &docs, k).unwrap();
+            let warm_top = session.rank_top_k(&engine, &env, &docs, k).unwrap();
+            prop_assert_eq!(cold_top.len(), k.min(docs.len()));
+            for (want, (a, b)) in full.iter().zip(cold_top.iter().zip(&warm_top)) {
+                prop_assert_eq!(want.doc, a.doc);
+                prop_assert_eq!(want.doc, b.doc);
+                prop_assert_eq!(want.score.to_bits(), a.score.to_bits());
+                prop_assert_eq!(want.score.to_bits(), b.score.to_bits());
+            }
+        }
+    }
+}
