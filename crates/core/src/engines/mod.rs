@@ -57,7 +57,9 @@ pub use naive_view::NaiveViewEngine;
 use std::sync::Arc;
 
 use capra_dl::IndividualId;
-use capra_events::{EvalCache, Evaluator, ExpectCache, Expectation, Universe};
+use capra_events::{
+    EvalCache, Evaluator, ExpectCache, Expectation, FrozenEvalCache, FrozenExpectCache, Universe,
+};
 
 use crate::bind::bind_rules_shared;
 use crate::{Kb, Result, RuleBinding, ScoringEnv};
@@ -93,6 +95,34 @@ impl EvalScratch {
     /// An empty scratch (equivalent to a cold call).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A scratch whose memos start as empty overlays over shared frozen
+    /// snapshots, pre-bound to the KB the snapshots were computed over —
+    /// the worker-side view of [`crate::parallel::ScratchPool`]. Lookups
+    /// consult the snapshots lock-free; new entries land in the private
+    /// overlay for a later merge-and-republish.
+    pub(crate) fn with_snapshots(
+        kb_id: u64,
+        prob: Arc<FrozenEvalCache>,
+        expect: Arc<FrozenExpectCache>,
+    ) -> Self {
+        Self {
+            kb_id,
+            prob: EvalCache::with_snapshot(prob),
+            expect: ExpectCache::with_snapshot(expect),
+        }
+    }
+
+    /// Decomposes the scratch into its KB identity and the two cache
+    /// overlays, for merging into a shared snapshot.
+    pub(crate) fn into_parts(self) -> (u64, EvalCache, ExpectCache) {
+        (self.kb_id, self.prob, self.expect)
+    }
+
+    /// `Kb::id` the memos were built over (0 = not yet bound to a KB).
+    pub(crate) fn kb_id(&self) -> u64 {
+        self.kb_id
     }
 
     /// Binds the scratch to `kb`, discarding all memos if it was previously

@@ -19,7 +19,8 @@
 //!   users*);
 //! * [`ranking`] — the `preferencescore` SQL integration of the paper's
 //!   introduction;
-//! * [`parallel`] — document-sharded parallel scoring;
+//! * [`parallel`] — work-stealing parallel scoring over a shared frozen
+//!   evaluation-cache tier, including [`parallel::ParallelScoringSession`];
 //! * [`ScoringSession`] — prepared scoring: cached rule bindings
 //!   (invalidated by KB epoch), persistent evaluation memos and cached
 //!   scores across repeated calls;

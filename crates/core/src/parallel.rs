@@ -1,30 +1,194 @@
-//! Parallel scoring across documents.
+//! Parallel scoring across documents — work-stealing shards over a shared
+//! evaluation-cache tier.
 //!
-//! The scoring formula is embarrassingly parallel over documents; this
-//! module shards the document list over `std::thread::scope` workers. Rules
-//! are bound **once** and the resulting `Arc<RuleBinding>`s shared across
-//! shards, so adding threads never multiplies the reasoner cost. Per-run
-//! evaluator memo tables are per-shard, but the event-expression
-//! **interner** is process-global (see `capra_events`), so every shard's
-//! restricted sub-expressions resolve to the same node ids — shards rebuild
-//! probabilities, not expression identity. The ablation benchmark
-//! quantifies the per-shard memo trade-off.
+//! The scoring formula is embarrassingly parallel over documents, but a
+//! naive fork loses the memoisation advantage the sequential path enjoys:
+//! every worker that starts from a cold [`EvalScratch`] re-derives the
+//! context sub-problems the sequential evaluator computes once. This module
+//! closes that gap with three pieces:
+//!
+//! * **Work-stealing document queue** — instead of dealing documents to
+//!   workers statically (round-robin striding), workers pull fixed-size
+//!   chunks from an atomic cursor. A worker that lands on cheap documents
+//!   steals more chunks; a straggler never pins the tail of the queue. The
+//!   queue is an index range, so "stealing" is one `fetch_add` — no locks,
+//!   no per-document allocation.
+//! * **Shared evaluation-cache tier** — a [`ScratchPool`] hands every
+//!   worker an [`EvalScratch`] whose memo tables are empty *overlays* over
+//!   frozen, read-only snapshots ([`capra_events::FrozenEvalCache`] /
+//!   [`capra_events::FrozenExpectCache`]) shared via `Arc`. Lookups consult
+//!   the snapshot lock-free before the private overlay; after a run the
+//!   overlays are **merged and republished** as the next snapshot, so
+//!   repeated runs (and the bound-ordering pass of top-k, which runs before
+//!   the fork) share sub-problems *across* threads and calls. Merging is
+//!   deterministic: every memo entry is a pure function of its hash-consed
+//!   key, so duplicate entries from different workers carry bit-identical
+//!   values and merge order cannot matter — parallel results stay
+//!   bit-identical to sequential ones.
+//! * **[`ParallelScoringSession`]** — the parallel twin of
+//!   [`crate::ScoringSession`]: cached rule bindings (invalidated by KB
+//!   epoch), the pooled snapshot tier, and a per-document score cache, so a
+//!   warm parallel `score_all` is a table lookup and a mutated-KB call only
+//!   recomputes what the mutation invalidated.
+//!
+//! **Universe affinity.** Snapshots memoise probabilities over one
+//! universe's variables; reusing them against a different KB would alias
+//! variable ids. The pool therefore keys its snapshots by [`crate::Kb::id`]
+//! and resets when a different KB shows up — the same invariant
+//! [`EvalScratch::ensure_kb`] enforces for sequential scratches. *Further
+//! declarations on the same KB are safe* (declared variables are immutable
+//! and new variables cannot occur in already-interned expressions), which
+//! is why snapshots survive KB mutations that merely bump epochs.
 //!
 //! [`rank_top_k_parallel`] extends [`crate::rank_top_k`]'s early
-//! termination across shards: every shard prunes against the *best k-th
-//! score any shard has proven so far*, published through a shared atomic
-//! cell, so one shard finding strong candidates shrinks everyone's work.
+//! termination across workers: every worker prunes against the *best k-th
+//! score any worker has proven so far*, published through a shared atomic
+//! cell, so one worker finding strong candidates shrinks everyone's work,
+//! and the bound-ordering pass seeds the snapshot all workers start from.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use capra_dl::IndividualId;
+use capra_events::{FrozenEvalCache, FrozenExpectCache};
 
-use crate::bind::bind_rules_shared;
-use crate::engines::{DocScore, EvalScratch, ScoringEngine};
-use crate::topk::{bound_sorted_order, by_rank, scan_bounded, SharedThreshold};
-use crate::{Result, ScoringEnv};
+use crate::bind::{bind_rules_shared, RuleBinding};
+use crate::engines::{rank, DocScore, EvalScratch, ScoringEngine};
+use crate::session::{BindingCache, ScoreCache, SessionStats};
+use crate::topk::{
+    bound_sorted_order, by_rank, rank_top_k_bound, scan_bounded_stealing, SharedThreshold,
+};
+use crate::{Kb, Result, ScoringEnv};
+
+/// Clamps a requested worker count to something useful for `docs`
+/// documents: at least one worker, and never more workers than documents.
+pub(crate) fn effective_threads(threads: usize, docs: usize) -> usize {
+    threads.max(1).min(docs.max(1))
+}
+
+/// Size of the chunks workers steal from the document queue: small enough
+/// that `threads` workers re-balance several times per run, large enough
+/// that the atomic cursor and the per-chunk result allocation stay noise.
+pub(crate) fn steal_chunk(docs: usize, threads: usize) -> usize {
+    docs.div_ceil(threads.max(1) * 4).clamp(1, 256)
+}
+
+/// Aggregate state of one [`ScratchPool`] snapshot generation.
+#[derive(Default)]
+struct PoolInner {
+    /// `Kb::id` the snapshots were computed over; 0 = not yet bound.
+    kb_id: u64,
+    /// Frozen probability tier handed to workers (see module docs).
+    prob: Arc<FrozenEvalCache>,
+    /// Frozen expectation tier handed to workers.
+    expect: Arc<FrozenExpectCache>,
+    /// Overlays returned by workers, awaiting the next republish.
+    pending: Vec<EvalScratch>,
+    /// Republishes that actually merged new entries (for inspection).
+    publishes: u64,
+}
+
+/// A pool of reusable evaluation state for parallel scoring: frozen memo
+/// snapshots shared by all workers plus the merge-and-republish machinery
+/// that folds worker overlays back into the shared tier after each run
+/// (see the module docs for the design and its determinism argument).
+///
+/// The pool is internally synchronised — checkout/return take a short lock,
+/// while all memo *lookups* during scoring go through the lock-free frozen
+/// snapshots. One pool serves one KB at a time (universe affinity): handing
+/// it a different KB resets the snapshots.
+#[derive(Default)]
+pub struct ScratchPool {
+    inner: Mutex<PoolInner>,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
+        // A worker panic while holding the lock cannot corrupt the pool
+        // (mutations are single assignments/pushes), so poisoning is
+        // ignored — like parking_lot.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Hands out a scratch for scoring against `kb`: an empty private
+    /// overlay over the pool's current frozen snapshots. Resets the pool
+    /// first if it was serving a different KB.
+    pub(crate) fn checkout(&self, kb: &Kb) -> EvalScratch {
+        let mut inner = self.lock();
+        if inner.kb_id != kb.id() {
+            *inner = PoolInner {
+                kb_id: kb.id(),
+                ..PoolInner::default()
+            };
+        }
+        EvalScratch::with_snapshots(kb.id(), Arc::clone(&inner.prob), Arc::clone(&inner.expect))
+    }
+
+    /// Returns a worker's scratch, parking its overlay for the next
+    /// [`ScratchPool::republish`]. Scratches that migrated to a different
+    /// KB mid-flight (or were never bound) are discarded — their entries
+    /// would violate universe affinity.
+    pub(crate) fn give_back(&self, scratch: EvalScratch) {
+        let mut inner = self.lock();
+        if scratch.kb_id() == inner.kb_id && inner.kb_id != 0 {
+            inner.pending.push(scratch);
+        }
+    }
+
+    /// Merges every parked overlay into the frozen snapshots and publishes
+    /// the result as the tier subsequent checkouts see. Deterministic (see
+    /// module docs); a no-op when every overlay is empty, so fully warm
+    /// runs never pay the merge.
+    pub(crate) fn republish(&self) {
+        let mut inner = self.lock();
+        let pending = std::mem::take(&mut inner.pending);
+        let mut prob_overlays = Vec::with_capacity(pending.len());
+        let mut expect_overlays = Vec::with_capacity(pending.len());
+        for scratch in pending {
+            let (_, prob, expect) = scratch.into_parts();
+            if !prob.is_empty() {
+                prob_overlays.push(prob);
+            }
+            if !expect.is_empty() {
+                expect_overlays.push(expect);
+            }
+        }
+        if prob_overlays.is_empty() && expect_overlays.is_empty() {
+            return;
+        }
+        if !prob_overlays.is_empty() {
+            inner.prob = FrozenEvalCache::merged(Some(&inner.prob), prob_overlays);
+        }
+        if !expect_overlays.is_empty() {
+            inner.expect = FrozenExpectCache::merged(Some(&inner.expect), expect_overlays);
+        }
+        inner.publishes += 1;
+    }
+
+    /// `(probability entries, expectation entries)` in the current
+    /// snapshots — the expectation side counting both factor-group entries
+    /// and its embedded probability memo — plus how many republishes merged
+    /// new entries.
+    pub fn snapshot_stats(&self) -> (usize, usize, u64) {
+        let inner = self.lock();
+        (
+            inner.prob.len(),
+            inner.expect.len() + inner.expect.eval().len(),
+            inner.publishes,
+        )
+    }
+}
 
 /// Scores documents on `threads` worker threads, preserving input order.
 ///
-/// Falls back to the sequential path for a single thread or tiny inputs.
+/// One-shot entry point: allocates a throwaway [`ScratchPool`], so repeated
+/// calls re-derive shared state. Serving loops should hold a
+/// [`ParallelScoringSession`] instead.
 pub fn score_all_parallel<E>(
     engine: &E,
     env: &ScoringEnv<'_>,
@@ -32,40 +196,126 @@ pub fn score_all_parallel<E>(
     threads: usize,
 ) -> Result<Vec<DocScore>>
 where
-    E: ScoringEngine + Sync,
+    E: ScoringEngine + Sync + ?Sized,
 {
-    let threads = threads.max(1).min(docs.len().max(1));
+    let pool = ScratchPool::new();
     let bindings = bind_rules_shared(env);
+    // The pool dies with this call: skip the final merge-and-republish,
+    // its output could never be read.
+    score_all_bound_parallel(engine, env, &bindings, docs, threads, &pool, false)
+}
+
+/// [`score_all_parallel`] over already-bound rules and a caller-managed
+/// pool — the prepared entry point driven by [`ParallelScoringSession`].
+/// `publish` selects whether worker overlays are merged back into the
+/// pool's snapshot tier after the run; one-shot callers with a throwaway
+/// pool pass `false` to skip paying for a merge nobody will read.
+#[allow(clippy::too_many_arguments)] // crate-internal plumbing
+pub(crate) fn score_all_bound_parallel<E>(
+    engine: &E,
+    env: &ScoringEnv<'_>,
+    bindings: &[Arc<RuleBinding>],
+    docs: &[IndividualId],
+    threads: usize,
+    pool: &ScratchPool,
+    publish: bool,
+) -> Result<Vec<DocScore>>
+where
+    E: ScoringEngine + Sync + ?Sized,
+{
+    let threads = effective_threads(threads, docs.len());
     if threads == 1 {
-        return engine.score_all_bound(env, &bindings, docs, &mut EvalScratch::new());
+        let mut scratch = pool.checkout(env.kb);
+        let out = engine.score_all_bound(env, bindings, docs, &mut scratch);
+        if publish {
+            pool.give_back(scratch);
+            pool.republish();
+        }
+        return out;
     }
-    let chunk = docs.len().div_ceil(threads);
-    let results = std::thread::scope(|scope| {
-        let handles: Vec<_> = docs
-            .chunks(chunk)
-            .map(|shard| {
-                let bindings = &bindings;
+    let chunk = steal_chunk(docs.len(), threads);
+    let cursor = AtomicUsize::new(0);
+    // Raised by the first worker that hits an engine error: the remaining
+    // workers stop stealing instead of scoring doomed chunks to completion.
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    // Each worker returns the chunks it scored, tagged with their start
+    // offsets, plus the error that stopped it (if any).
+    type WorkerOut = (
+        Vec<(usize, Vec<DocScore>)>,
+        Option<(usize, crate::CoreError)>,
+    );
+    let worker_outputs: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let failed = &failed;
                 scope.spawn(move || {
-                    engine.score_all_bound(env, bindings, shard, &mut EvalScratch::new())
+                    let mut scratch = pool.checkout(env.kb);
+                    let mut parts = Vec::new();
+                    let mut error = None;
+                    while !failed.load(Ordering::Relaxed) {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= docs.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(docs.len());
+                        match engine.score_all_bound(env, bindings, &docs[start..end], &mut scratch)
+                        {
+                            Ok(scores) => parts.push((start, scores)),
+                            Err(e) => {
+                                failed.store(true, Ordering::Relaxed);
+                                error = Some((start, e));
+                                break;
+                            }
+                        }
+                    }
+                    pool.give_back(scratch);
+                    (parts, error)
                 })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("scoring worker panicked"))
-            .collect::<Vec<_>>()
+            .collect()
     });
+    if publish {
+        pool.republish();
+    }
+    // The minimum-offset error is the error the sequential path would have
+    // raised: the cursor hands chunks out in offset order, every chunk
+    // claimed before the abort flag rose runs to completion (workers only
+    // check the flag between chunks), and engines validate documents in
+    // order within a chunk — so the earliest invalid document's chunk
+    // always reports.
+    let mut first_error: Option<(usize, crate::CoreError)> = None;
+    let mut parts: Vec<(usize, Vec<DocScore>)> = Vec::new();
+    for (worker_parts, worker_error) in worker_outputs {
+        parts.extend(worker_parts);
+        if let Some((start, e)) = worker_error {
+            if first_error.as_ref().is_none_or(|(s, _)| start < *s) {
+                first_error = Some((start, e));
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    parts.sort_unstable_by_key(|&(start, _)| start);
     let mut out = Vec::with_capacity(docs.len());
-    for shard in results {
-        out.extend(shard?);
+    for (_, scores) in parts {
+        out.extend(scores);
     }
     Ok(out)
 }
 
 /// The exact top `k` of `rank(score_all(docs))`, computed on `threads`
-/// workers with cross-shard bound sharing (see module docs). Documents are
-/// dealt to shards round-robin in descending bound order, so every shard
-/// scores strong candidates early and the shared threshold rises fast.
+/// workers stealing batches of the bound-sorted candidate list, with
+/// cross-worker threshold sharing (see module docs).
+///
+/// One-shot entry point (throwaway [`ScratchPool`]); the bound-ordering
+/// pass still pre-seeds the workers' shared snapshot within the call.
+/// Serving loops should hold a [`ParallelScoringSession`].
 pub fn rank_top_k_parallel<E>(
     engine: &E,
     env: &ScoringEnv<'_>,
@@ -74,42 +324,79 @@ pub fn rank_top_k_parallel<E>(
     threads: usize,
 ) -> Result<Vec<DocScore>>
 where
-    E: ScoringEngine + Sync,
+    E: ScoringEngine + Sync + ?Sized,
 {
-    let threads = threads.max(1).min(docs.len().max(1));
-    if threads == 1 || k == 0 || k >= docs.len() {
-        return crate::rank_top_k(env, engine, docs, k);
-    }
+    let pool = ScratchPool::new();
     let bindings = bind_rules_shared(env);
+    // The pool dies with this call: the pre-fork seeding republish inside
+    // still runs (workers read it), but the final one is skipped.
+    rank_top_k_bound_parallel(engine, env, &bindings, docs, k, threads, &pool, false)
+}
+
+/// [`rank_top_k_parallel`] over already-bound rules and a caller-managed
+/// pool — the prepared entry point driven by [`ParallelScoringSession`].
+/// `publish` selects whether worker overlays are merged back into the
+/// pool's snapshot tier after the run (see
+/// [`score_all_bound_parallel`]); the pre-fork seeding republish runs
+/// either way, because the workers of *this* call consume it.
+#[allow(clippy::too_many_arguments)] // crate-internal plumbing
+pub(crate) fn rank_top_k_bound_parallel<E>(
+    engine: &E,
+    env: &ScoringEnv<'_>,
+    bindings: &[Arc<RuleBinding>],
+    docs: &[IndividualId],
+    k: usize,
+    threads: usize,
+    pool: &ScratchPool,
+    publish: bool,
+) -> Result<Vec<DocScore>>
+where
+    E: ScoringEngine + Sync + ?Sized,
+{
+    let threads = effective_threads(threads, docs.len());
+    if threads == 1 || k == 0 || k >= docs.len() {
+        // Sequential fallback: ONE pooled scratch serves both the bound
+        // ordering and the scan inside `rank_top_k_bound`, and its memos
+        // are republished for later calls.
+        let mut scratch = pool.checkout(env.kb);
+        let out = rank_top_k_bound(env, engine, bindings, docs, k, &mut scratch);
+        if publish {
+            pool.give_back(scratch);
+            pool.republish();
+        }
+        return out;
+    }
     // Same contract as `rank_top_k`: errors the engine would raise on
     // pruned documents must not be masked.
-    engine.validate_workload(env, &bindings, docs)?;
-    let order = bound_sorted_order(env, &bindings, docs, &mut EvalScratch::new());
+    engine.validate_workload(env, bindings, docs)?;
+    let mut scratch = pool.checkout(env.kb);
+    let order = bound_sorted_order(env, bindings, docs, &mut scratch);
+    // Publish the ordering pass's memos (context probabilities, typically)
+    // before the fork, so every worker's snapshot already contains them.
+    pool.give_back(scratch);
+    pool.republish();
     let threshold = SharedThreshold::new();
+    let cursor = AtomicUsize::new(0);
     let results = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|worker| {
+            .map(|_| {
                 let order = &order;
-                let bindings = &bindings;
                 let threshold = &threshold;
+                let cursor = &cursor;
                 scope.spawn(move || {
-                    // Strided assignment: worker `w` takes every
-                    // `threads`-th document of the bound-sorted list.
-                    let mine: Vec<_> = order
-                        .iter()
-                        .skip(worker)
-                        .step_by(threads)
-                        .copied()
-                        .collect();
-                    scan_bounded(
+                    let mut scratch = pool.checkout(env.kb);
+                    let out = scan_bounded_stealing(
                         env,
                         engine,
                         bindings,
-                        &mine,
+                        order,
                         k,
-                        &mut EvalScratch::new(),
+                        &mut scratch,
                         Some(threshold),
-                    )
+                        cursor,
+                    );
+                    pool.give_back(scratch);
+                    out
                 })
             })
             .collect();
@@ -118,13 +405,188 @@ where
             .map(|h| h.join().expect("top-k worker panicked"))
             .collect::<Vec<Result<Vec<DocScore>>>>()
     });
+    if publish {
+        pool.republish();
+    }
     let mut merged: Vec<DocScore> = Vec::with_capacity(threads * k);
-    for shard in results {
-        merged.extend(shard?);
+    for worker_top in results {
+        merged.extend(worker_top?);
     }
     merged.sort_unstable_by(by_rank);
     merged.truncate(k);
     Ok(merged)
+}
+
+/// The parallel twin of [`crate::ScoringSession`]: cached rule bindings and
+/// per-document scores layered over a [`ScratchPool`]'s shared snapshot
+/// tier, so repeated parallel `score_all`/`rank_top_k` calls amortise
+/// binding, evaluation *and* cross-thread memo state.
+///
+/// All layers are behaviour-preserving: scores are bit-identical to a cold
+/// sequential `score_all` (property-tested in
+/// `tests/session_consistency.rs`), because every cached value is the value
+/// the cold path would deterministically recompute.
+///
+/// **Memory:** the snapshot tier only ever grows while the KB identity is
+/// stable — entries keyed by expressions of superseded assertions are
+/// never looked up again but are not evicted (telling them apart from live
+/// entries would cost more than they save, most of the time). A very
+/// long-lived session over a KB that mutates every call should
+/// [`ParallelScoringSession::clear`] periodically, trading one cold call
+/// for a fresh tier.
+///
+/// ```
+/// use capra_core::parallel::ParallelScoringSession;
+/// use capra_core::{
+///     FactorizedEngine, Kb, PreferenceRule, RuleRepository, Score, ScoringEnv,
+/// };
+///
+/// let mut kb = Kb::new();
+/// let user = kb.individual("peter");
+/// kb.assert_concept(user, "Weekend");
+/// let docs: Vec<_> = (0..32)
+///     .map(|i| {
+///         let d = kb.individual(&format!("doc{i}"));
+///         kb.assert_concept_prob(d, "Nice", 0.1 + 0.02 * i as f64).unwrap();
+///         d
+///     })
+///     .collect();
+/// let mut rules = RuleRepository::new();
+/// rules.add(PreferenceRule::new(
+///     "R",
+///     kb.parse("Weekend").unwrap(),
+///     kb.parse("Nice").unwrap(),
+///     Score::new(0.8).unwrap(),
+/// )).unwrap();
+///
+/// let engine = FactorizedEngine::new();
+/// let mut session = ParallelScoringSession::new(4);
+/// let env = ScoringEnv { kb: &kb, rules: &rules, user };
+/// let cold = session.score_all(&engine, &env, &docs).unwrap();
+/// let warm = session.score_all(&engine, &env, &docs).unwrap(); // cache hits
+/// assert_eq!(cold[0].score.to_bits(), warm[0].score.to_bits());
+/// assert!(session.stats().score_hits >= docs.len() as u64);
+/// ```
+pub struct ParallelScoringSession {
+    threads: usize,
+    bindings: BindingCache,
+    pool: ScratchPool,
+    scores: ScoreCache,
+}
+
+impl ParallelScoringSession {
+    /// Creates an empty session that fans work out over `threads` workers
+    /// (clamped per call to the document count; `1` degrades gracefully to
+    /// a sequential session over the pooled snapshot).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            bindings: BindingCache::new(),
+            pool: ScratchPool::new(),
+            scores: ScoreCache::default(),
+        }
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> SessionStats {
+        let (binding_hits, binding_misses) = self.bindings.stats();
+        let (score_hits, score_misses) = self.scores.stats();
+        SessionStats {
+            binding_hits,
+            binding_misses,
+            score_hits,
+            score_misses,
+        }
+    }
+
+    /// The session's shared snapshot pool, for inspection via
+    /// [`ScratchPool::snapshot_stats`] (snapshot sizes, publish counts).
+    pub fn pool(&self) -> &ScratchPool {
+        &self.pool
+    }
+
+    /// Drops all cached scores (bindings and the snapshot tier are kept).
+    /// Benchmarks use this to isolate the pure-evaluation warm path.
+    pub fn invalidate_scores(&mut self) {
+        self.scores.clear();
+    }
+
+    /// Drops every layer of cached state.
+    pub fn clear(&mut self) {
+        let threads = self.threads;
+        *self = Self::new(threads);
+    }
+
+    /// Scores every document in `docs`, in order — bit-identical to
+    /// `engine.score_all(env, docs)`, with unchanged work served from the
+    /// session's caches and the rest fanned out over the worker pool.
+    pub fn score_all<E>(
+        &mut self,
+        engine: &E,
+        env: &ScoringEnv<'_>,
+        docs: &[IndividualId],
+    ) -> Result<Vec<DocScore>>
+    where
+        E: ScoringEngine + Sync + ?Sized,
+    {
+        let bindings = self.bindings.bind(env);
+        let key = (env.user, engine.name(), engine.config_tag());
+        let missing = self.scores.missing(key, &bindings, docs);
+        if !missing.is_empty() {
+            let computed = score_all_bound_parallel(
+                engine,
+                env,
+                &bindings,
+                &missing,
+                self.threads,
+                &self.pool,
+                true,
+            )?;
+            self.scores.record(&key, computed);
+        }
+        Ok(self.scores.collect(&key, docs))
+    }
+
+    /// [`ParallelScoringSession::score_all`] followed by the descending
+    /// sort of [`crate::rank`].
+    pub fn rank<E>(
+        &mut self,
+        engine: &E,
+        env: &ScoringEnv<'_>,
+        docs: &[IndividualId],
+    ) -> Result<Vec<DocScore>>
+    where
+        E: ScoringEngine + Sync + ?Sized,
+    {
+        Ok(rank(self.score_all(engine, env, docs)?))
+    }
+
+    /// The exact top `k` of the ranking, computed by the parallel bounded
+    /// scan over the session's cached bindings and snapshot tier. Exact
+    /// scores it computes are *not* added to the score cache (they cover an
+    /// adaptively chosen subset of `docs`).
+    pub fn rank_top_k<E>(
+        &mut self,
+        engine: &E,
+        env: &ScoringEnv<'_>,
+        docs: &[IndividualId],
+        k: usize,
+    ) -> Result<Vec<DocScore>>
+    where
+        E: ScoringEngine + Sync + ?Sized,
+    {
+        let bindings = self.bindings.bind(env);
+        rank_top_k_bound_parallel(
+            engine,
+            env,
+            &bindings,
+            docs,
+            k,
+            self.threads,
+            &self.pool,
+            true,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -223,5 +685,224 @@ mod tests {
         };
         let out = score_all_parallel(&FactorizedEngine::new(), &env, &[], 4).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_clamp_and_chunk_edge_cases() {
+        // 0 docs: one worker, nothing to do.
+        assert_eq!(effective_threads(4, 0), 1);
+        assert_eq!(effective_threads(0, 0), 1);
+        // 1 doc: never more than one worker.
+        assert_eq!(effective_threads(8, 1), 1);
+        // threads > docs clamps to docs; 0 threads means 1.
+        assert_eq!(effective_threads(16, 5), 5);
+        assert_eq!(effective_threads(0, 5), 1);
+        assert_eq!(effective_threads(3, 100), 3);
+        // Chunks: at least 1, at most 256, ~4 per worker.
+        assert_eq!(steal_chunk(0, 4), 1);
+        assert_eq!(steal_chunk(1, 1), 1);
+        assert_eq!(steal_chunk(1024, 4), 64);
+        assert_eq!(steal_chunk(1 << 20, 1), 256);
+        // A chunking plan always covers every document exactly once.
+        for (docs, threads) in [(0usize, 3usize), (1, 4), (7, 3), (64, 5), (1000, 4)] {
+            let t = effective_threads(threads, docs);
+            let c = steal_chunk(docs, t);
+            let starts: Vec<usize> = (0..docs).step_by(c).collect();
+            let covered: usize = starts.iter().map(|&s| (s + c).min(docs) - s).sum();
+            assert_eq!(covered, docs, "docs={docs} threads={threads}");
+        }
+    }
+
+    /// Like [`fixture`], but with an uncertain context and a composite
+    /// (conjunctive) preference, so scoring builds composite event
+    /// expressions whose probabilities actually land in the memo tables —
+    /// leaf atoms are evaluated inline and never memoised.
+    fn rich_fixture(n_docs: usize) -> (Kb, RuleRepository, IndividualId, Vec<IndividualId>) {
+        let mut kb = Kb::new();
+        let user = kb.individual("u");
+        kb.assert_concept_prob(user, "Ctx", 0.9).unwrap();
+        let docs: Vec<_> = (0..n_docs)
+            .map(|i| {
+                let d = kb.individual(&format!("d{i}"));
+                kb.assert_concept_prob(d, "Nice", 0.1 + 0.8 * (i as f64 / n_docs as f64))
+                    .unwrap();
+                kb.assert_concept_prob(d, "Fun", 0.3 + 0.4 * (i as f64 / n_docs as f64))
+                    .unwrap();
+                d
+            })
+            .collect();
+        let mut rules = RuleRepository::new();
+        rules
+            .add(PreferenceRule::new(
+                "R",
+                kb.parse("Ctx").unwrap(),
+                kb.parse("Nice AND Fun").unwrap(),
+                Score::new(0.75).unwrap(),
+            ))
+            .unwrap();
+        (kb, rules, user, docs)
+    }
+
+    #[test]
+    fn pool_republish_shares_memos_across_runs() {
+        let (kb, rules, user, docs) = rich_fixture(24);
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let pool = ScratchPool::new();
+        let bindings = bind_rules_shared(&env);
+        let engine = LineageEngine::new();
+        let first =
+            score_all_bound_parallel(&engine, &env, &bindings, &docs, 3, &pool, true).unwrap();
+        let (prob, expect, publishes) = pool.snapshot_stats();
+        assert!(
+            prob + expect > 0,
+            "first run must publish memo entries ({prob} prob / {expect} expect)"
+        );
+        assert!(publishes >= 1);
+        let second =
+            score_all_bound_parallel(&engine, &env, &bindings, &docs, 3, &pool, true).unwrap();
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        let (_, _, publishes_after) = pool.snapshot_stats();
+        assert_eq!(
+            publishes_after, publishes,
+            "a fully warm run finds every entry in the snapshot and merges nothing"
+        );
+    }
+
+    #[test]
+    fn pool_resets_on_kb_change() {
+        let (kb, rules, user, docs) = rich_fixture(8);
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let pool = ScratchPool::new();
+        let bindings = bind_rules_shared(&env);
+        score_all_bound_parallel(
+            &LineageEngine::new(),
+            &env,
+            &bindings,
+            &docs,
+            2,
+            &pool,
+            true,
+        )
+        .unwrap();
+        let (prob, expect, _) = pool.snapshot_stats();
+        assert!(prob + expect > 0);
+        // A *clone* has a fresh KB identity: its scratches must not see the
+        // original's snapshot (universe affinity).
+        let kb2 = kb.clone();
+        let scratch = pool.checkout(&kb2);
+        let (prob2, expect2, _) = pool.snapshot_stats();
+        assert_eq!((prob2, expect2), (0, 0), "different KB resets the pool");
+        drop(scratch);
+    }
+
+    #[test]
+    fn parallel_session_reuses_all_layers() {
+        let (mut kb, rules, user, docs) = fixture(40);
+        let engine = LineageEngine::new();
+        let mut session = ParallelScoringSession::new(3);
+        {
+            let env = ScoringEnv {
+                kb: &kb,
+                rules: &rules,
+                user,
+            };
+            let cold = session.score_all(&engine, &env, &docs).unwrap();
+            let warm = session.score_all(&engine, &env, &docs).unwrap();
+            let stats = session.stats();
+            assert_eq!(stats.binding_hits, 1, "no rebinding on a warm call");
+            assert_eq!(stats.score_hits, docs.len() as u64);
+            let reference = engine.score_all(&env, &docs).unwrap();
+            for ((a, b), c) in cold.iter().zip(&warm).zip(&reference) {
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+                assert_eq!(a.score.to_bits(), c.score.to_bits());
+            }
+        }
+        // A KB mutation invalidates bindings and scores but not the
+        // snapshot tier (same universe, immutable variables).
+        kb.assert_concept_prob(docs[0], "Nice", 0.5).unwrap();
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let fresh = session.score_all(&engine, &env, &docs).unwrap();
+        let reference = engine.score_all(&env, &docs).unwrap();
+        for (a, b) in reference.iter().zip(&fresh) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        let top = session.rank_top_k(&engine, &env, &docs, 5).unwrap();
+        let full = rank(reference);
+        for (a, b) in top.iter().zip(&full[..5]) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn strict_engine_errors_propagate_from_workers() {
+        // A correlated doc in the middle of the set: the strict factorized
+        // engine must reject the parallel workload exactly like the
+        // sequential path, no matter which worker meets the document.
+        let mut kb = Kb::new();
+        let user = kb.individual("u");
+        kb.assert_concept(user, "Ctx");
+        let a = kb.individual("A");
+        let b = kb.individual("B");
+        let docs: Vec<IndividualId> = (0..24)
+            .map(|i| {
+                let d = kb.individual(&format!("d{i}"));
+                kb.assert_concept_prob(d, "Nice", 0.2 + 0.03 * i as f64)
+                    .unwrap();
+                d
+            })
+            .collect();
+        let kind = kb.universe.add_choice("kind", &[0.4, 0.3]).unwrap();
+        let e0 = kb.universe.atom(kind, 0).unwrap();
+        let e1 = kb.universe.atom(kind, 1).unwrap();
+        kb.assert_role_event(docs[13], "hasGenre", a, e0);
+        kb.assert_role_event(docs[13], "hasGenre", b, e1);
+        let mut rules = RuleRepository::new();
+        let ctx = kb.parse("Ctx").unwrap();
+        rules
+            .add(PreferenceRule::new(
+                "A",
+                ctx.clone(),
+                kb.parse("EXISTS hasGenre.{A}").unwrap(),
+                Score::new(0.8).unwrap(),
+            ))
+            .unwrap();
+        rules
+            .add(PreferenceRule::new(
+                "B",
+                ctx,
+                kb.parse("EXISTS hasGenre.{B}").unwrap(),
+                Score::new(0.6).unwrap(),
+            ))
+            .unwrap();
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let strict = FactorizedEngine::new();
+        assert!(strict.score_all(&env, &docs).is_err());
+        assert!(score_all_parallel(&strict, &env, &docs, 4).is_err());
+        assert!(rank_top_k_parallel(&strict, &env, &docs, 3, 4).is_err());
+        // The exact engine serves the same workload in parallel.
+        let seq = LineageEngine::new().score_all(&env, &docs).unwrap();
+        let par = score_all_parallel(&LineageEngine::new(), &env, &docs, 4).unwrap();
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
     }
 }

@@ -155,9 +155,95 @@ impl BindingCache {
 /// binding cache hands out. Holding strong references makes the identity
 /// check exact: a pointer can only compare equal to a *live* binding, never
 /// to a recycled allocation.
+#[derive(Default)]
 struct ScoreEntry {
     bindings: Vec<Arc<RuleBinding>>,
     scores: HashMap<IndividualId, f64>,
+}
+
+/// Key of one score-cache entry: user, engine name, engine configuration.
+pub(crate) type ScoreKey = (IndividualId, &'static str, u64);
+
+/// The per-document score layer shared by [`ScoringSession`] and
+/// [`crate::parallel::ParallelScoringSession`]: entries keyed by
+/// [`ScoreKey`], each valid while the exact binding `Arc`s it was computed
+/// under are unchanged (pointer identity — see [`ScoreEntry`]).
+///
+/// The split lookup protocol ([`ScoreCache::missing`] → compute →
+/// [`ScoreCache::record`] → [`ScoreCache::collect`]) lets the caller choose
+/// *how* the missing documents are scored — sequentially with one scratch,
+/// or fanned out over a worker pool.
+#[derive(Default)]
+pub(crate) struct ScoreCache {
+    entries: HashMap<ScoreKey, ScoreEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScoreCache {
+    /// `(hits, misses)` accumulated so far.
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Drops every cached score (counters are kept).
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Ensures the entry under `key` reflects exactly `bindings` (clearing
+    /// it if they changed) and returns the documents not yet cached, in
+    /// input order, counting hits and misses.
+    pub(crate) fn missing(
+        &mut self,
+        key: ScoreKey,
+        bindings: &[Arc<RuleBinding>],
+        docs: &[IndividualId],
+    ) -> Vec<IndividualId> {
+        let entry = self.entries.entry(key).or_default();
+        let same_bindings = entry.bindings.len() == bindings.len()
+            && entry
+                .bindings
+                .iter()
+                .zip(bindings)
+                .all(|(a, b)| Arc::ptr_eq(a, b));
+        if !same_bindings {
+            entry.bindings = bindings.to_vec();
+            entry.scores.clear();
+        }
+        let missing: Vec<IndividualId> = docs
+            .iter()
+            .copied()
+            .filter(|d| !entry.scores.contains_key(d))
+            .collect();
+        self.hits += (docs.len() - missing.len()) as u64;
+        self.misses += missing.len() as u64;
+        missing
+    }
+
+    /// Stores freshly computed scores under `key` (which
+    /// [`ScoreCache::missing`] must have ensured).
+    pub(crate) fn record(&mut self, key: &ScoreKey, computed: Vec<DocScore>) {
+        let entry = self
+            .entries
+            .get_mut(key)
+            .expect("missing() creates the entry");
+        for s in computed {
+            entry.scores.insert(s.doc, s.score);
+        }
+    }
+
+    /// Reads the scores for `docs` (all of which must be cached by now),
+    /// in input order.
+    pub(crate) fn collect(&self, key: &ScoreKey, docs: &[IndividualId]) -> Vec<DocScore> {
+        let entry = &self.entries[key];
+        docs.iter()
+            .map(|&doc| DocScore {
+                doc,
+                score: entry.scores[&doc],
+            })
+            .collect()
+    }
 }
 
 /// A prepared scoring session: binding cache + persistent evaluation memos
@@ -193,9 +279,7 @@ struct ScoreEntry {
 pub struct ScoringSession {
     bindings: BindingCache,
     scratch: EvalScratch,
-    scores: HashMap<(IndividualId, &'static str, u64), ScoreEntry>,
-    score_hits: u64,
-    score_misses: u64,
+    scores: ScoreCache,
 }
 
 impl ScoringSession {
@@ -207,11 +291,12 @@ impl ScoringSession {
     /// Work counters accumulated so far.
     pub fn stats(&self) -> SessionStats {
         let (binding_hits, binding_misses) = self.bindings.stats();
+        let (score_hits, score_misses) = self.scores.stats();
         SessionStats {
             binding_hits,
             binding_misses,
-            score_hits: self.score_hits,
-            score_misses: self.score_misses,
+            score_hits,
+            score_misses,
         }
     }
 
@@ -251,42 +336,12 @@ impl ScoringSession {
     {
         let bindings = self.bindings.bind(env);
         let key = (env.user, engine.name(), engine.config_tag());
-        let entry = self.scores.entry(key).or_insert_with(|| ScoreEntry {
-            bindings: Vec::new(),
-            scores: HashMap::new(),
-        });
-        let same_bindings = entry.bindings.len() == bindings.len()
-            && entry
-                .bindings
-                .iter()
-                .zip(&bindings)
-                .all(|(a, b)| Arc::ptr_eq(a, b));
-        if !same_bindings {
-            entry.bindings = bindings.clone();
-            entry.scores.clear();
-        }
-        let missing: Vec<IndividualId> = docs
-            .iter()
-            .copied()
-            .filter(|d| !entry.scores.contains_key(d))
-            .collect();
-        self.score_hits += (docs.len() - missing.len()) as u64;
-        self.score_misses += missing.len() as u64;
+        let missing = self.scores.missing(key, &bindings, docs);
         if !missing.is_empty() {
             let computed = engine.score_all_bound(env, &bindings, &missing, &mut self.scratch)?;
-            let entry = self.scores.get_mut(&key).expect("entry inserted above");
-            for s in computed {
-                entry.scores.insert(s.doc, s.score);
-            }
+            self.scores.record(&key, computed);
         }
-        let entry = &self.scores[&key];
-        Ok(docs
-            .iter()
-            .map(|&doc| DocScore {
-                doc,
-                score: entry.scores[&doc],
-            })
-            .collect())
+        Ok(self.scores.collect(&key, docs))
     }
 
     /// [`ScoringSession::score_all`] followed by the descending sort of

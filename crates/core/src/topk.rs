@@ -30,7 +30,7 @@
 //! arithmetic.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use capra_dl::IndividualId;
@@ -156,24 +156,57 @@ pub(crate) fn scan_bounded<E>(
 where
     E: ScoringEngine + ?Sized,
 {
+    // The single-scanner case is the stealing scan over a private cursor.
+    let cursor = AtomicUsize::new(0);
+    scan_bounded_stealing(env, engine, bindings, order, k, scratch, shared, &cursor)
+}
+
+/// [`scan_bounded`] over a **shared work queue**: each call to this function
+/// is one worker of the parallel top-k path, stealing fixed-size batches of
+/// the bound-sorted `order` through `cursor` (an atomic index into `order`)
+/// until the queue is drained or the pruning frontier is reached.
+///
+/// Pruning stays exact under stealing: bounds are sorted descending, so
+/// when a stolen batch is clipped at the frontier (every remaining bound is
+/// below the floor — a proven lower bound on the global k-th best score),
+/// the documents skipped by *all* workers are exactly documents that cannot
+/// reach the top-k. Fast workers steal more batches than slow ones, so a
+/// straggler never pins the tail of the queue.
+#[allow(clippy::too_many_arguments)] // one worker's full scan context
+pub(crate) fn scan_bounded_stealing<E>(
+    env: &ScoringEnv<'_>,
+    engine: &E,
+    bindings: &[Arc<RuleBinding>],
+    order: &[(f64, IndividualId)],
+    k: usize,
+    scratch: &mut EvalScratch,
+    shared: Option<&SharedThreshold>,
+    cursor: &AtomicUsize,
+) -> Result<Vec<DocScore>>
+where
+    E: ScoringEngine + ?Sized,
+{
     let batch = k.max(16);
     let mut top: Vec<DocScore> = Vec::with_capacity(k + batch);
-    let mut i = 0;
-    while i < order.len() {
+    loop {
         let mut floor = shared.map_or(f64::NEG_INFINITY, SharedThreshold::get);
         if top.len() == k {
             floor = floor.max(top[k - 1].score);
         }
-        // Clip the batch at the pruning frontier: bounds are sorted
-        // descending, so everything past it is out too.
-        let mut end = (i + batch).min(order.len());
-        while end > i && order[end - 1].0 + BOUND_SLACK < floor {
-            end -= 1;
-        }
-        if end == i {
+        let start = cursor.fetch_add(batch, Ordering::Relaxed);
+        if start >= order.len() {
             break;
         }
-        let chunk: Vec<IndividualId> = order[i..end].iter().map(|&(_, d)| d).collect();
+        // Clip the batch at the pruning frontier: bounds are sorted
+        // descending, so everything past it is out too.
+        let mut end = (start + batch).min(order.len());
+        while end > start && order[end - 1].0 + BOUND_SLACK < floor {
+            end -= 1;
+        }
+        if end == start {
+            break;
+        }
+        let chunk: Vec<IndividualId> = order[start..end].iter().map(|&(_, d)| d).collect();
         let scores = engine.score_all_bound(env, bindings, &chunk, scratch)?;
         top.extend(scores);
         top.sort_unstable_by(by_rank);
@@ -185,7 +218,6 @@ where
                 shared.raise(top[k - 1].score);
             }
         }
-        i = end;
     }
     Ok(top)
 }

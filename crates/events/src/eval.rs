@@ -1,4 +1,5 @@
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::hashers::FastMap;
 use crate::{clamp_prob, EventExpr, Universe, VarId};
@@ -37,6 +38,17 @@ use crate::{clamp_prob, EventExpr, Universe, VarId};
 /// an [`EvalCache`] (see [`Evaluator::with_cache`]) to persist them across
 /// evaluator lifetimes, e.g. between the repeated `score_all` calls of a
 /// scoring session.
+///
+/// For **parallel** reuse the cache splits into two tiers: a frozen,
+/// read-only snapshot ([`FrozenEvalCache`]) shared across threads behind an
+/// `Arc` and consulted lock-free before the private overlay, plus the
+/// overlay itself receiving this evaluator's new entries. Worker overlays
+/// are merged and republished deterministically after a run — every entry
+/// is a pure function of its hash-consed key, so merge order cannot change
+/// a single bit. Both tiers are bound to one universe value (the
+/// *universe-affinity invariant*): entries survive further variable
+/// declarations, but caches and snapshots must be discarded when switching
+/// universes, because variable ids would alias.
 pub struct Evaluator<'u> {
     universe: &'u Universe,
     cache: EvalCache,
@@ -48,16 +60,24 @@ pub struct Evaluator<'u> {
 }
 
 /// The detachable memo state of an [`Evaluator`]: probability and
-/// Shannon-pivot tables keyed by hash-consed expression identity.
+/// Shannon-pivot tables keyed by hash-consed expression identity, split into
+/// **two tiers** — an optional frozen, read-only snapshot shared across
+/// threads ([`FrozenEvalCache`], consulted first) and a small private
+/// overlay receiving this holder's new entries.
 ///
 /// Entries are valid for the universe whose expressions they were computed
 /// over, **including after further variable declarations** (declared
 /// variables and their probabilities are immutable, and new variables cannot
 /// occur in already-interned expressions). Reusing a cache with a *different*
 /// universe is a logic error — variable ids would alias — so holders must
-/// discard it when they switch universes.
+/// discard it when they switch universes. The same *universe affinity*
+/// applies to snapshots: a snapshot and every overlay merged into it must
+/// have been computed over one universe value.
 #[derive(Default)]
 pub struct EvalCache {
+    /// Shared read-only tier, consulted before the overlay. `None` for a
+    /// plain single-holder cache.
+    snapshot: Option<Arc<FrozenEvalCache>>,
     /// Probability memo over composite nodes. Keys are hash-consed
     /// expressions, so hashing is the precomputed structural hash and
     /// equality is pointer identity — O(1) either way — while the key
@@ -69,14 +89,264 @@ pub struct EvalCache {
 }
 
 impl EvalCache {
-    /// Number of memoised probabilities.
+    /// An empty overlay backed by a shared read-only snapshot: lookups
+    /// consult `snapshot` first and misses are memoised privately, so many
+    /// threads can share one snapshot lock-free while each accumulates only
+    /// the entries the snapshot lacks.
+    pub fn with_snapshot(snapshot: Arc<FrozenEvalCache>) -> Self {
+        Self {
+            snapshot: Some(snapshot),
+            ..Self::default()
+        }
+    }
+
+    /// Number of *privately* memoised probabilities (the overlay only; the
+    /// shared snapshot, if any, is counted by [`FrozenEvalCache::len`]).
     pub fn len(&self) -> usize {
         self.memo.len()
     }
 
-    /// True if nothing has been memoised yet.
+    /// True if this holder memoised nothing privately yet (a backing
+    /// snapshot may still answer lookups).
     pub fn is_empty(&self) -> bool {
-        self.memo.is_empty()
+        self.memo.is_empty() && self.pivots.is_empty()
+    }
+
+    fn lookup_prob(&self, expr: &EventExpr) -> Option<f64> {
+        if let Some(p) = self.snapshot.as_ref().and_then(|s| s.get_prob(expr)) {
+            return Some(p);
+        }
+        self.memo.get(expr).copied()
+    }
+
+    fn lookup_pivot(&self, expr: &EventExpr) -> Option<VarId> {
+        if let Some(v) = self.snapshot.as_ref().and_then(|s| s.get_pivot(expr)) {
+            return Some(v);
+        }
+        self.pivots.get(expr).copied()
+    }
+}
+
+/// How many frozen tiers a snapshot chain may accumulate before a republish
+/// compacts it. Bounds every lookup at `MAX_CHAIN + 1` O(1) map probes.
+pub(crate) const MAX_CHAIN: usize = 4;
+
+/// What a republish does to a snapshot chain — the one policy shared by
+/// [`FrozenEvalCache`] and [`crate::FrozenExpectCache`], kept in a single
+/// function so the two caches cannot silently diverge.
+///
+/// The policy is LSM-flavoured: young tiers are cheap to push and compact,
+/// while the big root tier is recopied only when the accumulated young
+/// state rivals its size — i.e. once per size doubling — so the recurring
+/// republish cost is proportional to the *young* tiers, not the whole
+/// snapshot, and total copying stays linear in the final snapshot size.
+pub(crate) enum ChainAction {
+    /// No usable base: the new entries become a flat root tier.
+    Root,
+    /// Chain has room: push the new entries as a tier on top of the base.
+    Push,
+    /// Chain is at [`MAX_CHAIN`] but the young tiers are still small:
+    /// merge them with the new entries into one tier over the shared root.
+    Compact,
+    /// The young state rivals the root: fold everything into a new root.
+    Fold,
+}
+
+/// Chooses the [`ChainAction`] for a republish, from the base chain's
+/// shape (`depth`, young-tier entry count, root entry count, base
+/// emptiness) and the size of the incoming entries.
+pub(crate) fn chain_action(
+    base_is_empty: bool,
+    depth: usize,
+    young_len: usize,
+    root_len: usize,
+    new_len: usize,
+) -> ChainAction {
+    if base_is_empty {
+        ChainAction::Root
+    } else if depth < MAX_CHAIN {
+        ChainAction::Push
+    } else if young_len + new_len >= root_len {
+        ChainAction::Fold
+    } else {
+        ChainAction::Compact
+    }
+}
+
+/// A frozen, read-only [`EvalCache`] snapshot, shared across threads behind
+/// an `Arc` and consulted lock-free before each holder's private overlay.
+///
+/// Snapshots grow by [`FrozenEvalCache::merged`]: collect the overlays the
+/// workers of one run accumulated and republish base + overlays as a new
+/// snapshot. Every memoised value is a **pure function of its hash-consed
+/// key** (probability evaluation is deterministic and universe variables are
+/// immutable), so two workers that memoise the same key store bit-identical
+/// values and the merge is order-independent — results stay bit-identical
+/// to a sequential run no matter how work was interleaved.
+///
+/// Internally a snapshot is a short chain of immutable tiers (newest
+/// first, at most [`MAX_CHAIN`]): a republish normally pushes the merged
+/// overlays as a new tier sharing the base via `Arc` — O(new entries), no
+/// copy of the accumulated state. When the chain is full, the *young*
+/// tiers are compacted into one over the shared root, and only when the
+/// young state rivals the root's size is everything folded into a new
+/// root (see [`ChainAction`]): the big tier is recopied once per size
+/// doubling, so total copying stays linear in the snapshot's final size
+/// while lookups stay at a handful of O(1) probes.
+///
+/// The universe-affinity rule of [`EvalCache`] applies transitively: all
+/// overlays merged into one snapshot lineage must come from evaluators over
+/// the same universe value, and the snapshot must be discarded when the
+/// universe is replaced.
+pub struct FrozenEvalCache {
+    memo: FastMap<EventExpr, f64>,
+    pivots: FastMap<EventExpr, VarId>,
+    /// Older tier this one extends (`None` for a flat/root tier).
+    parent: Option<Arc<FrozenEvalCache>>,
+    /// Chain length including this tier.
+    depth: usize,
+}
+
+impl Default for FrozenEvalCache {
+    fn default() -> Self {
+        Self {
+            memo: FastMap::default(),
+            pivots: FastMap::default(),
+            parent: None,
+            depth: 1,
+        }
+    }
+}
+
+impl FrozenEvalCache {
+    /// Number of memoised probabilities across all tiers. Keys shadowed in
+    /// several tiers (identical values by construction) count once per
+    /// tier, so this is an upper bound on distinct entries.
+    pub fn len(&self) -> usize {
+        self.tiers().map(|t| t.memo.len()).sum()
+    }
+
+    /// True if no tier holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.tiers()
+            .all(|t| t.memo.is_empty() && t.pivots.is_empty())
+    }
+
+    /// The chain of tiers, newest first.
+    fn tiers(&self) -> impl Iterator<Item = &FrozenEvalCache> {
+        std::iter::successors(Some(self), |t| t.parent.as_deref())
+    }
+
+    fn get_prob(&self, expr: &EventExpr) -> Option<f64> {
+        self.tiers().find_map(|t| t.memo.get(expr).copied())
+    }
+
+    fn get_pivot(&self, expr: &EventExpr) -> Option<VarId> {
+        self.tiers().find_map(|t| t.pivots.get(expr).copied())
+    }
+
+    /// One flat pair of maps holding every entry of the given tiers
+    /// (oldest first on input, so newer tiers shadow — although shadowed
+    /// values are bit-identical anyway; see the type docs).
+    fn collect_tiers<'a>(
+        oldest_first: impl Iterator<Item = &'a FrozenEvalCache>,
+    ) -> (FastMap<EventExpr, f64>, FastMap<EventExpr, VarId>) {
+        let mut memo = FastMap::default();
+        let mut pivots = FastMap::default();
+        for tier in oldest_first {
+            memo.extend(tier.memo.iter().map(|(k, v)| (k.clone(), *v)));
+            pivots.extend(tier.pivots.iter().map(|(k, v)| (k.clone(), *v)));
+        }
+        (memo, pivots)
+    }
+
+    /// The oldest tier of the chain, as an owned handle.
+    fn root_arc(self: &Arc<Self>) -> Arc<Self> {
+        let mut root = Arc::clone(self);
+        while let Some(parent) = &root.parent {
+            let parent = Arc::clone(parent);
+            root = parent;
+        }
+        root
+    }
+
+    /// Merges worker overlays on top of `base` into a new snapshot (the
+    /// *republish* step) per the shared [`chain_action`] policy.
+    /// Order-independent and deterministic: values are pure functions of
+    /// node identity (see the type docs), so duplicate keys across
+    /// overlays carry bit-identical values. Each overlay's own backing
+    /// snapshot is dropped — it is an ancestor of `base` in the intended
+    /// lineage, so its entries are already present.
+    pub fn merged(
+        base: Option<&Arc<FrozenEvalCache>>,
+        overlays: impl IntoIterator<Item = EvalCache>,
+    ) -> Arc<FrozenEvalCache> {
+        let mut memo = FastMap::default();
+        let mut pivots = FastMap::default();
+        for overlay in overlays {
+            memo.extend(overlay.memo);
+            pivots.extend(overlay.pivots);
+        }
+        if memo.is_empty() && pivots.is_empty() {
+            // Nothing new: keep the base as-is instead of stacking an
+            // empty tier (which would cost a probe on every lookup).
+            if let Some(b) = base {
+                return Arc::clone(b);
+            }
+        }
+        let action = match base {
+            None => ChainAction::Root,
+            Some(b) => {
+                let root_len = b.root_arc().memo.len();
+                chain_action(
+                    b.is_empty(),
+                    b.depth,
+                    b.len() - root_len,
+                    root_len,
+                    memo.len(),
+                )
+            }
+        };
+        match (action, base) {
+            (ChainAction::Root, _) | (_, None) => Arc::new(Self {
+                memo,
+                pivots,
+                parent: None,
+                depth: 1,
+            }),
+            (ChainAction::Push, Some(b)) => Arc::new(Self {
+                memo,
+                pivots,
+                parent: Some(Arc::clone(b)),
+                depth: b.depth + 1,
+            }),
+            (ChainAction::Compact, Some(b)) => {
+                // Young tiers (everything above the root) + the new
+                // entries become one tier over the shared root.
+                let young: Vec<&FrozenEvalCache> = b.tiers().take(b.depth - 1).collect();
+                let (mut cm, mut cp) = Self::collect_tiers(young.into_iter().rev());
+                cm.extend(memo);
+                cp.extend(pivots);
+                Arc::new(Self {
+                    memo: cm,
+                    pivots: cp,
+                    parent: Some(b.root_arc()),
+                    depth: 2,
+                })
+            }
+            (ChainAction::Fold, Some(b)) => {
+                let tiers: Vec<&FrozenEvalCache> = b.tiers().collect();
+                let (mut fm, mut fp) = Self::collect_tiers(tiers.into_iter().rev());
+                fm.extend(memo);
+                fp.extend(pivots);
+                Arc::new(Self {
+                    memo: fm,
+                    pivots: fp,
+                    parent: None,
+                    depth: 1,
+                })
+            }
+        }
     }
 }
 
@@ -133,10 +403,10 @@ impl<'u> Evaluator<'u> {
         self.stats
     }
 
-    /// Clears the memo and pivot tables (the counters are kept).
+    /// Clears the memo and pivot tables, including any backing snapshot
+    /// (the counters are kept).
     pub fn clear(&mut self) {
-        self.cache.memo.clear();
-        self.cache.pivots.clear();
+        self.cache = EvalCache::default();
     }
 
     /// Exact probability of `expr` under the evaluator's universe.
@@ -158,13 +428,15 @@ impl<'u> Evaluator<'u> {
             _ => {}
         }
         if self.use_memo {
-            if let Some(&p) = self.cache.memo.get(expr) {
+            if let Some(p) = self.cache.lookup_prob(expr) {
                 self.stats.memo_hits += 1;
                 return p;
             }
         }
         let p = self.prob_connective(expr);
         if self.use_memo {
+            // A lookup miss means the snapshot lacks the key too, so the
+            // overlay insert never shadows a snapshot entry.
             self.cache.memo.insert(expr.clone(), p);
         }
         p
@@ -224,7 +496,7 @@ impl<'u> Evaluator<'u> {
     /// a pure function of the expression, so the atom-count walk runs once
     /// per distinct node instead of once per expansion.
     fn pivot_for(&mut self, expr: &EventExpr) -> VarId {
-        if let Some(&var) = self.cache.pivots.get(expr) {
+        if let Some(var) = self.cache.lookup_pivot(expr) {
             self.stats.pivot_hits += 1;
             return var;
         }
@@ -519,6 +791,170 @@ mod tests {
             second.stats().memo_hits > 0 && second.stats().expansions == 0,
             "second evaluator must answer from the carried cache"
         );
+    }
+
+    #[test]
+    fn frozen_snapshot_answers_without_expansion() {
+        let (u, ea, eb, ec) = universe3();
+        let e = EventExpr::or([
+            EventExpr::and([ea.clone(), eb.clone()]),
+            EventExpr::and([ea.clone(), ec.clone()]),
+            EventExpr::and([eb.clone(), ec.clone()]),
+        ]);
+        let mut first = Evaluator::new(&u);
+        let p1 = first.prob(&e);
+        let snapshot = FrozenEvalCache::merged(None, [first.into_cache()]);
+        assert!(!snapshot.is_empty());
+        // A fresh overlay over the snapshot must answer from the shared
+        // tier: same bits, zero expansions, empty private overlay.
+        let mut second = Evaluator::with_cache(&u, EvalCache::with_snapshot(Arc::clone(&snapshot)));
+        let p2 = second.prob(&e);
+        assert_eq!(p1.to_bits(), p2.to_bits());
+        assert_eq!(second.stats().expansions, 0);
+        assert!(second.stats().memo_hits > 0);
+        assert!(
+            second.into_cache().is_empty(),
+            "snapshot hits must not be copied into the overlay"
+        );
+    }
+
+    #[test]
+    fn merged_snapshot_is_order_independent() {
+        let mut u = Universe::new();
+        let vars: Vec<_> = (0..6)
+            .map(|i| u.add_bool(&format!("s{i}"), 0.15 + 0.1 * i as f64).unwrap())
+            .collect();
+        let es: Vec<_> = vars.iter().map(|&v| u.bool_event(v).unwrap()).collect();
+        // Two "workers" evaluate overlapping entangled expressions on
+        // private overlays; one also covers an expression the other lacks.
+        let shared = EventExpr::or([
+            EventExpr::and([es[0].clone(), es[1].clone()]),
+            EventExpr::and([es[1].clone(), es[2].clone()]),
+        ]);
+        let only_a = EventExpr::or([
+            EventExpr::and([es[2].clone(), es[3].clone()]),
+            EventExpr::and([es[3].clone(), es[4].clone()]),
+        ]);
+        let overlay_a = || {
+            let mut ev = Evaluator::new(&u);
+            let _ = ev.prob(&shared);
+            let _ = ev.prob(&only_a);
+            ev.into_cache()
+        };
+        let overlay_b = || {
+            let mut ev = Evaluator::new(&u);
+            let _ = ev.prob(&shared);
+            ev.into_cache()
+        };
+        // Merge in both orders; duplicate keys must carry identical bits,
+        // so the snapshots answer identically and fully (zero expansions).
+        let merged_ab = FrozenEvalCache::merged(None, [overlay_a(), overlay_b()]);
+        let merged_ba = FrozenEvalCache::merged(None, [overlay_b(), overlay_a()]);
+        assert_eq!(merged_ab.len(), merged_ba.len());
+        for e in [&shared, &only_a] {
+            let mut eva =
+                Evaluator::with_cache(&u, EvalCache::with_snapshot(Arc::clone(&merged_ab)));
+            let mut evb =
+                Evaluator::with_cache(&u, EvalCache::with_snapshot(Arc::clone(&merged_ba)));
+            assert_eq!(eva.prob(e).to_bits(), evb.prob(e).to_bits());
+            assert_eq!(eva.stats().expansions + evb.stats().expansions, 0);
+        }
+    }
+
+    #[test]
+    fn snapshot_chain_collapses_and_stays_consistent() {
+        // Republish more times than MAX_CHAIN: every generation must keep
+        // answering every earlier generation's entries (chain lookups span
+        // tiers; the collapse must not drop anything).
+        let mut u = Universe::new();
+        let vars: Vec<_> = (0..2 * (MAX_CHAIN + 2))
+            .map(|i| u.add_bool(&format!("c{i}"), 0.2 + 0.05 * i as f64).unwrap())
+            .collect();
+        let exprs: Vec<EventExpr> = vars
+            .chunks(2)
+            .map(|pair| {
+                let a = u.bool_event(pair[0]).unwrap();
+                let b = u.bool_event(pair[1]).unwrap();
+                // Entangle the pair so a composite memo entry is created.
+                EventExpr::or([
+                    EventExpr::and([a.clone(), b.clone()]),
+                    EventExpr::and([a, EventExpr::not(b)]),
+                ])
+            })
+            .collect();
+        let mut snapshot: Option<Arc<FrozenEvalCache>> = None;
+        let mut expected: Vec<f64> = Vec::new();
+        for (generation, expr) in exprs.iter().enumerate() {
+            let cache = snapshot
+                .as_ref()
+                .map(|s| EvalCache::with_snapshot(Arc::clone(s)))
+                .unwrap_or_default();
+            let mut ev = Evaluator::with_cache(&u, cache);
+            expected.push(ev.prob(expr));
+            snapshot = Some(FrozenEvalCache::merged(
+                snapshot.as_ref(),
+                [ev.into_cache()],
+            ));
+            let snap = snapshot.as_ref().unwrap();
+            assert!(snap.depth <= MAX_CHAIN, "generation {generation}");
+            // Every entry published so far must still answer, bit-identical.
+            let mut check = Evaluator::with_cache(&u, EvalCache::with_snapshot(Arc::clone(snap)));
+            for (e, want) in exprs[..=generation].iter().zip(&expected) {
+                assert_eq!(check.prob(e).to_bits(), want.to_bits());
+            }
+            assert_eq!(check.stats().expansions, 0, "generation {generation}");
+        }
+    }
+
+    #[test]
+    fn chain_compacts_young_tiers_and_keeps_root_shared() {
+        // A big root followed by a stream of tiny republishes: while the
+        // young state stays small relative to the root, the root tier must
+        // be *shared* (pointer-equal parent, never recopied) and the chain
+        // must compact rather than fold.
+        let mut u = Universe::new();
+        let entangled = |u: &mut Universe, tag: &str| {
+            let a = u.add_bool(&format!("{tag}a"), 0.3).unwrap();
+            let b = u.add_bool(&format!("{tag}b"), 0.6).unwrap();
+            let (ea, eb) = (u.bool_event(a).unwrap(), u.bool_event(b).unwrap());
+            EventExpr::or([
+                EventExpr::and([ea.clone(), eb.clone()]),
+                EventExpr::and([ea, EventExpr::not(eb)]),
+            ])
+        };
+        let root_exprs: Vec<EventExpr> = (0..30)
+            .map(|i| entangled(&mut u, &format!("r{i}")))
+            .collect();
+        let mut ev = Evaluator::new(&u);
+        let root_values: Vec<f64> = root_exprs.iter().map(|e| ev.prob(e)).collect();
+        let root = FrozenEvalCache::merged(None, [ev.into_cache()]);
+        let root_len = root.memo.len();
+
+        let mut snapshot = Arc::clone(&root);
+        let mut compacted = false;
+        for i in 0..5 {
+            let e = entangled(&mut u, &format!("y{i}"));
+            let mut ev = Evaluator::with_cache(&u, EvalCache::with_snapshot(Arc::clone(&snapshot)));
+            let want = ev.prob(&e);
+            snapshot = FrozenEvalCache::merged(Some(&snapshot), [ev.into_cache()]);
+            assert!(snapshot.depth <= MAX_CHAIN);
+            // Young state is far below the root's size, so the root tier
+            // is still the original allocation — never cloned.
+            assert!(snapshot.len() - root_len < root_len, "test premise");
+            assert!(
+                Arc::ptr_eq(&snapshot.root_arc(), &root),
+                "generation {i}: small republishes must share the root"
+            );
+            compacted |= snapshot.depth == 2 && snapshot.parent.is_some();
+            let mut check =
+                Evaluator::with_cache(&u, EvalCache::with_snapshot(Arc::clone(&snapshot)));
+            assert_eq!(check.prob(&e).to_bits(), want.to_bits());
+            for (re, rv) in root_exprs.iter().zip(&root_values) {
+                assert_eq!(check.prob(re).to_bits(), rv.to_bits());
+            }
+            assert_eq!(check.stats().expansions, 0, "generation {i}");
+        }
+        assert!(compacted, "MAX_CHAIN must trigger a compaction, not a fold");
     }
 
     #[test]

@@ -22,10 +22,11 @@
 //! O(#cases) instead of O(total expression size).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use crate::eval::group_indices;
+use crate::eval::{chain_action, group_indices, ChainAction};
 use crate::hashers::FastMap;
-use crate::{EventExpr, Universe, VarId};
+use crate::{EvalCache, EventExpr, FrozenEvalCache, Universe, VarId};
 
 /// A piecewise-constant random variable: in a world `w` its value is the sum
 /// of the weights of the cases whose event holds in `w`.
@@ -141,6 +142,8 @@ type FactorKey = Vec<(EventExpr, u64)>;
 /// repeated `score_all` calls of a scoring session).
 pub struct Expectation<'u> {
     universe: &'u Universe,
+    /// Shared read-only tier of the factor-group memo (see [`ExpectCache`]).
+    snapshot: Option<Arc<FrozenExpectCache>>,
     memo: FastMap<Vec<FactorKey>, f64>,
     /// Shared probability evaluator for single-factor groups (linearity of
     /// expectation); its memo — and the interned nodes it pins — persist
@@ -151,28 +154,201 @@ pub struct Expectation<'u> {
 }
 
 /// The detachable memo state of an [`Expectation`]: the factor-group memo
-/// plus the embedded probability evaluator's [`EvalCache`].
+/// plus the embedded probability evaluator's [`EvalCache`], each split into
+/// an optional frozen shared snapshot tier ([`FrozenExpectCache`]) and a
+/// private overlay — the same two-tier scheme as [`EvalCache`].
 ///
 /// The same validity rule as [`EvalCache`] applies: entries stay correct
 /// under further variable declarations on the same universe, but the cache
-/// must be discarded when switching to a different universe.
+/// (snapshot included) must be discarded when switching to a different
+/// universe.
 ///
 /// [`EvalCache`]: crate::EvalCache
 #[derive(Default)]
 pub struct ExpectCache {
+    snapshot: Option<Arc<FrozenExpectCache>>,
     memo: FastMap<Vec<FactorKey>, f64>,
-    eval: crate::EvalCache,
+    eval: EvalCache,
 }
 
 impl ExpectCache {
-    /// Number of memoised factor groups (excluding the probability memo).
+    /// An empty overlay backed by a shared read-only snapshot; the embedded
+    /// probability cache is layered over the snapshot's eval tier likewise.
+    pub fn with_snapshot(snapshot: Arc<FrozenExpectCache>) -> Self {
+        Self {
+            eval: EvalCache::with_snapshot(Arc::clone(&snapshot.eval)),
+            snapshot: Some(snapshot),
+            memo: FastMap::default(),
+        }
+    }
+
+    /// Number of *privately* memoised factor groups (excluding the
+    /// probability memo and the shared snapshot).
     pub fn len(&self) -> usize {
         self.memo.len()
     }
 
-    /// True if nothing has been memoised yet.
+    /// True if this holder memoised nothing privately yet (a backing
+    /// snapshot may still answer lookups).
     pub fn is_empty(&self) -> bool {
         self.memo.is_empty() && self.eval.is_empty()
+    }
+}
+
+/// A frozen, read-only [`ExpectCache`] snapshot shared across threads: the
+/// factor-group memo plus a [`FrozenEvalCache`] for the embedded probability
+/// evaluator. Same merge/validity contract as [`FrozenEvalCache`] — values
+/// are pure functions of their (hash-consed) keys, so merging worker
+/// overlays is order-independent and bit-deterministic — and the same
+/// bounded tier-chain representation, so routine republishes copy only the
+/// young tiers and the root is recopied once per size doubling.
+pub struct FrozenExpectCache {
+    memo: FastMap<Vec<FactorKey>, f64>,
+    /// Cumulative eval tier of the *newest* expect tier (the eval chain
+    /// already subsumes the eval state of older expect tiers).
+    eval: Arc<FrozenEvalCache>,
+    /// Older tier this one extends (`None` for a flat/root tier).
+    parent: Option<Arc<FrozenExpectCache>>,
+    /// Chain length including this tier.
+    depth: usize,
+}
+
+impl Default for FrozenExpectCache {
+    fn default() -> Self {
+        Self {
+            memo: FastMap::default(),
+            eval: Arc::default(),
+            parent: None,
+            depth: 1,
+        }
+    }
+}
+
+impl FrozenExpectCache {
+    /// Number of memoised factor groups across all tiers (keys shadowed in
+    /// several tiers count once per tier — an upper bound on distinct
+    /// entries, as in [`FrozenEvalCache::len`]).
+    pub fn len(&self) -> usize {
+        self.tiers().map(|t| t.memo.len()).sum()
+    }
+
+    /// True if the snapshot holds no group entries and no probability
+    /// entries.
+    pub fn is_empty(&self) -> bool {
+        self.tiers().all(|t| t.memo.is_empty()) && self.eval.is_empty()
+    }
+
+    /// The snapshot tier backing the embedded probability evaluator.
+    pub fn eval(&self) -> &Arc<FrozenEvalCache> {
+        &self.eval
+    }
+
+    /// The chain of tiers, newest first.
+    fn tiers(&self) -> impl Iterator<Item = &FrozenExpectCache> {
+        std::iter::successors(Some(self), |t| t.parent.as_deref())
+    }
+
+    fn get(&self, key: &Vec<FactorKey>) -> Option<f64> {
+        self.tiers().find_map(|t| t.memo.get(key).copied())
+    }
+
+    /// One flat map holding every group entry of the given tiers (oldest
+    /// first, so newer tiers shadow with bit-identical values).
+    fn collect_tiers<'a>(
+        oldest_first: impl Iterator<Item = &'a FrozenExpectCache>,
+    ) -> FastMap<Vec<FactorKey>, f64> {
+        let mut memo = FastMap::default();
+        for tier in oldest_first {
+            memo.extend(tier.memo.iter().map(|(k, v)| (k.clone(), *v)));
+        }
+        memo
+    }
+
+    /// The oldest tier of the chain, as an owned handle.
+    fn root_arc(self: &Arc<Self>) -> Arc<Self> {
+        let mut root = Arc::clone(self);
+        while let Some(parent) = &root.parent {
+            let parent = Arc::clone(parent);
+            root = parent;
+        }
+        root
+    }
+
+    /// Merges worker overlays on top of `base` into a new snapshot — the
+    /// republish step, with the determinism contract and the shared
+    /// [`chain_action`] tiering policy of [`FrozenEvalCache::merged`].
+    ///
+    /// [`chain_action`]: crate::eval::chain_action
+    pub fn merged(
+        base: Option<&Arc<FrozenExpectCache>>,
+        overlays: impl IntoIterator<Item = ExpectCache>,
+    ) -> Arc<FrozenExpectCache> {
+        let mut memo = FastMap::default();
+        let mut eval_overlays = Vec::new();
+        for overlay in overlays {
+            memo.extend(overlay.memo);
+            eval_overlays.push(overlay.eval);
+        }
+        let eval = FrozenEvalCache::merged(base.map(|b| &b.eval), eval_overlays);
+        if memo.is_empty() {
+            // No new group entries: reuse the base chain unless the
+            // embedded eval tier advanced (then a fresh top tier carries
+            // the new eval handle without stacking group entries).
+            if let Some(b) = base {
+                if Arc::ptr_eq(&eval, &b.eval) {
+                    return Arc::clone(b);
+                }
+            }
+        }
+        let action = match base {
+            None => ChainAction::Root,
+            Some(b) => {
+                let root_len = b.root_arc().memo.len();
+                chain_action(
+                    b.tiers().all(|t| t.memo.is_empty()),
+                    b.depth,
+                    b.len() - root_len,
+                    root_len,
+                    memo.len(),
+                )
+            }
+        };
+        match (action, base) {
+            (ChainAction::Root, _) | (_, None) => Arc::new(Self {
+                memo,
+                eval,
+                parent: None,
+                depth: 1,
+            }),
+            (ChainAction::Push, Some(b)) => Arc::new(Self {
+                memo,
+                eval,
+                parent: Some(Arc::clone(b)),
+                depth: b.depth + 1,
+            }),
+            (ChainAction::Compact, Some(b)) => {
+                let young: Vec<&FrozenExpectCache> = b.tiers().take(b.depth - 1).collect();
+                let mut cm = Self::collect_tiers(young.into_iter().rev());
+                cm.extend(memo);
+                Arc::new(Self {
+                    memo: cm,
+                    eval,
+                    parent: Some(b.root_arc()),
+                    depth: 2,
+                })
+            }
+            (ChainAction::Fold, Some(b)) => {
+                let tiers: Vec<&FrozenExpectCache> = b.tiers().collect();
+                let mut fm = Self::collect_tiers(tiers.into_iter().rev());
+                fm.extend(memo);
+                Arc::new(Self {
+                    memo: fm,
+                    eval,
+                    parent: None,
+                    depth: 1,
+                })
+            }
+        }
     }
 }
 
@@ -188,6 +364,7 @@ impl<'u> Expectation<'u> {
     pub fn with_cache(universe: &'u Universe, cache: ExpectCache) -> Self {
         Self {
             universe,
+            snapshot: cache.snapshot,
             memo: cache.memo,
             evaluator: crate::Evaluator::with_cache(universe, cache.eval),
             expansions: 0,
@@ -199,6 +376,7 @@ impl<'u> Expectation<'u> {
     /// universe.
     pub fn into_cache(self) -> ExpectCache {
         ExpectCache {
+            snapshot: self.snapshot,
             memo: self.memo,
             eval: self.evaluator.into_cache(),
         }
@@ -256,7 +434,15 @@ impl<'u> Expectation<'u> {
         }
         let mut key: Vec<FactorKey> = group.iter().map(|f| f.key()).collect();
         key.sort_unstable();
-        if let Some(&v) = self.memo.get(&key) {
+        // Two-tier lookup: the shared frozen snapshot first, then the
+        // private overlay (an overlay insert below therefore never shadows
+        // a snapshot entry).
+        if let Some(v) = self
+            .snapshot
+            .as_ref()
+            .and_then(|s| s.get(&key))
+            .or_else(|| self.memo.get(&key).copied())
+        {
             self.memo_hits += 1;
             return v;
         }
@@ -439,6 +625,44 @@ mod tests {
             0,
             "second instance must answer from the carried cache"
         );
+    }
+
+    #[test]
+    fn frozen_snapshot_carries_group_memo_across_threads() {
+        let mut u = Universe::new();
+        let shared = u.add_choice("g", &[0.4, 0.35]).unwrap();
+        let other = u.add_bool("h", 0.7).unwrap();
+        let g0 = u.atom(shared, 0).unwrap();
+        let g1 = u.atom(shared, 1).unwrap();
+        let h = u.bool_event(other).unwrap();
+        // Correlated factors (shared variable `g`) force the group memo.
+        let factors = [
+            Factor::new([(g0.clone(), 0.9), (EventExpr::not(g0.clone()), 0.1)]),
+            Factor::new([
+                (EventExpr::and([g1.clone(), h.clone()]), 0.8),
+                (EventExpr::not(EventExpr::and([g1, h])), 0.25),
+            ]),
+        ];
+        let mut first = Expectation::new(&u);
+        let v1 = first.compute(&factors);
+        let snapshot = FrozenExpectCache::merged(None, [first.into_cache()]);
+        assert!(!snapshot.is_empty());
+        // The snapshot is Sync: fresh overlays on other threads must answer
+        // from the shared tier, bit-identically and without expansion.
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let snapshot = Arc::clone(&snapshot);
+                let factors = &factors;
+                let u = &u;
+                scope.spawn(move || {
+                    let mut exp = Expectation::with_cache(u, ExpectCache::with_snapshot(snapshot));
+                    let v2 = exp.compute(factors);
+                    assert_eq!(v1.to_bits(), v2.to_bits());
+                    assert_eq!(exp.expansions(), 0);
+                    assert!(exp.into_cache().is_empty(), "no private copies on hits");
+                });
+            }
+        });
     }
 
     #[test]

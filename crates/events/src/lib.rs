@@ -64,8 +64,10 @@ mod universe;
 pub mod worlds;
 
 pub use error::EventError;
-pub use eval::{EvalCache, EvalStats, Evaluator};
-pub use expect::{brute_force_expectation, expectation, ExpectCache, Expectation, Factor};
+pub use eval::{EvalCache, EvalStats, Evaluator, FrozenEvalCache};
+pub use expect::{
+    brute_force_expectation, expectation, ExpectCache, Expectation, Factor, FrozenExpectCache,
+};
 pub use expr::{interner_stats, Atom, EventExpr, ExprKey, InternerStats, NaryNode, NotNode};
 pub use parse::parse_event;
 pub use universe::{Universe, VarId};

@@ -131,6 +131,71 @@ proptest! {
         prop_assert!(stats.score_hits > 0, "warm rounds must hit the cache");
     }
 
+    /// The shared-cache-tier property: scores computed by a
+    /// [`ParallelScoringSession`] — work-stealing workers over frozen memo
+    /// snapshots that are merged and republished between calls — are
+    /// bit-identical to a cold sequential `score_all`, for all four
+    /// engines, at every point of an arbitrary interleaved assert/score
+    /// sequence whose mutations bump the KB epochs. Parallel `rank_top_k`
+    /// through the same session must be the exact full-ranking prefix.
+    #[test]
+    fn parallel_session_matches_sequential_after_interleaved_mutations(
+        ops in prop::collection::vec(
+            (any::<u8>(), 0usize..N_DOCS, 0usize..N_FEATS, 0.05f64..=0.95),
+            1..6,
+        ),
+        threads in 2usize..=4,
+        k in 1usize..=N_DOCS,
+    ) {
+        let (mut kb, rules, user, docs) = fixture();
+        for (d, &doc) in docs.iter().enumerate() {
+            kb.assert_concept_prob(doc, "Feat0", 0.1 + 0.2 * d as f64).unwrap();
+        }
+        kb.assert_concept_prob(user, "Ctx0", 0.6).unwrap();
+        kb.assert_concept_prob(user, "Ctx1", 0.4).unwrap();
+
+        let engines: Vec<Box<dyn ScoringEngine + Sync>> = vec![
+            Box::new(NaiveViewEngine::new()),
+            Box::new(NaiveEnumEngine::new()),
+            Box::new(FactorizedEngine::new()),
+            Box::new(LineageEngine::new()),
+        ];
+        // ONE parallel session serves all engines across every mutation, so
+        // worker overlays republished after one call are the snapshot tier
+        // of the next — exactly the reuse the merge must keep invisible.
+        let mut session = ParallelScoringSession::new(threads);
+        for &(kind, doc, feat, p) in &ops {
+            apply(&mut kb, user, &docs, decode_op(kind, doc, feat, p));
+            let env = ScoringEnv { kb: &kb, rules: &rules, user };
+            for engine in &engines {
+                let cold = engine.score_all(&env, &docs).unwrap();
+                for round in 0..2 {
+                    let par = session.score_all(engine.as_ref(), &env, &docs).unwrap();
+                    prop_assert_eq!(par.len(), cold.len());
+                    for (a, b) in cold.iter().zip(&par) {
+                        prop_assert_eq!(a.doc, b.doc);
+                        prop_assert_eq!(
+                            a.score.to_bits(), b.score.to_bits(),
+                            "{} round {}: {} vs {}", engine.name(), round, a.score, b.score
+                        );
+                    }
+                }
+            }
+            // Parallel top-k through the warm session: exact prefix of the
+            // exact engine's full ranking.
+            let lineage = LineageEngine::new();
+            let full = rank(lineage.score_all(&env, &docs).unwrap());
+            let top = session.rank_top_k(&lineage, &env, &docs, k).unwrap();
+            prop_assert_eq!(top.len(), k.min(docs.len()));
+            for (want, got) in full.iter().zip(&top) {
+                prop_assert_eq!(want.doc, got.doc);
+                prop_assert_eq!(want.score.to_bits(), got.score.to_bits());
+            }
+        }
+        let stats = session.stats();
+        prop_assert!(stats.score_hits > 0, "warm rounds must hit the cache");
+    }
+
     /// `rank_top_k` — cold, and through a live session — is exactly the
     /// prefix of the full ranking, mutations or not.
     #[test]
