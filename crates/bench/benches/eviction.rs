@@ -1,0 +1,170 @@
+//! Steady-state serving-loop benchmark for snapshot-tier eviction: a KB
+//! that mutates on **every** call (re-asserted context facts mint fresh
+//! variables; each call ranks a fresh candidate set), scored through a
+//! [`ScoringSession`], with the epoch [`EvictionPolicy`] on vs. off.
+//!
+//! Two kinds of output land in `CAPRA_BENCH_JSON`:
+//!
+//! * **timings** — `eviction/serving_loop16x32/{evict,never}`: the cost of
+//!   a complete 16-call mutate-and-rank loop over a fresh KB (fresh per
+//!   iteration, so the measurement is stationary: KB size, session state
+//!   and interner reuse are identical every iteration);
+//! * **gauges** — `eviction/steady_footprint/*`: deterministic
+//!   footprint-entry counts after a fixed 96-call loop (mid-point and end
+//!   for the evicting session, end for the grow-only one), emitted in the
+//!   same JSON-lines shape so `bench_guard` can enforce that the
+//!   steady-state snapshot entry count does not grow release-over-release.
+//!   The numbers are entry counts, not nanoseconds — the guard is
+//!   unit-agnostic, it only compares medians against the baseline.
+//!
+//! The bench also asserts the leak-fix property outright (flat after
+//! warm-up with eviction on; the `Never` session demonstrably still
+//! grows), so the smoke job fails on a regression even before the guard
+//! runs.
+
+use std::io::Write as _;
+
+use capra_core::{
+    DocScore, EvictionPolicy, Kb, LineageEngine, PreferenceRule, RuleRepository, Score, ScoringEnv,
+    ScoringSession,
+};
+use capra_dl::IndividualId;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+/// Documents per serving call.
+const N_DOCS: usize = 32;
+/// Calls per timed loop (> 3 × the MAX_CHAIN=4 snapshot-chain bound).
+const TIMED_CALLS: usize = 16;
+/// Calls in the one-shot footprint loop (> 10 × MAX_CHAIN republishes).
+const GAUGE_CALLS: usize = 96;
+/// Age limit ≈ two calls on this workload (2 context re-asserts plus
+/// 3 asserts + 1 individual registration per document, per call).
+const AGE: u64 = 2 * (2 + 4 * N_DOCS as u64);
+
+fn fixture() -> (Kb, RuleRepository, IndividualId) {
+    let mut kb = Kb::new();
+    let user = kb.individual("user");
+    let mut rules = RuleRepository::new();
+    rules
+        .add(PreferenceRule::new(
+            "R0",
+            kb.parse("Ctx0").unwrap(),
+            kb.parse("Feat0 AND Feat1").unwrap(),
+            Score::new(0.8).unwrap(),
+        ))
+        .unwrap();
+    rules
+        .add(PreferenceRule::new(
+            "R1",
+            kb.parse("Ctx1").unwrap(),
+            kb.parse("Feat2").unwrap(),
+            Score::new(0.3).unwrap(),
+        ))
+        .unwrap();
+    (kb, rules, user)
+}
+
+/// One serving-loop mutation: supersede the user's context expressions and
+/// mint this call's fresh candidate set (see `tests/eviction_bounded.rs`
+/// for the correctness twin of this workload).
+fn mutate(kb: &mut Kb, user: IndividualId, call: usize) -> Vec<IndividualId> {
+    let p = |salt: usize| 0.05 + 0.9 * (((call * 7 + salt * 3) % 17) as f64 / 17.0);
+    kb.assert_concept_prob(user, "Ctx0", p(0)).unwrap();
+    kb.assert_concept_prob(user, "Ctx1", p(1)).unwrap();
+    (0..N_DOCS)
+        .map(|d| {
+            let doc = kb.individual(&format!("doc{call}x{d}"));
+            kb.assert_concept_prob(doc, "Feat0", p(2 + 3 * d)).unwrap();
+            kb.assert_concept_prob(doc, "Feat1", p(3 + 3 * d)).unwrap();
+            kb.assert_concept_prob(doc, "Feat2", p(4 + 3 * d)).unwrap();
+            doc
+        })
+        .collect()
+}
+
+/// Runs `calls` mutate-and-score serving calls on a fresh KB through a
+/// session with the given policy, returning the footprint-entry series.
+fn serve(policy: EvictionPolicy, calls: usize) -> Vec<usize> {
+    let (mut kb, rules, user) = fixture();
+    let mut session = ScoringSession::with_policy(policy);
+    let engine = LineageEngine::new();
+    let mut series = Vec::with_capacity(calls);
+    for call in 0..calls {
+        let docs = mutate(&mut kb, user, call);
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let scores: Vec<DocScore> = session.score_all(&engine, &env, &docs).expect("scores");
+        assert_eq!(scores.len(), N_DOCS);
+        series.push(session.stats().footprint.entries);
+    }
+    series
+}
+
+/// Emits a non-timing metric in the criterion-shim JSON-lines shape, so
+/// the perf tooling (`bench_guard`, snapshot artifacts) tracks it like any
+/// benchmark median. The value is a count; the field name is fixed by the
+/// shim's schema.
+fn emit_gauge(name: &str, value: f64) {
+    println!("gauge: {name:<48} {value:>14.1}");
+    if let Ok(path) = std::env::var("CAPRA_BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(f, "{{\"name\":\"{name}\",\"ns_per_iter\":{value:.1}}}");
+        }
+    }
+}
+
+fn eviction(c: &mut Criterion) {
+    // Footprint gauges first: one deterministic 96-call loop per policy.
+    let evict_series = serve(EvictionPolicy::MaxAge(AGE), GAUGE_CALLS);
+    let never_series = serve(EvictionPolicy::Never, GAUGE_CALLS);
+    let evict_mid = evict_series[GAUGE_CALLS / 2 - 1];
+    let evict_end = *evict_series.last().unwrap();
+    let never_end = *never_series.last().unwrap();
+    // The leak-fix property, asserted outright: flat after warm-up with
+    // eviction on, while the grow-only session keeps leaking.
+    let first_peak = *evict_series[..GAUGE_CALLS / 2].iter().max().unwrap();
+    let second_peak = *evict_series[GAUGE_CALLS / 2..].iter().max().unwrap();
+    assert!(
+        second_peak <= first_peak,
+        "evicting session must be flat after warm-up \
+         (first-half peak {first_peak}, second-half peak {second_peak})"
+    );
+    assert!(
+        never_end > 2 * evict_end,
+        "Never must still leak where eviction stays bounded \
+         ({never_end} vs {evict_end} entries)"
+    );
+    emit_gauge(
+        "eviction/steady_footprint/entries-evict-mid",
+        evict_mid as f64,
+    );
+    emit_gauge(
+        "eviction/steady_footprint/entries-evict-end",
+        evict_end as f64,
+    );
+    emit_gauge(
+        "eviction/steady_footprint/entries-never-end",
+        never_end as f64,
+    );
+
+    let mut group = c.benchmark_group("eviction");
+    group.throughput(Throughput::Elements((TIMED_CALLS * N_DOCS) as u64));
+    group.sample_size(10);
+    group.bench_function("serving_loop16x32/evict", |b| {
+        b.iter(|| serve(EvictionPolicy::MaxAge(AGE), TIMED_CALLS));
+    });
+    group.bench_function("serving_loop16x32/never", |b| {
+        b.iter(|| serve(EvictionPolicy::Never, TIMED_CALLS));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, eviction);
+criterion_main!(benches);

@@ -58,7 +58,8 @@ use std::sync::Arc;
 
 use capra_dl::IndividualId;
 use capra_events::{
-    EvalCache, Evaluator, ExpectCache, Expectation, FrozenEvalCache, FrozenExpectCache, Universe,
+    CacheFootprint, EvalCache, Evaluator, EvictionPolicy, ExpectCache, Expectation,
+    FrozenEvalCache, FrozenExpectCache, Universe,
 };
 
 use crate::bind::bind_rules_shared;
@@ -83,18 +84,82 @@ pub struct DocScore {
 /// one KB the memos stay valid indefinitely — event probabilities are
 /// immutable and memo keys pin their hash-consed expressions (see
 /// [`capra_events::EvalCache`]).
+///
+/// Validity is not liveness, though: in a serving loop that re-asserts
+/// facts every call, entries keyed by superseded expressions are never
+/// looked up again yet would accumulate for the life of the KB. Long-lived
+/// holders therefore call [`EvalScratch::advance_epoch`] when the KB's
+/// binding epoch moves, which folds the overlays into an epoch-tagged
+/// snapshot chain and ages out tiers per the scratch's [`EvictionPolicy`]
+/// — see [`capra_events::tier`] for the mechanics and why eviction cannot
+/// change any score.
 #[derive(Default)]
 pub struct EvalScratch {
     /// `Kb::id` the memos were built over; 0 = not yet bound to a KB.
     kb_id: u64,
+    /// Binding epoch at the last overlay rotation (see
+    /// [`EvalScratch::advance_epoch`]).
+    epoch: u64,
+    /// Eviction policy applied when rotating.
+    policy: EvictionPolicy,
     prob: EvalCache,
     expect: ExpectCache,
 }
 
 impl EvalScratch {
-    /// An empty scratch (equivalent to a cold call).
+    /// An empty scratch (equivalent to a cold call) with the default
+    /// [`EvictionPolicy`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty scratch whose [`EvalScratch::advance_epoch`] rotations
+    /// evict per `policy` ([`EvictionPolicy::Never`] reproduces the
+    /// grow-only pre-eviction behaviour exactly).
+    pub fn with_policy(policy: EvictionPolicy) -> Self {
+        Self {
+            policy,
+            ..Self::default()
+        }
+    }
+
+    /// The eviction policy applied by this scratch's rotations.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Notes that the KB's binding epoch is now `epoch`. When it moved
+    /// since the last call, the private memo overlays are folded into the
+    /// scratch's epoch-tagged snapshot chains, dropping tiers that went
+    /// unrefreshed beyond the scratch's [`EvictionPolicy`] — the
+    /// mutation-driven counterpart of the pool republish, keeping a
+    /// sequential session's footprint bounded in mutate-heavy serving
+    /// loops. A no-op on stable KBs (and under [`EvictionPolicy::Never`]),
+    /// so warm paths keep their exact pre-eviction behaviour.
+    pub fn advance_epoch(&mut self, epoch: u64) {
+        if self.epoch == epoch {
+            return;
+        }
+        self.epoch = epoch;
+        if matches!(self.policy, EvictionPolicy::Never) {
+            return;
+        }
+        self.prob.rotate(epoch, self.policy);
+        self.expect.rotate(epoch, self.policy);
+    }
+
+    /// Snapshot-tier and memo-entry footprint of this scratch (both memo
+    /// layers, overlays included).
+    pub fn footprint(&self) -> CacheFootprint {
+        self.prob.footprint() + self.expect.footprint()
+    }
+
+    /// Footprint of the private overlays alone — for the pool, whose
+    /// parked worker scratches all share the pool's own snapshot chains
+    /// (counting each scratch's full footprint would recount those chains
+    /// once per scratch).
+    pub(crate) fn overlay_footprint(&self) -> CacheFootprint {
+        self.prob.overlay_footprint() + self.expect.overlay_footprint()
     }
 
     /// A scratch whose memos start as empty overlays over shared frozen
@@ -111,6 +176,9 @@ impl EvalScratch {
             kb_id,
             prob: EvalCache::with_snapshot(prob),
             expect: ExpectCache::with_snapshot(expect),
+            // Pool workers never rotate — the pool's republish owns the
+            // epoch tagging and eviction for their overlays.
+            ..Self::default()
         }
     }
 
@@ -125,12 +193,13 @@ impl EvalScratch {
         self.kb_id
     }
 
-    /// Binds the scratch to `kb`, discarding all memos if it was previously
-    /// used with a different KB.
+    /// Binds the scratch to `kb`, discarding all memos (the eviction
+    /// policy is kept) if it was previously used with a different KB.
     pub fn ensure_kb(&mut self, kb: &Kb) {
         if self.kb_id != kb.id() {
             *self = Self {
                 kb_id: kb.id(),
+                policy: self.policy,
                 ..Self::default()
             };
         }

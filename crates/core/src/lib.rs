@@ -95,9 +95,13 @@ pub use kb::Kb;
 pub use multiuser::{group_scores, score_group, GroupStrategy};
 pub use repository::RuleRepository;
 pub use rule::{PreferenceRule, Score};
-pub use session::{BindingCache, ScoringSession, SessionStats};
+pub use session::{BindingCache, CacheStats, ScoringSession, SessionStats};
 pub use smoothing::{blend, QueryRelevance, Smoothing};
 pub use topk::{rank_top_k, rank_top_k_bound};
+
+// Re-exported from `capra_events`: the eviction knob for the session and
+// pool snapshot tiers, and the footprint report in [`SessionStats`].
+pub use capra_events::{CacheFootprint, EvictionPolicy};
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -50,7 +50,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use capra_dl::IndividualId;
-use capra_events::{FrozenEvalCache, FrozenExpectCache};
+use capra_events::{CacheFootprint, EvictionPolicy, FrozenEvalCache, FrozenExpectCache};
 
 use crate::bind::{bind_rules_shared, RuleBinding};
 use crate::engines::{rank, DocScore, EvalScratch, ScoringEngine};
@@ -78,6 +78,10 @@ pub(crate) fn steal_chunk(docs: usize, threads: usize) -> usize {
 struct PoolInner {
     /// `Kb::id` the snapshots were computed over; 0 = not yet bound.
     kb_id: u64,
+    /// `Kb::binding_epoch` observed at the latest checkout: the epoch the
+    /// next republish tags its tier with, and the reference point for
+    /// [`EvictionPolicy`] staleness.
+    epoch: u64,
     /// Frozen probability tier handed to workers (see module docs).
     prob: Arc<FrozenEvalCache>,
     /// Frozen expectation tier handed to workers.
@@ -100,12 +104,30 @@ struct PoolInner {
 #[derive(Default)]
 pub struct ScratchPool {
     inner: Mutex<PoolInner>,
+    /// Eviction policy applied at each republish (see
+    /// [`capra_events::tier`] for the tier-ageing semantics).
+    policy: EvictionPolicy,
 }
 
 impl ScratchPool {
-    /// Creates an empty pool.
+    /// Creates an empty pool with the default [`EvictionPolicy`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty pool whose republishes evict per `policy`
+    /// ([`EvictionPolicy::Never`] reproduces the grow-only pre-eviction
+    /// behaviour exactly).
+    pub fn with_policy(policy: EvictionPolicy) -> Self {
+        Self {
+            policy,
+            ..Self::default()
+        }
+    }
+
+    /// The eviction policy applied by this pool's republishes.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
@@ -126,6 +148,7 @@ impl ScratchPool {
                 ..PoolInner::default()
             };
         }
+        inner.epoch = kb.binding_epoch();
         EvalScratch::with_snapshots(kb.id(), Arc::clone(&inner.prob), Arc::clone(&inner.expect))
     }
 
@@ -161,11 +184,14 @@ impl ScratchPool {
         if prob_overlays.is_empty() && expect_overlays.is_empty() {
             return;
         }
+        let (epoch, policy) = (inner.epoch, self.policy);
         if !prob_overlays.is_empty() {
-            inner.prob = FrozenEvalCache::merged(Some(&inner.prob), prob_overlays);
+            inner.prob =
+                FrozenEvalCache::merged_with(Some(&inner.prob), prob_overlays, epoch, policy);
         }
         if !expect_overlays.is_empty() {
-            inner.expect = FrozenExpectCache::merged(Some(&inner.expect), expect_overlays);
+            inner.expect =
+                FrozenExpectCache::merged_with(Some(&inner.expect), expect_overlays, epoch, policy);
         }
         inner.publishes += 1;
     }
@@ -181,6 +207,19 @@ impl ScratchPool {
             inner.expect.len() + inner.expect.eval().len(),
             inner.publishes,
         )
+    }
+
+    /// Snapshot-tier and memo-entry footprint of the pool: both frozen
+    /// chains plus any worker overlays parked for the next republish
+    /// (overlay-only for those — every parked scratch shares the pool's
+    /// own chains, which are counted once).
+    pub fn footprint(&self) -> CacheFootprint {
+        let inner = self.lock();
+        let mut footprint = inner.prob.footprint() + inner.expect.footprint();
+        for scratch in &inner.pending {
+            footprint = footprint + scratch.overlay_footprint();
+        }
+        footprint
     }
 }
 
@@ -427,13 +466,17 @@ where
 /// `tests/session_consistency.rs`), because every cached value is the value
 /// the cold path would deterministically recompute.
 ///
-/// **Memory:** the snapshot tier only ever grows while the KB identity is
-/// stable — entries keyed by expressions of superseded assertions are
-/// never looked up again but are not evicted (telling them apart from live
-/// entries would cost more than they save, most of the time). A very
-/// long-lived session over a KB that mutates every call should
-/// [`ParallelScoringSession::clear`] periodically, trading one cold call
-/// for a fresh tier.
+/// **Memory:** snapshot tiers are tagged with the KB binding epoch that
+/// produced them, and republishes age out tiers untouched beyond the
+/// session's [`EvictionPolicy`] (default:
+/// [`EvictionPolicy::DEFAULT_MAX_AGE`] epochs) whenever a compaction or
+/// fold rewrites the chain anyway. Entries keyed by expressions of
+/// superseded assertions — never read again once a re-asserted fact mints
+/// fresh variables — age out instead of being recopied forever, so a
+/// serving loop that mutates the KB every call keeps a *bounded* footprint
+/// without the old manual-[`ParallelScoringSession::clear`] workaround,
+/// while stable-KB workloads (no epoch movement) keep every entry and hit
+/// rate exactly as before. Inspect via [`SessionStats::footprint`].
 ///
 /// ```
 /// use capra_core::parallel::ParallelScoringSession;
@@ -477,25 +520,35 @@ pub struct ParallelScoringSession {
 impl ParallelScoringSession {
     /// Creates an empty session that fans work out over `threads` workers
     /// (clamped per call to the document count; `1` degrades gracefully to
-    /// a sequential session over the pooled snapshot).
+    /// a sequential session over the pooled snapshot), with the default
+    /// [`EvictionPolicy`] bounding the snapshot tier under KB mutation.
     pub fn new(threads: usize) -> Self {
+        Self::with_policy(threads, EvictionPolicy::default())
+    }
+
+    /// Creates an empty session whose snapshot republishes evict per
+    /// `policy` ([`EvictionPolicy::Never`] reproduces the grow-only
+    /// pre-eviction behaviour exactly).
+    pub fn with_policy(threads: usize, policy: EvictionPolicy) -> Self {
         Self {
             threads: threads.max(1),
             bindings: BindingCache::new(),
-            pool: ScratchPool::new(),
+            pool: ScratchPool::with_policy(policy),
             scores: ScoreCache::default(),
         }
     }
 
-    /// Work counters accumulated so far.
+    /// Work counters accumulated so far, plus the pool's current
+    /// snapshot-tier footprint (see [`SessionStats::footprint`]).
     pub fn stats(&self) -> SessionStats {
-        let (binding_hits, binding_misses) = self.bindings.stats();
-        let (score_hits, score_misses) = self.scores.stats();
+        let bindings = self.bindings.stats();
+        let scores = self.scores.stats();
         SessionStats {
-            binding_hits,
-            binding_misses,
-            score_hits,
-            score_misses,
+            binding_hits: bindings.hits,
+            binding_misses: bindings.misses,
+            score_hits: scores.hits,
+            score_misses: scores.misses,
+            footprint: self.pool.footprint(),
         }
     }
 
@@ -511,10 +564,13 @@ impl ParallelScoringSession {
         self.scores.clear();
     }
 
-    /// Drops every layer of cached state.
+    /// Drops every layer of cached state — the binding and score caches
+    /// *and* the pool's published frozen snapshot tiers (the thread count
+    /// and eviction policy are kept). [`SessionStats::footprint`] reports
+    /// zero entries afterwards; the hash-consed nodes the dropped entries
+    /// pinned become reclaimable by the interner.
     pub fn clear(&mut self) {
-        let threads = self.threads;
-        *self = Self::new(threads);
+        *self = Self::with_policy(self.threads, self.pool.policy());
     }
 
     /// Scores every document in `docs`, in order — bit-identical to
@@ -846,6 +902,61 @@ mod tests {
             assert_eq!(a.doc, b.doc);
             assert_eq!(a.score.to_bits(), b.score.to_bits());
         }
+    }
+
+    #[test]
+    fn clear_drops_published_frozen_tiers() {
+        let (kb, rules, user, docs) = rich_fixture(24);
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let engine = LineageEngine::new();
+        let mut session = ParallelScoringSession::new(3);
+        session.score_all(&engine, &env, &docs).unwrap();
+        session.score_all(&engine, &env, &docs).unwrap();
+        let stats = session.stats();
+        assert!(
+            stats.footprint.entries > 0 && stats.footprint.tiers > 0,
+            "published frozen tiers hold memo entries ({:?})",
+            stats.footprint
+        );
+        assert!(stats.score_hits > 0);
+        session.clear();
+        let cleared = session.stats();
+        assert_eq!(
+            cleared.footprint,
+            CacheFootprint::default(),
+            "clear must drop the pool's published frozen tiers, not just \
+             the binding/score caches"
+        );
+        assert_eq!((cleared.binding_hits, cleared.binding_misses), (0, 0));
+        assert_eq!((cleared.score_hits, cleared.score_misses), (0, 0));
+        // The cleared session still scores correctly and re-publishes.
+        let fresh = session.score_all(&engine, &env, &docs).unwrap();
+        let reference = engine.score_all(&env, &docs).unwrap();
+        for (a, b) in reference.iter().zip(&fresh) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        assert!(session.stats().footprint.entries > 0);
+    }
+
+    #[test]
+    fn clear_keeps_thread_count_and_policy() {
+        let (kb, rules, user, docs) = rich_fixture(8);
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let mut session = ParallelScoringSession::with_policy(2, EvictionPolicy::MaxAge(7));
+        session
+            .score_all(&LineageEngine::new(), &env, &docs)
+            .unwrap();
+        session.clear();
+        assert_eq!(session.threads, 2);
+        assert_eq!(session.pool.policy(), EvictionPolicy::MaxAge(7));
     }
 
     #[test]

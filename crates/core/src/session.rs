@@ -26,18 +26,44 @@
 //! scores to a cold call (property-tested in `tests/session_consistency.rs`),
 //! because cached values *are* the values the cold path would deterministically
 //! recompute.
+//!
+//! Layer 2 is also **bounded**: when the KB's binding epoch moves, the
+//! scratch folds its memo overlays into an epoch-tagged snapshot chain and
+//! ages out tiers per the session's [`EvictionPolicy`]
+//! ([`ScoringSession::with_policy`]; default
+//! [`EvictionPolicy::DEFAULT_MAX_AGE`] epochs, [`EvictionPolicy::Never`]
+//! restores the grow-only behaviour). Entries keyed by superseded
+//! expressions — re-asserted facts mint fresh variables, so the old
+//! expressions are never looked up again — would otherwise accumulate for
+//! the life of the KB in a mutate-every-call serving loop. Eviction can
+//! only force deterministic recomputes, never change a score; the current
+//! footprint is reported by [`SessionStats::footprint`].
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use capra_dl::{Concept, IndividualId, Reasoner};
+use capra_events::{CacheFootprint, EvictionPolicy};
 
 use crate::bind::RuleBinding;
 use crate::engines::{rank, DocScore, EvalScratch, ScoringEngine};
 use crate::topk::rank_top_k_bound;
 use crate::{Result, ScoringEnv};
 
-/// Counters describing the work a session performed (or avoided).
+/// Hit/miss counters of one cache layer, as returned by the `stats()`
+/// methods of [`BindingCache`] and the score cache. Counters reset to zero
+/// when the owning cache is cleared, so post-clear ratios describe the
+/// fresh cache rather than blending in pre-clear traffic.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then populate) an entry.
+    pub misses: u64,
+}
+
+/// Counters describing the work a session performed (or avoided), plus the
+/// memory footprint of its evaluation-cache layers.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SessionStats {
     /// Rule bindings served from the cache.
@@ -48,6 +74,13 @@ pub struct SessionStats {
     pub score_hits: u64,
     /// Document scores computed by an engine.
     pub score_misses: u64,
+    /// Footprint of the session's evaluation memos: occupied snapshot
+    /// tiers, memo entries (snapshot chains plus private overlays), and an
+    /// estimate of the hash-consed expression nodes those entries pin in
+    /// the process-global interner. Bounded under the session's
+    /// [`EvictionPolicy`] even when every call mutates the KB; see
+    /// [`capra_events::CacheFootprint`] for the field semantics.
+    pub footprint: CacheFootprint,
 }
 
 /// One cached rule binding plus everything needed to decide its staleness.
@@ -86,9 +119,13 @@ impl BindingCache {
         Self::default()
     }
 
-    /// `(hits, misses)` accumulated so far.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    /// Hit/miss counters accumulated since creation or the last
+    /// [`BindingCache::clear`].
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
     }
 
     /// Number of cached bindings (including stale ones not yet evicted).
@@ -101,9 +138,10 @@ impl BindingCache {
         self.entries.is_empty()
     }
 
-    /// Drops every cached binding.
+    /// Drops every cached binding and resets the hit/miss counters, so
+    /// post-clear stats describe the fresh cache only.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        *self = Self::default();
     }
 
     /// Binds every rule in the environment, serving unchanged rules from the
@@ -181,14 +219,19 @@ pub(crate) struct ScoreCache {
 }
 
 impl ScoreCache {
-    /// `(hits, misses)` accumulated so far.
-    pub(crate) fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    /// Hit/miss counters accumulated since creation or the last
+    /// [`ScoreCache::clear`].
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
     }
 
-    /// Drops every cached score (counters are kept).
+    /// Drops every cached score and resets the hit/miss counters, so
+    /// post-clear stats describe the fresh cache only.
     pub(crate) fn clear(&mut self) {
-        self.entries.clear();
+        *self = Self::default();
     }
 
     /// Ensures the entry under `key` reflects exactly `bindings` (clearing
@@ -283,20 +326,38 @@ pub struct ScoringSession {
 }
 
 impl ScoringSession {
-    /// Creates an empty session.
+    /// Creates an empty session with the default [`EvictionPolicy`]: in
+    /// serving loops that mutate the KB, evaluation-memo tiers untouched
+    /// for [`EvictionPolicy::DEFAULT_MAX_AGE`] binding epochs are dropped,
+    /// so the session's footprint stays bounded without the manual
+    /// [`ScoringSession::clear`] workaround. On stable KBs no epoch ever
+    /// advances, so nothing is evicted and hit rates are exactly those of
+    /// a policy-less session.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Work counters accumulated so far.
+    /// Creates an empty session with an explicit [`EvictionPolicy`] for
+    /// its evaluation memos ([`EvictionPolicy::Never`] reproduces the
+    /// grow-only pre-eviction behaviour exactly).
+    pub fn with_policy(policy: EvictionPolicy) -> Self {
+        Self {
+            scratch: EvalScratch::with_policy(policy),
+            ..Self::default()
+        }
+    }
+
+    /// Work counters accumulated so far, plus the current evaluation-memo
+    /// footprint (see [`SessionStats::footprint`]).
     pub fn stats(&self) -> SessionStats {
-        let (binding_hits, binding_misses) = self.bindings.stats();
-        let (score_hits, score_misses) = self.scores.stats();
+        let bindings = self.bindings.stats();
+        let scores = self.scores.stats();
         SessionStats {
-            binding_hits,
-            binding_misses,
-            score_hits,
-            score_misses,
+            binding_hits: bindings.hits,
+            binding_misses: bindings.misses,
+            score_hits: scores.hits,
+            score_misses: scores.misses,
+            footprint: self.scratch.footprint(),
         }
     }
 
@@ -317,9 +378,9 @@ impl ScoringSession {
         self.scores.clear();
     }
 
-    /// Drops every layer of cached state.
+    /// Drops every layer of cached state (the eviction policy is kept).
     pub fn clear(&mut self) {
-        *self = Self::default();
+        *self = Self::with_policy(self.scratch.policy());
     }
 
     /// Scores every document in `docs`, in order — bit-identical to
@@ -335,6 +396,8 @@ impl ScoringSession {
         E: ScoringEngine + ?Sized,
     {
         let bindings = self.bindings.bind(env);
+        self.scratch.ensure_kb(env.kb);
+        self.scratch.advance_epoch(env.kb.binding_epoch());
         let key = (env.user, engine.name(), engine.config_tag());
         let missing = self.scores.missing(key, &bindings, docs);
         if !missing.is_empty() {
@@ -375,6 +438,8 @@ impl ScoringSession {
         E: ScoringEngine + ?Sized,
     {
         let bindings = self.bindings.bind(env);
+        self.scratch.ensure_kb(env.kb);
+        self.scratch.advance_epoch(env.kb.binding_epoch());
         rank_top_k_bound(env, engine, &bindings, docs, k, &mut self.scratch)
     }
 }
@@ -599,6 +664,84 @@ mod tests {
         // Alternating users must not thrash: second round is all hits.
         assert_eq!(session.stats().score_misses, 2 * docs.len() as u64);
         assert_eq!(session.stats().score_hits, 2 * docs.len() as u64);
+    }
+
+    #[test]
+    fn binding_cache_clear_resets_counters() {
+        let (kb, rules, user, _) = fixture();
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let mut cache = BindingCache::new();
+        cache.bind(&env);
+        cache.bind(&env);
+        assert_eq!(
+            cache.stats(),
+            CacheStats { hits: 2, misses: 2 },
+            "second bind serves both rules from cache"
+        );
+        cache.clear();
+        assert_eq!(
+            cache.stats(),
+            CacheStats::default(),
+            "clear resets the counters along with the entries"
+        );
+        cache.bind(&env);
+        assert_eq!(
+            cache.stats(),
+            CacheStats { hits: 0, misses: 2 },
+            "post-clear ratios describe the fresh cache only"
+        );
+    }
+
+    #[test]
+    fn score_cache_clear_resets_counters() {
+        let (kb, rules, user, docs) = fixture();
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let engine = FactorizedEngine::new();
+        let mut session = ScoringSession::new();
+        session.score_all(&engine, &env, &docs).unwrap();
+        session.score_all(&engine, &env, &docs).unwrap();
+        assert!(session.stats().score_hits > 0);
+        // `invalidate_scores` clears the score layer: its counters restart
+        // so post-clear hit ratios are not diluted by pre-clear traffic.
+        session.invalidate_scores();
+        let stats = session.stats();
+        assert_eq!((stats.score_hits, stats.score_misses), (0, 0));
+        assert!(stats.binding_hits > 0, "binding counters are untouched");
+        session.score_all(&engine, &env, &docs).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.score_hits, 0, "first post-clear call is all misses");
+        assert_eq!(stats.score_misses, docs.len() as u64);
+    }
+
+    #[test]
+    fn session_clear_drops_footprint_and_keeps_policy() {
+        use crate::{EvictionPolicy, LineageEngine};
+
+        let (kb, rules, user, docs) = fixture();
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user,
+        };
+        let mut session = ScoringSession::with_policy(EvictionPolicy::MaxAge(5));
+        session
+            .score_all(&LineageEngine::new(), &env, &docs)
+            .unwrap();
+        assert!(
+            session.stats().footprint.entries > 0,
+            "lineage scoring memoises composite sub-problems"
+        );
+        session.clear();
+        assert_eq!(session.stats().footprint, Default::default());
+        assert_eq!(session.scratch.policy(), EvictionPolicy::MaxAge(5));
     }
 
     #[test]

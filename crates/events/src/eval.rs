@@ -2,6 +2,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::hashers::FastMap;
+use crate::tier::{CacheFootprint, EvictionPolicy, TierChain, TierPayload};
 use crate::{clamp_prob, EventExpr, Universe, VarId};
 
 /// Exact probability evaluator for [`EventExpr`]s.
@@ -125,228 +126,182 @@ impl EvalCache {
         }
         self.pivots.get(expr).copied()
     }
+
+    /// Folds the private overlay into the backing snapshot chain (creating
+    /// one if absent), tagging the new tier with the current binding
+    /// `epoch` and evicting stale tiers per `policy` — the single-holder
+    /// version of the pooled merge-and-republish, used by long-lived
+    /// sequential holders to keep their memo footprint bounded under KB
+    /// mutation. Lookups afterwards consult the chain first and keep
+    /// memoising privately; retained values are unchanged and evicted ones
+    /// are recomputed bit-identically, so behaviour is unaffected.
+    pub fn rotate(&mut self, epoch: u64, policy: EvictionPolicy) {
+        if self.is_empty() && self.snapshot.is_none() {
+            return;
+        }
+        let base = self.snapshot.take();
+        let overlay = std::mem::take(self);
+        *self = EvalCache::with_snapshot(FrozenEvalCache::merged_with(
+            base.as_ref(),
+            [overlay],
+            epoch,
+            policy,
+        ));
+    }
+
+    /// Entries and pinned-node estimate of the private overlay alone,
+    /// ignoring any backing snapshot — for holders that account for the
+    /// shared chain separately (e.g. a pool whose parked worker overlays
+    /// all share the pool's own snapshot).
+    pub fn overlay_footprint(&self) -> CacheFootprint {
+        let overlay = self.memo.len() + self.pivots.len();
+        CacheFootprint {
+            tiers: 0,
+            entries: overlay,
+            pinned_nodes: overlay,
+        }
+    }
+
+    /// Occupied tiers, entries and pinned-node estimate of this cache:
+    /// the private overlay plus the backing snapshot chain, if any.
+    pub fn footprint(&self) -> CacheFootprint {
+        let snapshot = self
+            .snapshot
+            .as_ref()
+            .map(|s| s.footprint())
+            .unwrap_or_default();
+        snapshot + self.overlay_footprint()
+    }
 }
 
-/// How many frozen tiers a snapshot chain may accumulate before a republish
-/// compacts it. Bounds every lookup at `MAX_CHAIN + 1` O(1) map probes.
-pub(crate) const MAX_CHAIN: usize = 4;
-
-/// What a republish does to a snapshot chain — the one policy shared by
-/// [`FrozenEvalCache`] and [`crate::FrozenExpectCache`], kept in a single
-/// function so the two caches cannot silently diverge.
-///
-/// The policy is LSM-flavoured: young tiers are cheap to push and compact,
-/// while the big root tier is recopied only when the accumulated young
-/// state rivals its size — i.e. once per size doubling — so the recurring
-/// republish cost is proportional to the *young* tiers, not the whole
-/// snapshot, and total copying stays linear in the final snapshot size.
-pub(crate) enum ChainAction {
-    /// No usable base: the new entries become a flat root tier.
-    Root,
-    /// Chain has room: push the new entries as a tier on top of the base.
-    Push,
-    /// Chain is at [`MAX_CHAIN`] but the young tiers are still small:
-    /// merge them with the new entries into one tier over the shared root.
-    Compact,
-    /// The young state rivals the root: fold everything into a new root.
-    Fold,
+/// One tier's worth of [`FrozenEvalCache`] entries: the probability memo
+/// and Shannon-pivot maps published together by one republish. The chain
+/// mechanics (push/compact/fold, epoch tags, eviction) live in
+/// [`TierChain`]; this payload only knows how to count and merge itself.
+#[derive(Default, Clone)]
+pub struct EvalTier {
+    memo: FastMap<EventExpr, f64>,
+    pivots: FastMap<EventExpr, VarId>,
 }
 
-/// Chooses the [`ChainAction`] for a republish, from the base chain's
-/// shape (`depth`, young-tier entry count, root entry count, base
-/// emptiness) and the size of the incoming entries.
-pub(crate) fn chain_action(
-    base_is_empty: bool,
-    depth: usize,
-    young_len: usize,
-    root_len: usize,
-    new_len: usize,
-) -> ChainAction {
-    if base_is_empty {
-        ChainAction::Root
-    } else if depth < MAX_CHAIN {
-        ChainAction::Push
-    } else if young_len + new_len >= root_len {
-        ChainAction::Fold
-    } else {
-        ChainAction::Compact
+impl TierPayload for EvalTier {
+    fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.memo.is_empty() && self.pivots.is_empty()
+    }
+
+    fn absorb(&mut self, newer: Self) {
+        self.memo.extend(newer.memo);
+        self.pivots.extend(newer.pivots);
     }
 }
 
 /// A frozen, read-only [`EvalCache`] snapshot, shared across threads behind
 /// an `Arc` and consulted lock-free before each holder's private overlay.
 ///
-/// Snapshots grow by [`FrozenEvalCache::merged`]: collect the overlays the
-/// workers of one run accumulated and republish base + overlays as a new
-/// snapshot. Every memoised value is a **pure function of its hash-consed
-/// key** (probability evaluation is deterministic and universe variables are
+/// Snapshots grow by [`FrozenEvalCache::merged`] (or, epoch-tracked, by
+/// [`FrozenEvalCache::merged_with`]): collect the overlays the workers of
+/// one run accumulated and republish base + overlays as a new snapshot.
+/// Every memoised value is a **pure function of its hash-consed key**
+/// (probability evaluation is deterministic and universe variables are
 /// immutable), so two workers that memoise the same key store bit-identical
 /// values and the merge is order-independent — results stay bit-identical
 /// to a sequential run no matter how work was interleaved.
 ///
-/// Internally a snapshot is a short chain of immutable tiers (newest
-/// first, at most [`MAX_CHAIN`]): a republish normally pushes the merged
-/// overlays as a new tier sharing the base via `Arc` — O(new entries), no
-/// copy of the accumulated state. When the chain is full, the *young*
-/// tiers are compacted into one over the shared root, and only when the
-/// young state rivals the root's size is everything folded into a new
-/// root (see [`ChainAction`]): the big tier is recopied once per size
-/// doubling, so total copying stays linear in the snapshot's final size
-/// while lookups stay at a handful of O(1) probes.
+/// Internally a snapshot is a [`TierChain`] of [`EvalTier`]s — a short
+/// chain of immutable tiers (newest first, bounded by the chain's LSM
+/// policy) in which the big root tier is recopied once per size doubling
+/// and, under an [`EvictionPolicy`], tiers untouched for too many binding
+/// epochs are dropped whenever a compaction or fold rewrites the chain
+/// anyway. See the [`crate::tier`]-module docs for the mechanics and the
+/// eviction-correctness argument.
 ///
 /// The universe-affinity rule of [`EvalCache`] applies transitively: all
 /// overlays merged into one snapshot lineage must come from evaluators over
 /// the same universe value, and the snapshot must be discarded when the
 /// universe is replaced.
-pub struct FrozenEvalCache {
-    memo: FastMap<EventExpr, f64>,
-    pivots: FastMap<EventExpr, VarId>,
-    /// Older tier this one extends (`None` for a flat/root tier).
-    parent: Option<Arc<FrozenEvalCache>>,
-    /// Chain length including this tier.
-    depth: usize,
-}
-
-impl Default for FrozenEvalCache {
-    fn default() -> Self {
-        Self {
-            memo: FastMap::default(),
-            pivots: FastMap::default(),
-            parent: None,
-            depth: 1,
-        }
-    }
-}
+pub type FrozenEvalCache = TierChain<EvalTier>;
 
 impl FrozenEvalCache {
     /// Number of memoised probabilities across all tiers. Keys shadowed in
     /// several tiers (identical values by construction) count once per
     /// tier, so this is an upper bound on distinct entries.
     pub fn len(&self) -> usize {
-        self.tiers().map(|t| t.memo.len()).sum()
+        self.entry_count()
     }
 
     /// True if no tier holds any entry.
     pub fn is_empty(&self) -> bool {
-        self.tiers()
-            .all(|t| t.memo.is_empty() && t.pivots.is_empty())
-    }
-
-    /// The chain of tiers, newest first.
-    fn tiers(&self) -> impl Iterator<Item = &FrozenEvalCache> {
-        std::iter::successors(Some(self), |t| t.parent.as_deref())
+        self.payloads_empty()
     }
 
     fn get_prob(&self, expr: &EventExpr) -> Option<f64> {
-        self.tiers().find_map(|t| t.memo.get(expr).copied())
+        self.tiers().find_map(|t| t.payload.memo.get(expr).copied())
     }
 
     fn get_pivot(&self, expr: &EventExpr) -> Option<VarId> {
-        self.tiers().find_map(|t| t.pivots.get(expr).copied())
+        self.tiers()
+            .find_map(|t| t.payload.pivots.get(expr).copied())
     }
 
-    /// One flat pair of maps holding every entry of the given tiers
-    /// (oldest first on input, so newer tiers shadow — although shadowed
-    /// values are bit-identical anyway; see the type docs).
-    fn collect_tiers<'a>(
-        oldest_first: impl Iterator<Item = &'a FrozenEvalCache>,
-    ) -> (FastMap<EventExpr, f64>, FastMap<EventExpr, VarId>) {
-        let mut memo = FastMap::default();
-        let mut pivots = FastMap::default();
-        for tier in oldest_first {
-            memo.extend(tier.memo.iter().map(|(k, v)| (k.clone(), *v)));
-            pivots.extend(tier.pivots.iter().map(|(k, v)| (k.clone(), *v)));
+    /// Occupied tiers, memo+pivot entries, and pinned-node estimate of this
+    /// chain. Every entry keys a composite hash-consed node it pins in the
+    /// process-global interner, so the estimate is the entry count.
+    pub fn footprint(&self) -> CacheFootprint {
+        let entries = self
+            .tiers()
+            .map(|t| t.payload.memo.len() + t.payload.pivots.len())
+            .sum();
+        CacheFootprint {
+            tiers: self.occupied_tiers(),
+            entries,
+            pinned_nodes: entries,
         }
-        (memo, pivots)
     }
 
-    /// The oldest tier of the chain, as an owned handle.
-    fn root_arc(self: &Arc<Self>) -> Arc<Self> {
-        let mut root = Arc::clone(self);
-        while let Some(parent) = &root.parent {
-            let parent = Arc::clone(parent);
-            root = parent;
-        }
-        root
-    }
-
-    /// Merges worker overlays on top of `base` into a new snapshot (the
-    /// *republish* step) per the shared [`chain_action`] policy.
-    /// Order-independent and deterministic: values are pure functions of
-    /// node identity (see the type docs), so duplicate keys across
-    /// overlays carry bit-identical values. Each overlay's own backing
-    /// snapshot is dropped — it is an ancestor of `base` in the intended
-    /// lineage, so its entries are already present.
+    /// [`FrozenEvalCache::merged_with`] without epoch tracking: tiers are
+    /// tagged epoch 0 and nothing is ever evicted — the snapshot only
+    /// grows. One-shot callers (and tests) that never mutate the KB use
+    /// this; epoch-aware holders should prefer `merged_with`.
     pub fn merged(
         base: Option<&Arc<FrozenEvalCache>>,
         overlays: impl IntoIterator<Item = EvalCache>,
     ) -> Arc<FrozenEvalCache> {
-        let mut memo = FastMap::default();
-        let mut pivots = FastMap::default();
+        Self::merged_with(base, overlays, 0, EvictionPolicy::Never)
+    }
+
+    /// Merges worker overlays on top of `base` into a new snapshot (the
+    /// *republish* step) per the shared [`TierChain`] LSM policy, tagging
+    /// the new tier with the current binding `epoch` and dropping tiers
+    /// `policy` considers stale whenever a compaction or fold rewrites the
+    /// chain anyway. Order-independent and deterministic: values are pure
+    /// functions of node identity (see the type docs), so duplicate keys
+    /// across overlays carry bit-identical values — and eviction only ever
+    /// forces deterministic recomputes, never different results. Each
+    /// overlay's own backing snapshot is dropped — it is an ancestor of
+    /// `base` in the intended lineage, so its entries are already present.
+    pub fn merged_with(
+        base: Option<&Arc<FrozenEvalCache>>,
+        overlays: impl IntoIterator<Item = EvalCache>,
+        epoch: u64,
+        policy: EvictionPolicy,
+    ) -> Arc<FrozenEvalCache> {
+        let mut tier = EvalTier::default();
         for overlay in overlays {
-            memo.extend(overlay.memo);
-            pivots.extend(overlay.pivots);
+            tier.memo.extend(overlay.memo);
+            tier.pivots.extend(overlay.pivots);
         }
-        if memo.is_empty() && pivots.is_empty() {
+        if tier.is_empty() {
             // Nothing new: keep the base as-is instead of stacking an
             // empty tier (which would cost a probe on every lookup).
             if let Some(b) = base {
                 return Arc::clone(b);
             }
         }
-        let action = match base {
-            None => ChainAction::Root,
-            Some(b) => {
-                let root_len = b.root_arc().memo.len();
-                chain_action(
-                    b.is_empty(),
-                    b.depth,
-                    b.len() - root_len,
-                    root_len,
-                    memo.len(),
-                )
-            }
-        };
-        match (action, base) {
-            (ChainAction::Root, _) | (_, None) => Arc::new(Self {
-                memo,
-                pivots,
-                parent: None,
-                depth: 1,
-            }),
-            (ChainAction::Push, Some(b)) => Arc::new(Self {
-                memo,
-                pivots,
-                parent: Some(Arc::clone(b)),
-                depth: b.depth + 1,
-            }),
-            (ChainAction::Compact, Some(b)) => {
-                // Young tiers (everything above the root) + the new
-                // entries become one tier over the shared root.
-                let young: Vec<&FrozenEvalCache> = b.tiers().take(b.depth - 1).collect();
-                let (mut cm, mut cp) = Self::collect_tiers(young.into_iter().rev());
-                cm.extend(memo);
-                cp.extend(pivots);
-                Arc::new(Self {
-                    memo: cm,
-                    pivots: cp,
-                    parent: Some(b.root_arc()),
-                    depth: 2,
-                })
-            }
-            (ChainAction::Fold, Some(b)) => {
-                let tiers: Vec<&FrozenEvalCache> = b.tiers().collect();
-                let (mut fm, mut fp) = Self::collect_tiers(tiers.into_iter().rev());
-                fm.extend(memo);
-                fp.extend(pivots);
-                Arc::new(Self {
-                    memo: fm,
-                    pivots: fp,
-                    parent: None,
-                    depth: 1,
-                })
-            }
-        }
+        TierChain::publish(base, tier, epoch, policy)
     }
 }
 
@@ -595,6 +550,7 @@ fn count_atoms(expr: &EventExpr, counts: &mut HashMap<VarId, usize>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tier::MAX_CHAIN;
     use crate::worlds::brute_force_prob;
 
     fn universe3() -> (Universe, EventExpr, EventExpr, EventExpr) {
@@ -928,7 +884,7 @@ mod tests {
         let mut ev = Evaluator::new(&u);
         let root_values: Vec<f64> = root_exprs.iter().map(|e| ev.prob(e)).collect();
         let root = FrozenEvalCache::merged(None, [ev.into_cache()]);
-        let root_len = root.memo.len();
+        let root_len = root.payload.memo.len();
 
         let mut snapshot = Arc::clone(&root);
         let mut compacted = false;

@@ -24,8 +24,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::eval::{chain_action, group_indices, ChainAction};
+use crate::eval::group_indices;
 use crate::hashers::FastMap;
+use crate::tier::{CacheFootprint, EvictionPolicy, TierChain, TierPayload};
 use crate::{EvalCache, EventExpr, FrozenEvalCache, Universe, VarId};
 
 /// A piecewise-constant random variable: in a world `w` its value is the sum
@@ -176,7 +177,7 @@ impl ExpectCache {
     /// probability cache is layered over the snapshot's eval tier likewise.
     pub fn with_snapshot(snapshot: Arc<FrozenExpectCache>) -> Self {
         Self {
-            eval: EvalCache::with_snapshot(Arc::clone(&snapshot.eval)),
+            eval: EvalCache::with_snapshot(Arc::clone(snapshot.eval())),
             snapshot: Some(snapshot),
             memo: FastMap::default(),
         }
@@ -193,6 +194,87 @@ impl ExpectCache {
     pub fn is_empty(&self) -> bool {
         self.memo.is_empty() && self.eval.is_empty()
     }
+
+    /// Folds the private overlays (group memo and embedded probability
+    /// memo) into the backing snapshot chain, tagging the new tier with
+    /// the current binding `epoch` and evicting stale tiers per `policy` —
+    /// the expectation-side counterpart of [`EvalCache::rotate`], with the
+    /// same behaviour-preservation argument.
+    pub fn rotate(&mut self, epoch: u64, policy: EvictionPolicy) {
+        if self.is_empty() && self.snapshot.is_none() {
+            return;
+        }
+        let base = self.snapshot.take();
+        let overlay = std::mem::take(self);
+        *self = ExpectCache::with_snapshot(FrozenExpectCache::merged_with(
+            base.as_ref(),
+            [overlay],
+            epoch,
+            policy,
+        ));
+    }
+
+    /// Entries and pinned estimate of the private group-memo overlay only
+    /// (excluding the embedded probability cache).
+    fn group_overlay_footprint(&self) -> CacheFootprint {
+        let pinned: usize = self
+            .memo
+            .keys()
+            .map(|key| key.iter().map(Vec::len).sum::<usize>())
+            .sum();
+        CacheFootprint {
+            tiers: 0,
+            entries: self.memo.len(),
+            pinned_nodes: pinned,
+        }
+    }
+
+    /// Entries and pinned-node estimate of the private overlays alone
+    /// (group memo + embedded probability overlay), ignoring any backing
+    /// snapshot — the expectation-side counterpart of
+    /// [`EvalCache::overlay_footprint`].
+    pub fn overlay_footprint(&self) -> CacheFootprint {
+        self.eval.overlay_footprint() + self.group_overlay_footprint()
+    }
+
+    /// Occupied tiers, entries and pinned-node estimate of this cache: the
+    /// private overlays (group memo + embedded probability memo) plus the
+    /// backing snapshot chain, if any. When a snapshot backs this cache,
+    /// the embedded probability overlay's own backing chain *is* the
+    /// snapshot's eval chain, so only the overlay part is added for it.
+    pub fn footprint(&self) -> CacheFootprint {
+        match &self.snapshot {
+            Some(snapshot) => snapshot.footprint() + self.overlay_footprint(),
+            None => self.eval.footprint() + self.group_overlay_footprint(),
+        }
+    }
+}
+
+/// One tier's worth of [`FrozenExpectCache`] entries: the factor-group memo
+/// published by one republish, plus the cumulative eval-chain handle of the
+/// tier's generation. Only the *newest* tier's eval handle is ever read —
+/// the eval chain already subsumes the eval state of older expect tiers —
+/// which is why [`TierPayload::absorb`] lets the newer handle win.
+#[derive(Default, Clone)]
+pub struct ExpectTier {
+    memo: FastMap<Vec<FactorKey>, f64>,
+    /// Cumulative eval tier of this expect tier's generation.
+    eval: Arc<FrozenEvalCache>,
+}
+
+impl TierPayload for ExpectTier {
+    fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+
+    fn absorb(&mut self, newer: Self) {
+        self.memo.extend(newer.memo);
+        self.eval = newer.eval;
+    }
 }
 
 /// A frozen, read-only [`ExpectCache`] snapshot shared across threads: the
@@ -200,88 +282,75 @@ impl ExpectCache {
 /// evaluator. Same merge/validity contract as [`FrozenEvalCache`] — values
 /// are pure functions of their (hash-consed) keys, so merging worker
 /// overlays is order-independent and bit-deterministic — and the same
-/// bounded tier-chain representation, so routine republishes copy only the
-/// young tiers and the root is recopied once per size doubling.
-pub struct FrozenExpectCache {
-    memo: FastMap<Vec<FactorKey>, f64>,
-    /// Cumulative eval tier of the *newest* expect tier (the eval chain
-    /// already subsumes the eval state of older expect tiers).
-    eval: Arc<FrozenEvalCache>,
-    /// Older tier this one extends (`None` for a flat/root tier).
-    parent: Option<Arc<FrozenExpectCache>>,
-    /// Chain length including this tier.
-    depth: usize,
-}
-
-impl Default for FrozenExpectCache {
-    fn default() -> Self {
-        Self {
-            memo: FastMap::default(),
-            eval: Arc::default(),
-            parent: None,
-            depth: 1,
-        }
-    }
-}
+/// bounded [`TierChain`] representation, so routine republishes copy only
+/// the young tiers, the root is recopied once per size doubling, and an
+/// [`EvictionPolicy`] can age out tiers of superseded entries.
+pub type FrozenExpectCache = TierChain<ExpectTier>;
 
 impl FrozenExpectCache {
     /// Number of memoised factor groups across all tiers (keys shadowed in
     /// several tiers count once per tier — an upper bound on distinct
     /// entries, as in [`FrozenEvalCache::len`]).
     pub fn len(&self) -> usize {
-        self.tiers().map(|t| t.memo.len()).sum()
+        self.entry_count()
     }
 
     /// True if the snapshot holds no group entries and no probability
     /// entries.
     pub fn is_empty(&self) -> bool {
-        self.tiers().all(|t| t.memo.is_empty()) && self.eval.is_empty()
+        self.payloads_empty() && self.eval().is_empty()
     }
 
     /// The snapshot tier backing the embedded probability evaluator.
     pub fn eval(&self) -> &Arc<FrozenEvalCache> {
-        &self.eval
-    }
-
-    /// The chain of tiers, newest first.
-    fn tiers(&self) -> impl Iterator<Item = &FrozenExpectCache> {
-        std::iter::successors(Some(self), |t| t.parent.as_deref())
+        &self.payload.eval
     }
 
     fn get(&self, key: &Vec<FactorKey>) -> Option<f64> {
-        self.tiers().find_map(|t| t.memo.get(key).copied())
+        self.tiers().find_map(|t| t.payload.memo.get(key).copied())
     }
 
-    /// One flat map holding every group entry of the given tiers (oldest
-    /// first, so newer tiers shadow with bit-identical values).
-    fn collect_tiers<'a>(
-        oldest_first: impl Iterator<Item = &'a FrozenExpectCache>,
-    ) -> FastMap<Vec<FactorKey>, f64> {
-        let mut memo = FastMap::default();
-        for tier in oldest_first {
-            memo.extend(tier.memo.iter().map(|(k, v)| (k.clone(), *v)));
+    /// Occupied tiers, entries and pinned-node estimate of this chain,
+    /// including the embedded probability chain. A factor-group key pins
+    /// one interned expression per case event it holds, so the estimate
+    /// walks the keys (O(entries) — footprints are inspection-path only).
+    pub fn footprint(&self) -> CacheFootprint {
+        let mut own = CacheFootprint {
+            tiers: self.occupied_tiers(),
+            entries: 0,
+            pinned_nodes: 0,
+        };
+        for t in self.tiers() {
+            own.entries += t.payload.memo.len();
+            own.pinned_nodes += t
+                .payload
+                .memo
+                .keys()
+                .map(|key| key.iter().map(Vec::len).sum::<usize>())
+                .sum::<usize>();
         }
-        memo
+        own + self.eval().footprint()
     }
 
-    /// The oldest tier of the chain, as an owned handle.
-    fn root_arc(self: &Arc<Self>) -> Arc<Self> {
-        let mut root = Arc::clone(self);
-        while let Some(parent) = &root.parent {
-            let parent = Arc::clone(parent);
-            root = parent;
-        }
-        root
-    }
-
-    /// Merges worker overlays on top of `base` into a new snapshot — the
-    /// republish step, with the determinism contract and the shared
-    /// [`chain_action`] tiering policy of [`FrozenEvalCache::merged`].
-    ///
-    /// [`chain_action`]: crate::eval::chain_action
+    /// [`FrozenExpectCache::merged_with`] without epoch tracking: tiers
+    /// are tagged epoch 0 and nothing is ever evicted (see
+    /// [`FrozenEvalCache::merged`]).
     pub fn merged(
         base: Option<&Arc<FrozenExpectCache>>,
         overlays: impl IntoIterator<Item = ExpectCache>,
+    ) -> Arc<FrozenExpectCache> {
+        Self::merged_with(base, overlays, 0, EvictionPolicy::Never)
+    }
+
+    /// Merges worker overlays on top of `base` into a new snapshot — the
+    /// republish step, with the determinism contract, epoch tagging and
+    /// eviction semantics of [`FrozenEvalCache::merged_with`]; the embedded
+    /// probability chain is republished under the same epoch and policy.
+    pub fn merged_with(
+        base: Option<&Arc<FrozenExpectCache>>,
+        overlays: impl IntoIterator<Item = ExpectCache>,
+        epoch: u64,
+        policy: EvictionPolicy,
     ) -> Arc<FrozenExpectCache> {
         let mut memo = FastMap::default();
         let mut eval_overlays = Vec::new();
@@ -289,66 +358,19 @@ impl FrozenExpectCache {
             memo.extend(overlay.memo);
             eval_overlays.push(overlay.eval);
         }
-        let eval = FrozenEvalCache::merged(base.map(|b| &b.eval), eval_overlays);
+        let eval =
+            FrozenEvalCache::merged_with(base.map(|b| b.eval()), eval_overlays, epoch, policy);
         if memo.is_empty() {
             // No new group entries: reuse the base chain unless the
             // embedded eval tier advanced (then a fresh top tier carries
             // the new eval handle without stacking group entries).
             if let Some(b) = base {
-                if Arc::ptr_eq(&eval, &b.eval) {
+                if Arc::ptr_eq(&eval, b.eval()) {
                     return Arc::clone(b);
                 }
             }
         }
-        let action = match base {
-            None => ChainAction::Root,
-            Some(b) => {
-                let root_len = b.root_arc().memo.len();
-                chain_action(
-                    b.tiers().all(|t| t.memo.is_empty()),
-                    b.depth,
-                    b.len() - root_len,
-                    root_len,
-                    memo.len(),
-                )
-            }
-        };
-        match (action, base) {
-            (ChainAction::Root, _) | (_, None) => Arc::new(Self {
-                memo,
-                eval,
-                parent: None,
-                depth: 1,
-            }),
-            (ChainAction::Push, Some(b)) => Arc::new(Self {
-                memo,
-                eval,
-                parent: Some(Arc::clone(b)),
-                depth: b.depth + 1,
-            }),
-            (ChainAction::Compact, Some(b)) => {
-                let young: Vec<&FrozenExpectCache> = b.tiers().take(b.depth - 1).collect();
-                let mut cm = Self::collect_tiers(young.into_iter().rev());
-                cm.extend(memo);
-                Arc::new(Self {
-                    memo: cm,
-                    eval,
-                    parent: Some(b.root_arc()),
-                    depth: 2,
-                })
-            }
-            (ChainAction::Fold, Some(b)) => {
-                let tiers: Vec<&FrozenExpectCache> = b.tiers().collect();
-                let mut fm = Self::collect_tiers(tiers.into_iter().rev());
-                fm.extend(memo);
-                Arc::new(Self {
-                    memo: fm,
-                    eval,
-                    parent: None,
-                    depth: 1,
-                })
-            }
-        }
+        TierChain::publish(base, ExpectTier { memo, eval }, epoch, policy)
     }
 }
 

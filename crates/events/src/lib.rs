@@ -60,16 +60,19 @@ mod expect;
 mod expr;
 mod hashers;
 mod parse;
+pub mod tier;
 mod universe;
 pub mod worlds;
 
 pub use error::EventError;
-pub use eval::{EvalCache, EvalStats, Evaluator, FrozenEvalCache};
+pub use eval::{EvalCache, EvalStats, EvalTier, Evaluator, FrozenEvalCache};
 pub use expect::{
-    brute_force_expectation, expectation, ExpectCache, Expectation, Factor, FrozenExpectCache,
+    brute_force_expectation, expectation, ExpectCache, ExpectTier, Expectation, Factor,
+    FrozenExpectCache,
 };
 pub use expr::{interner_stats, Atom, EventExpr, ExprKey, InternerStats, NaryNode, NotNode};
 pub use parse::parse_event;
+pub use tier::{CacheFootprint, EvictionPolicy, TierChain, TierPayload};
 pub use universe::{Universe, VarId};
 
 /// Convenience alias for results in this crate.

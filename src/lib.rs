@@ -51,9 +51,10 @@ pub mod prelude {
     };
     pub use capra_core::{
         bind_rules, bind_rules_shared, explain, group_scores, rank, rank_top_k, score_group,
-        CoreError, CorrelationPolicy, DocScore, Episode, Explanation, FactorizedEngine,
-        GroupStrategy, HistoryLog, Kb, LineageEngine, MinedRule, NaiveEnumEngine, NaiveViewEngine,
-        Offer, PreferenceRule, RuleRepository, Score, ScoringEngine, ScoringEnv, ScoringSession,
+        CacheFootprint, CacheStats, CoreError, CorrelationPolicy, DocScore, Episode,
+        EvictionPolicy, Explanation, FactorizedEngine, GroupStrategy, HistoryLog, Kb,
+        LineageEngine, MinedRule, NaiveEnumEngine, NaiveViewEngine, Offer, PreferenceRule,
+        RuleRepository, Score, ScoringEngine, ScoringEnv, ScoringSession, SessionStats,
     };
     pub use capra_dl::{parse_concept, ABox, Concept, Reasoner, TBox, Vocabulary};
     pub use capra_events::{Evaluator, EventExpr, Universe};

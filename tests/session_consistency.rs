@@ -8,6 +8,18 @@ use capra::prelude::*;
 use proptest::prelude::*;
 
 const N_DOCS: usize = 4;
+
+/// Maps a random draw onto an eviction policy, so every session property
+/// also holds under aggressive tier eviction (`MaxAge(1)` drops memo tiers
+/// after nearly every mutation, forcing constant deterministic recomputes)
+/// and under the grow-only escape hatch.
+fn decode_policy(sel: u8) -> EvictionPolicy {
+    match sel % 3 {
+        0 => EvictionPolicy::Never,
+        1 => EvictionPolicy::MaxAge(1),
+        _ => EvictionPolicy::default(),
+    }
+}
 const N_FEATS: usize = 2;
 
 /// One mutation of the interleaved sequence, decoded from random draws.
@@ -89,6 +101,7 @@ proptest! {
             (any::<u8>(), 0usize..N_DOCS, 0usize..N_FEATS, 0.05f64..=0.95),
             1..7,
         ),
+        policy_sel in any::<u8>(),
     ) {
         let (mut kb, rules, user, docs) = fixture();
         // Each doc starts with Feat0 so rules are never globally vacuous.
@@ -104,8 +117,10 @@ proptest! {
             Box::new(LineageEngine::new()),
         ];
         // ONE session serves all engines (cache keys include the engine) and
-        // survives every mutation of the sequence.
-        let mut session = ScoringSession::new();
+        // survives every mutation of the sequence — under an arbitrary
+        // eviction policy, since eviction may only force recomputes, never
+        // change a bit.
+        let mut session = ScoringSession::with_policy(decode_policy(policy_sel));
         for &(kind, doc, feat, p) in &ops {
             apply(&mut kb, user, &docs, decode_op(kind, doc, feat, p));
             let env = ScoringEnv { kb: &kb, rules: &rules, user };
@@ -146,6 +161,7 @@ proptest! {
         ),
         threads in 2usize..=4,
         k in 1usize..=N_DOCS,
+        policy_sel in any::<u8>(),
     ) {
         let (mut kb, rules, user, docs) = fixture();
         for (d, &doc) in docs.iter().enumerate() {
@@ -162,8 +178,10 @@ proptest! {
         ];
         // ONE parallel session serves all engines across every mutation, so
         // worker overlays republished after one call are the snapshot tier
-        // of the next — exactly the reuse the merge must keep invisible.
-        let mut session = ParallelScoringSession::new(threads);
+        // of the next — exactly the reuse the merge (and any tier
+        // eviction along the way) must keep invisible.
+        let mut session =
+            ParallelScoringSession::with_policy(threads, decode_policy(policy_sel));
         for &(kind, doc, feat, p) in &ops {
             apply(&mut kb, user, &docs, decode_op(kind, doc, feat, p));
             let env = ScoringEnv { kb: &kb, rules: &rules, user };
