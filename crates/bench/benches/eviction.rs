@@ -22,8 +22,7 @@
 //! grows), so the smoke job fails on a regression even before the guard
 //! runs.
 
-use std::io::Write as _;
-
+use capra_bench::emit_gauge;
 use capra_core::{
     DocScore, EvictionPolicy, Kb, LineageEngine, PreferenceRule, RuleRepository, Score, ScoringEnv,
     ScoringSession,
@@ -101,23 +100,6 @@ fn serve(policy: EvictionPolicy, calls: usize) -> Vec<usize> {
         series.push(session.stats().footprint.entries);
     }
     series
-}
-
-/// Emits a non-timing metric in the criterion-shim JSON-lines shape, so
-/// the perf tooling (`bench_guard`, snapshot artifacts) tracks it like any
-/// benchmark median. The value is a count; the field name is fixed by the
-/// shim's schema.
-fn emit_gauge(name: &str, value: f64) {
-    println!("gauge: {name:<48} {value:>14.1}");
-    if let Ok(path) = std::env::var("CAPRA_BENCH_JSON") {
-        if let Ok(mut f) = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-        {
-            let _ = writeln!(f, "{{\"name\":\"{name}\",\"ns_per_iter\":{value:.1}}}");
-        }
-    }
 }
 
 fn eviction(c: &mut Criterion) {

@@ -294,6 +294,46 @@ pub trait ScoringEngine {
     }
 }
 
+/// Boxed engines delegate wholesale, so trait objects slot into every
+/// generic entry point (e.g. a [`crate::serve::RankingService`] whose
+/// engine is chosen at runtime).
+impl<T: ScoringEngine + ?Sized> ScoringEngine for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn config_tag(&self) -> u64 {
+        (**self).config_tag()
+    }
+
+    fn validate_workload(
+        &self,
+        env: &ScoringEnv<'_>,
+        bindings: &[Arc<RuleBinding>],
+        docs: &[IndividualId],
+    ) -> Result<()> {
+        (**self).validate_workload(env, bindings, docs)
+    }
+
+    fn score_all_bound(
+        &self,
+        env: &ScoringEnv<'_>,
+        bindings: &[Arc<RuleBinding>],
+        docs: &[IndividualId],
+        scratch: &mut EvalScratch,
+    ) -> Result<Vec<DocScore>> {
+        (**self).score_all_bound(env, bindings, docs, scratch)
+    }
+
+    fn score_all(&self, env: &ScoringEnv<'_>, docs: &[IndividualId]) -> Result<Vec<DocScore>> {
+        (**self).score_all(env, docs)
+    }
+
+    fn score(&self, env: &ScoringEnv<'_>, doc: IndividualId) -> Result<DocScore> {
+        (**self).score(env, doc)
+    }
+}
+
 /// Sorts scores descending (ties broken by document id for determinism) —
 /// the `ORDER BY preferencescore DESC` of the paper's example query.
 pub fn rank(mut scores: Vec<DocScore>) -> Vec<DocScore> {

@@ -24,7 +24,10 @@
 //! * [`ScoringSession`] — prepared scoring: cached rule bindings
 //!   (invalidated by KB epoch), persistent evaluation memos and cached
 //!   scores across repeated calls;
-//! * [`rank_top_k`] — `LIMIT`-shaped ranking with early termination.
+//! * [`rank_top_k`] — `LIMIT`-shaped ranking with early termination;
+//! * [`serve`] — the multi-tenant [`RankingService`]: LRU-capped per-user
+//!   sessions over one shared, bounded evaluation tier, with typed
+//!   requests and batch coalescing.
 //!
 //! ## The worked example (paper Section 4.2)
 //!
@@ -79,6 +82,7 @@ pub mod parallel;
 pub mod ranking;
 mod repository;
 mod rule;
+pub mod serve;
 mod session;
 pub mod smoothing;
 mod topk;
@@ -95,6 +99,7 @@ pub use kb::Kb;
 pub use multiuser::{group_scores, score_group, GroupStrategy};
 pub use repository::RuleRepository;
 pub use rule::{PreferenceRule, Score};
+pub use serve::{RankingService, ServiceConfig, ServiceStats};
 pub use session::{BindingCache, CacheStats, ScoringSession, SessionStats};
 pub use smoothing::{blend, QueryRelevance, Smoothing};
 pub use topk::{rank_top_k, rank_top_k_bound};

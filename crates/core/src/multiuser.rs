@@ -216,8 +216,8 @@ mod tests {
             assert_eq!(a.score.to_bits(), b.score.to_bits());
         }
         let stats = session.stats();
-        assert_eq!(stats.binding_misses, 2, "one bind per user, once");
-        assert_eq!(stats.score_hits, 2 * docs.len() as u64, "repeat is warm");
+        assert_eq!(stats.bindings.misses, 2, "one bind per user, once");
+        assert_eq!(stats.scores.hits, 2 * docs.len() as u64, "repeat is warm");
         // Reference: per-user cold scoring + group_scores gives the same.
         let cold: Vec<Vec<DocScore>> = users
             .iter()

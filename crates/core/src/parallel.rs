@@ -54,7 +54,7 @@ use capra_events::{CacheFootprint, EvictionPolicy, FrozenEvalCache, FrozenExpect
 
 use crate::bind::{bind_rules_shared, RuleBinding};
 use crate::engines::{rank, DocScore, EvalScratch, ScoringEngine};
-use crate::session::{BindingCache, ScoreCache, SessionStats};
+use crate::session::{read_through_scores, BindingCache, ScoreCache, SessionStats};
 use crate::topk::{
     bound_sorted_order, by_rank, rank_top_k_bound, scan_bounded_stealing, SharedThreshold,
 };
@@ -71,6 +71,27 @@ pub(crate) fn effective_threads(threads: usize, docs: usize) -> usize {
 /// that the atomic cursor and the per-chunk result allocation stay noise.
 pub(crate) fn steal_chunk(docs: usize, threads: usize) -> usize {
     docs.div_ceil(threads.max(1) * 4).clamp(1, 256)
+}
+
+/// Sizes of a [`ScratchPool`]'s current frozen snapshots, as reported by
+/// [`ScratchPool::snapshot_stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSnapshotStats {
+    /// Entries in the frozen probability snapshot.
+    pub prob_entries: usize,
+    /// Entries in the frozen expectation snapshot, counting both
+    /// factor-group entries and its embedded probability memo.
+    pub expect_entries: usize,
+    /// Republishes that actually merged new entries (fully warm runs merge
+    /// nothing and do not count).
+    pub publishes: u64,
+}
+
+impl PoolSnapshotStats {
+    /// Total snapshot entries across both memo layers.
+    pub fn entries(&self) -> usize {
+        self.prob_entries + self.expect_entries
+    }
 }
 
 /// Aggregate state of one [`ScratchPool`] snapshot generation.
@@ -196,17 +217,15 @@ impl ScratchPool {
         inner.publishes += 1;
     }
 
-    /// `(probability entries, expectation entries)` in the current
-    /// snapshots — the expectation side counting both factor-group entries
-    /// and its embedded probability memo — plus how many republishes merged
-    /// new entries.
-    pub fn snapshot_stats(&self) -> (usize, usize, u64) {
+    /// Sizes of the current frozen snapshots and how often they were
+    /// republished (named fields — see [`PoolSnapshotStats`]).
+    pub fn snapshot_stats(&self) -> PoolSnapshotStats {
         let inner = self.lock();
-        (
-            inner.prob.len(),
-            inner.expect.len() + inner.expect.eval().len(),
-            inner.publishes,
-        )
+        PoolSnapshotStats {
+            prob_entries: inner.prob.len(),
+            expect_entries: inner.expect.len() + inner.expect.eval().len(),
+            publishes: inner.publishes,
+        }
     }
 
     /// Snapshot-tier and memo-entry footprint of the pool: both frozen
@@ -217,7 +236,7 @@ impl ScratchPool {
         let inner = self.lock();
         let mut footprint = inner.prob.footprint() + inner.expect.footprint();
         for scratch in &inner.pending {
-            footprint = footprint + scratch.overlay_footprint();
+            footprint += scratch.overlay_footprint();
         }
         footprint
     }
@@ -508,7 +527,7 @@ where
 /// let cold = session.score_all(&engine, &env, &docs).unwrap();
 /// let warm = session.score_all(&engine, &env, &docs).unwrap(); // cache hits
 /// assert_eq!(cold[0].score.to_bits(), warm[0].score.to_bits());
-/// assert!(session.stats().score_hits >= docs.len() as u64);
+/// assert!(session.stats().scores.hits >= docs.len() as u64);
 /// ```
 pub struct ParallelScoringSession {
     threads: usize,
@@ -541,13 +560,9 @@ impl ParallelScoringSession {
     /// Work counters accumulated so far, plus the pool's current
     /// snapshot-tier footprint (see [`SessionStats::footprint`]).
     pub fn stats(&self) -> SessionStats {
-        let bindings = self.bindings.stats();
-        let scores = self.scores.stats();
         SessionStats {
-            binding_hits: bindings.hits,
-            binding_misses: bindings.misses,
-            score_hits: scores.hits,
-            score_misses: scores.misses,
+            bindings: self.bindings.stats(),
+            scores: self.scores.stats(),
             footprint: self.pool.footprint(),
         }
     }
@@ -586,21 +601,24 @@ impl ParallelScoringSession {
         E: ScoringEngine + Sync + ?Sized,
     {
         let bindings = self.bindings.bind(env);
-        let key = (env.user, engine.name(), engine.config_tag());
-        let missing = self.scores.missing(key, &bindings, docs);
-        if !missing.is_empty() {
-            let computed = score_all_bound_parallel(
-                engine,
-                env,
-                &bindings,
-                &missing,
-                self.threads,
-                &self.pool,
-                true,
-            )?;
-            self.scores.record(&key, computed);
-        }
-        Ok(self.scores.collect(&key, docs))
+        read_through_scores(
+            engine,
+            env.user,
+            &mut self.scores,
+            docs,
+            &bindings,
+            |missing| {
+                score_all_bound_parallel(
+                    engine,
+                    env,
+                    &bindings,
+                    missing,
+                    self.threads,
+                    &self.pool,
+                    true,
+                )
+            },
+        )
     }
 
     /// [`ParallelScoringSession::score_all`] followed by the descending
@@ -812,20 +830,22 @@ mod tests {
         let engine = LineageEngine::new();
         let first =
             score_all_bound_parallel(&engine, &env, &bindings, &docs, 3, &pool, true).unwrap();
-        let (prob, expect, publishes) = pool.snapshot_stats();
+        let snap = pool.snapshot_stats();
         assert!(
-            prob + expect > 0,
-            "first run must publish memo entries ({prob} prob / {expect} expect)"
+            snap.entries() > 0,
+            "first run must publish memo entries ({} prob / {} expect)",
+            snap.prob_entries,
+            snap.expect_entries
         );
-        assert!(publishes >= 1);
+        assert!(snap.publishes >= 1);
         let second =
             score_all_bound_parallel(&engine, &env, &bindings, &docs, 3, &pool, true).unwrap();
         for (a, b) in first.iter().zip(&second) {
             assert_eq!(a.score.to_bits(), b.score.to_bits());
         }
-        let (_, _, publishes_after) = pool.snapshot_stats();
         assert_eq!(
-            publishes_after, publishes,
+            pool.snapshot_stats().publishes,
+            snap.publishes,
             "a fully warm run finds every entry in the snapshot and merges nothing"
         );
     }
@@ -850,14 +870,16 @@ mod tests {
             true,
         )
         .unwrap();
-        let (prob, expect, _) = pool.snapshot_stats();
-        assert!(prob + expect > 0);
+        assert!(pool.snapshot_stats().entries() > 0);
         // A *clone* has a fresh KB identity: its scratches must not see the
         // original's snapshot (universe affinity).
         let kb2 = kb.clone();
         let scratch = pool.checkout(&kb2);
-        let (prob2, expect2, _) = pool.snapshot_stats();
-        assert_eq!((prob2, expect2), (0, 0), "different KB resets the pool");
+        assert_eq!(
+            pool.snapshot_stats().entries(),
+            0,
+            "different KB resets the pool"
+        );
         drop(scratch);
     }
 
@@ -875,8 +897,8 @@ mod tests {
             let cold = session.score_all(&engine, &env, &docs).unwrap();
             let warm = session.score_all(&engine, &env, &docs).unwrap();
             let stats = session.stats();
-            assert_eq!(stats.binding_hits, 1, "no rebinding on a warm call");
-            assert_eq!(stats.score_hits, docs.len() as u64);
+            assert_eq!(stats.bindings.hits, 1, "no rebinding on a warm call");
+            assert_eq!(stats.scores.hits, docs.len() as u64);
             let reference = engine.score_all(&env, &docs).unwrap();
             for ((a, b), c) in cold.iter().zip(&warm).zip(&reference) {
                 assert_eq!(a.score.to_bits(), b.score.to_bits());
@@ -922,7 +944,7 @@ mod tests {
             "published frozen tiers hold memo entries ({:?})",
             stats.footprint
         );
-        assert!(stats.score_hits > 0);
+        assert!(stats.scores.hits > 0);
         session.clear();
         let cleared = session.stats();
         assert_eq!(
@@ -931,8 +953,8 @@ mod tests {
             "clear must drop the pool's published frozen tiers, not just \
              the binding/score caches"
         );
-        assert_eq!((cleared.binding_hits, cleared.binding_misses), (0, 0));
-        assert_eq!((cleared.score_hits, cleared.score_misses), (0, 0));
+        assert_eq!((cleared.bindings.hits, cleared.bindings.misses), (0, 0));
+        assert_eq!((cleared.scores.hits, cleared.scores.misses), (0, 0));
         // The cleared session still scores correctly and re-publishes.
         let fresh = session.score_all(&engine, &env, &docs).unwrap();
         let reference = engine.score_all(&env, &docs).unwrap();

@@ -1,0 +1,54 @@
+//! The serving layer — a multi-tenant [`RankingService`] owning the
+//! per-user session lifecycle that PRs 1–4 left to callers.
+//!
+//! The paper's scenario is many users, each with their own context-aware
+//! preference rules and a stream of context switches, ranking a shared
+//! candidate set (TV programs, query results). The core crate gives each
+//! *caller* fast machinery for that — [`crate::ScoringSession`] for the
+//! repeat-call warm path, [`crate::parallel::ScratchPool`] for shared
+//! evaluation memos, [`capra_events::EvictionPolicy`] for bounded
+//! footprints — but a production front-end would have to hand-assemble all
+//! of it per user and invent its own eviction story for the session map
+//! itself. This module owns that lifecycle:
+//!
+//! * **Tenancy** — one [`RankingService`] serves any number of users
+//!   ("tenants"). Per-tenant state (rule-binding cache + score cache) lives
+//!   in a sharded map, LRU-capped by [`ServiceConfig::max_sessions`]:
+//!   evicting a tenant only costs that tenant a deterministic re-derivation
+//!   on their next request, never a changed score.
+//! * **Shared evaluation tier** — all tenants score through one
+//!   [`crate::parallel::ScratchPool`]: evaluation memos are pure functions
+//!   of hash-consed expression identity and carry no per-user data, so one
+//!   tenant's work warms every other tenant that touches the same
+//!   documents. The pool's frozen snapshot chains are epoch-tagged and aged
+//!   out per the service's [`EvictionPolicy`](capra_events::EvictionPolicy),
+//!   so the *total* footprint stays bounded even when every request mutates
+//!   context.
+//! * **Typed requests** — [`RankingService::rank`],
+//!   [`RankingService::rank_group`] and [`RankingService::assert`] cover
+//!   the three request shapes of the paper's serving story (one user ranks,
+//!   a group ranks together, a context switch arrives), and
+//!   [`RankingService::submit`] accepts a [`Request`] batch, coalescing
+//!   runs of same-KB-epoch rank requests into one dispatch over a single
+//!   checked-out scratch (one snapshot republish per run instead of one per
+//!   request).
+//! * **Observability** — [`RankingService::stats`] aggregates every
+//!   tenant's [`crate::SessionStats`] (plus counters retired with evicted
+//!   tenants) into a [`ServiceStats`]: sessions live/evicted, warm/cold hit
+//!   rates, and the shared-tier [`capra_events::CacheFootprint`].
+//!
+//! Everything here is behaviour-preserving plumbing: a service request
+//! computes bit-identical scores to a cold [`crate::bind_rules`] +
+//! `score_all` for the same user (property-tested in
+//! `tests/serve_consistency.rs`), because every layer it reuses already
+//! holds that contract.
+//!
+//! See `ARCHITECTURE.md` at the workspace root for where this layer sits in
+//! the stack and a request-time walkthrough.
+
+mod request;
+mod service;
+mod tenants;
+
+pub use request::{Fact, Request, Response};
+pub use service::{RankingService, ServiceConfig, ServiceStats};

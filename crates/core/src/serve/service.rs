@@ -1,0 +1,846 @@
+//! The [`RankingService`] itself: request execution over the tenant map
+//! and the shared evaluation pool.
+
+use capra_dl::IndividualId;
+use capra_events::EvictionPolicy;
+
+use crate::engines::{rank, DocScore, EvalScratch, ScoringEngine};
+use crate::multiuser::{group_scores, GroupStrategy};
+use crate::parallel::{rank_top_k_bound_parallel, score_all_bound_parallel, ScratchPool};
+use crate::serve::request::{Fact, Request, Response};
+use crate::serve::tenants::TenantSessions;
+use crate::session::{read_through_scores, SessionStats};
+use crate::topk::rank_top_k_bound;
+use crate::{Kb, PreferenceRule, Result, RuleRepository, ScoringEnv};
+
+/// Sizing and policy knobs of a [`RankingService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Shards the tenant map is partitioned into (≥ 1). Shards are the
+    /// unit a future concurrent front-end locks independently; for an
+    /// in-process service they only affect the storage layout.
+    pub shards: usize,
+    /// Maximum live tenant sessions across all shards (≥ 1); inserting
+    /// past the cap evicts the least-recently-used tenant. Eviction only
+    /// forces a deterministic re-derivation on the tenant's next request.
+    pub max_sessions: usize,
+    /// Eviction policy of the shared evaluation-snapshot tier (see
+    /// [`capra_events::EvictionPolicy`]); bounds the service's
+    /// [`capra_events::CacheFootprint`] under KB mutation.
+    pub policy: EvictionPolicy,
+    /// Worker threads for scoring dispatch. `1` (the default) serves
+    /// requests sequentially on the caller's thread; larger values fan
+    /// uncached documents out over the work-stealing parallel path.
+    pub threads: usize,
+}
+
+impl Default for ServiceConfig {
+    /// Eight shards, 1024 live sessions, the default eviction policy, and
+    /// sequential dispatch.
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            max_sessions: 1024,
+            policy: EvictionPolicy::default(),
+            threads: 1,
+        }
+    }
+}
+
+/// Service-wide counters, aggregated from every tenant's
+/// [`SessionStats`] (live tenants plus counters retired with evicted
+/// ones) and the shared evaluation tier.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Tenant sessions currently live.
+    pub sessions_live: usize,
+    /// Tenant sessions evicted by the LRU cap so far.
+    pub sessions_evicted: u64,
+    /// `rank`/`rank_group` requests *received* (batched or direct),
+    /// whether they succeeded or returned an error — the denominator for
+    /// request-level error rates.
+    pub rank_requests: u64,
+    /// Facts *successfully recorded* (batched or direct); rejected facts
+    /// (e.g. an invalid probability) mutate nothing and do not count.
+    pub asserts: u64,
+    /// Coalesced dispatch runs executed by [`RankingService::submit`]
+    /// (each run shares one scratch and pays one snapshot republish).
+    pub coalesced_runs: u64,
+    /// Component-wise total of every tenant's [`SessionStats`] — binding
+    /// and score cache traffic with [`crate::CacheStats::hit_rate`]s —
+    /// with the *shared* evaluation-tier footprint in
+    /// [`SessionStats::footprint`] (tenants hold no evaluation memos of
+    /// their own).
+    pub sessions: SessionStats,
+}
+
+/// A multi-tenant ranking front-end: one engine, one knowledge base, one
+/// rule repository, any number of users — each with an LRU-capped cached
+/// session, all sharing one bounded evaluation-memo tier. See the
+/// [module docs](crate::serve) for the design.
+///
+/// ```
+/// use capra_core::serve::{Fact, RankingService};
+/// use capra_core::{FactorizedEngine, Kb, PreferenceRule, RuleRepository, Score};
+///
+/// let mut kb = Kb::new();
+/// let peter = kb.individual("peter");
+/// let mary = kb.individual("mary");
+/// kb.assert_concept_prob(peter, "Weekend", 0.7).unwrap();
+/// let docs: Vec<_> = (0..8)
+///     .map(|i| {
+///         let d = kb.individual(&format!("doc{i}"));
+///         kb.assert_concept_prob(d, "Nice", 0.1 + 0.1 * i as f64).unwrap();
+///         d
+///     })
+///     .collect();
+/// let mut rules = RuleRepository::new();
+/// rules.add(PreferenceRule::new(
+///     "R",
+///     kb.parse("Weekend").unwrap(),
+///     kb.parse("Nice").unwrap(),
+///     Score::new(0.8).unwrap(),
+/// )).unwrap();
+///
+/// let mut service = RankingService::new(FactorizedEngine::new(), kb, rules);
+/// // Two tenants rank the same candidates; each gets their own session.
+/// let cold = service.rank(peter, &docs, 3).unwrap();
+/// let _ = service.rank(mary, &docs, 3).unwrap();
+/// let warm = service.rank(peter, &docs, 3).unwrap(); // served from caches
+/// assert_eq!(cold[0].doc, warm[0].doc);
+/// assert_eq!(service.stats().sessions_live, 2);
+///
+/// // A context switch invalidates exactly what it touched (re-asserting
+/// // disjoins a fresh event, so the Weekend probability rises).
+/// service.assert(peter, Fact::ConceptProb("Weekend".into(), 0.3)).unwrap();
+/// let shifted = service.rank(peter, &docs, 3).unwrap();
+/// assert_ne!(shifted[0].score.to_bits(), warm[0].score.to_bits());
+/// ```
+pub struct RankingService<E> {
+    engine: E,
+    kb: Kb,
+    rules: RuleRepository,
+    tenants: TenantSessions,
+    pool: ScratchPool,
+    threads: usize,
+    rank_requests: u64,
+    asserts: u64,
+    coalesced_runs: u64,
+}
+
+impl<E: ScoringEngine + Sync> RankingService<E> {
+    /// A service over `engine`, `kb` and `rules` with the default
+    /// [`ServiceConfig`].
+    pub fn new(engine: E, kb: Kb, rules: RuleRepository) -> Self {
+        Self::with_config(engine, kb, rules, ServiceConfig::default())
+    }
+
+    /// A service with explicit sizing and policy knobs.
+    pub fn with_config(engine: E, kb: Kb, rules: RuleRepository, config: ServiceConfig) -> Self {
+        Self {
+            engine,
+            kb,
+            rules,
+            tenants: TenantSessions::new(config.shards, config.max_sessions),
+            pool: ScratchPool::with_policy(config.policy),
+            threads: config.threads.max(1),
+            rank_requests: 0,
+            asserts: 0,
+            coalesced_runs: 0,
+        }
+    }
+
+    /// The engine every request scores through.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// The knowledge base (read-only; mutations go through
+    /// [`RankingService::assert`] and [`RankingService::individual`] so
+    /// the service sees every epoch movement).
+    pub fn kb(&self) -> &Kb {
+        &self.kb
+    }
+
+    /// The rule repository (read-only; mutations go through
+    /// [`RankingService::add_rule`] / [`RankingService::remove_rule`]).
+    pub fn rules(&self) -> &RuleRepository {
+        &self.rules
+    }
+
+    /// Interns (or looks up) an individual — users and documents alike
+    /// must be registered before they appear in requests. Looking up an
+    /// existing name is a KB no-op and leaves every cache warm.
+    pub fn individual(&mut self, name: &str) -> IndividualId {
+        self.kb.individual(name)
+    }
+
+    /// Adds a preference rule. Affected bindings re-derive lazily on each
+    /// tenant's next request (the binding cache validates per rule).
+    pub fn add_rule(&mut self, rule: PreferenceRule) -> Result<()> {
+        self.rules.add(rule)
+    }
+
+    /// Removes the named preference rule.
+    pub fn remove_rule(&mut self, name: &str) -> Result<PreferenceRule> {
+        self.rules.remove(name)
+    }
+
+    /// Asserts a typed [`Fact`] — the context-switch path. Bumps the KB's
+    /// binding epoch, so every tenant's stale bindings (and only those)
+    /// re-derive on their next request. A rejected fact (e.g. an invalid
+    /// probability) mutates nothing and does not count toward
+    /// [`ServiceStats::asserts`].
+    pub fn assert(&mut self, subject: IndividualId, fact: Fact) -> Result<()> {
+        match fact {
+            Fact::Concept(concept) => {
+                self.kb.assert_concept(subject, &concept);
+            }
+            Fact::ConceptProb(concept, p) => {
+                self.kb.assert_concept_prob(subject, &concept, p)?;
+            }
+            Fact::Role(role, object) => {
+                self.kb.assert_role(subject, &role, object);
+            }
+            Fact::RoleProb(role, object, p) => {
+                self.kb.assert_role_prob(subject, &role, object, p)?;
+            }
+        }
+        self.asserts += 1;
+        Ok(())
+    }
+
+    /// Ranks `docs` for `user`, returning the top `k` (best first).
+    ///
+    /// `k >= docs.len()` ranks the full set through the tenant's score
+    /// cache — the steady-state warm path is a table lookup plus a sort.
+    /// `k < docs.len()` uses bound-based early termination
+    /// ([`crate::rank_top_k`]); the adaptively chosen exact scores are not
+    /// added to the score cache.
+    ///
+    /// Scores are bit-identical to a cold [`crate::bind_rules`] +
+    /// `score_all` + [`crate::rank`] for the same user, whatever mix of
+    /// caches serves the request.
+    pub fn rank(
+        &mut self,
+        user: IndividualId,
+        docs: &[IndividualId],
+        k: usize,
+    ) -> Result<Vec<DocScore>> {
+        let mut scratch = None;
+        let out = self.rank_with_scratch(user, docs, k, &mut scratch);
+        self.finish_scratch(scratch);
+        out
+    }
+
+    /// Ranks `docs` for a group of users — each member scored through
+    /// their own tenant session, combined with `strategy` (see
+    /// [`crate::score_group`]) — returning the top `k` of the combined
+    /// ranking. Group aggregation needs every member's full score list, so
+    /// `k` only truncates the final ranking.
+    pub fn rank_group(
+        &mut self,
+        users: &[IndividualId],
+        docs: &[IndividualId],
+        k: usize,
+        strategy: &GroupStrategy,
+    ) -> Result<Vec<DocScore>> {
+        let mut scratch = None;
+        let out = self.rank_group_with_scratch(users, docs, k, strategy, &mut scratch);
+        self.finish_scratch(scratch);
+        out
+    }
+
+    /// Executes a request batch in order, coalescing every run of
+    /// consecutive rank-shaped requests into one dispatch: with
+    /// sequential dispatch the run shares a single lazily checked-out
+    /// evaluation scratch and pays at most one snapshot republish, so
+    /// every request after the first starts from its predecessors' memos
+    /// for free; with [`ServiceConfig::threads`] > 1 uncached work fans
+    /// out through the shared pool exactly as direct requests do (sharing
+    /// then happens via the pool's republished snapshots). An
+    /// [`Request::Assert`] bumps the KB epoch and therefore acts as a
+    /// barrier between runs.
+    ///
+    /// Responses are returned in request order; a failed request yields
+    /// its error without aborting the rest of the batch.
+    pub fn submit(&mut self, batch: impl IntoIterator<Item = Request>) -> Vec<Result<Response>> {
+        let mut out = Vec::new();
+        let mut pending = Vec::new();
+        for request in batch {
+            match request {
+                Request::Assert { subject, fact } => {
+                    self.flush_run(&mut pending, &mut out);
+                    out.push(self.assert(subject, fact).map(|()| Response::Asserted));
+                }
+                ranking => pending.push(ranking),
+            }
+        }
+        self.flush_run(&mut pending, &mut out);
+        out
+    }
+
+    /// Dispatches one coalesced run of rank-shaped requests (see
+    /// [`RankingService::submit`]). The scratch is checked out lazily:
+    /// a run answered entirely from score caches never touches the pool.
+    fn flush_run(&mut self, pending: &mut Vec<Request>, out: &mut Vec<Result<Response>>) {
+        if pending.is_empty() {
+            return;
+        }
+        self.coalesced_runs += 1;
+        let mut scratch = None;
+        for request in pending.drain(..) {
+            let response = match request {
+                Request::Rank { user, docs, k } => self
+                    .rank_with_scratch(user, &docs, k, &mut scratch)
+                    .map(Response::Ranked),
+                Request::RankGroup {
+                    users,
+                    docs,
+                    k,
+                    strategy,
+                } => self
+                    .rank_group_with_scratch(&users, &docs, k, &strategy, &mut scratch)
+                    .map(Response::Ranked),
+                Request::Assert { .. } => unreachable!("asserts flush the run"),
+            };
+            out.push(response);
+        }
+        self.finish_scratch(scratch);
+    }
+
+    /// Returns a lazily checked-out scratch to the pool and republishes
+    /// its overlay; a `None` (the fully warm case — no evaluation ran)
+    /// costs nothing.
+    fn finish_scratch(&self, scratch: Option<EvalScratch>) {
+        if let Some(scratch) = scratch {
+            self.pool.give_back(scratch);
+            self.pool.republish();
+        }
+    }
+
+    /// The one request path behind [`RankingService::rank`] and the
+    /// batched dispatch, over a lazily checked-out scratch: a
+    /// steady-state warm request is answered from the score cache without
+    /// ever touching the pool — same cost as a hand-managed session.
+    /// Uncached work either uses the lazily checked-out scratch
+    /// (sequential) or, with [`ServiceConfig::threads`] > 1, fans out
+    /// through the shared pool directly — the same split for direct and
+    /// batched requests, so batching never silently loses parallelism.
+    /// The caller settles the scratch via
+    /// [`RankingService::finish_scratch`].
+    fn rank_with_scratch(
+        &mut self,
+        user: IndividualId,
+        docs: &[IndividualId],
+        k: usize,
+        scratch: &mut Option<EvalScratch>,
+    ) -> Result<Vec<DocScore>> {
+        self.rank_requests += 1;
+        let env = ScoringEnv {
+            kb: &self.kb,
+            rules: &self.rules,
+            user,
+        };
+        let tenant = self.tenants.session(user);
+        let bindings = tenant.bindings.bind(&env);
+        if k < docs.len() {
+            if self.threads > 1 {
+                rank_top_k_bound_parallel(
+                    &self.engine,
+                    &env,
+                    &bindings,
+                    docs,
+                    k,
+                    self.threads,
+                    &self.pool,
+                    true,
+                )
+            } else {
+                let scratch = scratch.get_or_insert_with(|| self.pool.checkout(&self.kb));
+                rank_top_k_bound(&env, &self.engine, &bindings, docs, k, scratch)
+            }
+        } else {
+            let scores = read_through_scores(
+                &self.engine,
+                user,
+                &mut tenant.scores,
+                docs,
+                &bindings,
+                |missing| {
+                    if self.threads > 1 {
+                        score_all_bound_parallel(
+                            &self.engine,
+                            &env,
+                            &bindings,
+                            missing,
+                            self.threads,
+                            &self.pool,
+                            true,
+                        )
+                    } else {
+                        let scratch = scratch.get_or_insert_with(|| self.pool.checkout(&self.kb));
+                        self.engine
+                            .score_all_bound(&env, &bindings, missing, scratch)
+                    }
+                },
+            )?;
+            Ok(rank(scores))
+        }
+    }
+
+    /// The group path behind [`RankingService::rank_group`] and the
+    /// batched dispatch (see [`RankingService::rank_with_scratch`] for
+    /// the scratch and parallel-dispatch contract).
+    fn rank_group_with_scratch(
+        &mut self,
+        users: &[IndividualId],
+        docs: &[IndividualId],
+        k: usize,
+        strategy: &GroupStrategy,
+        scratch: &mut Option<EvalScratch>,
+    ) -> Result<Vec<DocScore>> {
+        self.rank_requests += 1;
+        let per_user = users
+            .iter()
+            .map(|&user| {
+                let env = ScoringEnv {
+                    kb: &self.kb,
+                    rules: &self.rules,
+                    user,
+                };
+                let tenant = self.tenants.session(user);
+                let bindings = tenant.bindings.bind(&env);
+                read_through_scores(
+                    &self.engine,
+                    user,
+                    &mut tenant.scores,
+                    docs,
+                    &bindings,
+                    |missing| {
+                        if self.threads > 1 {
+                            score_all_bound_parallel(
+                                &self.engine,
+                                &env,
+                                &bindings,
+                                missing,
+                                self.threads,
+                                &self.pool,
+                                true,
+                            )
+                        } else {
+                            let scratch =
+                                scratch.get_or_insert_with(|| self.pool.checkout(&self.kb));
+                            self.engine
+                                .score_all_bound(&env, &bindings, missing, scratch)
+                        }
+                    },
+                )
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let mut ranked = rank(group_scores(&per_user, strategy)?);
+        ranked.truncate(k);
+        Ok(ranked)
+    }
+
+    /// Service-wide counters and footprints (see [`ServiceStats`]).
+    pub fn stats(&self) -> ServiceStats {
+        let mut sessions = self.tenants.total_stats();
+        sessions.footprint = self.pool.footprint();
+        ServiceStats {
+            sessions_live: self.tenants.live(),
+            sessions_evicted: self.tenants.evicted(),
+            rank_requests: self.rank_requests,
+            asserts: self.asserts,
+            coalesced_runs: self.coalesced_runs,
+            sessions,
+        }
+    }
+
+    /// One tenant's cache counters, if their session is currently live
+    /// (the footprint field is zero — evaluation memos are shared
+    /// service-wide and reported by [`RankingService::stats`]).
+    pub fn tenant_stats(&self, user: IndividualId) -> Option<SessionStats> {
+        self.tenants.stats_of(user)
+    }
+
+    /// Drops every tenant session and the shared snapshot tier, and
+    /// resets all [`ServiceStats`] counters — post-clear stats describe
+    /// the fresh service only, matching the clear semantics of the cache
+    /// layers below. Engine, KB, rules and configuration are kept, and
+    /// results are unaffected: subsequent requests recompute
+    /// bit-identical scores.
+    pub fn clear(&mut self) {
+        self.tenants.clear();
+        self.pool = ScratchPool::with_policy(self.pool.policy());
+        self.rank_requests = 0;
+        self.asserts = 0;
+        self.coalesced_runs = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{score_group, LineageEngine, PreferenceRule, Score, ScoringSession};
+
+    fn fixture(
+        n_users: usize,
+        n_docs: usize,
+    ) -> (Kb, RuleRepository, Vec<IndividualId>, Vec<IndividualId>) {
+        let mut kb = Kb::new();
+        let users: Vec<_> = (0..n_users)
+            .map(|i| {
+                let u = kb.individual(&format!("user{i}"));
+                kb.assert_concept_prob(u, "Ctx0", 0.2 + 0.5 * (i as f64 / n_users as f64))
+                    .unwrap();
+                if i % 2 == 0 {
+                    kb.assert_concept(u, "Ctx1");
+                }
+                u
+            })
+            .collect();
+        let docs: Vec<_> = (0..n_docs)
+            .map(|i| {
+                let d = kb.individual(&format!("doc{i}"));
+                kb.assert_concept_prob(d, "Feat0", 0.1 + 0.8 * (i as f64 / n_docs as f64))
+                    .unwrap();
+                kb.assert_concept_prob(d, "Feat1", 0.9 - 0.7 * (i as f64 / n_docs as f64))
+                    .unwrap();
+                d
+            })
+            .collect();
+        let mut rules = RuleRepository::new();
+        rules
+            .add(PreferenceRule::new(
+                "R0",
+                kb.parse("Ctx0").unwrap(),
+                kb.parse("Feat0").unwrap(),
+                Score::new(0.8).unwrap(),
+            ))
+            .unwrap();
+        rules
+            .add(PreferenceRule::new(
+                "R1",
+                kb.parse("Ctx1").unwrap(),
+                kb.parse("Feat0 AND Feat1").unwrap(),
+                Score::new(0.4).unwrap(),
+            ))
+            .unwrap();
+        (kb, rules, users, docs)
+    }
+
+    /// The cold reference a service `rank` must reproduce bit-for-bit.
+    fn cold_rank(
+        kb: &Kb,
+        rules: &RuleRepository,
+        user: IndividualId,
+        docs: &[IndividualId],
+        k: usize,
+    ) -> Vec<DocScore> {
+        let env = ScoringEnv { kb, rules, user };
+        let mut full = rank(LineageEngine::new().score_all(&env, docs).unwrap());
+        full.truncate(k);
+        full
+    }
+
+    #[test]
+    fn warm_rank_is_bit_identical_and_cached() {
+        let (kb, rules, users, docs) = fixture(3, 12);
+        let mut service = RankingService::new(LineageEngine::new(), kb, rules.clone());
+        for &user in &users {
+            let want = cold_rank(service.kb(), &rules, user, &docs, docs.len());
+            let cold = service.rank(user, &docs, docs.len()).unwrap();
+            let warm = service.rank(user, &docs, docs.len()).unwrap();
+            for ((a, b), c) in want.iter().zip(&cold).zip(&warm) {
+                assert_eq!(a.doc, b.doc);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+                assert_eq!(b.doc, c.doc);
+                assert_eq!(b.score.to_bits(), c.score.to_bits());
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.sessions_live, users.len());
+        assert_eq!(stats.rank_requests, 2 * users.len() as u64);
+        assert!(
+            stats.sessions.scores.hits >= (users.len() * docs.len()) as u64,
+            "second round is served from the score caches: {:?}",
+            stats.sessions
+        );
+        assert!(stats.sessions.bindings.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn top_k_is_exact_prefix() {
+        // The lineage engine: exact under the fixture's correlated rules
+        // (both share each document's Feat0 variable, which the strict
+        // factorized engine rejects by design).
+        let (kb, rules, users, docs) = fixture(2, 16);
+        let mut service = RankingService::new(LineageEngine::new(), kb, rules.clone());
+        for k in [1, 5, 16, 99] {
+            let engine = LineageEngine::new();
+            let env = ScoringEnv {
+                kb: service.kb(),
+                rules: &rules,
+                user: users[0],
+            };
+            let mut want = rank(engine.score_all(&env, &docs).unwrap());
+            want.truncate(k);
+            let got = service.rank(users[0], &docs, k).unwrap();
+            assert_eq!(got.len(), k.min(docs.len()));
+            for (a, b) in want.iter().zip(&got) {
+                assert_eq!(a.doc, b.doc, "k={k}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn rank_group_matches_score_group() {
+        let (kb, rules, users, docs) = fixture(4, 10);
+        let strategy = GroupStrategy::LeastMisery;
+        let mut session = ScoringSession::new();
+        let want = rank(
+            score_group(
+                &mut session,
+                &LineageEngine::new(),
+                &kb,
+                &rules,
+                &users,
+                &docs,
+                &strategy,
+            )
+            .unwrap(),
+        );
+        let mut service = RankingService::new(LineageEngine::new(), kb, rules);
+        let got = service
+            .rank_group(&users, &docs, docs.len(), &strategy)
+            .unwrap();
+        assert_eq!(got.len(), want.len());
+        for (a, b) in want.iter().zip(&got) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        // Truncation only shortens the list.
+        let top3 = service.rank_group(&users, &docs, 3, &strategy).unwrap();
+        assert_eq!(&got[..3], &top3[..]);
+    }
+
+    #[test]
+    fn batch_coalesces_runs_and_preserves_order() {
+        let (kb, rules, users, docs) = fixture(3, 8);
+        let mut service = RankingService::new(LineageEngine::new(), kb, rules);
+        let batch = vec![
+            Request::Rank {
+                user: users[0],
+                docs: docs.clone(),
+                k: docs.len(),
+            },
+            Request::Rank {
+                user: users[1],
+                docs: docs.clone(),
+                k: 4,
+            },
+            Request::Assert {
+                subject: users[0],
+                fact: Fact::ConceptProb("Ctx0".into(), 0.9),
+            },
+            Request::Rank {
+                user: users[0],
+                docs: docs.clone(),
+                k: docs.len(),
+            },
+            Request::RankGroup {
+                users: users.clone(),
+                docs: docs.clone(),
+                k: 3,
+                strategy: GroupStrategy::Product,
+            },
+        ];
+        let responses = service.submit(batch);
+        assert_eq!(responses.len(), 5);
+        assert!(matches!(responses[2], Ok(Response::Asserted)));
+        let stats = service.stats();
+        assert_eq!(
+            stats.coalesced_runs, 2,
+            "two rank runs separated by the assert barrier"
+        );
+        assert_eq!(stats.rank_requests, 4);
+        assert_eq!(stats.asserts, 1);
+        // Each ranked response equals the cold reference *at its point in
+        // the batch*: the last one sees the asserted context switch.
+        let want = cold_rank(service.kb(), service.rules(), users[0], &docs, docs.len());
+        let got = responses[3].as_ref().unwrap().ranked().unwrap();
+        for (a, b) in want.iter().zip(got) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        // The batched group request (after the barrier) matches the direct
+        // group call on an identically-prepared service.
+        let want_group = service
+            .rank_group(&users, &docs, 3, &GroupStrategy::Product)
+            .unwrap();
+        let got_group = responses[4].as_ref().unwrap().ranked().unwrap();
+        assert_eq!(got_group.len(), 3);
+        for (a, b) in want_group.iter().zip(got_group) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_errors_do_not_abort_the_rest() {
+        let (kb, rules, users, docs) = fixture(2, 6);
+        let mut service = RankingService::new(LineageEngine::new(), kb, rules);
+        let batch = vec![
+            Request::Assert {
+                subject: users[0],
+                fact: Fact::ConceptProb("Ctx0".into(), 1.5), // invalid probability
+            },
+            Request::Rank {
+                user: users[0],
+                docs: docs.clone(),
+                k: docs.len(),
+            },
+        ];
+        let responses = service.submit(batch);
+        assert!(responses[0].is_err(), "invalid probability is rejected");
+        assert!(responses[1].is_ok(), "the batch continues past the error");
+        assert_eq!(
+            service.stats().asserts,
+            0,
+            "a rejected fact mutates nothing and is not counted as asserted"
+        );
+    }
+
+    #[test]
+    fn lru_eviction_is_invisible_in_results() {
+        let (kb, rules, users, docs) = fixture(4, 8);
+        let mut service = RankingService::with_config(
+            LineageEngine::new(),
+            kb,
+            rules.clone(),
+            ServiceConfig {
+                max_sessions: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        // Cycle users so every request past the first two evicts someone.
+        for round in 0..3 {
+            for &user in &users {
+                let want = cold_rank(service.kb(), &rules, user, &docs, docs.len());
+                let got = service.rank(user, &docs, docs.len()).unwrap();
+                for (a, b) in want.iter().zip(&got) {
+                    assert_eq!(a.doc, b.doc, "round {round}");
+                    assert_eq!(a.score.to_bits(), b.score.to_bits());
+                }
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.sessions_live, 2, "cap holds");
+        assert!(stats.sessions_evicted >= 4, "cycling 4 users over cap 2");
+    }
+
+    #[test]
+    fn parallel_dispatch_matches_sequential() {
+        let (kb, rules, users, docs) = fixture(2, 24);
+        let mut seq = RankingService::new(LineageEngine::new(), kb.clone(), rules.clone());
+        let mut par = RankingService::with_config(
+            LineageEngine::new(),
+            kb,
+            rules,
+            ServiceConfig {
+                threads: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        for &user in &users {
+            for k in [4, docs.len()] {
+                let a = seq.rank(user, &docs, k).unwrap();
+                let b = par.rank(user, &docs, k).unwrap();
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.doc, y.doc);
+                    assert_eq!(x.score.to_bits(), y.score.to_bits());
+                }
+            }
+        }
+        // Batched dispatch honours the thread count too: a batch through
+        // the parallel service matches the sequential one bit for bit.
+        let batch = |docs: &[IndividualId]| {
+            vec![
+                Request::Assert {
+                    subject: users[0],
+                    fact: Fact::ConceptProb("Ctx0".into(), 0.85),
+                },
+                Request::Rank {
+                    user: users[0],
+                    docs: docs.to_vec(),
+                    k: 6,
+                },
+                Request::RankGroup {
+                    users: users.to_vec(),
+                    docs: docs.to_vec(),
+                    k: docs.len(),
+                    strategy: GroupStrategy::Product,
+                },
+            ]
+        };
+        let a = seq.submit(batch(&docs));
+        let b = par.submit(batch(&docs));
+        for (x, y) in a.iter().zip(&b) {
+            match (x.as_ref().unwrap(), y.as_ref().unwrap()) {
+                (Response::Asserted, Response::Asserted) => {}
+                (Response::Ranked(xs), Response::Ranked(ys)) => {
+                    assert_eq!(xs.len(), ys.len());
+                    for (s, t) in xs.iter().zip(ys) {
+                        assert_eq!(s.doc, t.doc);
+                        assert_eq!(s.score.to_bits(), t.score.to_bits());
+                    }
+                }
+                other => panic!("response shape mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn clear_drops_state_but_keeps_serving() {
+        let (kb, rules, users, docs) = fixture(2, 8);
+        let mut service = RankingService::new(LineageEngine::new(), kb, rules.clone());
+        let before = service.rank(users[0], &docs, docs.len()).unwrap();
+        assert!(service.stats().sessions.footprint.entries > 0);
+        service.clear();
+        let stats = service.stats();
+        assert_eq!(stats.sessions_live, 0);
+        assert_eq!(stats.sessions.footprint.entries, 0);
+        assert_eq!(
+            (stats.rank_requests, stats.asserts, stats.coalesced_runs),
+            (0, 0, 0),
+            "clear resets the request counters with the caches, so one \
+             stats snapshot never mixes pre- and post-clear epochs"
+        );
+        let after = service.rank(users[0], &docs, docs.len()).unwrap();
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn rule_updates_apply_to_subsequent_requests() {
+        let (kb, rules, users, docs) = fixture(1, 6);
+        let mut service = RankingService::new(LineageEngine::new(), kb, rules);
+        let before = service.rank(users[0], &docs, docs.len()).unwrap();
+        let removed = service.remove_rule("R0").unwrap();
+        let after = service.rank(users[0], &docs, docs.len()).unwrap();
+        assert_ne!(
+            before.iter().map(|s| s.score.to_bits()).collect::<Vec<_>>(),
+            after.iter().map(|s| s.score.to_bits()).collect::<Vec<_>>(),
+            "dropping an applicable rule changes scores"
+        );
+        service.add_rule(removed).unwrap();
+        let restored = service.rank(users[0], &docs, docs.len()).unwrap();
+        for (a, b) in before.iter().zip(&restored) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Sharded, LRU-capped storage of per-tenant session state.
+//!
+//! Each tenant owns the two *user-specific* cache layers of a
+//! [`crate::ScoringSession`] — the rule-binding cache and the per-document
+//! score cache. The third layer (evaluation memos) carries no per-user
+//! data and lives in the service's shared
+//! [`crate::parallel::ScratchPool`] instead, so it is *not* duplicated per
+//! tenant and survives tenant eviction.
+//!
+//! Tenants are routed to shards by hashing their [`IndividualId`]. With a
+//! single mutable owner the shards buy nothing *today*; they exist so the
+//! storage layout already matches the partitioning a future concurrent
+//! front-end needs (one lock — or one actor — per shard), and so shard
+//! routing is exercised and tested from day one.
+//!
+//! **LRU cap.** The map holds at most `capacity` live tenants across all
+//! shards; touching a tenant refreshes its recency, and inserting past the
+//! cap evicts the globally least-recently-used tenant. Eviction drops only
+//! caches whose contents are pure functions of the current KB + rules, so
+//! a returning tenant is re-derived bit-identically — the cap trades a
+//! cold re-bind for bounded memory, exactly like the snapshot-tier
+//! [`capra_events::EvictionPolicy`] one layer down.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use capra_dl::IndividualId;
+
+use crate::session::{BindingCache, ScoreCache, SessionStats};
+
+/// One tenant's session state: the user-specific cache layers plus the
+/// recency stamp the LRU cap works from.
+pub(crate) struct Tenant {
+    /// Cached rule bindings (layer 1 of the session stack).
+    pub bindings: BindingCache,
+    /// Cached per-document scores (layer 3).
+    pub scores: ScoreCache,
+    /// Logical timestamp of the last access (global clock tick).
+    last_used: u64,
+}
+
+impl Tenant {
+    fn new(now: u64) -> Self {
+        Self {
+            bindings: BindingCache::new(),
+            scores: ScoreCache::default(),
+            last_used: now,
+        }
+    }
+
+    /// This tenant's cache counters as a [`SessionStats`]. The footprint
+    /// is zero by construction: tenants hold no evaluation memos of their
+    /// own — those live in the service's shared pool and are reported
+    /// once, service-wide.
+    fn stats(&self) -> SessionStats {
+        SessionStats {
+            bindings: self.bindings.stats(),
+            scores: self.scores.stats(),
+            ..SessionStats::default()
+        }
+    }
+}
+
+/// The sharded tenant map (see module docs).
+pub(crate) struct TenantSessions {
+    shards: Vec<HashMap<IndividualId, Tenant>>,
+    /// Maximum live tenants across all shards (≥ 1).
+    capacity: usize,
+    /// Monotonic access clock driving LRU recency.
+    clock: u64,
+    /// Tenants evicted by the LRU cap so far.
+    evicted: u64,
+    /// Counters carried by evicted tenants, folded in so the service-level
+    /// totals stay monotone across evictions.
+    retired: SessionStats,
+}
+
+impl TenantSessions {
+    /// An empty map with `shards` shards and a total live-session cap of
+    /// `capacity` (both clamped to ≥ 1).
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| HashMap::new()).collect(),
+            capacity: capacity.max(1),
+            clock: 0,
+            evicted: 0,
+            retired: SessionStats::default(),
+        }
+    }
+
+    /// The shard a tenant routes to. `DefaultHasher` is keyed with fixed
+    /// constants, so routing is stable across runs and processes.
+    fn shard_of(&self, user: IndividualId) -> usize {
+        let mut hasher = std::hash::DefaultHasher::new();
+        user.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Live tenant sessions across all shards.
+    pub fn live(&self) -> usize {
+        self.shards.iter().map(HashMap::len).sum()
+    }
+
+    /// Tenants evicted by the LRU cap so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The tenant's session state, created on first sight, with its
+    /// recency refreshed. Inserting past the cap first evicts the
+    /// least-recently-used tenant (never the one being requested).
+    pub fn session(&mut self, user: IndividualId) -> &mut Tenant {
+        self.clock += 1;
+        let now = self.clock;
+        let shard = self.shard_of(user);
+        if !self.shards[shard].contains_key(&user) && self.live() >= self.capacity {
+            self.evict_lru();
+        }
+        let tenant = self.shards[shard]
+            .entry(user)
+            .or_insert_with(|| Tenant::new(now));
+        tenant.last_used = now;
+        tenant
+    }
+
+    /// The tenant's cache counters, if it is currently live.
+    pub fn stats_of(&self, user: IndividualId) -> Option<SessionStats> {
+        let tenant = self.shards[self.shard_of(user)].get(&user)?;
+        Some(tenant.stats())
+    }
+
+    /// Total cache counters: every live tenant's [`SessionStats`] summed
+    /// component-wise, plus the counters retired with evicted tenants.
+    pub fn total_stats(&self) -> SessionStats {
+        self.tenants().map(Tenant::stats).sum::<SessionStats>() + self.retired
+    }
+
+    /// Drops every tenant and resets all counters (the cap and shard count
+    /// are kept).
+    pub fn clear(&mut self) {
+        *self = Self::new(self.shards.len(), self.capacity);
+    }
+
+    fn tenants(&self) -> impl Iterator<Item = &Tenant> {
+        self.shards.iter().flat_map(HashMap::values)
+    }
+
+    /// Removes the least-recently-used tenant across all shards, folding
+    /// its counters into the retired totals. The scan is O(live tenants) —
+    /// fine for in-process caps; a deployment that needs millions of live
+    /// sessions shards the *service*, not this map.
+    fn evict_lru(&mut self) {
+        let victim = self
+            .shards
+            .iter()
+            .enumerate()
+            .flat_map(|(s, shard)| shard.iter().map(move |(&user, t)| (t.last_used, s, user)))
+            .min_by_key(|&(last_used, _, _)| last_used);
+        if let Some((_, shard, user)) = victim {
+            let tenant = self.shards[shard].remove(&user).expect("victim is live");
+            self.retired = self.retired + tenant.stats();
+            self.evicted += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kb;
+
+    fn users(n: usize) -> (Kb, Vec<IndividualId>) {
+        let mut kb = Kb::new();
+        let users = (0..n).map(|i| kb.individual(&format!("u{i}"))).collect();
+        (kb, users)
+    }
+
+    #[test]
+    fn lru_cap_evicts_least_recently_used() {
+        let (_kb, u) = users(3);
+        let mut map = TenantSessions::new(4, 2);
+        map.session(u[0]);
+        map.session(u[1]);
+        assert_eq!((map.live(), map.evicted()), (2, 0));
+        // Touch u0 so u1 becomes the LRU victim when u2 arrives.
+        map.session(u[0]);
+        map.session(u[2]);
+        assert_eq!((map.live(), map.evicted()), (2, 1));
+        assert!(map.stats_of(u[0]).is_some(), "recently used tenant kept");
+        assert!(map.stats_of(u[1]).is_none(), "LRU tenant evicted");
+        assert!(map.stats_of(u[2]).is_some(), "new tenant live");
+    }
+
+    #[test]
+    fn re_requesting_an_evicted_tenant_recreates_it() {
+        let (_kb, u) = users(2);
+        let mut map = TenantSessions::new(1, 1);
+        map.session(u[0]);
+        map.session(u[1]);
+        map.session(u[0]);
+        assert_eq!(map.live(), 1);
+        assert_eq!(map.evicted(), 2, "each switch evicts the other tenant");
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic_and_total() {
+        let (_kb, u) = users(64);
+        let mut map = TenantSessions::new(8, 64);
+        for &user in &u {
+            map.session(user);
+        }
+        assert_eq!(map.live(), 64, "every tenant lands in exactly one shard");
+        let spread = map.shards.iter().filter(|s| !s.is_empty()).count();
+        assert!(spread > 1, "64 tenants must not all hash to one shard");
+    }
+
+    #[test]
+    fn eviction_retires_counters_monotonically() {
+        use crate::{PreferenceRule, RuleRepository, Score};
+
+        let mut kb = Kb::new();
+        let u0 = kb.individual("u0");
+        let u1 = kb.individual("u1");
+        let mut rules = RuleRepository::new();
+        rules
+            .add(PreferenceRule::new(
+                "R",
+                kb.parse("Ctx").unwrap(),
+                kb.parse("Nice").unwrap(),
+                Score::new(0.5).unwrap(),
+            ))
+            .unwrap();
+        let mut map = TenantSessions::new(2, 1);
+        let env = crate::ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user: u0,
+        };
+        map.session(u0).bindings.bind(&env);
+        let before = map.total_stats();
+        assert!(before.bindings.misses > 0, "the bind registered a counter");
+        map.session(u1); // evicts u0, retiring its counters
+        assert_eq!(map.total_stats(), before, "totals survive eviction");
+    }
+}

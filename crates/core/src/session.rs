@@ -62,18 +62,66 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (`NaN`-free: zero
+    /// traffic reports a hit rate of zero).
+    ///
+    /// ```
+    /// use capra_core::CacheStats;
+    ///
+    /// let warm = CacheStats { hits: 3, misses: 1 };
+    /// assert_eq!(warm.hit_rate(), 0.75);
+    /// assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    /// assert_eq!((warm + warm).hits, 6); // counters aggregate with + / sum
+    /// ```
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::ops::Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
+
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, other: CacheStats) {
+        *self = *self + other;
+    }
+}
+
+impl std::iter::Sum for CacheStats {
+    /// Counter-wise total — aggregation across cache layers or tenants.
+    fn sum<I: Iterator<Item = CacheStats>>(iter: I) -> CacheStats {
+        iter.fold(CacheStats::default(), |acc, s| acc + s)
+    }
+}
+
 /// Counters describing the work a session performed (or avoided), plus the
 /// memory footprint of its evaluation-cache layers.
+///
+/// Aggregates component-wise: `a + b` (and [`std::iter::Sum`]) totals the
+/// counters and footprints, which is how [`crate::serve::RankingService`]
+/// rolls per-tenant stats into its service-wide view.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SessionStats {
-    /// Rule bindings served from the cache.
-    pub binding_hits: u64,
-    /// Rule bindings (re-)derived by the reasoner.
-    pub binding_misses: u64,
-    /// Document scores served from the score cache.
-    pub score_hits: u64,
-    /// Document scores computed by an engine.
-    pub score_misses: u64,
+    /// Rule-binding cache traffic: hits skipped the reasoner entirely,
+    /// misses (re-)derived a binding.
+    pub bindings: CacheStats,
+    /// Score cache traffic: hits served a document score from the table,
+    /// misses computed one through an engine.
+    pub scores: CacheStats,
     /// Footprint of the session's evaluation memos: occupied snapshot
     /// tiers, memo entries (snapshot chains plus private overlays), and an
     /// estimate of the hash-consed expression nodes those entries pin in
@@ -81,6 +129,26 @@ pub struct SessionStats {
     /// [`EvictionPolicy`] even when every call mutates the KB; see
     /// [`capra_events::CacheFootprint`] for the field semantics.
     pub footprint: CacheFootprint,
+}
+
+impl std::ops::Add for SessionStats {
+    type Output = SessionStats;
+
+    fn add(self, other: SessionStats) -> SessionStats {
+        SessionStats {
+            bindings: self.bindings + other.bindings,
+            scores: self.scores + other.scores,
+            footprint: self.footprint + other.footprint,
+        }
+    }
+}
+
+impl std::iter::Sum for SessionStats {
+    /// Component-wise total over any number of sessions (see the struct
+    /// docs).
+    fn sum<I: Iterator<Item = SessionStats>>(iter: I) -> SessionStats {
+        iter.fold(SessionStats::default(), |acc, s| acc + s)
+    }
 }
 
 /// One cached rule binding plus everything needed to decide its staleness.
@@ -289,6 +357,33 @@ impl ScoreCache {
     }
 }
 
+/// The read-through protocol over a [`ScoreCache`], shared by
+/// [`ScoringSession`], [`crate::parallel::ParallelScoringSession`] and
+/// [`crate::serve::RankingService`]: ensure the entry under
+/// `(user, engine)` reflects `bindings`, compute whatever documents are
+/// missing with `compute` (sequentially, fanned out, lazily — the caller's
+/// choice), and read the full list back in input order. Keeping the
+/// missing → compute → record → collect ordering in one place keeps the
+/// cache's "record must follow missing" invariant in one place too.
+pub(crate) fn read_through_scores<E>(
+    engine: &E,
+    user: IndividualId,
+    cache: &mut ScoreCache,
+    docs: &[IndividualId],
+    bindings: &[Arc<RuleBinding>],
+    compute: impl FnOnce(&[IndividualId]) -> Result<Vec<DocScore>>,
+) -> Result<Vec<DocScore>>
+where
+    E: ScoringEngine + ?Sized,
+{
+    let key = (user, engine.name(), engine.config_tag());
+    let missing = cache.missing(key, bindings, docs);
+    if !missing.is_empty() {
+        cache.record(&key, compute(&missing)?);
+    }
+    Ok(cache.collect(&key, docs))
+}
+
 /// A prepared scoring session: binding cache + persistent evaluation memos
 /// + score cache (see the module docs for the layering).
 ///
@@ -316,7 +411,7 @@ impl ScoreCache {
 /// let cold = session.score_all(&engine, &env, &[doc]).unwrap();
 /// let warm = session.score_all(&engine, &env, &[doc]).unwrap(); // no rebind
 /// assert_eq!(cold[0].score.to_bits(), warm[0].score.to_bits());
-/// assert!(session.stats().score_hits > 0);
+/// assert!(session.stats().scores.hits > 0);
 /// ```
 #[derive(Default)]
 pub struct ScoringSession {
@@ -350,13 +445,9 @@ impl ScoringSession {
     /// Work counters accumulated so far, plus the current evaluation-memo
     /// footprint (see [`SessionStats::footprint`]).
     pub fn stats(&self) -> SessionStats {
-        let bindings = self.bindings.stats();
-        let scores = self.scores.stats();
         SessionStats {
-            binding_hits: bindings.hits,
-            binding_misses: bindings.misses,
-            score_hits: scores.hits,
-            score_misses: scores.misses,
+            bindings: self.bindings.stats(),
+            scores: self.scores.stats(),
             footprint: self.scratch.footprint(),
         }
     }
@@ -398,13 +489,14 @@ impl ScoringSession {
         let bindings = self.bindings.bind(env);
         self.scratch.ensure_kb(env.kb);
         self.scratch.advance_epoch(env.kb.binding_epoch());
-        let key = (env.user, engine.name(), engine.config_tag());
-        let missing = self.scores.missing(key, &bindings, docs);
-        if !missing.is_empty() {
-            let computed = engine.score_all_bound(env, &bindings, &missing, &mut self.scratch)?;
-            self.scores.record(&key, computed);
-        }
-        Ok(self.scores.collect(&key, docs))
+        read_through_scores(
+            engine,
+            env.user,
+            &mut self.scores,
+            docs,
+            &bindings,
+            |missing| engine.score_all_bound(env, &bindings, missing, &mut self.scratch),
+        )
     }
 
     /// [`ScoringSession::score_all`] followed by the descending sort of
@@ -498,12 +590,12 @@ mod tests {
         let engine = FactorizedEngine::new();
         let mut session = ScoringSession::new();
         let cold = session.score_all(&engine, &env, &docs).unwrap();
-        assert_eq!(session.stats().binding_misses, 2);
-        assert_eq!(session.stats().score_misses, docs.len() as u64);
+        assert_eq!(session.stats().bindings.misses, 2);
+        assert_eq!(session.stats().scores.misses, docs.len() as u64);
         let warm = session.score_all(&engine, &env, &docs).unwrap();
         let stats = session.stats();
-        assert_eq!(stats.binding_hits, 2, "no rebinding on a warm call");
-        assert_eq!(stats.score_hits, docs.len() as u64);
+        assert_eq!(stats.bindings.hits, 2, "no rebinding on a warm call");
+        assert_eq!(stats.scores.hits, docs.len() as u64);
         for (a, b) in cold.iter().zip(&warm) {
             assert_eq!(a.doc, b.doc);
             assert_eq!(a.score.to_bits(), b.score.to_bits());
@@ -537,15 +629,15 @@ mod tests {
             user,
         };
         let fresh = session.score_all(&engine, &env, &docs).unwrap();
-        assert_eq!(session.stats().binding_misses, 4, "2 cold + 2 invalidated");
+        assert_eq!(session.stats().bindings.misses, 4, "2 cold + 2 invalidated");
         let reference = engine.score_all(&env, &docs).unwrap();
         for (a, b) in reference.iter().zip(&fresh) {
             assert_eq!(a.score.to_bits(), b.score.to_bits());
         }
-        let hits_before = session.stats().score_hits;
+        let hits_before = session.stats().scores.hits;
         session.score_all(&engine, &env, &docs).unwrap();
         assert_eq!(
-            session.stats().score_hits,
+            session.stats().scores.hits,
             hits_before + docs.len() as u64,
             "call after the mutation is warm again"
         );
@@ -574,8 +666,8 @@ mod tests {
         };
         session.score_all(&engine, &env, &docs).unwrap();
         let stats = session.stats();
-        assert_eq!(stats.binding_misses, 2, "no rebinding after a lookup");
-        assert_eq!(stats.score_hits, docs.len() as u64, "scores stay cached");
+        assert_eq!(stats.bindings.misses, 2, "no rebinding after a lookup");
+        assert_eq!(stats.scores.hits, docs.len() as u64, "scores stay cached");
     }
 
     #[test]
@@ -634,8 +726,8 @@ mod tests {
         };
         let fresh = session.score_all(&engine, &env, &docs).unwrap();
         let stats = session.stats();
-        assert_eq!(stats.binding_misses, 3, "2 cold + only the changed rule");
-        assert_eq!(stats.binding_hits, 1, "unchanged rule served from cache");
+        assert_eq!(stats.bindings.misses, 3, "2 cold + only the changed rule");
+        assert_eq!(stats.bindings.hits, 1, "unchanged rule served from cache");
         let reference = engine.score_all(&env, &docs).unwrap();
         for (a, b) in reference.iter().zip(&fresh) {
             assert_eq!(a.score.to_bits(), b.score.to_bits());
@@ -662,8 +754,8 @@ mod tests {
             }
         }
         // Alternating users must not thrash: second round is all hits.
-        assert_eq!(session.stats().score_misses, 2 * docs.len() as u64);
-        assert_eq!(session.stats().score_hits, 2 * docs.len() as u64);
+        assert_eq!(session.stats().scores.misses, 2 * docs.len() as u64);
+        assert_eq!(session.stats().scores.hits, 2 * docs.len() as u64);
     }
 
     #[test]
@@ -708,17 +800,17 @@ mod tests {
         let mut session = ScoringSession::new();
         session.score_all(&engine, &env, &docs).unwrap();
         session.score_all(&engine, &env, &docs).unwrap();
-        assert!(session.stats().score_hits > 0);
+        assert!(session.stats().scores.hits > 0);
         // `invalidate_scores` clears the score layer: its counters restart
         // so post-clear hit ratios are not diluted by pre-clear traffic.
         session.invalidate_scores();
         let stats = session.stats();
-        assert_eq!((stats.score_hits, stats.score_misses), (0, 0));
-        assert!(stats.binding_hits > 0, "binding counters are untouched");
+        assert_eq!((stats.scores.hits, stats.scores.misses), (0, 0));
+        assert!(stats.bindings.hits > 0, "binding counters are untouched");
         session.score_all(&engine, &env, &docs).unwrap();
         let stats = session.stats();
-        assert_eq!(stats.score_hits, 0, "first post-clear call is all misses");
-        assert_eq!(stats.score_misses, docs.len() as u64);
+        assert_eq!(stats.scores.hits, 0, "first post-clear call is all misses");
+        assert_eq!(stats.scores.misses, docs.len() as u64);
     }
 
     #[test]
@@ -757,8 +849,8 @@ mod tests {
         session.score_all(&engine, &env, &docs[..3]).unwrap();
         let all = session.score_all(&engine, &env, &docs).unwrap();
         let stats = session.stats();
-        assert_eq!(stats.score_hits, 3, "first three docs are cached");
-        assert_eq!(stats.score_misses, docs.len() as u64, "3 cold + 3 new");
+        assert_eq!(stats.scores.hits, 3, "first three docs are cached");
+        assert_eq!(stats.scores.misses, docs.len() as u64, "3 cold + 3 new");
         let reference = engine.score_all(&env, &docs).unwrap();
         for (a, b) in reference.iter().zip(&all) {
             assert_eq!(a.score.to_bits(), b.score.to_bits());

@@ -6,9 +6,9 @@
 //! each holding one batch of memo entries published together. Publishing
 //! normally just pushes a new tier sharing the rest of the chain via `Arc`
 //! — O(new entries), no copy of the accumulated state. When the chain
-//! reaches [`MAX_CHAIN`] tiers, the *young* tiers are compacted into one
+//! reaches `MAX_CHAIN` tiers, the *young* tiers are compacted into one
 //! over the shared root, and only when the young state rivals the root's
-//! size is everything folded into a new root (see [`ChainAction`]): the
+//! size is everything folded into a new root: the
 //! big tier is recopied once per size doubling, so total copying stays
 //! linear in the snapshot's final size while lookups stay at a handful of
 //! O(1) probes.
@@ -86,6 +86,15 @@ pub(crate) fn chain_action(
 /// tier's age stays zero and *no* policy evicts anything there — warm hit
 /// rates on stable-KB workloads are bit-identical to the pre-eviction
 /// behaviour regardless of the policy chosen.
+///
+/// ```
+/// use capra_events::EvictionPolicy;
+///
+/// assert_eq!(
+///     EvictionPolicy::default(),
+///     EvictionPolicy::MaxAge(EvictionPolicy::DEFAULT_MAX_AGE),
+/// );
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EvictionPolicy {
     /// Keep every tier for the life of the chain (the pre-eviction
@@ -123,7 +132,19 @@ impl Default for EvictionPolicy {
 
 /// Aggregate size of a memo cache: its snapshot chains plus any private
 /// overlay, as reported by the `footprint()` methods across the stack
-/// (frozen caches, `EvalScratch`, `ScratchPool`, sessions).
+/// (frozen caches, `EvalScratch`, `ScratchPool`, sessions, services).
+///
+/// Footprints aggregate component-wise with `+` or [`std::iter::Sum`]:
+///
+/// ```
+/// use capra_events::CacheFootprint;
+///
+/// let a = CacheFootprint { tiers: 1, entries: 10, pinned_nodes: 2 };
+/// let b = CacheFootprint { tiers: 2, entries: 5, pinned_nodes: 1 };
+/// let total: CacheFootprint = [a, b].into_iter().sum();
+/// assert_eq!(total, a + b);
+/// assert_eq!(total.entries, 15);
+/// ```
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheFootprint {
     /// Frozen snapshot tiers currently holding at least one entry.
@@ -151,12 +172,26 @@ impl std::ops::Add for CacheFootprint {
     }
 }
 
+impl std::ops::AddAssign for CacheFootprint {
+    fn add_assign(&mut self, other: CacheFootprint) {
+        *self = *self + other;
+    }
+}
+
+impl std::iter::Sum for CacheFootprint {
+    /// Component-wise total over any number of footprints — what a serving
+    /// layer uses to aggregate per-cache reports into one fleet-wide gauge.
+    fn sum<I: Iterator<Item = CacheFootprint>>(iter: I) -> CacheFootprint {
+        iter.fold(CacheFootprint::default(), |acc, f| acc + f)
+    }
+}
+
 /// One tier's worth of entries: the payload a [`TierChain`] stacks,
 /// compacts and folds. Implementations are plain bundles of memo maps —
 /// all merge semantics live here, so the chain mechanics stay generic.
 pub trait TierPayload: Default + Clone {
     /// Number of entries that count toward the chain-shape policy (the
-    /// count [`chain_action`] weighs young state against the root by).
+    /// count the chain-shape policy weighs young state against the root by).
     fn len(&self) -> usize;
 
     /// True if the payload holds nothing at all. May be stricter than

@@ -181,6 +181,21 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Shim extension (not part of the real criterion API): benchmarks
+    /// `f` under `id` exactly like
+    /// [`BenchmarkGroup::bench_function`], and additionally returns the
+    /// measured median ns/iter — so a bench can derive secondary metrics
+    /// (e.g. a ratio of two medians emitted as a gauge) from the same
+    /// measurement the JSON snapshot records.
+    pub fn bench_function_measured<I: IntoBenchmarkId>(
+        &mut self,
+        id: I,
+        f: impl FnMut(&mut Bencher),
+    ) -> f64 {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_bench(&name, self.throughput, f)
+    }
+
     /// Benchmarks `f` with a borrowed input under `id`.
     pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized>(
         &mut self,

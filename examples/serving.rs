@@ -1,0 +1,145 @@
+//! The serving layer — a multi-tenant [`RankingService`] running a small
+//! TV-guide front-end: many viewers, one shared programme list, context
+//! switches arriving between requests.
+//!
+//! Demonstrates the typed request API (`rank`, `rank_group`, `assert`,
+//! batched `submit`), per-tenant session reuse (warm hit rates), LRU
+//! session eviction, and the bounded shared evaluation tier.
+//!
+//! Run with: `cargo run --example serving`
+
+use capra::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    // ── Build the shared world: programmes + rules ─────────────────────
+    let mut kb = Kb::new();
+    let programs: Vec<_> = (0..8)
+        .map(|i| {
+            let p = kb.individual(&format!("programme-{i}"));
+            kb.assert_concept(p, "TvProgram");
+            kb.assert_concept_prob(p, "HumanInterest", 0.15 + 0.1 * i as f64)
+                .unwrap();
+            kb.assert_concept_prob(p, "News", 0.9 - 0.1 * i as f64)
+                .unwrap();
+            p
+        })
+        .collect();
+    let viewers: Vec<_> = (0..6)
+        .map(|i| {
+            let v = kb.individual(&format!("viewer-{i}"));
+            kb.assert_concept_prob(v, "Weekend", 0.2 + 0.12 * i as f64)
+                .unwrap();
+            kb.assert_concept(v, "Breakfast");
+            v
+        })
+        .collect();
+    let mut rules = RuleRepository::new();
+    rules.add(PreferenceRule::new(
+        "weekend-hi",
+        kb.parse("Weekend")?,
+        kb.parse("TvProgram AND HumanInterest")?,
+        Score::new(0.8)?,
+    ))?;
+    rules.add(PreferenceRule::new(
+        "breakfast-news",
+        kb.parse("Breakfast")?,
+        kb.parse("TvProgram AND News")?,
+        Score::new(0.9)?,
+    ))?;
+
+    // ── One service serves every viewer ────────────────────────────────
+    // A small session cap so this demo shows LRU eviction in action; a
+    // real deployment sizes this to its active-user working set.
+    let mut service = RankingService::with_config(
+        LineageEngine::new(),
+        kb,
+        rules,
+        ServiceConfig {
+            max_sessions: 4,
+            ..ServiceConfig::default()
+        },
+    );
+
+    println!("── top-3 per viewer (cold) ──");
+    for &viewer in &viewers {
+        let top = service.rank(viewer, &programs, 3)?;
+        let names: Vec<String> = top
+            .iter()
+            .map(|s| {
+                format!(
+                    "{} ({:.3})",
+                    service.kb().voc.individual_name(s.doc),
+                    s.score
+                )
+            })
+            .collect();
+        println!(
+            "  {:<10} {}",
+            service.kb().voc.individual_name(viewer),
+            names.join(", ")
+        );
+    }
+
+    // Warm repeats for the viewers whose sessions are still live (the
+    // cold round evicted the two least recently seen): all cache hits.
+    for &viewer in &viewers[2..] {
+        service.rank(viewer, &programs, 3)?;
+    }
+    let stats = service.stats();
+    println!("\n── service stats after one warm round ──");
+    println!(
+        "  sessions: {} live / {} evicted (cap 4 for 6 viewers)",
+        stats.sessions_live, stats.sessions_evicted
+    );
+    println!(
+        "  binding cache hit rate {:.0}%, evaluation footprint {} entries in {} tiers",
+        100.0 * stats.sessions.bindings.hit_rate(),
+        stats.sessions.footprint.entries,
+        stats.sessions.footprint.tiers,
+    );
+
+    // ── A batched burst: context switch + re-ranks in one submit ───────
+    let burst = vec![
+        Request::Assert {
+            subject: viewers[0],
+            fact: Fact::ConceptProb("Weekend".into(), 0.95),
+        },
+        Request::Rank {
+            user: viewers[0],
+            docs: programs.clone(),
+            k: 3,
+        },
+        Request::RankGroup {
+            users: viewers[..3].to_vec(),
+            docs: programs.clone(),
+            k: 3,
+            strategy: GroupStrategy::LeastMisery,
+        },
+    ];
+    println!("\n── batched burst: assert + rank + group rank ──");
+    for (i, response) in service.submit(burst).into_iter().enumerate() {
+        match response {
+            Ok(Response::Asserted) => println!("  [{i}] asserted"),
+            Ok(Response::Ranked(top)) => {
+                let names: Vec<String> = top
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{} ({:.3})",
+                            service.kb().voc.individual_name(s.doc),
+                            s.score
+                        )
+                    })
+                    .collect();
+                println!("  [{i}] {}", names.join(", "));
+            }
+            Err(e) => println!("  [{i}] error: {e}"),
+        }
+    }
+    let stats = service.stats();
+    println!(
+        "\n{} rank requests served in {} coalesced dispatch runs",
+        stats.rank_requests, stats.coalesced_runs
+    );
+    Ok(())
+}

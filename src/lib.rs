@@ -15,8 +15,12 @@
 //! | [`events`] | probabilistic event expressions, exact inference |
 //! | [`dl`] | DL concepts/roles, parser, TBox, lineage-propagating reasoner |
 //! | [`reldb`] | in-memory relational engine with lineage + SQL dialect |
-//! | [`core`] | the paper's model: rules, four scoring engines, mining, … |
+//! | [`core`] | the paper's model: rules, four scoring engines, sessions, the serving layer, mining, … |
 //! | [`tvtouch`] | the TVTouch domain, paper scenarios, workload generators |
+//!
+//! `ARCHITECTURE.md` at the workspace root maps the whole stack — the
+//! layer diagram, the cache hierarchy and its epoch/eviction semantics,
+//! and a request-time walkthrough.
 //!
 //! ## Quickstart
 //!
@@ -31,9 +35,14 @@
 //! assert!((scores[2].score - 0.6006).abs() < 1e-12); // Channel 5 news
 //! ```
 //!
+//! Serving many users is one [`prelude::RankingService`]: per-tenant
+//! cached sessions (LRU-capped), one shared bounded evaluation tier,
+//! typed `rank`/`rank_group`/`assert` requests and batch coalescing.
+//!
 //! See `examples/` for runnable walkthroughs (quickstart, the TVTouch
 //! morning scenario, correlated smart-home context, preference mining from
-//! history, group TV, and end-to-end SQL ranking).
+//! history, group TV, end-to-end SQL ranking, and the multi-tenant
+//! serving loop in `examples/serving.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,12 +58,14 @@ pub mod prelude {
     pub use capra_core::parallel::{
         rank_top_k_parallel, score_all_parallel, ParallelScoringSession,
     };
+    pub use capra_core::serve::{Fact, Request, Response};
     pub use capra_core::{
         bind_rules, bind_rules_shared, explain, group_scores, rank, rank_top_k, score_group,
         CacheFootprint, CacheStats, CoreError, CorrelationPolicy, DocScore, Episode,
         EvictionPolicy, Explanation, FactorizedEngine, GroupStrategy, HistoryLog, Kb,
         LineageEngine, MinedRule, NaiveEnumEngine, NaiveViewEngine, Offer, PreferenceRule,
-        RuleRepository, Score, ScoringEngine, ScoringEnv, ScoringSession, SessionStats,
+        RankingService, RuleRepository, Score, ScoringEngine, ScoringEnv, ScoringSession,
+        ServiceConfig, ServiceStats, SessionStats,
     };
     pub use capra_dl::{parse_concept, ABox, Concept, Reasoner, TBox, Vocabulary};
     pub use capra_events::{Evaluator, EventExpr, Universe};

@@ -1,0 +1,290 @@
+//! Serving-layer coverage: a [`RankingService`]'s whole cache stack —
+//! LRU-capped tenant sessions, shared evaluation-snapshot tier, score
+//! caches — must be *invisible*. After arbitrary interleaved
+//! assert/rank sequences, every rank served by the service is
+//! bit-identical to a cold `bind_rules` + `score_all` + `rank` for the
+//! same user, for all four engines, under an aggressive session cap
+//! (LRU cap 2, so tenants are constantly evicted and re-derived) and a
+//! randomized snapshot-tier [`EvictionPolicy`].
+
+use capra::prelude::*;
+use proptest::prelude::*;
+
+const N_DOCS: usize = 4;
+const N_USERS: usize = 4;
+const N_FEATS: usize = 2;
+
+/// Random draw → snapshot-tier eviction policy, including the aggressive
+/// `MaxAge(1)` (tiers dropped after nearly every mutation) and the
+/// grow-only escape hatch.
+fn decode_policy(sel: u8) -> EvictionPolicy {
+    match sel % 3 {
+        0 => EvictionPolicy::Never,
+        1 => EvictionPolicy::MaxAge(1),
+        _ => EvictionPolicy::default(),
+    }
+}
+
+/// One step of the interleaved request sequence, decoded from raw draws.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Assert `Feat{feat}` on `doc{doc}` with probability `p` through the
+    /// service's typed request surface (repeats disjoin fresh variables,
+    /// superseding old memo entries — the eviction workload).
+    DocFeature { doc: usize, feat: usize, p: f64 },
+    /// Context switch: assert `Ctx{feat}` on `user` with probability `p`.
+    UserContext { user: usize, feat: usize, p: f64 },
+    /// Rank for `user` with this `k` (k may exceed the doc count, which
+    /// ranks everything through the score-cache path).
+    Rank { user: usize, k: usize },
+}
+
+fn decode_op(kind: u8, user: usize, idx: usize, feat: usize, p: f64, k: usize) -> Op {
+    match kind % 4 {
+        0 => Op::DocFeature { doc: idx, feat, p },
+        1 => Op::UserContext { user, feat, p },
+        _ => Op::Rank { user, k },
+    }
+}
+
+fn fixture() -> (
+    Kb,
+    RuleRepository,
+    Vec<capra::dl::IndividualId>,
+    Vec<capra::dl::IndividualId>,
+) {
+    let mut kb = Kb::new();
+    let users: Vec<_> = (0..N_USERS)
+        .map(|u| {
+            let user = kb.individual(&format!("user{u}"));
+            kb.assert_concept_prob(user, "Ctx0", 0.3 + 0.15 * u as f64)
+                .unwrap();
+            user
+        })
+        .collect();
+    let docs: Vec<_> = (0..N_DOCS)
+        .map(|d| {
+            let doc = kb.individual(&format!("doc{d}"));
+            kb.assert_concept(doc, "TvProgram");
+            kb.assert_concept_prob(doc, "Feat0", 0.1 + 0.2 * d as f64)
+                .unwrap();
+            doc
+        })
+        .collect();
+    let mut rules = RuleRepository::new();
+    for (i, sigma) in [0.8, 0.35].into_iter().enumerate() {
+        rules
+            .add(PreferenceRule::new(
+                format!("R{i}"),
+                kb.parse(&format!("Ctx{i}")).unwrap(),
+                kb.parse(&format!("TvProgram AND Feat{i}")).unwrap(),
+                Score::new(sigma).unwrap(),
+            ))
+            .unwrap();
+    }
+    (kb, rules, users, docs)
+}
+
+/// The cold reference: bind from scratch, score everything, rank, cut.
+fn cold_rank<E: ScoringEngine + ?Sized>(
+    engine: &E,
+    kb: &Kb,
+    rules: &RuleRepository,
+    user: capra::dl::IndividualId,
+    docs: &[capra::dl::IndividualId],
+    k: usize,
+) -> Vec<DocScore> {
+    let env = ScoringEnv { kb, rules, user };
+    let bindings = bind_rules(&env);
+    assert_eq!(bindings.len(), rules.len());
+    let mut full = rank(engine.score_all(&env, docs).unwrap());
+    full.truncate(k);
+    full
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The serving-layer tentpole property: whatever interleaving of
+    /// context switches, feature updates and rank requests a service
+    /// absorbs — while its LRU cap (2 sessions for 4 users) churns tenants
+    /// and a random eviction policy ages the shared snapshot tier — every
+    /// response is bit-identical to the cold path, for all four engines.
+    #[test]
+    fn service_matches_cold_bind_under_eviction(
+        ops in prop::collection::vec(
+            (
+                any::<u8>(),
+                0usize..N_USERS,
+                0usize..N_DOCS,
+                0usize..N_FEATS,
+                0.05f64..=0.95,
+                1usize..=N_DOCS + 2,
+            ),
+            1..8,
+        ),
+        policy_sel in any::<u8>(),
+        shards in 1usize..=4,
+    ) {
+        let (kb, rules, users, docs) = fixture();
+        let engines: Vec<Box<dyn ScoringEngine + Sync>> = vec![
+            Box::new(NaiveViewEngine::new()),
+            Box::new(NaiveEnumEngine::new()),
+            Box::new(FactorizedEngine::new()),
+            Box::new(LineageEngine::new()),
+        ];
+        for engine in engines {
+            // Each engine gets its own service over its own KB clone, and
+            // the same op sequence is replayed against a shadow KB that
+            // serves the cold reference — the service may never drift from
+            // it. LRU cap 2 for 4 users: most ranks re-derive an evicted
+            // tenant.
+            let mut shadow = kb.clone();
+            let mut service = RankingService::with_config(
+                engine,
+                kb.clone(),
+                rules.clone(),
+                ServiceConfig {
+                    shards,
+                    max_sessions: 2,
+                    policy: decode_policy(policy_sel),
+                    threads: 1,
+                },
+            );
+            for &(kind, user, idx, feat, p, k) in &ops {
+                match decode_op(kind, user, idx, feat, p, k) {
+                    Op::DocFeature { doc, feat, p } => {
+                        let concept = format!("Feat{feat}");
+                        service
+                            .assert(docs[doc], Fact::ConceptProb(concept.clone(), p))
+                            .unwrap();
+                        shadow.assert_concept_prob(docs[doc], &concept, p).unwrap();
+                    }
+                    Op::UserContext { user, feat, p } => {
+                        let concept = format!("Ctx{feat}");
+                        service
+                            .assert(users[user], Fact::ConceptProb(concept.clone(), p))
+                            .unwrap();
+                        shadow.assert_concept_prob(users[user], &concept, p).unwrap();
+                    }
+                    Op::Rank { user, k } => {
+                        let want = cold_rank(
+                            service.engine().as_ref(),
+                            &shadow,
+                            &rules,
+                            users[user],
+                            &docs,
+                            k,
+                        );
+                        let got = service.rank(users[user], &docs, k).unwrap();
+                        prop_assert_eq!(got.len(), k.min(docs.len()));
+                        for (a, b) in want.iter().zip(&got) {
+                            prop_assert_eq!(a.doc, b.doc);
+                            prop_assert_eq!(
+                                a.score.to_bits(), b.score.to_bits(),
+                                "engine {}: {} vs {}",
+                                service.engine().name(), a.score, b.score
+                            );
+                        }
+                    }
+                }
+            }
+            let stats = service.stats();
+            prop_assert!(stats.sessions_live <= 2, "LRU cap holds");
+        }
+    }
+
+    /// Batched submission is equivalent to issuing the same requests one
+    /// by one: coalescing runs over a shared scratch (and the assert
+    /// barriers between them) may change *when* work happens, never what
+    /// any request returns.
+    #[test]
+    fn batch_submit_equals_sequential_requests(
+        ops in prop::collection::vec(
+            (
+                any::<u8>(),
+                0usize..N_USERS,
+                0usize..N_DOCS,
+                0usize..N_FEATS,
+                0.05f64..=0.95,
+                1usize..=N_DOCS,
+            ),
+            1..10,
+        ),
+        policy_sel in any::<u8>(),
+    ) {
+        let (kb, rules, users, docs) = fixture();
+        let config = ServiceConfig {
+            max_sessions: 2,
+            policy: decode_policy(policy_sel),
+            ..ServiceConfig::default()
+        };
+        let mut batched = RankingService::with_config(
+            LineageEngine::new(), kb.clone(), rules.clone(), config);
+        let mut sequential = RankingService::with_config(
+            LineageEngine::new(), kb.clone(), rules.clone(), config);
+
+        let requests: Vec<Request> = ops
+            .iter()
+            .map(|&(kind, user, idx, feat, p, k)| match decode_op(kind, user, idx, feat, p, k) {
+                Op::DocFeature { doc, feat, p } => Request::Assert {
+                    subject: docs[doc],
+                    fact: Fact::ConceptProb(format!("Feat{feat}"), p),
+                },
+                Op::UserContext { user, feat, p } => Request::Assert {
+                    subject: users[user],
+                    fact: Fact::ConceptProb(format!("Ctx{feat}"), p),
+                },
+                // Odd draws become group requests, so batched RankGroup —
+                // including across assert barriers — is exercised too.
+                Op::Rank { user, k } if kind % 2 == 1 => Request::RankGroup {
+                    users: users[..=user].to_vec(),
+                    docs: docs.clone(),
+                    k,
+                    strategy: GroupStrategy::LeastMisery,
+                },
+                Op::Rank { user, k } => Request::Rank {
+                    user: users[user],
+                    docs: docs.clone(),
+                    k,
+                },
+            })
+            .collect();
+
+        let responses = batched.submit(requests.clone());
+        prop_assert_eq!(responses.len(), requests.len());
+        for (request, response) in requests.into_iter().zip(responses) {
+            match request {
+                Request::Assert { subject, fact } => {
+                    sequential.assert(subject, fact).unwrap();
+                    prop_assert!(matches!(response, Ok(Response::Asserted)));
+                }
+                Request::Rank { user, docs, k } => {
+                    let want = sequential.rank(user, &docs, k).unwrap();
+                    let got = response.unwrap();
+                    let got = got.ranked().unwrap();
+                    prop_assert_eq!(want.len(), got.len());
+                    for (a, b) in want.iter().zip(got) {
+                        prop_assert_eq!(a.doc, b.doc);
+                        prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+                    }
+                }
+                Request::RankGroup {
+                    users,
+                    docs,
+                    k,
+                    strategy,
+                } => {
+                    let want = sequential.rank_group(&users, &docs, k, &strategy).unwrap();
+                    let got = response.unwrap();
+                    let got = got.ranked().unwrap();
+                    prop_assert_eq!(want.len(), got.len());
+                    for (a, b) in want.iter().zip(got) {
+                        prop_assert_eq!(a.doc, b.doc);
+                        prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -143,7 +143,7 @@ proptest! {
             }
         }
         let stats = session.stats();
-        prop_assert!(stats.score_hits > 0, "warm rounds must hit the cache");
+        prop_assert!(stats.scores.hits > 0, "warm rounds must hit the cache");
     }
 
     /// The shared-cache-tier property: scores computed by a
@@ -211,7 +211,7 @@ proptest! {
             }
         }
         let stats = session.stats();
-        prop_assert!(stats.score_hits > 0, "warm rounds must hit the cache");
+        prop_assert!(stats.scores.hits > 0, "warm rounds must hit the cache");
     }
 
     /// `rank_top_k` — cold, and through a live session — is exactly the
