@@ -1,0 +1,219 @@
+//! Columnar batch evaluation vs. the scalar per-document loop — the
+//! microbenchmark behind the batch-path acceptance gate.
+//!
+//! The fixture is the dedup-shaped catalog the columnar sweep exists for:
+//! most documents either certainly have or certainly lack each preferred
+//! feature (their lanes collapse onto shared constant events), and only a
+//! sparse tail carries its own uncertain event. Per batch size
+//! (256 / 1024 / 4096 documents) and engine (factorized, lineage):
+//!
+//! * `cold-{columnar,scalar}` — prebound rules, a fresh evaluation
+//!   scratch every iteration: the pure single-core evaluation cost the
+//!   tentpole optimizes (no binding noise, no parallelism credit);
+//! * `warm-{columnar,scalar}` — one scratch across iterations, so both
+//!   paths run against fully warm memo tiers.
+//!
+//! `rank_group/{pooled,sequential}` then drives an 8-member group request
+//! through a [`RankingService`] cleared before every iteration — member
+//! fan-out over the scratch pool (binding *and* scoring per worker) vs.
+//! the one-scratch sequential loop.
+//!
+//! Gauges: `columnar/speedup/{engine}-1024-x1000` is the cold
+//! columnar/scalar median ratio ×1000 (≤ 667 means the ≥ 1.5× acceptance
+//! speedup holds; guarded as a ratio so machine-load drift cancels out),
+//! and `columnar/rank_group/pooled-vs-sequential-x1000` likewise for the
+//! group fan-out. The fan-out ratio is hardware-dependent: on a
+//! single-core runner it can only show the fan-out's overhead (slightly
+//! above 1000), so its baseline guards drift of that overhead rather
+//! than asserting a speedup.
+
+use capra_bench::emit_gauge;
+use capra_core::serve::{RankingService, ServiceConfig};
+use capra_core::{
+    bind_rules_shared, EvalScratch, EvictionPolicy, FactorizedEngine, GroupStrategy, Kb,
+    LineageEngine, PreferenceRule, RuleRepository, Score, ScoringConfig, ScoringEngine, ScoringEnv,
+};
+use capra_dl::IndividualId;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+/// Members of the group-request benchmark.
+const N_GROUP: usize = 8;
+/// Documents per group request. Each member scores them all, so this sets
+/// the per-member work the fan-out amortizes its thread spawns and
+/// per-worker cold memos against (sequential members share one scratch).
+const N_GROUP_DOCS: usize = 1024;
+
+/// The dedup-shaped catalog: `n_docs` documents of which every 8th has an
+/// uncertain `Feat0` (its own lane), every 16th an uncertain `Feat1`, and
+/// the rest share the constant certainly-has / certainly-lacks events.
+fn fixture(
+    n_docs: usize,
+    n_users: usize,
+) -> (Kb, RuleRepository, Vec<IndividualId>, Vec<IndividualId>) {
+    let mut kb = Kb::new();
+    let users: Vec<_> = (0..n_users)
+        .map(|u| {
+            let user = kb.individual(&format!("user{u}"));
+            // Every context is uncertain *per member* (its own variable), so
+            // group members genuinely differ: one member's memo entries do
+            // not hand the next member its answers for free.
+            let base = u as f64 / n_users as f64;
+            kb.assert_concept_prob(user, "Ctx0", 0.15 + 0.7 * base)
+                .unwrap();
+            kb.assert_concept_prob(user, "Ctx1", 0.9 - 0.6 * base)
+                .unwrap();
+            kb.assert_concept_prob(user, "Ctx2", 0.3 + 0.5 * base)
+                .unwrap();
+            user
+        })
+        .collect();
+    let docs: Vec<_> = (0..n_docs)
+        .map(|d| {
+            let doc = kb.individual(&format!("doc{d}"));
+            kb.assert_concept(doc, "TvProgram");
+            if d % 8 == 0 {
+                kb.assert_concept_prob(doc, "Feat0", 0.1 + 0.1 * ((d / 8) % 8) as f64)
+                    .unwrap();
+            } else if d % 3 == 0 {
+                kb.assert_concept(doc, "Feat0");
+            }
+            if d % 16 == 0 {
+                kb.assert_concept_prob(doc, "Feat1", 0.15 + 0.15 * ((d / 16) % 5) as f64)
+                    .unwrap();
+            } else if d % 5 == 0 {
+                kb.assert_concept(doc, "Feat1");
+            }
+            doc
+        })
+        .collect();
+    let mut rules = RuleRepository::new();
+    for (name, ctx, pref, sigma) in [
+        ("R0", "Ctx0", "TvProgram AND Feat0", 0.8),
+        ("R1", "Ctx1", "TvProgram AND Feat1", 0.35),
+        ("R2", "Ctx2", "TvProgram", 0.6),
+    ] {
+        rules
+            .add(PreferenceRule::new(
+                name,
+                kb.parse(ctx).unwrap(),
+                kb.parse(pref).unwrap(),
+                Score::new(sigma).unwrap(),
+            ))
+            .unwrap();
+    }
+    (kb, rules, users, docs)
+}
+
+/// Cold and warm columnar-vs-scalar pairs for one engine over prebound
+/// rules, returning the cold medians `(columnar_ns, scalar_ns)`.
+fn bench_engine<E: ScoringEngine>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    engine: E,
+    env: &ScoringEnv<'_>,
+    docs: &[IndividualId],
+) -> (f64, f64) {
+    let bindings = bind_rules_shared(env);
+    let configs = [
+        ("columnar", ScoringConfig::default()),
+        ("scalar", ScoringConfig::scalar()),
+    ];
+    let mut cold = [0.0f64; 2];
+    for (slot, (path, config)) in configs.iter().enumerate() {
+        cold[slot] = group.bench_function_measured(format!("{name}/cold-{path}"), |b| {
+            b.iter(|| {
+                let mut scratch = EvalScratch::with_config(EvictionPolicy::default(), *config);
+                engine
+                    .score_all_bound(env, &bindings, docs, &mut scratch)
+                    .expect("scores")
+            });
+        });
+    }
+    for (path, config) in configs {
+        let mut scratch = EvalScratch::with_config(EvictionPolicy::default(), config);
+        engine
+            .score_all_bound(env, &bindings, docs, &mut scratch)
+            .expect("warm-up");
+        group.bench_function(format!("{name}/warm-{path}"), |b| {
+            b.iter(|| {
+                engine
+                    .score_all_bound(env, &bindings, docs, &mut scratch)
+                    .expect("scores")
+            });
+        });
+    }
+    (cold[0], cold[1])
+}
+
+fn columnar(c: &mut Criterion) {
+    for n_docs in [256usize, 1024, 4096] {
+        let (kb, rules, users, docs) = fixture(n_docs, 1);
+        let env = ScoringEnv {
+            kb: &kb,
+            rules: &rules,
+            user: users[0],
+        };
+        let mut group = c.benchmark_group(format!("columnar/{n_docs}"));
+        group.throughput(Throughput::Elements(n_docs as u64));
+        group.sample_size(10);
+        let (fact_col, fact_scal) = bench_engine(
+            &mut group,
+            "factorized",
+            FactorizedEngine::new(),
+            &env,
+            &docs,
+        );
+        let (lin_col, lin_scal) =
+            bench_engine(&mut group, "lineage", LineageEngine::new(), &env, &docs);
+        group.finish();
+        if n_docs == 1024 {
+            // The acceptance gate as durable ratios: ×1000, ≤ 667 ⇔ the
+            // columnar path is ≥ 1.5× the scalar one on the cold sweep.
+            emit_gauge(
+                "columnar/speedup/factorized-1024-x1000",
+                1000.0 * fact_col / fact_scal,
+            );
+            emit_gauge(
+                "columnar/speedup/lineage-1024-x1000",
+                1000.0 * lin_col / lin_scal,
+            );
+        }
+    }
+
+    // The group fan-out: the same cold 8-member request through a pooled
+    // (threads: 4) and a sequential service; `clear()` before every
+    // iteration re-colds tenants and pool while keeping the KB.
+    let (kb, rules, users, docs) = fixture(N_GROUP_DOCS, N_GROUP);
+    let strategy = GroupStrategy::LeastMisery;
+    let mut group = c.benchmark_group("columnar/rank_group");
+    group.throughput(Throughput::Elements((N_GROUP * N_GROUP_DOCS) as u64));
+    group.sample_size(10);
+    let mut medians = [0.0f64; 2];
+    for (slot, (name, threads)) in [("pooled", 4usize), ("sequential", 1)].iter().enumerate() {
+        let mut service = RankingService::with_config(
+            LineageEngine::new(),
+            kb.clone(),
+            rules.clone(),
+            ServiceConfig {
+                threads: *threads,
+                ..ServiceConfig::default()
+            },
+        );
+        medians[slot] = group.bench_function_measured(format!("{name}-cold"), |b| {
+            b.iter(|| {
+                service.clear();
+                service
+                    .rank_group(&users, &docs, docs.len(), &strategy)
+                    .expect("scores")
+            });
+        });
+    }
+    group.finish();
+    emit_gauge(
+        "columnar/rank_group/pooled-vs-sequential-x1000",
+        1000.0 * medians[0] / medians[1],
+    );
+}
+
+criterion_group!(benches, columnar);
+criterion_main!(benches);

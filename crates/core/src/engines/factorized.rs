@@ -2,7 +2,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use capra_dl::IndividualId;
-use capra_events::VarId;
+use capra_events::{BatchEvaluator, EventExpr, VarId};
 
 use crate::bind::RuleBinding;
 use crate::engines::{DocScore, EvalScratch, ScoringEngine};
@@ -119,6 +119,138 @@ impl FactorizedEngine {
         }
         Ok(())
     }
+
+    /// Doc-invariant screen over the preference supports: one pass over
+    /// each rule's bound view instead of per-document lookups. `false`
+    /// proves no preference variable (for *any* document) collides with a
+    /// context variable or another rule's preference variable — then no
+    /// per-document conflict is possible and the exact check can be
+    /// skipped. `true` may be a false alarm (the collision can involve
+    /// unrequested documents, or two *different* documents, which is
+    /// legal) and only means [`Self::check_doc_independence`] must run.
+    fn preference_screen_suspicious(
+        bindings: &[Arc<RuleBinding>],
+        ctx_owner: &HashMap<VarId, usize>,
+    ) -> bool {
+        let mut pref_owner: HashMap<VarId, usize> = HashMap::new();
+        for (slot, binding) in bindings.iter().enumerate() {
+            for event in binding.preference_events.values() {
+                for &var in event.support_slice() {
+                    if ctx_owner.contains_key(&var) {
+                        return true;
+                    }
+                    match pref_owner.get(&var) {
+                        Some(&prev) if prev != slot => return true,
+                        _ => {
+                            pref_owner.insert(var, slot);
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// The columnar evaluation order: one sweep per applicable rule over
+    /// the whole document batch, with each distinct preference event
+    /// evaluated once per sweep (see [`BatchEvaluator`]). Per lane, the
+    /// multiplication sequence is identical to the scalar loop's (rule
+    /// order), and every memoised probability is a pure function of the
+    /// hash-consed expression — so the scores are bit-identical to the
+    /// scalar path. Independence is screened doc-invariantly first when
+    /// the bound views are batch-sized; a suspicious screen — or views
+    /// that dwarf the batch — runs the exact checks, per document in
+    /// document order, preserving the scalar path's first error.
+    fn score_all_columnar(
+        &self,
+        env: &ScoringEnv<'_>,
+        bindings: &[Arc<RuleBinding>],
+        docs: &[IndividualId],
+        scratch: &mut EvalScratch,
+    ) -> Result<Vec<DocScore>> {
+        let applicable: Vec<&RuleBinding> = bindings
+            .iter()
+            .map(Arc::as_ref)
+            .filter(|b| !b.is_inapplicable())
+            .collect();
+        let (result, stats) = scratch.with_evaluator(&env.kb.universe, |ev| {
+            let mut batch = BatchEvaluator::new(ev);
+            let result = (|| -> Result<Vec<DocScore>> {
+                let context_probs: Vec<f64> = applicable
+                    .iter()
+                    .map(|b| batch.evaluator().prob(&b.context_event))
+                    .collect();
+                if let CorrelationPolicy::Error = self.on_correlation {
+                    let ctx_owner = Self::context_owners(bindings, env.kb)?;
+                    // The doc-invariant screen costs one pass over every
+                    // bound view; worth it only when the views are batch-
+                    // sized. When they dwarf the batch (e.g. the top-k scan
+                    // feeding small chunks of a large candidate set), the
+                    // scalar path's per-document checks are cheaper — and
+                    // either route raises the same first error in the same
+                    // document order.
+                    let view_total: usize =
+                        bindings.iter().map(|b| b.preference_events.len()).sum();
+                    if view_total > docs.len().saturating_mul(4)
+                        || Self::preference_screen_suspicious(bindings, &ctx_owner)
+                    {
+                        let mut owner_scratch: HashMap<VarId, usize> = HashMap::new();
+                        for &doc in docs {
+                            Self::check_doc_independence(
+                                bindings,
+                                doc,
+                                &ctx_owner,
+                                &mut owner_scratch,
+                                env.kb,
+                            )?;
+                        }
+                    }
+                }
+                let mut scores = vec![1.0f64; docs.len()];
+                // Lane index built once per batch: each rule sweep walks its
+                // bound view in order and drops every in-batch event into its
+                // lane — absent documents keep the `False` their lane was
+                // seeded with — instead of one B-tree descent per
+                // (rule, document).
+                let lane: HashMap<IndividualId, usize> =
+                    docs.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+                let mut column: Vec<EventExpr> = Vec::with_capacity(docs.len());
+                for (b, &pg) in applicable.iter().zip(&context_probs) {
+                    column.clear();
+                    column.resize(docs.len(), EventExpr::False);
+                    if b.preference_events.len() <= docs.len().saturating_mul(4) {
+                        for (doc, event) in b.preference_events.iter() {
+                            if let Some(&slot) = lane.get(doc) {
+                                column[slot] = event.clone();
+                            }
+                        }
+                    } else {
+                        // The bound view dwarfs the batch: per-document
+                        // lookups are cheaper than sweeping the whole map.
+                        for (slot, &doc) in docs.iter().enumerate() {
+                            column[slot] = b.preference_event(doc);
+                        }
+                    }
+                    let pfs = batch.probs(&column);
+                    for (score, pf) in scores.iter_mut().zip(&pfs) {
+                        let matched = pf * b.sigma + (1.0 - pf) * (1.0 - b.sigma);
+                        *score *= (1.0 - pg) + pg * matched;
+                    }
+                }
+                Ok(docs
+                    .iter()
+                    .zip(scores)
+                    .map(|(&doc, score)| DocScore {
+                        doc,
+                        score: score.clamp(0.0, 1.0),
+                    })
+                    .collect())
+            })();
+            (result, batch.stats())
+        });
+        scratch.record_batch(stats);
+        result
+    }
 }
 
 impl ScoringEngine for FactorizedEngine {
@@ -145,33 +277,7 @@ impl ScoringEngine for FactorizedEngine {
         // document.
         if let CorrelationPolicy::Error = self.on_correlation {
             let ctx_owner = Self::context_owners(bindings, env.kb)?;
-            // Global screen, one pass over each rule's bound view instead of
-            // per-document lookups: if no preference variable (for *any*
-            // document) collides with a context variable or another rule's
-            // preference variable, no per-document conflict is possible and
-            // the workload is clean. Only a collision — which may involve
-            // unrequested documents, or two *different* documents (legal) —
-            // requires the exact per-document check.
-            let mut pref_owner: HashMap<VarId, usize> = HashMap::new();
-            let suspicious = 'screen: {
-                for (slot, binding) in bindings.iter().enumerate() {
-                    for event in binding.preference_events.values() {
-                        for &var in event.support_slice() {
-                            if ctx_owner.contains_key(&var) {
-                                break 'screen true;
-                            }
-                            match pref_owner.get(&var) {
-                                Some(&prev) if prev != slot => break 'screen true,
-                                _ => {
-                                    pref_owner.insert(var, slot);
-                                }
-                            }
-                        }
-                    }
-                }
-                false
-            };
-            if suspicious {
+            if Self::preference_screen_suspicious(bindings, &ctx_owner) {
                 let mut owner_scratch: HashMap<VarId, usize> = HashMap::new();
                 for &doc in docs {
                     Self::check_doc_independence(
@@ -198,6 +304,11 @@ impl ScoringEngine for FactorizedEngine {
             return Ok(Vec::new());
         }
         scratch.ensure_kb(env.kb);
+        // Columnar sweeps only pay off when lanes can share evaluations;
+        // single-document batches take the scalar loop unchanged.
+        if scratch.scoring().columnar && docs.len() > 1 {
+            return self.score_all_columnar(env, bindings, docs, scratch);
+        }
         let applicable: Vec<&RuleBinding> = bindings
             .iter()
             .map(Arc::as_ref)

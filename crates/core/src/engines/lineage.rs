@@ -1,7 +1,8 @@
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use capra_dl::IndividualId;
-use capra_events::{EventExpr, Factor};
+use capra_events::{BatchExpectation, EventExpr, Factor};
 
 use crate::bind::RuleBinding;
 use crate::engines::{DocScore, EvalScratch, ScoringEngine};
@@ -39,6 +40,92 @@ impl LineageEngine {
             prune_inapplicable: true,
         }
     }
+
+    /// The columnar evaluation order: documents are grouped by their
+    /// per-rule preference-event *signature* (one interned event — or its
+    /// absence — per active rule), each distinct signature's factor
+    /// product is built and computed once, and the expectation is
+    /// broadcast to every document sharing it. On sparse KBs most
+    /// documents miss most rules, so whole signature groups collapse to
+    /// one evaluation. Bit-identical to the scalar loop: the memoised
+    /// expectation is a pure function of the hash-consed factor keys, and
+    /// the per-lane clamp is unchanged.
+    fn score_all_columnar(
+        env: &ScoringEnv<'_>,
+        active: &[&RuleBinding],
+        docs: &[IndividualId],
+        scratch: &mut EvalScratch,
+    ) -> Result<Vec<DocScore>> {
+        let per_rule: Vec<(&RuleBinding, EventExpr, Factor)> = active
+            .iter()
+            .map(|b| {
+                let not_g = EventExpr::not(b.context_event.clone());
+                let miss_factor = Factor::new([
+                    (not_g.clone(), 1.0),
+                    (b.context_event.clone(), 1.0 - b.sigma),
+                ]);
+                (*b, not_g, miss_factor)
+            })
+            .collect();
+        // Signatures are filled rule-by-rule: each rule sweeps its bound
+        // view in order and drops in-batch events into their lane (via the
+        // lane index built once per batch), instead of one B-tree descent
+        // per (rule, doc). Comparing and hashing signatures afterwards is
+        // pointer/precomputed-hash work only.
+        let lane: HashMap<IndividualId, usize> =
+            docs.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        let mut signatures: Vec<Vec<Option<EventExpr>>> =
+            vec![vec![None; per_rule.len()]; docs.len()];
+        for (r, (b, _, _)) in per_rule.iter().enumerate() {
+            if b.preference_events.len() <= docs.len().saturating_mul(4) {
+                for (doc, event) in b.preference_events.iter() {
+                    if let Some(&slot) = lane.get(doc) {
+                        signatures[slot][r] = Some(event.clone());
+                    }
+                }
+            } else {
+                // The bound view dwarfs the batch: per-document lookups
+                // are cheaper than sweeping the whole map.
+                for (slot, &doc) in docs.iter().enumerate() {
+                    signatures[slot][r] = b.preference_events.get(&doc).cloned();
+                }
+            }
+        }
+        let (out, stats) = scratch.with_expectation(&env.kb.universe, |expectation| {
+            let mut batch = BatchExpectation::new(expectation);
+            let raw = batch.compute_grouped(&signatures, |signature| {
+                signature
+                    .iter()
+                    .zip(&per_rule)
+                    .map(|(pref, (b, not_g, miss_factor))| match pref {
+                        None => miss_factor.clone(),
+                        Some(f) => {
+                            let g = b.context_event.clone();
+                            Factor::new([
+                                (not_g.clone(), 1.0),
+                                (EventExpr::and([g.clone(), f.clone()]), b.sigma),
+                                (
+                                    EventExpr::and([g, EventExpr::not(f.clone())]),
+                                    1.0 - b.sigma,
+                                ),
+                            ])
+                        }
+                    })
+                    .collect()
+            });
+            let out: Vec<DocScore> = docs
+                .iter()
+                .zip(raw)
+                .map(|(&doc, e)| DocScore {
+                    doc,
+                    score: e.clamp(0.0, 1.0),
+                })
+                .collect();
+            (out, batch.stats())
+        });
+        scratch.record_batch(stats);
+        Ok(out)
+    }
 }
 
 impl ScoringEngine for LineageEngine {
@@ -59,6 +146,11 @@ impl ScoringEngine for LineageEngine {
             .map(Arc::as_ref)
             .filter(|b| !(self.prune_inapplicable && b.is_inapplicable()))
             .collect();
+        // Columnar sweeps only pay off when lanes can share evaluations;
+        // single-document batches take the scalar loop unchanged.
+        if scratch.scoring().columnar && docs.len() > 1 {
+            return Self::score_all_columnar(env, &active, docs, scratch);
+        }
         // Doc-invariant pieces per rule, built once: the context event, its
         // complement, and the factor a *non-matching* document yields
         // (preference event `False` — the common case on sparse KBs).

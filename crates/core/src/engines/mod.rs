@@ -58,7 +58,7 @@ use std::sync::Arc;
 
 use capra_dl::IndividualId;
 use capra_events::{
-    CacheFootprint, EvalCache, Evaluator, EvictionPolicy, ExpectCache, Expectation,
+    BatchStats, CacheFootprint, EvalCache, Evaluator, EvictionPolicy, ExpectCache, Expectation,
     FrozenEvalCache, FrozenExpectCache, Universe,
 };
 
@@ -72,6 +72,54 @@ pub struct DocScore {
     pub doc: IndividualId,
     /// `P(D=doc | U=usit)` — the context-aware relevance.
     pub score: f64,
+}
+
+/// Evaluation-strategy configuration for the prepared scoring path,
+/// carried on every [`EvalScratch`] (and stamped onto pool checkouts by
+/// [`crate::parallel::ScratchPool`]).
+///
+/// The columnar toggle selects between two bit-identical evaluation
+/// orders: the scalar per-document loop and the batch path that lays
+/// per-document expressions out as columns, evaluating each distinct
+/// expression once per sweep (see [`capra_events::BatchEvaluator`]).
+/// Because both orders produce identical scores, the toggle *could* share
+/// a cache tag — but it is deliberately mixed into the score-cache key
+/// ([`ScoringConfig::tag`]) so cached results never cross paths: a cached
+/// score can always be attributed to the path that computed it, which is
+/// what lets the property suites compare the two paths through live
+/// sessions without one serving the other from cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScoringConfig {
+    /// Score document batches as column sweeps (default). Engines fall
+    /// back to the scalar loop for single-document batches, and the naive
+    /// engines always score scalar (they are the oracle).
+    pub columnar: bool,
+}
+
+impl Default for ScoringConfig {
+    fn default() -> Self {
+        Self { columnar: true }
+    }
+}
+
+impl ScoringConfig {
+    /// The scalar per-document configuration (columnar off) — the
+    /// reference path the property suites compare against.
+    pub fn scalar() -> Self {
+        Self { columnar: false }
+    }
+
+    /// Cache-key bits mixed into [`ScoringEngine::config_tag`] by the
+    /// session layer, so results cached under one evaluation strategy are
+    /// never served to the other. Kept in the high half so engine-owned
+    /// tags (low bits) cannot collide.
+    pub fn tag(&self) -> u64 {
+        if self.columnar {
+            1 << 32
+        } else {
+            0
+        }
+    }
 }
 
 /// Reusable evaluation state threaded through the prepared scoring path
@@ -102,6 +150,10 @@ pub struct EvalScratch {
     epoch: u64,
     /// Eviction policy applied when rotating.
     policy: EvictionPolicy,
+    /// Evaluation strategy engines consult (columnar vs scalar).
+    scoring: ScoringConfig,
+    /// Batch-path counters accumulated by engines run on this scratch.
+    batch: BatchStats,
     prob: EvalCache,
     expect: ExpectCache,
 }
@@ -123,9 +175,48 @@ impl EvalScratch {
         }
     }
 
+    /// An empty scratch with the given eviction policy *and* evaluation
+    /// strategy — the constructor session holders use to thread a
+    /// [`ScoringConfig`] down to the engines.
+    pub fn with_config(policy: EvictionPolicy, scoring: ScoringConfig) -> Self {
+        Self {
+            policy,
+            scoring,
+            ..Self::default()
+        }
+    }
+
     /// The eviction policy applied by this scratch's rotations.
     pub fn policy(&self) -> EvictionPolicy {
         self.policy
+    }
+
+    /// The evaluation strategy engines consult when driven through this
+    /// scratch.
+    pub fn scoring(&self) -> ScoringConfig {
+        self.scoring
+    }
+
+    /// Overrides the evaluation strategy (used by pools stamping their
+    /// configuration onto checkouts).
+    pub fn set_scoring(&mut self, scoring: ScoringConfig) {
+        self.scoring = scoring;
+    }
+
+    /// Batch-path counters accumulated by engines run on this scratch.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batch
+    }
+
+    /// Folds one engine run's batch counters into the scratch.
+    pub(crate) fn record_batch(&mut self, stats: BatchStats) {
+        self.batch += stats;
+    }
+
+    /// Drains the accumulated batch counters (the pool moves them into its
+    /// own accumulator when a worker scratch is returned).
+    pub(crate) fn take_batch_stats(&mut self) -> BatchStats {
+        std::mem::take(&mut self.batch)
     }
 
     /// Notes that the KB's binding epoch is now `epoch`. When it moved
@@ -194,12 +285,15 @@ impl EvalScratch {
     }
 
     /// Binds the scratch to `kb`, discarding all memos (the eviction
-    /// policy is kept) if it was previously used with a different KB.
+    /// policy, scoring configuration and batch counters are kept) if it
+    /// was previously used with a different KB.
     pub fn ensure_kb(&mut self, kb: &Kb) {
         if self.kb_id != kb.id() {
             *self = Self {
                 kb_id: kb.id(),
                 policy: self.policy,
+                scoring: self.scoring,
+                batch: self.batch,
                 ..Self::default()
             };
         }

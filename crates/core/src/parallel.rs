@@ -50,10 +50,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use capra_dl::IndividualId;
-use capra_events::{CacheFootprint, EvictionPolicy, FrozenEvalCache, FrozenExpectCache};
+use capra_events::{
+    BatchStats, CacheFootprint, EvictionPolicy, FrozenEvalCache, FrozenExpectCache,
+};
 
 use crate::bind::{bind_rules_shared, RuleBinding};
-use crate::engines::{rank, DocScore, EvalScratch, ScoringEngine};
+use crate::engines::{rank, DocScore, EvalScratch, ScoringConfig, ScoringEngine};
 use crate::session::{read_through_scores, BindingCache, ScoreCache, SessionStats};
 use crate::topk::{
     bound_sorted_order, by_rank, rank_top_k_bound, scan_bounded_stealing, SharedThreshold,
@@ -111,6 +113,8 @@ struct PoolInner {
     pending: Vec<EvalScratch>,
     /// Republishes that actually merged new entries (for inspection).
     publishes: u64,
+    /// Columnar batch-path counters drained from returned scratches.
+    batch: BatchStats,
 }
 
 /// A pool of reusable evaluation state for parallel scoring: frozen memo
@@ -128,6 +132,8 @@ pub struct ScratchPool {
     /// Eviction policy applied at each republish (see
     /// [`capra_events::tier`] for the tier-ageing semantics).
     policy: EvictionPolicy,
+    /// Evaluation strategy stamped onto every checked-out scratch.
+    scoring: ScoringConfig,
 }
 
 impl ScratchPool {
@@ -146,9 +152,32 @@ impl ScratchPool {
         }
     }
 
+    /// Creates an empty pool with an explicit [`EvictionPolicy`] *and*
+    /// [`ScoringConfig`]: every checked-out scratch is stamped with the
+    /// configuration, so all workers of a run score through the same
+    /// evaluation strategy.
+    pub fn with_config(policy: EvictionPolicy, scoring: ScoringConfig) -> Self {
+        Self {
+            policy,
+            scoring,
+            ..Self::default()
+        }
+    }
+
     /// The eviction policy applied by this pool's republishes.
     pub fn policy(&self) -> EvictionPolicy {
         self.policy
+    }
+
+    /// The evaluation strategy stamped onto this pool's checkouts.
+    pub fn scoring(&self) -> ScoringConfig {
+        self.scoring
+    }
+
+    /// Columnar batch-path counters drained from every scratch returned to
+    /// the pool (monotonic across KB changes and republishes).
+    pub fn batch_stats(&self) -> BatchStats {
+        self.lock().batch
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
@@ -166,19 +195,31 @@ impl ScratchPool {
         if inner.kb_id != kb.id() {
             *inner = PoolInner {
                 kb_id: kb.id(),
+                // Batch counters describe work done, not cached state:
+                // they stay monotonic across a KB reset.
+                batch: inner.batch,
                 ..PoolInner::default()
             };
         }
         inner.epoch = kb.binding_epoch();
-        EvalScratch::with_snapshots(kb.id(), Arc::clone(&inner.prob), Arc::clone(&inner.expect))
+        let mut scratch = EvalScratch::with_snapshots(
+            kb.id(),
+            Arc::clone(&inner.prob),
+            Arc::clone(&inner.expect),
+        );
+        scratch.set_scoring(self.scoring);
+        scratch
     }
 
     /// Returns a worker's scratch, parking its overlay for the next
     /// [`ScratchPool::republish`]. Scratches that migrated to a different
     /// KB mid-flight (or were never bound) are discarded — their entries
     /// would violate universe affinity.
-    pub(crate) fn give_back(&self, scratch: EvalScratch) {
+    pub(crate) fn give_back(&self, mut scratch: EvalScratch) {
         let mut inner = self.lock();
+        // Work counters are drained even from scratches whose memo overlay
+        // is discarded below — the sweeps ran either way.
+        inner.batch += scratch.take_batch_stats();
         if scratch.kb_id() == inner.kb_id && inner.kb_id != 0 {
             inner.pending.push(scratch);
         }
@@ -549,12 +590,24 @@ impl ParallelScoringSession {
     /// `policy` ([`EvictionPolicy::Never`] reproduces the grow-only
     /// pre-eviction behaviour exactly).
     pub fn with_policy(threads: usize, policy: EvictionPolicy) -> Self {
+        Self::with_config(threads, policy, ScoringConfig::default())
+    }
+
+    /// Creates an empty session with an explicit [`EvictionPolicy`] *and*
+    /// [`ScoringConfig`] (e.g. `ScoringConfig::scalar()` to pin the scalar
+    /// evaluation path — the oracle the property suites compare against).
+    pub fn with_config(threads: usize, policy: EvictionPolicy, scoring: ScoringConfig) -> Self {
         Self {
             threads: threads.max(1),
             bindings: BindingCache::new(),
-            pool: ScratchPool::with_policy(policy),
+            pool: ScratchPool::with_config(policy, scoring),
             scores: ScoreCache::default(),
         }
+    }
+
+    /// The evaluation strategy this session drives engines with.
+    pub fn scoring(&self) -> ScoringConfig {
+        self.pool.scoring()
     }
 
     /// Work counters accumulated so far, plus the pool's current
@@ -564,6 +617,7 @@ impl ParallelScoringSession {
             bindings: self.bindings.stats(),
             scores: self.scores.stats(),
             footprint: self.pool.footprint(),
+            batch: self.pool.batch_stats(),
         }
     }
 
@@ -585,7 +639,7 @@ impl ParallelScoringSession {
     /// zero entries afterwards; the hash-consed nodes the dropped entries
     /// pinned become reclaimable by the interner.
     pub fn clear(&mut self) {
-        *self = Self::with_policy(self.threads, self.pool.policy());
+        *self = Self::with_config(self.threads, self.pool.policy(), self.pool.scoring());
     }
 
     /// Scores every document in `docs`, in order — bit-identical to
@@ -604,6 +658,7 @@ impl ParallelScoringSession {
         read_through_scores(
             engine,
             env.user,
+            self.pool.scoring(),
             &mut self.scores,
             docs,
             &bindings,

@@ -1,15 +1,22 @@
 //! The [`RankingService`] itself: request execution over the tenant map
 //! and the shared evaluation pool.
 
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
 use capra_dl::IndividualId;
 use capra_events::EvictionPolicy;
 
-use crate::engines::{rank, DocScore, EvalScratch, ScoringEngine};
+use crate::bind::{bind_rules_shared, RuleBinding};
+use crate::engines::{rank, DocScore, EvalScratch, ScoringConfig, ScoringEngine};
 use crate::multiuser::{group_scores, GroupStrategy};
-use crate::parallel::{rank_top_k_bound_parallel, score_all_bound_parallel, ScratchPool};
+use crate::parallel::{
+    effective_threads, rank_top_k_bound_parallel, score_all_bound_parallel, ScratchPool,
+};
 use crate::serve::request::{Fact, Request, Response};
 use crate::serve::tenants::TenantSessions;
-use crate::session::{read_through_scores, SessionStats};
+use crate::session::{read_through_scores, score_key, SessionStats};
 use crate::topk::rank_top_k_bound;
 use crate::{Kb, PreferenceRule, Result, RuleRepository, ScoringEnv};
 
@@ -30,19 +37,26 @@ pub struct ServiceConfig {
     pub policy: EvictionPolicy,
     /// Worker threads for scoring dispatch. `1` (the default) serves
     /// requests sequentially on the caller's thread; larger values fan
-    /// uncached documents out over the work-stealing parallel path.
+    /// uncached documents out over the work-stealing parallel path, and
+    /// fan [`RankingService::rank_group`] members out over the pool.
     pub threads: usize,
+    /// Evaluation strategy for every engine run the service dispatches
+    /// (see [`ScoringConfig`]; columnar batch sweeps by default). Mixed
+    /// into each tenant's score-cache key, so reconfiguring a service
+    /// never serves one path's cached scores to the other.
+    pub scoring: ScoringConfig,
 }
 
 impl Default for ServiceConfig {
-    /// Eight shards, 1024 live sessions, the default eviction policy, and
-    /// sequential dispatch.
+    /// Eight shards, 1024 live sessions, the default eviction policy,
+    /// sequential dispatch, and columnar evaluation.
     fn default() -> Self {
         Self {
             shards: 8,
             max_sessions: 1024,
             policy: EvictionPolicy::default(),
             threads: 1,
+            scoring: ScoringConfig::default(),
         }
     }
 }
@@ -72,6 +86,17 @@ pub struct ServiceStats {
     /// [`SessionStats::footprint`] (tenants hold no evaluation memos of
     /// their own).
     pub sessions: SessionStats,
+}
+
+/// What the parallel group fan-out hands back to the read-through pass.
+#[derive(Default)]
+struct GroupFanout {
+    /// Scores computed off-thread: member → document → σ.
+    scores: HashMap<IndividualId, HashMap<IndividualId, f64>>,
+    /// Bindings derived off-thread for members whose binding cache was
+    /// stale; seeded back into the member's tenant before their counting
+    /// read-through so the sequential pass never re-derives them.
+    bindings: HashMap<IndividualId, Vec<Arc<RuleBinding>>>,
 }
 
 /// A multi-tenant ranking front-end: one engine, one knowledge base, one
@@ -142,7 +167,7 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
             kb,
             rules,
             tenants: TenantSessions::new(config.shards, config.max_sessions),
-            pool: ScratchPool::with_policy(config.policy),
+            pool: ScratchPool::with_config(config.policy, config.scoring),
             threads: config.threads.max(1),
             rank_requests: 0,
             asserts: 0,
@@ -364,6 +389,7 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
             let scores = read_through_scores(
                 &self.engine,
                 user,
+                self.pool.scoring(),
                 &mut tenant.scores,
                 docs,
                 &bindings,
@@ -392,6 +418,15 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     /// The group path behind [`RankingService::rank_group`] and the
     /// batched dispatch (see [`RankingService::rank_with_scratch`] for
     /// the scratch and parallel-dispatch contract).
+    ///
+    /// With [`ServiceConfig::threads`] > 1 and more than one member, the
+    /// *members* are the unit of parallelism: [`RankingService::group_fanout`]
+    /// scores every member's uncached documents over the shared pool
+    /// first, and the per-member read-through below then consumes those
+    /// precomputed scores. Documents a member loses between the fan-out
+    /// and their read-through (a mid-group LRU eviction re-derives the
+    /// bindings, dropping the tenant's score entry) are scored again as
+    /// `gaps` — rare, and bit-identical either way.
     fn rank_group_with_scratch(
         &mut self,
         users: &[IndividualId],
@@ -401,6 +436,13 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
         scratch: &mut Option<EvalScratch>,
     ) -> Result<Vec<DocScore>> {
         self.rank_requests += 1;
+        let mut fanout = if self.threads > 1 && users.len() > 1 {
+            self.group_fanout(users, docs)?
+        } else {
+            GroupFanout::default()
+        };
+        let computed = fanout.scores;
+        let config = self.pool.scoring();
         let per_user = users
             .iter()
             .map(|&user| {
@@ -410,30 +452,48 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
                     user,
                 };
                 let tenant = self.tenants.session(user);
+                if let Some(fresh) = fanout.bindings.remove(&user) {
+                    tenant.bindings.seed(&env, &fresh);
+                }
                 let bindings = tenant.bindings.bind(&env);
                 read_through_scores(
                     &self.engine,
                     user,
+                    config,
                     &mut tenant.scores,
                     docs,
                     &bindings,
                     |missing| {
-                        if self.threads > 1 {
-                            score_all_bound_parallel(
-                                &self.engine,
-                                &env,
-                                &bindings,
-                                missing,
-                                self.threads,
-                                &self.pool,
-                                true,
-                            )
-                        } else {
-                            let scratch =
-                                scratch.get_or_insert_with(|| self.pool.checkout(&self.kb));
-                            self.engine
-                                .score_all_bound(&env, &bindings, missing, scratch)
+                        let ready = computed.get(&user);
+                        let mut out = Vec::with_capacity(missing.len());
+                        let mut gaps: Vec<IndividualId> = Vec::new();
+                        for &doc in missing {
+                            match ready.and_then(|scores| scores.get(&doc)) {
+                                Some(&score) => out.push(DocScore { doc, score }),
+                                None => gaps.push(doc),
+                            }
                         }
+                        if !gaps.is_empty() {
+                            if self.threads > 1 {
+                                out.extend(score_all_bound_parallel(
+                                    &self.engine,
+                                    &env,
+                                    &bindings,
+                                    &gaps,
+                                    self.threads,
+                                    &self.pool,
+                                    true,
+                                )?);
+                            } else {
+                                let scratch =
+                                    scratch.get_or_insert_with(|| self.pool.checkout(&self.kb));
+                                out.extend(
+                                    self.engine
+                                        .score_all_bound(&env, &bindings, &gaps, scratch)?,
+                                );
+                            }
+                        }
+                        Ok(out)
                     },
                 )
             })
@@ -443,10 +503,157 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
         Ok(ranked)
     }
 
+    /// The planning and scoring phases of the parallel group path: preview
+    /// each *distinct* member's cached state without touching any counters
+    /// ([`crate::session::BindingCache::peek`] and `peek_missing`), then
+    /// fan the members with work out over the shared pool — workers claim
+    /// members from an atomic cursor and keep one pooled scratch across
+    /// claims, the same shape as parallel top-k's chunk stealing. Members
+    /// whose binding cache is stale are *bound by their worker too*
+    /// (binding is the per-member cost a cold group is dominated by); the
+    /// derived bindings come back in [`GroupFanout::bindings`] so the
+    /// read-through can seed them into the tenant instead of re-deriving
+    /// sequentially. A stale binding also invalidates the member's score
+    /// entry by pointer identity, so those members score every requested
+    /// document. Memos travel between workers through the pool's
+    /// republished snapshots. The counting cache pass happens afterwards,
+    /// per member in request order, so counters and the surviving error
+    /// (the minimum member index's) match the sequential path exactly.
+    fn group_fanout(
+        &mut self,
+        users: &[IndividualId],
+        docs: &[IndividualId],
+    ) -> Result<GroupFanout> {
+        let config = self.pool.scoring();
+        let mut seen = HashSet::new();
+        type PlanEntry = (
+            IndividualId,
+            Option<Vec<Arc<RuleBinding>>>,
+            Vec<IndividualId>,
+        );
+        let mut plan: Vec<PlanEntry> = Vec::new();
+        for &user in users {
+            if !seen.insert(user) {
+                continue;
+            }
+            let env = ScoringEnv {
+                kb: &self.kb,
+                rules: &self.rules,
+                user,
+            };
+            let tenant = self.tenants.session(user);
+            match tenant.bindings.peek(&env) {
+                Some(bindings) => {
+                    let missing = tenant.scores.peek_missing(
+                        &score_key(&self.engine, user, config),
+                        &bindings,
+                        docs,
+                    );
+                    if !missing.is_empty() {
+                        plan.push((user, Some(bindings), missing));
+                    }
+                }
+                None => plan.push((user, None, docs.to_vec())),
+            }
+        }
+        if plan.is_empty() {
+            return Ok(GroupFanout::default());
+        }
+        let engine = &self.engine;
+        let kb = &self.kb;
+        let rules = &self.rules;
+        let pool = &self.pool;
+        let plan_ref = &plan;
+        let threads = effective_threads(self.threads, plan.len());
+        let cursor = AtomicUsize::new(0);
+        // Raised by the first worker that hits an engine error: the rest
+        // stop claiming members instead of scoring doomed ones.
+        let failed = AtomicBool::new(false);
+        type WorkerItem = (usize, Result<Vec<DocScore>>, Option<Vec<Arc<RuleBinding>>>);
+        let worker_outputs: Vec<Vec<WorkerItem>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let failed = &failed;
+                    scope.spawn(move || {
+                        let mut scratch = pool.checkout(kb);
+                        let mut out = Vec::new();
+                        while !failed.load(Ordering::Relaxed) {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= plan_ref.len() {
+                                break;
+                            }
+                            let (user, cached, missing) = &plan_ref[i];
+                            let env = ScoringEnv {
+                                kb,
+                                rules,
+                                user: *user,
+                            };
+                            let fresh = match cached {
+                                Some(_) => None,
+                                None => Some(bind_rules_shared(&env)),
+                            };
+                            let bindings = cached
+                                .as_deref()
+                                .or(fresh.as_deref())
+                                .expect("either cached or freshly derived bindings");
+                            let result =
+                                engine.score_all_bound(&env, bindings, missing, &mut scratch);
+                            let stop = result.is_err();
+                            if stop {
+                                failed.store(true, Ordering::Relaxed);
+                            }
+                            out.push((i, result, fresh));
+                            if stop {
+                                break;
+                            }
+                        }
+                        pool.give_back(scratch);
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("group scoring worker panicked"))
+                .collect()
+        });
+        self.pool.republish();
+        let mut fanout = GroupFanout::default();
+        let mut first_err: Option<(usize, crate::CoreError)> = None;
+        for (i, result, fresh) in worker_outputs.into_iter().flatten() {
+            if let Some(bindings) = fresh {
+                fanout.bindings.insert(plan[i].0, bindings);
+            }
+            match result {
+                Ok(scores) => {
+                    fanout.scores.insert(
+                        plan[i].0,
+                        scores.into_iter().map(|s| (s.doc, s.score)).collect(),
+                    );
+                }
+                Err(e) => {
+                    let earlier = match &first_err {
+                        None => true,
+                        Some((j, _)) => i < *j,
+                    };
+                    if earlier {
+                        first_err = Some((i, e));
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some((_, e)) => Err(e),
+            None => Ok(fanout),
+        }
+    }
+
     /// Service-wide counters and footprints (see [`ServiceStats`]).
     pub fn stats(&self) -> ServiceStats {
         let mut sessions = self.tenants.total_stats();
         sessions.footprint = self.pool.footprint();
+        sessions.batch = self.pool.batch_stats();
         ServiceStats {
             sessions_live: self.tenants.live(),
             sessions_evicted: self.tenants.evicted(),
@@ -472,7 +679,7 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     /// bit-identical scores.
     pub fn clear(&mut self) {
         self.tenants.clear();
-        self.pool = ScratchPool::with_policy(self.pool.policy());
+        self.pool = ScratchPool::with_config(self.pool.policy(), self.pool.scoring());
         self.rank_requests = 0;
         self.asserts = 0;
         self.coalesced_runs = 0;
@@ -801,6 +1008,70 @@ mod tests {
                 other => panic!("response shape mismatch: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn batch_counters_surface_in_service_stats() {
+        let (kb, rules, users, docs) = fixture(2, 8);
+        let mut columnar = RankingService::new(LineageEngine::new(), kb.clone(), rules.clone());
+        columnar.rank(users[0], &docs, docs.len()).unwrap();
+        let batch = columnar.stats().sessions.batch;
+        assert!(batch.sweeps > 0, "a full-set rank runs column sweeps");
+        assert_eq!(batch.lanes, docs.len() as u64, "one lane per document");
+        assert!(batch.fallbacks <= batch.lanes, "dedup never exceeds lanes");
+        assert!(batch.lanes_per_sweep() > 1.0, "lanes amortize the sweep");
+
+        // The same request through a scalar-pinned service records nothing
+        // — the counters attribute work to the path that did it.
+        let mut scalar = RankingService::with_config(
+            LineageEngine::new(),
+            kb,
+            rules,
+            ServiceConfig {
+                scoring: ScoringConfig::scalar(),
+                ..ServiceConfig::default()
+            },
+        );
+        scalar.rank(users[0], &docs, docs.len()).unwrap();
+        assert_eq!(scalar.stats().sessions.batch, crate::BatchStats::default());
+    }
+
+    #[test]
+    fn group_fanout_matches_sequential_groups() {
+        // The member fan-out (threads > 1) against the sequential group
+        // path, including duplicate members and an LRU cap smaller than
+        // the group — the mid-group eviction hazard the phased design
+        // covers with its gap recompute.
+        let (kb, rules, users, docs) = fixture(4, 12);
+        let members: Vec<_> = users.iter().copied().chain([users[1]]).collect();
+        let mut seq = RankingService::new(LineageEngine::new(), kb.clone(), rules.clone());
+        let mut fan = RankingService::with_config(
+            LineageEngine::new(),
+            kb,
+            rules,
+            ServiceConfig {
+                max_sessions: 2,
+                threads: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        for strategy in [GroupStrategy::Product, GroupStrategy::LeastMisery] {
+            let want = seq
+                .rank_group(&members, &docs, docs.len(), &strategy)
+                .unwrap();
+            let got = fan
+                .rank_group(&members, &docs, docs.len(), &strategy)
+                .unwrap();
+            assert_eq!(want.len(), got.len());
+            for (a, b) in want.iter().zip(&got) {
+                assert_eq!(a.doc, b.doc);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+        assert!(
+            fan.stats().sessions.batch.sweeps > 0,
+            "the fan-out's pooled scratches feed the batch counters"
+        );
     }
 
     #[test]

@@ -43,10 +43,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use capra_dl::{Concept, IndividualId, Reasoner};
-use capra_events::{CacheFootprint, EvictionPolicy};
+use capra_events::{BatchStats, CacheFootprint, EvictionPolicy};
 
 use crate::bind::RuleBinding;
-use crate::engines::{rank, DocScore, EvalScratch, ScoringEngine};
+use crate::engines::{rank, DocScore, EvalScratch, ScoringConfig, ScoringEngine};
 use crate::topk::rank_top_k_bound;
 use crate::{Result, ScoringEnv};
 
@@ -129,6 +129,12 @@ pub struct SessionStats {
     /// [`EvictionPolicy`] even when every call mutates the KB; see
     /// [`capra_events::CacheFootprint`] for the field semantics.
     pub footprint: CacheFootprint,
+    /// Columnar batch-path counters: sweeps run, total lanes, and the
+    /// per-lane fallback evaluations a sweep could not broadcast (see
+    /// [`capra_events::BatchStats`]). All zero when scoring runs the
+    /// scalar path ([`crate::ScoringConfig`] with `columnar: false`, or
+    /// engines without a columnar port).
+    pub batch: BatchStats,
 }
 
 impl std::ops::Add for SessionStats {
@@ -139,6 +145,7 @@ impl std::ops::Add for SessionStats {
             bindings: self.bindings + other.bindings,
             scores: self.scores + other.scores,
             footprint: self.footprint + other.footprint,
+            batch: self.batch + other.batch,
         }
     }
 }
@@ -210,6 +217,56 @@ impl BindingCache {
     /// post-clear stats describe the fresh cache only.
     pub fn clear(&mut self) {
         *self = Self::default();
+    }
+
+    /// The cached bindings for `env` — all of them or none, without
+    /// counting hits or misses and without deriving anything. `None` means
+    /// at least one rule would have to be re-derived; a caller that wants
+    /// to do that derivation off-thread (see
+    /// [`crate::serve::RankingService::rank_group`]) uses
+    /// [`BindingCache::seed`] to hand the result back.
+    pub fn peek(&self, env: &ScoringEnv<'_>) -> Option<Vec<Arc<RuleBinding>>> {
+        let kb_id = env.kb.id();
+        let epoch = env.kb.binding_epoch();
+        env.rules
+            .rules()
+            .iter()
+            .map(|rule| {
+                let e = self.entries.get(&(env.user, rule.name.clone()))?;
+                (e.kb_id == kb_id
+                    && e.epoch == epoch
+                    && e.sigma == rule.sigma.get()
+                    && e.context == rule.context
+                    && e.preference == rule.preference)
+                    .then(|| Arc::clone(&e.binding))
+            })
+            .collect()
+    }
+
+    /// Installs externally derived bindings (one per rule, in repository
+    /// order — the [`crate::bind_rules_shared`] contract) as this cache's
+    /// entries for `env`, so the next [`BindingCache::bind`] hands back
+    /// these very `Arc`s. The derivations count as misses, keeping
+    /// *misses = bindings derived* regardless of which thread derived
+    /// them.
+    pub fn seed(&mut self, env: &ScoringEnv<'_>, bindings: &[Arc<RuleBinding>]) {
+        let kb_id = env.kb.id();
+        let epoch = env.kb.binding_epoch();
+        debug_assert_eq!(bindings.len(), env.rules.rules().len());
+        for (rule, binding) in env.rules.rules().iter().zip(bindings) {
+            self.misses += 1;
+            self.entries.insert(
+                (env.user, rule.name.clone()),
+                CacheEntry {
+                    kb_id,
+                    epoch,
+                    sigma: rule.sigma.get(),
+                    context: rule.context.clone(),
+                    preference: rule.preference.clone(),
+                    binding: Arc::clone(binding),
+                },
+            );
+        }
     }
 
     /// Binds every rule in the environment, serving unchanged rules from the
@@ -332,6 +389,36 @@ impl ScoreCache {
         missing
     }
 
+    /// The documents of `docs` not cached under `key` with exactly
+    /// `bindings`, in input order, *without* touching the entry or the
+    /// hit/miss counters — a read-only preview. Phased callers (the
+    /// service's group fan-out) use this to plan work before the
+    /// counting [`ScoreCache::missing`] pass commits it, so each request
+    /// still counts every document exactly once.
+    pub(crate) fn peek_missing(
+        &self,
+        key: &ScoreKey,
+        bindings: &[Arc<RuleBinding>],
+        docs: &[IndividualId],
+    ) -> Vec<IndividualId> {
+        let Some(entry) = self.entries.get(key) else {
+            return docs.to_vec();
+        };
+        let same_bindings = entry.bindings.len() == bindings.len()
+            && entry
+                .bindings
+                .iter()
+                .zip(bindings)
+                .all(|(a, b)| Arc::ptr_eq(a, b));
+        if !same_bindings {
+            return docs.to_vec();
+        }
+        docs.iter()
+            .copied()
+            .filter(|d| !entry.scores.contains_key(d))
+            .collect()
+    }
+
     /// Stores freshly computed scores under `key` (which
     /// [`ScoreCache::missing`] must have ensured).
     pub(crate) fn record(&mut self, key: &ScoreKey, computed: Vec<DocScore>) {
@@ -368,6 +455,7 @@ impl ScoreCache {
 pub(crate) fn read_through_scores<E>(
     engine: &E,
     user: IndividualId,
+    config: ScoringConfig,
     cache: &mut ScoreCache,
     docs: &[IndividualId],
     bindings: &[Arc<RuleBinding>],
@@ -376,12 +464,23 @@ pub(crate) fn read_through_scores<E>(
 where
     E: ScoringEngine + ?Sized,
 {
-    let key = (user, engine.name(), engine.config_tag());
+    let key = score_key(engine, user, config);
     let missing = cache.missing(key, bindings, docs);
     if !missing.is_empty() {
         cache.record(&key, compute(&missing)?);
     }
     Ok(cache.collect(&key, docs))
+}
+
+/// The score-cache key for `(user, engine)` under an evaluation-strategy
+/// configuration: the engine's own tag in the low bits, the
+/// [`ScoringConfig`] tag in the high bits — so results computed by the
+/// columnar and scalar paths never serve each other from cache.
+pub(crate) fn score_key<E>(engine: &E, user: IndividualId, config: ScoringConfig) -> ScoreKey
+where
+    E: ScoringEngine + ?Sized,
+{
+    (user, engine.name(), engine.config_tag() | config.tag())
 }
 
 /// A prepared scoring session: binding cache + persistent evaluation memos
@@ -442,6 +541,21 @@ impl ScoringSession {
         }
     }
 
+    /// Creates an empty session with an explicit [`EvictionPolicy`] *and*
+    /// [`ScoringConfig`] (e.g. `ScoringConfig::scalar()` to pin the scalar
+    /// evaluation path — the oracle the property suites compare against).
+    pub fn with_config(policy: EvictionPolicy, scoring: ScoringConfig) -> Self {
+        Self {
+            scratch: EvalScratch::with_config(policy, scoring),
+            ..Self::default()
+        }
+    }
+
+    /// The evaluation strategy this session drives engines with.
+    pub fn scoring(&self) -> ScoringConfig {
+        self.scratch.scoring()
+    }
+
     /// Work counters accumulated so far, plus the current evaluation-memo
     /// footprint (see [`SessionStats::footprint`]).
     pub fn stats(&self) -> SessionStats {
@@ -449,6 +563,7 @@ impl ScoringSession {
             bindings: self.bindings.stats(),
             scores: self.scores.stats(),
             footprint: self.scratch.footprint(),
+            batch: self.scratch.batch_stats(),
         }
     }
 
@@ -469,9 +584,10 @@ impl ScoringSession {
         self.scores.clear();
     }
 
-    /// Drops every layer of cached state (the eviction policy is kept).
+    /// Drops every layer of cached state (the eviction policy and scoring
+    /// configuration are kept).
     pub fn clear(&mut self) {
-        *self = Self::with_policy(self.scratch.policy());
+        *self = Self::with_config(self.scratch.policy(), self.scratch.scoring());
     }
 
     /// Scores every document in `docs`, in order — bit-identical to
@@ -492,6 +608,7 @@ impl ScoringSession {
         read_through_scores(
             engine,
             env.user,
+            self.scratch.scoring(),
             &mut self.scores,
             docs,
             &bindings,

@@ -1,0 +1,322 @@
+//! Columnar batch evaluation: one walk per interned node per *batch* of
+//! documents, instead of one walk per document.
+//!
+//! The scoring engines in `capra-core` evaluate the same hash-consed
+//! [`EventExpr`] nodes once per document, even though every memoised
+//! probability is a pure function of node identity — the per-document loop
+//! is mostly repeated cache probes and pointer-chasing. This module turns
+//! that loop inside out: callers lay the per-document expressions of one
+//! rule out as a **column** (one lane per document) and the batch wrappers
+//! evaluate each *distinct* expression exactly once, broadcasting the
+//! result across all lanes that share it.
+//!
+//! Distinctness is the interner's pointer identity (plus the precomputed
+//! structural hash), so the per-column dedup table costs one O(1) probe
+//! per lane. Lanes whose expression is not served by a broadcast fall back
+//! to one scalar evaluation through the wrapped [`Evaluator`] /
+//! [`Expectation`] — bit-identical to the scalar path by construction,
+//! because the underlying memo values are order-independent pure functions
+//! of the hash-consed keys.
+//!
+//! [`BatchStats`] counts sweeps, lanes and per-lane fallbacks so the
+//! serving layer can report how much of the work the columnar path
+//! actually deduplicated.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+use crate::eval::Evaluator;
+use crate::expect::{Expectation, Factor};
+use crate::expr::EventExpr;
+
+/// Counters for the columnar batch-evaluation path.
+///
+/// One **sweep** is one column evaluated as a batch (typically one rule,
+/// or one factor-product signature, across all documents of a request).
+/// Each sweep has one **lane** per document slot. A **fallback** is a lane
+/// that required its own full evaluation — neither served by broadcasting
+/// another lane's result nor resolved inline (constants and atoms cost
+/// nothing either way and never count as fallbacks). A low
+/// `fallbacks / lanes` ratio means the columnar path is paying off; equal
+/// counts mean every lane was distinct and the batch degraded to the
+/// scalar cost (never worse than it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Column sweeps run (one per batched column).
+    pub sweeps: u64,
+    /// Total lanes across all sweeps (documents × batched columns).
+    pub lanes: u64,
+    /// Lanes that required their own evaluation instead of a broadcast.
+    pub fallbacks: u64,
+}
+
+impl BatchStats {
+    /// Mean lanes per sweep — the effective batch width.
+    pub fn lanes_per_sweep(&self) -> f64 {
+        if self.sweeps == 0 {
+            0.0
+        } else {
+            self.lanes as f64 / self.sweeps as f64
+        }
+    }
+
+    /// Fraction of lanes that did *not* need their own full evaluation —
+    /// broadcasts plus inline-resolved constants and atoms (`0.0` when no
+    /// lanes have run).
+    pub fn broadcast_rate(&self) -> f64 {
+        if self.lanes == 0 {
+            0.0
+        } else {
+            (self.lanes - self.fallbacks) as f64 / self.lanes as f64
+        }
+    }
+}
+
+impl Add for BatchStats {
+    type Output = BatchStats;
+    fn add(self, other: BatchStats) -> BatchStats {
+        BatchStats {
+            sweeps: self.sweeps + other.sweeps,
+            lanes: self.lanes + other.lanes,
+            fallbacks: self.fallbacks + other.fallbacks,
+        }
+    }
+}
+
+impl AddAssign for BatchStats {
+    fn add_assign(&mut self, other: BatchStats) {
+        *self = *self + other;
+    }
+}
+
+impl Sum for BatchStats {
+    fn sum<I: Iterator<Item = BatchStats>>(iter: I) -> BatchStats {
+        iter.fold(BatchStats::default(), Add::add)
+    }
+}
+
+/// A columnar wrapper over an [`Evaluator`]: evaluates a column of
+/// expressions (one lane per document) with each distinct expression
+/// computed once and broadcast to every lane sharing it.
+pub struct BatchEvaluator<'a, 'u> {
+    inner: &'a mut Evaluator<'u>,
+    stats: BatchStats,
+}
+
+impl<'a, 'u> BatchEvaluator<'a, 'u> {
+    /// Wraps `inner` for columnar use. The wrapped evaluator keeps its
+    /// memo state; scalar and batched calls may be freely interleaved.
+    pub fn new(inner: &'a mut Evaluator<'u>) -> Self {
+        Self {
+            inner,
+            stats: BatchStats::default(),
+        }
+    }
+
+    /// The wrapped evaluator, for scalar probes between sweeps (e.g. the
+    /// per-rule context probabilities that do not vary across lanes).
+    pub fn evaluator(&mut self) -> &mut Evaluator<'u> {
+        self.inner
+    }
+
+    /// Evaluates one column: returns `P(column[i])` for every lane `i`.
+    ///
+    /// Distinct *connective* expressions (by interned identity) are
+    /// evaluated exactly once per sweep; repeated lanes are broadcasts.
+    /// Constant and atom lanes are resolved inline — the scalar evaluator
+    /// already serves those without a memo probe, so a dedup-table probe
+    /// would only add cost. Results are bit-identical to calling
+    /// [`Evaluator::prob`] per lane.
+    pub fn probs(&mut self, column: &[EventExpr]) -> Vec<f64> {
+        self.stats.sweeps += 1;
+        self.stats.lanes += column.len() as u64;
+        let mut dedup: HashMap<&EventExpr, f64> = HashMap::new();
+        let mut out = Vec::with_capacity(column.len());
+        for expr in column {
+            let p = match expr {
+                EventExpr::True => 1.0,
+                EventExpr::False => 0.0,
+                EventExpr::Atom(_) => self.inner.prob(expr),
+                _ => match dedup.entry(expr) {
+                    Entry::Occupied(hit) => *hit.get(),
+                    Entry::Vacant(slot) => {
+                        self.stats.fallbacks += 1;
+                        *slot.insert(self.inner.prob(expr))
+                    }
+                },
+            };
+            out.push(p);
+        }
+        out
+    }
+
+    /// Counters accumulated by this wrapper since construction.
+    pub fn stats(&self) -> BatchStats {
+        self.stats
+    }
+}
+
+/// A columnar wrapper over an [`Expectation`]: computes a column of
+/// factor-product expectations with each distinct *signature* built and
+/// computed once, then broadcast.
+///
+/// Unlike [`BatchEvaluator`], lanes here are whole factor products, so the
+/// dedup key is a caller-chosen signature (for the lineage engine: the
+/// per-rule preference events of a document). The factor list itself is
+/// only constructed for signatures that actually need an evaluation —
+/// broadcast lanes skip both the build and the compute.
+pub struct BatchExpectation<'a, 'u> {
+    inner: &'a mut Expectation<'u>,
+    stats: BatchStats,
+}
+
+impl<'a, 'u> BatchExpectation<'a, 'u> {
+    /// Wraps `inner` for columnar use. The wrapped computer keeps its memo
+    /// state; scalar and batched calls may be freely interleaved.
+    pub fn new(inner: &'a mut Expectation<'u>) -> Self {
+        Self {
+            inner,
+            stats: BatchStats::default(),
+        }
+    }
+
+    /// The wrapped expectation computer, for scalar probes between sweeps.
+    pub fn expectation(&mut self) -> &mut Expectation<'u> {
+        self.inner
+    }
+
+    /// Computes one column of expectations, one lane per entry of `keys`.
+    ///
+    /// `build` is invoked once per *distinct* key (in first-occurrence
+    /// order) to construct that signature's factor list; its expectation is
+    /// computed once and broadcast to every lane sharing the key. Results
+    /// are bit-identical to building and computing per lane, because the
+    /// underlying memo entries are pure functions of the (hash-consed)
+    /// factor keys.
+    pub fn compute_grouped<K>(
+        &mut self,
+        keys: &[K],
+        mut build: impl FnMut(&K) -> Vec<Factor>,
+    ) -> Vec<f64>
+    where
+        K: Eq + Hash,
+    {
+        self.stats.sweeps += 1;
+        self.stats.lanes += keys.len() as u64;
+        let mut dedup: HashMap<&K, f64> = HashMap::with_capacity(keys.len());
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            let e = match dedup.entry(key) {
+                Entry::Occupied(hit) => *hit.get(),
+                Entry::Vacant(slot) => {
+                    self.stats.fallbacks += 1;
+                    let factors = build(key);
+                    *slot.insert(self.inner.compute(&factors))
+                }
+            };
+            out.push(e);
+        }
+        out
+    }
+
+    /// Counters accumulated by this wrapper since construction.
+    pub fn stats(&self) -> BatchStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    fn universe() -> (Universe, Vec<EventExpr>) {
+        let mut u = Universe::new();
+        let atoms: Vec<EventExpr> = (0..4)
+            .map(|i| {
+                let v = u.add_bool(&format!("v{i}"), 0.1 + 0.2 * i as f64).unwrap();
+                u.atom(v, 0).unwrap()
+            })
+            .collect();
+        (u, atoms)
+    }
+
+    #[test]
+    fn batch_probs_match_scalar_bit_for_bit() {
+        let (u, atoms) = universe();
+        let column: Vec<EventExpr> = vec![
+            EventExpr::and([atoms[0].clone(), atoms[1].clone()]),
+            EventExpr::or([atoms[2].clone(), atoms[3].clone()]),
+            EventExpr::and([atoms[0].clone(), atoms[1].clone()]), // repeat lane
+            EventExpr::True,
+        ];
+        let mut scalar = Evaluator::new(&u);
+        let want: Vec<f64> = column.iter().map(|e| scalar.prob(e)).collect();
+
+        let mut ev = Evaluator::new(&u);
+        let mut batch = BatchEvaluator::new(&mut ev);
+        let got = batch.probs(&column);
+        assert_eq!(want.len(), got.len());
+        for (a, b) in want.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let stats = batch.stats();
+        assert_eq!(stats.sweeps, 1);
+        assert_eq!(stats.lanes, 4);
+        // Two distinct connectives; the repeated `and` broadcasts and the
+        // constant `True` lane resolves inline.
+        assert_eq!(stats.fallbacks, 2);
+    }
+
+    #[test]
+    fn grouped_expectation_builds_once_per_distinct_key() {
+        let (u, atoms) = universe();
+        let keys = [0usize, 1, 0, 1, 0];
+        let mut builds = 0usize;
+        let mut ex = Expectation::new(&u);
+        let mut batch = BatchExpectation::new(&mut ex);
+        let got = batch.compute_grouped(&keys, |&k| {
+            builds += 1;
+            vec![Factor::new([
+                (EventExpr::not(atoms[k].clone()), 1.0),
+                (atoms[k].clone(), 0.5),
+            ])]
+        });
+        assert_eq!(builds, 2, "one build per distinct key");
+        let mut scalar = Expectation::new(&u);
+        for (&k, e) in keys.iter().zip(&got) {
+            let factors = vec![Factor::new([
+                (EventExpr::not(atoms[k].clone()), 1.0),
+                (atoms[k].clone(), 0.5),
+            ])];
+            assert_eq!(scalar.compute(&factors).to_bits(), e.to_bits());
+        }
+        let stats = batch.stats();
+        assert_eq!((stats.sweeps, stats.lanes, stats.fallbacks), (1, 5, 2));
+    }
+
+    #[test]
+    fn stats_accumulate_and_sum() {
+        let a = BatchStats {
+            sweeps: 2,
+            lanes: 10,
+            fallbacks: 3,
+        };
+        let b = BatchStats {
+            sweeps: 1,
+            lanes: 6,
+            fallbacks: 6,
+        };
+        let mut acc = a;
+        acc += b;
+        assert_eq!(acc, a + b);
+        assert_eq!([a, b].into_iter().sum::<BatchStats>(), acc);
+        assert!((a.lanes_per_sweep() - 5.0).abs() < 1e-12);
+        assert!((a.broadcast_rate() - 0.7).abs() < 1e-12);
+        assert_eq!(BatchStats::default().lanes_per_sweep(), 0.0);
+        assert_eq!(BatchStats::default().broadcast_rate(), 0.0);
+    }
+}

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod error;
 mod eval;
 mod expect;
@@ -64,6 +65,7 @@ pub mod tier;
 mod universe;
 pub mod worlds;
 
+pub use batch::{BatchEvaluator, BatchExpectation, BatchStats};
 pub use error::EventError;
 pub use eval::{EvalCache, EvalStats, EvalTier, Evaluator, FrozenEvalCache};
 pub use expect::{

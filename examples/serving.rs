@@ -17,10 +17,18 @@ fn main() -> Result<(), CoreError> {
         .map(|i| {
             let p = kb.individual(&format!("programme-{i}"));
             kb.assert_concept(p, "TvProgram");
-            kb.assert_concept_prob(p, "HumanInterest", 0.15 + 0.1 * i as f64)
-                .unwrap();
-            kb.assert_concept_prob(p, "News", 0.9 - 0.1 * i as f64)
-                .unwrap();
+            // Half the guide is certain about its genres (those programmes
+            // share constant events — the columnar path broadcasts across
+            // them), half carries its own uncertainty (one lane each).
+            if i % 2 == 0 {
+                kb.assert_concept(p, "HumanInterest");
+                kb.assert_concept(p, "News");
+            } else {
+                kb.assert_concept_prob(p, "HumanInterest", 0.15 + 0.1 * i as f64)
+                    .unwrap();
+                kb.assert_concept_prob(p, "News", 0.9 - 0.1 * i as f64)
+                    .unwrap();
+            }
             p
         })
         .collect();
@@ -140,6 +148,33 @@ fn main() -> Result<(), CoreError> {
     println!(
         "\n{} rank requests served in {} coalesced dispatch runs",
         stats.rank_requests, stats.coalesced_runs
+    );
+
+    // ── A direct group request, and what the columnar path did ─────────
+    // Everyone watches together: one ranking the least-happy member can
+    // live with. Scoring ran as column sweeps (one per rule or factor
+    // signature, a lane per programme) — the batch counters show how many
+    // lanes were served per sweep and how few needed their own evaluation.
+    let family = service.rank_group(&viewers[3..], &programs, 3, &GroupStrategy::LeastMisery)?;
+    let names: Vec<String> = family
+        .iter()
+        .map(|s| {
+            format!(
+                "{} ({:.3})",
+                service.kb().voc.individual_name(s.doc),
+                s.score
+            )
+        })
+        .collect();
+    println!("\n── family top-3 (least misery) ──");
+    println!("  {}", names.join(", "));
+    let batch = service.stats().sessions.batch;
+    println!(
+        "  columnar batch path: {} sweeps, {:.1} lanes/sweep, {} fallbacks ({:.0}% broadcast)",
+        batch.sweeps,
+        batch.lanes_per_sweep(),
+        batch.fallbacks,
+        100.0 * batch.broadcast_rate(),
     );
     Ok(())
 }

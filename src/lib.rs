@@ -61,11 +61,11 @@ pub mod prelude {
     pub use capra_core::serve::{Fact, Request, Response};
     pub use capra_core::{
         bind_rules, bind_rules_shared, explain, group_scores, rank, rank_top_k, score_group,
-        CacheFootprint, CacheStats, CoreError, CorrelationPolicy, DocScore, Episode,
+        BatchStats, CacheFootprint, CacheStats, CoreError, CorrelationPolicy, DocScore, Episode,
         EvictionPolicy, Explanation, FactorizedEngine, GroupStrategy, HistoryLog, Kb,
         LineageEngine, MinedRule, NaiveEnumEngine, NaiveViewEngine, Offer, PreferenceRule,
-        RankingService, RuleRepository, Score, ScoringEngine, ScoringEnv, ScoringSession,
-        ServiceConfig, ServiceStats, SessionStats,
+        RankingService, RuleRepository, Score, ScoringConfig, ScoringEngine, ScoringEnv,
+        ScoringSession, ServiceConfig, ServiceStats, SessionStats,
     };
     pub use capra_dl::{parse_concept, ABox, Concept, Reasoner, TBox, Vocabulary};
     pub use capra_events::{Evaluator, EventExpr, Universe};

@@ -148,7 +148,7 @@ proptest! {
                     shards,
                     max_sessions: 2,
                     policy: decode_policy(policy_sel),
-                    threads: 1,
+                    ..ServiceConfig::default()
                 },
             );
             for &(kind, user, idx, feat, p, k) in &ops {
@@ -191,6 +191,106 @@ proptest! {
             }
             let stats = service.stats();
             prop_assert!(stats.sessions_live <= 2, "LRU cap holds");
+        }
+    }
+
+    /// The serving-layer columnar property: a default (columnar) service
+    /// and a scalar-pinned twin — same engine, same KB, absorbing the
+    /// same interleaved assert/rank/rank_group sequence under LRU tenant
+    /// churn and a random snapshot eviction policy — never drift by a
+    /// bit, with sequential and pooled dispatch alike.
+    #[test]
+    fn columnar_service_matches_scalar_service_under_eviction(
+        ops in prop::collection::vec(
+            (
+                any::<u8>(),
+                0usize..N_USERS,
+                0usize..N_DOCS,
+                0usize..N_FEATS,
+                0.05f64..=0.95,
+                1usize..=N_DOCS + 2,
+            ),
+            1..7,
+        ),
+        policy_sel in any::<u8>(),
+        pooled in any::<bool>(),
+    ) {
+        let (kb, rules, users, docs) = fixture();
+        let make = |which: usize| -> Box<dyn ScoringEngine + Sync> {
+            match which {
+                0 => Box::new(NaiveViewEngine::new()),
+                1 => Box::new(NaiveEnumEngine::new()),
+                2 => Box::new(FactorizedEngine::new()),
+                _ => Box::new(LineageEngine::new()),
+            }
+        };
+        for which in 0..4 {
+            let base = ServiceConfig {
+                max_sessions: 2,
+                policy: decode_policy(policy_sel),
+                threads: if pooled { 4 } else { 1 },
+                ..ServiceConfig::default()
+            };
+            let mut columnar =
+                RankingService::with_config(make(which), kb.clone(), rules.clone(), base);
+            let mut scalar = RankingService::with_config(
+                make(which),
+                kb.clone(),
+                rules.clone(),
+                ServiceConfig { scoring: ScoringConfig::scalar(), ..base },
+            );
+            for &(kind, user, idx, feat, p, k) in &ops {
+                match decode_op(kind, user, idx, feat, p, k) {
+                    Op::DocFeature { doc, feat, p } => {
+                        let fact = Fact::ConceptProb(format!("Feat{feat}"), p);
+                        columnar.assert(docs[doc], fact.clone()).unwrap();
+                        scalar.assert(docs[doc], fact).unwrap();
+                    }
+                    Op::UserContext { user, feat, p } => {
+                        let fact = Fact::ConceptProb(format!("Ctx{feat}"), p);
+                        columnar.assert(users[user], fact.clone()).unwrap();
+                        scalar.assert(users[user], fact).unwrap();
+                    }
+                    // Odd draws become group requests, so the pooled
+                    // member fan-out is compared against the scalar
+                    // oracle too.
+                    Op::Rank { user, k } if kind % 2 == 1 => {
+                        let members = &users[..=user];
+                        let want = scalar
+                            .rank_group(members, &docs, k, &GroupStrategy::LeastMisery)
+                            .unwrap();
+                        let got = columnar
+                            .rank_group(members, &docs, k, &GroupStrategy::LeastMisery)
+                            .unwrap();
+                        prop_assert_eq!(want.len(), got.len());
+                        for (a, b) in want.iter().zip(&got) {
+                            prop_assert_eq!(a.doc, b.doc);
+                            prop_assert_eq!(
+                                a.score.to_bits(), b.score.to_bits(),
+                                "engine {} rank_group: {} vs {}",
+                                columnar.engine().name(), b.score, a.score
+                            );
+                        }
+                    }
+                    Op::Rank { user, k } => {
+                        let want = scalar.rank(users[user], &docs, k).unwrap();
+                        let got = columnar.rank(users[user], &docs, k).unwrap();
+                        prop_assert_eq!(want.len(), got.len());
+                        for (a, b) in want.iter().zip(&got) {
+                            prop_assert_eq!(a.doc, b.doc);
+                            prop_assert_eq!(
+                                a.score.to_bits(), b.score.to_bits(),
+                                "engine {} rank: {} vs {}",
+                                columnar.engine().name(), b.score, a.score
+                            );
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(
+                scalar.stats().sessions.batch.sweeps, 0,
+                "the scalar twin never takes the columnar path"
+            );
         }
     }
 

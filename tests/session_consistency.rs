@@ -214,6 +214,77 @@ proptest! {
         prop_assert!(stats.scores.hits > 0, "warm rounds must hit the cache");
     }
 
+    /// The columnar-vs-scalar property: the batch column-sweep path is
+    /// bit-identical to the scalar per-document loop — the oracle — for
+    /// all four engines, through live sessions (sequential and parallel)
+    /// under interleaved epoch-bumping mutations and random eviction
+    /// policies. The `ScoringConfig` tag keeps the two paths' score
+    /// caches apart, so neither session ever serves the other's results.
+    #[test]
+    fn columnar_matches_scalar_oracle_after_interleaved_mutations(
+        ops in prop::collection::vec(
+            (any::<u8>(), 0usize..N_DOCS, 0usize..N_FEATS, 0.05f64..=0.95),
+            1..6,
+        ),
+        threads in 2usize..=4,
+        k in 1usize..=N_DOCS,
+        policy_sel in any::<u8>(),
+    ) {
+        let (mut kb, rules, user, docs) = fixture();
+        for (d, &doc) in docs.iter().enumerate() {
+            kb.assert_concept_prob(doc, "Feat0", 0.1 + 0.2 * d as f64).unwrap();
+        }
+        kb.assert_concept_prob(user, "Ctx0", 0.6).unwrap();
+        kb.assert_concept_prob(user, "Ctx1", 0.4).unwrap();
+
+        let engines: Vec<Box<dyn ScoringEngine + Sync>> = vec![
+            Box::new(NaiveViewEngine::new()),
+            Box::new(NaiveEnumEngine::new()),
+            Box::new(FactorizedEngine::new()),
+            Box::new(LineageEngine::new()),
+        ];
+        let policy = decode_policy(policy_sel);
+        let mut columnar = ScoringSession::with_policy(policy);
+        prop_assert!(columnar.scoring().columnar, "sessions default to columnar");
+        let mut scalar = ScoringSession::with_config(policy, ScoringConfig::scalar());
+        let mut par_columnar = ParallelScoringSession::with_policy(threads, policy);
+        for &(kind, doc, feat, p) in &ops {
+            apply(&mut kb, user, &docs, decode_op(kind, doc, feat, p));
+            let env = ScoringEnv { kb: &kb, rules: &rules, user };
+            for engine in &engines {
+                let oracle = scalar.score_all(engine.as_ref(), &env, &docs).unwrap();
+                let col = columnar.score_all(engine.as_ref(), &env, &docs).unwrap();
+                let par = par_columnar.score_all(engine.as_ref(), &env, &docs).unwrap();
+                prop_assert_eq!(oracle.len(), col.len());
+                for ((a, b), c) in oracle.iter().zip(&col).zip(&par) {
+                    prop_assert_eq!(a.doc, b.doc);
+                    prop_assert_eq!(
+                        a.score.to_bits(), b.score.to_bits(),
+                        "{}: columnar {} vs scalar {}", engine.name(), b.score, a.score
+                    );
+                    prop_assert_eq!(a.doc, c.doc);
+                    prop_assert_eq!(
+                        a.score.to_bits(), c.score.to_bits(),
+                        "{}: pooled columnar {} vs scalar {}", engine.name(), c.score, a.score
+                    );
+                }
+            }
+            // Top-k through both paths: the same exact prefix.
+            let lineage = LineageEngine::new();
+            let want = scalar.rank_top_k(&lineage, &env, &docs, k).unwrap();
+            let got = columnar.rank_top_k(&lineage, &env, &docs, k).unwrap();
+            prop_assert_eq!(want.len(), got.len());
+            for (a, b) in want.iter().zip(&got) {
+                prop_assert_eq!(a.doc, b.doc);
+                prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+        // The sweeps really took different paths: the columnar session
+        // batched its multi-document scans, the scalar oracle never did.
+        prop_assert!(columnar.stats().batch.sweeps > 0, "columnar sweeps ran");
+        prop_assert_eq!(scalar.stats().batch.sweeps, 0);
+    }
+
     /// `rank_top_k` — cold, and through a live session — is exactly the
     /// prefix of the full ranking, mutations or not.
     #[test]
