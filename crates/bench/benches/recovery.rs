@@ -1,0 +1,198 @@
+//! Crash-recovery benchmark for the durable [`RankingService`]: how fast
+//! a service comes back, and what the snapshot's warm-tenant seeding is
+//! worth on the first post-boot request.
+//!
+//! Two kinds of output land in `CAPRA_BENCH_JSON`:
+//!
+//! * **timings** — `recovery/open/warm-snapshot` (newest snapshot + WAL
+//!   suffix replay), `recovery/open/cold-replay` (no snapshot: the whole
+//!   log replays into a fresh KB), and `recovery/save_snapshot` (encode +
+//!   write + fsync + rename + prune).
+//! * **gauge** — `recovery/first_rank/warm-vs-cold-x1000`: the median
+//!   time to serve every tenant's *first* rank after a warm boot
+//!   (snapshot-seeded bindings) vs. after a cold boot (every tenant
+//!   re-binds), ×1000. Under ~1000 is the warm-restart acceptance
+//!   criterion holding: seeded tenants must not pay the cold bind again.
+//!
+//! The bench also asserts the zero-cold-bind property outright (binding
+//! misses do not move during the warm boot's first rank round), so the
+//! smoke job fails on a seeding regression before any median comparison.
+
+use capra_bench::emit_gauge;
+use capra_core::serve::{Fact, RankingService, ServiceConfig};
+use capra_core::{FlushPolicy, LineageEngine, PreferenceRule, Score};
+use capra_dl::IndividualId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const N_USERS: usize = 16;
+const N_DOCS: usize = 16;
+/// Boots per mode for the first-rank medians.
+const BOOTS: usize = 21;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("capra-bench-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &Path) -> RankingService<LineageEngine> {
+    RankingService::open_durable(
+        LineageEngine::new(),
+        ServiceConfig::default(),
+        dir,
+        FlushPolicy::EveryRecord,
+    )
+    .expect("open durable service")
+}
+
+/// Builds the serving fixture through the durable API; with `snapshot`,
+/// ranks every tenant (warming bindings and the shared tier) and
+/// checkpoints, leaving a small post-snapshot WAL suffix.
+fn build(dir: &Path, snapshot: bool) -> (Vec<IndividualId>, Vec<IndividualId>) {
+    let mut service = open(dir);
+    let users: Vec<_> = (0..N_USERS)
+        .map(|u| {
+            let user = service.individual(&format!("user{u}"));
+            service
+                .assert(
+                    user,
+                    Fact::ConceptProb("Ctx0".into(), 0.1 + 0.8 * (u as f64 / N_USERS as f64)),
+                )
+                .unwrap();
+            service
+                .assert(
+                    user,
+                    Fact::ConceptProb("Ctx1".into(), 0.9 - 0.7 * (u as f64 / N_USERS as f64)),
+                )
+                .unwrap();
+            user
+        })
+        .collect();
+    let docs: Vec<_> = (0..N_DOCS)
+        .map(|d| {
+            let doc = service.individual(&format!("doc{d}"));
+            service
+                .assert(
+                    doc,
+                    Fact::ConceptProb("Feat0".into(), 0.05 + 0.9 * (d as f64 / N_DOCS as f64)),
+                )
+                .unwrap();
+            service
+                .assert(
+                    doc,
+                    Fact::ConceptProb("Feat1".into(), 0.95 - 0.85 * (d as f64 / N_DOCS as f64)),
+                )
+                .unwrap();
+            doc
+        })
+        .collect();
+    for (name, context, preference, sigma) in [
+        ("R0", "Ctx0", "Feat0 AND Feat1", 0.8),
+        ("R1", "Ctx1", "Feat1", 0.3),
+    ] {
+        let context = service.parse(context).unwrap();
+        let preference = service.parse(preference).unwrap();
+        service
+            .add_rule(PreferenceRule::new(
+                name,
+                context,
+                preference,
+                Score::new(sigma).unwrap(),
+            ))
+            .unwrap();
+    }
+    if snapshot {
+        for &user in &users {
+            service.rank(user, &docs, docs.len()).unwrap();
+        }
+        service.save_snapshot().unwrap();
+        // A small suffix so the warm open still exercises replay.
+        service
+            .assert(users[0], Fact::ConceptProb("Ctx0".into(), 0.77))
+            .unwrap();
+    }
+    (users, docs)
+}
+
+/// Boots from `dir` and times one full first-rank round (every tenant's
+/// first post-boot request). With `expect_warm`, asserts that the round
+/// re-derived no bindings.
+fn first_rank_round(dir: &Path, docs: &[IndividualId], expect_warm: bool) -> f64 {
+    let mut service = open(dir);
+    let users: Vec<_> = (0..N_USERS)
+        .map(|u| {
+            service
+                .kb()
+                .voc
+                .find_individual(&format!("user{u}"))
+                .expect("recovered user")
+        })
+        .collect();
+    let misses_at_boot = service.stats().sessions.bindings.misses;
+    let start = Instant::now();
+    for &user in &users {
+        service.rank(user, docs, docs.len()).expect("scores");
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    if expect_warm {
+        assert_eq!(
+            service.stats().sessions.bindings.misses,
+            misses_at_boot,
+            "warm boot must not cold-bind on the first rank round"
+        );
+    }
+    elapsed
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    xs[xs.len() / 2]
+}
+
+fn recovery(c: &mut Criterion) {
+    let warm_dir = scratch("warm");
+    let cold_dir = scratch("cold");
+    let (_, docs) = build(&warm_dir, true);
+    build(&cold_dir, false);
+
+    // The warm-vs-cold first-rank gauge (and the zero-cold-bind assert).
+    // One throwaway boot per mode first (page-cache warm-up), then the
+    // measured boots interleaved so machine-load drift hits both modes
+    // alike and cancels in the ratio.
+    first_rank_round(&warm_dir, &docs, true);
+    first_rank_round(&cold_dir, &docs, false);
+    let mut warm = Vec::with_capacity(BOOTS);
+    let mut cold = Vec::with_capacity(BOOTS);
+    for _ in 0..BOOTS {
+        warm.push(first_rank_round(&warm_dir, &docs, true));
+        cold.push(first_rank_round(&cold_dir, &docs, false));
+    }
+    emit_gauge(
+        "recovery/first_rank/warm-vs-cold-x1000",
+        1000.0 * median(warm) / median(cold),
+    );
+
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(20);
+    group.bench_function("open/warm-snapshot", |b| {
+        b.iter(|| open(&warm_dir));
+    });
+    group.bench_function("open/cold-replay", |b| {
+        b.iter(|| open(&cold_dir));
+    });
+    let mut service = open(&warm_dir);
+    group.bench_function("save_snapshot", |b| {
+        b.iter(|| service.save_snapshot().expect("snapshot"));
+    });
+    group.finish();
+    drop(service);
+
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    let _ = std::fs::remove_dir_all(&cold_dir);
+}
+
+criterion_group!(benches, recovery);
+criterion_main!(benches);

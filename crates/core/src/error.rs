@@ -4,6 +4,8 @@ use capra_dl::DlError;
 use capra_events::EventError;
 use capra_reldb::DbError;
 
+use crate::persist::PersistError;
+
 /// Errors raised by the ranking layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
@@ -40,6 +42,8 @@ pub enum CoreError {
     Db(DbError),
     /// Error from the event layer.
     Event(EventError),
+    /// Error from the persistence layer (snapshots and the WAL).
+    Persist(PersistError),
     /// The ranked query integration was misused.
     Ranking(String),
 }
@@ -66,6 +70,7 @@ impl fmt::Display for CoreError {
             CoreError::Dl(e) => write!(f, "{e}"),
             CoreError::Db(e) => write!(f, "{e}"),
             CoreError::Event(e) => write!(f, "{e}"),
+            CoreError::Persist(e) => write!(f, "{e}"),
             CoreError::Ranking(msg) => write!(f, "ranked query: {msg}"),
         }
     }
@@ -88,6 +93,12 @@ impl From<DbError> for CoreError {
 impl From<EventError> for CoreError {
     fn from(e: EventError) -> Self {
         CoreError::Event(e)
+    }
+}
+
+impl From<PersistError> for CoreError {
+    fn from(e: PersistError) -> Self {
+        CoreError::Persist(e)
     }
 }
 

@@ -27,7 +27,10 @@
 //! * [`rank_top_k`] — `LIMIT`-shaped ranking with early termination;
 //! * [`serve`] — the multi-tenant [`RankingService`]: LRU-capped per-user
 //!   sessions over one shared, bounded evaluation tier, with typed
-//!   requests and batch coalescing.
+//!   requests and batch coalescing;
+//! * [`persist`] — durability: a versioned binary codec for KB / rule /
+//!   frozen-tier snapshots and a checksummed context-event WAL, powering
+//!   `RankingService::open_durable` crash recovery.
 //!
 //! ## The worked example (paper Section 4.2)
 //!
@@ -79,6 +82,7 @@ pub mod history;
 mod kb;
 pub mod multiuser;
 pub mod parallel;
+pub mod persist;
 pub mod ranking;
 mod repository;
 mod rule;
@@ -97,6 +101,7 @@ pub use explain::{explain, Explanation, RuleContribution};
 pub use history::{Episode, HistoryLog, MinedRule, Offer};
 pub use kb::Kb;
 pub use multiuser::{group_scores, score_group, GroupStrategy};
+pub use persist::{FlushPolicy, PersistError, WalStats};
 pub use repository::RuleRepository;
 pub use rule::{PreferenceRule, Score};
 pub use serve::{RankingService, ServiceConfig, ServiceStats};

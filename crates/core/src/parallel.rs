@@ -51,7 +51,8 @@ use std::sync::{Arc, Mutex};
 
 use capra_dl::IndividualId;
 use capra_events::{
-    BatchStats, CacheFootprint, EvictionPolicy, FrozenEvalCache, FrozenExpectCache,
+    BatchStats, CacheFootprint, EvalCache, EvictionPolicy, ExpectCache, FrozenEvalCache,
+    FrozenExpectCache,
 };
 
 use crate::bind::{bind_rules_shared, RuleBinding};
@@ -256,6 +257,39 @@ impl ScratchPool {
                 FrozenExpectCache::merged_with(Some(&inner.expect), expect_overlays, epoch, policy);
         }
         inner.publishes += 1;
+    }
+
+    /// Publishes externally produced memo overlays (entries decoded from a
+    /// persisted snapshot and re-interned against this process's expression
+    /// interner) as the pool's frozen tier — the recovery path of
+    /// [`crate::serve::RankingService::open_durable`]. Goes through the
+    /// ordinary checkout → give-back → republish cycle, so the imported
+    /// tier is epoch-tagged and evicted exactly like one produced by a
+    /// scoring run.
+    pub(crate) fn install_snapshot(&self, kb: &Kb, prob: EvalCache, expect: ExpectCache) {
+        let mut scratch = self.checkout(kb);
+        scratch.import_overlays(prob, expect);
+        self.give_back(scratch);
+        self.republish();
+    }
+
+    /// Exports the current frozen tier as plain `(expression, value)`
+    /// data for the persistence layer — the inverse of
+    /// [`ScratchPool::install_snapshot`]. Empty when the pool is serving a
+    /// different KB (or none): a tier is only meaningful alongside the KB
+    /// it was computed against.
+    pub(crate) fn export_tier(&self, kb: &Kb) -> crate::persist::snapshot::TierExport {
+        let inner = self.lock();
+        if inner.kb_id != kb.id() {
+            return crate::persist::snapshot::TierExport::default();
+        }
+        crate::persist::snapshot::TierExport {
+            prob: inner.prob.export_probs(),
+            pivots: inner.prob.export_pivots(),
+            inner_prob: inner.expect.eval().export_probs(),
+            inner_pivots: inner.expect.eval().export_pivots(),
+            groups: inner.expect.export_groups(),
+        }
     }
 
     /// Sizes of the current frozen snapshots and how often they were
@@ -618,6 +652,7 @@ impl ParallelScoringSession {
             scores: self.scores.stats(),
             footprint: self.pool.footprint(),
             batch: self.pool.batch_stats(),
+            wal: crate::persist::WalStats::default(),
         }
     }
 

@@ -1,0 +1,113 @@
+//! # Durable serving: snapshot + write-ahead-log persistence
+//!
+//! Hand-rolled, versioned, length-prefixed binary formats for the pieces a
+//! [`crate::serve::RankingService`] needs to survive a crash:
+//!
+//! * **Snapshots** (`snapshot.rs`) — the full [`crate::Kb`] (universe, ABox,
+//!   TBox, vocabulary, epochs), the [`crate::RuleRepository`], an export of
+//!   the shared evaluation snapshot tier, and the set of warm tenants.
+//! * **The context-event WAL** (`wal.rs`) — every mutation the service
+//!   applies (individual registrations, probabilistic assertions, rule
+//!   adds/removes) as a checksummed, epoch-stamped record, so recovery is
+//!   "newest valid snapshot + replay the WAL suffix".
+//!
+//! ## Design rules
+//!
+//! * **No serde.** Every format is written byte-by-byte through
+//!   `codec::Writer` and read back through `codec::Reader`; all
+//!   multi-byte integers are little-endian and floats travel as raw IEEE-754
+//!   bits, so replayed scores are *bit-identical* to the uninterrupted run.
+//! * **Names, not ids.** Interned handles ([`capra_events::VarId`],
+//!   [`capra_dl::ConceptName`], …) are process-local; the formats store
+//!   *names* and decode by re-interning into a fresh process, rebuilding the
+//!   exact same handle order.
+//! * **Checksummed framing.** Snapshot sections and WAL records both use a
+//!   `[len][crc32][payload]` frame; a failed CRC, short read, or unknown tag
+//!   surfaces as a typed [`PersistError`] — decode paths never panic on
+//!   corrupt input. WAL recovery truncates at the first bad record instead
+//!   of failing, reporting the dropped suffix in the service stats.
+
+use std::fmt;
+
+pub(crate) mod codec;
+pub(crate) mod snapshot;
+pub(crate) mod wal;
+
+pub use snapshot::{decode_kb, decode_rules, encode_kb, encode_rules};
+pub use wal::{FlushPolicy, WalStats};
+
+/// Errors raised by the persistence layer (snapshot and WAL encode/decode).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistError {
+    /// An operating-system I/O failure (message of the underlying error —
+    /// kept as a string so the error type stays `Clone + PartialEq`).
+    Io(String),
+    /// The input does not start with the expected magic bytes.
+    BadMagic {
+        /// Which format was expected (`"snapshot"` or `"wal"`).
+        format: &'static str,
+    },
+    /// The format version is one this build does not understand.
+    BadVersion {
+        /// Which format carried the version (`"snapshot"` or `"wal"`).
+        format: &'static str,
+        /// The version found in the file.
+        found: u16,
+        /// The single version this build reads and writes.
+        supported: u16,
+    },
+    /// A CRC32 check over a section or record payload failed.
+    ChecksumMismatch {
+        /// The checksum stored alongside the payload.
+        expected: u32,
+        /// The checksum recomputed over the payload actually read.
+        found: u32,
+    },
+    /// The input ended before a complete value could be read.
+    Truncated {
+        /// Bytes the next value needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// Structurally readable but semantically invalid data (unknown tag,
+    /// dangling name reference, out-of-range probability, …).
+    Invalid(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(msg) => write!(f, "persistence I/O error: {msg}"),
+            PersistError::BadMagic { format } => {
+                write!(f, "not a capra {format} file (bad magic bytes)")
+            }
+            PersistError::BadVersion {
+                format,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{format} format version {found} is not supported (this build reads version \
+                 {supported})"
+            ),
+            PersistError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checksum mismatch: stored {expected:#010x}, computed {found:#010x}"
+            ),
+            PersistError::Truncated { needed, available } => write!(
+                f,
+                "truncated input: needed {needed} more byte(s), only {available} available"
+            ),
+            PersistError::Invalid(msg) => write!(f, "invalid persisted data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e.to_string())
+    }
+}

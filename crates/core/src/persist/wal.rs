@@ -1,0 +1,904 @@
+//! The context-event write-ahead log: every service mutation as a
+//! checksummed, epoch-stamped record, appended through a pluggable
+//! [`WalSink`] with a configurable flush policy.
+//!
+//! ## File format
+//!
+//! ```text
+//! [8B magic "CAPRAWAL"][u16 version]          — header, written once
+//! repeated records:
+//!   [u32 len][u32 crc32(payload)][payload]
+//!   payload = [u64 seq][u64 epoch][op]
+//! ```
+//!
+//! `seq` increases by exactly 1 per record (a gap means lost records);
+//! `epoch` is the KB epoch *after* applying the operation, giving replay a
+//! per-record consistency check on top of the CRC. Recovery scans the log,
+//! keeps the longest valid prefix, replays the records newer than the
+//! snapshot, and truncates the file back to that prefix — a torn tail or a
+//! bit-flipped record costs the suffix, never the service.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+use std::path::Path;
+#[cfg(test)]
+use std::sync::{Arc, Mutex};
+
+use capra_dl::{Concept, Vocabulary};
+
+use super::codec::{crc32, Reader, Writer};
+use super::snapshot::{put_concept, read_concept};
+use super::PersistError;
+use crate::{Kb, PreferenceRule, RuleRepository, Score};
+
+/// Magic bytes opening every WAL file.
+pub(crate) const WAL_MAGIC: &[u8; 8] = b"CAPRAWAL";
+/// The single WAL format version this build reads and writes.
+pub(crate) const WAL_VERSION: u16 = 1;
+/// Header length: magic + version.
+pub(crate) const WAL_HEADER_LEN: usize = 10;
+/// A record payload is at least `seq + epoch`.
+const MIN_PAYLOAD: usize = 16;
+/// Upper bound on a single record payload — a length prefix beyond this is
+/// framing corruption, not a real record.
+const MAX_PAYLOAD: usize = 1 << 28;
+
+/// The WAL header bytes (magic + version).
+pub(crate) fn wal_header() -> [u8; WAL_HEADER_LEN] {
+    let mut h = [0u8; WAL_HEADER_LEN];
+    h[..8].copy_from_slice(WAL_MAGIC);
+    h[8..].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Flush policy and stats
+// ---------------------------------------------------------------------------
+
+/// When the WAL forces its sink to make appended records durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// `fsync` after every record — maximum durability, one sync per
+    /// mutation.
+    EveryRecord,
+    /// `fsync` after every `n` records (clamped to ≥ 1). A crash can lose
+    /// up to `n - 1` synced-but-not-yet-flushed records; recovery reports
+    /// them in the truncation counter.
+    EveryN(u32),
+}
+
+/// WAL traffic counters, aggregated exactly like the cache counters in
+/// [`crate::SessionStats`] (component-wise `Add` / `Sum`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended since the service opened (or was last cleared).
+    pub records_appended: u64,
+    /// Bytes appended, including per-record framing.
+    pub bytes_appended: u64,
+    /// Records replayed from the log during the last recovery.
+    pub records_replayed: u64,
+    /// Records dropped during the last recovery because they were torn,
+    /// failed their checksum, or sat after a corrupt record.
+    pub records_truncated: u64,
+}
+
+impl Add for WalStats {
+    type Output = WalStats;
+
+    fn add(self, rhs: WalStats) -> WalStats {
+        WalStats {
+            records_appended: self.records_appended + rhs.records_appended,
+            bytes_appended: self.bytes_appended + rhs.bytes_appended,
+            records_replayed: self.records_replayed + rhs.records_replayed,
+            records_truncated: self.records_truncated + rhs.records_truncated,
+        }
+    }
+}
+
+impl AddAssign for WalStats {
+    fn add_assign(&mut self, rhs: WalStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for WalStats {
+    fn sum<I: Iterator<Item = WalStats>>(iter: I) -> Self {
+        iter.fold(WalStats::default(), Add::add)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------------
+
+/// One logged mutation. Individuals, concepts and roles travel as *names*:
+/// replay re-resolves them against the recovered vocabulary, reproducing
+/// the exact interning the original process performed.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum WalOp {
+    /// `Kb::individual` that actually registered a new individual.
+    Individual {
+        /// The individual's name.
+        name: String,
+    },
+    /// A certain concept assertion.
+    AssertConcept {
+        /// Subject individual.
+        subject: String,
+        /// Concept name.
+        concept: String,
+    },
+    /// A probabilistic concept assertion.
+    AssertConceptProb {
+        /// Subject individual.
+        subject: String,
+        /// Concept name.
+        concept: String,
+        /// Probability (raw bits preserved).
+        p: f64,
+    },
+    /// A certain role assertion.
+    AssertRole {
+        /// Source individual.
+        subject: String,
+        /// Role name.
+        role: String,
+        /// Destination individual.
+        object: String,
+    },
+    /// A probabilistic role assertion.
+    AssertRoleProb {
+        /// Source individual.
+        subject: String,
+        /// Role name.
+        role: String,
+        /// Destination individual.
+        object: String,
+        /// Probability (raw bits preserved).
+        p: f64,
+    },
+    /// A rule added to the repository.
+    AddRule {
+        /// Rule name.
+        name: String,
+        /// Context concept.
+        context: Concept,
+        /// Preference concept.
+        preference: Concept,
+        /// Sigma score (raw bits preserved).
+        sigma: f64,
+    },
+    /// A rule removed from the repository.
+    RemoveRule {
+        /// Rule name.
+        name: String,
+    },
+}
+
+fn put_op(w: &mut Writer, op: &WalOp, voc: &Vocabulary) {
+    match op {
+        WalOp::Individual { name } => {
+            w.u8(0);
+            w.str(name);
+        }
+        WalOp::AssertConcept { subject, concept } => {
+            w.u8(1);
+            w.str(subject);
+            w.str(concept);
+        }
+        WalOp::AssertConceptProb {
+            subject,
+            concept,
+            p,
+        } => {
+            w.u8(2);
+            w.str(subject);
+            w.str(concept);
+            w.f64(*p);
+        }
+        WalOp::AssertRole {
+            subject,
+            role,
+            object,
+        } => {
+            w.u8(3);
+            w.str(subject);
+            w.str(role);
+            w.str(object);
+        }
+        WalOp::AssertRoleProb {
+            subject,
+            role,
+            object,
+            p,
+        } => {
+            w.u8(4);
+            w.str(subject);
+            w.str(role);
+            w.str(object);
+            w.f64(*p);
+        }
+        WalOp::AddRule {
+            name,
+            context,
+            preference,
+            sigma,
+        } => {
+            w.u8(5);
+            w.str(name);
+            put_concept(w, context, voc);
+            put_concept(w, preference, voc);
+            w.f64(*sigma);
+        }
+        WalOp::RemoveRule { name } => {
+            w.u8(6);
+            w.str(name);
+        }
+    }
+}
+
+/// Decodes one operation body (the payload after `seq` and `epoch`).
+pub(crate) fn decode_op(body: &[u8], voc: &mut Vocabulary) -> Result<WalOp, PersistError> {
+    let mut r = Reader::new(body);
+    let op = match r.u8()? {
+        0 => WalOp::Individual { name: r.str()? },
+        1 => WalOp::AssertConcept {
+            subject: r.str()?,
+            concept: r.str()?,
+        },
+        2 => WalOp::AssertConceptProb {
+            subject: r.str()?,
+            concept: r.str()?,
+            p: r.f64()?,
+        },
+        3 => WalOp::AssertRole {
+            subject: r.str()?,
+            role: r.str()?,
+            object: r.str()?,
+        },
+        4 => WalOp::AssertRoleProb {
+            subject: r.str()?,
+            role: r.str()?,
+            object: r.str()?,
+            p: r.f64()?,
+        },
+        5 => WalOp::AddRule {
+            name: r.str()?,
+            context: read_concept(&mut r, voc, 0)?,
+            preference: read_concept(&mut r, voc, 0)?,
+            sigma: r.f64()?,
+        },
+        6 => WalOp::RemoveRule { name: r.str()? },
+        t => {
+            return Err(PersistError::Invalid(format!(
+                "unknown WAL operation tag {t}"
+            )))
+        }
+    };
+    r.finish()?;
+    Ok(op)
+}
+
+/// Replays one operation against the recovered state, mirroring exactly
+/// what the service did when it logged the record.
+///
+/// Assertion subjects/objects resolve through
+/// [`Vocabulary::find_individual`] — *not* [`Kb::individual`] — because a
+/// logged assertion's individuals are guaranteed to be in the recovered
+/// vocabulary already, and `Kb::individual` would additionally register
+/// them in the ABox domain, bumping the epoch once more than the original
+/// mutation did. Only an explicit [`WalOp::Individual`] record performs a
+/// registration.
+pub(crate) fn apply_op(
+    kb: &mut Kb,
+    rules: &mut RuleRepository,
+    op: WalOp,
+) -> Result<(), PersistError> {
+    fn find(kb: &Kb, name: &str) -> Result<capra_dl::IndividualId, PersistError> {
+        kb.voc.find_individual(name).ok_or_else(|| {
+            PersistError::Invalid(format!("WAL references unknown individual `{name}`"))
+        })
+    }
+    fn invalid(e: impl std::fmt::Display) -> PersistError {
+        PersistError::Invalid(e.to_string())
+    }
+    match op {
+        WalOp::Individual { name } => {
+            kb.individual(&name);
+        }
+        WalOp::AssertConcept { subject, concept } => {
+            let s = find(kb, &subject)?;
+            kb.assert_concept(s, &concept);
+        }
+        WalOp::AssertConceptProb {
+            subject,
+            concept,
+            p,
+        } => {
+            let s = find(kb, &subject)?;
+            kb.assert_concept_prob(s, &concept, p).map_err(invalid)?;
+        }
+        WalOp::AssertRole {
+            subject,
+            role,
+            object,
+        } => {
+            let s = find(kb, &subject)?;
+            let o = find(kb, &object)?;
+            kb.assert_role(s, &role, o);
+        }
+        WalOp::AssertRoleProb {
+            subject,
+            role,
+            object,
+            p,
+        } => {
+            let s = find(kb, &subject)?;
+            let o = find(kb, &object)?;
+            kb.assert_role_prob(s, &role, o, p).map_err(invalid)?;
+        }
+        WalOp::AddRule {
+            name,
+            context,
+            preference,
+            sigma,
+        } => {
+            let sigma = Score::new(sigma).map_err(invalid)?;
+            rules
+                .add(PreferenceRule::new(&name, context, preference, sigma))
+                .map_err(invalid)?;
+        }
+        WalOp::RemoveRule { name } => {
+            rules.remove(&name).map_err(invalid)?;
+        }
+    }
+    Ok(())
+}
+
+/// Encodes one complete record frame (`[len][crc][seq, epoch, op]`).
+pub(crate) fn encode_record(seq: u64, epoch: u64, op: &WalOp, voc: &Vocabulary) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(seq);
+    w.u64(epoch);
+    put_op(&mut w, op, voc);
+    let payload = w.into_bytes();
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+// ---------------------------------------------------------------------------
+// Scanning
+// ---------------------------------------------------------------------------
+
+/// One well-framed, checksum-valid record from a WAL scan. The operation
+/// body stays encoded — decoding needs the recovered vocabulary, which
+/// recovery only has once the snapshot is restored.
+#[derive(Debug, Clone)]
+pub(crate) struct RawRecord {
+    /// Sequence number.
+    pub seq: u64,
+    /// KB epoch after the original apply (replay consistency check).
+    pub epoch: u64,
+    /// Encoded operation body.
+    pub body: Vec<u8>,
+    /// Byte offset of the end of this record's frame in the file.
+    pub end_offset: usize,
+}
+
+/// Result of scanning a WAL file's bytes: the longest valid record prefix,
+/// where the file should be truncated to, and how many records were lost.
+#[derive(Debug, Default)]
+pub(crate) struct WalScan {
+    /// Valid records, in file order.
+    pub records: Vec<RawRecord>,
+    /// End offset of the last valid frame (where to truncate the file).
+    pub valid_len: usize,
+    /// Records dropped: torn tails, checksum failures, and every frame
+    /// after the first bad one (replay cannot skip a gap).
+    pub dropped: u64,
+    /// Whether the file header itself was intact. When false the whole
+    /// log is unusable (`records` is empty, `valid_len` is 0).
+    pub header_ok: bool,
+}
+
+/// Scans WAL bytes, validating framing and checksums only (operation
+/// bodies are decoded later, during replay). Never fails: corruption
+/// shortens the valid prefix and bumps the drop counter.
+pub(crate) fn scan_wal(bytes: &[u8]) -> WalScan {
+    let mut scan = WalScan::default();
+    if bytes.len() < WAL_HEADER_LEN || bytes[..WAL_HEADER_LEN] != wal_header() {
+        // A damaged header forfeits the whole log; count it as one dropped
+        // unit (individual records can no longer be trusted or counted).
+        scan.dropped = 1;
+        return scan;
+    }
+    scan.header_ok = true;
+    scan.valid_len = WAL_HEADER_LEN;
+    let mut pos = WAL_HEADER_LEN;
+    let mut intact = true;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < 8 {
+            // Torn frame header.
+            scan.dropped += 1;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len 4")) as usize;
+        let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("len 4"));
+        if len > MAX_PAYLOAD || len > remaining - 8 {
+            // Torn payload, or a corrupt length prefix — either way the
+            // rest of the file cannot be re-framed reliably.
+            scan.dropped += 1;
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        let ok = len >= MIN_PAYLOAD && crc32(payload) == stored_crc;
+        if ok && intact {
+            let seq = u64::from_le_bytes(payload[..8].try_into().expect("len 8"));
+            let epoch = u64::from_le_bytes(payload[8..16].try_into().expect("len 8"));
+            scan.records.push(RawRecord {
+                seq,
+                epoch,
+                body: payload[16..].to_vec(),
+                end_offset: pos + 8 + len,
+            });
+            scan.valid_len = pos + 8 + len;
+        } else {
+            // First bad record ends the replayable prefix; later frames —
+            // even checksum-valid ones — cannot be applied across the gap
+            // and only contribute to the drop count.
+            intact = false;
+            scan.dropped += 1;
+        }
+        pos += 8 + len;
+    }
+    scan
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// Destination for WAL bytes. The two implementations are a real file
+/// ([`FileSink`]) and the fault-injecting test double ([`FaultSink`]).
+pub(crate) trait WalSink: Send {
+    /// Appends bytes to the log (buffered until [`WalSink::sync`]).
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<()>;
+    /// Makes everything written so far durable.
+    fn sync(&mut self) -> std::io::Result<()>;
+}
+
+/// A [`WalSink`] over a real file, syncing with `fdatasync`.
+pub(crate) struct FileSink {
+    file: File,
+}
+
+impl WalSink for FileSink {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(bytes)
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// Shared state behind a [`FaultSink`] handle.
+#[cfg(test)]
+#[derive(Default)]
+struct FaultState {
+    /// Bytes that survived a sync — what a crash leaves behind.
+    durable: Vec<u8>,
+    /// Bytes written but not yet synced.
+    buffered: Vec<u8>,
+    /// Total bytes accepted so far (drives the fault offsets).
+    written: u64,
+    /// Fail any write that would push `written` past this budget,
+    /// accepting only the prefix (a short write).
+    short_write_after: Option<u64>,
+    /// Flip this absolute bit offset as it passes through.
+    flip_bit: Option<u64>,
+    /// Silently drop syncs (report success, persist nothing).
+    drop_syncs: bool,
+    /// Number of syncs dropped.
+    dropped_syncs: u64,
+}
+
+/// An injectable in-memory [`WalSink`] that models the classic torn-write
+/// failure modes: short writes past a byte budget, a flipped bit at a
+/// chosen offset, and dropped fsyncs. Cloning shares state, so a test
+/// keeps a handle while the [`Wal`] owns the sink, then reads back
+/// [`FaultSink::durable_bytes`] as "what the disk held at the crash".
+#[cfg(test)]
+#[derive(Clone, Default)]
+pub(crate) struct FaultSink {
+    state: Arc<Mutex<FaultState>>,
+}
+
+#[cfg(test)]
+impl FaultSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Accept at most `bytes` total, then fail writes with a short write.
+    pub fn short_write_after(&self, bytes: u64) {
+        self.lock().short_write_after = Some(bytes);
+    }
+
+    /// Flip the given absolute bit offset as it is written.
+    pub fn flip_bit(&self, bit: u64) {
+        self.lock().flip_bit = Some(bit);
+    }
+
+    /// Toggle silent fsync dropping.
+    pub fn drop_syncs(&self, on: bool) {
+        self.lock().drop_syncs = on;
+    }
+
+    /// What a crash would leave on disk: synced bytes only.
+    pub fn durable_bytes(&self) -> Vec<u8> {
+        self.lock().durable.clone()
+    }
+
+    /// Synced plus still-buffered bytes (a clean shutdown).
+    pub fn all_bytes(&self) -> Vec<u8> {
+        let s = self.lock();
+        let mut out = s.durable.clone();
+        out.extend_from_slice(&s.buffered);
+        out
+    }
+
+    /// Number of syncs silently dropped so far.
+    pub fn dropped_syncs(&self) -> u64 {
+        self.lock().dropped_syncs
+    }
+}
+
+#[cfg(test)]
+impl WalSink for FaultSink {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let mut s = self.lock();
+        let start = s.written;
+        let mut chunk = bytes.to_vec();
+        if let Some(bit) = s.flip_bit {
+            let byte = bit / 8;
+            if byte >= start && byte < start + chunk.len() as u64 {
+                chunk[(byte - start) as usize] ^= 1 << (bit % 8);
+            }
+        }
+        if let Some(budget) = s.short_write_after {
+            if start + chunk.len() as u64 > budget {
+                let keep = budget.saturating_sub(start) as usize;
+                let kept = &chunk[..keep.min(chunk.len())];
+                s.buffered.extend_from_slice(kept);
+                s.written += kept.len() as u64;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "injected short write",
+                ));
+            }
+        }
+        s.written += chunk.len() as u64;
+        s.buffered.extend_from_slice(&chunk);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        let mut s = self.lock();
+        if s.drop_syncs {
+            s.dropped_syncs += 1;
+        } else {
+            let pending = std::mem::take(&mut s.buffered);
+            s.durable.extend_from_slice(&pending);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// The WAL appender: frames, checksums and sequence-stamps operations into
+/// a [`WalSink`], syncing per the [`FlushPolicy`].
+pub(crate) struct Wal {
+    sink: Box<dyn WalSink>,
+    policy: FlushPolicy,
+    /// Records appended since the last sync.
+    unsynced: u32,
+    /// Sequence number the next record gets.
+    next_seq: u64,
+}
+
+impl Wal {
+    /// A fresh log over `sink`: writes and syncs the header, starts at
+    /// sequence 1.
+    #[cfg(test)]
+    pub fn create(mut sink: Box<dyn WalSink>, policy: FlushPolicy) -> Result<Self, PersistError> {
+        sink.write(&wal_header())?;
+        sink.sync()?;
+        Ok(Self {
+            sink,
+            policy,
+            unsynced: 0,
+            next_seq: 1,
+        })
+    }
+
+    /// Resumes appending to an existing, already-valid log.
+    pub fn resume(sink: Box<dyn WalSink>, policy: FlushPolicy, next_seq: u64) -> Self {
+        Self {
+            sink,
+            policy,
+            unsynced: 0,
+            next_seq,
+        }
+    }
+
+    /// Opens (or creates) the log file at `path`, truncating it to
+    /// `truncate_to` bytes first — recovery passes the end of the valid
+    /// record prefix, so the torn suffix is physically removed. A length
+    /// below the header size means "start the file over".
+    pub fn open_file(
+        path: &Path,
+        policy: FlushPolicy,
+        next_seq: u64,
+        truncate_to: u64,
+    ) -> Result<Self, PersistError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let keep = if truncate_to < WAL_HEADER_LEN as u64 {
+            0
+        } else {
+            truncate_to
+        };
+        file.set_len(keep)?;
+        file.seek(SeekFrom::End(0))?;
+        let mut sink = FileSink { file };
+        if keep == 0 {
+            sink.write(&wal_header())?;
+        }
+        sink.sync()?;
+        Ok(Self::resume(Box::new(sink), policy, next_seq))
+    }
+
+    /// Reads a WAL file fully; a missing file is an empty log.
+    pub fn read_file(path: &Path) -> Result<Vec<u8>, PersistError> {
+        match File::open(path) {
+            Ok(mut f) => {
+                let mut bytes = Vec::new();
+                f.read_to_end(&mut bytes)?;
+                Ok(bytes)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Appends one operation with the given post-apply KB epoch stamp.
+    /// Returns the bytes written (frame included). On error the record
+    /// must be considered lost — the in-memory state the caller already
+    /// mutated stays ahead of the log until the next successful append.
+    pub fn append(
+        &mut self,
+        epoch: u64,
+        op: &WalOp,
+        voc: &Vocabulary,
+    ) -> Result<u64, PersistError> {
+        let frame = encode_record(self.next_seq, epoch, op, voc);
+        self.sink.write(&frame)?;
+        self.next_seq += 1;
+        self.unsynced += 1;
+        let sync_now = match self.policy {
+            FlushPolicy::EveryRecord => true,
+            FlushPolicy::EveryN(n) => self.unsynced >= n.max(1),
+        };
+        if sync_now {
+            self.sink.sync()?;
+            self.unsynced = 0;
+        }
+        Ok(frame.len() as u64)
+    }
+
+    /// Forces buffered records to durable storage regardless of policy.
+    pub fn flush(&mut self) -> Result<(), PersistError> {
+        self.sink.sync()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// The sequence number the next appended record will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // Best-effort: don't leave policy-buffered records in page cache
+        // on a clean shutdown. (A crash skips Drop — that's what recovery
+        // is for.)
+        let _ = self.sink.sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> (Kb, Vec<(u64, WalOp)>) {
+        // (epoch stamps are arbitrary here; scanning does not check them.)
+        let kb = Kb::new();
+        let ops = vec![
+            (
+                1,
+                WalOp::Individual {
+                    name: "user".into(),
+                },
+            ),
+            (
+                2,
+                WalOp::AssertConceptProb {
+                    subject: "user".into(),
+                    concept: "Ctx".into(),
+                    p: 0.25,
+                },
+            ),
+            (3, WalOp::RemoveRule { name: "R0".into() }),
+        ];
+        (kb, ops)
+    }
+
+    fn write_log(sink: &FaultSink, policy: FlushPolicy) -> Result<(), PersistError> {
+        let (kb, ops) = sample_ops();
+        let mut wal = Wal::create(Box::new(sink.clone()), policy)?;
+        for (epoch, op) in &ops {
+            wal.append(*epoch, op, &kb.voc)?;
+        }
+        wal.flush()
+    }
+
+    #[test]
+    fn records_round_trip_through_scan_and_decode() {
+        let sink = FaultSink::new();
+        write_log(&sink, FlushPolicy::EveryRecord).unwrap();
+        let bytes = sink.durable_bytes();
+        let scan = scan_wal(&bytes);
+        assert!(scan.header_ok);
+        assert_eq!(scan.dropped, 0);
+        assert_eq!(scan.valid_len, bytes.len());
+        let (mut kb, ops) = sample_ops();
+        assert_eq!(scan.records.len(), ops.len());
+        for (rec, (seq, (epoch, op))) in scan.records.iter().zip((1u64..).zip(ops)) {
+            assert_eq!((rec.seq, rec.epoch), (seq, epoch));
+            assert_eq!(decode_op(&rec.body, &mut kb.voc).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid_record() {
+        let sink = FaultSink::new();
+        write_log(&sink, FlushPolicy::EveryRecord).unwrap();
+        let bytes = sink.durable_bytes();
+        let full = scan_wal(&bytes);
+        let keep = full.records[1].end_offset;
+        // Cut mid-way through the last record.
+        let torn = &bytes[..keep + 5];
+        let scan = scan_wal(torn);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.valid_len, keep);
+        assert_eq!(scan.dropped, 1);
+    }
+
+    #[test]
+    fn bit_flip_drops_the_record_and_everything_after() {
+        let sink = FaultSink::new();
+        write_log(&sink, FlushPolicy::EveryRecord).unwrap();
+        let clean = sink.durable_bytes();
+        let full = scan_wal(&clean);
+        // Flip one payload bit inside the *first* record.
+        let sink = FaultSink::new();
+        sink.flip_bit((full.records[0].end_offset as u64 - 2) * 8);
+        write_log(&sink, FlushPolicy::EveryRecord).unwrap();
+        let scan = scan_wal(&sink.durable_bytes());
+        assert!(scan.header_ok);
+        assert_eq!(scan.records.len(), 0, "nothing before the corruption");
+        assert_eq!(scan.dropped, 3, "the flipped record and both after it");
+        assert_eq!(scan.valid_len, WAL_HEADER_LEN);
+    }
+
+    #[test]
+    fn dropped_syncs_lose_unflushed_suffix_only() {
+        let sink = FaultSink::new();
+        // Header flushes normally, then all syncs get dropped.
+        let (kb, ops) = sample_ops();
+        let mut wal = Wal::create(Box::new(sink.clone()), FlushPolicy::EveryRecord).unwrap();
+        wal.append(ops[0].0, &ops[0].1, &kb.voc).unwrap();
+        sink.drop_syncs(true);
+        wal.append(ops[1].0, &ops[1].1, &kb.voc).unwrap();
+        wal.append(ops[2].0, &ops[2].1, &kb.voc).unwrap();
+        assert!(sink.dropped_syncs() >= 2);
+        let scan = scan_wal(&sink.durable_bytes());
+        assert_eq!(scan.records.len(), 1, "only the synced record survives");
+        assert_eq!(scan.dropped, 0, "a cleanly missing suffix is not torn");
+    }
+
+    #[test]
+    fn short_write_leaves_a_scannable_prefix() {
+        let sink = FaultSink::new();
+        // Find the clean length of two records, then replay with a budget
+        // that tears the third one mid-frame.
+        write_log(&sink, FlushPolicy::EveryRecord).unwrap();
+        let two = scan_wal(&sink.durable_bytes()).records[1].end_offset;
+        let sink = FaultSink::new();
+        sink.short_write_after(two as u64 + 3);
+        let err = write_log(&sink, FlushPolicy::EveryRecord);
+        assert!(matches!(err, Err(PersistError::Io(_))));
+        // The crash image: everything synced plus the torn buffered bytes.
+        let scan = scan_wal(&sink.all_bytes());
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.valid_len, two);
+        assert_eq!(scan.dropped, 1);
+    }
+
+    #[test]
+    fn bad_header_forfeits_the_log() {
+        let sink = FaultSink::new();
+        write_log(&sink, FlushPolicy::EveryRecord).unwrap();
+        let mut bytes = sink.durable_bytes();
+        bytes[3] ^= 0xFF;
+        let scan = scan_wal(&bytes);
+        assert!(!scan.header_ok);
+        assert!(scan.records.is_empty());
+        assert_eq!((scan.valid_len, scan.dropped), (0, 1));
+    }
+
+    #[test]
+    fn corrupt_op_bodies_error_instead_of_panicking() {
+        let (mut kb, ops) = sample_ops();
+        for (_, op) in &ops {
+            let frame = encode_record(1, 1, op, &kb.voc);
+            let body = &frame[24..]; // skip len+crc+seq+epoch
+            for cut in 0..body.len() {
+                assert!(decode_op(&body[..cut], &mut kb.voc).is_err());
+            }
+        }
+        assert!(matches!(
+            decode_op(&[99], &mut kb.voc),
+            Err(PersistError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn every_n_policy_syncs_in_batches() {
+        let sink = FaultSink::new();
+        let (kb, ops) = sample_ops();
+        let mut wal = Wal::create(Box::new(sink.clone()), FlushPolicy::EveryN(2)).unwrap();
+        wal.append(ops[0].0, &ops[0].1, &kb.voc).unwrap();
+        assert_eq!(
+            scan_wal(&sink.durable_bytes()).records.len(),
+            0,
+            "first record still buffered"
+        );
+        wal.append(ops[1].0, &ops[1].1, &kb.voc).unwrap();
+        assert_eq!(
+            scan_wal(&sink.durable_bytes()).records.len(),
+            2,
+            "second record crossed the batch"
+        );
+    }
+}

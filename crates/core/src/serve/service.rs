@@ -2,10 +2,11 @@
 //! and the shared evaluation pool.
 
 use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use capra_dl::IndividualId;
+use capra_dl::{Concept, IndividualId};
 use capra_events::EvictionPolicy;
 
 use crate::bind::{bind_rules_shared, RuleBinding};
@@ -14,11 +15,49 @@ use crate::multiuser::{group_scores, GroupStrategy};
 use crate::parallel::{
     effective_threads, rank_top_k_bound_parallel, score_all_bound_parallel, ScratchPool,
 };
+use crate::persist::snapshot::{decode_snapshot, encode_snapshot};
+use crate::persist::wal::{apply_op, decode_op, scan_wal, Wal, WalOp, WAL_HEADER_LEN};
+use crate::persist::{FlushPolicy, PersistError, WalStats};
 use crate::serve::request::{Fact, Request, Response};
 use crate::serve::tenants::TenantSessions;
 use crate::session::{read_through_scores, score_key, SessionStats};
 use crate::topk::rank_top_k_bound;
 use crate::{Kb, PreferenceRule, Result, RuleRepository, ScoringEnv};
+
+/// File name of the write-ahead log inside a durable directory.
+const WAL_FILE: &str = "wal.log";
+
+/// Snapshot files inside a durable directory, newest first. Names follow
+/// `snapshot-<seq>.snap` where `<seq>` is the last WAL sequence number the
+/// snapshot covers.
+fn snapshot_paths(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut out = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(seq) = name
+                .strip_prefix("snapshot-")
+                .and_then(|s| s.strip_suffix(".snap"))
+            else {
+                continue;
+            };
+            if let Ok(seq) = seq.parse::<u64>() {
+                out.push((seq, entry.path()));
+            }
+        }
+    }
+    out.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq));
+    out
+}
+
+/// The persistence attachment of a durable service.
+struct DurableState {
+    /// Directory holding `wal.log` and `snapshot-<seq>.snap` files.
+    dir: PathBuf,
+    /// The open write-ahead log.
+    wal: Wal,
+}
 
 /// Sizing and policy knobs of a [`RankingService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +125,12 @@ pub struct ServiceStats {
     /// [`SessionStats::footprint`] (tenants hold no evaluation memos of
     /// their own).
     pub sessions: SessionStats,
+    /// Write-ahead-log traffic: records/bytes appended since the service
+    /// opened (or was last cleared), and — from the last recovery —
+    /// records replayed and records lost to torn or corrupt log suffixes.
+    /// All zero for a service that was not opened with
+    /// [`RankingService::open_durable`].
+    pub wal: WalStats,
 }
 
 /// What the parallel group fan-out hands back to the read-through pass.
@@ -151,6 +196,11 @@ pub struct RankingService<E> {
     rank_requests: u64,
     asserts: u64,
     coalesced_runs: u64,
+    /// `Some` when the service was opened with
+    /// [`RankingService::open_durable`]; mutations then append to the WAL.
+    durable: Option<DurableState>,
+    /// WAL traffic counters surfaced via [`ServiceStats::wal`].
+    wal_stats: WalStats,
 }
 
 impl<E: ScoringEngine + Sync> RankingService<E> {
@@ -172,7 +222,245 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
             rank_requests: 0,
             asserts: 0,
             coalesced_runs: 0,
+            durable: None,
+            wal_stats: WalStats::default(),
         }
+    }
+
+    /// Opens a *durable* service backed by `dir`: recovers the newest
+    /// valid snapshot (if any), replays the WAL suffix, and keeps the log
+    /// open so every subsequent mutation is persisted under `flush`.
+    ///
+    /// Recovery is deliberately forgiving: a corrupt or truncated snapshot
+    /// falls back to the next older one (or a cold start — the WAL keeps
+    /// the full mutation history, so no durable state is lost either way),
+    /// and a torn, bit-flipped or otherwise invalid WAL record truncates
+    /// the log back to the last valid prefix instead of failing. The
+    /// replayed/dropped record counts surface in [`ServiceStats::wal`].
+    ///
+    /// Post-recovery scores are bit-identical to the uninterrupted run:
+    /// names re-intern in the original order, probabilities travel as raw
+    /// bits, and the KB epoch stamped on every record is re-checked during
+    /// replay. Tenants that were live at snapshot time have their rule
+    /// bindings re-derived at boot, so their first post-restart rank pays
+    /// no cold bind.
+    ///
+    /// ```
+    /// use capra_core::serve::{Fact, RankingService};
+    /// use capra_core::{FlushPolicy, LineageEngine};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("capra-doc-{}", std::process::id()));
+    /// std::fs::remove_dir_all(&dir).ok();
+    /// let mut service = RankingService::open_durable(
+    ///     LineageEngine::new(), Default::default(), &dir, FlushPolicy::EveryRecord).unwrap();
+    /// let peter = service.individual("peter");
+    /// service.assert(peter, Fact::ConceptProb("Weekend".into(), 0.7)).unwrap();
+    /// let epoch = service.kb().epoch();
+    /// drop(service); // "crash"
+    ///
+    /// let restored = RankingService::open_durable(
+    ///     LineageEngine::new(), Default::default(), &dir, FlushPolicy::EveryRecord).unwrap();
+    /// assert_eq!(restored.kb().epoch(), epoch);
+    /// assert_eq!(restored.stats().wal.records_replayed, 2);
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// ```
+    pub fn open_durable(
+        engine: E,
+        config: ServiceConfig,
+        dir: impl AsRef<Path>,
+        flush: FlushPolicy,
+    ) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(PersistError::from)?;
+
+        // Newest snapshot whose bytes fully decode; corrupt ones are
+        // skipped (the WAL holds the full history, so they cost nothing
+        // but replay time).
+        let mut snapshot_bytes = None;
+        for (_, path) in snapshot_paths(&dir) {
+            if let Ok(bytes) = std::fs::read(&path) {
+                if decode_snapshot(&bytes).is_ok() {
+                    snapshot_bytes = Some(bytes);
+                    break;
+                }
+            }
+        }
+
+        // Scan the log: framing + checksum validation only; operation
+        // bodies decode during replay below, against the recovered
+        // vocabulary.
+        let wal_path = dir.join(WAL_FILE);
+        let bytes = Wal::read_file(&wal_path)?;
+        let mut truncated = 0u64;
+        let (records, fresh_log) = if bytes.is_empty() {
+            (Vec::new(), true)
+        } else {
+            let scan = scan_wal(&bytes);
+            truncated += scan.dropped;
+            if scan.header_ok {
+                (scan.records, false)
+            } else {
+                (Vec::new(), true)
+            }
+        };
+
+        // Restore the snapshot and replay the WAL suffix. A record that
+        // passes its CRC but fails semantic replay (undecodable operation,
+        // sequence gap, post-apply epoch mismatch) cannot be un-applied in
+        // place, so the pass restarts from the snapshot with the prefix
+        // shortened to just before the failure; the records replayed so
+        // far are deterministic, so the loop runs at most twice.
+        let mut limit = records.len();
+        let (kb, rules, prob, expect, warm_users, base_seq, replayed, end_offset) = loop {
+            let (mut kb, mut rules, prob, expect, warm, base_seq) = match &snapshot_bytes {
+                Some(bytes) => match decode_snapshot(bytes) {
+                    Ok(s) => (
+                        s.kb,
+                        s.rules,
+                        s.prob,
+                        s.expect,
+                        s.warm_users,
+                        s.last_applied_seq,
+                    ),
+                    Err(_) => unreachable!("snapshot bytes were validated above"),
+                },
+                None => (
+                    Kb::new(),
+                    RuleRepository::new(),
+                    Default::default(),
+                    Default::default(),
+                    Vec::new(),
+                    0,
+                ),
+            };
+            let mut applied = 0u64;
+            let mut end = WAL_HEADER_LEN;
+            let mut prev_seq = None;
+            let mut failed_at = None;
+            for (j, rec) in records[..limit].iter().enumerate() {
+                if let Some(prev) = prev_seq {
+                    if rec.seq != prev + 1 {
+                        failed_at = Some(j);
+                        break;
+                    }
+                }
+                prev_seq = Some(rec.seq);
+                if rec.seq <= base_seq {
+                    // Already reflected in the snapshot.
+                    end = rec.end_offset;
+                    continue;
+                }
+                let ok = decode_op(&rec.body, &mut kb.voc)
+                    .and_then(|op| apply_op(&mut kb, &mut rules, op))
+                    .is_ok()
+                    && kb.epoch() == rec.epoch;
+                if ok {
+                    applied += 1;
+                    end = rec.end_offset;
+                } else {
+                    failed_at = Some(j);
+                    break;
+                }
+            }
+            match failed_at {
+                Some(j) => {
+                    truncated += (limit - j) as u64;
+                    limit = j;
+                }
+                None => break (kb, rules, prob, expect, warm, base_seq, applied, end),
+            }
+        };
+
+        // Physically drop the invalid suffix and resume appending after
+        // the last surviving sequence number.
+        let next_seq = records[..limit]
+            .last()
+            .map(|r| r.seq)
+            .unwrap_or(base_seq)
+            .max(base_seq)
+            + 1;
+        let truncate_to = if fresh_log { 0 } else { end_offset as u64 };
+        let wal = Wal::open_file(&wal_path, flush, next_seq, truncate_to)?;
+
+        let mut service = Self::with_config(engine, kb, rules, config);
+        service.durable = Some(DurableState { dir, wal });
+        service.wal_stats.records_replayed = replayed;
+        service.wal_stats.records_truncated = truncated;
+        // Re-publish the persisted evaluation tier through the ordinary
+        // pool cycle (no-op when the snapshot carried none).
+        service.pool.install_snapshot(&service.kb, prob, expect);
+        // Re-derive bindings for the tenants that were warm at snapshot
+        // time, so their first post-boot request needs no cold bind.
+        for name in warm_users {
+            let Some(user) = service.kb.voc.find_individual(&name) else {
+                continue;
+            };
+            let env = ScoringEnv {
+                kb: &service.kb,
+                rules: &service.rules,
+                user,
+            };
+            let bindings = bind_rules_shared(&env);
+            service.tenants.session(user).bindings.seed(&env, &bindings);
+        }
+        Ok(service)
+    }
+
+    /// Writes a full snapshot of the current state (KB, rules, the shared
+    /// evaluation tier, and the live-tenant set) to the durable directory,
+    /// atomically (write to a temp file, fsync, rename). Older snapshots
+    /// beyond the newest two are pruned; the WAL is kept whole — it is the
+    /// authoritative history, which is what lets recovery survive a
+    /// corrupt snapshot file with zero data loss.
+    ///
+    /// Errors with [`PersistError::Invalid`] if the service was not opened
+    /// with [`RankingService::open_durable`].
+    pub fn save_snapshot(&mut self) -> Result<()> {
+        let Some(durable) = &mut self.durable else {
+            return Err(PersistError::Invalid(
+                "save_snapshot requires a durable service (use open_durable)".into(),
+            )
+            .into());
+        };
+        durable.wal.flush()?;
+        let seq = durable.wal.next_seq() - 1;
+        let tier = self.pool.export_tier(&self.kb);
+        let warm: Vec<String> = self
+            .tenants
+            .live_users()
+            .map(|u| self.kb.voc.individual_name(u).to_string())
+            .collect();
+        let bytes = encode_snapshot(&self.kb, &self.rules, &tier, &warm, seq);
+        let tmp = durable.dir.join("snapshot.tmp");
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::File::create(&tmp).map_err(PersistError::from)?;
+            f.write_all(&bytes).map_err(PersistError::from)?;
+            f.sync_all().map_err(PersistError::from)?;
+        }
+        std::fs::rename(&tmp, durable.dir.join(format!("snapshot-{seq}.snap")))
+            .map_err(PersistError::from)?;
+        for (_, path) in snapshot_paths(&durable.dir).into_iter().skip(2) {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    /// Whether this service persists mutations (was opened with
+    /// [`RankingService::open_durable`]).
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Appends one operation to the WAL, stamped with the current
+    /// (post-apply) KB epoch. No-op for non-durable services.
+    fn log(&mut self, op: WalOp) -> Result<()> {
+        if let Some(durable) = &mut self.durable {
+            let bytes = durable.wal.append(self.kb.epoch(), &op, &self.kb.voc)?;
+            self.wal_stats.records_appended += 1;
+            self.wal_stats.bytes_appended += bytes;
+        }
+        Ok(())
     }
 
     /// The engine every request scores through.
@@ -196,27 +484,68 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     /// Interns (or looks up) an individual — users and documents alike
     /// must be registered before they appear in requests. Looking up an
     /// existing name is a KB no-op and leaves every cache warm.
+    ///
+    /// On a durable service a *new* registration (the KB epoch moved) is
+    /// logged best-effort: the signature has no error channel, and replay
+    /// degrades gracefully if the record is lost — a later record that
+    /// references the unknown name truncates at that point rather than
+    /// crashing.
     pub fn individual(&mut self, name: &str) -> IndividualId {
-        self.kb.individual(name)
+        let before = self.kb.epoch();
+        let id = self.kb.individual(name);
+        if self.kb.epoch() != before && self.durable.is_some() {
+            let _ = self.log(WalOp::Individual {
+                name: name.to_string(),
+            });
+        }
+        id
+    }
+
+    /// Parses a concept expression against the service KB's vocabulary —
+    /// the way to build [`PreferenceRule`]s for a service that was opened
+    /// cold via [`RankingService::open_durable`] (name interning mutates
+    /// the vocabulary, so the read-only [`RankingService::kb`] view cannot
+    /// parse).
+    pub fn parse(&mut self, text: &str) -> Result<Concept> {
+        self.kb.parse(text)
     }
 
     /// Adds a preference rule. Affected bindings re-derive lazily on each
     /// tenant's next request (the binding cache validates per rule).
     pub fn add_rule(&mut self, rule: PreferenceRule) -> Result<()> {
-        self.rules.add(rule)
+        let op = self.durable.is_some().then(|| WalOp::AddRule {
+            name: rule.name.clone(),
+            context: rule.context.clone(),
+            preference: rule.preference.clone(),
+            sigma: rule.sigma.get(),
+        });
+        self.rules.add(rule)?;
+        if let Some(op) = op {
+            self.log(op)?;
+        }
+        Ok(())
     }
 
     /// Removes the named preference rule.
+    ///
+    /// On a durable service the removal is logged after it succeeds; if
+    /// the append itself fails the in-memory removal stands and the error
+    /// is returned — the caller knows durability lagged.
     pub fn remove_rule(&mut self, name: &str) -> Result<PreferenceRule> {
-        self.rules.remove(name)
+        let rule = self.rules.remove(name)?;
+        self.log(WalOp::RemoveRule {
+            name: name.to_string(),
+        })?;
+        Ok(rule)
     }
 
     /// Asserts a typed [`Fact`] — the context-switch path. Bumps the KB's
     /// binding epoch, so every tenant's stale bindings (and only those)
     /// re-derive on their next request. A rejected fact (e.g. an invalid
-    /// probability) mutates nothing and does not count toward
-    /// [`ServiceStats::asserts`].
+    /// probability) mutates nothing, does not count toward
+    /// [`ServiceStats::asserts`], and is never logged.
     pub fn assert(&mut self, subject: IndividualId, fact: Fact) -> Result<()> {
+        let op = self.durable.is_some().then(|| self.fact_op(subject, &fact));
         match fact {
             Fact::Concept(concept) => {
                 self.kb.assert_concept(subject, &concept);
@@ -232,7 +561,38 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
             }
         }
         self.asserts += 1;
+        if let Some(op) = op {
+            self.log(op)?;
+        }
         Ok(())
+    }
+
+    /// Translates a [`Fact`] into its WAL operation, resolving IDs back to
+    /// names so the record is stable across restarts.
+    fn fact_op(&self, subject: IndividualId, fact: &Fact) -> WalOp {
+        let subject = self.kb.voc.individual_name(subject).to_string();
+        match fact {
+            Fact::Concept(concept) => WalOp::AssertConcept {
+                subject,
+                concept: concept.clone(),
+            },
+            Fact::ConceptProb(concept, p) => WalOp::AssertConceptProb {
+                subject,
+                concept: concept.clone(),
+                p: *p,
+            },
+            Fact::Role(role, object) => WalOp::AssertRole {
+                subject,
+                role: role.clone(),
+                object: self.kb.voc.individual_name(*object).to_string(),
+            },
+            Fact::RoleProb(role, object, p) => WalOp::AssertRoleProb {
+                subject,
+                role: role.clone(),
+                object: self.kb.voc.individual_name(*object).to_string(),
+                p: *p,
+            },
+        }
     }
 
     /// Ranks `docs` for `user`, returning the top `k` (best first).
@@ -660,6 +1020,7 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
             rank_requests: self.rank_requests,
             asserts: self.asserts,
             coalesced_runs: self.coalesced_runs,
+            wal: self.wal_stats,
             sessions,
         }
     }
@@ -677,12 +1038,18 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     /// layers below. Engine, KB, rules and configuration are kept, and
     /// results are unaffected: subsequent requests recompute
     /// bit-identical scores.
+    ///
+    /// On a durable service the WAL stays attached and open: the log file
+    /// is untouched (it still reflects the KB and rules, which `clear`
+    /// keeps), sequence numbers continue where they left off, and only the
+    /// [`WalStats`] counters reset with the other stats.
     pub fn clear(&mut self) {
         self.tenants.clear();
         self.pool = ScratchPool::with_config(self.pool.policy(), self.pool.scoring());
         self.rank_requests = 0;
         self.asserts = 0;
         self.coalesced_runs = 0;
+        self.wal_stats = WalStats::default();
     }
 }
 
@@ -1113,5 +1480,204 @@ mod tests {
         for (a, b) in before.iter().zip(&restored) {
             assert_eq!(a.score.to_bits(), b.score.to_bits());
         }
+    }
+
+    /// Fresh scratch directory for a durability test (removed first, so a
+    /// previous failed run can't leak state in).
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("capra-svc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Builds the `fixture(3, 8)` state through the durable mutation API,
+    /// so every step lands in the WAL.
+    fn populate_durable(
+        service: &mut RankingService<LineageEngine>,
+    ) -> (Vec<IndividualId>, Vec<IndividualId>) {
+        let (n_users, n_docs) = (3, 8);
+        let users: Vec<_> = (0..n_users)
+            .map(|i| {
+                let u = service.individual(&format!("user{i}"));
+                service
+                    .assert(
+                        u,
+                        Fact::ConceptProb("Ctx0".into(), 0.2 + 0.5 * (i as f64 / n_users as f64)),
+                    )
+                    .unwrap();
+                if i % 2 == 0 {
+                    service.assert(u, Fact::Concept("Ctx1".into())).unwrap();
+                }
+                u
+            })
+            .collect();
+        let docs: Vec<_> = (0..n_docs)
+            .map(|i| {
+                let d = service.individual(&format!("doc{i}"));
+                service
+                    .assert(
+                        d,
+                        Fact::ConceptProb("Feat0".into(), 0.1 + 0.8 * (i as f64 / n_docs as f64)),
+                    )
+                    .unwrap();
+                service
+                    .assert(
+                        d,
+                        Fact::ConceptProb("Feat1".into(), 0.9 - 0.7 * (i as f64 / n_docs as f64)),
+                    )
+                    .unwrap();
+                d
+            })
+            .collect();
+        let (ctx0, feat0) = (
+            service.parse("Ctx0").unwrap(),
+            service.parse("Feat0").unwrap(),
+        );
+        service
+            .add_rule(PreferenceRule::new(
+                "R0",
+                ctx0,
+                feat0,
+                Score::new(0.8).unwrap(),
+            ))
+            .unwrap();
+        let (ctx1, both) = (
+            service.parse("Ctx1").unwrap(),
+            service.parse("Feat0 AND Feat1").unwrap(),
+        );
+        service
+            .add_rule(PreferenceRule::new(
+                "R1",
+                ctx1,
+                both,
+                Score::new(0.4).unwrap(),
+            ))
+            .unwrap();
+        (users, docs)
+    }
+
+    #[test]
+    fn durable_snapshot_plus_wal_suffix_restores_bit_identical_scores() {
+        let dir = scratch_dir("roundtrip");
+        let mut service = RankingService::open_durable(
+            LineageEngine::new(),
+            ServiceConfig::default(),
+            &dir,
+            FlushPolicy::EveryRecord,
+        )
+        .unwrap();
+        assert!(service.is_durable());
+        let (users, docs) = populate_durable(&mut service);
+        for &u in &users {
+            service.rank(u, &docs, docs.len()).unwrap();
+        }
+        service.save_snapshot().unwrap();
+        // Post-snapshot mutations land only in the WAL.
+        service
+            .assert(users[1], Fact::ConceptProb("Ctx0".into(), 0.99))
+            .unwrap();
+        service.remove_rule("R1").unwrap();
+        let want: Vec<Vec<DocScore>> = users
+            .iter()
+            .map(|&u| service.rank(u, &docs, docs.len()).unwrap())
+            .collect();
+        let epoch = service.kb().epoch();
+        drop(service); // crash point: nothing after the last append survives
+
+        let mut restored = RankingService::open_durable(
+            LineageEngine::new(),
+            ServiceConfig::default(),
+            &dir,
+            FlushPolicy::EveryRecord,
+        )
+        .unwrap();
+        assert_eq!(restored.kb().epoch(), epoch);
+        let wal = restored.stats().wal;
+        assert_eq!(
+            (wal.records_replayed, wal.records_truncated),
+            (2, 0),
+            "only the post-snapshot suffix replays: {wal:?}"
+        );
+        // Snapshot-covered tenants boot warm: the first rank adds no new
+        // binding misses.
+        for &u in &users {
+            let u = restored
+                .kb()
+                .voc
+                .find_individual(restored.kb().voc.individual_name(u))
+                .unwrap();
+            let misses_at_boot = restored.tenant_stats(u).unwrap().bindings.misses;
+            restored.rank(u, &docs, docs.len()).unwrap();
+            assert_eq!(
+                restored.tenant_stats(u).unwrap().bindings.misses,
+                misses_at_boot,
+                "warm-seeded tenant must not cold-bind on its first rank"
+            );
+        }
+        for (&u, want) in users.iter().zip(&want) {
+            let got = restored.rank(u, &docs, docs.len()).unwrap();
+            for (a, b) in want.iter().zip(&got) {
+                assert_eq!(a.doc, b.doc);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_keeps_wal_attached_and_sequence_continuous() {
+        let dir = scratch_dir("clear");
+        let mut service = RankingService::open_durable(
+            LineageEngine::new(),
+            ServiceConfig::default(),
+            &dir,
+            FlushPolicy::EveryRecord,
+        )
+        .unwrap();
+        let (users, _docs) = populate_durable(&mut service);
+        let appended_before = service.stats().wal.records_appended;
+        assert!(appended_before > 0);
+
+        service.clear();
+        assert_eq!(
+            service.stats().wal,
+            WalStats::default(),
+            "clear resets WAL counters with the other stats"
+        );
+        assert!(service.is_durable(), "clear must not detach the log");
+        assert_eq!(service.rules().len(), 2, "clear keeps KB and rules");
+
+        // Post-clear mutations keep appending to the same log...
+        service
+            .assert(users[0], Fact::ConceptProb("Ctx0".into(), 0.5))
+            .unwrap();
+        assert_eq!(service.stats().wal.records_appended, 1);
+        let epoch = service.kb().epoch();
+        drop(service);
+
+        // ...and the sequence numbering stayed continuous: recovery (which
+        // enforces seq continuity) replays every record, before and after
+        // the clear.
+        let restored = RankingService::open_durable(
+            LineageEngine::new(),
+            ServiceConfig::default(),
+            &dir,
+            FlushPolicy::EveryRecord,
+        )
+        .unwrap();
+        let wal = restored.stats().wal;
+        assert_eq!(wal.records_truncated, 0, "{wal:?}");
+        assert_eq!(wal.records_replayed, appended_before + 1, "{wal:?}");
+        assert_eq!(restored.kb().epoch(), epoch);
+        assert_eq!(restored.rules().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_snapshot_requires_durable_service() {
+        let (kb, rules, _, _) = fixture(1, 2);
+        let mut service = RankingService::new(LineageEngine::new(), kb, rules);
+        assert!(!service.is_durable());
+        assert!(service.save_snapshot().is_err());
     }
 }

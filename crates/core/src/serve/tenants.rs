@@ -145,6 +145,14 @@ impl TenantSessions {
         self.shards.iter().flat_map(HashMap::values)
     }
 
+    /// Iterates over the user ids of all currently live tenants (shard
+    /// order; no recency refresh). The persistence layer snapshots this
+    /// set so a recovered service can re-derive those tenants' bindings at
+    /// boot instead of on their first post-boot request.
+    pub fn live_users(&self) -> impl Iterator<Item = IndividualId> + '_ {
+        self.shards.iter().flat_map(HashMap::keys).copied()
+    }
+
     /// Removes the least-recently-used tenant across all shards, folding
     /// its counters into the retired totals. The scan is O(live tenants) —
     /// fine for in-process caps; a deployment that needs millions of live

@@ -47,6 +47,7 @@ use capra_events::{BatchStats, CacheFootprint, EvictionPolicy};
 
 use crate::bind::RuleBinding;
 use crate::engines::{rank, DocScore, EvalScratch, ScoringConfig, ScoringEngine};
+use crate::persist::WalStats;
 use crate::topk::rank_top_k_bound;
 use crate::{Result, ScoringEnv};
 
@@ -135,6 +136,12 @@ pub struct SessionStats {
     /// scalar path ([`crate::ScoringConfig`] with `columnar: false`, or
     /// engines without a columnar port).
     pub batch: BatchStats,
+    /// Write-ahead-log traffic (see [`crate::persist::WalStats`]). Always
+    /// zero for plain in-memory sessions — the WAL belongs to the service
+    /// layer, which reports it in [`crate::ServiceStats::wal`]. The field
+    /// exists here so aggregated stats keep one shape through the same
+    /// `Add`/`Sum` path.
+    pub wal: WalStats,
 }
 
 impl std::ops::Add for SessionStats {
@@ -146,6 +153,7 @@ impl std::ops::Add for SessionStats {
             scores: self.scores + other.scores,
             footprint: self.footprint + other.footprint,
             batch: self.batch + other.batch,
+            wal: self.wal + other.wal,
         }
     }
 }
@@ -564,6 +572,7 @@ impl ScoringSession {
             scores: self.scores.stats(),
             footprint: self.scratch.footprint(),
             batch: self.scratch.batch_stats(),
+            wal: WalStats::default(),
         }
     }
 

@@ -153,6 +153,30 @@ impl ABox {
         self.roles.keys().copied()
     }
 
+    /// Reassembles an ABox from previously exported parts — the import path
+    /// of the persistence layer, which reads the tables back through
+    /// [`ABox::concept_rows`] / [`ABox::role_edges`] / [`ABox::domain`].
+    ///
+    /// The epoch is taken verbatim: unlike the TBox, an ABox epoch is not
+    /// derivable from the final state (disjoined re-assertions and dropped
+    /// `False` events each bumped it without leaving a distinct row), so
+    /// restoring the exact counter is the caller's responsibility. Callers
+    /// must pass parts exported from one consistent ABox; this constructor
+    /// does not re-validate domain membership.
+    pub fn from_parts(
+        concepts: HashMap<ConceptName, BTreeMap<IndividualId, EventExpr>>,
+        roles: HashMap<RoleName, Vec<RoleEdge>>,
+        domain: BTreeSet<IndividualId>,
+        epoch: u64,
+    ) -> Self {
+        Self {
+            concepts,
+            roles,
+            domain,
+            epoch,
+        }
+    }
+
     /// Number of concept assertions plus role assertions (the paper reports
     /// its test database size in tuples; this is the same measure).
     pub fn num_tuples(&self) -> usize {

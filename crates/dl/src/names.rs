@@ -138,6 +138,26 @@ impl Vocabulary {
     pub fn individual_ids(&self) -> impl Iterator<Item = IndividualId> + '_ {
         (0..self.individuals.names.len()).map(|i| IndividualId(i as u32))
     }
+
+    /// Iterates over concept names in interning order. Re-interning the
+    /// yielded names into a fresh vocabulary, in order, reproduces the
+    /// exact same [`ConceptName`] handles — the contract persistence
+    /// relies on to keep symbol handles stable across a save/restore.
+    pub fn concept_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.concepts.names.iter().map(String::as_str)
+    }
+
+    /// Iterates over role names in interning order (see
+    /// [`Vocabulary::concept_names`] for the reproducibility contract).
+    pub fn role_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.roles.names.iter().map(String::as_str)
+    }
+
+    /// Iterates over individual names in interning order (see
+    /// [`Vocabulary::concept_names`] for the reproducibility contract).
+    pub fn individual_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.individuals.names.iter().map(String::as_str)
+    }
 }
 
 impl fmt::Display for Vocabulary {

@@ -66,6 +66,15 @@ impl TBox {
         self.definitions.get(&name)
     }
 
+    /// Iterates over all definitions in `ConceptName` order. Replaying the
+    /// yielded pairs through [`TBox::define`] on an empty TBox (against a
+    /// vocabulary holding the same handles) rebuilds an equal TBox with an
+    /// equal epoch: the epoch counts accepted definitions, and acyclicity
+    /// of the whole set makes the replay order irrelevant.
+    pub fn definitions(&self) -> impl Iterator<Item = (ConceptName, &Concept)> + '_ {
+        self.definitions.iter().map(|(name, c)| (*name, c))
+    }
+
     /// Number of definitions.
     pub fn len(&self) -> usize {
         self.definitions.len()

@@ -149,6 +149,23 @@ impl EvalCache {
         ));
     }
 
+    /// Inserts a probability entry into the private overlay — the import
+    /// path of the persistence layer: entries decoded from a saved snapshot
+    /// are re-interned (so their keys resolve to this process's node
+    /// identities) and handed back one by one before the cache is
+    /// republished as a frozen tier. Values are pure functions of their
+    /// hash-consed keys, so importing an entry computed by another process
+    /// is indistinguishable from having computed it here.
+    pub fn insert_prob(&mut self, expr: EventExpr, p: f64) {
+        self.memo.insert(expr, p);
+    }
+
+    /// Inserts a Shannon-pivot entry into the private overlay (the pivot
+    /// counterpart of [`EvalCache::insert_prob`]).
+    pub fn insert_pivot(&mut self, expr: EventExpr, var: VarId) {
+        self.pivots.insert(expr, var);
+    }
+
     /// Entries and pinned-node estimate of the private overlay alone,
     /// ignoring any backing snapshot — for holders that account for the
     /// shared chain separately (e.g. a pool whose parked worker overlays
@@ -245,6 +262,39 @@ impl FrozenEvalCache {
     fn get_pivot(&self, expr: &EventExpr) -> Option<VarId> {
         self.tiers()
             .find_map(|t| t.payload.pivots.get(expr).copied())
+    }
+
+    /// All memoised probabilities across the chain, deduplicated with the
+    /// lookup precedence (newest tier wins for shadowed keys — identical
+    /// values by construction, so precedence only avoids emitting
+    /// duplicates). This is the export path of the persistence layer; the
+    /// matching import is [`EvalCache::insert_prob`] after re-interning.
+    pub fn export_probs(&self) -> Vec<(EventExpr, f64)> {
+        let mut seen: FastMap<EventExpr, ()> = FastMap::default();
+        let mut out = Vec::new();
+        for t in self.tiers() {
+            for (e, p) in t.payload.memo.iter() {
+                if seen.insert(e.clone(), ()).is_none() {
+                    out.push((e.clone(), *p));
+                }
+            }
+        }
+        out
+    }
+
+    /// All memoised Shannon pivots across the chain, deduplicated like
+    /// [`FrozenEvalCache::export_probs`].
+    pub fn export_pivots(&self) -> Vec<(EventExpr, VarId)> {
+        let mut seen: FastMap<EventExpr, ()> = FastMap::default();
+        let mut out = Vec::new();
+        for t in self.tiers() {
+            for (e, v) in t.payload.pivots.iter() {
+                if seen.insert(e.clone(), ()).is_none() {
+                    out.push((e.clone(), *v));
+                }
+            }
+        }
+        out
     }
 
     /// Occupied tiers, memo+pivot entries, and pinned-node estimate of this

@@ -134,6 +134,12 @@ impl Factor {
 
 type FactorKey = Vec<(EventExpr, u64)>;
 
+/// A memoised factor group in export form: one `(case event, value-hash)`
+/// key per factor, one inner vec per factor in the group. Produced by
+/// [`FrozenExpectCache::export_groups`], consumed (after re-interning the
+/// expressions) by [`ExpectCache::insert_group`].
+pub type ExportedGroup = Vec<FactorKey>;
+
 /// Reusable exact-expectation computer (see module docs).
 ///
 /// Holds a memo table keyed by canonicalised factor groups; reuse one
@@ -212,6 +218,29 @@ impl ExpectCache {
             epoch,
             policy,
         ));
+    }
+
+    /// Mutable access to the embedded probability cache — the import path
+    /// of the persistence layer, which fills both the group memo (via
+    /// [`ExpectCache::insert_group`]) and the embedded evaluator's memo
+    /// (via [`crate::EvalCache::insert_prob`] / `insert_pivot`) from a
+    /// decoded snapshot before the cache is republished as a frozen tier.
+    pub fn eval_mut(&mut self) -> &mut EvalCache {
+        &mut self.eval
+    }
+
+    /// Inserts a factor-group expectation into the private overlay. The
+    /// key rows are re-canonicalised here: factor keys are ordered by
+    /// [`EventExpr`]'s `Ord`, which compares process-local interner node
+    /// ids, so a key decoded from another process's snapshot must be
+    /// re-sorted after re-interning to match the order lookups use.
+    pub fn insert_group(&mut self, key: Vec<Vec<(EventExpr, u64)>>, value: f64) {
+        let mut key: Vec<FactorKey> = key;
+        for row in &mut key {
+            row.sort_unstable();
+        }
+        key.sort_unstable();
+        self.memo.insert(key, value);
     }
 
     /// Entries and pinned estimate of the private group-memo overlay only
@@ -308,6 +337,25 @@ impl FrozenExpectCache {
 
     fn get(&self, key: &Vec<FactorKey>) -> Option<f64> {
         self.tiers().find_map(|t| t.payload.memo.get(key).copied())
+    }
+
+    /// All memoised factor groups across the chain, deduplicated with the
+    /// lookup precedence (newest tier wins — values are identical by
+    /// construction). Export path of the persistence layer; the matching
+    /// import is [`ExpectCache::insert_group`] after re-interning. The
+    /// embedded probability chain is exported separately through
+    /// [`FrozenExpectCache::eval`].
+    pub fn export_groups(&self) -> Vec<(ExportedGroup, f64)> {
+        let mut seen: FastMap<Vec<FactorKey>, ()> = FastMap::default();
+        let mut out = Vec::new();
+        for t in self.tiers() {
+            for (k, v) in t.payload.memo.iter() {
+                if seen.insert(k.clone(), ()).is_none() {
+                    out.push((k.clone(), *v));
+                }
+            }
+        }
+        out
     }
 
     /// Occupied tiers, entries and pinned-node estimate of this chain,

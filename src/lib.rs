@@ -38,11 +38,15 @@
 //! Serving many users is one [`prelude::RankingService`]: per-tenant
 //! cached sessions (LRU-capped), one shared bounded evaluation tier,
 //! typed `rank`/`rank_group`/`assert` requests and batch coalescing.
+//! Opened durable (`open_durable`), the service journals every mutation
+//! to a checksummed WAL and checkpoints snapshots, so a crash restarts
+//! warm with bit-identical scores.
 //!
 //! See `examples/` for runnable walkthroughs (quickstart, the TVTouch
 //! morning scenario, correlated smart-home context, preference mining from
-//! history, group TV, end-to-end SQL ranking, and the multi-tenant
-//! serving loop in `examples/serving.rs`).
+//! history, group TV, end-to-end SQL ranking, the multi-tenant serving
+//! loop in `examples/serving.rs`, and crash recovery in
+//! `examples/warm_restart.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,10 +66,10 @@ pub mod prelude {
     pub use capra_core::{
         bind_rules, bind_rules_shared, explain, group_scores, rank, rank_top_k, score_group,
         BatchStats, CacheFootprint, CacheStats, CoreError, CorrelationPolicy, DocScore, Episode,
-        EvictionPolicy, Explanation, FactorizedEngine, GroupStrategy, HistoryLog, Kb,
-        LineageEngine, MinedRule, NaiveEnumEngine, NaiveViewEngine, Offer, PreferenceRule,
-        RankingService, RuleRepository, Score, ScoringConfig, ScoringEngine, ScoringEnv,
-        ScoringSession, ServiceConfig, ServiceStats, SessionStats,
+        EvictionPolicy, Explanation, FactorizedEngine, FlushPolicy, GroupStrategy, HistoryLog, Kb,
+        LineageEngine, MinedRule, NaiveEnumEngine, NaiveViewEngine, Offer, PersistError,
+        PreferenceRule, RankingService, RuleRepository, Score, ScoringConfig, ScoringEngine,
+        ScoringEnv, ScoringSession, ServiceConfig, ServiceStats, SessionStats, WalStats,
     };
     pub use capra_dl::{parse_concept, ABox, Concept, Reasoner, TBox, Vocabulary};
     pub use capra_events::{Evaluator, EventExpr, Universe};
