@@ -1,0 +1,295 @@
+//! Replication benchmark: a read-only [`ReplicaService`] following a
+//! writer's durable directory — catch-up cost, steady-state tail latency,
+//! and what segmented compaction is worth in on-disk bytes.
+//!
+//! Three kinds of output land in `CAPRA_BENCH_JSON`:
+//!
+//! * **timings** — `replication/catchup/cold-follow` (open_follow + full
+//!   poll over a snapshot-less log), `replication/catchup/warm-follow`
+//!   (newest snapshot + WAL suffix), and `replication/tail/append-poll`
+//!   (one writer append + the follower poll that applies it). These are
+//!   smoke-only: catch-up swings with the page cache and the tail is
+//!   fsync-bound, so no baseline pins them.
+//! * **ratio gauge** — `replication/catchup/covered-vs-never-x1000`:
+//!   median follower boot on the compacted directory over the
+//!   never-compacted twin of the same stream, ×1000, interleaved so
+//!   machine-load drift cancels. Staying near (or under) 1000 is
+//!   compaction never slowing a follower down.
+//! * **deterministic gauges** — `replication/lag/after-half-poll` (the
+//!   follower's measured record lag after applying exactly half of the
+//!   writer's fresh backlog) and
+//!   `replication/footprint/wal-bytes-{covered,never}`: total
+//!   `wal-*.log` bytes after identical mutation streams + snapshot rounds
+//!   under `CompactionPolicy::Covered` vs `Never`. Byte counts are exact
+//!   (fixed codec, `FlushPolicy::EveryRecord`), so the footprint baseline
+//!   gets the near-zero envelope — compaction silently stopping to
+//!   reclaim (or the codec bloating) fails the job.
+//!
+//! The bench also asserts outright that the covered run keeps fewer
+//! on-disk WAL bytes than the never-compacted twin, and that a caught-up
+//! follower reports zero lag.
+
+use capra_bench::emit_gauge;
+use capra_core::serve::{Fact, RankingService, ReplicaService, ServiceConfig};
+use capra_core::{CompactionPolicy, FlushPolicy, LineageEngine, PreferenceRule, Score};
+use capra_dl::IndividualId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const N_USERS: usize = 16;
+const N_DOCS: usize = 16;
+/// Records per WAL segment — small enough that the fixture spans many
+/// segments and compaction has a prefix to reclaim.
+const SEGMENT_RECORDS: u64 = 16;
+/// Post-populate snapshot rounds (each: context drift + checkpoint).
+const ROUNDS: usize = 4;
+/// Records the writer appends while the lag-gauge follower sleeps.
+const BACKLOG: u64 = 32;
+/// Boots per mode for the covered-vs-never catch-up medians.
+const BOOTS: usize = 21;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "capra-bench-replication-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(compaction: CompactionPolicy) -> ServiceConfig {
+    ServiceConfig {
+        segment_records: SEGMENT_RECORDS,
+        compaction,
+        ..ServiceConfig::default()
+    }
+}
+
+fn open_writer(dir: &Path, compaction: CompactionPolicy) -> RankingService<LineageEngine> {
+    RankingService::open_durable(
+        LineageEngine::new(),
+        config(compaction),
+        dir,
+        FlushPolicy::EveryRecord,
+    )
+    .expect("open durable writer")
+}
+
+fn open_follower(dir: &Path) -> ReplicaService<LineageEngine> {
+    ReplicaService::open_follow(LineageEngine::new(), config(CompactionPolicy::Never), dir)
+        .expect("open follower")
+}
+
+/// Builds the serving fixture through the durable API; with `rounds > 0`,
+/// runs that many drift-and-checkpoint rounds (rank all tenants, snapshot,
+/// keep mutating) so compaction has covered prefix segments to reclaim.
+/// Returns the users, docs, and total records appended.
+fn build(
+    dir: &Path,
+    compaction: CompactionPolicy,
+    rounds: usize,
+) -> (Vec<IndividualId>, Vec<IndividualId>, u64) {
+    let mut service = open_writer(dir, compaction);
+    let users: Vec<_> = (0..N_USERS)
+        .map(|u| {
+            let user = service.individual(&format!("user{u}"));
+            service
+                .assert(
+                    user,
+                    Fact::ConceptProb("Ctx0".into(), 0.1 + 0.8 * (u as f64 / N_USERS as f64)),
+                )
+                .unwrap();
+            service
+                .assert(
+                    user,
+                    Fact::ConceptProb("Ctx1".into(), 0.9 - 0.7 * (u as f64 / N_USERS as f64)),
+                )
+                .unwrap();
+            user
+        })
+        .collect();
+    let docs: Vec<_> = (0..N_DOCS)
+        .map(|d| {
+            let doc = service.individual(&format!("doc{d}"));
+            service
+                .assert(
+                    doc,
+                    Fact::ConceptProb("Feat0".into(), 0.05 + 0.9 * (d as f64 / N_DOCS as f64)),
+                )
+                .unwrap();
+            service
+                .assert(
+                    doc,
+                    Fact::ConceptProb("Feat1".into(), 0.95 - 0.85 * (d as f64 / N_DOCS as f64)),
+                )
+                .unwrap();
+            doc
+        })
+        .collect();
+    for (name, context, preference, sigma) in [
+        ("R0", "Ctx0", "Feat0 AND Feat1", 0.8),
+        ("R1", "Ctx1", "Feat1", 0.3),
+    ] {
+        let context = service.parse(context).unwrap();
+        let preference = service.parse(preference).unwrap();
+        service
+            .add_rule(PreferenceRule::new(
+                name,
+                context,
+                preference,
+                Score::new(sigma).unwrap(),
+            ))
+            .unwrap();
+    }
+    for round in 0..rounds {
+        for &user in &users {
+            service.rank(user, &docs, docs.len()).unwrap();
+        }
+        service.save_snapshot().unwrap();
+        for (u, &user) in users.iter().enumerate() {
+            service
+                .assert(
+                    user,
+                    Fact::ConceptProb(
+                        "Ctx0".into(),
+                        0.15 + 0.05 * round as f64 + 0.6 * (u as f64 / N_USERS as f64),
+                    ),
+                )
+                .unwrap();
+        }
+    }
+    let appended = service.stats().wal.records_appended;
+    (users, docs, appended)
+}
+
+/// Total bytes across the directory's `wal-*.log` segment files.
+fn wal_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .expect("durable dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .map(|e| e.metadata().map(|m| m.len()).unwrap_or(0))
+        .sum()
+}
+
+/// Times one follower boot: open_follow + poll to the end of the log.
+/// Asserts the boot fully catches up.
+fn follow_boot(dir: &Path) -> f64 {
+    let start = Instant::now();
+    let mut follower = open_follower(dir);
+    follower.poll().expect("tail the log");
+    let elapsed = start.elapsed().as_nanos() as f64;
+    assert_eq!(
+        follower.stats().lag_records,
+        0,
+        "a follower boot must catch up to the durable log"
+    );
+    elapsed
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    xs[xs.len() / 2]
+}
+
+fn replication(c: &mut Criterion) {
+    // `plain`: no snapshots, the whole log replays on follow (cold).
+    // `warm`: snapshot rounds without compaction (warm follow, and the
+    // never-compacted footprint twin). `covered`: identical stream with
+    // compaction reclaiming covered prefix segments.
+    let plain_dir = scratch("plain");
+    let never_dir = scratch("never");
+    let covered_dir = scratch("covered");
+    build(&plain_dir, CompactionPolicy::Never, 0);
+    let (_, _, never_total) = build(&never_dir, CompactionPolicy::Never, ROUNDS);
+    let (_, _, covered_total) = build(&covered_dir, CompactionPolicy::Covered, ROUNDS);
+    assert_eq!(never_total, covered_total, "twin streams must be identical");
+
+    // Deterministic lag gauge: the follower opens caught-up, the writer
+    // keeps appending (a BACKLOG of context events) while it sleeps; one
+    // poll of exactly half the backlog leaves the other half as measured
+    // lag.
+    let mut follower = open_follower(&plain_dir);
+    let mut writer = open_writer(&plain_dir, CompactionPolicy::Never);
+    let user = writer
+        .kb()
+        .voc
+        .find_individual("user0")
+        .expect("recovered user");
+    for i in 0..BACKLOG {
+        writer
+            .assert(
+                user,
+                Fact::ConceptProb("Ctx1".into(), 0.2 + 0.5 * (i as f64 / BACKLOG as f64)),
+            )
+            .unwrap();
+    }
+    let applied = follower.poll_n(BACKLOG / 2).expect("half catch-up");
+    assert_eq!(applied, BACKLOG / 2);
+    emit_gauge(
+        "replication/lag/after-half-poll",
+        follower.stats().lag_records as f64,
+    );
+    follower.poll().expect("full catch-up");
+    assert_eq!(follower.stats().lag_records, 0);
+
+    // Deterministic footprint gauges: compaction must keep strictly fewer
+    // on-disk WAL bytes than the never-compacted twin of the same stream.
+    let (covered, never) = (wal_bytes(&covered_dir), wal_bytes(&never_dir));
+    assert!(
+        covered < never,
+        "covered compaction must reclaim bytes: {covered} vs {never}"
+    );
+    emit_gauge("replication/footprint/wal-bytes-covered", covered as f64);
+    emit_gauge("replication/footprint/wal-bytes-never", never as f64);
+
+    // The covered-vs-never catch-up ratio gauge: one throwaway boot per
+    // mode (page-cache warm-up), then interleaved measured boots so
+    // machine-load drift hits both modes alike and cancels in the ratio.
+    follow_boot(&covered_dir);
+    follow_boot(&never_dir);
+    let mut covered_boots = Vec::with_capacity(BOOTS);
+    let mut never_boots = Vec::with_capacity(BOOTS);
+    for _ in 0..BOOTS {
+        covered_boots.push(follow_boot(&covered_dir));
+        never_boots.push(follow_boot(&never_dir));
+    }
+    emit_gauge(
+        "replication/catchup/covered-vs-never-x1000",
+        1000.0 * median(covered_boots) / median(never_boots),
+    );
+
+    let mut group = c.benchmark_group("replication");
+    group.sample_size(20);
+    group.bench_function("catchup/cold-follow", |b| {
+        b.iter(|| follow_boot(&plain_dir));
+    });
+    group.bench_function("catchup/warm-follow", |b| {
+        b.iter(|| follow_boot(&covered_dir));
+    });
+    // Steady-state tail: the writer appends one context event, the
+    // already-caught-up follower's next poll applies it.
+    group.bench_function("tail/append-poll", |b| {
+        b.iter(|| {
+            writer
+                .assert(user, Fact::ConceptProb("Ctx1".into(), 0.42))
+                .unwrap();
+            assert_eq!(follower.poll().expect("tail"), 1);
+        });
+    });
+    group.finish();
+    drop(follower);
+    drop(writer);
+
+    let _ = std::fs::remove_dir_all(&plain_dir);
+    let _ = std::fs::remove_dir_all(&never_dir);
+    let _ = std::fs::remove_dir_all(&covered_dir);
+}
+
+criterion_group!(benches, replication);
+criterion_main!(benches);

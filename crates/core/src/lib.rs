@@ -29,8 +29,10 @@
 //!   sessions over one shared, bounded evaluation tier, with typed
 //!   requests and batch coalescing;
 //! * [`persist`] — durability: a versioned binary codec for KB / rule /
-//!   frozen-tier snapshots and a checksummed context-event WAL, powering
-//!   `RankingService::open_durable` crash recovery.
+//!   frozen-tier snapshots and a checksummed, segmented context-event
+//!   WAL with opt-in covered-prefix compaction ([`CompactionPolicy`]),
+//!   powering `RankingService::open_durable` crash recovery and
+//!   read-only [`ReplicaService`] followers.
 //!
 //! ## The worked example (paper Section 4.2)
 //!
@@ -101,10 +103,10 @@ pub use explain::{explain, Explanation, RuleContribution};
 pub use history::{Episode, HistoryLog, MinedRule, Offer};
 pub use kb::Kb;
 pub use multiuser::{group_scores, score_group, GroupStrategy};
-pub use persist::{FlushPolicy, PersistError, WalStats};
+pub use persist::{CompactionPolicy, FlushPolicy, PersistError, WalStats};
 pub use repository::RuleRepository;
 pub use rule::{PreferenceRule, Score};
-pub use serve::{RankingService, ServiceConfig, ServiceStats};
+pub use serve::{RankingService, ReplicaService, ReplicaStats, ServiceConfig, ServiceStats};
 pub use session::{BindingCache, CacheStats, ScoringSession, SessionStats};
 pub use smoothing::{blend, QueryRelevance, Smoothing};
 pub use topk::{rank_top_k, rank_top_k_bound};

@@ -28,11 +28,14 @@
 //!   of failing, reporting the dropped suffix in the service stats.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 pub(crate) mod codec;
+pub(crate) mod compact;
 pub(crate) mod snapshot;
 pub(crate) mod wal;
 
+pub use compact::CompactionPolicy;
 pub use snapshot::{decode_kb, decode_rules, encode_kb, encode_rules};
 pub use wal::{FlushPolicy, WalStats};
 
@@ -73,6 +76,15 @@ pub enum PersistError {
     /// Structurally readable but semantically invalid data (unknown tag,
     /// dangling name reference, out-of-range probability, …).
     Invalid(String),
+    /// A replica's read cursor can no longer follow the writer's log —
+    /// the segment it needed was compacted away, or the log was rewritten
+    /// under it (the writer crash-recovered and truncated). Not data
+    /// corruption: the replica re-opens from the newest snapshot via
+    /// `ReplicaService::resnapshot` and catches up from there.
+    Resnapshot {
+        /// The sequence number the replica needed next.
+        next_seq: u64,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -100,6 +112,11 @@ impl fmt::Display for PersistError {
                 "truncated input: needed {needed} more byte(s), only {available} available"
             ),
             PersistError::Invalid(msg) => write!(f, "invalid persisted data: {msg}"),
+            PersistError::Resnapshot { next_seq } => write!(
+                f,
+                "WAL record {next_seq} is no longer available to this replica; re-open from \
+                 the newest snapshot (ReplicaService::resnapshot)"
+            ),
         }
     }
 }
@@ -110,4 +127,245 @@ impl From<std::io::Error> for PersistError {
     fn from(e: std::io::Error) -> Self {
         PersistError::Io(e.to_string())
     }
+}
+
+/// Fsyncs a directory, making renames and unlinks inside it durable —
+/// without this, a crash after `rename`/`remove_file` can resurrect the
+/// old directory entry (or lose the new one) even though the file data
+/// itself was synced.
+pub(crate) fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
+/// Snapshot files inside a durable directory, newest first. Names follow
+/// `snapshot-<seq>.snap` where `<seq>` is the last WAL sequence number
+/// the snapshot covers.
+pub(crate) fn snapshot_paths(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut out = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(seq) = name
+                .strip_prefix("snapshot-")
+                .and_then(|s| s.strip_suffix(".snap"))
+            else {
+                continue;
+            };
+            if let Ok(seq) = seq.parse::<u64>() {
+                out.push((seq, entry.path()));
+            }
+        }
+    }
+    out.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq));
+    out
+}
+
+/// Everything one read-only recovery pass derives from a durable
+/// directory: the restored state, the replay/truncation counters, and
+/// where the log's valid chain ends — as both a writer resume point and a
+/// replica read cursor. Shared by `RankingService::open_durable` (which
+/// then applies [`Recovered::resume`] to disk) and
+/// `ReplicaService::open_follow` (which touches nothing).
+pub(crate) struct Recovered {
+    /// The recovered knowledge base.
+    pub kb: crate::Kb,
+    /// The recovered rule repository.
+    pub rules: crate::RuleRepository,
+    /// The snapshot's evaluation-tier probability memos.
+    pub prob: capra_events::EvalCache,
+    /// The snapshot's expectation memos.
+    pub expect: capra_events::ExpectCache,
+    /// Tenants that were live at snapshot time (re-seeded warm at boot).
+    pub warm_users: Vec<String>,
+    /// Records replayed from the log past the snapshot.
+    pub replayed: u64,
+    /// Records lost: torn/corrupt frames, disconnected segments, and
+    /// semantically unreplayable suffixes.
+    pub truncated: u64,
+    /// Sequence number the next appended record gets.
+    pub next_seq: u64,
+    /// Where a writer resumes appending (`None` → fresh segment), plus
+    /// segments past the valid chain it must delete.
+    pub resume: WriterResume,
+    /// Replica read cursor: `(active segment first_seq, byte offset)`
+    /// just past the last record the recovered state reflects.
+    pub cursor: (u64, u64),
+    /// Whether the log was the legacy single-file `wal.log` layout.
+    pub legacy: bool,
+}
+
+/// The disk fix-up a writer performs after recovery (a replica performs
+/// none of it).
+#[derive(Debug, Default)]
+pub(crate) struct WriterResume {
+    /// Segment to keep appending into; `None` → start a fresh segment at
+    /// `next_seq`.
+    pub active: Option<wal::ResumeSegment>,
+    /// Segment files recovery invalidated (they sit after the valid
+    /// chain, or cannot be resumed under their name) — deleted before the
+    /// log reopens.
+    pub delete: Vec<PathBuf>,
+}
+
+/// Recovers a durable directory without writing anything: picks the
+/// newest fully-decodable snapshot, scans the segment chain, and replays
+/// the suffix of records the snapshot does not cover.
+///
+/// Replay is deliberately forgiving, mirroring the single-file behavior:
+/// a record that passes its CRC but fails semantic replay (undecodable
+/// operation, sequence gap, post-apply epoch mismatch) cannot be
+/// un-applied in place, so the pass restarts from the snapshot with the
+/// replay limit shortened to just before the failure; the records
+/// replayed so far are deterministic, so the loop runs at most twice. A
+/// chain whose first surviving record sits *past* `base_seq + 1` (its
+/// prefix was compacted away, and every snapshot that covered the gap is
+/// gone) is unusable from the snapshot — it truncates entirely rather
+/// than silently replaying across the hole. The epoch stamps alone could
+/// not catch that: rule operations don't move the KB epoch.
+pub(crate) fn recover(dir: &Path) -> Result<Recovered, PersistError> {
+    use wal::{apply_op, decode_op, ResumeSegment, WAL_HEADER_LEN};
+
+    // Newest snapshot whose bytes fully decode; corrupt ones are skipped
+    // (older snapshots and the log cover them).
+    let mut snapshot_bytes = None;
+    for (_, path) in snapshot_paths(dir) {
+        if let Ok(bytes) = std::fs::read(&path) {
+            if snapshot::decode_snapshot(&bytes).is_ok() {
+                snapshot_bytes = Some(bytes);
+                break;
+            }
+        }
+    }
+
+    let log = wal::scan_segments(dir)?;
+    let mut truncated = log.dropped;
+    let mut limit = log.records.len();
+    let (kb, rules, prob, expect, warm_users, base_seq, replayed) = loop {
+        let (mut kb, mut rules, prob, expect, warm, base_seq) = match &snapshot_bytes {
+            Some(bytes) => match snapshot::decode_snapshot(bytes) {
+                Ok(s) => (
+                    s.kb,
+                    s.rules,
+                    s.prob,
+                    s.expect,
+                    s.warm_users,
+                    s.last_applied_seq,
+                ),
+                Err(_) => unreachable!("snapshot bytes were validated above"),
+            },
+            None => (
+                crate::Kb::new(),
+                crate::RuleRepository::new(),
+                Default::default(),
+                Default::default(),
+                Vec::new(),
+                0,
+            ),
+        };
+        let mut applied = 0u64;
+        let mut prev_seq = None;
+        let mut failed_at = None;
+        for (j, (_, rec)) in log.records[..limit].iter().enumerate() {
+            match prev_seq {
+                Some(prev) if rec.seq != prev + 1 => {
+                    failed_at = Some(j);
+                    break;
+                }
+                None if rec.seq > base_seq + 1 => {
+                    // Compacted-away prefix this snapshot cannot bridge.
+                    failed_at = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            prev_seq = Some(rec.seq);
+            if rec.seq <= base_seq {
+                // Already reflected in the snapshot.
+                continue;
+            }
+            let ok = decode_op(&rec.body, &mut kb.voc)
+                .and_then(|op| apply_op(&mut kb, &mut rules, op))
+                .is_ok()
+                && kb.epoch() == rec.epoch;
+            if ok {
+                applied += 1;
+            } else {
+                failed_at = Some(j);
+                break;
+            }
+        }
+        match failed_at {
+            Some(j) => {
+                truncated += (limit - j) as u64;
+                limit = j;
+            }
+            None => break (kb, rules, prob, expect, warm, base_seq, applied),
+        }
+    };
+
+    let next_seq = log.records[..limit]
+        .last()
+        .map(|(_, r)| r.seq)
+        .unwrap_or(base_seq)
+        .max(base_seq)
+        + 1;
+
+    // Writer resume point and replica cursor. Appends may only continue
+    // in a segment whose kept contents match its name: either the chain
+    // ends inside it, or it is an empty (header-only) segment named for
+    // exactly the next sequence number. Anything else restarts in a fresh
+    // segment, and every segment past the resume point is invalidated.
+    let (active, keep_segments) = match log.records[..limit].last() {
+        Some((si, rec)) => {
+            let records = log.records[..limit].iter().filter(|(i, _)| i == si).count() as u64;
+            (
+                Some(ResumeSegment {
+                    first_seq: log.segments[*si].first_seq,
+                    keep_len: rec.end_offset as u64,
+                    records,
+                }),
+                si + 1,
+            )
+        }
+        None => {
+            let fresh_active = !log.legacy
+                && log.segments.first().is_some_and(|s| {
+                    s.scan.header_ok && s.scan.dropped == 0 && s.first_seq == next_seq
+                });
+            if fresh_active {
+                (
+                    Some(ResumeSegment {
+                        first_seq: next_seq,
+                        keep_len: WAL_HEADER_LEN as u64,
+                        records: 0,
+                    }),
+                    1,
+                )
+            } else {
+                (None, 0)
+            }
+        }
+    };
+    let cursor = active
+        .map(|a| (a.first_seq, a.keep_len))
+        .unwrap_or((next_seq, WAL_HEADER_LEN as u64));
+    let delete = log.segments[keep_segments..]
+        .iter()
+        .map(|s| s.path.clone())
+        .collect();
+
+    Ok(Recovered {
+        kb,
+        rules,
+        prob,
+        expect,
+        warm_users,
+        replayed,
+        truncated,
+        next_seq,
+        resume: WriterResume { active, delete },
+        cursor,
+        legacy: log.legacy,
+    })
 }

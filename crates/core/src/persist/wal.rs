@@ -4,6 +4,10 @@
 //!
 //! ## File format
 //!
+//! The log is a chain of *segment* files named `wal-<first_seq>.log`,
+//! where `<first_seq>` is the sequence number of the segment's first
+//! record. Each segment carries the same framing:
+//!
 //! ```text
 //! [8B magic "CAPRAWAL"][u16 version]          — header, written once
 //! repeated records:
@@ -11,18 +15,24 @@
 //!   payload = [u64 seq][u64 epoch][op]
 //! ```
 //!
-//! `seq` increases by exactly 1 per record (a gap means lost records);
-//! `epoch` is the KB epoch *after* applying the operation, giving replay a
-//! per-record consistency check on top of the CRC. Recovery scans the log,
-//! keeps the longest valid prefix, replays the records newer than the
-//! snapshot, and truncates the file back to that prefix — a torn tail or a
-//! bit-flipped record costs the suffix, never the service.
+//! `seq` increases by exactly 1 per record across segments (a gap means
+//! lost records); `epoch` is the KB epoch *after* applying the operation,
+//! giving replay a per-record consistency check on top of the CRC. When
+//! the active segment crosses a [`SegmentLimit`] threshold it is sealed
+//! (synced, never written again) and a fresh `wal-<next_seq>.log` starts —
+//! so compaction can delete whole covered prefix segments without ever
+//! rewriting a file, and a replica can tail the chain by name. Recovery
+//! scans the segments in order, keeps the longest valid record chain,
+//! replays the records newer than the snapshot, and truncates back to that
+//! chain — a torn tail or a bit-flipped record costs the suffix, never the
+//! service. The pre-segment single-file layout (`wal.log`) is still read,
+//! and is renamed to `wal-1.log` the first time a writer opens it.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::io::{Seek, SeekFrom, Write as _};
 use std::iter::Sum;
 use std::ops::{Add, AddAssign};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 #[cfg(test)]
 use std::sync::{Arc, Mutex};
 
@@ -30,7 +40,7 @@ use capra_dl::{Concept, Vocabulary};
 
 use super::codec::{crc32, Reader, Writer};
 use super::snapshot::{put_concept, read_concept};
-use super::PersistError;
+use super::{sync_dir, PersistError};
 use crate::{Kb, PreferenceRule, RuleRepository, Score};
 
 /// Magic bytes opening every WAL file.
@@ -51,6 +61,47 @@ pub(crate) fn wal_header() -> [u8; WAL_HEADER_LEN] {
     h[..8].copy_from_slice(WAL_MAGIC);
     h[8..].copy_from_slice(&WAL_VERSION.to_le_bytes());
     h
+}
+
+// ---------------------------------------------------------------------------
+// Segment naming
+// ---------------------------------------------------------------------------
+
+/// File name of the single-file WAL layout that predates segments. Read
+/// support is kept so old directories recover; a writer migrates the file
+/// to `wal-1.log` on open.
+pub(crate) const LEGACY_WAL_FILE: &str = "wal.log";
+
+/// File name of the segment whose first record carries `first_seq`.
+pub(crate) fn segment_file_name(first_seq: u64) -> String {
+    format!("wal-{first_seq}.log")
+}
+
+/// Parses a `wal-<first_seq>.log` file name back into its first sequence
+/// number.
+pub(crate) fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+/// WAL segment files in `dir`, ascending by first sequence number. Only
+/// `wal-<first_seq>.log` names are listed — the legacy `wal.log` is
+/// handled separately by [`scan_segments`].
+pub(crate) fn segment_paths(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut out = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(first_seq) = parse_segment_name(name) {
+                out.push((first_seq, entry.path()));
+            }
+        }
+    }
+    out.sort_by_key(|&(first_seq, _)| first_seq);
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -82,6 +133,15 @@ pub struct WalStats {
     /// Records dropped during the last recovery because they were torn,
     /// failed their checksum, or sat after a corrupt record.
     pub records_truncated: u64,
+    /// Active-segment rotations: times the log sealed its current segment
+    /// and started a fresh `wal-<next_seq>.log` (threshold crossings plus
+    /// pre-snapshot seals under a compacting service).
+    pub rotations: u64,
+    /// Whole prefix segments deleted by compaction.
+    pub segments_deleted: u64,
+    /// On-disk bytes reclaimed by compaction (lengths of the deleted
+    /// segment files).
+    pub bytes_reclaimed: u64,
 }
 
 impl Add for WalStats {
@@ -93,6 +153,9 @@ impl Add for WalStats {
             bytes_appended: self.bytes_appended + rhs.bytes_appended,
             records_replayed: self.records_replayed + rhs.records_replayed,
             records_truncated: self.records_truncated + rhs.records_truncated,
+            rotations: self.rotations + rhs.rotations,
+            segments_deleted: self.segments_deleted + rhs.segments_deleted,
+            bytes_reclaimed: self.bytes_reclaimed + rhs.bytes_reclaimed,
         }
     }
 }
@@ -406,14 +469,69 @@ pub(crate) struct WalScan {
     pub header_ok: bool,
 }
 
-/// Scans WAL bytes, validating framing and checksums only (operation
-/// bodies are decoded later, during replay). Never fails: corruption
-/// shortens the valid prefix and bumps the drop counter.
+/// One parsed step of a frame scan (see [`next_frame`]).
+pub(crate) enum Frame {
+    /// A complete, checksum-valid record.
+    Ok(RawRecord),
+    /// The bytes end before a complete frame. For a crashed log this is a
+    /// torn tail; for a live tail another process is appending to, it
+    /// simply means "not yet" — the replica retries on its next poll.
+    Torn,
+    /// A complete frame that fails its checksum or minimum length, or a
+    /// length prefix too large to be real. `resume_at` is the offset after
+    /// the frame when the length prefix itself was plausible (`None` when
+    /// the rest of the bytes cannot be re-framed at all).
+    Corrupt {
+        /// Offset of the next frame, if the framing can still be trusted.
+        resume_at: Option<usize>,
+    },
+}
+
+/// Parses the frame starting at `pos`; `None` at the exact end of the
+/// bytes. The shared primitive under [`scan_wal`] (crash recovery) and the
+/// replica's incremental tail cursor.
+pub(crate) fn next_frame(bytes: &[u8], pos: usize) -> Option<Frame> {
+    let remaining = bytes.len().saturating_sub(pos);
+    if remaining == 0 {
+        return None;
+    }
+    if remaining < 8 {
+        return Some(Frame::Torn);
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len 4")) as usize;
+    let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("len 4"));
+    if len > MAX_PAYLOAD {
+        // A corrupt length prefix: nothing after it can be re-framed.
+        return Some(Frame::Corrupt { resume_at: None });
+    }
+    if len > remaining - 8 {
+        return Some(Frame::Torn);
+    }
+    let payload = &bytes[pos + 8..pos + 8 + len];
+    if len < MIN_PAYLOAD || crc32(payload) != stored_crc {
+        return Some(Frame::Corrupt {
+            resume_at: Some(pos + 8 + len),
+        });
+    }
+    let seq = u64::from_le_bytes(payload[..8].try_into().expect("len 8"));
+    let epoch = u64::from_le_bytes(payload[8..16].try_into().expect("len 8"));
+    Some(Frame::Ok(RawRecord {
+        seq,
+        epoch,
+        body: payload[16..].to_vec(),
+        end_offset: pos + 8 + len,
+    }))
+}
+
+/// Scans one segment's bytes, validating framing and checksums only
+/// (operation bodies are decoded later, during replay). Never fails:
+/// corruption shortens the valid prefix and bumps the drop counter.
 pub(crate) fn scan_wal(bytes: &[u8]) -> WalScan {
     let mut scan = WalScan::default();
     if bytes.len() < WAL_HEADER_LEN || bytes[..WAL_HEADER_LEN] != wal_header() {
-        // A damaged header forfeits the whole log; count it as one dropped
-        // unit (individual records can no longer be trusted or counted).
+        // A damaged header forfeits the whole segment; count it as one
+        // dropped unit (individual records can no longer be trusted or
+        // counted).
         scan.dropped = 1;
         return scan;
     }
@@ -421,43 +539,111 @@ pub(crate) fn scan_wal(bytes: &[u8]) -> WalScan {
     scan.valid_len = WAL_HEADER_LEN;
     let mut pos = WAL_HEADER_LEN;
     let mut intact = true;
-    while pos < bytes.len() {
-        let remaining = bytes.len() - pos;
-        if remaining < 8 {
-            // Torn frame header.
-            scan.dropped += 1;
-            break;
+    while let Some(frame) = next_frame(bytes, pos) {
+        match frame {
+            Frame::Ok(rec) => {
+                pos = rec.end_offset;
+                if intact {
+                    scan.valid_len = rec.end_offset;
+                    scan.records.push(rec);
+                } else {
+                    // A frame after the first bad one — even a
+                    // checksum-valid one — cannot be applied across the
+                    // gap and only contributes to the drop count.
+                    scan.dropped += 1;
+                }
+            }
+            Frame::Torn => {
+                scan.dropped += 1;
+                break;
+            }
+            Frame::Corrupt { resume_at } => {
+                intact = false;
+                scan.dropped += 1;
+                match resume_at {
+                    Some(next) => pos = next,
+                    None => break,
+                }
+            }
         }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len 4")) as usize;
-        let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("len 4"));
-        if len > MAX_PAYLOAD || len > remaining - 8 {
-            // Torn payload, or a corrupt length prefix — either way the
-            // rest of the file cannot be re-framed reliably.
-            scan.dropped += 1;
-            break;
-        }
-        let payload = &bytes[pos + 8..pos + 8 + len];
-        let ok = len >= MIN_PAYLOAD && crc32(payload) == stored_crc;
-        if ok && intact {
-            let seq = u64::from_le_bytes(payload[..8].try_into().expect("len 8"));
-            let epoch = u64::from_le_bytes(payload[8..16].try_into().expect("len 8"));
-            scan.records.push(RawRecord {
-                seq,
-                epoch,
-                body: payload[16..].to_vec(),
-                end_offset: pos + 8 + len,
-            });
-            scan.valid_len = pos + 8 + len;
-        } else {
-            // First bad record ends the replayable prefix; later frames —
-            // even checksum-valid ones — cannot be applied across the gap
-            // and only contribute to the drop count.
-            intact = false;
-            scan.dropped += 1;
-        }
-        pos += 8 + len;
     }
     scan
+}
+
+/// One scanned segment file.
+#[derive(Debug)]
+pub(crate) struct SegmentScan {
+    /// First sequence number the segment's file name claims.
+    pub first_seq: u64,
+    /// The segment file.
+    pub path: PathBuf,
+    /// Frame-level scan of the segment's bytes.
+    pub scan: WalScan,
+}
+
+/// A whole log directory, scanned: the per-segment scans plus the longest
+/// valid record chain across segments. Like [`scan_wal`], never fails on
+/// corruption — only on I/O errors reading a listed file.
+#[derive(Debug, Default)]
+pub(crate) struct LogScan {
+    /// Every segment found, ascending by first sequence number.
+    pub segments: Vec<SegmentScan>,
+    /// The valid chain: `(segment index, record)` pairs in log order.
+    /// Sequence continuity *within* the chain is the replay loop's check;
+    /// the scan only refuses segments whose first record contradicts
+    /// their file name, or that sit after a break.
+    pub records: Vec<(usize, RawRecord)>,
+    /// Frames dropped: torn or corrupt frames, plus every record in
+    /// segments that no longer connect to the chain.
+    pub dropped: u64,
+    /// Whether the legacy single-file `wal.log` was scanned in place of
+    /// `wal-*.log` segments (pre-segment directory, first record is
+    /// sequence 1 by construction).
+    pub legacy: bool,
+}
+
+/// Scans every WAL segment in `dir` (or the legacy `wal.log` when no
+/// segments exist), chaining the valid records across segment boundaries.
+pub(crate) fn scan_segments(dir: &Path) -> Result<LogScan, PersistError> {
+    let mut listed = segment_paths(dir);
+    let mut log = LogScan::default();
+    if listed.is_empty() {
+        let legacy = dir.join(LEGACY_WAL_FILE);
+        if legacy.exists() {
+            listed.push((1, legacy));
+            log.legacy = true;
+        }
+    }
+    let mut intact = true;
+    for (i, (first_seq, path)) in listed.into_iter().enumerate() {
+        let bytes = std::fs::read(&path)?;
+        let mut scan = scan_wal(&bytes);
+        // The first record must carry the sequence number the file name
+        // claims, or the segment cannot be trusted (a misnamed segment
+        // would resume appends under the wrong name).
+        let name_ok = scan.records.first().is_none_or(|r| r.seq == first_seq);
+        if intact && scan.header_ok && name_ok {
+            for rec in std::mem::take(&mut scan.records) {
+                log.records.push((i, rec));
+            }
+            log.dropped += scan.dropped;
+            // A torn or corrupt frame ends the chain: records in later
+            // segments cannot be applied across the gap.
+            intact = scan.dropped == 0;
+        } else {
+            // The whole segment is off the chain; every frame it holds
+            // is lost.
+            log.dropped += scan.records.len() as u64 + scan.dropped;
+            scan.records.clear();
+            intact = false;
+        }
+        log.segments.push(SegmentScan {
+            first_seq,
+            path,
+            scan,
+        });
+    }
+    Ok(log)
 }
 
 // ---------------------------------------------------------------------------
@@ -609,8 +795,66 @@ impl WalSink for FaultSink {
 // Writer
 // ---------------------------------------------------------------------------
 
+/// Byte/record thresholds after which the active segment is sealed and a
+/// fresh one started. Rotation keeps segments bounded so compaction can
+/// delete covered prefixes file-by-file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SegmentLimit {
+    /// Rotate once the active segment reaches this many bytes (header
+    /// included).
+    pub max_bytes: u64,
+    /// Rotate once the active segment holds this many records.
+    pub max_records: u64,
+}
+
+impl Default for SegmentLimit {
+    /// 8 MiB segments, unbounded record count.
+    fn default() -> Self {
+        Self {
+            max_bytes: 8 * 1024 * 1024,
+            max_records: u64::MAX,
+        }
+    }
+}
+
+/// Where recovery tells the writer to resume appending (see
+/// [`Wal::open_dir`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ResumeSegment {
+    /// First sequence number of the segment to resume into (its name).
+    pub first_seq: u64,
+    /// Bytes of the segment to keep — the end of the valid record chain;
+    /// anything after is physically truncated.
+    pub keep_len: u64,
+    /// Records the kept portion holds (rotation accounting).
+    pub records: u64,
+}
+
+/// Rotation context of a file-backed log.
+struct SegmentState {
+    /// Directory the segments live in.
+    dir: PathBuf,
+    /// First sequence number of the active segment.
+    first_seq: u64,
+    /// Bytes in the active segment, header included.
+    bytes: u64,
+    /// Records in the active segment.
+    records: u64,
+    /// Thresholds that trigger rotation.
+    limit: SegmentLimit,
+}
+
+/// Outcome of one [`Wal::append`].
+pub(crate) struct Appended {
+    /// Frame bytes written.
+    pub bytes: u64,
+    /// Whether the append sealed the active segment and started a new one.
+    pub rotated: bool,
+}
+
 /// The WAL appender: frames, checksums and sequence-stamps operations into
-/// a [`WalSink`], syncing per the [`FlushPolicy`].
+/// a [`WalSink`], syncing per the [`FlushPolicy`] and rotating the active
+/// segment at the [`SegmentLimit`].
 pub(crate) struct Wal {
     sink: Box<dyn WalSink>,
     policy: FlushPolicy,
@@ -618,11 +862,14 @@ pub(crate) struct Wal {
     unsynced: u32,
     /// Sequence number the next record gets.
     next_seq: u64,
+    /// Rotation context; `None` for in-memory test sinks (no files to
+    /// rotate).
+    seg: Option<SegmentState>,
 }
 
 impl Wal {
     /// A fresh log over `sink`: writes and syncs the header, starts at
-    /// sequence 1.
+    /// sequence 1. Test-only — a sink-backed log never rotates.
     #[cfg(test)]
     pub fn create(mut sink: Box<dyn WalSink>, policy: FlushPolicy) -> Result<Self, PersistError> {
         sink.write(&wal_header())?;
@@ -632,73 +879,73 @@ impl Wal {
             policy,
             unsynced: 0,
             next_seq: 1,
+            seg: None,
         })
     }
 
-    /// Resumes appending to an existing, already-valid log.
-    pub fn resume(sink: Box<dyn WalSink>, policy: FlushPolicy, next_seq: u64) -> Self {
-        Self {
-            sink,
-            policy,
-            unsynced: 0,
-            next_seq,
-        }
-    }
-
-    /// Opens (or creates) the log file at `path`, truncating it to
-    /// `truncate_to` bytes first — recovery passes the end of the valid
-    /// record prefix, so the torn suffix is physically removed. A length
-    /// below the header size means "start the file over".
-    pub fn open_file(
-        path: &Path,
+    /// Opens the log in `dir` for appending. With `active`, resumes into
+    /// the named segment after truncating it to the valid chain's end
+    /// (the torn suffix is physically removed); without, starts a fresh
+    /// `wal-<next_seq>.log`. Either way the segment file and its
+    /// directory entry are durable before this returns.
+    pub fn open_dir(
+        dir: &Path,
         policy: FlushPolicy,
         next_seq: u64,
-        truncate_to: u64,
+        active: Option<ResumeSegment>,
+        limit: SegmentLimit,
     ) -> Result<Self, PersistError> {
+        let (first_seq, keep, records) = match active {
+            Some(a) => (
+                a.first_seq,
+                a.keep_len.max(WAL_HEADER_LEN as u64),
+                a.records,
+            ),
+            None => (next_seq, 0, 0),
+        };
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
-            .open(path)?;
-        let keep = if truncate_to < WAL_HEADER_LEN as u64 {
-            0
-        } else {
-            truncate_to
-        };
+            .open(dir.join(segment_file_name(first_seq)))?;
         file.set_len(keep)?;
         file.seek(SeekFrom::End(0))?;
         let mut sink = FileSink { file };
-        if keep == 0 {
+        let bytes = if keep == 0 {
             sink.write(&wal_header())?;
-        }
+            WAL_HEADER_LEN as u64
+        } else {
+            keep
+        };
         sink.sync()?;
-        Ok(Self::resume(Box::new(sink), policy, next_seq))
-    }
-
-    /// Reads a WAL file fully; a missing file is an empty log.
-    pub fn read_file(path: &Path) -> Result<Vec<u8>, PersistError> {
-        match File::open(path) {
-            Ok(mut f) => {
-                let mut bytes = Vec::new();
-                f.read_to_end(&mut bytes)?;
-                Ok(bytes)
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
-            Err(e) => Err(e.into()),
-        }
+        sync_dir(dir)?;
+        Ok(Self {
+            sink: Box::new(sink),
+            policy,
+            unsynced: 0,
+            next_seq,
+            seg: Some(SegmentState {
+                dir: dir.to_path_buf(),
+                first_seq,
+                bytes,
+                records,
+                limit,
+            }),
+        })
     }
 
     /// Appends one operation with the given post-apply KB epoch stamp.
-    /// Returns the bytes written (frame included). On error the record
-    /// must be considered lost — the in-memory state the caller already
+    /// Returns the bytes written (frame included) and whether the append
+    /// crossed a segment threshold and rotated. On error the record must
+    /// be considered lost — the in-memory state the caller already
     /// mutated stays ahead of the log until the next successful append.
     pub fn append(
         &mut self,
         epoch: u64,
         op: &WalOp,
         voc: &Vocabulary,
-    ) -> Result<u64, PersistError> {
+    ) -> Result<Appended, PersistError> {
         let frame = encode_record(self.next_seq, epoch, op, voc);
         self.sink.write(&frame)?;
         self.next_seq += 1;
@@ -711,7 +958,49 @@ impl Wal {
             self.sink.sync()?;
             self.unsynced = 0;
         }
-        Ok(frame.len() as u64)
+        let mut rotated = false;
+        if let Some(seg) = &mut self.seg {
+            seg.bytes += frame.len() as u64;
+            seg.records += 1;
+            if seg.bytes >= seg.limit.max_bytes || seg.records >= seg.limit.max_records {
+                rotated = self.rotate()?;
+            }
+        }
+        Ok(Appended {
+            bytes: frame.len() as u64,
+            rotated,
+        })
+    }
+
+    /// Seals the active segment (sync; it is never written again) and
+    /// starts a fresh `wal-<next_seq>.log`. Returns whether a rotation
+    /// happened — a record-less active segment or an in-memory test log
+    /// is a no-op, so rotation never produces empty sealed segments.
+    pub fn rotate(&mut self) -> Result<bool, PersistError> {
+        let can = self.seg.as_ref().is_some_and(|s| s.records > 0);
+        if !can {
+            return Ok(false);
+        }
+        // Seal: every record of the old segment is durable before the new
+        // file's directory entry appears.
+        self.sink.sync()?;
+        self.unsynced = 0;
+        let seg = self.seg.as_mut().expect("checked above");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(seg.dir.join(segment_file_name(self.next_seq)))?;
+        let mut sink = FileSink { file };
+        sink.write(&wal_header())?;
+        sink.sync()?;
+        sync_dir(&seg.dir)?;
+        self.sink = Box::new(sink);
+        seg.first_seq = self.next_seq;
+        seg.bytes = WAL_HEADER_LEN as u64;
+        seg.records = 0;
+        Ok(true)
     }
 
     /// Forces buffered records to durable storage regardless of policy.

@@ -36,6 +36,12 @@
 //!   tenant's [`crate::SessionStats`] (plus counters retired with evicted
 //!   tenants) into a [`ServiceStats`]: sessions live/evicted, warm/cold hit
 //!   rates, and the shared-tier [`capra_events::CacheFootprint`].
+//! * **Replication** — a [`ReplicaService`] opens a durable writer's
+//!   directory read-only, restores the newest snapshot, and tails the
+//!   segmented WAL incrementally ([`ReplicaService::poll`]) — serving
+//!   warm, bit-identical ranking at the epoch it has reached while the
+//!   one writer retains full ownership of the files (see the
+//!   [`ReplicaService`] docs for the degradation contract).
 //!
 //! Everything here is behaviour-preserving plumbing: a service request
 //! computes bit-identical scores to a cold [`crate::bind_rules`] +
@@ -46,9 +52,11 @@
 //! See `ARCHITECTURE.md` at the workspace root for where this layer sits in
 //! the stack and a request-time walkthrough.
 
+mod replica;
 mod request;
 mod service;
 mod tenants;
 
+pub use replica::{ReplicaService, ReplicaStats};
 pub use request::{Fact, Request, Response};
 pub use service::{RankingService, ServiceConfig, ServiceStats};

@@ -1,0 +1,453 @@
+//! Read-only replica serving: a [`ReplicaService`] opens a writer's
+//! durable directory, restores the newest valid snapshot, replays the WAL
+//! suffix, and then *tails* the segment chain incrementally — serving warm
+//! `rank`/`rank_group` requests at whatever epoch it has reached.
+//!
+//! The replica never writes to the directory (no migration, no truncation,
+//! no compaction); the one writer retains full ownership of the files. The
+//! tail cursor is `(active segment, byte offset)` plus the next expected
+//! sequence number, and each [`ReplicaService::poll`] re-reads the active
+//! segment from that offset:
+//!
+//! * A **torn or checksum-failing frame at the tail** is "not yet", not
+//!   corruption — the writer may be mid-append, so the poll counts a
+//!   [`ReplicaStats::torn_reads`] and retries from the same offset next
+//!   time. Only a bad frame in a *sealed* segment (its successor exists,
+//!   so the writer will never finish that frame) is treated as real
+//!   divergence.
+//! * A **rotation** is followed by exact name: when the chain ends cleanly
+//!   and `wal-<next_seq>.log` exists, the cursor advances into it. The
+//!   check is by the *exact* next sequence number, so glimpsing a newer
+//!   segment mid-rotation can never skip records.
+//! * A **compacted-away cursor segment** (the file is gone but later
+//!   segments exist) raises [`crate::PersistError::Resnapshot`]: the
+//!   replica's state is still consistent — just too far behind for the log
+//!   that remains — so `rank` keeps serving at the reached epoch while the
+//!   caller decides when to pay the [`ReplicaService::resnapshot`] re-open.
+//!   A replica that polls at least once per writer snapshot interval never
+//!   hits this path (compaction only deletes segments covered by the two
+//!   newest snapshots).
+//!
+//! Replays go through the same semantic checks crash recovery applies
+//! (decodable op, successful apply, post-apply epoch match), so a caught-up
+//! replica's scores are bit-identical to the writer's for every engine.
+
+use std::path::{Path, PathBuf};
+
+use capra_dl::IndividualId;
+
+use crate::engines::{DocScore, ScoringEngine};
+use crate::multiuser::GroupStrategy;
+use crate::persist::wal::{
+    next_frame, segment_file_name, segment_paths, wal_header, Frame, LEGACY_WAL_FILE,
+    WAL_HEADER_LEN,
+};
+use crate::persist::{recover, PersistError};
+use crate::serve::service::{RankingService, ServiceConfig, ServiceStats};
+use crate::{Kb, Result, RuleRepository};
+
+/// Replication progress counters of a [`ReplicaService`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Sequence number of the last record applied (0 = none yet).
+    pub applied_seq: u64,
+    /// Valid records currently on disk past the cursor — how far behind
+    /// the writer's *durable* log the replica is, as of the last poll.
+    pub lag_records: u64,
+    /// Polls that ended at an incomplete or checksum-failing tail frame
+    /// (the writer mid-append; retried, never fatal).
+    pub torn_reads: u64,
+    /// Times [`ReplicaService::resnapshot`] re-opened from the newest
+    /// snapshot.
+    pub resnapshots: u64,
+}
+
+/// A read-only follower of a durable [`RankingService`] directory: restores
+/// the newest snapshot + WAL suffix at open, tails new records on
+/// [`ReplicaService::poll`], and serves warm ranking requests at the epoch
+/// it has reached — the degradation contract is spelled out below.
+///
+/// ```
+/// use capra_core::serve::{Fact, RankingService, ReplicaService};
+/// use capra_core::{FlushPolicy, LineageEngine};
+///
+/// let dir = std::env::temp_dir().join(format!("capra-replica-doc-{}", std::process::id()));
+/// std::fs::remove_dir_all(&dir).ok();
+/// let mut writer = RankingService::open_durable(
+///     LineageEngine::new(), Default::default(), &dir, FlushPolicy::EveryRecord).unwrap();
+/// let peter = writer.individual("peter");
+/// writer.assert(peter, Fact::ConceptProb("Weekend".into(), 0.7)).unwrap();
+///
+/// let mut follower = ReplicaService::open_follow(
+///     LineageEngine::new(), Default::default(), &dir).unwrap();
+/// assert_eq!(follower.kb().epoch(), writer.kb().epoch());
+///
+/// // The writer keeps appending; the follower catches up on poll().
+/// writer.assert(peter, Fact::ConceptProb("Weekend".into(), 0.9)).unwrap();
+/// assert_eq!(follower.poll().unwrap(), 1);
+/// assert_eq!(follower.kb().epoch(), writer.kb().epoch());
+/// assert_eq!(follower.stats().lag_records, 0);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+pub struct ReplicaService<E> {
+    inner: RankingService<E>,
+    /// The directory being followed (never written).
+    dir: PathBuf,
+    /// Whether the cursor still points into the legacy single-file
+    /// `wal.log` (switches to segments the moment a writer migrates it).
+    legacy: bool,
+    /// First sequence number (= file name) of the segment being tailed.
+    seg_first: u64,
+    /// Byte offset just past the last applied frame in that segment.
+    offset: u64,
+    /// Sequence number the next applied record must carry.
+    next_seq: u64,
+    /// Valid on-disk records past the cursor, as of the last poll.
+    lag_records: u64,
+    /// Tail reads that ended at an in-flight frame.
+    torn_reads: u64,
+    /// Resnapshot re-opens performed.
+    resnapshots: u64,
+    /// The cursor's segment was compacted away: polling is pointless until
+    /// [`ReplicaService::resnapshot`], but serving stays consistent.
+    needs_resnapshot: bool,
+    /// The on-disk log contradicted the replica's applied history (bad
+    /// frame in a sealed segment, sequence jump, shrinking file, failed
+    /// apply): the state may no longer match the writer's, so serving is
+    /// poisoned until [`ReplicaService::resnapshot`].
+    diverged: bool,
+}
+
+impl<E: ScoringEngine + Sync> ReplicaService<E> {
+    /// Opens `dir` as a read-only follower: newest valid snapshot + WAL
+    /// suffix, exactly like [`RankingService::open_durable`]'s recovery —
+    /// but touching nothing on disk. An empty or still-cold directory
+    /// opens as an empty replica that starts applying once the writer's
+    /// first records land.
+    pub fn open_follow(engine: E, config: ServiceConfig, dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let recovered = recover(&dir)?;
+        let mut inner =
+            RankingService::with_config(engine, Kb::new(), RuleRepository::new(), config);
+        let next_seq = recovered.next_seq;
+        let (seg_first, offset) = recovered.cursor;
+        let legacy = recovered.legacy;
+        inner.reinstall(recovered);
+        let mut replica = Self {
+            inner,
+            dir,
+            legacy,
+            seg_first,
+            offset,
+            next_seq,
+            lag_records: 0,
+            torn_reads: 0,
+            resnapshots: 0,
+            needs_resnapshot: false,
+            diverged: false,
+        };
+        replica.recount_lag();
+        Ok(replica)
+    }
+
+    /// Applies every record currently readable past the cursor. Returns
+    /// the number applied; see [`ReplicaService::poll_n`] for the error
+    /// contract.
+    pub fn poll(&mut self) -> Result<u64> {
+        self.poll_n(u64::MAX)
+    }
+
+    /// Applies at most `max` records past the cursor, following segment
+    /// rotations. Returns the number applied — 0 simply means "nothing
+    /// new yet".
+    ///
+    /// Errors with [`PersistError::Resnapshot`] when the segment under the
+    /// cursor was compacted away (serving continues at the reached epoch;
+    /// call [`ReplicaService::resnapshot`] to catch up), and with
+    /// [`PersistError::Invalid`] when the log contradicts the applied
+    /// history — after which serving is poisoned until a resnapshot.
+    pub fn poll_n(&mut self, max: u64) -> Result<u64> {
+        if self.diverged {
+            return self.diverge("replica already diverged");
+        }
+        if self.needs_resnapshot {
+            return Err(PersistError::Resnapshot {
+                next_seq: self.next_seq,
+            }
+            .into());
+        }
+        let mut applied = 0u64;
+        'segments: while applied < max {
+            let bytes = match std::fs::read(self.active_path()) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    if self.legacy && self.dir.join(segment_file_name(self.seg_first)).exists() {
+                        // The writer migrated `wal.log` to `wal-1.log`:
+                        // the bytes are identical, only the name changed.
+                        self.legacy = false;
+                        continue 'segments;
+                    }
+                    if !self.legacy
+                        && self.next_seq != self.seg_first
+                        && self.dir.join(segment_file_name(self.next_seq)).exists()
+                    {
+                        // The cursor segment was compacted away *after*
+                        // every one of its records was applied: its exact
+                        // successor exists, so continuing there skips
+                        // nothing.
+                        self.seg_first = self.next_seq;
+                        self.offset = WAL_HEADER_LEN as u64;
+                        continue 'segments;
+                    }
+                    if segment_paths(&self.dir)
+                        .iter()
+                        .any(|&(first_seq, _)| first_seq > self.seg_first)
+                    {
+                        // Later segments exist but ours is gone: compaction
+                        // outran this replica. State is consistent, just
+                        // too old for the remaining log.
+                        self.needs_resnapshot = true;
+                        return Err(PersistError::Resnapshot {
+                            next_seq: self.next_seq,
+                        }
+                        .into());
+                    }
+                    // The writer has not created this segment yet.
+                    break;
+                }
+                Err(e) => return Err(PersistError::from(e).into()),
+            };
+            if (bytes.len() as u64) < self.offset {
+                return self.diverge("the active segment shrank beneath the cursor");
+            }
+            if self.offset == WAL_HEADER_LEN as u64 {
+                if bytes.len() < WAL_HEADER_LEN {
+                    // Freshly created file, header still in flight.
+                    self.torn_reads += 1;
+                    break;
+                }
+                if bytes[..WAL_HEADER_LEN] != wal_header() {
+                    return self.diverge("segment header mismatch");
+                }
+            }
+            let mut clean_end = true;
+            while applied < max {
+                match next_frame(&bytes, self.offset as usize) {
+                    None => break,
+                    Some(Frame::Ok(rec)) => {
+                        if rec.seq != self.next_seq {
+                            return self.diverge(&format!(
+                                "expected sequence {}, segment holds {}",
+                                self.next_seq, rec.seq
+                            ));
+                        }
+                        if let Err(e) = self.inner.apply_replayed(rec.epoch, &rec.body) {
+                            return self.diverge(&format!("record {} failed: {e}", rec.seq));
+                        }
+                        self.offset = rec.end_offset as u64;
+                        self.next_seq += 1;
+                        applied += 1;
+                    }
+                    Some(Frame::Torn) | Some(Frame::Corrupt { .. }) => {
+                        // An in-flight append at the tail — "not yet".
+                        self.torn_reads += 1;
+                        clean_end = false;
+                        break;
+                    }
+                }
+            }
+            if applied >= max {
+                break;
+            }
+            // End of this segment's readable bytes. Advance only into the
+            // exact successor of our cursor: rotation names the new file
+            // after the next sequence number. (When the cursor segment has
+            // no applied records yet, `next_seq == seg_first` and that
+            // "successor" would be the cursor segment itself — stay put.)
+            if !self.legacy
+                && self.next_seq != self.seg_first
+                && self.dir.join(segment_file_name(self.next_seq)).exists()
+            {
+                if !clean_end {
+                    // A successor exists, so this segment is sealed and
+                    // the writer will never complete that frame.
+                    return self.diverge("torn frame in a sealed segment");
+                }
+                self.seg_first = self.next_seq;
+                self.offset = WAL_HEADER_LEN as u64;
+                continue 'segments;
+            }
+            break;
+        }
+        self.recount_lag();
+        Ok(applied)
+    }
+
+    /// Re-opens from the newest valid snapshot + WAL suffix — the recovery
+    /// path for a replica whose cursor segment was compacted away (or that
+    /// diverged). Clears both degradation flags, replaces the state, and
+    /// returns the sequence number caught up to.
+    pub fn resnapshot(&mut self) -> Result<u64> {
+        let recovered = recover(&self.dir)?;
+        self.next_seq = recovered.next_seq;
+        (self.seg_first, self.offset) = recovered.cursor;
+        self.legacy = recovered.legacy;
+        self.inner.reinstall(recovered);
+        self.needs_resnapshot = false;
+        self.diverged = false;
+        self.resnapshots += 1;
+        self.recount_lag();
+        Ok(self.next_seq - 1)
+    }
+
+    /// Ranks `docs` for `user` at the epoch the replica has reached (see
+    /// [`RankingService::rank`] for the ranking contract). Serves even
+    /// when the replica needs a resnapshot — the state is merely stale —
+    /// but errors after divergence, when it may be *wrong*.
+    pub fn rank(
+        &mut self,
+        user: IndividualId,
+        docs: &[IndividualId],
+        k: usize,
+    ) -> Result<Vec<DocScore>> {
+        self.check_poisoned()?;
+        self.inner.rank(user, docs, k)
+    }
+
+    /// Ranks `docs` for a group of users at the reached epoch (see
+    /// [`RankingService::rank_group`]).
+    pub fn rank_group(
+        &mut self,
+        users: &[IndividualId],
+        docs: &[IndividualId],
+        k: usize,
+        strategy: &GroupStrategy,
+    ) -> Result<Vec<DocScore>> {
+        self.check_poisoned()?;
+        self.inner.rank_group(users, docs, k, strategy)
+    }
+
+    /// The knowledge base at the epoch the replica has reached (use
+    /// `kb().voc.find_individual(..)` to resolve request IDs — a replica
+    /// has no mutating `individual` call).
+    pub fn kb(&self) -> &Kb {
+        self.inner.kb()
+    }
+
+    /// Replication progress counters.
+    pub fn stats(&self) -> ReplicaStats {
+        ReplicaStats {
+            applied_seq: self.next_seq - 1,
+            lag_records: self.lag_records,
+            torn_reads: self.torn_reads,
+            resnapshots: self.resnapshots,
+        }
+    }
+
+    /// The underlying service's counters (cache traffic, replay counts).
+    pub fn service_stats(&self) -> ServiceStats {
+        self.inner.stats()
+    }
+
+    /// Whether [`ReplicaService::resnapshot`] is required before polling
+    /// can make progress again.
+    pub fn needs_resnapshot(&self) -> bool {
+        self.needs_resnapshot
+    }
+
+    /// The file the cursor currently points into.
+    fn active_path(&self) -> PathBuf {
+        if self.legacy {
+            self.dir.join(LEGACY_WAL_FILE)
+        } else {
+            self.dir.join(segment_file_name(self.seg_first))
+        }
+    }
+
+    /// Poisons serving and returns the divergence error.
+    fn diverge<T>(&mut self, why: &str) -> Result<T> {
+        self.diverged = true;
+        Err(PersistError::Invalid(format!(
+            "replica diverged from the writer's log ({why}); \
+             re-open from the newest snapshot (resnapshot)"
+        ))
+        .into())
+    }
+
+    /// Errors when serving is poisoned by divergence.
+    fn check_poisoned(&self) -> Result<()> {
+        if self.diverged {
+            Err(PersistError::Invalid(
+                "replica diverged from the writer's log; \
+                 re-open from the newest snapshot (resnapshot)"
+                    .into(),
+            )
+            .into())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Dry-run of the tail walk: counts the valid records on disk past the
+    /// cursor without applying them — the [`ReplicaStats::lag_records`]
+    /// gauge.
+    fn recount_lag(&mut self) {
+        let mut lag = 0u64;
+        let mut legacy = self.legacy;
+        let mut seg_first = self.seg_first;
+        let mut offset = self.offset as usize;
+        let mut next_seq = self.next_seq;
+        loop {
+            let path = if legacy {
+                self.dir.join(LEGACY_WAL_FILE)
+            } else {
+                self.dir.join(segment_file_name(seg_first))
+            };
+            let Ok(bytes) = std::fs::read(&path) else {
+                if legacy && self.dir.join(segment_file_name(seg_first)).exists() {
+                    legacy = false;
+                    continue;
+                }
+                if !legacy
+                    && next_seq != seg_first
+                    && self.dir.join(segment_file_name(next_seq)).exists()
+                {
+                    seg_first = next_seq;
+                    offset = WAL_HEADER_LEN;
+                    continue;
+                }
+                break;
+            };
+            if offset == WAL_HEADER_LEN
+                && (bytes.len() < WAL_HEADER_LEN || bytes[..WAL_HEADER_LEN] != wal_header())
+            {
+                break;
+            }
+            let mut clean_end = true;
+            loop {
+                match next_frame(&bytes, offset) {
+                    Some(Frame::Ok(rec)) if rec.seq == next_seq => {
+                        offset = rec.end_offset;
+                        next_seq += 1;
+                        lag += 1;
+                    }
+                    None => break,
+                    Some(_) => {
+                        clean_end = false;
+                        break;
+                    }
+                }
+            }
+            if legacy
+                || !clean_end
+                || next_seq == seg_first
+                || !self.dir.join(segment_file_name(next_seq)).exists()
+            {
+                break;
+            }
+            seg_first = next_seq;
+            offset = WAL_HEADER_LEN;
+        }
+        self.lag_records = lag;
+    }
+}

@@ -15,45 +15,26 @@ use crate::multiuser::{group_scores, GroupStrategy};
 use crate::parallel::{
     effective_threads, rank_top_k_bound_parallel, score_all_bound_parallel, ScratchPool,
 };
-use crate::persist::snapshot::{decode_snapshot, encode_snapshot};
-use crate::persist::wal::{apply_op, decode_op, scan_wal, Wal, WalOp, WAL_HEADER_LEN};
-use crate::persist::{FlushPolicy, PersistError, WalStats};
+use crate::persist::compact::{covered_prefix, delete_segments};
+use crate::persist::snapshot::encode_snapshot;
+use crate::persist::wal::{
+    apply_op, decode_op, segment_file_name, segment_paths, SegmentLimit, Wal, WalOp,
+    LEGACY_WAL_FILE,
+};
+use crate::persist::{
+    recover, snapshot_paths, sync_dir, CompactionPolicy, FlushPolicy, PersistError, Recovered,
+    WalStats,
+};
 use crate::serve::request::{Fact, Request, Response};
 use crate::serve::tenants::TenantSessions;
 use crate::session::{read_through_scores, score_key, SessionStats};
 use crate::topk::rank_top_k_bound;
 use crate::{Kb, PreferenceRule, Result, RuleRepository, ScoringEnv};
 
-/// File name of the write-ahead log inside a durable directory.
-const WAL_FILE: &str = "wal.log";
-
-/// Snapshot files inside a durable directory, newest first. Names follow
-/// `snapshot-<seq>.snap` where `<seq>` is the last WAL sequence number the
-/// snapshot covers.
-fn snapshot_paths(dir: &Path) -> Vec<(u64, PathBuf)> {
-    let mut out = Vec::new();
-    if let Ok(entries) = std::fs::read_dir(dir) {
-        for entry in entries.flatten() {
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            let Some(seq) = name
-                .strip_prefix("snapshot-")
-                .and_then(|s| s.strip_suffix(".snap"))
-            else {
-                continue;
-            };
-            if let Ok(seq) = seq.parse::<u64>() {
-                out.push((seq, entry.path()));
-            }
-        }
-    }
-    out.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq));
-    out
-}
-
 /// The persistence attachment of a durable service.
 struct DurableState {
-    /// Directory holding `wal.log` and `snapshot-<seq>.snap` files.
+    /// Directory holding `wal-<first_seq>.log` segments and
+    /// `snapshot-<seq>.snap` files.
     dir: PathBuf,
     /// The open write-ahead log.
     wal: Wal,
@@ -84,11 +65,26 @@ pub struct ServiceConfig {
     /// into each tenant's score-cache key, so reconfiguring a service
     /// never serves one path's cached scores to the other.
     pub scoring: ScoringConfig,
+    /// Snapshots kept on disk after [`RankingService::save_snapshot`]
+    /// prunes (newest first; clamped ≥ 1, and ≥ 2 when `compaction` is
+    /// enabled — the compaction invariant needs two covering snapshots).
+    pub snapshot_retain: usize,
+    /// Byte threshold after which the active WAL segment is sealed and a
+    /// fresh one started (see [`crate::WalStats::rotations`]).
+    pub segment_bytes: u64,
+    /// Record-count threshold for segment rotation (`u64::MAX` = bytes
+    /// only).
+    pub segment_records: u64,
+    /// Whether [`RankingService::save_snapshot`] deletes covered WAL
+    /// prefix segments afterwards (see [`CompactionPolicy`]; default
+    /// `Never` keeps the whole log as the authoritative history).
+    pub compaction: CompactionPolicy,
 }
 
 impl Default for ServiceConfig {
     /// Eight shards, 1024 live sessions, the default eviction policy,
-    /// sequential dispatch, and columnar evaluation.
+    /// sequential dispatch, columnar evaluation, two retained snapshots,
+    /// 8 MiB WAL segments, and no compaction.
     fn default() -> Self {
         Self {
             shards: 8,
@@ -96,6 +92,10 @@ impl Default for ServiceConfig {
             policy: EvictionPolicy::default(),
             threads: 1,
             scoring: ScoringConfig::default(),
+            snapshot_retain: 2,
+            segment_bytes: 8 * 1024 * 1024,
+            segment_records: u64::MAX,
+            compaction: CompactionPolicy::Never,
         }
     }
 }
@@ -201,6 +201,11 @@ pub struct RankingService<E> {
     durable: Option<DurableState>,
     /// WAL traffic counters surfaced via [`ServiceStats::wal`].
     wal_stats: WalStats,
+    /// Snapshots [`RankingService::save_snapshot`] keeps (clamped from
+    /// [`ServiceConfig::snapshot_retain`]).
+    snapshot_retain: usize,
+    /// Whether snapshots compact the covered WAL prefix afterwards.
+    compaction: CompactionPolicy,
 }
 
 impl<E: ScoringEngine + Sync> RankingService<E> {
@@ -212,6 +217,13 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
 
     /// A service with explicit sizing and policy knobs.
     pub fn with_config(engine: E, kb: Kb, rules: RuleRepository, config: ServiceConfig) -> Self {
+        let retain_floor = match config.compaction {
+            CompactionPolicy::Never => 1,
+            // Compaction deletes segments covered by the two newest
+            // snapshots; retaining fewer would delete a snapshot the
+            // invariant still leans on.
+            CompactionPolicy::Covered => 2,
+        };
         Self {
             engine,
             kb,
@@ -224,6 +236,8 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
             coalesced_runs: 0,
             durable: None,
             wal_stats: WalStats::default(),
+            snapshot_retain: config.snapshot_retain.max(retain_floor),
+            compaction: config.compaction,
         }
     }
 
@@ -273,149 +287,123 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(PersistError::from)?;
 
-        // Newest snapshot whose bytes fully decode; corrupt ones are
-        // skipped (the WAL holds the full history, so they cost nothing
-        // but replay time).
-        let mut snapshot_bytes = None;
-        for (_, path) in snapshot_paths(&dir) {
-            if let Ok(bytes) = std::fs::read(&path) {
-                if decode_snapshot(&bytes).is_ok() {
-                    snapshot_bytes = Some(bytes);
-                    break;
-                }
-            }
+        // Migrate a pre-segment directory: the single-file `wal.log` is
+        // byte-identical to a first segment (its first record is sequence
+        // 1), so it just changes name. Replicas read it in place; only the
+        // writer renames.
+        let legacy = dir.join(LEGACY_WAL_FILE);
+        if segment_paths(&dir).is_empty() && legacy.exists() {
+            std::fs::rename(&legacy, dir.join(segment_file_name(1))).map_err(PersistError::from)?;
+            sync_dir(&dir).map_err(PersistError::from)?;
         }
 
-        // Scan the log: framing + checksum validation only; operation
-        // bodies decode during replay below, against the recovered
-        // vocabulary.
-        let wal_path = dir.join(WAL_FILE);
-        let bytes = Wal::read_file(&wal_path)?;
-        let mut truncated = 0u64;
-        let (records, fresh_log) = if bytes.is_empty() {
-            (Vec::new(), true)
-        } else {
-            let scan = scan_wal(&bytes);
-            truncated += scan.dropped;
-            if scan.header_ok {
-                (scan.records, false)
-            } else {
-                (Vec::new(), true)
-            }
-        };
+        let recovered = recover(&dir)?;
 
-        // Restore the snapshot and replay the WAL suffix. A record that
-        // passes its CRC but fails semantic replay (undecodable operation,
-        // sequence gap, post-apply epoch mismatch) cannot be un-applied in
-        // place, so the pass restarts from the snapshot with the prefix
-        // shortened to just before the failure; the records replayed so
-        // far are deterministic, so the loop runs at most twice.
-        let mut limit = records.len();
-        let (kb, rules, prob, expect, warm_users, base_seq, replayed, end_offset) = loop {
-            let (mut kb, mut rules, prob, expect, warm, base_seq) = match &snapshot_bytes {
-                Some(bytes) => match decode_snapshot(bytes) {
-                    Ok(s) => (
-                        s.kb,
-                        s.rules,
-                        s.prob,
-                        s.expect,
-                        s.warm_users,
-                        s.last_applied_seq,
-                    ),
-                    Err(_) => unreachable!("snapshot bytes were validated above"),
-                },
-                None => (
-                    Kb::new(),
-                    RuleRepository::new(),
-                    Default::default(),
-                    Default::default(),
-                    Vec::new(),
-                    0,
-                ),
-            };
-            let mut applied = 0u64;
-            let mut end = WAL_HEADER_LEN;
-            let mut prev_seq = None;
-            let mut failed_at = None;
-            for (j, rec) in records[..limit].iter().enumerate() {
-                if let Some(prev) = prev_seq {
-                    if rec.seq != prev + 1 {
-                        failed_at = Some(j);
-                        break;
-                    }
-                }
-                prev_seq = Some(rec.seq);
-                if rec.seq <= base_seq {
-                    // Already reflected in the snapshot.
-                    end = rec.end_offset;
-                    continue;
-                }
-                let ok = decode_op(&rec.body, &mut kb.voc)
-                    .and_then(|op| apply_op(&mut kb, &mut rules, op))
-                    .is_ok()
-                    && kb.epoch() == rec.epoch;
-                if ok {
-                    applied += 1;
-                    end = rec.end_offset;
-                } else {
-                    failed_at = Some(j);
-                    break;
-                }
-            }
-            match failed_at {
-                Some(j) => {
-                    truncated += (limit - j) as u64;
-                    limit = j;
-                }
-                None => break (kb, rules, prob, expect, warm, base_seq, applied, end),
-            }
-        };
+        // Physically drop segments past the valid chain (the segmented
+        // equivalent of truncating the invalid suffix), then reopen the
+        // active segment for appending — truncated to the chain's end —
+        // or start a fresh one.
+        for path in &recovered.resume.delete {
+            std::fs::remove_file(path).map_err(PersistError::from)?;
+            sync_dir(&dir).map_err(PersistError::from)?;
+        }
+        let wal = Wal::open_dir(
+            &dir,
+            flush,
+            recovered.next_seq,
+            recovered.resume.active,
+            SegmentLimit {
+                max_bytes: config.segment_bytes.max(1),
+                max_records: config.segment_records.max(1),
+            },
+        )?;
 
-        // Physically drop the invalid suffix and resume appending after
-        // the last surviving sequence number.
-        let next_seq = records[..limit]
-            .last()
-            .map(|r| r.seq)
-            .unwrap_or(base_seq)
-            .max(base_seq)
-            + 1;
-        let truncate_to = if fresh_log { 0 } else { end_offset as u64 };
-        let wal = Wal::open_file(&wal_path, flush, next_seq, truncate_to)?;
-
-        let mut service = Self::with_config(engine, kb, rules, config);
+        let mut service = Self::with_config(engine, Kb::new(), RuleRepository::new(), config);
+        service.reinstall(recovered);
         service.durable = Some(DurableState { dir, wal });
-        service.wal_stats.records_replayed = replayed;
-        service.wal_stats.records_truncated = truncated;
+        Ok(service)
+    }
+
+    /// Installs a [`Recovered`] state into this service: KB, rules, the
+    /// persisted evaluation tier, the recovery counters, and warm binding
+    /// seeds for the tenants that were live at snapshot time (their first
+    /// post-boot request then needs no cold bind). Everything previously
+    /// cached is dropped — also the re-open path behind
+    /// [`crate::serve::ReplicaService`]'s resnapshot.
+    pub(crate) fn reinstall(&mut self, recovered: Recovered) {
+        let Recovered {
+            kb,
+            rules,
+            prob,
+            expect,
+            warm_users,
+            replayed,
+            truncated,
+            ..
+        } = recovered;
+        self.kb = kb;
+        self.rules = rules;
+        self.tenants.clear();
+        self.pool = ScratchPool::with_config(self.pool.policy(), self.pool.scoring());
+        self.wal_stats.records_replayed = replayed;
+        self.wal_stats.records_truncated = truncated;
         // Re-publish the persisted evaluation tier through the ordinary
         // pool cycle (no-op when the snapshot carried none).
-        service.pool.install_snapshot(&service.kb, prob, expect);
-        // Re-derive bindings for the tenants that were warm at snapshot
-        // time, so their first post-boot request needs no cold bind.
+        self.pool.install_snapshot(&self.kb, prob, expect);
         for name in warm_users {
-            let Some(user) = service.kb.voc.find_individual(&name) else {
+            let Some(user) = self.kb.voc.find_individual(&name) else {
                 continue;
             };
             let env = ScoringEnv {
-                kb: &service.kb,
-                rules: &service.rules,
+                kb: &self.kb,
+                rules: &self.rules,
                 user,
             };
             let bindings = bind_rules_shared(&env);
-            service.tenants.session(user).bindings.seed(&env, &bindings);
+            self.tenants.session(user).bindings.seed(&env, &bindings);
         }
-        Ok(service)
+    }
+
+    /// Replays one WAL record body against the live state — the replica
+    /// tail-apply path, enforcing the same semantic checks recovery does
+    /// (decodable operation, successful apply, post-apply epoch match).
+    pub(crate) fn apply_replayed(
+        &mut self,
+        epoch: u64,
+        body: &[u8],
+    ) -> std::result::Result<(), PersistError> {
+        let op = decode_op(body, &mut self.kb.voc)?;
+        apply_op(&mut self.kb, &mut self.rules, op)?;
+        if self.kb.epoch() != epoch {
+            return Err(PersistError::Invalid(format!(
+                "replayed record's epoch stamp {epoch} does not match the post-apply epoch {}",
+                self.kb.epoch()
+            )));
+        }
+        self.wal_stats.records_replayed += 1;
+        Ok(())
     }
 
     /// Writes a full snapshot of the current state (KB, rules, the shared
     /// evaluation tier, and the live-tenant set) to the durable directory,
-    /// atomically (write to a temp file, fsync, rename). Older snapshots
-    /// beyond the newest two are pruned; the WAL is kept whole — it is the
-    /// authoritative history, which is what lets recovery survive a
-    /// corrupt snapshot file with zero data loss.
+    /// atomically (write to a temp file, fsync, rename, fsync the
+    /// directory). Older snapshots beyond the newest
+    /// [`ServiceConfig::snapshot_retain`] are pruned.
+    ///
+    /// With [`CompactionPolicy::Never`] (the default) the WAL is kept
+    /// whole — it is the authoritative history, which is what lets
+    /// recovery survive *every* snapshot being lost. With
+    /// [`CompactionPolicy::Covered`] the active segment is sealed first
+    /// (so this snapshot's records become deletable by a later pass) and
+    /// prefix segments covered by the two newest valid snapshots are
+    /// deleted afterwards, oldest first, each unlink made durable before
+    /// the next — a crash between any two deletes leaves a contiguous
+    /// chain that recovers with zero loss.
     ///
     /// Errors with [`PersistError::Invalid`] if the service was not opened
     /// with [`RankingService::open_durable`].
     pub fn save_snapshot(&mut self) -> Result<()> {
+        let compaction = self.compaction;
         let Some(durable) = &mut self.durable else {
             return Err(PersistError::Invalid(
                 "save_snapshot requires a durable service (use open_durable)".into(),
@@ -423,6 +411,9 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
             .into());
         };
         durable.wal.flush()?;
+        if compaction != CompactionPolicy::Never && durable.wal.rotate()? {
+            self.wal_stats.rotations += 1;
+        }
         let seq = durable.wal.next_seq() - 1;
         let tier = self.pool.export_tier(&self.kb);
         let warm: Vec<String> = self
@@ -440,8 +431,23 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
         }
         std::fs::rename(&tmp, durable.dir.join(format!("snapshot-{seq}.snap")))
             .map_err(PersistError::from)?;
-        for (_, path) in snapshot_paths(&durable.dir).into_iter().skip(2) {
-            let _ = std::fs::remove_file(path);
+        // Make the rename durable: without the directory fsync a crash
+        // here can lose the new snapshot's directory entry even though its
+        // bytes were synced.
+        sync_dir(&durable.dir).map_err(PersistError::from)?;
+        for (_, path) in snapshot_paths(&durable.dir)
+            .into_iter()
+            .skip(self.snapshot_retain)
+        {
+            if std::fs::remove_file(path).is_ok() {
+                let _ = sync_dir(&durable.dir);
+            }
+        }
+        if compaction == CompactionPolicy::Covered {
+            let plan = covered_prefix(&durable.dir);
+            let out = delete_segments(&durable.dir, &plan, None)?;
+            self.wal_stats.segments_deleted += out.segments_deleted;
+            self.wal_stats.bytes_reclaimed += out.bytes_reclaimed;
         }
         Ok(())
     }
@@ -456,9 +462,12 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     /// (post-apply) KB epoch. No-op for non-durable services.
     fn log(&mut self, op: WalOp) -> Result<()> {
         if let Some(durable) = &mut self.durable {
-            let bytes = durable.wal.append(self.kb.epoch(), &op, &self.kb.voc)?;
+            let out = durable.wal.append(self.kb.epoch(), &op, &self.kb.voc)?;
             self.wal_stats.records_appended += 1;
-            self.wal_stats.bytes_appended += bytes;
+            self.wal_stats.bytes_appended += out.bytes;
+            if out.rotated {
+                self.wal_stats.rotations += 1;
+            }
         }
         Ok(())
     }

@@ -39,8 +39,10 @@
 //! cached sessions (LRU-capped), one shared bounded evaluation tier,
 //! typed `rank`/`rank_group`/`assert` requests and batch coalescing.
 //! Opened durable (`open_durable`), the service journals every mutation
-//! to a checksummed WAL and checkpoints snapshots, so a crash restarts
-//! warm with bit-identical scores.
+//! to a checksummed, segmented WAL and checkpoints snapshots — with
+//! opt-in compaction deleting snapshot-covered prefix segments — so a
+//! crash restarts warm with bit-identical scores, and read-only
+//! [`prelude::ReplicaService`] followers can tail the same directory.
 //!
 //! See `examples/` for runnable walkthroughs (quickstart, the TVTouch
 //! morning scenario, correlated smart-home context, preference mining from
@@ -65,11 +67,12 @@ pub mod prelude {
     pub use capra_core::serve::{Fact, Request, Response};
     pub use capra_core::{
         bind_rules, bind_rules_shared, explain, group_scores, rank, rank_top_k, score_group,
-        BatchStats, CacheFootprint, CacheStats, CoreError, CorrelationPolicy, DocScore, Episode,
-        EvictionPolicy, Explanation, FactorizedEngine, FlushPolicy, GroupStrategy, HistoryLog, Kb,
-        LineageEngine, MinedRule, NaiveEnumEngine, NaiveViewEngine, Offer, PersistError,
-        PreferenceRule, RankingService, RuleRepository, Score, ScoringConfig, ScoringEngine,
-        ScoringEnv, ScoringSession, ServiceConfig, ServiceStats, SessionStats, WalStats,
+        BatchStats, CacheFootprint, CacheStats, CompactionPolicy, CoreError, CorrelationPolicy,
+        DocScore, Episode, EvictionPolicy, Explanation, FactorizedEngine, FlushPolicy,
+        GroupStrategy, HistoryLog, Kb, LineageEngine, MinedRule, NaiveEnumEngine, NaiveViewEngine,
+        Offer, PersistError, PreferenceRule, RankingService, ReplicaService, ReplicaStats,
+        RuleRepository, Score, ScoringConfig, ScoringEngine, ScoringEnv, ScoringSession,
+        ServiceConfig, ServiceStats, SessionStats, WalStats,
     };
     pub use capra_dl::{parse_concept, ABox, Concept, Reasoner, TBox, Vocabulary};
     pub use capra_events::{Evaluator, EventExpr, Universe};

@@ -5,12 +5,15 @@
 //! bit-identical scores — for all four engines — with its warm tenants
 //! paying no cold bind on their first post-boot rank. And whatever a
 //! crash leaves on disk (a torn WAL tail, a flipped bit mid-log, a
-//! truncated snapshot file), recovery degrades to the last durable
-//! prefix, reports the loss in [`ServiceStats`], and never panics.
+//! truncated snapshot file, a half-finished compaction pass), recovery
+//! degrades to the last durable prefix, reports the loss in
+//! [`ServiceStats`], and never panics. With
+//! [`CompactionPolicy::Covered`], recovery after *any* crash point must
+//! be bit-identical to a never-compacted log's.
 
 use capra::dl::IndividualId;
 use capra::prelude::*;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Fresh scratch directory, unique per test and per process.
@@ -110,13 +113,67 @@ fn open(
     engine: Box<dyn ScoringEngine + Sync>,
     dir: &PathBuf,
 ) -> RankingService<Box<dyn ScoringEngine + Sync>> {
-    RankingService::open_durable(
-        engine,
-        ServiceConfig::default(),
-        dir,
-        FlushPolicy::EveryRecord,
-    )
-    .unwrap()
+    open_with(engine, dir, ServiceConfig::default())
+}
+
+fn open_with(
+    engine: Box<dyn ScoringEngine + Sync>,
+    dir: &PathBuf,
+    config: ServiceConfig,
+) -> RankingService<Box<dyn ScoringEngine + Sync>> {
+    RankingService::open_durable(engine, config, dir, FlushPolicy::EveryRecord).unwrap()
+}
+
+/// Path of the single WAL segment a default-config writer produces (fresh
+/// logs start at sequence 1, and 8 MiB segments never rotate here).
+fn first_segment(dir: &Path) -> PathBuf {
+    dir.join("wal-1.log")
+}
+
+/// WAL segment files in `dir`, ascending by first sequence number.
+fn segments(dir: &PathBuf) -> Vec<(u64, PathBuf)> {
+    let mut out: Vec<(u64, PathBuf)> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let name = e.file_name();
+            let first = name
+                .to_str()?
+                .strip_prefix("wal-")?
+                .strip_suffix(".log")?
+                .parse()
+                .ok()?;
+            Some((first, e.path()))
+        })
+        .collect();
+    out.sort_by_key(|&(first, _)| first);
+    out
+}
+
+/// Snapshot sequence numbers in `dir`, newest first.
+fn snapshot_seqs(dir: &PathBuf) -> Vec<u64> {
+    let mut out: Vec<u64> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            e.file_name()
+                .to_str()?
+                .strip_prefix("snapshot-")?
+                .strip_suffix(".snap")?
+                .parse()
+                .ok()
+        })
+        .collect();
+    out.sort_by(|a, b| b.cmp(a));
+    out
+}
+
+/// Replicates a crash image: flat copy of the durable directory.
+fn copy_dir(src: &PathBuf, dst: &PathBuf) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap().filter_map(|e| e.ok()) {
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
 }
 
 /// The tentpole: populate → rank → snapshot → keep mutating → kill.
@@ -198,7 +255,7 @@ fn torn_wal_tail_recovers_to_last_valid_prefix() {
     drop(service);
 
     // Tear the tail: the last record (R2's AddRule) loses its final bytes.
-    let wal_path = dir.join("wal.log");
+    let wal_path = first_segment(&dir);
     let len = std::fs::metadata(&wal_path).unwrap().len();
     let file = std::fs::OpenOptions::new()
         .write(true)
@@ -268,7 +325,7 @@ fn bit_flip_mid_log_truncates_from_that_record() {
 
     // Flip one bit inside the middle record's payload: framing stays
     // intact, so the scanner can still account for every later record.
-    let wal_path = dir.join("wal.log");
+    let wal_path = first_segment(&dir);
     let mut bytes = std::fs::read(&wal_path).unwrap();
     let offsets = frame_payload_offsets(&bytes);
     assert_eq!(offsets.len() as u64, appended);
@@ -379,7 +436,7 @@ fn every_single_bit_flip_recovers_without_panic() {
         .unwrap();
     let appended = service.stats().wal.records_appended;
     drop(service);
-    let wal_path = dir.join("wal.log");
+    let wal_path = first_segment(&dir);
     let pristine = std::fs::read(&wal_path).unwrap();
 
     for bit in 0..pristine.len() * 8 {
@@ -401,6 +458,387 @@ fn every_single_bit_flip_recovers_without_panic() {
         // Recovery rewrites the file (truncation); restore the pristine
         // image for the next flip.
         std::fs::write(&wal_path, &pristine).unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tight rotation (four records per segment) spreads the log over many
+/// segment files; a kill/restart must stitch the whole chain back
+/// together — zero truncation, every record replayed, bit-identical
+/// scores — for all four engines.
+#[test]
+fn segment_rotation_restart_is_bit_identical_for_all_engines() {
+    let config = ServiceConfig {
+        segment_records: 4,
+        ..ServiceConfig::default()
+    };
+    for (name, engine) in engines() {
+        let dir = scratch(&format!("rotation-{name}"));
+        let mut service = open_with(engine, &dir, config);
+        let (users, docs) = populate(&mut service);
+        let stats = service.stats().wal;
+        assert!(
+            stats.rotations > 0,
+            "{name}: 24 records over 4-record segments must rotate: {stats:?}"
+        );
+        let appended = stats.records_appended;
+        let want: Vec<Vec<DocScore>> = users
+            .iter()
+            .map(|&u| service.rank(u, &docs, docs.len()).unwrap())
+            .collect();
+        let epoch = service.kb().epoch();
+        drop(service); // kill
+
+        assert!(
+            segments(&dir).len() > 1,
+            "{name}: rotation must leave multiple segment files on disk"
+        );
+        let (_, engine) = engines().into_iter().find(|(n, _)| *n == name).unwrap();
+        let mut restored = open_with(engine, &dir, config);
+        let wal = restored.stats().wal;
+        assert_eq!(wal.records_truncated, 0, "{name}: {wal:?}");
+        assert_eq!(wal.records_replayed, appended, "{name}: {wal:?}");
+        assert_eq!(restored.kb().epoch(), epoch, "{name}");
+        for (&u, want) in users.iter().zip(&want) {
+            let got = restored.rank(u, &docs, docs.len()).unwrap();
+            for (a, b) in want.iter().zip(&got) {
+                assert_eq!(a.doc, b.doc, "{name}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "{name}");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Twin runs of the same mutation stream, one with
+/// [`CompactionPolicy::Covered`] and one with the default `Never`: the
+/// covered run reclaims prefix segments (fewer files, bytes accounted in
+/// [`WalStats`]) yet restarts bit-identical to the never-compacted twin,
+/// with zero truncation and a shorter replay.
+#[test]
+fn covered_compaction_reclaims_segments_and_stays_bit_identical() {
+    let never_cfg = ServiceConfig {
+        segment_records: 3,
+        ..ServiceConfig::default()
+    };
+    let covered_cfg = ServiceConfig {
+        compaction: CompactionPolicy::Covered,
+        ..never_cfg
+    };
+    let covered_dir = scratch("covered-twin");
+    let never_dir = scratch("never-twin");
+    let mut covered = open_with(engines().remove(2).1, &covered_dir, covered_cfg);
+    let mut never = open_with(engines().remove(2).1, &never_dir, never_cfg);
+
+    // Identical mutation streams, snapshot for snapshot.
+    let (users, docs) = populate(&mut covered);
+    let (users2, docs2) = populate(&mut never);
+    assert_eq!(users, users2);
+    assert_eq!(docs, docs2);
+    for service in [&mut covered, &mut never] {
+        service.save_snapshot().unwrap();
+        for (i, &u) in users.iter().enumerate() {
+            service
+                .assert(u, Fact::ConceptProb("Ctx1".into(), 0.15 + 0.2 * i as f64))
+                .unwrap();
+        }
+        service.save_snapshot().unwrap();
+        service
+            .assert(users[0], Fact::ConceptProb("Ctx2".into(), 0.35))
+            .unwrap();
+    }
+
+    // The second snapshot makes the first one the cover point: every
+    // segment sealed before it is reclaimable.
+    let cs = covered.stats().wal;
+    assert!(cs.segments_deleted > 0, "{cs:?}");
+    assert!(cs.bytes_reclaimed > 0, "{cs:?}");
+    assert_eq!(never.stats().wal.segments_deleted, 0);
+    assert!(
+        segments(&covered_dir).len() < segments(&never_dir).len(),
+        "compaction must keep fewer segments on disk: {:?} vs {:?}",
+        segments(&covered_dir),
+        segments(&never_dir),
+    );
+    let want: Vec<Vec<DocScore>> = users
+        .iter()
+        .map(|&u| never.rank(u, &docs, docs.len()).unwrap())
+        .collect();
+    let epoch = never.kb().epoch();
+    drop(covered);
+    drop(never);
+
+    let mut covered = open_with(engines().remove(2).1, &covered_dir, covered_cfg);
+    let mut never = open_with(engines().remove(2).1, &never_dir, never_cfg);
+    let (cw, nw) = (covered.stats().wal, never.stats().wal);
+    assert_eq!(cw.records_truncated, 0, "{cw:?}");
+    assert_eq!(nw.records_truncated, 0, "{nw:?}");
+    assert!(
+        cw.records_replayed <= nw.records_replayed,
+        "compaction never lengthens replay: {cw:?} vs {nw:?}"
+    );
+    assert_eq!(covered.kb().epoch(), epoch);
+    assert_eq!(never.kb().epoch(), epoch);
+    for (&u, want) in users.iter().zip(&want) {
+        for service in [&mut covered, &mut never] {
+            let got = service.rank(u, &docs, docs.len()).unwrap();
+            for (a, b) in want.iter().zip(&got) {
+                assert_eq!(a.doc, b.doc);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&covered_dir);
+    let _ = std::fs::remove_dir_all(&never_dir);
+}
+
+/// The crash-mid-compaction sweep: compaction deletes covered prefix
+/// segments oldest-first, so a kill between any two deletes leaves the
+/// first `k` gone. For every `k` — including the completed pass — and for
+/// all four engines, recovery from that image must be bit-identical with
+/// `records_truncated == 0`, because the second-newest snapshot still
+/// covers everything deleted.
+#[test]
+fn crash_between_compaction_deletes_recovers_with_zero_loss() {
+    let config = ServiceConfig {
+        segment_records: 3,
+        ..ServiceConfig::default()
+    };
+    let dir = scratch("compaction-crash");
+    let mut service = open_with(engines().remove(2).1, &dir, config);
+    let (users, docs) = populate(&mut service);
+    service.save_snapshot().unwrap();
+    service
+        .assert(users[0], Fact::ConceptProb("Ctx0".into(), 0.45))
+        .unwrap();
+    service
+        .assert(users[1], Fact::ConceptProb("Ctx2".into(), 0.25))
+        .unwrap();
+    service.save_snapshot().unwrap();
+    service
+        .assert(users[0], Fact::ConceptProb("Ctx1".into(), 0.6))
+        .unwrap();
+    let epoch = service.kb().epoch();
+    drop(service); // kill — this run never compacted, both snapshots stand
+
+    // Recompute the deletable prefix exactly as the compactor does, from
+    // file names alone: a sealed segment goes iff its last record (the
+    // next segment's first sequence minus one) is covered by the
+    // *second-newest* snapshot.
+    let cover = snapshot_seqs(&dir)[1];
+    let mut deletable = Vec::new();
+    for pair in segments(&dir).windows(2) {
+        if pair[1].0.saturating_sub(1) <= cover {
+            deletable.push(pair[0].1.clone());
+        } else {
+            break;
+        }
+    }
+    assert!(
+        deletable.len() >= 2,
+        "the scenario must leave a multi-segment deletable prefix: {deletable:?}"
+    );
+
+    for (name, _) in engines() {
+        // `want` is the k = 0 (crash before any delete) recovery; every
+        // later crash point must match it bit-for-bit.
+        let mut want: Option<Vec<Vec<DocScore>>> = None;
+        for k in 0..=deletable.len() {
+            let copy = scratch(&format!("compaction-crash-{name}-{k}"));
+            copy_dir(&dir, &copy);
+            for path in &deletable[..k] {
+                std::fs::remove_file(copy.join(path.file_name().unwrap())).unwrap();
+            }
+            let (_, engine) = engines().into_iter().find(|(n, _)| *n == name).unwrap();
+            let mut restored = open_with(engine, &copy, config);
+            let wal = restored.stats().wal;
+            assert_eq!(
+                wal.records_truncated, 0,
+                "{name} k={k}: a half-finished compaction never loses records: {wal:?}"
+            );
+            assert_eq!(restored.kb().epoch(), epoch, "{name} k={k}");
+            let got: Vec<Vec<DocScore>> = users
+                .iter()
+                .map(|&u| restored.rank(u, &docs, docs.len()).unwrap())
+                .collect();
+            match &want {
+                None => want = Some(got),
+                Some(want) => {
+                    for (w, g) in want.iter().zip(&got) {
+                        for (a, b) in w.iter().zip(g) {
+                            assert_eq!(a.doc, b.doc, "{name} k={k}");
+                            assert_eq!(a.score.to_bits(), b.score.to_bits(), "{name} k={k}");
+                        }
+                    }
+                }
+            }
+            let _ = std::fs::remove_dir_all(&copy);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Why compaction covers to the *second*-newest snapshot: the newest one
+/// can vanish (crash between the tmp rename and the directory sync on a
+/// non-journaling filesystem). With the newest snapshot gone — and a
+/// stray half-written `snapshot.tmp` left behind — an already-compacted
+/// directory must still recover with zero loss from the older snapshot.
+#[test]
+fn losing_the_newest_snapshot_after_compaction_still_recovers() {
+    let config = ServiceConfig {
+        segment_records: 3,
+        compaction: CompactionPolicy::Covered,
+        ..ServiceConfig::default()
+    };
+    let dir = scratch("lost-snapshot");
+    let mut service = open_with(engines().remove(3).1, &dir, config);
+    let (users, docs) = populate(&mut service);
+    service.save_snapshot().unwrap();
+    service
+        .assert(users[0], Fact::ConceptProb("Ctx0".into(), 0.65))
+        .unwrap();
+    service.save_snapshot().unwrap();
+    assert!(
+        service.stats().wal.segments_deleted > 0,
+        "must have compacted"
+    );
+    service
+        .assert(users[1], Fact::ConceptProb("Ctx1".into(), 0.4))
+        .unwrap();
+    let want: Vec<Vec<DocScore>> = users
+        .iter()
+        .map(|&u| service.rank(u, &docs, docs.len()).unwrap())
+        .collect();
+    let epoch = service.kb().epoch();
+    drop(service);
+
+    let newest = snapshot_seqs(&dir)[0];
+    std::fs::remove_file(dir.join(format!("snapshot-{newest}.snap"))).unwrap();
+    std::fs::write(dir.join("snapshot.tmp"), b"half-written garbage").unwrap();
+
+    let mut restored = open_with(engines().remove(3).1, &dir, config);
+    let wal = restored.stats().wal;
+    assert_eq!(wal.records_truncated, 0, "{wal:?}");
+    assert_eq!(restored.kb().epoch(), epoch);
+    for (&u, want) in users.iter().zip(&want) {
+        let got = restored.rank(u, &docs, docs.len()).unwrap();
+        for (a, b) in want.iter().zip(&got) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A PR 7 directory holds one unsegmented `wal.log`; opening it with the
+/// segmented writer migrates the file to `wal-1.log` (rename, no
+/// rewrite), replays every record, and keeps appending into it.
+#[test]
+fn legacy_single_file_wal_migrates_on_open() {
+    let dir = scratch("legacy");
+    let mut service = open(engines().remove(3).1, &dir);
+    let (users, docs) = populate(&mut service);
+    let appended = service.stats().wal.records_appended;
+    let want: Vec<Vec<DocScore>> = users
+        .iter()
+        .map(|&u| service.rank(u, &docs, docs.len()).unwrap())
+        .collect();
+    drop(service);
+
+    // Downgrade the directory to the PR 7 layout.
+    std::fs::rename(first_segment(&dir), dir.join("wal.log")).unwrap();
+
+    let mut restored = open(engines().remove(3).1, &dir);
+    assert!(
+        first_segment(&dir).exists() && !dir.join("wal.log").exists(),
+        "the legacy log is renamed to the first segment"
+    );
+    let wal = restored.stats().wal;
+    assert_eq!(wal.records_truncated, 0, "{wal:?}");
+    assert_eq!(wal.records_replayed, appended, "{wal:?}");
+    for (&u, want) in users.iter().zip(&want) {
+        let got = restored.rank(u, &docs, docs.len()).unwrap();
+        for (a, b) in want.iter().zip(&got) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+    // Appends continue into the migrated segment and survive another kill.
+    restored
+        .assert(users[0], Fact::ConceptProb("Ctx0".into(), 0.9))
+        .unwrap();
+    drop(restored);
+    let clean = open(engines().remove(3).1, &dir);
+    let wal = clean.stats().wal;
+    assert_eq!(wal.records_truncated, 0, "{wal:?}");
+    assert_eq!(wal.records_replayed, appended + 1, "{wal:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// [`ServiceConfig::snapshot_retain`] replaces the old hardcoded
+/// keep-two: retention is honored as configured, and clamped up to two
+/// when compaction is on (the invariant needs a second-newest snapshot
+/// as its cover point).
+#[test]
+fn snapshot_retain_is_honored_and_clamped_under_compaction() {
+    let dir = scratch("retain");
+    let config = ServiceConfig {
+        snapshot_retain: 3,
+        ..ServiceConfig::default()
+    };
+    let mut service = open_with(engines().remove(2).1, &dir, config);
+    let (users, _docs) = populate(&mut service);
+    for i in 0..5 {
+        service
+            .assert(
+                users[0],
+                Fact::ConceptProb("Ctx0".into(), 0.2 + 0.1 * i as f64),
+            )
+            .unwrap();
+        service.save_snapshot().unwrap();
+    }
+    assert_eq!(
+        snapshot_seqs(&dir).len(),
+        3,
+        "retain = 3 keeps exactly the three newest snapshots"
+    );
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // snapshot_retain: 0 under Covered clamps to 2 — never fewer
+    // snapshots than the compaction invariant requires.
+    let dir = scratch("retain-clamped");
+    let config = ServiceConfig {
+        snapshot_retain: 0,
+        segment_records: 2,
+        compaction: CompactionPolicy::Covered,
+        ..ServiceConfig::default()
+    };
+    let mut service = open_with(engines().remove(2).1, &dir, config);
+    let (users, docs) = populate(&mut service);
+    for i in 0..3 {
+        service
+            .assert(
+                users[0],
+                Fact::ConceptProb("Ctx1".into(), 0.25 + 0.1 * i as f64),
+            )
+            .unwrap();
+        service.save_snapshot().unwrap();
+    }
+    assert_eq!(
+        snapshot_seqs(&dir).len(),
+        2,
+        "Covered compaction clamps retention to two snapshots"
+    );
+    assert!(service.stats().wal.segments_deleted > 0);
+    let want = service.rank(users[0], &docs, docs.len()).unwrap();
+    drop(service);
+    let mut restored = open_with(engines().remove(2).1, &dir, config);
+    assert_eq!(restored.stats().wal.records_truncated, 0);
+    let got = restored.rank(users[0], &docs, docs.len()).unwrap();
+    for (a, b) in want.iter().zip(&got) {
+        assert_eq!(a.doc, b.doc);
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
