@@ -52,7 +52,7 @@ fn open(dir: &Path) -> RankingService<LineageEngine> {
 /// ranks every tenant (warming bindings and the shared tier) and
 /// checkpoints, leaving a small post-snapshot WAL suffix.
 fn build(dir: &Path, snapshot: bool) -> (Vec<IndividualId>, Vec<IndividualId>) {
-    let mut service = open(dir);
+    let service = open(dir);
     let users: Vec<_> = (0..N_USERS)
         .map(|u| {
             let user = service.individual(&format!("user{u}"));
@@ -121,7 +121,7 @@ fn build(dir: &Path, snapshot: bool) -> (Vec<IndividualId>, Vec<IndividualId>) {
 /// first post-boot request). With `expect_warm`, asserts that the round
 /// re-derived no bindings.
 fn first_rank_round(dir: &Path, docs: &[IndividualId], expect_warm: bool) -> f64 {
-    let mut service = open(dir);
+    let service = open(dir);
     let users: Vec<_> = (0..N_USERS)
         .map(|u| {
             service
@@ -183,7 +183,7 @@ fn recovery(c: &mut Criterion) {
     group.bench_function("open/cold-replay", |b| {
         b.iter(|| open(&cold_dir));
     });
-    let mut service = open(&warm_dir);
+    let service = open(&warm_dir);
     group.bench_function("save_snapshot", |b| {
         b.iter(|| service.save_snapshot().expect("snapshot"));
     });

@@ -90,7 +90,7 @@ fn build(
     compaction: CompactionPolicy,
     rounds: usize,
 ) -> (Vec<IndividualId>, Vec<IndividualId>, u64) {
-    let mut service = open_writer(dir, compaction);
+    let service = open_writer(dir, compaction);
     let users: Vec<_> = (0..N_USERS)
         .map(|u| {
             let user = service.individual(&format!("user{u}"));
@@ -215,7 +215,7 @@ fn replication(c: &mut Criterion) {
     // poll of exactly half the backlog leaves the other half as measured
     // lag.
     let mut follower = open_follower(&plain_dir);
-    let mut writer = open_writer(&plain_dir, CompactionPolicy::Never);
+    let writer = open_writer(&plain_dir, CompactionPolicy::Never);
     let user = writer
         .kb()
         .voc

@@ -79,6 +79,29 @@ impl Kb {
         Self::default()
     }
 
+    /// Clones the knowledge base **preserving its identity** — the escape
+    /// hatch from the fresh-id rule of [`Clone`], for epoch-publish writers
+    /// only (`serve::RankingService`).
+    ///
+    /// Sound only under the publish discipline: the original is the
+    /// currently published snapshot and is *never mutated again* once its
+    /// successor (this clone, mutated then published) replaces it. Readers
+    /// then observe one linear `(id, epoch)` history — exactly as if a
+    /// single owned KB had been mutated in place — so every cache keyed by
+    /// `(id, epoch)` or `(id, binding_epoch)` stays valid across the swap.
+    /// Using this outside a serialized clone → mutate → publish chain forks
+    /// the epoch history of one id and corrupts those caches.
+    pub(crate) fn clone_for_publish(&self) -> Self {
+        Self {
+            voc: self.voc.clone(),
+            universe: self.universe.clone(),
+            abox: self.abox.clone(),
+            tbox: self.tbox.clone(),
+            id: self.id,
+            fresh_suffix: self.fresh_suffix.clone(),
+        }
+    }
+
     /// Process-unique identity of this KB value. Clones receive a fresh id,
     /// so `(id, epoch)` pairs identify one immutable snapshot of one KB —
     /// the key scheme of [`crate::BindingCache`].
@@ -280,6 +303,14 @@ mod tests {
         let clone = kb.clone();
         assert_eq!(clone.epoch(), kb.epoch());
         assert_ne!(clone.id(), kb.id());
+        // The publish clone keeps the identity (writer-path escape hatch):
+        // mutating it continues the same (id, epoch) history.
+        let mut publish = kb.clone_for_publish();
+        assert_eq!(publish.id(), kb.id());
+        assert_eq!(publish.epoch(), kb.epoch());
+        let y = publish.individual("y");
+        publish.assert_concept(y, "C");
+        assert!(publish.binding_epoch() > kb.binding_epoch());
     }
 
     #[test]

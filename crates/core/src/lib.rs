@@ -106,7 +106,10 @@ pub use multiuser::{group_scores, score_group, GroupStrategy};
 pub use persist::{CompactionPolicy, FlushPolicy, PersistError, WalStats};
 pub use repository::RuleRepository;
 pub use rule::{PreferenceRule, Score};
-pub use serve::{RankingService, ReplicaService, ReplicaStats, ServiceConfig, ServiceStats};
+pub use serve::{
+    QueueConfig, QueueStats, RankingService, ReplicaService, ReplicaStats, ServiceConfig,
+    ServiceHandle, ServiceQueue, ServiceStats, SharedSnapshot, Ticket,
+};
 pub use session::{BindingCache, CacheStats, ScoringSession, SessionStats};
 pub use smoothing::{blend, QueryRelevance, Smoothing};
 pub use topk::{rank_top_k, rank_top_k_bound};

@@ -32,10 +32,28 @@
 //!   runs of same-KB-epoch rank requests into one dispatch over a single
 //!   checked-out scratch (one snapshot republish per run instead of one per
 //!   request).
+//! * **Concurrency** — the whole serving surface takes `&self`:
+//!   [`RankingService`] is `Sync`, so any number of request threads share
+//!   one service directly (`Arc` or `thread::scope`). The KB and rules are
+//!   *epoch-published*: readers grab an immutable [`SharedSnapshot`] (two
+//!   `Arc` bumps) and never see a half-applied write; tenant sessions live
+//!   behind per-shard locks so disjoint tenants rank in parallel; all
+//!   mutation ([`RankingService::assert`], rule edits, durability) is
+//!   serialized behind one writer lock that publishes the next snapshot
+//!   atomically. See "Concurrency & locking order" in `ARCHITECTURE.md`
+//!   for the lock hierarchy and the in-place writer fast path.
+//! * **Batching front-end** — [`ServiceQueue`] puts a bounded MPSC queue
+//!   and a worker thread in front of a shared service: producers
+//!   [`ServiceHandle::enqueue`] typed [`Request`]s (backpressure via
+//!   [`ServiceHandle::try_enqueue`]), each gets a [`Ticket`] to
+//!   [`Ticket::wait`] on, and the worker drains in arrival order, feeding
+//!   runs through [`RankingService::submit`] so same-epoch requests
+//!   coalesce.
 //! * **Observability** — [`RankingService::stats`] aggregates every
 //!   tenant's [`crate::SessionStats`] (plus counters retired with evicted
 //!   tenants) into a [`ServiceStats`]: sessions live/evicted, warm/cold hit
-//!   rates, and the shared-tier [`capra_events::CacheFootprint`].
+//!   rates, shard-lock acquisition counts, queue depth/throughput
+//!   ([`QueueStats`]), and the shared-tier [`capra_events::CacheFootprint`].
 //! * **Replication** — a [`ReplicaService`] opens a durable writer's
 //!   directory read-only, restores the newest snapshot, and tails the
 //!   segmented WAL incrementally ([`ReplicaService::poll`]) — serving
@@ -52,11 +70,13 @@
 //! See `ARCHITECTURE.md` at the workspace root for where this layer sits in
 //! the stack and a request-time walkthrough.
 
+mod queue;
 mod replica;
 mod request;
 mod service;
 mod tenants;
 
+pub use queue::{QueueConfig, QueueStats, ServiceHandle, ServiceQueue, Ticket};
 pub use replica::{ReplicaService, ReplicaStats};
 pub use request::{Fact, Request, Response};
-pub use service::{RankingService, ServiceConfig, ServiceStats};
+pub use service::{RankingService, ServiceConfig, ServiceStats, SharedSnapshot};

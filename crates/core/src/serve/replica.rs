@@ -33,6 +33,7 @@
 //! replica's scores are bit-identical to the writer's for every engine.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use capra_dl::IndividualId;
 
@@ -43,7 +44,7 @@ use crate::persist::wal::{
     WAL_HEADER_LEN,
 };
 use crate::persist::{recover, PersistError};
-use crate::serve::service::{RankingService, ServiceConfig, ServiceStats};
+use crate::serve::service::{RankingService, ServiceConfig, ServiceStats, SharedSnapshot};
 use crate::{Kb, Result, RuleRepository};
 
 /// Replication progress counters of a [`ReplicaService`].
@@ -124,6 +125,12 @@ impl<E: ScoringEngine + Sync> ReplicaService<E> {
     /// but touching nothing on disk. An empty or still-cold directory
     /// opens as an empty replica that starts applying once the writer's
     /// first records land.
+    ///
+    /// The restored state is installed into the same epoch-published
+    /// [`SharedSnapshot`] the writer serves from, so replica reads
+    /// ([`ReplicaService::rank`], [`ReplicaService::snapshot`]) take
+    /// `&self` and go through the identical one-load read path; only
+    /// [`ReplicaService::poll`] needs the exclusive `&mut self`.
     pub fn open_follow(engine: E, config: ServiceConfig, dir: impl AsRef<Path>) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         let recovered = recover(&dir)?;
@@ -303,9 +310,12 @@ impl<E: ScoringEngine + Sync> ReplicaService<E> {
     /// Ranks `docs` for `user` at the epoch the replica has reached (see
     /// [`RankingService::rank`] for the ranking contract). Serves even
     /// when the replica needs a resnapshot — the state is merely stale —
-    /// but errors after divergence, when it may be *wrong*.
+    /// but errors after divergence, when it may be *wrong*. Takes
+    /// `&self`: replica reads go through the same epoch-published
+    /// snapshot load as writer reads, so any number of threads can serve
+    /// from one replica while a separate owner thread `poll`s.
     pub fn rank(
-        &mut self,
+        &self,
         user: IndividualId,
         docs: &[IndividualId],
         k: usize,
@@ -317,7 +327,7 @@ impl<E: ScoringEngine + Sync> ReplicaService<E> {
     /// Ranks `docs` for a group of users at the reached epoch (see
     /// [`RankingService::rank_group`]).
     pub fn rank_group(
-        &mut self,
+        &self,
         users: &[IndividualId],
         docs: &[IndividualId],
         k: usize,
@@ -327,10 +337,20 @@ impl<E: ScoringEngine + Sync> ReplicaService<E> {
         self.inner.rank_group(users, docs, k, strategy)
     }
 
+    /// The consistent `(kb, rules)` view at the epoch the replica has
+    /// reached — the *same* [`SharedSnapshot`] type the writer publishes,
+    /// so code written against the writer's read layer serves from a
+    /// replica unchanged. Applied records publish a successor snapshot;
+    /// one already loaded stays immutable.
+    pub fn snapshot(&self) -> SharedSnapshot {
+        self.inner.snapshot()
+    }
+
     /// The knowledge base at the epoch the replica has reached (use
     /// `kb().voc.find_individual(..)` to resolve request IDs — a replica
-    /// has no mutating `individual` call).
-    pub fn kb(&self) -> &Kb {
+    /// has no mutating `individual` call). A stable `Arc` snapshot, like
+    /// [`RankingService::kb`].
+    pub fn kb(&self) -> Arc<Kb> {
         self.inner.kb()
     }
 

@@ -1,12 +1,39 @@
 //! The [`RankingService`] itself: request execution over the tenant map
 //! and the shared evaluation pool.
+//!
+//! # Concurrency model
+//!
+//! The service is shared by reference: every request path takes `&self`,
+//! so one `RankingService` (or an `Arc` of it) serves any number of
+//! threads. Three mechanisms carry that:
+//!
+//! * **Epoch-published reads.** The KB and rule repository live behind a
+//!   [`SharedSnapshot`] — a pair of `Arc`s republished atomically as a
+//!   unit. A reader [`RankingService::snapshot`]s once per request and
+//!   scores against that immutable state for the request's whole
+//!   lifetime; writers clone-mutate-publish, never touching a snapshot a
+//!   reader may hold. (The clone preserves the KB's identity — see
+//!   [`Kb::clone_for_publish`] — so every `(kb_id, epoch)`-keyed cache
+//!   survives a publish.)
+//! * **Sharded tenant locks.** Per-tenant cache state is reached only
+//!   through [`TenantSessions::with_session`], which locks exactly the
+//!   tenant's shard: different-shard requests run in parallel, same-user
+//!   requests serialize.
+//! * **One writer lock.** Mutations (asserts, rule edits, registration,
+//!   snapshots) serialize behind `writer`, which also owns the WAL — the
+//!   publish order *is* the log order, so durability semantics are
+//!   unchanged from the single-owner service.
+//!
+//! Lock order is `writer → shard → pool` (leaf stat mutexes last); no
+//! path acquires against that order. See "Concurrency & locking order"
+//! in `ARCHITECTURE.md` for the full walkthrough.
 
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-use capra_dl::{Concept, IndividualId};
+use capra_dl::{Concept, IndividualId, Vocabulary};
 use capra_events::EvictionPolicy;
 
 use crate::bind::{bind_rules_shared, RuleBinding};
@@ -25,6 +52,7 @@ use crate::persist::{
     recover, snapshot_paths, sync_dir, CompactionPolicy, FlushPolicy, PersistError, Recovered,
     WalStats,
 };
+use crate::serve::queue::QueueStats;
 use crate::serve::request::{Fact, Request, Response};
 use crate::serve::tenants::TenantSessions;
 use crate::session::{read_through_scores, score_key, SessionStats};
@@ -40,12 +68,67 @@ struct DurableState {
     wal: Wal,
 }
 
+/// The write half of the service: mutations serialize behind this lock,
+/// which therefore also owns the WAL — append order is publish order.
+struct WriterState {
+    /// `Some` when the service was opened with
+    /// [`RankingService::open_durable`]; mutations then append to the WAL.
+    durable: Option<DurableState>,
+}
+
+/// A consistent, immutable view of the knowledge base and rule
+/// repository, published as a unit — the read layer of the concurrent
+/// service.
+///
+/// Readers obtain one via [`RankingService::snapshot`] (every request
+/// path loads its own internally) and hold it for the request's
+/// lifetime: a concurrent assert publishes a *successor* snapshot and
+/// never mutates this one, so scores computed against it are exactly the
+/// scores of the service state at load time. Cloning is two `Arc`
+/// bumps.
+///
+/// The replica layer serves from the same type: a
+/// [`crate::serve::ReplicaService`] exposes the epoch it has replayed up
+/// to through the identical snapshot-load path.
+#[derive(Clone)]
+pub struct SharedSnapshot {
+    kb: Arc<Kb>,
+    rules: Arc<RuleRepository>,
+}
+
+impl SharedSnapshot {
+    /// The knowledge base at the time this snapshot was loaded.
+    pub fn kb(&self) -> &Kb {
+        &self.kb
+    }
+
+    /// The rule repository at the time this snapshot was loaded.
+    pub fn rules(&self) -> &RuleRepository {
+        &self.rules
+    }
+
+    /// The binding epoch of the snapshot's KB (ABox + TBox movements) —
+    /// what the binding caches validate against.
+    pub fn binding_epoch(&self) -> u64 {
+        self.kb.binding_epoch()
+    }
+
+    /// A scoring environment for `user` over this snapshot.
+    pub(crate) fn env(&self, user: IndividualId) -> ScoringEnv<'_> {
+        ScoringEnv {
+            kb: &self.kb,
+            rules: &self.rules,
+            user,
+        }
+    }
+}
+
 /// Sizing and policy knobs of a [`RankingService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceConfig {
-    /// Shards the tenant map is partitioned into (≥ 1). Shards are the
-    /// unit a future concurrent front-end locks independently; for an
-    /// in-process service they only affect the storage layout.
+    /// Shards the tenant map is partitioned into (≥ 1). Each shard has
+    /// its own lock, so shards are the unit of tenant-level concurrency:
+    /// requests for users in different shards proceed in parallel.
     pub shards: usize,
     /// Maximum live tenant sessions across all shards (≥ 1); inserting
     /// past the cap evicts the least-recently-used tenant. Eviction only
@@ -102,7 +185,8 @@ impl Default for ServiceConfig {
 
 /// Service-wide counters, aggregated from every tenant's
 /// [`SessionStats`] (live tenants plus counters retired with evicted
-/// ones) and the shared evaluation tier.
+/// ones), the shared evaluation tier, and the concurrency layers (shard
+/// locks, and the batching queue when one is attached).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Tenant sessions currently live.
@@ -119,6 +203,16 @@ pub struct ServiceStats {
     /// Coalesced dispatch runs executed by [`RankingService::submit`]
     /// (each run shares one scratch and pays one snapshot republish).
     pub coalesced_runs: u64,
+    /// Tenant-shard lock acquisitions, summed over shards (the per-shard
+    /// breakdown is [`RankingService::shard_lock_counts`]). The warm path
+    /// takes exactly one lock per request, so this racing far ahead of
+    /// `rank_requests + asserts` flags first-sight churn (each insert
+    /// scans every shard for the LRU victim).
+    pub shard_lock_acquisitions: u64,
+    /// Counters of the batching front-end queue (all zero for a service
+    /// driven directly; populated by
+    /// [`ServiceQueue::stats`](crate::serve::ServiceQueue::stats)).
+    pub queue: QueueStats,
     /// Component-wise total of every tenant's [`SessionStats`] — binding
     /// and score cache traffic with [`crate::CacheStats::hit_rate`]s —
     /// with the *shared* evaluation-tier footprint in
@@ -133,6 +227,30 @@ pub struct ServiceStats {
     pub wal: WalStats,
 }
 
+impl std::ops::Add for ServiceStats {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            sessions_live: self.sessions_live + rhs.sessions_live,
+            sessions_evicted: self.sessions_evicted + rhs.sessions_evicted,
+            rank_requests: self.rank_requests + rhs.rank_requests,
+            asserts: self.asserts + rhs.asserts,
+            coalesced_runs: self.coalesced_runs + rhs.coalesced_runs,
+            shard_lock_acquisitions: self.shard_lock_acquisitions + rhs.shard_lock_acquisitions,
+            queue: self.queue + rhs.queue,
+            sessions: self.sessions + rhs.sessions,
+            wal: self.wal + rhs.wal,
+        }
+    }
+}
+
+impl std::iter::Sum for ServiceStats {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), std::ops::Add::add)
+    }
+}
+
 /// What the parallel group fan-out hands back to the read-through pass.
 #[derive(Default)]
 struct GroupFanout {
@@ -144,10 +262,40 @@ struct GroupFanout {
     bindings: HashMap<IndividualId, Vec<Arc<RuleBinding>>>,
 }
 
+/// Translates a [`Fact`] into its WAL operation, resolving IDs back to
+/// names so the record is stable across restarts.
+fn fact_op(voc: &Vocabulary, subject: IndividualId, fact: &Fact) -> WalOp {
+    let subject = voc.individual_name(subject).to_string();
+    match fact {
+        Fact::Concept(concept) => WalOp::AssertConcept {
+            subject,
+            concept: concept.clone(),
+        },
+        Fact::ConceptProb(concept, p) => WalOp::AssertConceptProb {
+            subject,
+            concept: concept.clone(),
+            p: *p,
+        },
+        Fact::Role(role, object) => WalOp::AssertRole {
+            subject,
+            role: role.clone(),
+            object: voc.individual_name(*object).to_string(),
+        },
+        Fact::RoleProb(role, object, p) => WalOp::AssertRoleProb {
+            subject,
+            role: role.clone(),
+            object: voc.individual_name(*object).to_string(),
+            p: *p,
+        },
+    }
+}
+
 /// A multi-tenant ranking front-end: one engine, one knowledge base, one
 /// rule repository, any number of users — each with an LRU-capped cached
-/// session, all sharing one bounded evaluation-memo tier. See the
-/// [module docs](crate::serve) for the design.
+/// session, all sharing one bounded evaluation-memo tier. Every request
+/// path takes `&self`, so one service instance (or an `Arc` of it — see
+/// [`crate::serve::ServiceQueue`]) serves any number of threads
+/// concurrently. See the [module docs](crate::serve) for the design.
 ///
 /// ```
 /// use capra_core::serve::{Fact, RankingService};
@@ -172,7 +320,7 @@ struct GroupFanout {
 ///     Score::new(0.8).unwrap(),
 /// )).unwrap();
 ///
-/// let mut service = RankingService::new(FactorizedEngine::new(), kb, rules);
+/// let service = RankingService::new(FactorizedEngine::new(), kb, rules);
 /// // Two tenants rank the same candidates; each gets their own session.
 /// let cold = service.rank(peter, &docs, 3).unwrap();
 /// let _ = service.rank(mary, &docs, 3).unwrap();
@@ -188,19 +336,21 @@ struct GroupFanout {
 /// ```
 pub struct RankingService<E> {
     engine: E,
-    kb: Kb,
-    rules: RuleRepository,
+    /// The epoch-published read state. Readers clone it out (two `Arc`
+    /// bumps) and never hold this lock while scoring; writers replace it
+    /// under `writer`.
+    published: Mutex<SharedSnapshot>,
     tenants: TenantSessions,
     pool: ScratchPool,
     threads: usize,
-    rank_requests: u64,
-    asserts: u64,
-    coalesced_runs: u64,
-    /// `Some` when the service was opened with
-    /// [`RankingService::open_durable`]; mutations then append to the WAL.
-    durable: Option<DurableState>,
-    /// WAL traffic counters surfaced via [`ServiceStats::wal`].
-    wal_stats: WalStats,
+    rank_requests: AtomicU64,
+    asserts: AtomicU64,
+    coalesced_runs: AtomicU64,
+    /// Serializes all mutations and owns the WAL (see [`WriterState`]).
+    writer: Mutex<WriterState>,
+    /// WAL traffic counters surfaced via [`ServiceStats::wal`] — a leaf
+    /// mutex, only ever taken last.
+    wal_stats: Mutex<WalStats>,
     /// Snapshots [`RankingService::save_snapshot`] keeps (clamped from
     /// [`ServiceConfig::snapshot_retain`]).
     snapshot_retain: usize,
@@ -226,16 +376,18 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
         };
         Self {
             engine,
-            kb,
-            rules,
+            published: Mutex::new(SharedSnapshot {
+                kb: Arc::new(kb),
+                rules: Arc::new(rules),
+            }),
             tenants: TenantSessions::new(config.shards, config.max_sessions),
             pool: ScratchPool::with_config(config.policy, config.scoring),
             threads: config.threads.max(1),
-            rank_requests: 0,
-            asserts: 0,
-            coalesced_runs: 0,
-            durable: None,
-            wal_stats: WalStats::default(),
+            rank_requests: AtomicU64::new(0),
+            asserts: AtomicU64::new(0),
+            coalesced_runs: AtomicU64::new(0),
+            writer: Mutex::new(WriterState { durable: None }),
+            wal_stats: Mutex::new(WalStats::default()),
             snapshot_retain: config.snapshot_retain.max(retain_floor),
             compaction: config.compaction,
         }
@@ -265,7 +417,7 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     ///
     /// let dir = std::env::temp_dir().join(format!("capra-doc-{}", std::process::id()));
     /// std::fs::remove_dir_all(&dir).ok();
-    /// let mut service = RankingService::open_durable(
+    /// let service = RankingService::open_durable(
     ///     LineageEngine::new(), Default::default(), &dir, FlushPolicy::EveryRecord).unwrap();
     /// let peter = service.individual("peter");
     /// service.assert(peter, Fact::ConceptProb("Weekend".into(), 0.7)).unwrap();
@@ -320,7 +472,11 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
 
         let mut service = Self::with_config(engine, Kb::new(), RuleRepository::new(), config);
         service.reinstall(recovered);
-        service.durable = Some(DurableState { dir, wal });
+        service
+            .writer
+            .get_mut()
+            .expect("writer lock poisoned")
+            .durable = Some(DurableState { dir, wal });
         Ok(service)
     }
 
@@ -341,46 +497,70 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
             truncated,
             ..
         } = recovered;
-        self.kb = kb;
-        self.rules = rules;
         self.tenants.clear();
         self.pool = ScratchPool::with_config(self.pool.policy(), self.pool.scoring());
-        self.wal_stats.records_replayed = replayed;
-        self.wal_stats.records_truncated = truncated;
+        {
+            let wal = self.wal_stats.get_mut().expect("wal stats lock poisoned");
+            wal.records_replayed = replayed;
+            wal.records_truncated = truncated;
+        }
         // Re-publish the persisted evaluation tier through the ordinary
         // pool cycle (no-op when the snapshot carried none).
-        self.pool.install_snapshot(&self.kb, prob, expect);
+        self.pool.install_snapshot(&kb, prob, expect);
         for name in warm_users {
-            let Some(user) = self.kb.voc.find_individual(&name) else {
+            let Some(user) = kb.voc.find_individual(&name) else {
                 continue;
             };
             let env = ScoringEnv {
-                kb: &self.kb,
-                rules: &self.rules,
+                kb: &kb,
+                rules: &rules,
                 user,
             };
             let bindings = bind_rules_shared(&env);
-            self.tenants.session(user).bindings.seed(&env, &bindings);
+            self.tenants
+                .with_session(user, |tenant| tenant.bindings.seed(&env, &bindings));
         }
+        *self.published.get_mut().expect("published lock poisoned") = SharedSnapshot {
+            kb: Arc::new(kb),
+            rules: Arc::new(rules),
+        };
     }
 
     /// Replays one WAL record body against the live state — the replica
     /// tail-apply path, enforcing the same semantic checks recovery does
     /// (decodable operation, successful apply, post-apply epoch match).
+    ///
+    /// Takes `&mut self`, so no snapshot can be loaded concurrently;
+    /// the published state is edited in place when this service holds the
+    /// only reference to it (the steady tailing case), and re-cloned once
+    /// — identity-preserving — when an outstanding reader still pins the
+    /// current `Arc`.
     pub(crate) fn apply_replayed(
         &mut self,
         epoch: u64,
         body: &[u8],
     ) -> std::result::Result<(), PersistError> {
-        let op = decode_op(body, &mut self.kb.voc)?;
-        apply_op(&mut self.kb, &mut self.rules, op)?;
-        if self.kb.epoch() != epoch {
+        let published = self.published.get_mut().expect("published lock poisoned");
+        if Arc::get_mut(&mut published.kb).is_none() {
+            published.kb = Arc::new(published.kb.clone_for_publish());
+        }
+        if Arc::get_mut(&mut published.rules).is_none() {
+            published.rules = Arc::new((*published.rules).clone());
+        }
+        let kb = Arc::get_mut(&mut published.kb).expect("kb Arc just made unique");
+        let rules = Arc::get_mut(&mut published.rules).expect("rules Arc just made unique");
+        let op = decode_op(body, &mut kb.voc)?;
+        apply_op(kb, rules, op)?;
+        if kb.epoch() != epoch {
             return Err(PersistError::Invalid(format!(
                 "replayed record's epoch stamp {epoch} does not match the post-apply epoch {}",
-                self.kb.epoch()
+                kb.epoch()
             )));
         }
-        self.wal_stats.records_replayed += 1;
+        self.wal_stats
+            .get_mut()
+            .expect("wal stats lock poisoned")
+            .records_replayed += 1;
         Ok(())
     }
 
@@ -400,11 +580,16 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     /// the next — a crash between any two deletes leaves a contiguous
     /// chain that recovers with zero loss.
     ///
+    /// Runs under the writer lock, so the state it captures is exactly
+    /// one published snapshot — concurrent ranks proceed, concurrent
+    /// mutations wait.
+    ///
     /// Errors with [`PersistError::Invalid`] if the service was not opened
     /// with [`RankingService::open_durable`].
-    pub fn save_snapshot(&mut self) -> Result<()> {
+    pub fn save_snapshot(&self) -> Result<()> {
         let compaction = self.compaction;
-        let Some(durable) = &mut self.durable else {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let Some(durable) = &mut writer.durable else {
             return Err(PersistError::Invalid(
                 "save_snapshot requires a durable service (use open_durable)".into(),
             )
@@ -412,16 +597,23 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
         };
         durable.wal.flush()?;
         if compaction != CompactionPolicy::Never && durable.wal.rotate()? {
-            self.wal_stats.rotations += 1;
+            self.wal_stats
+                .lock()
+                .expect("wal stats lock poisoned")
+                .rotations += 1;
         }
         let seq = durable.wal.next_seq() - 1;
-        let tier = self.pool.export_tier(&self.kb);
+        // Stable while the writer lock is held: publishes only happen
+        // under it.
+        let snap = self.load();
+        let tier = self.pool.export_tier(snap.kb());
         let warm: Vec<String> = self
             .tenants
             .live_users()
-            .map(|u| self.kb.voc.individual_name(u).to_string())
+            .into_iter()
+            .map(|u| snap.kb().voc.individual_name(u).to_string())
             .collect();
-        let bytes = encode_snapshot(&self.kb, &self.rules, &tier, &warm, seq);
+        let bytes = encode_snapshot(snap.kb(), snap.rules(), &tier, &warm, seq);
         let tmp = durable.dir.join("snapshot.tmp");
         {
             use std::io::Write as _;
@@ -446,8 +638,9 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
         if compaction == CompactionPolicy::Covered {
             let plan = covered_prefix(&durable.dir);
             let out = delete_segments(&durable.dir, &plan, None)?;
-            self.wal_stats.segments_deleted += out.segments_deleted;
-            self.wal_stats.bytes_reclaimed += out.bytes_reclaimed;
+            let mut wal = self.wal_stats.lock().expect("wal stats lock poisoned");
+            wal.segments_deleted += out.segments_deleted;
+            wal.bytes_reclaimed += out.bytes_reclaimed;
         }
         Ok(())
     }
@@ -455,18 +648,24 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     /// Whether this service persists mutations (was opened with
     /// [`RankingService::open_durable`]).
     pub fn is_durable(&self) -> bool {
-        self.durable.is_some()
+        self.writer
+            .lock()
+            .expect("writer lock poisoned")
+            .durable
+            .is_some()
     }
 
-    /// Appends one operation to the WAL, stamped with the current
-    /// (post-apply) KB epoch. No-op for non-durable services.
-    fn log(&mut self, op: WalOp) -> Result<()> {
-        if let Some(durable) = &mut self.durable {
-            let out = durable.wal.append(self.kb.epoch(), &op, &self.kb.voc)?;
-            self.wal_stats.records_appended += 1;
-            self.wal_stats.bytes_appended += out.bytes;
+    /// Appends one operation to the WAL, stamped with `kb`'s (post-apply)
+    /// KB epoch. No-op for non-durable services. The caller holds the
+    /// writer lock (`durable` borrows from it).
+    fn log_op(&self, durable: &mut Option<DurableState>, kb: &Kb, op: &WalOp) -> Result<()> {
+        if let Some(durable) = durable {
+            let out = durable.wal.append(kb.epoch(), op, &kb.voc)?;
+            let mut wal = self.wal_stats.lock().expect("wal stats lock poisoned");
+            wal.records_appended += 1;
+            wal.bytes_appended += out.bytes;
             if out.rotated {
-                self.wal_stats.rotations += 1;
+                wal.rotations += 1;
             }
         }
         Ok(())
@@ -477,36 +676,105 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
         &self.engine
     }
 
-    /// The knowledge base (read-only; mutations go through
-    /// [`RankingService::assert`] and [`RankingService::individual`] so
-    /// the service sees every epoch movement).
-    pub fn kb(&self) -> &Kb {
-        &self.kb
+    /// Loads the current published snapshot — the internal name for what
+    /// [`RankingService::snapshot`] exposes.
+    fn load(&self) -> SharedSnapshot {
+        self.published
+            .lock()
+            .expect("published lock poisoned")
+            .clone()
     }
 
-    /// The rule repository (read-only; mutations go through
-    /// [`RankingService::add_rule`] / [`RankingService::remove_rule`]).
-    pub fn rules(&self) -> &RuleRepository {
-        &self.rules
+    /// Atomically replaces the published snapshot. Callers hold the
+    /// writer lock, so publishes are totally ordered.
+    fn publish(&self, next: SharedSnapshot) {
+        *self.published.lock().expect("published lock poisoned") = next;
+    }
+
+    /// Runs `mutate` against the published KB under the published-slot
+    /// lock: **in place** when no loaded snapshot pins the `Arc` (the
+    /// steady state between requests — readers briefly block on the slot
+    /// lock and then see the successor), via identity-preserving
+    /// clone-and-swap when a reader holds the snapshot (its view stays
+    /// immutable). Callers hold the writer lock, so mutations are
+    /// totally ordered either way and the returned snapshot — for WAL
+    /// encoding after the slot lock is released — cannot be superseded
+    /// until the caller releases it. On `Err` nothing is swapped in and
+    /// nothing the caller observes has changed: the KB's mutating
+    /// primitives validate before touching scored state (a rejected op
+    /// can leave interned names or an advanced fresh-variable suffix
+    /// behind, both epoch-neutral and invisible to scoring and replay).
+    fn mutate_kb<R>(
+        &self,
+        mutate: impl FnOnce(&mut Kb) -> Result<R>,
+    ) -> Result<(R, SharedSnapshot)> {
+        let mut published = self.published.lock().expect("published lock poisoned");
+        match Arc::get_mut(&mut published.kb) {
+            Some(kb) => {
+                let value = mutate(kb)?;
+                Ok((value, published.clone()))
+            }
+            None => {
+                let mut kb = published.kb.clone_for_publish();
+                let value = mutate(&mut kb)?;
+                published.kb = Arc::new(kb);
+                Ok((value, published.clone()))
+            }
+        }
+    }
+
+    /// The current consistent `(kb, rules)` snapshot (two `Arc` bumps).
+    /// Every request path loads its own internally; use this to run
+    /// read-only analysis against the same immutable state a request
+    /// would see.
+    pub fn snapshot(&self) -> SharedSnapshot {
+        self.load()
+    }
+
+    /// The knowledge base at the current publish point (read-only;
+    /// mutations go through [`RankingService::assert`] and
+    /// [`RankingService::individual`] so the service sees every epoch
+    /// movement). The returned `Arc` is a stable snapshot: a concurrent
+    /// assert publishes a successor instead of mutating it.
+    pub fn kb(&self) -> Arc<Kb> {
+        self.load().kb
+    }
+
+    /// The rule repository at the current publish point (read-only;
+    /// mutations go through [`RankingService::add_rule`] /
+    /// [`RankingService::remove_rule`]).
+    pub fn rules(&self) -> Arc<RuleRepository> {
+        self.load().rules
     }
 
     /// Interns (or looks up) an individual — users and documents alike
     /// must be registered before they appear in requests. Looking up an
-    /// existing name is a KB no-op and leaves every cache warm.
+    /// existing name moves no epoch and leaves every cache warm.
     ///
     /// On a durable service a *new* registration (the KB epoch moved) is
     /// logged best-effort: the signature has no error channel, and replay
     /// degrades gracefully if the record is lost — a later record that
     /// references the unknown name truncates at that point rather than
     /// crashing.
-    pub fn individual(&mut self, name: &str) -> IndividualId {
-        let before = self.kb.epoch();
-        let id = self.kb.individual(name);
-        if self.kb.epoch() != before && self.durable.is_some() {
-            let _ = self.log(WalOp::Individual {
-                name: name.to_string(),
-            });
+    pub fn individual(&self, name: &str) -> IndividualId {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let ((id, moved), next) = self
+            .mutate_kb(|kb| {
+                let before = kb.epoch();
+                let id = kb.individual(name);
+                Ok((id, kb.epoch() != before))
+            })
+            .expect("interning is infallible");
+        if !moved {
+            return id;
         }
+        let _ = self.log_op(
+            &mut writer.durable,
+            next.kb(),
+            &WalOp::Individual {
+                name: name.to_string(),
+            },
+        );
         id
     }
 
@@ -514,23 +782,34 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     /// the way to build [`PreferenceRule`]s for a service that was opened
     /// cold via [`RankingService::open_durable`] (name interning mutates
     /// the vocabulary, so the read-only [`RankingService::kb`] view cannot
-    /// parse).
-    pub fn parse(&mut self, text: &str) -> Result<Concept> {
-        self.kb.parse(text)
+    /// parse). Interning moves no epoch, but the grown vocabulary is
+    /// published so later requests resolve the new names.
+    pub fn parse(&self, text: &str) -> Result<Concept> {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let (concept, _snap) = self.mutate_kb(|kb| kb.parse(text))?;
+        Ok(concept)
     }
 
     /// Adds a preference rule. Affected bindings re-derive lazily on each
     /// tenant's next request (the binding cache validates per rule).
-    pub fn add_rule(&mut self, rule: PreferenceRule) -> Result<()> {
-        let op = self.durable.is_some().then(|| WalOp::AddRule {
+    pub fn add_rule(&self, rule: PreferenceRule) -> Result<()> {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let snap = self.load();
+        let op = writer.durable.is_some().then(|| WalOp::AddRule {
             name: rule.name.clone(),
             context: rule.context.clone(),
             preference: rule.preference.clone(),
             sigma: rule.sigma.get(),
         });
-        self.rules.add(rule)?;
+        let mut rules = (*snap.rules).clone();
+        rules.add(rule)?;
+        let next = SharedSnapshot {
+            kb: Arc::clone(&snap.kb),
+            rules: Arc::new(rules),
+        };
+        self.publish(next.clone());
         if let Some(op) = op {
-            self.log(op)?;
+            self.log_op(&mut writer.durable, next.kb(), &op)?;
         }
         Ok(())
     }
@@ -538,13 +817,25 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     /// Removes the named preference rule.
     ///
     /// On a durable service the removal is logged after it succeeds; if
-    /// the append itself fails the in-memory removal stands and the error
+    /// the append itself fails the published removal stands and the error
     /// is returned — the caller knows durability lagged.
-    pub fn remove_rule(&mut self, name: &str) -> Result<PreferenceRule> {
-        let rule = self.rules.remove(name)?;
-        self.log(WalOp::RemoveRule {
-            name: name.to_string(),
-        })?;
+    pub fn remove_rule(&self, name: &str) -> Result<PreferenceRule> {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let snap = self.load();
+        let mut rules = (*snap.rules).clone();
+        let rule = rules.remove(name)?;
+        let next = SharedSnapshot {
+            kb: Arc::clone(&snap.kb),
+            rules: Arc::new(rules),
+        };
+        self.publish(next.clone());
+        self.log_op(
+            &mut writer.durable,
+            next.kb(),
+            &WalOp::RemoveRule {
+                name: name.to_string(),
+            },
+        )?;
         Ok(rule)
     }
 
@@ -553,55 +844,41 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     /// re-derive on their next request. A rejected fact (e.g. an invalid
     /// probability) mutates nothing, does not count toward
     /// [`ServiceStats::asserts`], and is never logged.
-    pub fn assert(&mut self, subject: IndividualId, fact: Fact) -> Result<()> {
-        let op = self.durable.is_some().then(|| self.fact_op(subject, &fact));
-        match fact {
-            Fact::Concept(concept) => {
-                self.kb.assert_concept(subject, &concept);
+    ///
+    /// Concurrency: an in-flight rank that loaded the previous snapshot
+    /// pins it, so the mutation happens on a private identity-preserving
+    /// clone and becomes visible atomically at publish — that rank
+    /// completes against its immutable view and is linearized before
+    /// this assert. With no reader pinning the snapshot (the steady
+    /// state) the published KB mutates in place under the slot lock,
+    /// skipping the clone; requests arriving after either form see the
+    /// new epoch.
+    pub fn assert(&self, subject: IndividualId, fact: Fact) -> Result<()> {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let durable = writer.durable.is_some();
+        let (op, next) = self.mutate_kb(|kb| {
+            let op = durable.then(|| fact_op(&kb.voc, subject, &fact));
+            match &fact {
+                Fact::Concept(concept) => {
+                    kb.assert_concept(subject, concept);
+                }
+                Fact::ConceptProb(concept, p) => {
+                    kb.assert_concept_prob(subject, concept, *p)?;
+                }
+                Fact::Role(role, object) => {
+                    kb.assert_role(subject, role, *object);
+                }
+                Fact::RoleProb(role, object, p) => {
+                    kb.assert_role_prob(subject, role, *object, *p)?;
+                }
             }
-            Fact::ConceptProb(concept, p) => {
-                self.kb.assert_concept_prob(subject, &concept, p)?;
-            }
-            Fact::Role(role, object) => {
-                self.kb.assert_role(subject, &role, object);
-            }
-            Fact::RoleProb(role, object, p) => {
-                self.kb.assert_role_prob(subject, &role, object, p)?;
-            }
-        }
-        self.asserts += 1;
+            Ok(op)
+        })?;
+        self.asserts.fetch_add(1, Ordering::Relaxed);
         if let Some(op) = op {
-            self.log(op)?;
+            self.log_op(&mut writer.durable, next.kb(), &op)?;
         }
         Ok(())
-    }
-
-    /// Translates a [`Fact`] into its WAL operation, resolving IDs back to
-    /// names so the record is stable across restarts.
-    fn fact_op(&self, subject: IndividualId, fact: &Fact) -> WalOp {
-        let subject = self.kb.voc.individual_name(subject).to_string();
-        match fact {
-            Fact::Concept(concept) => WalOp::AssertConcept {
-                subject,
-                concept: concept.clone(),
-            },
-            Fact::ConceptProb(concept, p) => WalOp::AssertConceptProb {
-                subject,
-                concept: concept.clone(),
-                p: *p,
-            },
-            Fact::Role(role, object) => WalOp::AssertRole {
-                subject,
-                role: role.clone(),
-                object: self.kb.voc.individual_name(*object).to_string(),
-            },
-            Fact::RoleProb(role, object, p) => WalOp::AssertRoleProb {
-                subject,
-                role: role.clone(),
-                object: self.kb.voc.individual_name(*object).to_string(),
-                p: *p,
-            },
-        }
     }
 
     /// Ranks `docs` for `user`, returning the top `k` (best first).
@@ -614,15 +891,18 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     ///
     /// Scores are bit-identical to a cold [`crate::bind_rules`] +
     /// `score_all` + [`crate::rank`] for the same user, whatever mix of
-    /// caches serves the request.
+    /// caches serves the request. Takes `&self`: concurrent ranks for
+    /// users in different tenant shards run in parallel; same-user
+    /// requests serialize on the shard lock.
     pub fn rank(
-        &mut self,
+        &self,
         user: IndividualId,
         docs: &[IndividualId],
         k: usize,
     ) -> Result<Vec<DocScore>> {
+        let snap = self.load();
         let mut scratch = None;
-        let out = self.rank_with_scratch(user, docs, k, &mut scratch);
+        let out = self.rank_with_scratch(&snap, user, docs, k, &mut scratch);
         self.finish_scratch(scratch);
         out
     }
@@ -631,16 +911,19 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     /// their own tenant session, combined with `strategy` (see
     /// [`crate::score_group`]) — returning the top `k` of the combined
     /// ranking. Group aggregation needs every member's full score list, so
-    /// `k` only truncates the final ranking.
+    /// `k` only truncates the final ranking. All members score against
+    /// one snapshot load, so a concurrent assert never splits the group
+    /// across epochs.
     pub fn rank_group(
-        &mut self,
+        &self,
         users: &[IndividualId],
         docs: &[IndividualId],
         k: usize,
         strategy: &GroupStrategy,
     ) -> Result<Vec<DocScore>> {
+        let snap = self.load();
         let mut scratch = None;
-        let out = self.rank_group_with_scratch(users, docs, k, strategy, &mut scratch);
+        let out = self.rank_group_with_scratch(&snap, users, docs, k, strategy, &mut scratch);
         self.finish_scratch(scratch);
         out
     }
@@ -654,11 +937,12 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     /// out through the shared pool exactly as direct requests do (sharing
     /// then happens via the pool's republished snapshots). An
     /// [`Request::Assert`] bumps the KB epoch and therefore acts as a
-    /// barrier between runs.
+    /// barrier between runs; each run loads one KB snapshot, so every
+    /// request in it scores the same published state.
     ///
     /// Responses are returned in request order; a failed request yields
     /// its error without aborting the rest of the batch.
-    pub fn submit(&mut self, batch: impl IntoIterator<Item = Request>) -> Vec<Result<Response>> {
+    pub fn submit(&self, batch: impl IntoIterator<Item = Request>) -> Vec<Result<Response>> {
         let mut out = Vec::new();
         let mut pending = Vec::new();
         for request in batch {
@@ -677,16 +961,17 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     /// Dispatches one coalesced run of rank-shaped requests (see
     /// [`RankingService::submit`]). The scratch is checked out lazily:
     /// a run answered entirely from score caches never touches the pool.
-    fn flush_run(&mut self, pending: &mut Vec<Request>, out: &mut Vec<Result<Response>>) {
+    fn flush_run(&self, pending: &mut Vec<Request>, out: &mut Vec<Result<Response>>) {
         if pending.is_empty() {
             return;
         }
-        self.coalesced_runs += 1;
+        self.coalesced_runs.fetch_add(1, Ordering::Relaxed);
+        let snap = self.load();
         let mut scratch = None;
         for request in pending.drain(..) {
             let response = match request {
                 Request::Rank { user, docs, k } => self
-                    .rank_with_scratch(user, &docs, k, &mut scratch)
+                    .rank_with_scratch(&snap, user, &docs, k, &mut scratch)
                     .map(Response::Ranked),
                 Request::RankGroup {
                     users,
@@ -694,7 +979,7 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
                     k,
                     strategy,
                 } => self
-                    .rank_group_with_scratch(&users, &docs, k, &strategy, &mut scratch)
+                    .rank_group_with_scratch(&snap, &users, &docs, k, &strategy, &mut scratch)
                     .map(Response::Ranked),
                 Request::Assert { .. } => unreachable!("asserts flush the run"),
             };
@@ -723,65 +1008,69 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     /// batched requests, so batching never silently loses parallelism.
     /// The caller settles the scratch via
     /// [`RankingService::finish_scratch`].
+    ///
+    /// The whole request body runs inside the tenant's shard-lock scope
+    /// (`shard → pool` in the documented lock order): the tenant's caches
+    /// cannot be touched by another thread mid-request, which is what
+    /// makes same-user requests serialize.
     fn rank_with_scratch(
-        &mut self,
+        &self,
+        snap: &SharedSnapshot,
         user: IndividualId,
         docs: &[IndividualId],
         k: usize,
         scratch: &mut Option<EvalScratch>,
     ) -> Result<Vec<DocScore>> {
-        self.rank_requests += 1;
-        let env = ScoringEnv {
-            kb: &self.kb,
-            rules: &self.rules,
-            user,
-        };
-        let tenant = self.tenants.session(user);
-        let bindings = tenant.bindings.bind(&env);
-        if k < docs.len() {
-            if self.threads > 1 {
-                rank_top_k_bound_parallel(
-                    &self.engine,
-                    &env,
-                    &bindings,
-                    docs,
-                    k,
-                    self.threads,
-                    &self.pool,
-                    true,
-                )
+        self.rank_requests.fetch_add(1, Ordering::Relaxed);
+        self.tenants.with_session(user, |tenant| {
+            let env = snap.env(user);
+            let bindings = tenant.bindings.bind(&env);
+            if k < docs.len() {
+                if self.threads > 1 {
+                    rank_top_k_bound_parallel(
+                        &self.engine,
+                        &env,
+                        &bindings,
+                        docs,
+                        k,
+                        self.threads,
+                        &self.pool,
+                        true,
+                    )
+                } else {
+                    let scratch = scratch.get_or_insert_with(|| self.pool.checkout(snap.kb()));
+                    rank_top_k_bound(&env, &self.engine, &bindings, docs, k, scratch)
+                }
             } else {
-                let scratch = scratch.get_or_insert_with(|| self.pool.checkout(&self.kb));
-                rank_top_k_bound(&env, &self.engine, &bindings, docs, k, scratch)
+                let scores = read_through_scores(
+                    &self.engine,
+                    user,
+                    self.pool.scoring(),
+                    &mut tenant.scores,
+                    docs,
+                    &bindings,
+                    |missing| {
+                        if self.threads > 1 {
+                            score_all_bound_parallel(
+                                &self.engine,
+                                &env,
+                                &bindings,
+                                missing,
+                                self.threads,
+                                &self.pool,
+                                true,
+                            )
+                        } else {
+                            let scratch =
+                                scratch.get_or_insert_with(|| self.pool.checkout(snap.kb()));
+                            self.engine
+                                .score_all_bound(&env, &bindings, missing, scratch)
+                        }
+                    },
+                )?;
+                Ok(rank(scores))
             }
-        } else {
-            let scores = read_through_scores(
-                &self.engine,
-                user,
-                self.pool.scoring(),
-                &mut tenant.scores,
-                docs,
-                &bindings,
-                |missing| {
-                    if self.threads > 1 {
-                        score_all_bound_parallel(
-                            &self.engine,
-                            &env,
-                            &bindings,
-                            missing,
-                            self.threads,
-                            &self.pool,
-                            true,
-                        )
-                    } else {
-                        let scratch = scratch.get_or_insert_with(|| self.pool.checkout(&self.kb));
-                        self.engine
-                            .score_all_bound(&env, &bindings, missing, scratch)
-                    }
-                },
-            )?;
-            Ok(rank(scores))
-        }
+        })
     }
 
     /// The group path behind [`RankingService::rank_group`] and the
@@ -797,16 +1086,17 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     /// bindings, dropping the tenant's score entry) are scored again as
     /// `gaps` — rare, and bit-identical either way.
     fn rank_group_with_scratch(
-        &mut self,
+        &self,
+        snap: &SharedSnapshot,
         users: &[IndividualId],
         docs: &[IndividualId],
         k: usize,
         strategy: &GroupStrategy,
         scratch: &mut Option<EvalScratch>,
     ) -> Result<Vec<DocScore>> {
-        self.rank_requests += 1;
+        self.rank_requests.fetch_add(1, Ordering::Relaxed);
         let mut fanout = if self.threads > 1 && users.len() > 1 {
-            self.group_fanout(users, docs)?
+            self.group_fanout(snap, users, docs)?
         } else {
             GroupFanout::default()
         };
@@ -815,56 +1105,53 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
         let per_user = users
             .iter()
             .map(|&user| {
-                let env = ScoringEnv {
-                    kb: &self.kb,
-                    rules: &self.rules,
-                    user,
-                };
-                let tenant = self.tenants.session(user);
-                if let Some(fresh) = fanout.bindings.remove(&user) {
-                    tenant.bindings.seed(&env, &fresh);
-                }
-                let bindings = tenant.bindings.bind(&env);
-                read_through_scores(
-                    &self.engine,
-                    user,
-                    config,
-                    &mut tenant.scores,
-                    docs,
-                    &bindings,
-                    |missing| {
-                        let ready = computed.get(&user);
-                        let mut out = Vec::with_capacity(missing.len());
-                        let mut gaps: Vec<IndividualId> = Vec::new();
-                        for &doc in missing {
-                            match ready.and_then(|scores| scores.get(&doc)) {
-                                Some(&score) => out.push(DocScore { doc, score }),
-                                None => gaps.push(doc),
+                self.tenants.with_session(user, |tenant| {
+                    let env = snap.env(user);
+                    if let Some(fresh) = fanout.bindings.remove(&user) {
+                        tenant.bindings.seed(&env, &fresh);
+                    }
+                    let bindings = tenant.bindings.bind(&env);
+                    read_through_scores(
+                        &self.engine,
+                        user,
+                        config,
+                        &mut tenant.scores,
+                        docs,
+                        &bindings,
+                        |missing| {
+                            let ready = computed.get(&user);
+                            let mut out = Vec::with_capacity(missing.len());
+                            let mut gaps: Vec<IndividualId> = Vec::new();
+                            for &doc in missing {
+                                match ready.and_then(|scores| scores.get(&doc)) {
+                                    Some(&score) => out.push(DocScore { doc, score }),
+                                    None => gaps.push(doc),
+                                }
                             }
-                        }
-                        if !gaps.is_empty() {
-                            if self.threads > 1 {
-                                out.extend(score_all_bound_parallel(
-                                    &self.engine,
-                                    &env,
-                                    &bindings,
-                                    &gaps,
-                                    self.threads,
-                                    &self.pool,
-                                    true,
-                                )?);
-                            } else {
-                                let scratch =
-                                    scratch.get_or_insert_with(|| self.pool.checkout(&self.kb));
-                                out.extend(
-                                    self.engine
-                                        .score_all_bound(&env, &bindings, &gaps, scratch)?,
-                                );
+                            if !gaps.is_empty() {
+                                if self.threads > 1 {
+                                    out.extend(score_all_bound_parallel(
+                                        &self.engine,
+                                        &env,
+                                        &bindings,
+                                        &gaps,
+                                        self.threads,
+                                        &self.pool,
+                                        true,
+                                    )?);
+                                } else {
+                                    let scratch = scratch
+                                        .get_or_insert_with(|| self.pool.checkout(snap.kb()));
+                                    out.extend(
+                                        self.engine
+                                            .score_all_bound(&env, &bindings, &gaps, scratch)?,
+                                    );
+                                }
                             }
-                        }
-                        Ok(out)
-                    },
-                )
+                            Ok(out)
+                        },
+                    )
+                })
             })
             .collect::<Result<Vec<_>>>()?;
         let mut ranked = rank(group_scores(&per_user, strategy)?);
@@ -888,8 +1175,13 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     /// republished snapshots. The counting cache pass happens afterwards,
     /// per member in request order, so counters and the surviving error
     /// (the minimum member index's) match the sequential path exactly.
+    ///
+    /// Each planning peek takes one shard lock and releases it before the
+    /// fan-out spawns; the workers themselves touch only the pool and the
+    /// immutable snapshot, never a tenant lock.
     fn group_fanout(
-        &mut self,
+        &self,
+        snap: &SharedSnapshot,
         users: &[IndividualId],
         docs: &[IndividualId],
     ) -> Result<GroupFanout> {
@@ -905,32 +1197,30 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
             if !seen.insert(user) {
                 continue;
             }
-            let env = ScoringEnv {
-                kb: &self.kb,
-                rules: &self.rules,
-                user,
-            };
-            let tenant = self.tenants.session(user);
-            match tenant.bindings.peek(&env) {
-                Some(bindings) => {
-                    let missing = tenant.scores.peek_missing(
-                        &score_key(&self.engine, user, config),
-                        &bindings,
-                        docs,
-                    );
-                    if !missing.is_empty() {
-                        plan.push((user, Some(bindings), missing));
-                    }
-                }
-                None => plan.push((user, None, docs.to_vec())),
+            let env = snap.env(user);
+            let entry =
+                self.tenants
+                    .with_session(user, |tenant| match tenant.bindings.peek(&env) {
+                        Some(bindings) => {
+                            let missing = tenant.scores.peek_missing(
+                                &score_key(&self.engine, user, config),
+                                &bindings,
+                                docs,
+                            );
+                            (!missing.is_empty()).then_some((user, Some(bindings), missing))
+                        }
+                        None => Some((user, None, docs.to_vec())),
+                    });
+            if let Some(entry) = entry {
+                plan.push(entry);
             }
         }
         if plan.is_empty() {
             return Ok(GroupFanout::default());
         }
         let engine = &self.engine;
-        let kb = &self.kb;
-        let rules = &self.rules;
+        let kb = snap.kb();
+        let rules = snap.rules();
         let pool = &self.pool;
         let plan_ref = &plan;
         let threads = effective_threads(self.threads, plan.len());
@@ -1019,6 +1309,9 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     }
 
     /// Service-wide counters and footprints (see [`ServiceStats`]).
+    /// Takes locks one at a time (never nested), so under concurrent
+    /// traffic the totals are a near-point-in-time reading of monotone
+    /// counters, not a frozen cut.
     pub fn stats(&self) -> ServiceStats {
         let mut sessions = self.tenants.total_stats();
         sessions.footprint = self.pool.footprint();
@@ -1026,12 +1319,21 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
         ServiceStats {
             sessions_live: self.tenants.live(),
             sessions_evicted: self.tenants.evicted(),
-            rank_requests: self.rank_requests,
-            asserts: self.asserts,
-            coalesced_runs: self.coalesced_runs,
-            wal: self.wal_stats,
+            rank_requests: self.rank_requests.load(Ordering::Relaxed),
+            asserts: self.asserts.load(Ordering::Relaxed),
+            coalesced_runs: self.coalesced_runs.load(Ordering::Relaxed),
+            shard_lock_acquisitions: self.tenants.lock_counts().iter().sum(),
+            queue: QueueStats::default(),
+            wal: *self.wal_stats.lock().expect("wal stats lock poisoned"),
             sessions,
         }
+    }
+
+    /// Shard-lock acquisition counts, one per tenant shard (index order
+    /// matches the shard layout). A hot shard — one counter racing ahead
+    /// of its siblings — means its tenants contend; re-shard or re-key.
+    pub fn shard_lock_counts(&self) -> Vec<u64> {
+        self.tenants.lock_counts()
     }
 
     /// One tenant's cache counters, if their session is currently live
@@ -1052,13 +1354,16 @@ impl<E: ScoringEngine + Sync> RankingService<E> {
     /// is untouched (it still reflects the KB and rules, which `clear`
     /// keeps), sequence numbers continue where they left off, and only the
     /// [`WalStats`] counters reset with the other stats.
+    ///
+    /// Takes `&mut self` — clearing is an ownership-level reset, not a
+    /// request; callers holding only `&self` cannot reach it.
     pub fn clear(&mut self) {
         self.tenants.clear();
         self.pool = ScratchPool::with_config(self.pool.policy(), self.pool.scoring());
-        self.rank_requests = 0;
-        self.asserts = 0;
-        self.coalesced_runs = 0;
-        self.wal_stats = WalStats::default();
+        *self.rank_requests.get_mut() = 0;
+        *self.asserts.get_mut() = 0;
+        *self.coalesced_runs.get_mut() = 0;
+        *self.wal_stats.get_mut().expect("wal stats lock poisoned") = WalStats::default();
     }
 }
 
@@ -1130,9 +1435,9 @@ mod tests {
     #[test]
     fn warm_rank_is_bit_identical_and_cached() {
         let (kb, rules, users, docs) = fixture(3, 12);
-        let mut service = RankingService::new(LineageEngine::new(), kb, rules.clone());
+        let service = RankingService::new(LineageEngine::new(), kb, rules.clone());
         for &user in &users {
-            let want = cold_rank(service.kb(), &rules, user, &docs, docs.len());
+            let want = cold_rank(&service.kb(), &rules, user, &docs, docs.len());
             let cold = service.rank(user, &docs, docs.len()).unwrap();
             let warm = service.rank(user, &docs, docs.len()).unwrap();
             for ((a, b), c) in want.iter().zip(&cold).zip(&warm) {
@@ -1151,6 +1456,11 @@ mod tests {
             stats.sessions
         );
         assert!(stats.sessions.bindings.hit_rate() > 0.0);
+        assert!(
+            stats.shard_lock_acquisitions >= stats.rank_requests,
+            "every request takes at least one shard lock: {stats:?}"
+        );
+        assert_eq!(stats.queue, QueueStats::default(), "no queue attached");
     }
 
     #[test]
@@ -1159,11 +1469,12 @@ mod tests {
         // (both share each document's Feat0 variable, which the strict
         // factorized engine rejects by design).
         let (kb, rules, users, docs) = fixture(2, 16);
-        let mut service = RankingService::new(LineageEngine::new(), kb, rules.clone());
+        let service = RankingService::new(LineageEngine::new(), kb, rules.clone());
         for k in [1, 5, 16, 99] {
             let engine = LineageEngine::new();
+            let kb = service.kb();
             let env = ScoringEnv {
-                kb: service.kb(),
+                kb: &kb,
                 rules: &rules,
                 user: users[0],
             };
@@ -1195,7 +1506,7 @@ mod tests {
             )
             .unwrap(),
         );
-        let mut service = RankingService::new(LineageEngine::new(), kb, rules);
+        let service = RankingService::new(LineageEngine::new(), kb, rules);
         let got = service
             .rank_group(&users, &docs, docs.len(), &strategy)
             .unwrap();
@@ -1212,7 +1523,7 @@ mod tests {
     #[test]
     fn batch_coalesces_runs_and_preserves_order() {
         let (kb, rules, users, docs) = fixture(3, 8);
-        let mut service = RankingService::new(LineageEngine::new(), kb, rules);
+        let service = RankingService::new(LineageEngine::new(), kb, rules);
         let batch = vec![
             Request::Rank {
                 user: users[0],
@@ -1252,7 +1563,7 @@ mod tests {
         assert_eq!(stats.asserts, 1);
         // Each ranked response equals the cold reference *at its point in
         // the batch*: the last one sees the asserted context switch.
-        let want = cold_rank(service.kb(), service.rules(), users[0], &docs, docs.len());
+        let want = cold_rank(&service.kb(), &service.rules(), users[0], &docs, docs.len());
         let got = responses[3].as_ref().unwrap().ranked().unwrap();
         for (a, b) in want.iter().zip(got) {
             assert_eq!(a.doc, b.doc);
@@ -1274,7 +1585,7 @@ mod tests {
     #[test]
     fn batch_errors_do_not_abort_the_rest() {
         let (kb, rules, users, docs) = fixture(2, 6);
-        let mut service = RankingService::new(LineageEngine::new(), kb, rules);
+        let service = RankingService::new(LineageEngine::new(), kb, rules);
         let batch = vec![
             Request::Assert {
                 subject: users[0],
@@ -1299,7 +1610,7 @@ mod tests {
     #[test]
     fn lru_eviction_is_invisible_in_results() {
         let (kb, rules, users, docs) = fixture(4, 8);
-        let mut service = RankingService::with_config(
+        let service = RankingService::with_config(
             LineageEngine::new(),
             kb,
             rules.clone(),
@@ -1311,7 +1622,7 @@ mod tests {
         // Cycle users so every request past the first two evicts someone.
         for round in 0..3 {
             for &user in &users {
-                let want = cold_rank(service.kb(), &rules, user, &docs, docs.len());
+                let want = cold_rank(&service.kb(), &rules, user, &docs, docs.len());
                 let got = service.rank(user, &docs, docs.len()).unwrap();
                 for (a, b) in want.iter().zip(&got) {
                     assert_eq!(a.doc, b.doc, "round {round}");
@@ -1327,8 +1638,8 @@ mod tests {
     #[test]
     fn parallel_dispatch_matches_sequential() {
         let (kb, rules, users, docs) = fixture(2, 24);
-        let mut seq = RankingService::new(LineageEngine::new(), kb.clone(), rules.clone());
-        let mut par = RankingService::with_config(
+        let seq = RankingService::new(LineageEngine::new(), kb.clone(), rules.clone());
+        let par = RankingService::with_config(
             LineageEngine::new(),
             kb,
             rules,
@@ -1389,17 +1700,16 @@ mod tests {
     #[test]
     fn batch_counters_surface_in_service_stats() {
         let (kb, rules, users, docs) = fixture(2, 8);
-        let mut columnar = RankingService::new(LineageEngine::new(), kb.clone(), rules.clone());
+        let columnar = RankingService::new(LineageEngine::new(), kb.clone(), rules.clone());
         columnar.rank(users[0], &docs, docs.len()).unwrap();
         let batch = columnar.stats().sessions.batch;
         assert!(batch.sweeps > 0, "a full-set rank runs column sweeps");
         assert_eq!(batch.lanes, docs.len() as u64, "one lane per document");
         assert!(batch.fallbacks <= batch.lanes, "dedup never exceeds lanes");
         assert!(batch.lanes_per_sweep() > 1.0, "lanes amortize the sweep");
-
         // The same request through a scalar-pinned service records nothing
         // — the counters attribute work to the path that did it.
-        let mut scalar = RankingService::with_config(
+        let scalar = RankingService::with_config(
             LineageEngine::new(),
             kb,
             rules,
@@ -1420,8 +1730,8 @@ mod tests {
         // covers with its gap recompute.
         let (kb, rules, users, docs) = fixture(4, 12);
         let members: Vec<_> = users.iter().copied().chain([users[1]]).collect();
-        let mut seq = RankingService::new(LineageEngine::new(), kb.clone(), rules.clone());
-        let mut fan = RankingService::with_config(
+        let seq = RankingService::new(LineageEngine::new(), kb.clone(), rules.clone());
+        let fan = RankingService::with_config(
             LineageEngine::new(),
             kb,
             rules,
@@ -1451,6 +1761,121 @@ mod tests {
     }
 
     #[test]
+    fn shared_reference_serves_concurrent_ranks() {
+        // The acceptance criterion made compile-time fact: `rank` through
+        // a `&RankingService` shared across scoped threads, each thread's
+        // results bit-identical to the cold oracle.
+        let (kb, rules, users, docs) = fixture(4, 8);
+        let service = RankingService::new(LineageEngine::new(), kb, rules.clone());
+        let want: Vec<_> = users
+            .iter()
+            .map(|&u| cold_rank(&service.kb(), &rules, u, &docs, docs.len()))
+            .collect();
+        let service = &service;
+        std::thread::scope(|scope| {
+            for (i, &user) in users.iter().enumerate() {
+                let docs = &docs;
+                let want = &want[i];
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        let got = service.rank(user, docs, docs.len()).unwrap();
+                        assert_eq!(got.len(), want.len());
+                        for (a, b) in want.iter().zip(&got) {
+                            assert_eq!(a.doc, b.doc);
+                            assert_eq!(a.score.to_bits(), b.score.to_bits());
+                        }
+                    }
+                });
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.rank_requests, 3 * users.len() as u64);
+        assert_eq!(stats.sessions_live, users.len());
+    }
+
+    #[test]
+    fn concurrent_asserts_and_ranks_converge_to_the_published_state() {
+        // Writers and readers race; whatever interleaving happened, the
+        // final published KB is the one all post-quiescence ranks agree
+        // with, bit-identically.
+        let (kb, rules, users, docs) = fixture(3, 8);
+        let service = RankingService::new(LineageEngine::new(), kb, rules.clone());
+        let service = &service;
+        std::thread::scope(|scope| {
+            // Two readers hammer users 0 and 1.
+            for &user in &users[..2] {
+                let docs = &docs;
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        service.rank(user, docs, docs.len()).unwrap();
+                    }
+                });
+            }
+            // One writer keeps moving user 2's context.
+            let writer_user = users[2];
+            scope.spawn(move || {
+                for i in 0..20 {
+                    let p = 0.05 + 0.9 * (i as f64 / 20.0);
+                    service
+                        .assert(writer_user, Fact::ConceptProb("Ctx0".into(), p))
+                        .unwrap();
+                }
+            });
+        });
+        assert_eq!(service.stats().asserts, 20);
+        // Quiesced: every user's rank now matches the cold oracle over the
+        // final published KB.
+        let kb = service.kb();
+        for &user in &users {
+            let want = cold_rank(&kb, &rules, user, &docs, docs.len());
+            let got = service.rank(user, &docs, docs.len()).unwrap();
+            for (a, b) in want.iter().zip(&got) {
+                assert_eq!(a.doc, b.doc);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_a_concurrent_assert() {
+        // A loaded snapshot is immutable: an assert that lands after the
+        // load publishes a successor without touching the loaded state.
+        let (kb, rules, users, docs) = fixture(1, 6);
+        let service = RankingService::new(LineageEngine::new(), kb, rules);
+        let before = service.snapshot();
+        let epoch = before.kb().epoch();
+        service
+            .assert(users[0], Fact::ConceptProb("Ctx0".into(), 0.9))
+            .unwrap();
+        assert_eq!(before.kb().epoch(), epoch, "loaded snapshot unchanged");
+        let after = service.snapshot();
+        assert!(after.kb().epoch() > epoch, "successor published");
+        assert_eq!(
+            before.kb().id(),
+            after.kb().id(),
+            "publish preserves KB identity, so caches survive"
+        );
+        drop(docs);
+    }
+
+    #[test]
+    fn service_stats_add_and_sum() {
+        let (kb, rules, users, docs) = fixture(2, 6);
+        let service = RankingService::new(LineageEngine::new(), kb, rules);
+        service.rank(users[0], &docs, docs.len()).unwrap();
+        service
+            .assert(users[0], Fact::ConceptProb("Ctx0".into(), 0.4))
+            .unwrap();
+        let one = service.stats();
+        let two = one + one;
+        assert_eq!(two.rank_requests, 2 * one.rank_requests);
+        assert_eq!(two.asserts, 2 * one.asserts);
+        assert_eq!(two.shard_lock_acquisitions, 2 * one.shard_lock_acquisitions);
+        let summed: ServiceStats = [one, one, ServiceStats::default()].into_iter().sum();
+        assert_eq!(summed, two);
+    }
+
+    #[test]
     fn clear_drops_state_but_keeps_serving() {
         let (kb, rules, users, docs) = fixture(2, 8);
         let mut service = RankingService::new(LineageEngine::new(), kb, rules.clone());
@@ -1475,7 +1900,7 @@ mod tests {
     #[test]
     fn rule_updates_apply_to_subsequent_requests() {
         let (kb, rules, users, docs) = fixture(1, 6);
-        let mut service = RankingService::new(LineageEngine::new(), kb, rules);
+        let service = RankingService::new(LineageEngine::new(), kb, rules);
         let before = service.rank(users[0], &docs, docs.len()).unwrap();
         let removed = service.remove_rule("R0").unwrap();
         let after = service.rank(users[0], &docs, docs.len()).unwrap();
@@ -1502,7 +1927,7 @@ mod tests {
     /// Builds the `fixture(3, 8)` state through the durable mutation API,
     /// so every step lands in the WAL.
     fn populate_durable(
-        service: &mut RankingService<LineageEngine>,
+        service: &RankingService<LineageEngine>,
     ) -> (Vec<IndividualId>, Vec<IndividualId>) {
         let (n_users, n_docs) = (3, 8);
         let users: Vec<_> = (0..n_users)
@@ -1568,7 +1993,7 @@ mod tests {
     #[test]
     fn durable_snapshot_plus_wal_suffix_restores_bit_identical_scores() {
         let dir = scratch_dir("roundtrip");
-        let mut service = RankingService::open_durable(
+        let service = RankingService::open_durable(
             LineageEngine::new(),
             ServiceConfig::default(),
             &dir,
@@ -1576,7 +2001,7 @@ mod tests {
         )
         .unwrap();
         assert!(service.is_durable());
-        let (users, docs) = populate_durable(&mut service);
+        let (users, docs) = populate_durable(&service);
         for &u in &users {
             service.rank(u, &docs, docs.len()).unwrap();
         }
@@ -1593,7 +2018,7 @@ mod tests {
         let epoch = service.kb().epoch();
         drop(service); // crash point: nothing after the last append survives
 
-        let mut restored = RankingService::open_durable(
+        let restored = RankingService::open_durable(
             LineageEngine::new(),
             ServiceConfig::default(),
             &dir,
@@ -1643,7 +2068,7 @@ mod tests {
             FlushPolicy::EveryRecord,
         )
         .unwrap();
-        let (users, _docs) = populate_durable(&mut service);
+        let (users, _docs) = populate_durable(&service);
         let appended_before = service.stats().wal.records_appended;
         assert!(appended_before > 0);
 
@@ -1685,7 +2110,7 @@ mod tests {
     #[test]
     fn save_snapshot_requires_durable_service() {
         let (kb, rules, _, _) = fixture(1, 2);
-        let mut service = RankingService::new(LineageEngine::new(), kb, rules);
+        let service = RankingService::new(LineageEngine::new(), kb, rules);
         assert!(!service.is_durable());
         assert!(service.save_snapshot().is_err());
     }

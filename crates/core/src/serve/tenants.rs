@@ -7,22 +7,31 @@
 //! [`crate::parallel::ScratchPool`] instead, so it is *not* duplicated per
 //! tenant and survives tenant eviction.
 //!
-//! Tenants are routed to shards by hashing their [`IndividualId`]. With a
-//! single mutable owner the shards buy nothing *today*; they exist so the
-//! storage layout already matches the partitioning a future concurrent
-//! front-end needs (one lock — or one actor — per shard), and so shard
-//! routing is exercised and tested from day one.
+//! Tenants are routed to shards by hashing their [`IndividualId`], and each
+//! shard sits behind its own [`Mutex`]: requests for tenants in different
+//! shards proceed in parallel, requests for the same tenant (or shard
+//! neighbours) serialize. Access is scoped — [`TenantSessions::with_session`]
+//! runs a closure under exactly the target shard's lock — so the shard lock
+//! also *is* the per-tenant request serialization the service layer relies
+//! on: two threads ranking the same user cannot interleave inside one
+//! tenant's caches.
 //!
 //! **LRU cap.** The map holds at most `capacity` live tenants across all
 //! shards; touching a tenant refreshes its recency, and inserting past the
-//! cap evicts the globally least-recently-used tenant. Eviction drops only
-//! caches whose contents are pure functions of the current KB + rules, so
-//! a returning tenant is re-derived bit-identically — the cap trades a
-//! cold re-bind for bounded memory, exactly like the snapshot-tier
-//! [`capra_events::EvictionPolicy`] one layer down.
+//! cap evicts the globally least-recently-used tenant. Finding the global
+//! victim needs a consistent view of every shard, so the insert slow path
+//! (tenant not yet live) locks *all* shards in ascending index order — the
+//! one place the map takes more than one lock (see the lock-order note in
+//! `ARCHITECTURE.md`). Eviction drops only caches whose contents are pure
+//! functions of the current KB + rules, so a returning tenant is re-derived
+//! bit-identically — the cap trades a cold re-bind for bounded memory,
+//! exactly like the snapshot-tier [`capra_events::EvictionPolicy`] one
+//! layer down.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 use capra_dl::IndividualId;
 
@@ -61,30 +70,44 @@ impl Tenant {
     }
 }
 
+/// One shard: the tenants that hash here, behind this shard's own lock.
+type Shard = HashMap<IndividualId, Tenant>;
+
 /// The sharded tenant map (see module docs).
 pub(crate) struct TenantSessions {
-    shards: Vec<HashMap<IndividualId, Tenant>>,
+    shards: Vec<Mutex<Shard>>,
+    /// Times each shard's lock was taken (same index as `shards`). A
+    /// contention signal for operators: the fast path takes exactly one
+    /// lock per request, so a hot shard shows up as one counter racing
+    /// ahead of its siblings.
+    lock_counts: Vec<AtomicU64>,
     /// Maximum live tenants across all shards (≥ 1).
     capacity: usize,
     /// Monotonic access clock driving LRU recency.
-    clock: u64,
+    clock: AtomicU64,
     /// Tenants evicted by the LRU cap so far.
-    evicted: u64,
+    evicted: AtomicU64,
+    /// Live tenants across all shards (maintained on insert/evict so reads
+    /// don't have to take every shard lock).
+    live: AtomicU64,
     /// Counters carried by evicted tenants, folded in so the service-level
     /// totals stay monotone across evictions.
-    retired: SessionStats,
+    retired: Mutex<SessionStats>,
 }
 
 impl TenantSessions {
     /// An empty map with `shards` shards and a total live-session cap of
     /// `capacity` (both clamped to ≥ 1).
     pub fn new(shards: usize, capacity: usize) -> Self {
+        let n = shards.max(1);
         Self {
-            shards: (0..shards.max(1)).map(|_| HashMap::new()).collect(),
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            lock_counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
             capacity: capacity.max(1),
-            clock: 0,
-            evicted: 0,
-            retired: SessionStats::default(),
+            clock: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+            retired: Mutex::new(SessionStats::default()),
         }
     }
 
@@ -96,43 +119,94 @@ impl TenantSessions {
         (hasher.finish() % self.shards.len() as u64) as usize
     }
 
+    /// Locks shard `index`, counting the acquisition.
+    fn lock_shard(&self, index: usize) -> MutexGuard<'_, Shard> {
+        self.lock_counts[index].fetch_add(1, Ordering::Relaxed);
+        self.shards[index].lock().expect("shard lock poisoned")
+    }
+
     /// Live tenant sessions across all shards.
     pub fn live(&self) -> usize {
-        self.shards.iter().map(HashMap::len).sum()
+        self.live.load(Ordering::Relaxed) as usize
     }
 
     /// Tenants evicted by the LRU cap so far.
     pub fn evicted(&self) -> u64 {
-        self.evicted
+        self.evicted.load(Ordering::Relaxed)
     }
 
-    /// The tenant's session state, created on first sight, with its
-    /// recency refreshed. Inserting past the cap first evicts the
-    /// least-recently-used tenant (never the one being requested).
-    pub fn session(&mut self, user: IndividualId) -> &mut Tenant {
-        self.clock += 1;
-        let now = self.clock;
-        let shard = self.shard_of(user);
-        if !self.shards[shard].contains_key(&user) && self.live() >= self.capacity {
-            self.evict_lru();
+    /// Shard-lock acquisitions so far, one counter per shard.
+    pub fn lock_counts(&self) -> Vec<u64> {
+        self.lock_counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Runs `f` on the tenant's session state under the tenant's shard
+    /// lock, creating the session on first sight and refreshing its
+    /// recency. Inserting past the cap first evicts the globally
+    /// least-recently-used tenant (never the one being requested — its
+    /// recency stamp is the newest clock tick by construction).
+    ///
+    /// The closure runs with the shard lock held, so everything it does to
+    /// the tenant's caches is atomic with respect to other requests for
+    /// tenants in the same shard; tenants in other shards are untouched and
+    /// proceed in parallel.
+    pub fn with_session<R>(&self, user: IndividualId, f: impl FnOnce(&mut Tenant) -> R) -> R {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let target = self.shard_of(user);
+        {
+            // Fast path: the tenant is live — one lock, no global scan.
+            let mut shard = self.lock_shard(target);
+            if let Some(tenant) = shard.get_mut(&user) {
+                tenant.last_used = now;
+                return f(tenant);
+            }
         }
-        let tenant = self.shards[shard]
-            .entry(user)
-            .or_insert_with(|| Tenant::new(now));
+        // Slow path (first sight): the global LRU cap needs a consistent
+        // view of every shard, so take all shard locks in ascending index
+        // order (the only multi-lock acquisition in the map — deadlock-free
+        // because every other path takes at most one shard lock).
+        let mut guards: Vec<MutexGuard<'_, Shard>> =
+            (0..self.shards.len()).map(|i| self.lock_shard(i)).collect();
+        // Re-check under the full lock set: another thread may have created
+        // this tenant between the fast-path unlock and here.
+        if !guards[target].contains_key(&user) {
+            if self.live() >= self.capacity {
+                self.evict_lru(&mut guards);
+            }
+            guards[target].insert(user, Tenant::new(now));
+            self.live.fetch_add(1, Ordering::Relaxed);
+        }
+        // Keep only the target shard's guard while `f` runs: scoring a cold
+        // tenant can be long, and the other shards need not wait for it.
+        let mut shard = guards.swap_remove(target);
+        drop(guards);
+        let tenant = shard.get_mut(&user).expect("tenant just ensured live");
         tenant.last_used = now;
-        tenant
+        f(tenant)
     }
 
     /// The tenant's cache counters, if it is currently live.
     pub fn stats_of(&self, user: IndividualId) -> Option<SessionStats> {
-        let tenant = self.shards[self.shard_of(user)].get(&user)?;
-        Some(tenant.stats())
+        let shard = self.lock_shard(self.shard_of(user));
+        shard.get(&user).map(Tenant::stats)
     }
 
     /// Total cache counters: every live tenant's [`SessionStats`] summed
     /// component-wise, plus the counters retired with evicted tenants.
+    /// Shards are visited one lock at a time, so under concurrent traffic
+    /// the sum is a near-point-in-time reading, not a frozen snapshot —
+    /// fine for the monotone counters it reports.
     pub fn total_stats(&self) -> SessionStats {
-        self.tenants().map(Tenant::stats).sum::<SessionStats>() + self.retired
+        let live: SessionStats = (0..self.shards.len())
+            .map(|i| {
+                let shard = self.lock_shard(i);
+                shard.values().map(Tenant::stats).sum::<SessionStats>()
+            })
+            .sum();
+        live + *self.retired.lock().expect("retired lock poisoned")
     }
 
     /// Drops every tenant and resets all counters (the cap and shard count
@@ -141,33 +215,36 @@ impl TenantSessions {
         *self = Self::new(self.shards.len(), self.capacity);
     }
 
-    fn tenants(&self) -> impl Iterator<Item = &Tenant> {
-        self.shards.iter().flat_map(HashMap::values)
+    /// The user ids of all currently live tenants (shard order; no recency
+    /// refresh). The persistence layer snapshots this set so a recovered
+    /// service can re-derive those tenants' bindings at boot instead of on
+    /// their first post-boot request.
+    pub fn live_users(&self) -> Vec<IndividualId> {
+        (0..self.shards.len())
+            .flat_map(|i| {
+                let shard = self.lock_shard(i);
+                shard.keys().copied().collect::<Vec<_>>()
+            })
+            .collect()
     }
 
-    /// Iterates over the user ids of all currently live tenants (shard
-    /// order; no recency refresh). The persistence layer snapshots this
-    /// set so a recovered service can re-derive those tenants' bindings at
-    /// boot instead of on their first post-boot request.
-    pub fn live_users(&self) -> impl Iterator<Item = IndividualId> + '_ {
-        self.shards.iter().flat_map(HashMap::keys).copied()
-    }
-
-    /// Removes the least-recently-used tenant across all shards, folding
-    /// its counters into the retired totals. The scan is O(live tenants) —
-    /// fine for in-process caps; a deployment that needs millions of live
-    /// sessions shards the *service*, not this map.
-    fn evict_lru(&mut self) {
-        let victim = self
-            .shards
+    /// Removes the least-recently-used tenant across all shards (whose
+    /// guards the caller holds), folding its counters into the retired
+    /// totals. The scan is O(live tenants) — fine for in-process caps; a
+    /// deployment that needs millions of live sessions shards the
+    /// *service*, not this map.
+    fn evict_lru(&self, guards: &mut [MutexGuard<'_, Shard>]) {
+        let victim = guards
             .iter()
             .enumerate()
             .flat_map(|(s, shard)| shard.iter().map(move |(&user, t)| (t.last_used, s, user)))
             .min_by_key(|&(last_used, _, _)| last_used);
         if let Some((_, shard, user)) = victim {
-            let tenant = self.shards[shard].remove(&user).expect("victim is live");
-            self.retired = self.retired + tenant.stats();
-            self.evicted += 1;
+            let tenant = guards[shard].remove(&user).expect("victim is live");
+            let mut retired = self.retired.lock().expect("retired lock poisoned");
+            *retired = *retired + tenant.stats();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            self.live.fetch_sub(1, Ordering::Relaxed);
         }
     }
 }
@@ -183,16 +260,20 @@ mod tests {
         (kb, users)
     }
 
+    fn touch(map: &TenantSessions, user: IndividualId) {
+        map.with_session(user, |_| ());
+    }
+
     #[test]
     fn lru_cap_evicts_least_recently_used() {
         let (_kb, u) = users(3);
-        let mut map = TenantSessions::new(4, 2);
-        map.session(u[0]);
-        map.session(u[1]);
+        let map = TenantSessions::new(4, 2);
+        touch(&map, u[0]);
+        touch(&map, u[1]);
         assert_eq!((map.live(), map.evicted()), (2, 0));
         // Touch u0 so u1 becomes the LRU victim when u2 arrives.
-        map.session(u[0]);
-        map.session(u[2]);
+        touch(&map, u[0]);
+        touch(&map, u[2]);
         assert_eq!((map.live(), map.evicted()), (2, 1));
         assert!(map.stats_of(u[0]).is_some(), "recently used tenant kept");
         assert!(map.stats_of(u[1]).is_none(), "LRU tenant evicted");
@@ -202,10 +283,10 @@ mod tests {
     #[test]
     fn re_requesting_an_evicted_tenant_recreates_it() {
         let (_kb, u) = users(2);
-        let mut map = TenantSessions::new(1, 1);
-        map.session(u[0]);
-        map.session(u[1]);
-        map.session(u[0]);
+        let map = TenantSessions::new(1, 1);
+        touch(&map, u[0]);
+        touch(&map, u[1]);
+        touch(&map, u[0]);
         assert_eq!(map.live(), 1);
         assert_eq!(map.evicted(), 2, "each switch evicts the other tenant");
     }
@@ -213,12 +294,16 @@ mod tests {
     #[test]
     fn shard_routing_is_deterministic_and_total() {
         let (_kb, u) = users(64);
-        let mut map = TenantSessions::new(8, 64);
+        let map = TenantSessions::new(8, 64);
         for &user in &u {
-            map.session(user);
+            touch(&map, user);
         }
         assert_eq!(map.live(), 64, "every tenant lands in exactly one shard");
-        let spread = map.shards.iter().filter(|s| !s.is_empty()).count();
+        let spread = map
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().is_empty())
+            .count();
         assert!(spread > 1, "64 tenants must not all hash to one shard");
     }
 
@@ -238,16 +323,47 @@ mod tests {
                 Score::new(0.5).unwrap(),
             ))
             .unwrap();
-        let mut map = TenantSessions::new(2, 1);
+        let map = TenantSessions::new(2, 1);
         let env = crate::ScoringEnv {
             kb: &kb,
             rules: &rules,
             user: u0,
         };
-        map.session(u0).bindings.bind(&env);
+        map.with_session(u0, |t| t.bindings.bind(&env));
         let before = map.total_stats();
         assert!(before.bindings.misses > 0, "the bind registered a counter");
-        map.session(u1); // evicts u0, retiring its counters
+        touch(&map, u1); // evicts u0, retiring its counters
         assert_eq!(map.total_stats(), before, "totals survive eviction");
+    }
+
+    #[test]
+    fn shard_lock_counts_track_acquisitions() {
+        let (_kb, u) = users(8);
+        let map = TenantSessions::new(4, 8);
+        for &user in &u {
+            touch(&map, user); // slow path: locks every shard once
+            touch(&map, user); // fast path: locks exactly one shard
+        }
+        let counts = map.lock_counts();
+        assert_eq!(counts.len(), 4);
+        let total: u64 = counts.iter().sum();
+        // 8 slow paths × (1 fast-miss + 4 all-shard) + 8 fast hits.
+        assert_eq!(total, 8 * 5 + 8);
+    }
+
+    #[test]
+    fn concurrent_first_sight_inserts_once() {
+        let (_kb, u) = users(1);
+        let map = TenantSessions::new(4, 8);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        touch(&map, u[0]);
+                    }
+                });
+            }
+        });
+        assert_eq!((map.live(), map.evicted()), (1, 0));
     }
 }

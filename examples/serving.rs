@@ -4,9 +4,13 @@
 //!
 //! Demonstrates the typed request API (`rank`, `rank_group`, `assert`,
 //! batched `submit`), per-tenant session reuse (warm hit rates), LRU
-//! session eviction, and the bounded shared evaluation tier.
+//! session eviction, the bounded shared evaluation tier, and — since the
+//! serving surface takes `&self` — producer threads sharing one service
+//! through a batching [`ServiceQueue`].
 //!
 //! Run with: `cargo run --example serving`
+
+use std::sync::Arc;
 
 use capra::prelude::*;
 
@@ -58,7 +62,7 @@ fn main() -> Result<(), CoreError> {
     // ── One service serves every viewer ────────────────────────────────
     // A small session cap so this demo shows LRU eviction in action; a
     // real deployment sizes this to its active-user working set.
-    let mut service = RankingService::with_config(
+    let service = RankingService::with_config(
         LineageEngine::new(),
         kb,
         rules,
@@ -176,5 +180,50 @@ fn main() -> Result<(), CoreError> {
         batch.fallbacks,
         100.0 * batch.broadcast_rate(),
     );
+
+    // ── Many threads, one service: the batching front-end ──────────────
+    // Every request path takes `&self`, so producer threads could call
+    // `service.rank` directly through a shared reference. A bounded
+    // ServiceQueue adds backpressure and coalescing on top: producers
+    // enqueue typed requests and wait on tickets while one worker drains
+    // arrivals in order, batching same-epoch runs through `submit`.
+    let service = Arc::new(service);
+    let queue = ServiceQueue::start(
+        Arc::clone(&service),
+        QueueConfig {
+            capacity: 16,
+            batch: 4,
+        },
+    );
+    std::thread::scope(|scope| {
+        for chunk in viewers.chunks(2) {
+            let handle = queue.handle();
+            let programs = programs.clone();
+            scope.spawn(move || {
+                for &viewer in chunk {
+                    let response = handle
+                        .enqueue(Request::Rank {
+                            user: viewer,
+                            docs: programs.clone(),
+                            k: 3,
+                        })
+                        .expect("enqueue blocks rather than fails under capacity")
+                        .wait()
+                        .expect("ranking a warm viewer succeeds");
+                    assert!(response.ranked().is_some());
+                }
+            });
+        }
+    });
+    let stats = queue.stats();
+    println!("\n── queued round: 3 producer threads, one worker ──");
+    println!(
+        "  {} enqueued / {} drained (depth high-water {}), {} coalesced runs total",
+        stats.queue.enqueued,
+        stats.queue.drained,
+        stats.queue.depth_high_water,
+        stats.coalesced_runs,
+    );
+    queue.shutdown();
     Ok(())
 }

@@ -26,7 +26,7 @@ fn main() -> Result<(), CoreError> {
     // function returns (FlushPolicy::EveryRecord = one fsync per
     // mutation; EveryN trades a bounded tail-loss window for fewer
     // syncs).
-    let mut service = RankingService::open_durable(
+    let service = RankingService::open_durable(
         LineageEngine::new(),
         ServiceConfig::default(),
         &dir,
@@ -87,7 +87,7 @@ fn main() -> Result<(), CoreError> {
     drop(service);
 
     // ── Restart: snapshot + WAL suffix → the same service, warm ────────
-    let mut service = RankingService::open_durable(
+    let service = RankingService::open_durable(
         LineageEngine::new(),
         ServiceConfig::default(),
         &dir,

@@ -70,9 +70,10 @@ pub mod prelude {
         BatchStats, CacheFootprint, CacheStats, CompactionPolicy, CoreError, CorrelationPolicy,
         DocScore, Episode, EvictionPolicy, Explanation, FactorizedEngine, FlushPolicy,
         GroupStrategy, HistoryLog, Kb, LineageEngine, MinedRule, NaiveEnumEngine, NaiveViewEngine,
-        Offer, PersistError, PreferenceRule, RankingService, ReplicaService, ReplicaStats,
-        RuleRepository, Score, ScoringConfig, ScoringEngine, ScoringEnv, ScoringSession,
-        ServiceConfig, ServiceStats, SessionStats, WalStats,
+        Offer, PersistError, PreferenceRule, QueueConfig, QueueStats, RankingService,
+        ReplicaService, ReplicaStats, RuleRepository, Score, ScoringConfig, ScoringEngine,
+        ScoringEnv, ScoringSession, ServiceConfig, ServiceHandle, ServiceQueue, ServiceStats,
+        SessionStats, SharedSnapshot, WalStats,
     };
     pub use capra_dl::{parse_concept, ABox, Concept, Reasoner, TBox, Vocabulary};
     pub use capra_events::{Evaluator, EventExpr, Universe};

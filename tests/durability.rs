@@ -204,7 +204,7 @@ fn kill_restart_replay_is_bit_identical_for_all_engines() {
         drop(service); // kill
 
         let (_, engine) = engines().into_iter().find(|(n, _)| *n == name).unwrap();
-        let mut restored = open(engine, &dir);
+        let restored = open(engine, &dir);
         assert_eq!(restored.kb().epoch(), epoch, "{name}");
         let wal = restored.stats().wal;
         assert_eq!(wal.records_truncated, 0, "{name}: {wal:?}");
@@ -264,7 +264,7 @@ fn torn_wal_tail_recovers_to_last_valid_prefix() {
     file.set_len(len - 3).unwrap();
     drop(file);
 
-    let mut restored = open(engines().remove(3).1, &dir);
+    let restored = open(engines().remove(3).1, &dir);
     let wal = restored.stats().wal;
     assert_eq!(wal.records_truncated, 1, "{wal:?}");
     assert_eq!(
@@ -285,7 +285,7 @@ fn torn_wal_tail_recovers_to_last_valid_prefix() {
         ))
         .unwrap();
     drop(restored);
-    let mut clean = open(engines().remove(3).1, &dir);
+    let clean = open(engines().remove(3).1, &dir);
     assert_eq!(clean.stats().wal.records_truncated, 0);
     for (&u, want) in users.iter().zip(&want) {
         let got = clean.rank(u, &docs, docs.len()).unwrap();
@@ -333,7 +333,7 @@ fn bit_flip_mid_log_truncates_from_that_record() {
     bytes[target] ^= 0x10;
     std::fs::write(&wal_path, &bytes).unwrap();
 
-    let mut restored = open(engines().remove(3).1, &dir);
+    let restored = open(engines().remove(3).1, &dir);
     let wal = restored.stats().wal;
     assert_eq!(
         wal.records_replayed,
@@ -395,7 +395,7 @@ fn truncated_snapshot_falls_back_to_full_replay_with_zero_loss() {
     file.set_len(len / 2).unwrap();
     drop(file);
 
-    let mut restored = open(engines().remove(3).1, &dir);
+    let restored = open(engines().remove(3).1, &dir);
     let wal = restored.stats().wal;
     assert_eq!(wal.records_truncated, 0, "nothing is lost: {wal:?}");
     assert_eq!(
@@ -425,7 +425,7 @@ fn truncated_snapshot_falls_back_to_full_replay_with_zero_loss() {
 #[test]
 fn every_single_bit_flip_recovers_without_panic() {
     let dir = scratch("flip-sweep");
-    let mut service = open(engines().remove(3).1, &dir);
+    let service = open(engines().remove(3).1, &dir);
     let u = service.individual("u");
     service
         .assert(u, Fact::ConceptProb("Ctx0".into(), 0.4))
@@ -494,7 +494,7 @@ fn segment_rotation_restart_is_bit_identical_for_all_engines() {
             "{name}: rotation must leave multiple segment files on disk"
         );
         let (_, engine) = engines().into_iter().find(|(n, _)| *n == name).unwrap();
-        let mut restored = open_with(engine, &dir, config);
+        let restored = open_with(engine, &dir, config);
         let wal = restored.stats().wal;
         assert_eq!(wal.records_truncated, 0, "{name}: {wal:?}");
         assert_eq!(wal.records_replayed, appended, "{name}: {wal:?}");
@@ -650,7 +650,7 @@ fn crash_between_compaction_deletes_recovers_with_zero_loss() {
                 std::fs::remove_file(copy.join(path.file_name().unwrap())).unwrap();
             }
             let (_, engine) = engines().into_iter().find(|(n, _)| *n == name).unwrap();
-            let mut restored = open_with(engine, &copy, config);
+            let restored = open_with(engine, &copy, config);
             let wal = restored.stats().wal;
             assert_eq!(
                 wal.records_truncated, 0,
@@ -716,7 +716,7 @@ fn losing_the_newest_snapshot_after_compaction_still_recovers() {
     std::fs::remove_file(dir.join(format!("snapshot-{newest}.snap"))).unwrap();
     std::fs::write(dir.join("snapshot.tmp"), b"half-written garbage").unwrap();
 
-    let mut restored = open_with(engines().remove(3).1, &dir, config);
+    let restored = open_with(engines().remove(3).1, &dir, config);
     let wal = restored.stats().wal;
     assert_eq!(wal.records_truncated, 0, "{wal:?}");
     assert_eq!(restored.kb().epoch(), epoch);
@@ -748,7 +748,7 @@ fn legacy_single_file_wal_migrates_on_open() {
     // Downgrade the directory to the PR 7 layout.
     std::fs::rename(first_segment(&dir), dir.join("wal.log")).unwrap();
 
-    let mut restored = open(engines().remove(3).1, &dir);
+    let restored = open(engines().remove(3).1, &dir);
     assert!(
         first_segment(&dir).exists() && !dir.join("wal.log").exists(),
         "the legacy log is renamed to the first segment"
@@ -833,7 +833,7 @@ fn snapshot_retain_is_honored_and_clamped_under_compaction() {
     assert!(service.stats().wal.segments_deleted > 0);
     let want = service.rank(users[0], &docs, docs.len()).unwrap();
     drop(service);
-    let mut restored = open_with(engines().remove(2).1, &dir, config);
+    let restored = open_with(engines().remove(2).1, &dir, config);
     assert_eq!(restored.stats().wal.records_truncated, 0);
     let got = restored.rank(users[0], &docs, docs.len()).unwrap();
     for (a, b) in want.iter().zip(&got) {

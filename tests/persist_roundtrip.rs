@@ -151,7 +151,7 @@ proptest! {
                 std::process::id()
             ));
             let _ = std::fs::remove_dir_all(&dir);
-            let mut service = RankingService::open_durable(
+            let service = RankingService::open_durable(
                 make(which),
                 ServiceConfig::default(),
                 &dir,
@@ -204,7 +204,7 @@ proptest! {
             service.save_snapshot().unwrap();
             drop(service); // kill
 
-            let mut restored = RankingService::open_durable(
+            let restored = RankingService::open_durable(
                 make(which),
                 ServiceConfig::default(),
                 &dir,

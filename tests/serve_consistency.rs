@@ -140,7 +140,7 @@ proptest! {
             // it. LRU cap 2 for 4 users: most ranks re-derive an evicted
             // tenant.
             let mut shadow = kb.clone();
-            let mut service = RankingService::with_config(
+            let service = RankingService::with_config(
                 engine,
                 kb.clone(),
                 rules.clone(),
@@ -231,9 +231,9 @@ proptest! {
                 threads: if pooled { 4 } else { 1 },
                 ..ServiceConfig::default()
             };
-            let mut columnar =
+            let columnar =
                 RankingService::with_config(make(which), kb.clone(), rules.clone(), base);
-            let mut scalar = RankingService::with_config(
+            let scalar = RankingService::with_config(
                 make(which),
                 kb.clone(),
                 rules.clone(),
@@ -319,9 +319,9 @@ proptest! {
             policy: decode_policy(policy_sel),
             ..ServiceConfig::default()
         };
-        let mut batched = RankingService::with_config(
+        let batched = RankingService::with_config(
             LineageEngine::new(), kb.clone(), rules.clone(), config);
-        let mut sequential = RankingService::with_config(
+        let sequential = RankingService::with_config(
             LineageEngine::new(), kb.clone(), rules.clone(), config);
 
         let requests: Vec<Request> = ops
