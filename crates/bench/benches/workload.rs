@@ -1,0 +1,86 @@
+//! Workload-replay benchmark: the `xtask` replay path — decode a
+//! serialized workload, build a fresh service, drive every record
+//! through [`replay_workload`] — timed end to end per domain pack.
+//!
+//! Output (bench-guard JSON shape):
+//!
+//! * `workload/replay/requests-replayed` and
+//!   `workload/replay/docs-ranked` — **deterministic** gauges: the total
+//!   records replayed and ranked documents returned across the three
+//!   fixed tiny workloads (commerce, teamctx, tvtouch). These are pure
+//!   functions of the generators and the replay contract, so they are
+//!   pinned near-exactly in `BENCH_micro_pr10.json`: a generator,
+//!   codec or submit-coalescing change that alters the request stream
+//!   moves them in integer steps.
+//! * `workload/replay/ns_per_req/{commerce,teamctx,tvtouch}-lineage` —
+//!   median wall time per replayed request, service rebuilt every
+//!   iteration (decode excluded, cold caches included). Smoke-only:
+//!   timings on the shared CI runner swing with machine load.
+
+use capra_bench::emit_gauge;
+use capra_core::persist::Workload;
+use capra_core::serve::{replay_workload, workload_service, ServiceConfig};
+use capra_core::LineageEngine;
+use std::time::Instant;
+
+/// Replay rounds per domain; the median round is reported.
+const ROUNDS: usize = 5;
+
+fn workloads() -> Vec<(&'static str, Workload)> {
+    vec![
+        (
+            "commerce",
+            capra_commerce::workload::build_workload(
+                capra_commerce::workload::WorkloadConfig::tiny(),
+            ),
+        ),
+        (
+            "teamctx",
+            capra_teamctx::workload::build_workload(capra_teamctx::workload::WorkloadConfig::tiny()),
+        ),
+        (
+            "tvtouch",
+            capra_tvtouch::workload::build_workload(capra_tvtouch::workload::WorkloadConfig::tiny()),
+        ),
+    ]
+}
+
+fn main() {
+    let mut total_requests = 0u64;
+    let mut total_docs = 0u64;
+    for (domain, workload) in workloads() {
+        // Round-trip through the codec first: the benched replay starts
+        // from decoded bytes, exactly like the CLI.
+        let decoded = Workload::decode(&workload.encode()).expect("self-encoded workload decodes");
+        let mut rounds = Vec::with_capacity(ROUNDS);
+        let mut hash = None;
+        for _ in 0..ROUNDS {
+            let service =
+                workload_service(LineageEngine::new(), ServiceConfig::default(), &decoded);
+            let start = Instant::now();
+            let report = replay_workload(&service, &decoded).expect("replay succeeds");
+            let elapsed = start.elapsed().as_secs_f64();
+            rounds.push(elapsed * 1e9 / report.requests as f64);
+            match hash {
+                None => {
+                    hash = Some(report.transcript_hash);
+                    total_requests += report.requests;
+                    total_docs += report.docs_ranked;
+                    assert_eq!(report.errors, 0, "{domain}: fixed workloads replay clean");
+                }
+                Some(h) => assert_eq!(h, report.transcript_hash, "{domain}: replay determinism"),
+            }
+        }
+        rounds.sort_by(|a, b| a.total_cmp(b));
+        let median = rounds[ROUNDS / 2];
+        println!("workload/replay/{domain}: {median:.0} ns/request (median of {ROUNDS})");
+        emit_gauge(
+            &format!("workload/replay/ns_per_req/{domain}-lineage"),
+            median,
+        );
+    }
+    // The deterministic accounting gauges the PR 10 baseline pins.
+    println!("workload/replay: {total_requests} requests, {total_docs} docs ranked");
+    emit_gauge("workload/replay/requests-replayed", total_requests as f64);
+    emit_gauge("workload/replay/docs-ranked", total_docs as f64);
+}

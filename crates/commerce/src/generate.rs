@@ -1,0 +1,291 @@
+//! The seeded synthetic commerce catalog and shopper population.
+//!
+//! Mirrors `capra_tvtouch::generate`: configurable cardinalities, one
+//! explicit seed, and *independent* uncertain features throughout — so
+//! every engine (including the strict factorized one) accepts the
+//! workload and measured differences stay purely algorithmic.
+//!
+//! The context dependence has the Ieong-et-al. flip shape: every
+//! shopper carries independent `GiftShopping` / `BargainHunting`
+//! leanings plus a brand loyalty, and the rule set pairs each with the
+//! features it *inverts* on (premium ↔ discounted, brand match).
+
+use capra_core::{Kb, PreferenceRule, RuleRepository, Score};
+use capra_dl::IndividualId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the synthetic commerce database.
+#[derive(Debug, Clone)]
+pub struct ShopConfig {
+    /// Number of shoppers.
+    pub shoppers: usize,
+    /// Number of products in the catalog.
+    pub products: usize,
+    /// Number of brands.
+    pub brands: usize,
+    /// Number of product categories.
+    pub categories: usize,
+    /// Probability a product carries the `Premium` tag (uncertain).
+    pub premium_rate: f64,
+    /// Probability a product carries the `Discounted` tag (uncertain).
+    pub discount_rate: f64,
+    /// RNG seed; same seed ⇒ identical database.
+    pub seed: u64,
+}
+
+impl Default for ShopConfig {
+    fn default() -> Self {
+        Self {
+            shoppers: 1000,
+            products: 400,
+            brands: 20,
+            categories: 12,
+            premium_rate: 0.3,
+            discount_rate: 0.35,
+            seed: 0xC0FF_EE00,
+        }
+    }
+}
+
+impl ShopConfig {
+    /// A scaled-down configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            shoppers: 16,
+            products: 12,
+            brands: 3,
+            categories: 2,
+            premium_rate: 0.5,
+            discount_rate: 0.5,
+            seed: 11,
+        }
+    }
+}
+
+/// The generated database and its entity handles.
+pub struct CommerceDb {
+    /// The knowledge base.
+    pub kb: Kb,
+    /// All shoppers (potential tenants).
+    pub shoppers: Vec<IndividualId>,
+    /// All products (the scoring candidates).
+    pub products: Vec<IndividualId>,
+    /// Brand individuals.
+    pub brands: Vec<IndividualId>,
+    /// Category individuals.
+    pub categories: Vec<IndividualId>,
+    /// The configuration used.
+    pub config: ShopConfig,
+}
+
+impl CommerceDb {
+    /// Number of ABox tuples (concept + role assertions).
+    pub fn num_tuples(&self) -> usize {
+        self.kb.abox.num_tuples()
+    }
+}
+
+/// Generates the database. Shopper `i`'s intent leanings are seeded
+/// independent booleans: `GiftShopping` with probability drawn from the
+/// RNG, `BargainHunting` likewise, plus `LoyalTo_<b>` for one favourite
+/// brand — all independent, so the strict factorized engine accepts any
+/// shopper's workload.
+pub fn generate(config: ShopConfig) -> CommerceDb {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut kb = Kb::new();
+
+    let brands: Vec<IndividualId> = (0..config.brands)
+        .map(|i| {
+            let b = kb.individual(&format!("Brand_{i}"));
+            kb.assert_concept(b, "Brand");
+            b
+        })
+        .collect();
+    let categories: Vec<IndividualId> = (0..config.categories)
+        .map(|i| {
+            let c = kb.individual(&format!("Category_{i}"));
+            kb.assert_concept(c, "Category");
+            c
+        })
+        .collect();
+
+    let products: Vec<IndividualId> = (0..config.products)
+        .map(|i| {
+            let p = kb.individual(&format!("Product_{i}"));
+            kb.assert_concept(p, "Product");
+            p
+        })
+        .collect();
+    for &p in &products {
+        // Catalog metadata: one brand, one category (certain facts).
+        let brand = brands[rng.gen_range(0..brands.len())];
+        kb.assert_role(p, "fromBrand", brand);
+        let category = categories[rng.gen_range(0..categories.len())];
+        kb.assert_role(p, "inCategory", category);
+        // Pricing tags are *inferred* (scraped listings, fluctuating
+        // sales), hence uncertain.
+        if rng.gen_bool(config.premium_rate) {
+            let certainty = rng.gen_range(0.6..=1.0);
+            kb.assert_concept_prob(p, "Premium", certainty)
+                .expect("valid probability");
+        }
+        if rng.gen_bool(config.discount_rate) {
+            let certainty = rng.gen_range(0.5..=1.0);
+            kb.assert_concept_prob(p, "Discounted", certainty)
+                .expect("valid probability");
+        }
+    }
+
+    let shoppers: Vec<IndividualId> = (0..config.shoppers)
+        .map(|i| {
+            let s = kb.individual(&format!("Shopper_{i}"));
+            kb.assert_concept(s, "Shopper");
+            s
+        })
+        .collect();
+    for &shopper in &shoppers {
+        kb.assert_concept_prob(shopper, "GiftShopping", rng.gen_range(0.05..=0.95))
+            .expect("valid probability");
+        kb.assert_concept_prob(shopper, "BargainHunting", rng.gen_range(0.05..=0.95))
+            .expect("valid probability");
+        let favourite = rng.gen_range(0..brands.len());
+        kb.assert_concept_prob(
+            shopper,
+            &format!("LoyalTo_{favourite}"),
+            rng.gen_range(0.3..=0.9),
+        )
+        .expect("valid probability");
+    }
+
+    CommerceDb {
+        kb,
+        shoppers,
+        products,
+        brands,
+        categories,
+        config,
+    }
+}
+
+/// The flip-shaped rule set over a generated database:
+///
+/// * `F-gift`: `GiftShopping → Product AND Premium`, σ = 0.9 — gift
+///   sessions pay up;
+/// * `F-bargain`: `BargainHunting → Product AND Discounted`, σ = 0.95
+///   — bargain sessions chase markdowns, so which tag a product carries
+///   flips its standing with the session;
+/// * `F-loyal-<b>`: `LoyalTo_<b> → Product AND ∃fromBrand.{Brand_<b>}`,
+///   σ = 0.85, one per brand.
+///
+/// Exactly one rule per context concept: the contexts here are
+/// *uncertain* (classifier leanings, unlike the fixed scenario's
+/// certain session context), and the strict factorized engine rejects
+/// an uncertain context variable shared by two rules as correlated —
+/// this shape keeps the generated workload acceptable to all four
+/// engines.
+pub fn flip_rules(db: &CommerceDb) -> RuleRepository {
+    let mut kb = db.kb.clone();
+    let mut rules = RuleRepository::new();
+    let mut add = |rules: &mut RuleRepository, name: String, ctx: &str, pref: &str, sigma: f64| {
+        rules
+            .add(PreferenceRule::new(
+                name,
+                kb.parse(ctx).expect("valid concept"),
+                kb.parse(pref).expect("valid concept"),
+                Score::new(sigma).expect("valid score"),
+            ))
+            .expect("unique name");
+    };
+    add(
+        &mut rules,
+        "F-gift".into(),
+        "GiftShopping",
+        "Product AND Premium",
+        0.9,
+    );
+    add(
+        &mut rules,
+        "F-bargain".into(),
+        "BargainHunting",
+        "Product AND Discounted",
+        0.95,
+    );
+    for b in 0..db.config.brands {
+        add(
+            &mut rules,
+            format!("F-loyal-{b}"),
+            &format!("LoyalTo_{b}"),
+            &format!("Product AND EXISTS fromBrand.{{Brand_{b}}}"),
+            0.85,
+        );
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capra_core::{FactorizedEngine, LineageEngine, NaiveEnumEngine, ScoringEngine, ScoringEnv};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(ShopConfig::tiny());
+        let b = generate(ShopConfig::tiny());
+        assert_eq!(a.num_tuples(), b.num_tuples());
+        let rules_a = flip_rules(&a);
+        let rules_b = flip_rules(&b);
+        let env_a = ScoringEnv {
+            kb: &a.kb,
+            rules: &rules_a,
+            user: a.shoppers[0],
+        };
+        let env_b = ScoringEnv {
+            kb: &b.kb,
+            rules: &rules_b,
+            user: b.shoppers[0],
+        };
+        let sa = FactorizedEngine::new()
+            .score_all(&env_a, &a.products)
+            .unwrap();
+        let sb = FactorizedEngine::new()
+            .score_all(&env_b, &b.products)
+            .unwrap();
+        for (x, y) in sa.iter().zip(&sb) {
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(ShopConfig::tiny());
+        let b = generate(ShopConfig {
+            seed: 12,
+            ..ShopConfig::tiny()
+        });
+        assert_ne!(a.num_tuples(), b.num_tuples());
+    }
+
+    #[test]
+    fn flip_rules_are_engine_compatible_and_discriminate() {
+        let db = generate(ShopConfig::tiny());
+        let rules = flip_rules(&db);
+        let env = ScoringEnv {
+            kb: &db.kb,
+            rules: &rules,
+            user: db.shoppers[0],
+        };
+        let docs = &db.products[..8.min(db.products.len())];
+        let fact = FactorizedEngine::new().score_all(&env, docs).unwrap();
+        let naive = NaiveEnumEngine::new().score_all(&env, docs).unwrap();
+        let lineage = LineageEngine::new().score_all(&env, docs).unwrap();
+        for i in 0..docs.len() {
+            assert!((fact[i].score - naive[i].score).abs() < 1e-9);
+            assert!((fact[i].score - lineage[i].score).abs() < 1e-9);
+            assert!(fact[i].score > 0.0 && fact[i].score <= 1.0);
+        }
+        let distinct: std::collections::BTreeSet<u64> =
+            fact.iter().map(|s| s.score.to_bits()).collect();
+        assert!(distinct.len() > 1, "tags must actually discriminate");
+    }
+}

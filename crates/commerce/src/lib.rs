@@ -1,0 +1,32 @@
+//! # capra-commerce — the commerce-search domain pack
+//!
+//! A second scenario domain beside TVTouch, after Ieong et al.
+//! (*Predicting Preference Flips in Commerce Search*): in commerce
+//! search the query context **inverts** preferences — a shopper hunting
+//! a gift values premium products and trusted brands, the same shopper
+//! hunting a bargain values discounts, and price/brand trade-offs flip
+//! accordingly. That exercises a shape of context dependence tvtouch
+//! never does: the *same* candidate set, the *same* rule repository, and
+//! a top-1 result that inverts purely because the session context
+//! changed.
+//!
+//! * [`scenario`] — a fixed, hand-derivable fixture (four products, three
+//!   rules, two session contexts) with the expected scores as constants,
+//!   paper-oracle style;
+//! * [`sensors`] — a query-intent classifier producing *correlated*
+//!   uncertain context (one choice variable over shopping intents);
+//! * [`generate`] — a seeded synthetic catalog + shopper population with
+//!   independent uncertain features (accepted by all four engines);
+//! * [`workload`] — a deterministic workload builder: interleaved intent
+//!   switches and rank requests serialized via
+//!   [`capra_core::persist::Workload`] for the `xtask` replay CLI.
+//!
+//! Everything is deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod scenario;
+pub mod sensors;
+pub mod workload;

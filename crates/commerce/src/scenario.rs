@@ -1,0 +1,247 @@
+//! The fixed commerce fixture: four products, three rules, and two
+//! session contexts whose top-1 results invert — with every expected
+//! score hand-derivable, paper-oracle style.
+//!
+//! ## The catalog
+//!
+//! | Product | Premium | Discounted | fromBrand Luxe |
+//! |---------|---------|------------|----------------|
+//! | Silk scarf | 0.9 | — | 1.0 (certain) |
+//! | Discount blender | — | 0.95 | — |
+//! | Mid-range headphones | 0.5 | 0.6 | — |
+//! | Plain socks | — | — | — |
+//!
+//! ## The rules
+//!
+//! * `R-gift-premium`: `GiftShopping → Product AND Premium`, σ = 0.9
+//! * `R-gift-brand`: `GiftShopping → Product AND ∃fromBrand.{Luxe}`, σ = 0.8
+//! * `R-bargain`: `BargainHunting → Product AND Discounted`, σ = 0.95
+//!
+//! ## The hand derivation
+//!
+//! Each applicable rule contributes the factor
+//! `P(feature)·σ + (1 − P(feature))·(1 − σ)`; a rule whose context does
+//! not hold contributes 1. Under a certain **gift** context the scarf
+//! scores `(0.9·0.9 + 0.1·0.1) · (1.0·0.8) = 0.82 · 0.8 = 0.656` and
+//! tops the ranking; under a certain **bargain** context it scores only
+//! `1 − 0.95 = 0.05` while the blender's
+//! `0.95·0.95 + 0.05·0.05 = 0.905` wins — the preference flip.
+
+use capra_core::{Kb, PreferenceRule, RuleRepository, Score, ScoringEnv};
+use capra_dl::IndividualId;
+
+/// Which session context the shopper is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intent {
+    /// Gift shopping: premium products and the trusted brand win.
+    Gift,
+    /// Bargain hunting: discounted products win.
+    Bargain,
+}
+
+/// The fixed fixture: KB, rules, the shopper, and the four products in
+/// [`PRODUCT_NAMES`] order.
+pub struct CommerceScenario {
+    /// Knowledge base with the shopper's session context and the
+    /// products' uncertain features.
+    pub kb: Kb,
+    /// The three preference rules (shared across both contexts — only
+    /// the asserted context differs).
+    pub rules: RuleRepository,
+    /// The situated shopper.
+    pub shopper: IndividualId,
+    /// The four products, in [`PRODUCT_NAMES`] order.
+    pub products: Vec<IndividualId>,
+}
+
+impl CommerceScenario {
+    /// A scoring environment over this scenario.
+    pub fn env(&self) -> ScoringEnv<'_> {
+        ScoringEnv {
+            kb: &self.kb,
+            rules: &self.rules,
+            user: self.shopper,
+        }
+    }
+}
+
+/// The products, in score-table order.
+pub const PRODUCT_NAMES: [&str; 4] = [
+    "Silk scarf",
+    "Discount blender",
+    "Mid-range headphones",
+    "Plain socks",
+];
+
+/// Hand-computed expected scores under a certain *gift* context, in
+/// [`PRODUCT_NAMES`] order:
+///
+/// * scarf: `(0.9·0.9 + 0.1·0.1) · 0.8 = 0.82 · 0.8 = 0.656`
+/// * blender: `0.1 · 0.2 = 0.02`
+/// * headphones: `(0.5·0.9 + 0.5·0.1) · 0.2 = 0.5 · 0.2 = 0.1`
+/// * socks: `0.1 · 0.2 = 0.02`
+pub const GIFT_EXPECTED_SCORES: [(&str, f64); 4] = [
+    ("Silk scarf", 0.656),
+    ("Discount blender", 0.02),
+    ("Mid-range headphones", 0.1),
+    ("Plain socks", 0.02),
+];
+
+/// Hand-computed expected scores under a certain *bargain* context, in
+/// [`PRODUCT_NAMES`] order:
+///
+/// * scarf: `1 − 0.95 = 0.05`
+/// * blender: `0.95·0.95 + 0.05·0.05 = 0.905`
+/// * headphones: `0.6·0.95 + 0.4·0.05 = 0.59`
+/// * socks: `0.05`
+pub const BARGAIN_EXPECTED_SCORES: [(&str, f64); 4] = [
+    ("Silk scarf", 0.05),
+    ("Discount blender", 0.905),
+    ("Mid-range headphones", 0.59),
+    ("Plain socks", 0.05),
+];
+
+/// The top product under each context — the flip the oracle tests pin.
+pub const GIFT_TOP: &str = "Silk scarf";
+/// See [`GIFT_TOP`].
+pub const BARGAIN_TOP: &str = "Discount blender";
+
+/// Builds the catalog and rules *without* any session context asserted
+/// — the state a serving flow starts from before the first intent event
+/// arrives (every product then scores 1: no applicable rule).
+pub fn catalog_scenario() -> CommerceScenario {
+    let mut kb = Kb::new();
+    let shopper = kb.individual("Dana");
+
+    let scarf = kb.individual("Silk scarf");
+    let blender = kb.individual("Discount blender");
+    let headphones = kb.individual("Mid-range headphones");
+    let socks = kb.individual("Plain socks");
+    let luxe = kb.individual("Luxe");
+    for product in [scarf, blender, headphones, socks] {
+        kb.assert_concept(product, "Product");
+    }
+    kb.assert_concept_prob(scarf, "Premium", 0.9)
+        .expect("valid probability");
+    kb.assert_role(scarf, "fromBrand", luxe); // probability 1.0
+    kb.assert_concept_prob(blender, "Discounted", 0.95)
+        .expect("valid probability");
+    kb.assert_concept_prob(headphones, "Premium", 0.5)
+        .expect("valid probability");
+    kb.assert_concept_prob(headphones, "Discounted", 0.6)
+        .expect("valid probability");
+
+    let mut rules = RuleRepository::new();
+    rules
+        .add(PreferenceRule::new(
+            "R-gift-premium",
+            kb.parse("GiftShopping").expect("valid concept"),
+            kb.parse("Product AND Premium").expect("valid concept"),
+            Score::new(0.9).expect("valid score"),
+        ))
+        .expect("unique name");
+    rules
+        .add(PreferenceRule::new(
+            "R-gift-brand",
+            kb.parse("GiftShopping").expect("valid concept"),
+            kb.parse("Product AND EXISTS fromBrand.{Luxe}")
+                .expect("valid concept"),
+            Score::new(0.8).expect("valid score"),
+        ))
+        .expect("unique name");
+    rules
+        .add(PreferenceRule::new(
+            "R-bargain",
+            kb.parse("BargainHunting").expect("valid concept"),
+            kb.parse("Product AND Discounted").expect("valid concept"),
+            Score::new(0.95).expect("valid score"),
+        ))
+        .expect("unique name");
+
+    CommerceScenario {
+        kb,
+        rules,
+        shopper,
+        products: vec![scarf, blender, headphones, socks],
+    }
+}
+
+/// Builds the fixture with a *certain* session context asserted (the
+/// two-column score table in the module docs).
+pub fn scenario(intent: Intent) -> CommerceScenario {
+    let mut s = catalog_scenario();
+    let concept = match intent {
+        Intent::Gift => "GiftShopping",
+        Intent::Bargain => "BargainHunting",
+    };
+    s.kb.assert_concept(s.shopper, concept);
+    s
+}
+
+/// The expected score table for `intent`, in [`PRODUCT_NAMES`] order.
+pub fn expected_scores(intent: Intent) -> [(&'static str, f64); 4] {
+    match intent {
+        Intent::Gift => GIFT_EXPECTED_SCORES,
+        Intent::Bargain => BARGAIN_EXPECTED_SCORES,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capra_core::{
+        rank, FactorizedEngine, LineageEngine, NaiveEnumEngine, NaiveViewEngine, ScoringEngine,
+    };
+
+    fn engines() -> Vec<Box<dyn ScoringEngine>> {
+        vec![
+            Box::new(NaiveViewEngine::new()),
+            Box::new(NaiveEnumEngine::new()),
+            Box::new(FactorizedEngine::new()),
+            Box::new(LineageEngine::new()),
+        ]
+    }
+
+    #[test]
+    fn hand_derived_scores_on_every_engine_both_contexts() {
+        for intent in [Intent::Gift, Intent::Bargain] {
+            let s = scenario(intent);
+            let env = s.env();
+            for engine in engines() {
+                let scores = engine.score_all(&env, &s.products).unwrap();
+                for (score, (name, expected)) in scores.iter().zip(expected_scores(intent)) {
+                    assert!(
+                        (score.score - expected).abs() < 1e-12,
+                        "{} under {intent:?}: {name} = {} (expected {expected})",
+                        engine.name(),
+                        score.score
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_1_flips_between_contexts() {
+        for (intent, expected_top) in [(Intent::Gift, GIFT_TOP), (Intent::Bargain, BARGAIN_TOP)] {
+            let s = scenario(intent);
+            let ranked = rank(
+                FactorizedEngine::new()
+                    .score_all(&s.env(), &s.products)
+                    .unwrap(),
+            );
+            assert_eq!(s.kb.voc.individual_name(ranked[0].doc), expected_top);
+        }
+    }
+
+    #[test]
+    fn empty_context_scores_one_everywhere() {
+        let s = catalog_scenario();
+        let scores = LineageEngine::new()
+            .score_all(&s.env(), &s.products)
+            .unwrap();
+        for score in scores {
+            assert!((score.score - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The query-intent classifier: correlated uncertain session context.
+//!
+//! A real commerce front-end infers the shopper's intent from the query
+//! stream ("gift wrap" vs. "cheapest" vs. a brand name) — a *classifier
+//! posterior* over mutually exclusive intents, exactly the correlated
+//! shape tvtouch's location sensor has: one choice variable, one
+//! alternative per intent. The produced context is deliberately
+//! correlated, making it a lineage-engine workload (the strict
+//! factorized engine rejects it); the [`crate::generate`] population
+//! uses independent intent booleans instead so every engine accepts it.
+
+use capra_core::Kb;
+use capra_dl::IndividualId;
+use capra_events::Result as EventResult;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The intent labels, in the classifier's output order.
+pub const INTENTS: [&str; 3] = ["GiftShopping", "BargainHunting", "BrandLoyal"];
+
+/// A classifier posterior over the [`INTENTS`].
+#[derive(Debug, Clone)]
+pub struct IntentReading {
+    /// `P(intent_i)`, in [`INTENTS`] order; sums to ≤ 1 (remainder =
+    /// "undecided").
+    pub distribution: Vec<f64>,
+}
+
+impl IntentReading {
+    /// Draws a plausible posterior from a seeded RNG: confident about
+    /// one intent, remainder spread over the others.
+    pub fn simulate(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let favourite = rng.gen_range(0..INTENTS.len());
+        let confidence = rng.gen_range(0.6..0.95);
+        let rest = (1.0 - confidence) / (INTENTS.len() as f64);
+        Self {
+            distribution: (0..INTENTS.len())
+                .map(|i| if i == favourite { confidence } else { rest })
+                .collect(),
+        }
+    }
+}
+
+/// Asserts an intent posterior into the KB as *correlated* uncertain
+/// context for `shopper`: one choice variable, one concept assertion per
+/// intent backed by that variable's atoms — the intents are mutually
+/// exclusive by construction.
+///
+/// `label` disambiguates the classifier variables when several readings
+/// are applied over a session (each query refines the posterior).
+pub fn apply_intent(
+    kb: &mut Kb,
+    shopper: IndividualId,
+    reading: &IntentReading,
+    label: &str,
+) -> EventResult<()> {
+    assert_eq!(reading.distribution.len(), INTENTS.len());
+    let var = kb
+        .universe
+        .add_choice(&format!("intent:{label}"), &reading.distribution)?;
+    for (i, intent) in INTENTS.iter().enumerate() {
+        let event = kb.universe.atom(var, i as u16)?;
+        kb.assert_concept_event(shopper, intent, event);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capra_events::Evaluator;
+
+    #[test]
+    fn reading_simulation_is_deterministic_and_normalised() {
+        let a = IntentReading::simulate(7);
+        let b = IntentReading::simulate(7);
+        assert_eq!(a.distribution, b.distribution);
+        let sum: f64 = a.distribution.iter().sum();
+        assert!(sum <= 1.0 + 1e-9);
+        assert!(a.distribution.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn intents_are_mutually_exclusive() {
+        let mut kb = Kb::new();
+        let shopper = kb.individual("dana");
+        let reading = IntentReading {
+            distribution: vec![0.7, 0.2, 0.1],
+        };
+        apply_intent(&mut kb, shopper, &reading, "q0").unwrap();
+        let both = kb.parse("GiftShopping AND BargainHunting").unwrap();
+        let any = kb
+            .parse("GiftShopping OR BargainHunting OR BrandLoyal")
+            .unwrap();
+        let mut ev = Evaluator::new(&kb.universe);
+        let e = kb.reasoner().membership(shopper, &both);
+        assert_eq!(ev.prob(&e), 0.0, "one query, one intent");
+        let e = kb.reasoner().membership(shopper, &any);
+        assert!((ev.prob(&e) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_readings_need_distinct_labels() {
+        let mut kb = Kb::new();
+        let shopper = kb.individual("dana");
+        let reading = IntentReading::simulate(1);
+        apply_intent(&mut kb, shopper, &reading, "q0").unwrap();
+        assert!(apply_intent(&mut kb, shopper, &reading, "q0").is_err());
+        apply_intent(&mut kb, shopper, &reading, "q1").unwrap();
+    }
+}

@@ -1,0 +1,145 @@
+//! Deterministic commerce workload builder for the `xtask` replay CLI.
+//!
+//! Builds a [`Workload`]: the generated catalog as the initial KB, the
+//! flip rule set, and an interleaved request stream in which shoppers'
+//! intents churn (re-asserted `ConceptProb` context events) between
+//! rank requests. Same config ⇒ byte-identical file, which is the
+//! property the replay-determinism CI check rests on.
+
+use crate::generate::{flip_rules, generate, ShopConfig};
+use capra_core::persist::{Workload, WorkloadFact, WorkloadMeta, WorkloadRecord};
+use capra_core::Kb;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the request stream layered over a [`ShopConfig`].
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// The catalog/population to generate first.
+    pub shop: ShopConfig,
+    /// Number of rank requests.
+    pub requests: usize,
+    /// Candidate documents per rank request.
+    pub docs_per_request: usize,
+    /// Top-k per request.
+    pub k: u32,
+    /// Probability a request is preceded by an intent-churn context
+    /// event (the shopper's classifier posterior shifted).
+    pub churn: f64,
+    /// Seed for the request stream (independent of the catalog seed).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            shop: ShopConfig::default(),
+            requests: 200,
+            docs_per_request: 32,
+            k: 10,
+            churn: 0.3,
+            seed: 0xBA5E,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A scaled-down configuration for fast unit tests and CI.
+    pub fn tiny() -> Self {
+        Self {
+            shop: ShopConfig::tiny(),
+            requests: 24,
+            docs_per_request: 6,
+            k: 3,
+            churn: 0.4,
+            seed: 5,
+        }
+    }
+}
+
+/// Builds the deterministic workload. Identities are carried by name
+/// (the replay side re-interns them), so the file is portable across
+/// processes.
+pub fn build_workload(config: WorkloadConfig) -> Workload {
+    let db = generate(config.shop.clone());
+    let rules = flip_rules(&db);
+    let name = |kb: &Kb, id| kb.voc.individual_name(id).to_string();
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut records = Vec::with_capacity(config.requests * 2);
+    for _ in 0..config.requests {
+        let shopper = db.shoppers[rng.gen_range(0..db.shoppers.len())];
+        if rng.gen_bool(config.churn) {
+            let concept = if rng.gen_bool(0.5) {
+                "GiftShopping"
+            } else {
+                "BargainHunting"
+            };
+            records.push(WorkloadRecord::Assert {
+                subject: name(&db.kb, shopper),
+                fact: WorkloadFact::ConceptProb(concept.into(), rng.gen_range(0.05..=0.95)),
+            });
+        }
+        let docs: Vec<String> = (0..config.docs_per_request)
+            .map(|_| name(&db.kb, db.products[rng.gen_range(0..db.products.len())]))
+            .collect();
+        records.push(WorkloadRecord::Rank {
+            user: name(&db.kb, shopper),
+            docs,
+            k: config.k,
+        });
+    }
+
+    Workload {
+        meta: WorkloadMeta {
+            domain: "commerce".into(),
+            seed: config.seed,
+            comment: format!(
+                "shoppers={} products={} requests={} churn={}",
+                config.shop.shoppers, config.shop.products, config.requests, config.churn
+            ),
+        },
+        kb: db.kb,
+        rules,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capra_core::serve::{replay_workload, workload_service, ServiceConfig};
+    use capra_core::FactorizedEngine;
+
+    #[test]
+    fn same_config_same_bytes() {
+        let a = build_workload(WorkloadConfig::tiny());
+        let b = build_workload(WorkloadConfig::tiny());
+        assert_eq!(a.encode(), b.encode());
+        assert_eq!(a.file_digest(), b.file_digest());
+    }
+
+    #[test]
+    fn different_stream_seed_different_bytes() {
+        let a = build_workload(WorkloadConfig::tiny());
+        let b = build_workload(WorkloadConfig {
+            seed: 6,
+            ..WorkloadConfig::tiny()
+        });
+        assert_ne!(a.file_digest(), b.file_digest());
+    }
+
+    #[test]
+    fn replays_deterministically() {
+        let w = build_workload(WorkloadConfig::tiny());
+        let run = |w: &Workload| {
+            let svc = workload_service(FactorizedEngine::new(), ServiceConfig::default(), w);
+            replay_workload(&svc, w).unwrap()
+        };
+        let a = run(&w);
+        let b = run(&w);
+        assert_eq!(a.transcript_hash, b.transcript_hash);
+        assert_eq!(a.errors, 0, "commerce workloads are engine-clean");
+        assert_eq!(a.ranks as usize, w.rank_records());
+    }
+}

@@ -103,12 +103,16 @@ pub use explain::{explain, Explanation, RuleContribution};
 pub use history::{Episode, HistoryLog, MinedRule, Offer};
 pub use kb::Kb;
 pub use multiuser::{group_scores, score_group, GroupStrategy};
-pub use persist::{CompactionPolicy, FlushPolicy, PersistError, WalStats};
+pub use persist::{
+    CompactionPolicy, FlushPolicy, PersistError, WalStats, Workload, WorkloadFact, WorkloadMeta,
+    WorkloadRecord,
+};
 pub use repository::RuleRepository;
 pub use rule::{PreferenceRule, Score};
 pub use serve::{
-    QueueConfig, QueueStats, RankingService, ReplicaService, ReplicaStats, ServiceConfig,
-    ServiceHandle, ServiceQueue, ServiceStats, SharedSnapshot, Ticket,
+    replay_workload, workload_service, QueueConfig, QueueStats, RankingService, ReplayReport,
+    ReplicaService, ReplicaStats, ServiceConfig, ServiceHandle, ServiceQueue, ServiceStats,
+    SharedSnapshot, Ticket,
 };
 pub use session::{BindingCache, CacheStats, ScoringSession, SessionStats};
 pub use smoothing::{blend, QueryRelevance, Smoothing};

@@ -34,10 +34,12 @@ pub(crate) mod codec;
 pub(crate) mod compact;
 pub(crate) mod snapshot;
 pub(crate) mod wal;
+pub mod workload;
 
 pub use compact::CompactionPolicy;
 pub use snapshot::{decode_kb, decode_rules, encode_kb, encode_rules};
 pub use wal::{FlushPolicy, WalStats};
+pub use workload::{digest, Fnv64, Workload, WorkloadFact, WorkloadMeta, WorkloadRecord};
 
 /// Errors raised by the persistence layer (snapshot and WAL encode/decode).
 #[derive(Debug, Clone, PartialEq)]

@@ -71,12 +71,14 @@
 //! the stack and a request-time walkthrough.
 
 mod queue;
+mod replay;
 mod replica;
 mod request;
 mod service;
 mod tenants;
 
 pub use queue::{QueueConfig, QueueStats, ServiceHandle, ServiceQueue, Ticket};
+pub use replay::{replay_workload, workload_service, ReplayReport};
 pub use replica::{ReplicaService, ReplicaStats};
 pub use request::{Fact, Request, Response};
 pub use service::{RankingService, ServiceConfig, ServiceStats, SharedSnapshot};

@@ -1,0 +1,258 @@
+//! Deterministic workload replay: drive a [`RankingService`] with a
+//! [`Workload`] file and hash the resulting ranking transcript.
+//!
+//! ## Determinism contract
+//!
+//! Replaying the same workload file against a freshly built service —
+//! same engine, any cache/eviction configuration — produces a
+//! **bit-identical transcript**: every response, in file order, with
+//! every score at the exact same bits. That holds because
+//!
+//! * records are applied strictly in file order on one thread of
+//!   control ([`RankingService::submit`] preserves request order and
+//!   asserts act as epoch barriers),
+//! * individual names resolve in a deterministic first-occurrence
+//!   order, so the interned handle order is a pure function of the file,
+//! * service caches and eviction never change a score, only who pays to
+//!   derive it (property-tested in `tests/serve_consistency.rs` and
+//!   `tests/eviction_bounded.rs`).
+//!
+//! The transcript is summarized as an FNV-1a hash over (record tag,
+//! document *names*, score bits, error text) — stable across processes,
+//! so `generate && replay && replay` diffing equal hashes is a CI-able
+//! guard (`tests/workload_replay.rs` and the `xtask` CLI both lean on
+//! it).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use capra_dl::IndividualId;
+
+use crate::engines::ScoringEngine;
+use crate::persist::workload::{Fnv64, Workload, WorkloadFact, WorkloadRecord};
+use crate::serve::request::{Fact, Request, Response};
+use crate::serve::service::{RankingService, ServiceConfig};
+use crate::Result;
+
+/// Records submitted per [`RankingService::submit`] batch during replay.
+/// Purely a memory bound: submission is in-order and asserts are batch
+/// barriers anyway, so the chunk size never changes the transcript.
+const REPLAY_CHUNK: usize = 256;
+
+/// Builds a service primed with a workload's initial KB and rules —
+/// the canonical "replay target" constructor. The workload keeps its
+/// own copies; the clone gets a fresh KB identity so no cache state can
+/// leak between services built from one workload.
+pub fn workload_service<E: ScoringEngine + Sync>(
+    engine: E,
+    config: ServiceConfig,
+    workload: &Workload,
+) -> RankingService<E> {
+    RankingService::with_config(engine, workload.kb.clone(), workload.rules.clone(), config)
+}
+
+/// The outcome of one replay: request accounting plus the transcript
+/// hash (see the `serve::replay` module docs for what the hash covers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayReport {
+    /// FNV-1a 64 over the full response transcript.
+    pub transcript_hash: u64,
+    /// Total records replayed.
+    pub requests: u64,
+    /// Single-user rank requests.
+    pub ranks: u64,
+    /// Group rank requests.
+    pub group_ranks: u64,
+    /// Context events applied.
+    pub asserts: u64,
+    /// Requests that returned an error (errors are part of the
+    /// transcript — a deterministic rejection hashes identically too).
+    pub errors: u64,
+    /// Total ranked documents returned across all rank responses.
+    pub docs_ranked: u64,
+}
+
+impl fmt::Display for ReplayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transcript {:#018x}: {} requests ({} rank, {} group, {} assert), \
+             {} docs ranked, {} errors",
+            self.transcript_hash,
+            self.requests,
+            self.ranks,
+            self.group_ranks,
+            self.asserts,
+            self.docs_ranked,
+            self.errors
+        )
+    }
+}
+
+/// Replays `workload` against `service`, in file order, and returns the
+/// transcript report.
+///
+/// The service is normally one built by [`workload_service`] (or a
+/// durable/replica restore of the same state); names absent from the
+/// service's KB are registered on the fly in first-occurrence order, so
+/// replay is total — it never fails on an unknown name, and per-request
+/// errors are recorded in the transcript instead of aborting the run.
+///
+/// ```
+/// use capra_core::persist::{Workload, WorkloadMeta, WorkloadRecord};
+/// use capra_core::serve::{replay_workload, workload_service};
+/// use capra_core::{FactorizedEngine, Kb, PreferenceRule, RuleRepository, Score};
+///
+/// let mut kb = Kb::new();
+/// let u = kb.individual("u");
+/// let d = kb.individual("d");
+/// kb.assert_concept_prob(u, "Ctx", 0.7).unwrap();
+/// kb.assert_concept_prob(d, "Feat", 0.9).unwrap();
+/// let mut rules = RuleRepository::new();
+/// rules.add(PreferenceRule::new(
+///     "R", kb.parse("Ctx").unwrap(), kb.parse("Feat").unwrap(),
+///     Score::new(0.8).unwrap(),
+/// )).unwrap();
+/// let w = Workload {
+///     meta: WorkloadMeta::default(),
+///     kb,
+///     rules,
+///     records: vec![WorkloadRecord::Rank { user: "u".into(), docs: vec!["d".into()], k: 1 }],
+/// };
+///
+/// let a = replay_workload(&workload_service(FactorizedEngine::new(), Default::default(), &w), &w).unwrap();
+/// let b = replay_workload(&workload_service(FactorizedEngine::new(), Default::default(), &w), &w).unwrap();
+/// assert_eq!(a.transcript_hash, b.transcript_hash); // bit-identical replays
+/// ```
+pub fn replay_workload<E: ScoringEngine + Sync>(
+    service: &RankingService<E>,
+    workload: &Workload,
+) -> Result<ReplayReport> {
+    // Resolve every name once, in deterministic first-occurrence order.
+    // Registration order is part of the determinism contract (it fixes
+    // the interned handle order), which is why resolution is hoisted out
+    // of the request loop instead of interleaved with it.
+    let mut ids: HashMap<&str, IndividualId> = HashMap::new();
+    for record in &workload.records {
+        match record {
+            WorkloadRecord::Assert { subject, fact } => {
+                resolve(service, &mut ids, subject);
+                if let WorkloadFact::Role(_, object) | WorkloadFact::RoleProb(_, object, _) = fact {
+                    resolve(service, &mut ids, object);
+                }
+            }
+            WorkloadRecord::Rank { user, docs, .. } => {
+                resolve(service, &mut ids, user);
+                for doc in docs {
+                    resolve(service, &mut ids, doc);
+                }
+            }
+            WorkloadRecord::RankGroup { users, docs, .. } => {
+                for user in users {
+                    resolve(service, &mut ids, user);
+                }
+                for doc in docs {
+                    resolve(service, &mut ids, doc);
+                }
+            }
+        }
+    }
+    // All names are registered now; this snapshot's vocabulary covers
+    // every id the transcript will mention.
+    let kb = service.kb();
+
+    let mut report = ReplayReport::default();
+    let mut hasher = Fnv64::new();
+    for chunk in workload.records.chunks(REPLAY_CHUNK) {
+        let requests: Vec<Request> = chunk.iter().map(|r| to_request(r, &ids)).collect();
+        for (record, outcome) in chunk.iter().zip(service.submit(requests)) {
+            report.requests += 1;
+            match record {
+                WorkloadRecord::Assert { .. } => {
+                    report.asserts += 1;
+                    hasher.update(b"A");
+                }
+                WorkloadRecord::Rank { .. } => {
+                    report.ranks += 1;
+                    hasher.update(b"R");
+                }
+                WorkloadRecord::RankGroup { .. } => {
+                    report.group_ranks += 1;
+                    hasher.update(b"G");
+                }
+            }
+            match outcome {
+                Ok(Response::Asserted) => hasher.update(b"ok"),
+                Ok(Response::Ranked(scores)) => {
+                    hasher.update_u64(scores.len() as u64);
+                    report.docs_ranked += scores.len() as u64;
+                    for s in &scores {
+                        let name = kb.voc.individual_name(s.doc);
+                        hasher.update_u64(name.len() as u64);
+                        hasher.update(name.as_bytes());
+                        hasher.update_u64(s.score.to_bits());
+                    }
+                }
+                Err(e) => {
+                    report.errors += 1;
+                    let text = e.to_string();
+                    hasher.update(b"E");
+                    hasher.update_u64(text.len() as u64);
+                    hasher.update(text.as_bytes());
+                }
+            }
+        }
+    }
+    report.transcript_hash = hasher.finish();
+    Ok(report)
+}
+
+/// Registers `name` with the service on first sight and records its id.
+/// Registration goes through [`RankingService::individual`], which is a
+/// no-op (and epoch-neutral) for names the KB already knows.
+fn resolve<'w, E: ScoringEngine + Sync>(
+    service: &RankingService<E>,
+    ids: &mut HashMap<&'w str, IndividualId>,
+    name: &'w str,
+) {
+    if !ids.contains_key(name) {
+        let id = service.individual(name);
+        ids.insert(name, id);
+    }
+}
+
+/// Translates a name-carrying workload record into a service request,
+/// using the pre-resolved id map (every name is present — resolution
+/// walked the same records).
+fn to_request(record: &WorkloadRecord, ids: &HashMap<&str, IndividualId>) -> Request {
+    let id = |name: &str| ids[name];
+    match record {
+        WorkloadRecord::Assert { subject, fact } => Request::Assert {
+            subject: id(subject),
+            fact: match fact {
+                WorkloadFact::Concept(c) => Fact::Concept(c.clone()),
+                WorkloadFact::ConceptProb(c, p) => Fact::ConceptProb(c.clone(), *p),
+                WorkloadFact::Role(role, object) => Fact::Role(role.clone(), id(object)),
+                WorkloadFact::RoleProb(role, object, p) => {
+                    Fact::RoleProb(role.clone(), id(object), *p)
+                }
+            },
+        },
+        WorkloadRecord::Rank { user, docs, k } => Request::Rank {
+            user: id(user),
+            docs: docs.iter().map(|d| id(d.as_str())).collect(),
+            k: *k as usize,
+        },
+        WorkloadRecord::RankGroup {
+            users,
+            docs,
+            k,
+            strategy,
+        } => Request::RankGroup {
+            users: users.iter().map(|u| id(u.as_str())).collect(),
+            docs: docs.iter().map(|d| id(d.as_str())).collect(),
+            k: *k as usize,
+            strategy: strategy.clone(),
+        },
+    }
+}

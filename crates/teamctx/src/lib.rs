@@ -1,0 +1,29 @@
+//! # capra-teamctx — the group-context domain pack
+//!
+//! The paper's motivating scenario is a *group* watching TV together:
+//! the ideal program is the one whose probability of being ideal is
+//! highest **for the group**, not for any single member. This pack
+//! exercises that joint-selection surface
+//! ([`capra_core::serve::RankingService::rank_group`] and every
+//! [`capra_core::GroupStrategy`]) with members whose context-activated
+//! preferences *conflict* — so the strategies genuinely disagree about
+//! the winner, not just about the margins.
+//!
+//! * [`scenario`] — a fixed, hand-derivable fixture: three members in
+//!   three moods, three movies, and a per-member score matrix from which
+//!   every group strategy's expected scores (and their diverging top-1
+//!   picks) follow by hand;
+//! * [`generate`] — a seeded synthetic population of teams, members with
+//!   independent uncertain moods, and a genre-tagged catalog;
+//! * [`workload`] — a deterministic [`capra_core::persist::Workload`]
+//!   builder interleaving mood churn with `RankGroup` requests across
+//!   all strategies, for the `xtask` replay CLI.
+//!
+//! Everything is deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod scenario;
+pub mod workload;

@@ -1,0 +1,223 @@
+//! The fixed group fixture: three members in conflicting moods, three
+//! movies, and hand-derivable group rankings that *diverge by strategy*.
+//!
+//! ## The catalog and moods
+//!
+//! | Movie | Action | Romance | Docu |
+//! |-------|--------|---------|------|
+//! | Action Blast | 0.9 | — | — |
+//! | Rom Com | — | 0.8 | 0.5 |
+//! | Documentary | — | — | 0.7 |
+//!
+//! Members: `alice` (certain `MoodAction`), `bob` (certain
+//! `MoodRomance`), `carol` (certain `MoodDocu`). Rules: mood →
+//! matching genre, σ = 0.9 / 0.85 / 0.8 respectively.
+//!
+//! ## The hand derivation
+//!
+//! Each member has exactly one applicable rule, so their score for a
+//! movie is `P(genre)·σ + (1 − P(genre))·(1 − σ)`; the per-member
+//! matrix is [`PER_MEMBER_EXPECTED`]. Combining it:
+//!
+//! * **Product** / **average** pick *Rom Com* (broad mild appeal: it is
+//!   nobody's last choice),
+//! * **least misery** and **most pleasure** pick *Action Blast*
+//!   (carried entirely by alice's 0.82 — misery-wise the strategies tie
+//!   elsewhere at 0.10, pleasure-wise nothing beats her enthusiasm),
+//! * a **weighted average** favouring alice (0.6/0.2/0.2) also flips to
+//!   *Action Blast*.
+//!
+//! The same matrix, four different winners' rationales — the
+//! group-strategy divergence the oracle tests pin.
+
+use capra_core::{GroupStrategy, Kb, PreferenceRule, RuleRepository, Score, ScoringEnv};
+use capra_dl::IndividualId;
+
+/// The movies, in score-matrix order.
+pub const MOVIE_NAMES: [&str; 3] = ["Action Blast", "Rom Com", "Documentary"];
+
+/// The members, in score-matrix order.
+pub const MEMBER_NAMES: [&str; 3] = ["alice", "bob", "carol"];
+
+/// Hand-computed per-member scores, `[member][movie]` in
+/// [`MEMBER_NAMES`] × [`MOVIE_NAMES`] order:
+///
+/// * alice (σ 0.9): `0.9·0.9 + 0.1·0.1 = 0.82`, else `0.1`
+/// * bob (σ 0.85): `0.8·0.85 + 0.2·0.15 = 0.71`, else `0.15`
+/// * carol (σ 0.8): Rom Com `0.5·0.8 + 0.5·0.2 = 0.5`, Documentary
+///   `0.7·0.8 + 0.3·0.2 = 0.62`, else `0.2`
+pub const PER_MEMBER_EXPECTED: [[f64; 3]; 3] =
+    [[0.82, 0.1, 0.1], [0.15, 0.71, 0.15], [0.2, 0.5, 0.62]];
+
+/// Expected top movie per strategy (see the module docs): consensus
+/// strategies pick *Rom Com*, extremal and alice-weighted strategies
+/// pick *Action Blast*.
+pub const PRODUCT_TOP: &str = "Rom Com";
+/// See [`PRODUCT_TOP`].
+pub const AVERAGE_TOP: &str = "Rom Com";
+/// See [`PRODUCT_TOP`].
+pub const LEAST_MISERY_TOP: &str = "Action Blast";
+/// See [`PRODUCT_TOP`].
+pub const MOST_PLEASURE_TOP: &str = "Action Blast";
+/// See [`PRODUCT_TOP`] — the weights are [`ALICE_HEAVY_WEIGHTS`].
+pub const WEIGHTED_TOP: &str = "Action Blast";
+
+/// Weights that let alice dominate the weighted average.
+pub const ALICE_HEAVY_WEIGHTS: [f64; 3] = [0.6, 0.2, 0.2];
+
+/// Expected group scores for `strategy`, in [`MOVIE_NAMES`] order,
+/// computed from [`PER_MEMBER_EXPECTED`] with the same arithmetic as
+/// [`capra_core::group_scores`].
+pub fn expected_group_scores(strategy: &GroupStrategy) -> [f64; 3] {
+    let mut out = [0.0; 3];
+    for (m, slot) in out.iter_mut().enumerate() {
+        let values = [
+            PER_MEMBER_EXPECTED[0][m],
+            PER_MEMBER_EXPECTED[1][m],
+            PER_MEMBER_EXPECTED[2][m],
+        ];
+        *slot = match strategy {
+            GroupStrategy::Product => values.iter().product(),
+            GroupStrategy::WeightedAverage(w) => {
+                let total: f64 = w.iter().sum();
+                values.iter().zip(w).map(|(v, wi)| v * wi).sum::<f64>() / total
+            }
+            GroupStrategy::LeastMisery => values.iter().copied().fold(f64::INFINITY, f64::min),
+            GroupStrategy::MostPleasure => values.iter().copied().fold(0.0, f64::max),
+        };
+    }
+    out
+}
+
+/// Every (strategy, expected top movie) pair the fixture pins.
+pub fn strategy_expectations() -> Vec<(GroupStrategy, &'static str)> {
+    vec![
+        (GroupStrategy::Product, PRODUCT_TOP),
+        (GroupStrategy::average(3), AVERAGE_TOP),
+        (GroupStrategy::LeastMisery, LEAST_MISERY_TOP),
+        (GroupStrategy::MostPleasure, MOST_PLEASURE_TOP),
+        (
+            GroupStrategy::WeightedAverage(ALICE_HEAVY_WEIGHTS.to_vec()),
+            WEIGHTED_TOP,
+        ),
+    ]
+}
+
+/// The fixture: KB, rules, members and movies in matrix order.
+pub struct TeamScenario {
+    /// Knowledge base with members' moods and movies' genre tags.
+    pub kb: Kb,
+    /// One mood → genre rule per member.
+    pub rules: RuleRepository,
+    /// The members, in [`MEMBER_NAMES`] order.
+    pub members: Vec<IndividualId>,
+    /// The movies, in [`MOVIE_NAMES`] order.
+    pub movies: Vec<IndividualId>,
+}
+
+impl TeamScenario {
+    /// A scoring environment for one member.
+    pub fn env(&self, member: usize) -> ScoringEnv<'_> {
+        ScoringEnv {
+            kb: &self.kb,
+            rules: &self.rules,
+            user: self.members[member],
+        }
+    }
+}
+
+/// Builds the fixture.
+pub fn scenario() -> TeamScenario {
+    let mut kb = Kb::new();
+    let members: Vec<IndividualId> = MEMBER_NAMES.iter().map(|n| kb.individual(n)).collect();
+    let movies: Vec<IndividualId> = MOVIE_NAMES.iter().map(|n| kb.individual(n)).collect();
+    for &movie in &movies {
+        kb.assert_concept(movie, "Movie");
+    }
+    kb.assert_concept_prob(movies[0], "Action", 0.9)
+        .expect("valid probability");
+    kb.assert_concept_prob(movies[1], "Romance", 0.8)
+        .expect("valid probability");
+    kb.assert_concept_prob(movies[1], "Docu", 0.5)
+        .expect("valid probability");
+    kb.assert_concept_prob(movies[2], "Docu", 0.7)
+        .expect("valid probability");
+
+    kb.assert_concept(members[0], "MoodAction");
+    kb.assert_concept(members[1], "MoodRomance");
+    kb.assert_concept(members[2], "MoodDocu");
+
+    let mut rules = RuleRepository::new();
+    for (name, mood, genre, sigma) in [
+        ("R-action", "MoodAction", "Action", 0.9),
+        ("R-romance", "MoodRomance", "Romance", 0.85),
+        ("R-docu", "MoodDocu", "Docu", 0.8),
+    ] {
+        rules
+            .add(PreferenceRule::new(
+                name,
+                kb.parse(mood).expect("valid concept"),
+                kb.parse(&format!("Movie AND {genre}"))
+                    .expect("valid concept"),
+                Score::new(sigma).expect("valid score"),
+            ))
+            .expect("unique name");
+    }
+
+    TeamScenario {
+        kb,
+        rules,
+        members,
+        movies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capra_core::{group_scores, FactorizedEngine, ScoringEngine};
+
+    #[test]
+    fn per_member_matrix_holds() {
+        let s = scenario();
+        let engine = FactorizedEngine::new();
+        for (m, row) in PER_MEMBER_EXPECTED.iter().enumerate() {
+            let scores = engine.score_all(&s.env(m), &s.movies).unwrap();
+            for (score, expected) in scores.iter().zip(row) {
+                assert!(
+                    (score.score - expected).abs() < 1e-12,
+                    "{}: {} vs {}",
+                    MEMBER_NAMES[m],
+                    score.score,
+                    expected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_diverge_as_pinned() {
+        let s = scenario();
+        let engine = FactorizedEngine::new();
+        let per_user: Vec<_> = (0..3)
+            .map(|m| engine.score_all(&s.env(m), &s.movies).unwrap())
+            .collect();
+        for (strategy, expected_top) in strategy_expectations() {
+            let combined = group_scores(&per_user, &strategy).unwrap();
+            let expected = expected_group_scores(&strategy);
+            let mut best = 0;
+            for (i, score) in combined.iter().enumerate() {
+                assert!(
+                    (score.score - expected[i]).abs() < 1e-12,
+                    "{strategy:?}: {} vs {}",
+                    score.score,
+                    expected[i]
+                );
+                if score.score > combined[best].score {
+                    best = i;
+                }
+            }
+            assert_eq!(MOVIE_NAMES[best], expected_top, "{strategy:?}");
+        }
+    }
+}

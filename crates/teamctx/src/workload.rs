@@ -1,0 +1,169 @@
+//! Deterministic team workload builder for the `xtask` replay CLI.
+//!
+//! Interleaves mood churn (`ConceptProb` re-asserts) with `RankGroup`
+//! requests cycling through every [`GroupStrategy`] — the replay
+//! counterpart of the commerce pack's single-user stream, exercising
+//! the group code path and the strategy serialization.
+
+use crate::generate::{generate, mood_rules, TeamConfig, GENRES};
+use capra_core::persist::{Workload, WorkloadFact, WorkloadMeta, WorkloadRecord};
+use capra_core::{GroupStrategy, Kb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the request stream layered over a [`TeamConfig`].
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// The population to generate first.
+    pub team: TeamConfig,
+    /// Number of group-rank requests.
+    pub requests: usize,
+    /// Candidate movies per request.
+    pub docs_per_request: usize,
+    /// Top-k per request.
+    pub k: u32,
+    /// Probability a request is preceded by a mood-churn context event.
+    pub churn: f64,
+    /// Seed for the request stream (independent of the catalog seed).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            team: TeamConfig::default(),
+            requests: 150,
+            docs_per_request: 24,
+            k: 5,
+            churn: 0.35,
+            seed: 0x9000,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A scaled-down configuration for fast unit tests and CI.
+    pub fn tiny() -> Self {
+        Self {
+            team: TeamConfig::tiny(),
+            requests: 20,
+            docs_per_request: 5,
+            k: 3,
+            churn: 0.5,
+            seed: 8,
+        }
+    }
+}
+
+/// Picks a strategy deterministically, cycling all four shapes
+/// (weighted averages get seeded random weights).
+fn pick_strategy(i: usize, size: usize, rng: &mut StdRng) -> GroupStrategy {
+    match i % 4 {
+        0 => GroupStrategy::Product,
+        1 => {
+            let weights = (0..size).map(|_| rng.gen_range(0.1..1.0)).collect();
+            GroupStrategy::WeightedAverage(weights)
+        }
+        2 => GroupStrategy::LeastMisery,
+        _ => GroupStrategy::MostPleasure,
+    }
+}
+
+/// Builds the deterministic workload (identities carried by name).
+pub fn build_workload(config: WorkloadConfig) -> Workload {
+    let db = generate(config.team.clone());
+    let rules = mood_rules(&db);
+    let name = |kb: &Kb, id| kb.voc.individual_name(id).to_string();
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut records = Vec::with_capacity(config.requests * 2);
+    for i in 0..config.requests {
+        let team = &db.teams[rng.gen_range(0..db.teams.len())];
+        if rng.gen_bool(config.churn) {
+            let member = team[rng.gen_range(0..team.len())];
+            let genre = GENRES[rng.gen_range(0..GENRES.len())];
+            records.push(WorkloadRecord::Assert {
+                subject: name(&db.kb, member),
+                fact: WorkloadFact::ConceptProb(format!("Mood{genre}"), rng.gen_range(0.05..=0.95)),
+            });
+        }
+        // Sample distinct movies: group aggregation requires each member
+        // to score a duplicate-free document set.
+        let mut docs: Vec<String> = Vec::with_capacity(config.docs_per_request);
+        while docs.len() < config.docs_per_request.min(db.movies.len()) {
+            let candidate = name(&db.kb, db.movies[rng.gen_range(0..db.movies.len())]);
+            if !docs.contains(&candidate) {
+                docs.push(candidate);
+            }
+        }
+        records.push(WorkloadRecord::RankGroup {
+            users: team.iter().map(|&m| name(&db.kb, m)).collect(),
+            docs,
+            k: config.k,
+            strategy: pick_strategy(i, team.len(), &mut rng),
+        });
+    }
+
+    Workload {
+        meta: WorkloadMeta {
+            domain: "teamctx".into(),
+            seed: config.seed,
+            comment: format!(
+                "teams={} size={} movies={} requests={} churn={}",
+                config.team.teams,
+                config.team.team_size,
+                config.team.movies,
+                config.requests,
+                config.churn
+            ),
+        },
+        kb: db.kb,
+        rules,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capra_core::serve::{replay_workload, workload_service, ServiceConfig};
+    use capra_core::LineageEngine;
+
+    #[test]
+    fn same_config_same_bytes() {
+        let a = build_workload(WorkloadConfig::tiny());
+        let b = build_workload(WorkloadConfig::tiny());
+        assert_eq!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn covers_every_strategy_shape() {
+        let w = build_workload(WorkloadConfig::tiny());
+        let mut shapes = std::collections::BTreeSet::new();
+        for r in &w.records {
+            if let WorkloadRecord::RankGroup { strategy, .. } = r {
+                shapes.insert(match strategy {
+                    GroupStrategy::Product => 0,
+                    GroupStrategy::WeightedAverage(_) => 1,
+                    GroupStrategy::LeastMisery => 2,
+                    GroupStrategy::MostPleasure => 3,
+                });
+            }
+        }
+        assert_eq!(shapes.len(), 4);
+    }
+
+    #[test]
+    fn replays_deterministically() {
+        let w = build_workload(WorkloadConfig::tiny());
+        let run = || {
+            let svc = workload_service(LineageEngine::new(), ServiceConfig::default(), &w);
+            replay_workload(&svc, &w).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.transcript_hash, b.transcript_hash);
+        assert_eq!(a.errors, 0);
+        assert_eq!(a.group_ranks as usize, w.rank_records());
+    }
+}

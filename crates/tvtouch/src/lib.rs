@@ -15,9 +15,14 @@
 //!   time-of-day) producing *correlated* uncertain context, exercising the
 //!   event-expression model;
 //! * [`history_sim`] — a user-behaviour simulator driven by ground-truth
-//!   σ values, used to validate preference mining end-to-end.
+//!   σ values, used to validate preference mining end-to-end;
+//! * [`workload`] — a deterministic [`capra_core::persist::Workload`]
+//!   builder for the `xtask` replay CLI, plus the seed-audit regression
+//!   pin for the generators.
 //!
-//! Everything is deterministic given a seed.
+//! Everything is deterministic given a seed: every generator takes its
+//! randomness from an explicit seed field (audited in the [`workload`]
+//! module docs — no ambient entropy, clocks, or unordered iteration).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,3 +31,4 @@ pub mod generate;
 pub mod history_sim;
 pub mod scenario;
 pub mod sensors;
+pub mod workload;

@@ -1,0 +1,62 @@
+//! Hand-rolled `--flag [value]` argument parsing (this workspace takes
+//! no external dependencies; a clap would be its whole tree).
+
+/// Parsed `--key value` / `--switch` arguments.
+pub struct Args {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parses an argument list. Every argument must be a `--key`
+    /// optionally followed by a value; stray positionals are an error
+    /// (each command names its inputs explicitly).
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = argv.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{arg}`"));
+            };
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
+                _ => None,
+            };
+            pairs.push((key.to_string(), value));
+        }
+        Ok(Self { pairs })
+    }
+
+    /// The value of `--name`, if given with a value.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// The value of a required `--name value`.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.opt(name)
+            .ok_or_else(|| format!("missing required --{name} <value>"))
+    }
+
+    /// Whether `--name` appeared (with or without a value).
+    pub fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == name)
+    }
+
+    /// `--name N` parsed as u64, if given.
+    pub fn u64_opt(&self, name: &str) -> Result<Option<u64>, String> {
+        self.opt(name)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--{name} expects an integer, got `{v}`"))
+            })
+            .transpose()
+    }
+
+    /// `--name N` parsed as usize, if given.
+    pub fn usize_opt(&self, name: &str) -> Result<Option<usize>, String> {
+        Ok(self.u64_opt(name)?.map(|v| v as usize))
+    }
+}

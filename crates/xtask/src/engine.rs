@@ -1,0 +1,29 @@
+//! Runtime engine selection: a `--engine` name to a boxed
+//! [`ScoringEngine`] (the service is generic, and `ScoringEngine` is
+//! implemented for `Box<dyn ScoringEngine + Sync>`, so one service type
+//! serves every engine).
+
+use capra_core::{
+    FactorizedEngine, LineageEngine, NaiveEnumEngine, NaiveViewEngine, ScoringEngine,
+};
+
+/// Every accepted `--engine` name, for usage messages.
+pub const ENGINE_NAMES: [&str; 4] = ["naive-view", "naive-enum", "factorized", "lineage"];
+
+/// Builds the named engine. The default elsewhere is `lineage` — the
+/// only engine that accepts *every* workload (the strict factorized
+/// engine rejects correlated context by design).
+pub fn by_name(name: &str) -> Result<Box<dyn ScoringEngine + Sync>, String> {
+    Ok(match name {
+        "naive-view" => Box::new(NaiveViewEngine::new()),
+        "naive-enum" => Box::new(NaiveEnumEngine::new()),
+        "factorized" => Box::new(FactorizedEngine::new()),
+        "lineage" => Box::new(LineageEngine::new()),
+        other => {
+            return Err(format!(
+                "unknown engine `{other}` (expected one of {})",
+                ENGINE_NAMES.join(", ")
+            ))
+        }
+    })
+}

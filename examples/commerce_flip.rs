@@ -1,0 +1,55 @@
+//! The commerce preference flip — the same catalog, the same rules, and
+//! a top-1 result that inverts purely because the session context
+//! changed (Ieong et al.'s observation, served through a
+//! `RankingService`).
+//!
+//! Dana is gift shopping: premium products and the trusted brand win.
+//! Erin is bargain hunting: the discounted blender wins. Every score
+//! below is hand-derivable from the rule factors (see the
+//! `capra::commerce::scenario` module docs).
+//!
+//! Run with: `cargo run --example commerce_flip`
+
+use capra::commerce::scenario::catalog_scenario;
+use capra::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    // The catalog starts context-free: four products, three rules, no
+    // session context asserted yet.
+    let s = catalog_scenario();
+    let service = RankingService::new(LineageEngine::new(), s.kb, s.rules);
+    let dana = s.shopper;
+    let erin = service.individual("Erin");
+
+    // Context arrives as typed events, per shopper.
+    service.assert(dana, Fact::Concept("GiftShopping".into()))?;
+    service.assert(erin, Fact::Concept("BargainHunting".into()))?;
+
+    for (who, label) in [
+        (dana, "Dana (gift shopping)"),
+        (erin, "Erin (bargain hunting)"),
+    ] {
+        println!("{label}:");
+        for doc in service.rank(who, &s.products, s.products.len())? {
+            println!(
+                "  {:<22} {:.4}",
+                service.kb().voc.individual_name(doc.doc),
+                doc.score
+            );
+        }
+    }
+
+    // The flip, asserted: same service, same candidates, inverted top-1.
+    let gift_top = service.rank(dana, &s.products, 1)?;
+    let bargain_top = service.rank(erin, &s.products, 1)?;
+    assert_eq!(
+        service.kb().voc.individual_name(gift_top[0].doc),
+        "Silk scarf"
+    );
+    assert_eq!(
+        service.kb().voc.individual_name(bargain_top[0].doc),
+        "Discount blender"
+    );
+    println!("top-1 flipped: Silk scarf (gift) vs Discount blender (bargain)");
+    Ok(())
+}

@@ -17,6 +17,8 @@
 //! | [`reldb`] | in-memory relational engine with lineage + SQL dialect |
 //! | [`core`] | the paper's model: rules, four scoring engines, sessions, the serving layer, mining, … |
 //! | [`tvtouch`] | the TVTouch domain, paper scenarios, workload generators |
+//! | [`commerce`] | commerce-search domain pack: contexts that flip price/brand preferences |
+//! | [`teamctx`] | group-context domain pack: conflicting members ranked jointly |
 //!
 //! `ARCHITECTURE.md` at the workspace root maps the whole stack — the
 //! layer diagram, the cache hierarchy and its epoch/eviction semantics,
@@ -53,10 +55,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use capra_commerce as commerce;
 pub use capra_core as core;
 pub use capra_dl as dl;
 pub use capra_events as events;
 pub use capra_reldb as reldb;
+pub use capra_teamctx as teamctx;
 pub use capra_tvtouch as tvtouch;
 
 /// The most common imports in one place.
@@ -70,11 +74,13 @@ pub mod prelude {
         BatchStats, CacheFootprint, CacheStats, CompactionPolicy, CoreError, CorrelationPolicy,
         DocScore, Episode, EvictionPolicy, Explanation, FactorizedEngine, FlushPolicy,
         GroupStrategy, HistoryLog, Kb, LineageEngine, MinedRule, NaiveEnumEngine, NaiveViewEngine,
-        Offer, PersistError, PreferenceRule, QueueConfig, QueueStats, RankingService,
+        Offer, PersistError, PreferenceRule, QueueConfig, QueueStats, RankingService, ReplayReport,
         ReplicaService, ReplicaStats, RuleRepository, Score, ScoringConfig, ScoringEngine,
         ScoringEnv, ScoringSession, ServiceConfig, ServiceHandle, ServiceQueue, ServiceStats,
-        SessionStats, SharedSnapshot, WalStats,
+        SessionStats, SharedSnapshot, WalStats, Workload, WorkloadFact, WorkloadMeta,
+        WorkloadRecord,
     };
+    pub use capra_core::{replay_workload, workload_service};
     pub use capra_dl::{parse_concept, ABox, Concept, Reasoner, TBox, Vocabulary};
     pub use capra_events::{Evaluator, EventExpr, Universe};
     pub use capra_reldb::{Catalog, Database, Datum, Executor, Plan, Relation};

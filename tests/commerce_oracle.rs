@@ -1,0 +1,102 @@
+//! Commerce-domain oracle: the hand-derived score tables of
+//! `capra::commerce::scenario` hold on **all four engines**, both as raw
+//! `score_all` calls and served through a [`RankingService`] — and the
+//! top-1 result *flips* between the gift and bargain contexts.
+//!
+//! Every expected value is derivable by hand from the module docs of
+//! [`capra::commerce::scenario`] (each applicable rule contributes
+//! `P(C)·(P(feat)·σ + (1 − P(feat))·(1 − σ)) + (1 − P(C))`); the test
+//! pins them to 1e-12.
+
+use capra::commerce::scenario::{
+    catalog_scenario, expected_scores, scenario, Intent, BARGAIN_TOP, GIFT_TOP, PRODUCT_NAMES,
+};
+use capra::prelude::*;
+
+fn engines() -> Vec<Box<dyn ScoringEngine + Sync>> {
+    vec![
+        Box::new(NaiveViewEngine::new()),
+        Box::new(NaiveEnumEngine::new()),
+        Box::new(FactorizedEngine::new()),
+        Box::new(LineageEngine::new()),
+    ]
+}
+
+#[test]
+fn hand_derived_scores_hold_on_all_four_engines() {
+    for intent in [Intent::Gift, Intent::Bargain] {
+        let s = scenario(intent);
+        let env = s.env();
+        for engine in engines() {
+            let scores = engine.score_all(&env, &s.products).unwrap();
+            assert_eq!(scores.len(), PRODUCT_NAMES.len());
+            for (score, (name, expected)) in scores.iter().zip(expected_scores(intent)) {
+                assert!(
+                    (score.score - expected).abs() < 1e-12,
+                    "{} under {intent:?}: {name} scored {} (expected {expected})",
+                    engine.name(),
+                    score.score,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn top_1_flips_between_contexts_on_every_engine() {
+    let constructors: Vec<fn() -> Box<dyn ScoringEngine + Sync>> = vec![
+        || Box::new(NaiveViewEngine::new()),
+        || Box::new(NaiveEnumEngine::new()),
+        || Box::new(FactorizedEngine::new()),
+        || Box::new(LineageEngine::new()),
+    ];
+    for make in constructors {
+        for (intent, expected_top) in [(Intent::Gift, GIFT_TOP), (Intent::Bargain, BARGAIN_TOP)] {
+            let s = scenario(intent);
+            let engine = make();
+            let name = engine.name();
+            let service = RankingService::new(engine, s.kb, s.rules);
+            let top = service.rank(s.shopper, &s.products, 1).unwrap();
+            assert_eq!(
+                service.kb().voc.individual_name(top[0].doc),
+                expected_top,
+                "{name} under {intent:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn served_flip_through_context_events() {
+    // One service, two shoppers: the catalog starts context-free, then
+    // each shopper's session context arrives as a typed assert request —
+    // the serving-flow version of the flip (context accumulates per
+    // shopper, so the two intents live in separate sessions).
+    let s = catalog_scenario();
+    let service = RankingService::new(LineageEngine::new(), s.kb, s.rules);
+    let bargain_shopper = service.individual("Erin");
+    let top_name =
+        |scores: &[DocScore]| service.kb().voc.individual_name(scores[0].doc).to_string();
+
+    // No context yet: every product scores 1 (no applicable rule).
+    let ranked = service.rank(s.shopper, &s.products, 4).unwrap();
+    assert!(ranked.iter().all(|d| (d.score - 1.0).abs() < 1e-12));
+
+    service
+        .assert(s.shopper, Fact::Concept("GiftShopping".into()))
+        .unwrap();
+    let gift = service.rank(s.shopper, &s.products, 1).unwrap();
+    assert_eq!(top_name(&gift), GIFT_TOP);
+    assert!((gift[0].score - 0.656).abs() < 1e-12);
+
+    service
+        .assert(bargain_shopper, Fact::Concept("BargainHunting".into()))
+        .unwrap();
+    let bargain = service.rank(bargain_shopper, &s.products, 1).unwrap();
+    assert_eq!(top_name(&bargain), BARGAIN_TOP);
+    assert!((bargain[0].score - 0.905).abs() < 1e-12);
+
+    // Dana's gift session is untouched by Erin's context.
+    let gift_again = service.rank(s.shopper, &s.products, 1).unwrap();
+    assert_eq!(top_name(&gift_again), GIFT_TOP);
+}

@@ -1,0 +1,106 @@
+//! Workload replay determinism, property-tested end to end:
+//!
+//! * **Codec**: for proptest-chosen generator configs across all three
+//!   domain packs, `Workload::decode(encode(w))` round-trips to the
+//!   exact same bytes (and the same FNV file digest).
+//! * **Replay**: replaying one file twice — same engine, fresh services
+//!   — produces *identical transcript hashes*, for every engine and
+//!   under randomized service configurations (tiny session caps, the
+//!   aggressive `MaxAge(1)` eviction policy, multi-threaded scoring):
+//!   caches, eviction and threading may change who pays to derive a
+//!   score, never the transcript.
+
+use capra::prelude::*;
+use proptest::prelude::*;
+
+/// Builds the proptest-selected domain's tiny workload with a custom
+/// request-stream seed.
+fn build(domain: u8, seed: u64) -> Workload {
+    match domain % 3 {
+        0 => {
+            let mut config = capra::commerce::workload::WorkloadConfig::tiny();
+            config.seed = seed;
+            capra::commerce::workload::build_workload(config)
+        }
+        1 => {
+            let mut config = capra::teamctx::workload::WorkloadConfig::tiny();
+            config.seed = seed;
+            capra::teamctx::workload::build_workload(config)
+        }
+        _ => {
+            let mut config = capra::tvtouch::workload::WorkloadConfig::tiny();
+            config.seed = seed;
+            capra::tvtouch::workload::build_workload(config)
+        }
+    }
+}
+
+fn engine(sel: u8) -> Box<dyn ScoringEngine + Sync> {
+    match sel % 4 {
+        0 => Box::new(NaiveViewEngine::new()),
+        1 => Box::new(NaiveEnumEngine::new()),
+        2 => Box::new(FactorizedEngine::new()),
+        _ => Box::new(LineageEngine::new()),
+    }
+}
+
+/// Random draw → service configuration, including the aggressive
+/// `MaxAge(1)` policy and a session cap small enough to evict tenants
+/// mid-replay.
+fn config(policy_sel: u8, sessions_sel: u8, threads_sel: u8) -> ServiceConfig {
+    ServiceConfig {
+        policy: match policy_sel % 3 {
+            0 => EvictionPolicy::Never,
+            1 => EvictionPolicy::MaxAge(1),
+            _ => EvictionPolicy::default(),
+        },
+        max_sessions: 1 + (sessions_sel % 4) as usize,
+        threads: 1 + (threads_sel % 2) as usize,
+        ..ServiceConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Encode/decode round-trips to byte-identical files.
+    #[test]
+    fn encode_decode_is_byte_identical(domain in 0u8..3, seed in 0u64..1000) {
+        let w = build(domain, seed);
+        let bytes = w.encode();
+        let back = Workload::decode(&bytes).unwrap();
+        prop_assert_eq!(back.encode(), bytes);
+        prop_assert_eq!(back.file_digest(), w.file_digest());
+        prop_assert_eq!(&back.meta, &w.meta);
+        prop_assert_eq!(&back.records, &w.records);
+    }
+
+    /// Two replays of one file agree bit-for-bit, whatever engine,
+    /// eviction policy, session cap or thread count serves them — and a
+    /// decode of the encoded file replays to the same transcript as the
+    /// in-memory original.
+    #[test]
+    fn replay_is_deterministic(
+        domain in 0u8..3,
+        seed in 0u64..1000,
+        engine_sel in 0u8..4,
+        policy_a in 0u8..3,
+        policy_b in 0u8..3,
+        sessions in 0u8..4,
+        threads in 0u8..2,
+    ) {
+        let w = build(domain, seed);
+        let decoded = Workload::decode(&w.encode()).unwrap();
+
+        let replay = |w: &Workload, policy: u8| {
+            let svc = workload_service(engine(engine_sel), config(policy, sessions, threads), w);
+            replay_workload(&svc, w).unwrap()
+        };
+        let a = replay(&w, policy_a);
+        let b = replay(&w, policy_b);
+        let c = replay(&decoded, policy_a);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a, c);
+        prop_assert_eq!(a.requests as usize, w.records.len());
+    }
+}
